@@ -1,0 +1,344 @@
+//! Logical operations through a single memoized ITE (if-then-else) core.
+//!
+//! Every binary/unary connective is expressed as an `ite` instance, the
+//! classic Brace–Rudell–Bryant construction. One recursive core plus one
+//! cache keeps the implementation small and uniformly correct; the standard
+//! terminal simplifications keep it fast enough for the workloads in this
+//! reproduction.
+
+use crate::manager::{op, BddManager};
+use crate::node::Bdd;
+use crate::Result;
+
+impl BddManager {
+    /// If-then-else: `(f ∧ g) ∨ (¬f ∧ h)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on resource-limit exhaustion ([`crate::BddError`]).
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Result<Bdd> {
+        // Terminal cases.
+        if f.is_true() || g == h {
+            return Ok(g);
+        }
+        if f.is_false() {
+            return Ok(h);
+        }
+        if g.is_true() && h.is_false() {
+            return Ok(f);
+        }
+        if f == g {
+            // ite(f, f, h) = f ∨ h = ite(f, 1, h)
+            return self.ite(f, Bdd::TRUE, h);
+        }
+        if f == h {
+            // ite(f, g, f) = f ∧ g = ite(f, g, 0)
+            return self.ite(f, g, Bdd::FALSE);
+        }
+        let key = (op::ITE, f.index(), g.index(), h.index());
+        if let Some(r) = self.cache_get(key) {
+            return Ok(r);
+        }
+        let lvl = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f0, f1) = self.cofactors_at(f, lvl);
+        let (g0, g1) = self.cofactors_at(g, lvl);
+        let (h0, h1) = self.cofactors_at(h, lvl);
+        let t = self.ite(f1, g1, h1)?;
+        let e = self.ite(f0, g0, h0)?;
+        let r = self.mk(lvl, e, t)?;
+        self.cache_put(key, r);
+        Ok(r)
+    }
+
+    /// Conjunction `f ∧ g`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on resource-limit exhaustion.
+    #[inline]
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Result<Bdd> {
+        self.ite(f, g, Bdd::FALSE)
+    }
+
+    /// Disjunction `f ∨ g`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on resource-limit exhaustion.
+    #[inline]
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Result<Bdd> {
+        self.ite(f, Bdd::TRUE, g)
+    }
+
+    /// Negation `¬f`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on resource-limit exhaustion.
+    #[inline]
+    pub fn not(&mut self, f: Bdd) -> Result<Bdd> {
+        self.ite(f, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on resource-limit exhaustion.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd> {
+        let ng = self.not(g)?;
+        self.ite(f, ng, g)
+    }
+
+    /// Equivalence `f ↔ g` (xnor).
+    ///
+    /// # Errors
+    ///
+    /// Fails on resource-limit exhaustion.
+    pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd> {
+        let ng = self.not(g)?;
+        self.ite(f, g, ng)
+    }
+
+    /// Implication `f → g`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on resource-limit exhaustion.
+    #[inline]
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Result<Bdd> {
+        self.ite(f, g, Bdd::TRUE)
+    }
+
+    /// Difference `f ∧ ¬g`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on resource-limit exhaustion.
+    pub fn diff(&mut self, f: Bdd, g: Bdd) -> Result<Bdd> {
+        let ng = self.not(g)?;
+        self.ite(f, ng, Bdd::FALSE)
+    }
+
+    /// N-ary conjunction of all operands (⊤ for an empty slice).
+    ///
+    /// # Errors
+    ///
+    /// Fails on resource-limit exhaustion.
+    pub fn and_all(&mut self, fs: &[Bdd]) -> Result<Bdd> {
+        let mut acc = Bdd::TRUE;
+        for &f in fs {
+            acc = self.and(acc, f)?;
+            if acc.is_false() {
+                break;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// N-ary disjunction of all operands (⊥ for an empty slice).
+    ///
+    /// # Errors
+    ///
+    /// Fails on resource-limit exhaustion.
+    pub fn or_all(&mut self, fs: &[Bdd]) -> Result<Bdd> {
+        let mut acc = Bdd::FALSE;
+        for &f in fs {
+            acc = self.or(acc, f)?;
+            if acc.is_true() {
+                break;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Whether `f → g` holds for all assignments (set inclusion `f ⊆ g`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on resource-limit exhaustion.
+    pub fn leq(&mut self, f: Bdd, g: Bdd) -> Result<bool> {
+        Ok(self.diff(f, g)?.is_false())
+    }
+
+    /// Decides whether `ite(f, g, h)` is a constant *without allocating
+    /// any nodes*: returns `Some(true/false)` when it is, `None` when it
+    /// depends on at least one variable.
+    ///
+    /// The classic `bdd_ite_constant` short-circuit used to answer
+    /// implication/emptiness queries cheaply inside larger algorithms.
+    pub fn ite_constant(&self, f: Bdd, g: Bdd, h: Bdd) -> Option<bool> {
+        fn as_const(b: Bdd) -> Option<bool> {
+            if b.is_true() {
+                Some(true)
+            } else if b.is_false() {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        // Terminal resolutions first.
+        if f.is_true() || g == h {
+            return as_const(g);
+        }
+        if f.is_false() {
+            return as_const(h);
+        }
+        if g.is_true() && h.is_false() {
+            return None; // result is f, non-constant here
+        }
+        let lvl = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f0, f1) = self.cofactors_at(f, lvl);
+        let (g0, g1) = self.cofactors_at(g, lvl);
+        let (h0, h1) = self.cofactors_at(h, lvl);
+        let t = self.ite_constant(f1, g1, h1)?;
+        let e = self.ite_constant(f0, g0, h0)?;
+        if t == e {
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Var;
+
+    fn mgr() -> (BddManager, Bdd, Bdd, Bdd) {
+        let m = BddManager::new(3);
+        let a = m.var(Var(0));
+        let b = m.var(Var(1));
+        let c = m.var(Var(2));
+        (m, a, b, c)
+    }
+
+    #[test]
+    fn truth_table_and() {
+        let (mut m, a, b, _) = mgr();
+        let f = m.and(a, b).unwrap();
+        assert!(m.eval(f, &[true, true, false]));
+        assert!(!m.eval(f, &[true, false, false]));
+        assert!(!m.eval(f, &[false, true, false]));
+    }
+
+    #[test]
+    fn de_morgan() {
+        let (mut m, a, b, _) = mgr();
+        let ab = m.and(a, b).unwrap();
+        let lhs = m.not(ab).unwrap();
+        let na = m.not(a).unwrap();
+        let nb = m.not(b).unwrap();
+        let rhs = m.or(na, nb).unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn double_negation_is_identity() {
+        let (mut m, a, b, c) = mgr();
+        let ab = m.and(a, b).unwrap();
+        let f = m.xor(ab, c).unwrap();
+        let nf = m.not(f).unwrap();
+        let nnf = m.not(nf).unwrap();
+        assert_eq!(f, nnf);
+    }
+
+    #[test]
+    fn xor_xnor_complementary() {
+        let (mut m, a, b, _) = mgr();
+        let x = m.xor(a, b).unwrap();
+        let xn = m.xnor(a, b).unwrap();
+        let nx = m.not(x).unwrap();
+        assert_eq!(xn, nx);
+    }
+
+    #[test]
+    fn ite_terminal_cases() {
+        let (mut m, a, b, c) = mgr();
+        assert_eq!(m.ite(Bdd::TRUE, b, c).unwrap(), b);
+        assert_eq!(m.ite(Bdd::FALSE, b, c).unwrap(), c);
+        assert_eq!(m.ite(a, b, b).unwrap(), b);
+        assert_eq!(m.ite(a, Bdd::TRUE, Bdd::FALSE).unwrap(), a);
+        let a_or_c = m.or(a, c).unwrap();
+        assert_eq!(m.ite(a, a, c).unwrap(), a_or_c);
+        let a_and_b = m.and(a, b).unwrap();
+        assert_eq!(m.ite(a, b, a).unwrap(), a_and_b);
+    }
+
+    #[test]
+    fn implication_and_leq() {
+        let (mut m, a, b, _) = mgr();
+        let ab = m.and(a, b).unwrap();
+        assert!(m.leq(ab, a).unwrap());
+        assert!(!m.leq(a, ab).unwrap());
+        let imp = m.implies(ab, a).unwrap();
+        assert!(imp.is_true());
+    }
+
+    #[test]
+    fn nary_ops() {
+        let (mut m, a, b, c) = mgr();
+        let all = m.and_all(&[a, b, c]).unwrap();
+        assert_eq!(m.sat_count(all, 3), 1.0);
+        let any = m.or_all(&[a, b, c]).unwrap();
+        assert_eq!(m.sat_count(any, 3), 7.0);
+        assert!(m.and_all(&[]).unwrap().is_true());
+        assert!(m.or_all(&[]).unwrap().is_false());
+    }
+
+    #[test]
+    fn diff_is_relative_complement() {
+        let (mut m, a, b, _) = mgr();
+        let d = m.diff(a, b).unwrap();
+        assert!(m.eval(d, &[true, false, false]));
+        assert!(!m.eval(d, &[true, true, false]));
+        assert!(!m.eval(d, &[false, false, false]));
+    }
+
+    #[test]
+    fn results_are_canonical_across_formulations() {
+        let (mut m, a, b, c) = mgr();
+        // (a→c) ∧ (b→c)  ==  (a∨b)→c
+        let ac = m.implies(a, c).unwrap();
+        let bc = m.implies(b, c).unwrap();
+        let lhs = m.and(ac, bc).unwrap();
+        let aob = m.or(a, b).unwrap();
+        let rhs = m.implies(aob, c).unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn ite_constant_detects_constants_without_allocating(){
+        let (mut m, a, b, _) = mgr();
+        let ab = m.and(a, b).unwrap();
+        let before = m.stats().mk_calls;
+        // a∧b → a is a tautology: ite(ab, a, ⊤)… expressed as implication.
+        assert_eq!(m.ite_constant(ab, a, Bdd::TRUE), Some(true));
+        assert_eq!(m.ite_constant(ab, Bdd::FALSE, Bdd::FALSE), Some(false));
+        assert_eq!(m.ite_constant(a, b, Bdd::FALSE), None);
+        assert_eq!(m.ite_constant(Bdd::TRUE, a, Bdd::FALSE), None);
+        assert_eq!(m.stats().mk_calls, before, "ite_constant allocated nodes");
+        // Agreement with the allocating ite on a sample of triples.
+        let xs = [Bdd::TRUE, Bdd::FALSE, a, b, ab];
+        for &f in &xs { for &g in &xs { for &h in &xs {
+            let full = m.ite(f, g, h).unwrap();
+            let expect = if full.is_true() { Some(true) }
+                else if full.is_false() { Some(false) } else { None };
+            assert_eq!(m.ite_constant(f, g, h), expect, "{f:?} {g:?} {h:?}");
+        }}}
+    }
+
+    #[test]
+    fn cache_hits_accumulate() {
+        let (mut m, a, b, c) = mgr();
+        let ab = m.and(a, b).unwrap();
+        let f1 = m.or(ab, c).unwrap();
+        let before = m.stats().cache_hits;
+        let ab2 = m.and(a, b).unwrap();
+        let f2 = m.or(ab2, c).unwrap();
+        assert_eq!(f1, f2);
+        assert!(m.stats().cache_hits > before);
+    }
+}

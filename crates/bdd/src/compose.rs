@@ -1,0 +1,296 @@
+//! Cofactoring, functional composition and variable renaming.
+//!
+//! Simultaneous (vector) composition is the engine behind the paper's
+//! symbolic simulation step: next-state functions over state variables are
+//! composed with the Boolean functional vector of the current reached set
+//! in one pass (`bfvr-sim`). Each call uses a local memo table keyed on the
+//! operand node, which yields full sharing within the call without having
+//! to intern substitution maps globally.
+
+use crate::hash::FxHashMap;
+use crate::manager::BddManager;
+use crate::node::{Bdd, Var};
+use crate::Result;
+
+impl BddManager {
+    /// Shannon cofactor `f|v=val`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on resource-limit exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the manager's variable range.
+    pub fn cofactor(&mut self, f: Bdd, v: Var, val: bool) -> Result<Bdd> {
+        assert!(v.0 < self.num_vars(), "variable {v} out of range");
+        let mut memo = FxHashMap::default();
+        self.cofactor_rec(f, v.0, val, &mut memo)
+    }
+
+    fn cofactor_rec(
+        &mut self,
+        f: Bdd,
+        lvl: u32,
+        val: bool,
+        memo: &mut FxHashMap<u32, Bdd>,
+    ) -> Result<Bdd> {
+        if f.is_const() || self.level(f) > lvl {
+            return Ok(f);
+        }
+        if self.level(f) == lvl {
+            return Ok(if val { self.high(f) } else { self.low(f) });
+        }
+        if let Some(&r) = memo.get(&f.index()) {
+            return Ok(r);
+        }
+        let top = self.level(f);
+        let e = self.cofactor_rec(self.low(f), lvl, val, memo)?;
+        let t = self.cofactor_rec(self.high(f), lvl, val, memo)?;
+        let r = self.mk(top, e, t)?;
+        memo.insert(f.index(), r);
+        Ok(r)
+    }
+
+    /// Substitutes `g` for variable `v` in `f`: `f[v ← g]`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on resource-limit exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the manager's variable range.
+    pub fn compose(&mut self, f: Bdd, v: Var, g: Bdd) -> Result<Bdd> {
+        assert!(v.0 < self.num_vars(), "variable {v} out of range");
+        let mut map = vec![None; self.num_vars() as usize];
+        map[v.0 as usize] = Some(g);
+        self.vector_compose(f, &map)
+    }
+
+    /// Simultaneous composition: substitutes `map[v]` for every variable
+    /// `v` with a `Some` entry, all at once.
+    ///
+    /// Unlike iterated [`BddManager::compose`], simultaneous composition is
+    /// well defined even when substituted functions themselves depend on
+    /// substituted variables — exactly the situation in symbolic simulation,
+    /// where state variables are replaced by functional-vector components
+    /// over those same variables.
+    ///
+    /// # Errors
+    ///
+    /// Fails on resource-limit exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` is shorter than the variable count.
+    pub fn vector_compose(&mut self, f: Bdd, map: &[Option<Bdd>]) -> Result<Bdd> {
+        assert!(
+            map.len() >= self.num_vars() as usize,
+            "substitution map must cover all {} variables",
+            self.num_vars()
+        );
+        let mut memo = FxHashMap::default();
+        self.vcompose_rec(f, map, &mut memo)
+    }
+
+    fn vcompose_rec(
+        &mut self,
+        f: Bdd,
+        map: &[Option<Bdd>],
+        memo: &mut FxHashMap<u32, Bdd>,
+    ) -> Result<Bdd> {
+        if f.is_const() {
+            return Ok(f);
+        }
+        if let Some(&r) = memo.get(&f.index()) {
+            return Ok(r);
+        }
+        let lvl = self.level(f);
+        let e = self.vcompose_rec(self.low(f), map, memo)?;
+        let t = self.vcompose_rec(self.high(f), map, memo)?;
+        let sub = match map[lvl as usize] {
+            Some(g) => g,
+            None => self.var(Var(lvl)),
+        };
+        let r = self.ite(sub, t, e)?;
+        memo.insert(f.index(), r);
+        Ok(r)
+    }
+
+    /// Renames variables according to `perm`, where `perm[old] = new`.
+    ///
+    /// `perm` must be injective on the support of `f` (typically a full
+    /// permutation). Arbitrary permutations are allowed — the result is
+    /// rebuilt in order, not just relabeled.
+    ///
+    /// # Errors
+    ///
+    /// Fails on resource-limit exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is shorter than the variable count or maps outside
+    /// the variable range.
+    pub fn permute(&mut self, f: Bdd, perm: &[Var]) -> Result<Bdd> {
+        let n = self.num_vars() as usize;
+        assert!(perm.len() >= n, "permutation must cover all variables");
+        let mut map: Vec<Option<Bdd>> = vec![None; n];
+        for (old, &new) in perm.iter().enumerate().take(n) {
+            assert!(new.0 < self.num_vars(), "permutation target {new} out of range");
+            if old as u32 != new.0 {
+                map[old] = Some(self.var(new));
+            }
+        }
+        self.vector_compose(f, &map)
+    }
+
+    /// Exchanges two blocks of variables: every `(a, b)` pair in `pairs`
+    /// is swapped (`a ← b` and `b ← a` simultaneously).
+    ///
+    /// This is the classic next-state/current-state rename of reachability
+    /// analysis.
+    ///
+    /// # Errors
+    ///
+    /// Fails on resource-limit exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable is out of range or appears twice.
+    pub fn swap_vars(&mut self, f: Bdd, pairs: &[(Var, Var)]) -> Result<Bdd> {
+        let n = self.num_vars() as usize;
+        let mut perm: Vec<Var> = (0..n as u32).map(Var).collect();
+        let mut seen = vec![false; n];
+        for &(a, b) in pairs {
+            assert!(a.0 < self.num_vars() && b.0 < self.num_vars(), "swap var out of range");
+            assert!(
+                !seen[a.0 as usize] && !seen[b.0 as usize] && a != b,
+                "swap pairs must be disjoint"
+            );
+            seen[a.0 as usize] = true;
+            seen[b.0 as usize] = true;
+            perm[a.0 as usize] = b;
+            perm[b.0 as usize] = a;
+        }
+        self.permute(f, &perm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (BddManager, Bdd, Bdd, Bdd, Bdd) {
+        let mut m = BddManager::new(4);
+        let a = m.var(Var(0));
+        let b = m.var(Var(1));
+        let c = m.var(Var(2));
+        let d = m.var(Var(3));
+        let _ = (&mut m, d);
+        (m, a, b, c, d)
+    }
+
+    #[test]
+    fn cofactor_basics() {
+        let (mut m, a, b, c, _) = setup();
+        let ab = m.and(a, b).unwrap();
+        let f = m.or(ab, c).unwrap();
+        let f_a1 = m.cofactor(f, Var(0), true).unwrap();
+        let b_or_c = m.or(b, c).unwrap();
+        assert_eq!(f_a1, b_or_c);
+        let f_a0 = m.cofactor(f, Var(0), false).unwrap();
+        assert_eq!(f_a0, c);
+        // Cofactor on an absent variable is the identity.
+        assert_eq!(m.cofactor(f, Var(3), true).unwrap(), f);
+    }
+
+    #[test]
+    fn shannon_expansion_reconstructs() {
+        let (mut m, a, b, c, d) = setup();
+        let x = m.xor(a, c).unwrap();
+        let y = m.and(b, d).unwrap();
+        let f = m.or(x, y).unwrap();
+        for v in 0..4 {
+            let f0 = m.cofactor(f, Var(v), false).unwrap();
+            let f1 = m.cofactor(f, Var(v), true).unwrap();
+            let vv = m.var(Var(v));
+            let back = m.ite(vv, f1, f0).unwrap();
+            assert_eq!(back, f, "Shannon expansion failed on v{v}");
+        }
+    }
+
+    #[test]
+    fn compose_substitutes() {
+        let (mut m, a, b, c, _) = setup();
+        let f = m.and(a, b).unwrap();
+        // f[b ← c] = a ∧ c
+        let g = m.compose(f, Var(1), c).unwrap();
+        let ac = m.and(a, c).unwrap();
+        assert_eq!(g, ac);
+        // f[b ← ⊤] = a
+        let h = m.compose(f, Var(1), Bdd::TRUE).unwrap();
+        assert_eq!(h, a);
+    }
+
+    #[test]
+    fn vector_compose_is_simultaneous() {
+        let (mut m, a, b, _, _) = setup();
+        // f = a ⊕ b; substitute a←b, b←a simultaneously: still a ⊕ b.
+        let f = m.xor(a, b).unwrap();
+        let mut map = vec![None; 4];
+        map[0] = Some(b);
+        map[1] = Some(a);
+        let g = m.vector_compose(f, &map).unwrap();
+        assert_eq!(g, f);
+        // Sequential substitution would have collapsed it: (a⊕b)[a←b] = 0.
+        let seq = m.compose(f, Var(0), b).unwrap();
+        assert!(seq.is_false());
+    }
+
+    #[test]
+    fn vector_compose_with_dependent_substituents() {
+        let (mut m, a, b, _, _) = setup();
+        // f = a ∧ b with a ← (a ∨ b): result (a ∨ b) ∧ b = b.
+        let f = m.and(a, b).unwrap();
+        let aob = m.or(a, b).unwrap();
+        let mut map = vec![None; 4];
+        map[0] = Some(aob);
+        let g = m.vector_compose(f, &map).unwrap();
+        assert_eq!(g, b);
+    }
+
+    #[test]
+    fn permute_renames() {
+        let (mut m, a, b, c, d) = setup();
+        let f = m.and(a, b).unwrap();
+        // a→c, b→d, c→a, d→b
+        let perm = [Var(2), Var(3), Var(0), Var(1)];
+        let g = m.permute(f, &perm).unwrap();
+        let cd = m.and(c, d).unwrap();
+        assert_eq!(g, cd);
+        // Permuting twice with the involution restores f.
+        let back = m.permute(g, &perm).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn swap_vars_roundtrip() {
+        let (mut m, a, b, c, d) = setup();
+        let ab = m.and(a, b).unwrap();
+        let f = m.or(ab, d).unwrap();
+        let pairs = [(Var(0), Var(2)), (Var(1), Var(3))];
+        let g = m.swap_vars(f, &pairs).unwrap();
+        let cd = m.and(c, d).unwrap();
+        let expect = m.or(cd, b).unwrap();
+        assert_eq!(g, expect);
+        assert_eq!(m.swap_vars(g, &pairs).unwrap(), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn swap_rejects_overlap() {
+        let (mut m, a, ..) = setup();
+        let _ = m.swap_vars(a, &[(Var(0), Var(1)), (Var(1), Var(2))]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Graphviz (DOT) export for debugging and documentation.
+
+use crate::hash::FxHashSet;
+use crate::manager::BddManager;
+use crate::node::Bdd;
+use std::fmt::Write as _;
+
+impl BddManager {
+    /// Renders the DAG reachable from `roots` in Graphviz DOT syntax.
+    ///
+    /// `var_name` maps a level to a label; pass `|v| format!("v{v}")` for
+    /// generic names. Dashed edges are low (else) branches, solid edges
+    /// high (then) branches — the conventional BDD drawing style.
+    pub fn to_dot(&self, roots: &[(&str, Bdd)], var_name: impl Fn(u32) -> String) -> String {
+        let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+        out.push_str("  node [shape=circle];\n");
+        out.push_str("  f0 [label=\"0\", shape=box];\n  f1 [label=\"1\", shape=box];\n");
+        let mut seen: FxHashSet<u32> = FxHashSet::default();
+        let mut stack = Vec::new();
+        for (name, root) in roots {
+            let _ = writeln!(out, "  \"{name}\" [shape=plaintext];");
+            let _ = writeln!(out, "  \"{name}\" -> {};", node_name(*root));
+            stack.push(*root);
+        }
+        while let Some(f) = stack.pop() {
+            if f.is_const() || !seen.insert(f.index()) {
+                continue;
+            }
+            let lvl = self.level(f);
+            let _ = writeln!(out, "  n{} [label=\"{}\"];", f.index(), var_name(lvl));
+            let lo = self.low(f);
+            let hi = self.high(f);
+            let _ = writeln!(out, "  n{} -> {} [style=dashed];", f.index(), node_name(lo));
+            let _ = writeln!(out, "  n{} -> {};", f.index(), node_name(hi));
+            stack.push(lo);
+            stack.push(hi);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn node_name(f: Bdd) -> String {
+    match f {
+        Bdd::FALSE => "f0".to_string(),
+        Bdd::TRUE => "f1".to_string(),
+        other => format!("n{}", other.index()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Var;
+
+    #[test]
+    fn dot_contains_structure() {
+        let mut m = BddManager::new(2);
+        let a = m.var(Var(0));
+        let b = m.var(Var(1));
+        let f = m.and(a, b).unwrap();
+        let dot = m.to_dot(&[("f", f)], |v| format!("x{v}"));
+        assert!(dot.starts_with("digraph bdd {"));
+        assert!(dot.contains("\"f\""));
+        assert!(dot.contains("x0"));
+        assert!(dot.contains("x1"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_of_constant() {
+        let m = BddManager::new(1);
+        let dot = m.to_dot(&[("t", Bdd::TRUE)], |v| format!("v{v}"));
+        assert!(dot.contains("\"t\" -> f1"));
+    }
+}

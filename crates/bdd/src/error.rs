@@ -1,0 +1,74 @@
+//! Error type for fallible BDD operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by [`crate::BddManager`] operations.
+///
+/// The first two variants exist to reproduce the resource-exhaustion
+/// outcomes (`M.O.` and `T.O.`) of the paper's Table 2: a manager can be
+/// configured with a live-node ceiling and a wall-clock deadline, and any
+/// operation that would exceed them aborts with the corresponding error
+/// instead of thrashing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BddError {
+    /// The configured node limit was exceeded ("memory out").
+    NodeLimit {
+        /// The configured ceiling on allocated (live) nodes.
+        limit: usize,
+    },
+    /// The configured deadline passed during an operation ("time out").
+    Deadline,
+    /// A [`crate::Var`] outside the manager's variable range was used.
+    VarOutOfRange {
+        /// The offending variable level.
+        var: u32,
+        /// Number of variables the manager was created with.
+        num_vars: u32,
+    },
+    /// The 32-bit node index space was exhausted.
+    Capacity,
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::NodeLimit { limit } => {
+                write!(f, "bdd node limit of {limit} nodes exceeded")
+            }
+            BddError::Deadline => write!(f, "bdd operation deadline exceeded"),
+            BddError::VarOutOfRange { var, num_vars } => {
+                write!(f, "variable v{var} out of range (manager has {num_vars} variables)")
+            }
+            BddError::Capacity => write!(f, "bdd node index space exhausted"),
+        }
+    }
+}
+
+impl Error for BddError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            BddError::NodeLimit { limit: 10 }.to_string(),
+            "bdd node limit of 10 nodes exceeded"
+        );
+        assert_eq!(BddError::Deadline.to_string(), "bdd operation deadline exceeded");
+        assert_eq!(
+            BddError::VarOutOfRange { var: 9, num_vars: 4 }.to_string(),
+            "variable v9 out of range (manager has 4 variables)"
+        );
+        assert_eq!(BddError::Capacity.to_string(), "bdd node index space exhausted");
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<BddError>();
+    }
+}

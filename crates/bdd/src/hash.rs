@@ -1,0 +1,120 @@
+//! A small, fast, non-cryptographic hasher for interior hash tables.
+//!
+//! The unique table and the computed cache hash millions of small integer
+//! keys; `std`'s SipHash is needlessly slow for that. This is the classic
+//! Fx multiply-rotate mix (as used by rustc), implemented locally to keep
+//! the crate dependency-free.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Fx hash family (64-bit golden ratio).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast hasher for small fixed-size keys (node triples, cache keys).
+///
+/// Not suitable for untrusted input (no DoS resistance), which is fine for
+/// interior tables keyed on node indices.
+#[derive(Default, Debug, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(u64::from(n));
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; plug into `HashMap::with_hasher`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the fast interior hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the fast interior hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&(1u32, 2u32, 3u32)), hash_of(&(1u32, 2u32, 3u32)));
+    }
+
+    #[test]
+    fn distinguishes_small_keys() {
+        let a = hash_of(&(1u32, 2u32, 3u32));
+        let b = hash_of(&(1u32, 3u32, 2u32));
+        let c = hash_of(&(2u32, 1u32, 3u32));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i.wrapping_mul(7)), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, i.wrapping_mul(7))), Some(&i));
+        }
+    }
+
+    #[test]
+    fn spread_is_reasonable() {
+        // Sequential keys should not collapse into a few buckets.
+        let mut buckets = [0u32; 64];
+        for i in 0..4096u32 {
+            let h = hash_of(&(i, 0u32, 0u32));
+            buckets[(h >> 58) as usize] += 1;
+        }
+        let max = buckets.iter().copied().max().unwrap();
+        assert!(max < 4096 / 8, "pathological clustering: {max}");
+    }
+}

@@ -1,0 +1,83 @@
+//! # bfvr-bdd — a reduced ordered binary decision diagram (ROBDD) package
+//!
+//! This crate is the Boolean-function substrate for the `bfvr` project, a
+//! reproduction of *"Set Manipulation with Boolean Functional Vectors for
+//! Symbolic Reachability Analysis"* (Goel & Bryant, DATE 2003). It provides
+//! the machinery a 2003-era model checker obtained from CUDD/VIS:
+//!
+//! * hash-consed ROBDD nodes with a fixed variable order ([`BddManager`]),
+//! * logical operations through an ITE core with a computed cache
+//!   ([`BddManager::ite`], [`BddManager::and`], ...),
+//! * existential/universal quantification and the relational product
+//!   ([`BddManager::exists`], [`BddManager::and_exists`]),
+//! * functional composition, simultaneous vector composition and variable
+//!   permutation ([`BddManager::compose`], [`BddManager::vector_compose`]),
+//! * the generalized cofactor (`constrain`) and `restrict` operators of
+//!   Coudert/Berthet/Madre ([`BddManager::constrain`],
+//!   [`BddManager::restrict`]),
+//! * structural exploration: support, DAG sizes, satisfying-assignment
+//!   counts, minterm extraction and DOT export,
+//! * irredundant sum-of-products extraction (Minato–Morreale ISOP,
+//!   [`BddManager::isop`]),
+//! * cross-manager transfer under a variable mapping
+//!   ([`BddManager::transfer_from`]) for variable-order studies,
+//! * mark-sweep garbage collection with stable node ids and live/peak node
+//!   accounting (the "Peak(K)" metric of the paper's Table 2), and
+//! * optional node-count and deadline resource limits so long traversals
+//!   can reproduce the paper's `T.O.`/`M.O.` outcomes gracefully.
+//!
+//! The package is deliberately single-threaded and uses plain `u32` node
+//! handles ([`Bdd`]): exactly one manager owns all nodes, and all operations
+//! take `&mut BddManager`. Handles stay valid across garbage collections as
+//! long as they are reachable from the roots passed to
+//! [`BddManager::collect_garbage`].
+//!
+//! ## Example
+//!
+//! ```
+//! use bfvr_bdd::{BddManager, Var};
+//!
+//! # fn main() -> Result<(), bfvr_bdd::BddError> {
+//! let mut m = BddManager::new(3);
+//! let (a, b, c) = (m.var(Var(0)), m.var(Var(1)), m.var(Var(2)));
+//! // f = (a ∧ b) ∨ c
+//! let ab = m.and(a, b)?;
+//! let f = m.or(ab, c)?;
+//! assert_eq!(m.sat_count(f, 3), 5.0);
+//! // Quantify a out: ∃a. f = b ∨ c
+//! let cube = m.cube_from_vars(&[Var(0)])?;
+//! let g = m.exists(f, cube)?;
+//! let bc = m.or(b, c)?;
+//! assert_eq!(g, bc);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apply;
+mod compose;
+mod constrain;
+mod dot;
+mod error;
+mod explore;
+pub mod hash;
+mod isop;
+mod manager;
+mod node;
+mod quant;
+mod transfer;
+
+pub use error::BddError;
+pub use explore::{CubeIter, Support};
+pub use isop::Cube;
+pub use manager::{BddManager, GcStats, ManagerStats};
+pub use node::{Bdd, Var};
+
+/// Convenient result alias for fallible BDD operations.
+///
+/// All operations that may allocate nodes return `Result` because the
+/// manager enforces optional node-count and deadline limits (used to
+/// reproduce the `T.O.`/`M.O.` outcomes in the paper's Table 2).
+pub type Result<T, E = BddError> = std::result::Result<T, E>;

@@ -1,0 +1,562 @@
+//! The BDD manager: node arena, unique table, computed cache, GC, limits.
+
+use std::time::Instant;
+
+use crate::error::BddError;
+use crate::hash::FxHashMap;
+use crate::node::{Bdd, Node, Var, FREE_LEVEL, TERMINAL_LEVEL};
+use crate::Result;
+
+/// Sentinel for "no next entry" in the free list.
+const FREE_END: u32 = u32::MAX;
+
+/// How often (in node allocations) the deadline is polled.
+const DEADLINE_POLL_MASK: u64 = 0x1FFF;
+
+/// Default maximum number of memoized results before the computed cache is
+/// wholesale cleared (a standard CUDD-style safety valve).
+const DEFAULT_CACHE_LIMIT: usize = 1 << 22;
+
+/// Key into the computed cache: operation tag plus up to three operands.
+pub(crate) type CacheKey = (u8, u32, u32, u32);
+
+/// Operation tags for the computed cache.
+pub(crate) mod op {
+    pub const ITE: u8 = 1;
+    pub const EXISTS: u8 = 2;
+    pub const FORALL: u8 = 3;
+    pub const AND_EXISTS: u8 = 4;
+    pub const CONSTRAIN: u8 = 5;
+    pub const RESTRICT: u8 = 6;
+}
+
+/// Counters describing the current state of a [`BddManager`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Nodes currently allocated (terminals + variables + interior).
+    pub allocated_nodes: usize,
+    /// High-water mark of `allocated_nodes` over the manager's lifetime.
+    pub peak_nodes: usize,
+    /// Total node creations (including unique-table hits).
+    pub mk_calls: u64,
+    /// Computed-cache lookups.
+    pub cache_lookups: u64,
+    /// Computed-cache hits.
+    pub cache_hits: u64,
+    /// Garbage collections performed.
+    pub gc_runs: u64,
+    /// Nodes reclaimed across all garbage collections.
+    pub gc_reclaimed: u64,
+}
+
+/// Result of one garbage collection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GcStats {
+    /// Nodes reclaimed by this collection.
+    pub collected: usize,
+    /// Nodes still live after this collection.
+    pub live: usize,
+}
+
+/// An ROBDD manager with a fixed variable order.
+///
+/// All nodes live in one arena owned by the manager; [`Bdd`] handles are
+/// indices into it. Operations take `&mut self` because they allocate nodes
+/// and consult the computed cache. See the [crate root](crate) for an
+/// overview and example.
+///
+/// # Resource limits
+///
+/// [`BddManager::set_node_limit`] and [`BddManager::set_deadline`] arm
+/// ceilings that make any allocating operation fail with
+/// [`BddError::NodeLimit`] / [`BddError::Deadline`]. This is how the
+/// reachability engines reproduce the `M.O.`/`T.O.` entries of the paper's
+/// Table 2 without thrashing the host.
+#[derive(Debug)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: FxHashMap<(u32, u32, u32), u32>,
+    free_head: u32,
+    free_count: usize,
+    cache: FxHashMap<CacheKey, u32>,
+    cache_limit: usize,
+    num_vars: u32,
+    /// Pre-built positive literal for each variable (stable, protected).
+    var_nodes: Vec<u32>,
+    node_limit: usize,
+    deadline: Option<Instant>,
+    protected: FxHashMap<u32, u32>,
+    stats: ManagerStats,
+}
+
+impl BddManager {
+    /// Creates a manager for functions over `num_vars` variables,
+    /// `Var(0) .. Var(num_vars - 1)`, with `Var(0)` at the top of the
+    /// (fixed) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars` exceeds `u32::MAX - 2` (index space for
+    /// sentinels).
+    pub fn new(num_vars: u32) -> Self {
+        assert!(num_vars < u32::MAX - 2, "too many variables");
+        let mut m = BddManager {
+            nodes: Vec::with_capacity(num_vars as usize + 2),
+            unique: FxHashMap::default(),
+            free_head: FREE_END,
+            free_count: 0,
+            cache: FxHashMap::default(),
+            cache_limit: DEFAULT_CACHE_LIMIT,
+            num_vars,
+            var_nodes: Vec::with_capacity(num_vars as usize),
+            node_limit: usize::MAX,
+            deadline: None,
+            protected: FxHashMap::default(),
+            stats: ManagerStats::default(),
+        };
+        // Terminals occupy slots 0 and 1.
+        m.nodes.push(Node { var: TERMINAL_LEVEL, lo: 0, hi: 0 });
+        m.nodes.push(Node { var: TERMINAL_LEVEL, lo: 1, hi: 1 });
+        for v in 0..num_vars {
+            let id = m
+                .mk(v, Bdd::FALSE, Bdd::TRUE)
+                .expect("variable nodes fit within fresh manager limits");
+            m.var_nodes.push(id.0);
+        }
+        m.stats.allocated_nodes = m.nodes.len();
+        m.stats.peak_nodes = m.nodes.len();
+        m
+    }
+
+    /// Number of variables in the manager's order.
+    #[inline]
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// The function of a single positive literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the manager's variable range; variables are
+    /// fixed at construction, so this is a programming error.
+    #[inline]
+    pub fn var(&self, v: Var) -> Bdd {
+        assert!(v.0 < self.num_vars, "variable {v} out of range");
+        Bdd(self.var_nodes[v.0 as usize])
+    }
+
+    /// The function of a single negative literal (`¬v`).
+    ///
+    /// # Errors
+    ///
+    /// Fails only on resource-limit exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the manager's variable range.
+    pub fn nvar(&mut self, v: Var) -> Result<Bdd> {
+        assert!(v.0 < self.num_vars, "variable {v} out of range");
+        self.mk(v.0, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    /// Arms a ceiling on allocated nodes; exceeded ⇒ [`BddError::NodeLimit`].
+    pub fn set_node_limit(&mut self, limit: usize) {
+        self.node_limit = limit;
+    }
+
+    /// Removes the node ceiling.
+    pub fn clear_node_limit(&mut self) {
+        self.node_limit = usize::MAX;
+    }
+
+    /// Arms a wall-clock deadline; passed ⇒ [`BddError::Deadline`].
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Caps the computed cache (entries); the cache is cleared when full.
+    pub fn set_cache_limit(&mut self, limit: usize) {
+        self.cache_limit = limit.max(1);
+    }
+
+    /// Current counters (allocation, cache and GC statistics).
+    pub fn stats(&self) -> ManagerStats {
+        let mut s = self.stats;
+        s.allocated_nodes = self.allocated();
+        s
+    }
+
+    /// Nodes currently allocated (live from the manager's point of view).
+    #[inline]
+    pub fn allocated(&self) -> usize {
+        self.nodes.len() - self.free_count
+    }
+
+    /// High-water mark of allocated nodes.
+    #[inline]
+    pub fn peak_nodes(&self) -> usize {
+        self.stats.peak_nodes
+    }
+
+    /// Resets the peak-node high-water mark to the current allocation.
+    pub fn reset_peak_nodes(&mut self) {
+        self.stats.peak_nodes = self.allocated();
+    }
+
+    // ----- node access -------------------------------------------------
+
+    /// Level of the decision variable of `f` (`u32::MAX` for terminals).
+    #[inline]
+    pub(crate) fn level(&self, f: Bdd) -> u32 {
+        self.nodes[f.0 as usize].var
+    }
+
+    /// Decision variable of a non-terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    #[inline]
+    pub fn top_var(&self, f: Bdd) -> Var {
+        let v = self.level(f);
+        assert!(v < self.num_vars, "top_var of a terminal");
+        Var(v)
+    }
+
+    /// Low (else) child of a non-terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    #[inline]
+    pub fn low(&self, f: Bdd) -> Bdd {
+        assert!(!f.is_const(), "low of a terminal");
+        Bdd(self.nodes[f.0 as usize].lo)
+    }
+
+    /// High (then) child of a non-terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    #[inline]
+    pub fn high(&self, f: Bdd) -> Bdd {
+        assert!(!f.is_const(), "high of a terminal");
+        Bdd(self.nodes[f.0 as usize].hi)
+    }
+
+    /// Cofactors of `f` with respect to level `lvl`: `(f|lvl=0, f|lvl=1)`.
+    ///
+    /// `lvl` must be ≤ the level of `f`'s top variable (standard apply-step
+    /// usage); if `f`'s top is below `lvl`, both cofactors are `f`.
+    #[inline]
+    pub(crate) fn cofactors_at(&self, f: Bdd, lvl: u32) -> (Bdd, Bdd) {
+        let n = self.nodes[f.0 as usize];
+        if n.var == lvl {
+            (Bdd(n.lo), Bdd(n.hi))
+        } else {
+            (f, f)
+        }
+    }
+
+    // ----- node creation ------------------------------------------------
+
+    /// Finds or creates the node `(var, lo, hi)`, applying the reduction
+    /// rule `lo == hi ⇒ lo`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on node-limit, deadline or index-space exhaustion.
+    pub(crate) fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Result<Bdd> {
+        debug_assert!(var < self.num_vars);
+        debug_assert!(self.level(lo) > var && self.level(hi) > var, "order violation");
+        self.stats.mk_calls += 1;
+        if lo == hi {
+            return Ok(lo);
+        }
+        if let Some(&id) = self.unique.get(&(var, lo.0, hi.0)) {
+            return Ok(Bdd(id));
+        }
+        // Resource checks on the slow (allocating) path only.
+        if self.allocated() >= self.node_limit {
+            return Err(BddError::NodeLimit { limit: self.node_limit });
+        }
+        if self.stats.mk_calls & DEADLINE_POLL_MASK == 0 {
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    return Err(BddError::Deadline);
+                }
+            }
+        }
+        let node = Node { var, lo: lo.0, hi: hi.0 };
+        let id = if self.free_head != FREE_END {
+            let slot = self.free_head;
+            self.free_head = self.nodes[slot as usize].lo;
+            self.free_count -= 1;
+            self.nodes[slot as usize] = node;
+            slot
+        } else {
+            if self.nodes.len() >= (u32::MAX - 2) as usize {
+                return Err(BddError::Capacity);
+            }
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        };
+        self.unique.insert((var, lo.0, hi.0), id);
+        let alloc = self.allocated();
+        if alloc > self.stats.peak_nodes {
+            self.stats.peak_nodes = alloc;
+        }
+        Ok(Bdd(id))
+    }
+
+    // ----- computed cache -------------------------------------------------
+
+    #[inline]
+    pub(crate) fn cache_get(&mut self, key: CacheKey) -> Option<Bdd> {
+        self.stats.cache_lookups += 1;
+        let hit = self.cache.get(&key).copied().map(Bdd);
+        if hit.is_some() {
+            self.stats.cache_hits += 1;
+        }
+        hit
+    }
+
+    #[inline]
+    pub(crate) fn cache_put(&mut self, key: CacheKey, val: Bdd) {
+        if self.cache.len() >= self.cache_limit {
+            self.cache.clear();
+        }
+        self.cache.insert(key, val.0);
+    }
+
+    /// Clears the computed cache (memoized operation results).
+    ///
+    /// Purely a memory/performance knob; never affects results.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    // ----- protection & garbage collection -------------------------------
+
+    /// Pins `f` (and everything it references) across garbage collections.
+    ///
+    /// Protection is counted: matching calls to [`BddManager::unprotect`]
+    /// release it.
+    pub fn protect(&mut self, f: Bdd) {
+        *self.protected.entry(f.0).or_insert(0) += 1;
+    }
+
+    /// Releases one level of protection added by [`BddManager::protect`].
+    ///
+    /// Unprotecting a handle that is not protected is a no-op.
+    pub fn unprotect(&mut self, f: Bdd) {
+        if let Some(c) = self.protected.get_mut(&f.0) {
+            *c -= 1;
+            if *c == 0 {
+                self.protected.remove(&f.0);
+            }
+        }
+    }
+
+    /// Reclaims every node not reachable from `roots`, the protected set,
+    /// or the per-variable literal nodes. Handles to live nodes remain
+    /// valid; the computed cache is cleared.
+    pub fn collect_garbage(&mut self, roots: &[Bdd]) -> GcStats {
+        let mut mark = vec![false; self.nodes.len()];
+        mark[0] = true;
+        mark[1] = true;
+        let mut stack: Vec<u32> = Vec::new();
+        for &r in roots {
+            stack.push(r.0);
+        }
+        stack.extend(self.protected.keys().copied());
+        stack.extend(self.var_nodes.iter().copied());
+        while let Some(i) = stack.pop() {
+            if mark[i as usize] {
+                continue;
+            }
+            mark[i as usize] = true;
+            let n = self.nodes[i as usize];
+            if n.var < self.num_vars {
+                if !mark[n.lo as usize] {
+                    stack.push(n.lo);
+                }
+                if !mark[n.hi as usize] {
+                    stack.push(n.hi);
+                }
+            }
+        }
+        let mut collected = 0;
+        #[allow(clippy::needless_range_loop)] // reads nodes[i] and writes nodes[i]
+        for i in 2..self.nodes.len() {
+            let n = self.nodes[i];
+            if !mark[i] && n.var < self.num_vars {
+                self.unique.remove(&(n.var, n.lo, n.hi));
+                self.nodes[i] = Node { var: FREE_LEVEL, lo: self.free_head, hi: 0 };
+                self.free_head = i as u32;
+                self.free_count += 1;
+                collected += 1;
+            }
+        }
+        self.cache.clear();
+        self.stats.gc_runs += 1;
+        self.stats.gc_reclaimed += collected as u64;
+        GcStats { collected, live: self.allocated() }
+    }
+
+    /// Counts the nodes reachable from `roots` (shared live size) without
+    /// collecting anything. Terminals are not counted.
+    pub fn live_from(&self, roots: &[Bdd]) -> usize {
+        let mut mark = vec![false; self.nodes.len()];
+        let mut stack: Vec<u32> = roots.iter().map(|b| b.0).collect();
+        let mut count = 0;
+        while let Some(i) = stack.pop() {
+            if mark[i as usize] {
+                continue;
+            }
+            mark[i as usize] = true;
+            let n = self.nodes[i as usize];
+            if n.var < self.num_vars {
+                count += 1;
+                stack.push(n.lo);
+                stack.push(n.hi);
+            }
+        }
+        count
+    }
+
+    /// Checks whether the node slot is live (not freed); for debug tooling.
+    #[cfg(test)]
+    pub(crate) fn is_live(&self, f: Bdd) -> bool {
+        (f.0 as usize) < self.nodes.len() && self.nodes[f.0 as usize].var != FREE_LEVEL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_vars() {
+        let m = BddManager::new(3);
+        assert_eq!(m.num_vars(), 3);
+        assert_eq!(m.allocated(), 5); // 2 terminals + 3 literals
+        let a = m.var(Var(0));
+        assert_eq!(m.top_var(a), Var(0));
+        assert_eq!(m.low(a), Bdd::FALSE);
+        assert_eq!(m.high(a), Bdd::TRUE);
+    }
+
+    #[test]
+    fn mk_is_hash_consed_and_reduced() {
+        let mut m = BddManager::new(2);
+        let n1 = m.mk(0, Bdd::FALSE, Bdd::TRUE).unwrap();
+        let n2 = m.mk(0, Bdd::FALSE, Bdd::TRUE).unwrap();
+        assert_eq!(n1, n2);
+        let red = m.mk(1, Bdd::TRUE, Bdd::TRUE).unwrap();
+        assert_eq!(red, Bdd::TRUE);
+    }
+
+    #[test]
+    fn node_limit_trips() {
+        let mut m = BddManager::new(8);
+        m.set_node_limit(m.allocated()); // no headroom
+        let err = m.nvar(Var(0)).unwrap_err();
+        assert_eq!(err, BddError::NodeLimit { limit: 10 });
+        m.clear_node_limit();
+        assert!(m.nvar(Var(0)).is_ok());
+    }
+
+    #[test]
+    fn deadline_trips_eventually() {
+        let mut m = BddManager::new(4);
+        m.set_deadline(Some(Instant::now() - std::time::Duration::from_secs(1)));
+        // The poll only fires every DEADLINE_POLL_MASK+1 mk calls; hammer it.
+        let mut r = Ok(Bdd::TRUE);
+        'outer: for _ in 0..DEADLINE_POLL_MASK + 2 {
+            for v in 0..4 {
+                r = m.nvar(Var(v));
+                if r.is_err() {
+                    break 'outer;
+                }
+                // Force fresh allocations by collecting in between.
+                m.collect_garbage(&[]);
+            }
+        }
+        assert_eq!(r.unwrap_err(), BddError::Deadline);
+    }
+
+    #[test]
+    fn gc_reclaims_unrooted() {
+        let mut m = BddManager::new(4);
+        let a = m.var(Var(0));
+        let b = m.var(Var(1));
+        let nb = m.nvar(Var(1)).unwrap();
+        let g = m.mk(0, nb, b).unwrap();
+        let before = m.allocated();
+        let stats = m.collect_garbage(&[g]);
+        assert_eq!(stats.live, before); // everything is reachable or a literal
+        let stats = m.collect_garbage(&[]);
+        assert_eq!(stats.collected, 2); // g and nb die; literals stay
+        assert!(m.is_live(a));
+        assert!(!m.is_live(g));
+    }
+
+    #[test]
+    fn protection_survives_gc_and_is_counted() {
+        let mut m = BddManager::new(2);
+        let nb = m.nvar(Var(1)).unwrap();
+        m.protect(nb);
+        m.protect(nb);
+        m.collect_garbage(&[]);
+        assert!(m.is_live(nb));
+        m.unprotect(nb);
+        m.collect_garbage(&[]);
+        assert!(m.is_live(nb)); // still one protection left
+        m.unprotect(nb);
+        m.collect_garbage(&[]);
+        assert!(!m.is_live(nb));
+    }
+
+    #[test]
+    fn freed_slots_are_recycled() {
+        let mut m = BddManager::new(3);
+        let x = m.nvar(Var(2)).unwrap();
+        let slot = x.0;
+        m.collect_garbage(&[]);
+        let y = m.nvar(Var(2)).unwrap();
+        assert_eq!(y.0, slot, "slot should be recycled");
+    }
+
+    #[test]
+    fn live_from_counts_shared_structure() {
+        let mut m = BddManager::new(3);
+        let b = m.var(Var(1));
+        let f = m.mk(0, b, Bdd::TRUE).unwrap();
+        // f shares b; counting both roots must not double count.
+        assert_eq!(m.live_from(&[f, b]), 2);
+        assert_eq!(m.live_from(&[Bdd::TRUE]), 0);
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut m = BddManager::new(4);
+        let base = m.allocated();
+        let x = m.nvar(Var(1)).unwrap();
+        let _ = m.mk(0, x, Bdd::TRUE).unwrap();
+        assert_eq!(m.peak_nodes(), base + 2);
+        m.collect_garbage(&[]);
+        assert_eq!(m.peak_nodes(), base + 2);
+        m.reset_peak_nodes();
+        assert_eq!(m.peak_nodes(), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn var_out_of_range_panics() {
+        let m = BddManager::new(1);
+        let _ = m.var(Var(5));
+    }
+}

@@ -1,0 +1,143 @@
+//! Node handles, variable handles and the packed node representation.
+
+use std::fmt;
+
+/// A handle to a BDD node owned by a [`crate::BddManager`].
+///
+/// Handles are plain indices; they are `Copy`, 4 bytes, and remain valid
+/// across garbage collections as long as the node is reachable from the
+/// roots supplied to [`crate::BddManager::collect_garbage`]. The two
+/// terminal nodes have dedicated constants, [`Bdd::FALSE`] and
+/// [`Bdd::TRUE`].
+///
+/// A `Bdd` is only meaningful together with the manager that created it;
+/// mixing handles from different managers is a logic error (caught only on
+/// out-of-range indices).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// The terminal node for the constant function `0` (the empty set).
+    pub const FALSE: Bdd = Bdd(0);
+    /// The terminal node for the constant function `1` (the universe).
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Returns `true` if this handle is one of the two terminal nodes.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// Returns `true` if this is the constant-false terminal.
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self == Bdd::FALSE
+    }
+
+    /// Returns `true` if this is the constant-true terminal.
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self == Bdd::TRUE
+    }
+
+    /// Raw index of the node in the manager arena.
+    ///
+    /// Exposed for hashing/interning by higher layers (e.g. memo tables
+    /// keyed on vectors of nodes); not useful for interpreting the node.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Bdd::FALSE => write!(f, "Bdd(⊥)"),
+            Bdd::TRUE => write!(f, "Bdd(⊤)"),
+            Bdd(i) => write!(f, "Bdd({i})"),
+        }
+    }
+}
+
+/// A BDD variable, identified by its *level* in the fixed variable order.
+///
+/// The manager is created with a fixed number of variables; `Var(0)` is the
+/// topmost (highest-weight) variable, `Var(n-1)` the bottommost. Higher
+/// layers map design signals (latches, inputs, choice variables) onto
+/// levels — see the `bfvr-sim` crate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The level of this variable (0 = top of the order).
+    #[inline]
+    pub fn level(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Level value used by terminal nodes (and free slots): sorts after every
+/// real variable, so `min(var(f), var(g))` naturally skips terminals.
+pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
+
+/// Level value marking a recycled (dead) node slot on the free list.
+pub(crate) const FREE_LEVEL: u32 = u32::MAX - 1;
+
+/// Packed in-arena node: decision variable level plus the two cofactors.
+///
+/// Terminals use `var == TERMINAL_LEVEL`; free-list entries use
+/// `var == FREE_LEVEL` and store the next free slot in `lo`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct Node {
+    pub var: u32,
+    pub lo: u32,
+    pub hi: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_are_const() {
+        assert!(Bdd::FALSE.is_const());
+        assert!(Bdd::TRUE.is_const());
+        assert!(Bdd::FALSE.is_false());
+        assert!(Bdd::TRUE.is_true());
+        assert!(!Bdd(7).is_const());
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", Bdd::FALSE), "Bdd(⊥)");
+        assert_eq!(format!("{:?}", Bdd::TRUE), "Bdd(⊤)");
+        assert_eq!(format!("{:?}", Bdd(5)), "Bdd(5)");
+        assert_eq!(format!("{:?}", Var(3)), "v3");
+        assert_eq!(format!("{}", Var(3)), "v3");
+    }
+
+    #[test]
+    fn ordering_of_handles_is_by_index() {
+        assert!(Bdd::FALSE < Bdd::TRUE);
+        assert!(Bdd(2) < Bdd(3));
+    }
+
+    #[test]
+    fn node_is_small() {
+        assert_eq!(std::mem::size_of::<Node>(), 12);
+        assert_eq!(std::mem::size_of::<Bdd>(), 4);
+    }
+}

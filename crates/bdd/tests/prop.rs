@@ -1,0 +1,254 @@
+//! Property tests: random formulas checked against a truth-table oracle.
+
+use bfvr_bdd::{Bdd, BddManager, Var};
+use proptest::prelude::*;
+
+const NVARS: u32 = 5;
+
+/// A tiny formula AST used to generate random functions.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u32),
+    Const(bool),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self, asg: &[bool]) -> bool {
+        match self {
+            Expr::Var(v) => asg[*v as usize],
+            Expr::Const(b) => *b,
+            Expr::Not(a) => !a.eval(asg),
+            Expr::And(a, b) => a.eval(asg) && b.eval(asg),
+            Expr::Or(a, b) => a.eval(asg) || b.eval(asg),
+            Expr::Xor(a, b) => a.eval(asg) ^ b.eval(asg),
+            Expr::Ite(c, t, e) => {
+                if c.eval(asg) {
+                    t.eval(asg)
+                } else {
+                    e.eval(asg)
+                }
+            }
+        }
+    }
+
+    fn build(&self, m: &mut BddManager) -> Bdd {
+        match self {
+            Expr::Var(v) => m.var(Var(*v)),
+            Expr::Const(true) => Bdd::TRUE,
+            Expr::Const(false) => Bdd::FALSE,
+            Expr::Not(a) => {
+                let a = a.build(m);
+                m.not(a).unwrap()
+            }
+            Expr::And(a, b) => {
+                let (a, b) = (a.build(m), b.build(m));
+                m.and(a, b).unwrap()
+            }
+            Expr::Or(a, b) => {
+                let (a, b) = (a.build(m), b.build(m));
+                m.or(a, b).unwrap()
+            }
+            Expr::Xor(a, b) => {
+                let (a, b) = (a.build(m), b.build(m));
+                m.xor(a, b).unwrap()
+            }
+            Expr::Ite(c, t, e) => {
+                let (c, t, e) = (c.build(m), t.build(m), e.build(m));
+                m.ite(c, t, e).unwrap()
+            }
+        }
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..NVARS).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| Expr::Not(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0u32..1 << NVARS).map(|bits| (0..NVARS).map(|i| (bits >> (NVARS - 1 - i)) & 1 == 1).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bdd_matches_oracle(e in expr_strategy()) {
+        let mut m = BddManager::new(NVARS);
+        let f = e.build(&mut m);
+        for asg in assignments() {
+            prop_assert_eq!(m.eval(f, &asg), e.eval(&asg));
+        }
+    }
+
+    #[test]
+    fn semantically_equal_exprs_get_same_node(e in expr_strategy()) {
+        // Canonicity: rebuilding ¬¬e and e ∨ e must give the identical node.
+        let mut m = BddManager::new(NVARS);
+        let f = e.build(&mut m);
+        let nf = m.not(f).unwrap();
+        let nnf = m.not(nf).unwrap();
+        prop_assert_eq!(f, nnf);
+        let ff = m.or(f, f).unwrap();
+        prop_assert_eq!(f, ff);
+    }
+
+    #[test]
+    fn sat_count_matches_all_sat(e in expr_strategy()) {
+        let mut m = BddManager::new(NVARS);
+        let f = e.build(&mut m);
+        let sats = m.all_sat(f, NVARS);
+        prop_assert_eq!(m.sat_count(f, NVARS) as usize, sats.len());
+        prop_assert_eq!(m.sat_count_exact(f, NVARS), Some(sats.len() as u128));
+    }
+
+    #[test]
+    fn exists_matches_oracle(e in expr_strategy(), v in 0..NVARS) {
+        let mut m = BddManager::new(NVARS);
+        let f = e.build(&mut m);
+        let cube = m.cube_from_vars(&[Var(v)]).unwrap();
+        let ex = m.exists(f, cube).unwrap();
+        let fa = m.forall(f, cube).unwrap();
+        for asg in assignments() {
+            let mut a0 = asg.clone();
+            a0[v as usize] = false;
+            let mut a1 = asg.clone();
+            a1[v as usize] = true;
+            let or = e.eval(&a0) || e.eval(&a1);
+            let and = e.eval(&a0) && e.eval(&a1);
+            prop_assert_eq!(m.eval(ex, &asg), or);
+            prop_assert_eq!(m.eval(fa, &asg), and);
+        }
+    }
+
+    #[test]
+    fn and_exists_is_relational_product(
+        e1 in expr_strategy(),
+        e2 in expr_strategy(),
+        v1 in 0..NVARS,
+        v2 in 0..NVARS,
+    ) {
+        let mut m = BddManager::new(NVARS);
+        let f = e1.build(&mut m);
+        let g = e2.build(&mut m);
+        let cube = m.cube_from_vars(&[Var(v1), Var(v2)]).unwrap();
+        let direct = m.and_exists(f, g, cube).unwrap();
+        let fg = m.and(f, g).unwrap();
+        let two_step = m.exists(fg, cube).unwrap();
+        prop_assert_eq!(direct, two_step);
+    }
+
+    #[test]
+    fn constrain_and_restrict_agree_on_care_set(
+        e in expr_strategy(),
+        c in expr_strategy(),
+    ) {
+        let mut m = BddManager::new(NVARS);
+        let f = e.build(&mut m);
+        let care = c.build(&mut m);
+        prop_assume!(!care.is_false());
+        let con = m.constrain(f, care).unwrap();
+        let res = m.restrict(f, care).unwrap();
+        for asg in assignments() {
+            if m.eval(care, &asg) {
+                prop_assert_eq!(m.eval(con, &asg), e.eval(&asg));
+                prop_assert_eq!(m.eval(res, &asg), e.eval(&asg));
+            }
+        }
+        // restrict never grows the support beyond f's.
+        let sup_f = m.support(f);
+        let sup_r = m.support(res);
+        for v in sup_r.vars() {
+            prop_assert!(sup_f.contains(v), "restrict introduced {v}");
+        }
+    }
+
+    #[test]
+    fn vector_compose_matches_semantic_substitution(
+        e in expr_strategy(),
+        g0 in expr_strategy(),
+        g1 in expr_strategy(),
+    ) {
+        let mut m = BddManager::new(NVARS);
+        let f = e.build(&mut m);
+        let s0 = g0.build(&mut m);
+        let s1 = g1.build(&mut m);
+        let mut map = vec![None; NVARS as usize];
+        map[0] = Some(s0);
+        map[1] = Some(s1);
+        let composed = m.vector_compose(f, &map).unwrap();
+        for asg in assignments() {
+            let mut sub = asg.clone();
+            sub[0] = g0.eval(&asg);
+            sub[1] = g1.eval(&asg);
+            prop_assert_eq!(m.eval(composed, &asg), e.eval(&sub));
+        }
+    }
+
+    #[test]
+    fn cofactor_matches_oracle(e in expr_strategy(), v in 0..NVARS, val: bool) {
+        let mut m = BddManager::new(NVARS);
+        let f = e.build(&mut m);
+        let cf = m.cofactor(f, Var(v), val).unwrap();
+        for asg in assignments() {
+            let mut a = asg.clone();
+            a[v as usize] = val;
+            prop_assert_eq!(m.eval(cf, &asg), e.eval(&a));
+        }
+        // The cofactor no longer depends on v.
+        prop_assert!(!m.support(cf).contains(Var(v)));
+    }
+
+    #[test]
+    fn gc_preserves_rooted_functions(e in expr_strategy()) {
+        let mut m = BddManager::new(NVARS);
+        let f = e.build(&mut m);
+        let truth: Vec<bool> = assignments().map(|a| e.eval(&a)).collect();
+        m.collect_garbage(&[f]);
+        for (asg, expect) in assignments().zip(truth) {
+            prop_assert_eq!(m.eval(f, &asg), expect);
+        }
+    }
+
+    #[test]
+    fn permute_roundtrip(e in expr_strategy(), seed in any::<u64>()) {
+        let mut m = BddManager::new(NVARS);
+        let f = e.build(&mut m);
+        // Build a random permutation from the seed.
+        let mut perm: Vec<Var> = (0..NVARS).map(Var).collect();
+        let mut s = seed;
+        for i in (1..perm.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let g = m.permute(f, &perm).unwrap();
+        // Inverse permutation restores f.
+        let mut inv = vec![Var(0); NVARS as usize];
+        for (old, &new) in perm.iter().enumerate() {
+            inv[new.0 as usize] = Var(old as u32);
+        }
+        let back = m.permute(g, &inv).unwrap();
+        prop_assert_eq!(back, f);
+    }
+}

@@ -1,0 +1,78 @@
+//! Criterion benches for the core set operations (§2.3–§2.5): union and
+//! intersection cost as the component count grows, including the §2.4
+//! note that intersection needs quadratically many BDD operations, and
+//! the §2.7 conjunctive-decomposition variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bfvr_bdd::{Bdd, BddManager, Var};
+use bfvr_bfv::cdec::CDec;
+use bfvr_bfv::convert::from_characteristic;
+use bfvr_bfv::{ops, Bfv, Space};
+
+/// Builds a structured canonical set over `n` components: an interval
+/// constraint `value(v) ≥ T` (reading `v` as a big-endian integer)
+/// conjoined with a few seeded adjacent-bit equalities. Both pieces have
+/// linear-size BDDs, so the benchmark scales in the component count
+/// rather than in representation blow-up, and the all-ones point keeps
+/// every set non-empty.
+fn random_set(m: &mut BddManager, space: &Space, n: u32, seed: u64) -> Bfv {
+    let mut s = seed | 1;
+    // value(v) ≥ T, built lsb-up: geq_i over bits i..n-1.
+    let mut geq = Bdd::TRUE; // T's low bits exhausted: always ≥
+    for i in (0..n).rev() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let t_bit = s & 1 == 1;
+        let v = m.var(Var(i));
+        geq = if t_bit {
+            m.and(v, geq).unwrap() // need this bit set (or win earlier)
+        } else {
+            m.or(v, geq).unwrap() // this bit set wins outright
+        };
+    }
+    let mut chi = geq;
+    // A few adjacent equalities to create dependencies.
+    for k in 0..n / 8 {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let i = (s % u64::from(n - 1)) as u32;
+        let _ = k;
+        let a = m.var(Var(i));
+        let b = m.var(Var(i + 1));
+        let eq = m.xnor(a, b).unwrap();
+        chi = m.and(chi, eq).unwrap();
+    }
+    from_characteristic(m, space, chi).unwrap().expect("all-ones is always a member")
+}
+
+fn bench_setops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setops");
+    group.sample_size(20);
+    for n in [8u32, 16, 32, 64] {
+        let mut m = BddManager::new(n);
+        let space = Space::contiguous(n);
+        let f = random_set(&mut m, &space, n, 0xDEADBEEF);
+        let g = random_set(&mut m, &space, n, 0x12345678);
+        group.bench_with_input(BenchmarkId::new("union", n), &n, |b, _| {
+            b.iter(|| ops::union(&mut m, &space, &f, &g).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("intersect", n), &n, |b, _| {
+            b.iter(|| ops::intersect(&mut m, &space, &f, &g).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("exists", n), &n, |b, _| {
+            b.iter(|| ops::exists(&mut m, &space, &f, space.var(0)).unwrap());
+        });
+        let df = CDec::from_bfv(&mut m, &space, &f).unwrap();
+        let dg = CDec::from_bfv(&mut m, &space, &g).unwrap();
+        group.bench_with_input(BenchmarkId::new("cdec_union", n), &n, |b, _| {
+            b.iter(|| df.union(&mut m, &space, &dg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_setops);
+criterion_main!(benches);

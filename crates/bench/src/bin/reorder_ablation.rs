@@ -1,0 +1,53 @@
+//! Ablation for the paper's future-work item: greedy *component
+//! reordering* of the canonical functional vector (`bfv::reorder`).
+//! For each suite circuit's reached set, reports the shared size before
+//! and after sifting and the number of accepted swaps.
+//!
+//! ```sh
+//! cargo run --release -p bfvr-bench --bin reorder_ablation
+//! ```
+
+use bfvr_bfv::reorder::sift_components;
+use bfvr_bfv::StateSet;
+use bfvr_netlist::generators;
+use bfvr_reach::{reach_bfv, Outcome, ReachOptions};
+use bfvr_sim::{EncodedFsm, OrderHeuristic};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Component-reordering ablation (paper future work)");
+    println!();
+    println!("| circuit    | order | nodes before | nodes after | swaps | gain |");
+    println!("|------------|-------|--------------|-------------|-------|------|");
+    for (name, net) in generators::standard_suite() {
+        if matches!(name.as_str(), "gray8" | "cnt12" | "lfsr10" | "shift16") {
+            continue; // dense sets have no dependency structure to exploit
+        }
+        // The hostile declaration order leaves the most to recover.
+        for order in [OrderHeuristic::Declaration, OrderHeuristic::Reversed] {
+            let (mut m, fsm) = EncodedFsm::encode(&net, order)?;
+            let r = reach_bfv(&mut m, &fsm, &ReachOptions::default());
+            assert_eq!(r.outcome, Outcome::FixedPoint, "{name}");
+            let space = fsm.space();
+            let set = StateSet::from_characteristic(
+                &mut m,
+                &space,
+                r.reached_chi.expect("completed"),
+            )?;
+            let f = set.as_bfv().expect("non-empty");
+            let res = sift_components(&mut m, &space, f)?;
+            println!(
+                "| {:10} | {:5} | {:>12} | {:>11} | {:>5} | {:>3.0}% |",
+                name,
+                order.label(),
+                res.before,
+                res.after,
+                res.swaps_accepted,
+                100.0 * (res.before - res.after) as f64 / res.before.max(1) as f64,
+            );
+        }
+    }
+    println!();
+    println!("Sifting recovers dependency structure the initial component order hides;");
+    println!("0% rows are already optimally ordered (dense or symmetric sets).");
+    Ok(())
+}

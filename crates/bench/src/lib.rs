@@ -1,0 +1,115 @@
+//! # bfvr-bench — the paper's evaluation, regenerated
+//!
+//! Shared plumbing for the table/figure binaries and criterion benches.
+//! Each artifact of the paper's evaluation section maps to one binary
+//! (see `DESIGN.md` §4):
+//!
+//! | paper artifact | binary |
+//! |---|---|
+//! | Table 1 (set encodings) | `table1` |
+//! | Figures 1 vs 2 (flow comparison) | `fig1_fig2` |
+//! | Table 2 (reachability, engines × orders) | `table2` |
+//! | Table 3 (χ vs BFV sizes of reached sets) | `table3` |
+//! | §3 ordering example | `ordering_study` (plus `examples/ordering_study.rs`) |
+//! | §2.7 correspondence cost | `cdec_ablation` |
+//! | §3 quantification schedule | `schedule_ablation` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use bfvr_netlist::Netlist;
+use bfvr_reach::{run, EngineKind, ReachOptions, ReachResult};
+use bfvr_sim::{EncodedFsm, OrderHeuristic};
+
+/// The variable orders of the Table 2 reproduction, labeled like the
+/// paper's columns.
+pub fn table_orders() -> Vec<OrderHeuristic> {
+    vec![
+        OrderHeuristic::DfsFanin,
+        OrderHeuristic::Declaration,
+        OrderHeuristic::Reversed,
+        OrderHeuristic::Random(17),
+    ]
+}
+
+/// Runs one engine on one circuit under one order in a fresh manager.
+///
+/// # Panics
+///
+/// Panics if the circuit cannot be encoded (generator circuits always can).
+pub fn run_cell(
+    net: &Netlist,
+    order: OrderHeuristic,
+    engine: EngineKind,
+    opts: &ReachOptions,
+) -> ReachResult {
+    let (mut m, fsm) = EncodedFsm::encode(net, order).expect("suite circuits encode");
+    run(engine, &mut m, &fsm, opts)
+}
+
+/// Default per-cell limits for table runs (scaled-down analogue of the
+/// paper's 10 h / 1 GB budget).
+pub fn cell_limits(seconds: u64, nodes: usize) -> ReachOptions {
+    ReachOptions {
+        time_limit: Some(Duration::from_secs(seconds)),
+        node_limit: Some(nodes),
+        ..Default::default()
+    }
+}
+
+/// Formats a result like a Table 2 cell: `time(s)  peak(K)` or the
+/// outcome marker.
+pub fn format_cell(r: &ReachResult) -> String {
+    match r.outcome {
+        bfvr_reach::Outcome::FixedPoint => format!(
+            "{:>8.2} {:>8.1}",
+            r.elapsed.as_secs_f64(),
+            r.peak_nodes as f64 / 1000.0
+        ),
+        other => format!("{:>8} {:>8}", other.label(), "-"),
+    }
+}
+
+/// Markdown-ish row printer used by the table binaries.
+pub fn print_row(cols: &[String]) {
+    println!("| {} |", cols.join(" | "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfvr_netlist::generators;
+
+    #[test]
+    fn cell_runner_smoke() {
+        let net = generators::rotator(4);
+        let r = run_cell(
+            &net,
+            OrderHeuristic::DfsFanin,
+            EngineKind::Bfv,
+            &ReachOptions::default(),
+        );
+        assert_eq!(r.reached_states, Some(4.0));
+        assert!(format_cell(&r).contains('.'));
+    }
+
+    #[test]
+    fn limited_cell_reports_marker() {
+        let net = generators::gray(12);
+        let r = run_cell(
+            &net,
+            OrderHeuristic::DfsFanin,
+            EngineKind::Bfv,
+            &cell_limits(0, usize::MAX),
+        );
+        assert!(format_cell(&r).contains("T.O."));
+    }
+
+    #[test]
+    fn orders_cover_the_papers_spectrum() {
+        let labels: Vec<String> = table_orders().iter().map(|o| o.label()).collect();
+        assert_eq!(labels, vec!["S1", "S2", "D", "O17"]);
+    }
+}

@@ -1,0 +1,267 @@
+//! McMillan's conjunctive decomposition and its BFV correspondence (§2.7).
+//!
+//! For a canonical vector `F`, the vector of constraints
+//! `ĉ_i = (v_i ↔ f_i)` is a canonical *conjunctive decomposition* of the
+//! characteristic function: `χ = ⋀_i ĉ_i`, with each `ĉ_i` a function of
+//! `v_1 … v_i` only. Where `F` maps an input to a member, `Ĉ` states the
+//! per-bit membership constraints — the two views carry exactly the same
+//! information, component by component:
+//!
+//! ```text
+//! f_i = f_i¹ ∨ f_iᶜ·v_i        ĉ_i = (v_i ∧ ¬f_i⁰) ∨ (¬v_i ∧ ¬f_i¹)
+//! ```
+//!
+//! [`CDec`] stores the constraint view. Its set operations exploit the
+//! correspondence (as the paper observes, the two representations'
+//! algorithms "are in essence performing the same operations"): each
+//! operation converts the touched components — two BDD operations per
+//! component — and reuses the direct BFV algorithms. The
+//! [`CDec::conjoin_all`] helper and [`CDec::from_characteristic`]
+//! constructor use the `constrain` (generalized-cofactor) operator, the
+//! device McMillan's original algorithms are built on.
+
+use bfvr_bdd::{Bdd, BddManager};
+
+use crate::ops;
+use crate::vector::Bfv;
+use crate::{Result, Space};
+
+/// A canonical conjunctive decomposition `χ = ⋀_i c_i(v_1 … v_i)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CDec {
+    constraints: Vec<Bdd>,
+}
+
+impl CDec {
+    /// Builds the decomposition corresponding to a canonical vector:
+    /// `c_i = (v_i ↔ f_i)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on BDD resource-limit exhaustion.
+    pub fn from_bfv(m: &mut BddManager, space: &Space, f: &Bfv) -> Result<Self> {
+        let mut constraints = Vec::with_capacity(space.len());
+        for i in 0..space.len() {
+            let v = m.var(space.var(i));
+            constraints.push(m.xnor(v, f.component(i))?);
+        }
+        Ok(CDec { constraints })
+    }
+
+    /// Recovers the canonical vector: `f_i¹ = ¬c_i|v_i=0`,
+    /// `f_i⁰ = ¬c_i|v_i=1`, `f_i = f_i¹ ∨ (¬f_i¹ ∧ ¬f_i⁰) v_i`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on BDD resource-limit exhaustion.
+    pub fn to_bfv(&self, m: &mut BddManager, space: &Space) -> Result<Bfv> {
+        let mut comps = Vec::with_capacity(space.len());
+        for (i, &c) in self.constraints.iter().enumerate() {
+            let v = space.var(i);
+            let allow0 = m.cofactor(c, v, false)?;
+            let allow1 = m.cofactor(c, v, true)?;
+            let one = m.not(allow0)?;
+            let choice = m.and(allow0, allow1)?;
+            let vv = m.var(v);
+            let cv = m.and(choice, vv)?;
+            comps.push(m.or(one, cv)?);
+        }
+        Bfv::from_components(space, comps)
+    }
+
+    /// Builds the canonical decomposition of a characteristic function
+    /// using the `constrain`-based construction: with
+    /// `χ_i = ∃v_{i+1}…v_n. χ`, the i-th constraint is
+    /// `c_i = constrain(χ_i, χ_{i-1})`. Returns `None` for `χ = ⊥`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on BDD resource-limit exhaustion.
+    pub fn from_characteristic(
+        m: &mut BddManager,
+        space: &Space,
+        chi: Bdd,
+    ) -> Result<Option<Self>> {
+        if chi.is_false() {
+            return Ok(None);
+        }
+        let n = space.len();
+        // Projections χ_i, built bottom-up.
+        let mut proj = vec![Bdd::TRUE; n + 1];
+        proj[n] = chi;
+        #[allow(clippy::needless_range_loop)] // proj[i] and proj[i-1] both used
+        for i in (1..=n).rev() {
+            let cube = m.cube_from_vars(&[space.var(i - 1)])?;
+            proj[i - 1] = m.exists(proj[i], cube)?;
+        }
+        // proj[0] quantifies everything: must be ⊤ for a nonempty set.
+        debug_assert!(proj[0].is_true() || !m.support(proj[0]).vars().iter().any(|v| space.vars().contains(v)));
+        let mut constraints = Vec::with_capacity(n);
+        let mut prefix = proj[0];
+        #[allow(clippy::needless_range_loop)] // walks proj[i] against the running prefix
+        for i in 1..=n {
+            // prefix is a projection of a non-empty χ, hence never ⊥.
+            let c = m.constrain(proj[i], prefix)?;
+            constraints.push(c);
+            prefix = proj[i];
+        }
+        Ok(Some(CDec { constraints }))
+    }
+
+    /// The characteristic function `⋀_i c_i`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on BDD resource-limit exhaustion.
+    pub fn conjoin_all(&self, m: &mut BddManager) -> Result<Bdd> {
+        m.and_all(&self.constraints).map_err(Into::into)
+    }
+
+    /// The per-component constraints.
+    pub fn constraints(&self) -> &[Bdd] {
+        &self.constraints
+    }
+
+    /// Shared BDD size of all constraints.
+    pub fn shared_size(&self, m: &BddManager) -> usize {
+        m.shared_size(&self.constraints)
+    }
+
+    /// Set union through the BFV correspondence.
+    ///
+    /// # Errors
+    ///
+    /// Fails on BDD resource-limit exhaustion.
+    pub fn union(&self, m: &mut BddManager, space: &Space, other: &CDec) -> Result<CDec> {
+        let f = self.to_bfv(m, space)?;
+        let g = other.to_bfv(m, space)?;
+        let h = ops::union(m, space, &f, &g)?;
+        CDec::from_bfv(m, space, &h)
+    }
+
+    /// Set intersection through the BFV correspondence; `None` when empty.
+    ///
+    /// # Errors
+    ///
+    /// Fails on BDD resource-limit exhaustion.
+    pub fn intersect(
+        &self,
+        m: &mut BddManager,
+        space: &Space,
+        other: &CDec,
+    ) -> Result<Option<CDec>> {
+        let f = self.to_bfv(m, space)?;
+        let g = other.to_bfv(m, space)?;
+        match ops::intersect(m, space, &f, &g)? {
+            None => Ok(None),
+            Some(h) => Ok(Some(CDec::from_bfv(m, space, &h)?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StateSet;
+
+    fn pts(bits: &[&str]) -> Vec<Vec<bool>> {
+        bits.iter().map(|s| s.chars().map(|c| c == '1').collect()).collect()
+    }
+
+    fn set_of(m: &mut BddManager, space: &Space, bits: &[&str]) -> Bfv {
+        StateSet::from_points(m, space, &pts(bits)).unwrap().as_bfv().unwrap().clone()
+    }
+
+    #[test]
+    fn bfv_roundtrip() {
+        let mut m = BddManager::new(3);
+        let space = Space::contiguous(3);
+        let f = set_of(&mut m, &space, &["000", "001", "010", "011", "100", "101"]);
+        let d = CDec::from_bfv(&mut m, &space, &f).unwrap();
+        let back = d.to_bfv(&mut m, &space).unwrap();
+        assert_eq!(back.components(), f.components());
+    }
+
+    use crate::convert;
+
+    #[test]
+    fn conjunction_is_characteristic() {
+        let mut m = BddManager::new(3);
+        let space = Space::contiguous(3);
+        let f = set_of(&mut m, &space, &["010", "110", "111"]);
+        let d = CDec::from_bfv(&mut m, &space, &f).unwrap();
+        let chi = d.conjoin_all(&mut m).unwrap();
+        let expect = convert::to_characteristic(&mut m, &space, &f).unwrap();
+        assert_eq!(chi, expect);
+    }
+
+    #[test]
+    fn constraints_depend_on_prefix_vars_only() {
+        let mut m = BddManager::new(3);
+        let space = Space::contiguous(3);
+        let f = set_of(&mut m, &space, &["000", "011", "101", "110"]);
+        let d = CDec::from_bfv(&mut m, &space, &f).unwrap();
+        for (i, &c) in d.constraints().iter().enumerate() {
+            let sup = m.support(c);
+            for v in sup.vars() {
+                assert!(
+                    (0..=i).any(|j| space.var(j) == v),
+                    "constraint {i} depends on {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_characteristic_agrees_with_from_bfv() {
+        let mut m = BddManager::new(3);
+        let space = Space::contiguous(3);
+        for mask in 1u32..=255 {
+            let mut points = Vec::new();
+            for pt in 0..8 {
+                if mask & (1 << pt) != 0 {
+                    points.push((0..3).map(|i| (pt >> (2 - i)) & 1 == 1).collect::<Vec<_>>());
+                }
+            }
+            let s = StateSet::from_points(&mut m, &space, &points).unwrap();
+            let f = s.as_bfv().unwrap();
+            let via_bfv = CDec::from_bfv(&mut m, &space, f).unwrap();
+            let chi = s.to_characteristic(&mut m, &space).unwrap();
+            let via_chi = CDec::from_characteristic(&mut m, &space, chi).unwrap().unwrap();
+            // Both must denote the same set; the constrain-based and
+            // correspondence-based constructions coincide on conjunction.
+            let a = via_bfv.conjoin_all(&mut m).unwrap();
+            let b = via_chi.conjoin_all(&mut m).unwrap();
+            assert_eq!(a, b, "mask {mask:#x}");
+        }
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut m = BddManager::new(3);
+        let space = Space::contiguous(3);
+        let a = set_of(&mut m, &space, &["000", "011"]);
+        let b = set_of(&mut m, &space, &["011", "111"]);
+        let da = CDec::from_bfv(&mut m, &space, &a).unwrap();
+        let db = CDec::from_bfv(&mut m, &space, &b).unwrap();
+        let du = da.union(&mut m, &space, &db).unwrap();
+        let chi_u = du.conjoin_all(&mut m).unwrap();
+        let su = StateSet::from_characteristic(&mut m, &space, chi_u).unwrap();
+        assert_eq!(su.members(&mut m, &space).unwrap(), pts(&["000", "011", "111"]));
+        let di = da.intersect(&mut m, &space, &db).unwrap().unwrap();
+        let chi_i = di.conjoin_all(&mut m).unwrap();
+        let si = StateSet::from_characteristic(&mut m, &space, chi_i).unwrap();
+        assert_eq!(si.members(&mut m, &space).unwrap(), pts(&["011"]));
+        // Disjoint intersection is None.
+        let c = set_of(&mut m, &space, &["100"]);
+        let dc = CDec::from_bfv(&mut m, &space, &c).unwrap();
+        assert!(da.intersect(&mut m, &space, &dc).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_characteristic() {
+        let mut m = BddManager::new(2);
+        let space = Space::contiguous(2);
+        assert!(CDec::from_characteristic(&mut m, &space, Bdd::FALSE).unwrap().is_none());
+    }
+}

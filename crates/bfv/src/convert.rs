@@ -1,0 +1,221 @@
+//! Conversions between characteristic functions and canonical BFVs.
+//!
+//! `to_characteristic` exploits the conjunctive-decomposition connection of
+//! paper §2.7: for a canonical vector, `χ = ⋀_i (v_i ↔ f_i)`. The reverse
+//! direction implements the Coudert–Berthet–Madre parameterization: walk
+//! the components in weight order, deciding forced/free from the
+//! satisfiable extensions of the prefix selected so far.
+//!
+//! In the paper's reachability flow (Figure 2) these conversions are never
+//! executed — that is the point of the contribution. They exist here for
+//! the Figure 1 baseline flow, for API-boundary interoperability, and as
+//! the oracle against which all direct set operations are property-tested.
+
+use bfvr_bdd::{Bdd, BddManager};
+
+use crate::vector::Bfv;
+use crate::{Result, Space};
+
+/// Builds the characteristic function of the set represented by a
+/// *canonical* vector: `χ = ⋀_i (v_i ↔ f_i)`.
+///
+/// The result depends only on the space's choice variables.
+///
+/// # Errors
+///
+/// Fails on BDD resource-limit exhaustion.
+pub fn to_characteristic(m: &mut BddManager, space: &Space, f: &Bfv) -> Result<Bdd> {
+    let mut chi = Bdd::TRUE;
+    for i in 0..space.len() {
+        let v = m.var(space.var(i));
+        let cons = m.xnor(v, f.component(i))?;
+        chi = m.and(chi, cons)?;
+    }
+    Ok(chi)
+}
+
+/// Builds the canonical vector of the set `{X : χ(X) = 1}`, reading state
+/// bit `i` as the space's choice variable `i`. Returns `None` for the
+/// empty set, which has no functional vector.
+///
+/// `χ` must depend only on the space's choice variables.
+///
+/// # Errors
+///
+/// Fails on BDD resource-limit exhaustion.
+pub fn from_characteristic(m: &mut BddManager, space: &Space, chi: Bdd) -> Result<Option<Bfv>> {
+    if chi.is_false() {
+        return Ok(None);
+    }
+    debug_assert!(
+        m.support(chi).vars().iter().all(|v| space.vars().contains(v)),
+        "characteristic function depends on variables outside the space"
+    );
+    let n = space.len();
+    // Suffix cubes: suffix[i] = positive cube of choice vars of components
+    // ≥ i (cube_from_vars sorts, so any component/variable order works).
+    let mut suffix = vec![Bdd::TRUE; n + 1];
+    #[allow(clippy::needless_range_loop)] // suffix[i] built from vars i..n
+    for i in 0..=n {
+        let vars: Vec<_> = (i..n).map(|j| space.var(j)).collect();
+        suffix[i] = m.cube_from_vars(&vars)?;
+    }
+    let mut r = chi;
+    let mut comps = Vec::with_capacity(n);
+    for i in 0..n {
+        let v = space.var(i);
+        let a = m.cofactor(r, v, true)?;
+        let b = m.cofactor(r, v, false)?;
+        let e1 = m.exists(a, suffix[i + 1])?;
+        let e0 = m.exists(b, suffix[i + 1])?;
+        // Forced to 1 where no 0-extension exists, forced to 0 where no
+        // 1-extension exists, free choice otherwise. (Both absent cannot
+        // happen: the prefix was selected to stay satisfiable.)
+        let vv = m.var(v);
+        let inner = m.ite(e1, vv, Bdd::FALSE)?;
+        let f_i = m.ite(e0, inner, Bdd::TRUE)?;
+        comps.push(f_i);
+        r = m.ite(f_i, a, b)?;
+    }
+    Ok(Some(Bfv::from_components(space, comps)?))
+}
+
+/// The complement of a canonical set, via the characteristic-function
+/// detour.
+///
+/// The paper notes it has *no direct negation algorithm* for BFVs; this
+/// helper rounds out the set algebra for downstream users while making the
+/// cost (two conversions) explicit in its implementation. Returns `None`
+/// when the complement is empty (i.e. `f` is the universe).
+///
+/// # Errors
+///
+/// Fails on BDD resource-limit exhaustion.
+pub fn complement_via_characteristic(
+    m: &mut BddManager,
+    space: &Space,
+    f: &Bfv,
+) -> Result<Option<Bfv>> {
+    let chi = to_characteristic(m, space, f)?;
+    // χ depends only on the space's variables, so ¬χ does too.
+    let nchi = m.not(chi)?;
+    from_characteristic(m, space, nchi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfvr_bdd::Var;
+
+    fn table1_set(m: &mut BddManager) -> (Space, Bdd) {
+        // χ = ¬(v1 ∧ v2): the paper's Table 1 example.
+        let space = Space::contiguous(3);
+        let v1 = m.var(Var(0));
+        let v2 = m.var(Var(1));
+        let v12 = m.and(v1, v2).unwrap();
+        let chi = m.not(v12).unwrap();
+        (space, chi)
+    }
+
+    #[test]
+    fn from_characteristic_reproduces_table1_vector() {
+        let mut m = BddManager::new(3);
+        let (space, chi) = table1_set(&mut m);
+        let f = from_characteristic(&mut m, &space, chi).unwrap().unwrap();
+        // Expected canonical vector: (v1, ¬v1 ∧ v2, v3).
+        let v1 = m.var(Var(0));
+        let v2 = m.var(Var(1));
+        let v3 = m.var(Var(2));
+        let nv1 = m.not(v1).unwrap();
+        let f2 = m.and(nv1, v2).unwrap();
+        assert_eq!(f.components(), &[v1, f2, v3]);
+        assert!(f.is_canonical(&mut m, &space).unwrap());
+    }
+
+    #[test]
+    fn roundtrip_chi_to_bfv_to_chi() {
+        let mut m = BddManager::new(3);
+        let (space, chi) = table1_set(&mut m);
+        let f = from_characteristic(&mut m, &space, chi).unwrap().unwrap();
+        let back = to_characteristic(&mut m, &space, &f).unwrap();
+        assert_eq!(back, chi);
+    }
+
+    #[test]
+    fn empty_set_has_no_vector() {
+        let mut m = BddManager::new(2);
+        let space = Space::contiguous(2);
+        assert!(from_characteristic(&mut m, &space, Bdd::FALSE).unwrap().is_none());
+    }
+
+    #[test]
+    fn universe_and_singleton() {
+        let mut m = BddManager::new(2);
+        let space = Space::contiguous(2);
+        let u = from_characteristic(&mut m, &space, Bdd::TRUE).unwrap().unwrap();
+        assert_eq!(u.components(), &[m.var(Var(0)), m.var(Var(1))]);
+        // Singleton {10}: χ = v1 ∧ ¬v2.
+        let v1 = m.var(Var(0));
+        let nv2 = m.nvar(Var(1)).unwrap();
+        let chi = m.and(v1, nv2).unwrap();
+        let s = from_characteristic(&mut m, &space, chi).unwrap().unwrap();
+        assert_eq!(s.components(), &[Bdd::TRUE, Bdd::FALSE]);
+        assert!(s.is_canonical(&mut m, &space).unwrap());
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_all_3var_sets() {
+        // Every nonempty subset of {0,1}^3: from_characteristic must give a
+        // canonical vector whose characteristic function is the original.
+        let mut m = BddManager::new(3);
+        let space = Space::contiguous(3);
+        for mask in 1u32..256 {
+            let mut chi = Bdd::FALSE;
+            for pt in 0..8 {
+                if mask & (1 << pt) != 0 {
+                    let bits: Vec<bool> = (0..3).map(|i| (pt >> (2 - i)) & 1 == 1).collect();
+                    let mut cube = Bdd::TRUE;
+                    for (i, &b) in bits.iter().enumerate() {
+                        let lit = if b { m.var(Var(i as u32)) } else { m.nvar(Var(i as u32)).unwrap() };
+                        cube = m.and(cube, lit).unwrap();
+                    }
+                    chi = m.or(chi, cube).unwrap();
+                }
+            }
+            let f = from_characteristic(&mut m, &space, chi).unwrap().unwrap();
+            assert!(f.is_canonical(&mut m, &space).unwrap(), "mask {mask:#x} not canonical");
+            let back = to_characteristic(&mut m, &space, &f).unwrap();
+            assert_eq!(back, chi, "mask {mask:#x} roundtrip failed");
+        }
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let mut m = BddManager::new(3);
+        let (space, chi) = table1_set(&mut m);
+        let f = from_characteristic(&mut m, &space, chi).unwrap().unwrap();
+        let c = complement_via_characteristic(&mut m, &space, &f).unwrap().unwrap();
+        let c_chi = to_characteristic(&mut m, &space, &c).unwrap();
+        let expect = m.not(chi).unwrap();
+        assert_eq!(c_chi, expect);
+        // Complement of the universe is empty.
+        let u = from_characteristic(&mut m, &space, Bdd::TRUE).unwrap().unwrap();
+        assert!(complement_via_characteristic(&mut m, &space, &u).unwrap().is_none());
+    }
+
+    #[test]
+    fn works_with_permuted_component_order() {
+        // Component order 3,1,2 over the same BDD variables: conversions
+        // remain correct (weights differ, so the vector differs).
+        let mut m = BddManager::new(3);
+        let space = Space::new(vec![Var(2), Var(0), Var(1)]).unwrap();
+        let v1 = m.var(Var(0));
+        let v2 = m.var(Var(1));
+        let v12 = m.and(v1, v2).unwrap();
+        let chi = m.not(v12).unwrap();
+        let f = from_characteristic(&mut m, &space, chi).unwrap().unwrap();
+        assert!(f.is_canonical(&mut m, &space).unwrap());
+        let back = to_characteristic(&mut m, &space, &f).unwrap();
+        assert_eq!(back, chi);
+    }
+}

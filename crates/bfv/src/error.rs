@@ -1,0 +1,77 @@
+//! Error type for BFV operations.
+
+use bfvr_bdd::BddError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by Boolean-functional-vector operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BfvError {
+    /// An underlying BDD operation failed (resource limits, etc.).
+    Bdd(BddError),
+    /// The component spaces of two operands differ (length or variables).
+    SpaceMismatch,
+    /// A `Space` was constructed with a repeated choice variable.
+    DuplicateChoiceVar {
+        /// The repeated variable level.
+        var: u32,
+    },
+    /// A point/assignment had the wrong number of bits for the space.
+    DimensionMismatch {
+        /// Number of components in the space.
+        expected: usize,
+        /// Number of bits supplied.
+        got: usize,
+    },
+    /// A `Space` was constructed with no components.
+    EmptySpace,
+}
+
+impl fmt::Display for BfvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BfvError::Bdd(e) => write!(f, "bdd operation failed: {e}"),
+            BfvError::SpaceMismatch => write!(f, "operands belong to different component spaces"),
+            BfvError::DuplicateChoiceVar { var } => {
+                write!(f, "choice variable v{var} used for more than one component")
+            }
+            BfvError::DimensionMismatch { expected, got } => {
+                write!(f, "expected {expected} bits, got {got}")
+            }
+            BfvError::EmptySpace => write!(f, "component space must have at least one component"),
+        }
+    }
+}
+
+impl Error for BfvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BfvError::Bdd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BddError> for BfvError {
+    fn from(e: BddError) -> Self {
+        BfvError::Bdd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = BfvError::from(BddError::Deadline);
+        assert!(e.to_string().contains("deadline"));
+        assert!(Error::source(&e).is_some());
+        assert_eq!(
+            BfvError::DimensionMismatch { expected: 3, got: 2 }.to_string(),
+            "expected 3 bits, got 2"
+        );
+        assert!(Error::source(&BfvError::SpaceMismatch).is_none());
+    }
+}

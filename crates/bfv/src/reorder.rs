@@ -1,0 +1,159 @@
+//! Component reordering for Boolean functional vectors — the paper's
+//! first future-work item ("we would like to develop a component
+//! reordering technique for components of the functional vector").
+//!
+//! The canonical form depends on the *component order* (the weight order
+//! of the distance metric). Different orders give canonical vectors of
+//! very different shared sizes for the same set, because a component may
+//! only refer to *earlier* choice variables: a functional dependency
+//! `b = f(a)` is free when `a` precedes `b` and must be inverted (or
+//! materialized) otherwise.
+//!
+//! [`sift_components`] is a greedy component-sifting pass: it repeatedly
+//! tries adjacent transpositions of the component order and keeps those
+//! that shrink the canonical vector's shared size, until a full sweep
+//! makes no progress. Candidate orders are evaluated by re-canonicalizing
+//! from the characteristic function, so the search cost is
+//! `O(sweeps · n · cost(from_characteristic))` — a deliberately simple
+//! baseline for the paper's open problem, not a tuned sifting engine.
+
+use bfvr_bdd::BddManager;
+
+use crate::convert::{from_characteristic, to_characteristic};
+use crate::vector::Bfv;
+use crate::{Result, Space};
+
+/// The outcome of a sifting pass.
+#[derive(Clone, Debug)]
+pub struct ReorderResult {
+    /// The improved component order as a permutation of the input space
+    /// (`perm[new_index] = old_index`).
+    pub perm: Vec<usize>,
+    /// The space with the improved component order.
+    pub space: Space,
+    /// The canonical vector of the same set under the new order.
+    pub vector: Bfv,
+    /// Shared size before sifting.
+    pub before: usize,
+    /// Shared size after sifting.
+    pub after: usize,
+    /// Adjacent swaps accepted.
+    pub swaps_accepted: usize,
+}
+
+/// Greedily improves the component order of `f`'s canonical form by
+/// adjacent transpositions (see the module docs).
+///
+/// The represented set is unchanged; only the canonical encoding moves.
+///
+/// # Errors
+///
+/// Fails on BDD resource-limit exhaustion.
+pub fn sift_components(m: &mut BddManager, space: &Space, f: &Bfv) -> Result<ReorderResult> {
+    let n = space.len();
+    let chi = to_characteristic(m, space, f)?;
+    m.protect(chi);
+    let before = f.shared_size(m);
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut best_vec = f.clone();
+    let mut best_space = space.clone();
+    let mut best_size = before;
+    let mut swaps_accepted = 0usize;
+    loop {
+        let mut improved = false;
+        for i in 0..n - 1 {
+            let mut cand = perm.clone();
+            cand.swap(i, i + 1);
+            let cand_space = space.permuted(&cand);
+            let Some(cand_vec) = from_characteristic(m, &cand_space, chi)? else {
+                continue; // empty sets have no vector; nothing to reorder
+            };
+            let size = cand_vec.shared_size(m);
+            if size < best_size {
+                best_size = size;
+                best_vec = cand_vec;
+                best_space = cand_space;
+                perm = cand;
+                swaps_accepted += 1;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    m.unprotect(chi);
+    Ok(ReorderResult {
+        perm,
+        space: best_space,
+        vector: best_vec,
+        before,
+        after: best_size,
+        swaps_accepted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StateSet;
+    use bfvr_bdd::{Bdd, Var};
+
+    /// A set with the dependency "bit 0 = bit 2": under the order
+    /// (0,1,2) the dependency points backward and costs nodes; sifting
+    /// should move component 2 before component 0.
+    fn dependent_set(m: &mut BddManager, space: &Space) -> Bfv {
+        // χ = (v0 ↔ v2): {000,001?…} — members where bit0 == bit2.
+        let v0 = m.var(Var(0));
+        let v2 = m.var(Var(2));
+        let chi = m.xnor(v0, v2).unwrap();
+        from_characteristic(m, space, chi).unwrap().unwrap()
+    }
+
+    #[test]
+    fn sifting_never_grows() {
+        let mut m = BddManager::new(3);
+        let space = Space::contiguous(3);
+        let f = dependent_set(&mut m, &space);
+        let r = sift_components(&mut m, &space, &f).unwrap();
+        assert!(r.after <= r.before, "sifting grew the vector");
+        // The set is unchanged.
+        let chi_before = to_characteristic(&mut m, &space, &f).unwrap();
+        let chi_after = to_characteristic(&mut m, &r.space, &r.vector).unwrap();
+        assert_eq!(chi_before, chi_after);
+    }
+
+    #[test]
+    fn sifting_finds_better_order_for_reversed_dependencies() {
+        // Build over 6 vars: three "late" bits each echoing an "early"
+        // bit, but with the echo components *first* in the initial order.
+        let mut m = BddManager::new(6);
+        // Initial order: echoes (vars 0..3) before sources (3..6).
+        let space = Space::new(vec![Var(0), Var(1), Var(2), Var(3), Var(4), Var(5)]).unwrap();
+        let mut chi = Bdd::TRUE;
+        for i in 0..3u32 {
+            let e = m.var(Var(i));
+            let s = m.var(Var(i + 3));
+            let eq = m.xnor(e, s).unwrap();
+            chi = m.and(chi, eq).unwrap();
+        }
+        let f = from_characteristic(&mut m, &space, chi).unwrap().unwrap();
+        let r = sift_components(&mut m, &space, &f).unwrap();
+        assert!(r.after <= r.before);
+        assert!(r.vector.is_canonical(&mut m, &r.space).unwrap());
+        let set = StateSet::NonEmpty(r.vector.clone());
+        assert_eq!(set.len(&mut m, &r.space).unwrap(), 8);
+    }
+
+    #[test]
+    fn identity_when_already_optimal() {
+        let mut m = BddManager::new(3);
+        let space = Space::contiguous(3);
+        let u = StateSet::universe(&m, &space).unwrap();
+        let f = u.as_bfv().unwrap().clone();
+        let r = sift_components(&mut m, &space, &f).unwrap();
+        assert_eq!(r.before, r.after);
+        assert_eq!(r.swaps_accepted, 0);
+        assert_eq!(r.perm, vec![0, 1, 2]);
+    }
+}

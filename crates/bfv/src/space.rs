@@ -1,0 +1,148 @@
+//! The component space: component order and choice variables.
+
+use bfvr_bdd::Var;
+
+use crate::{BfvError, Result};
+
+/// The component space of a family of Boolean functional vectors.
+///
+/// A space fixes the number of components `n`, the *component order*
+/// (index 0 is the highest-weight component in the paper's distance
+/// metric) and the *choice variable* assigned to each component.
+///
+/// The paper uses the same order for components and BDD variables, which
+/// is also the efficient configuration here; the algorithms remain correct
+/// for any injective assignment, which is what makes component
+/// *reordering* (the paper's future-work item, see [`crate::reparam`] and
+/// the ordering benches) expressible without rebuilding the manager.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Space {
+    vars: Vec<Var>,
+}
+
+impl Space {
+    /// Creates a space with the given choice variables, in component
+    /// (weight) order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BfvError::EmptySpace`] for an empty list and
+    /// [`BfvError::DuplicateChoiceVar`] if a variable repeats.
+    pub fn new(vars: Vec<Var>) -> Result<Self> {
+        if vars.is_empty() {
+            return Err(BfvError::EmptySpace);
+        }
+        let mut sorted: Vec<u32> = vars.iter().map(|v| v.0).collect();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            if w[0] == w[1] {
+                return Err(BfvError::DuplicateChoiceVar { var: w[0] });
+            }
+        }
+        Ok(Space { vars })
+    }
+
+    /// A space over the first `n` manager variables, in order — the
+    /// paper's standard configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn contiguous(n: u32) -> Self {
+        assert!(n > 0, "component space must be non-empty");
+        Space { vars: (0..n).map(Var).collect() }
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Always false: spaces have at least one component.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Choice variable of component `i` (0-based, weight order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn var(&self, i: usize) -> Var {
+        self.vars[i]
+    }
+
+    /// All choice variables in component order.
+    #[inline]
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// A space with the same variables in a permuted component order.
+    ///
+    /// `perm[new_index] = old_index`. Used to study component reordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..len()`.
+    pub fn permuted(&self, perm: &[usize]) -> Space {
+        assert_eq!(perm.len(), self.vars.len(), "permutation length mismatch");
+        let mut seen = vec![false; perm.len()];
+        let vars = perm
+            .iter()
+            .map(|&old| {
+                assert!(old < self.vars.len() && !seen[old], "not a permutation");
+                seen[old] = true;
+                self.vars[old]
+            })
+            .collect();
+        Space { vars }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_space() {
+        let s = Space::contiguous(3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.var(2), Var(2));
+        assert_eq!(s.vars(), &[Var(0), Var(1), Var(2)]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_empty() {
+        assert_eq!(
+            Space::new(vec![Var(1), Var(1)]).unwrap_err(),
+            BfvError::DuplicateChoiceVar { var: 1 }
+        );
+        assert_eq!(Space::new(vec![]).unwrap_err(), BfvError::EmptySpace);
+    }
+
+    #[test]
+    fn non_contiguous_vars_allowed() {
+        let s = Space::new(vec![Var(4), Var(0), Var(2)]).unwrap();
+        assert_eq!(s.var(0), Var(4));
+        assert_eq!(s.var(1), Var(0));
+    }
+
+    #[test]
+    fn permuted_space() {
+        let s = Space::contiguous(3);
+        let p = s.permuted(&[2, 0, 1]);
+        assert_eq!(p.vars(), &[Var(2), Var(0), Var(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permuted_rejects_bad_perm() {
+        let s = Space::contiguous(3);
+        let _ = s.permuted(&[0, 0, 1]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Property tests: the BFV set algebra against the characteristic-function
+//! oracle, on random sets and random parameterized vectors.
+
+use bfvr_bdd::{Bdd, BddManager, Var};
+use bfvr_bfv::convert::{from_characteristic, to_characteristic};
+use bfvr_bfv::reparam::{reparameterize_with, Schedule};
+use bfvr_bfv::{ops, Bfv, Space, StateSet};
+use proptest::prelude::*;
+
+const N: usize = 4; // state bits
+
+/// Builds the characteristic function of a set given as a 16-bit mask over
+/// {0,1}^4 (bit k of the mask = membership of the point with value k,
+/// reading component 0 as the MSB).
+fn chi_of_mask(m: &mut BddManager, space: &Space, mask: u16) -> Bdd {
+    let mut chi = Bdd::FALSE;
+    for pt in 0..16u16 {
+        if mask & (1 << pt) != 0 {
+            let mut cube = Bdd::TRUE;
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..N {
+                let bit = (pt >> (N - 1 - i)) & 1 == 1;
+                let v = space.var(i);
+                let lit = if bit { m.var(v) } else { m.nvar(v).unwrap() };
+                cube = m.and(cube, lit).unwrap();
+            }
+            chi = m.or(chi, cube).unwrap();
+        }
+    }
+    chi
+}
+
+fn set_of_mask(m: &mut BddManager, space: &Space, mask: u16) -> Option<Bfv> {
+    let chi = chi_of_mask(m, space, mask);
+    from_characteristic(m, space, chi).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn union_matches_oracle(a in 1u16.., b in 1u16..) {
+        let mut m = BddManager::new(N as u32);
+        let space = Space::contiguous(N as u32);
+        let fa = set_of_mask(&mut m, &space, a).unwrap();
+        let fb = set_of_mask(&mut m, &space, b).unwrap();
+        let h = ops::union(&mut m, &space, &fa, &fb).unwrap();
+        prop_assert!(h.is_canonical(&mut m, &space).unwrap());
+        let got = to_characteristic(&mut m, &space, &h).unwrap();
+        let expect = chi_of_mask(&mut m, &space, a | b);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn intersect_matches_oracle(a in 1u16.., b in 1u16..) {
+        let mut m = BddManager::new(N as u32);
+        let space = Space::contiguous(N as u32);
+        let fa = set_of_mask(&mut m, &space, a).unwrap();
+        let fb = set_of_mask(&mut m, &space, b).unwrap();
+        let h = ops::intersect(&mut m, &space, &fa, &fb).unwrap();
+        if a & b == 0 {
+            prop_assert!(h.is_none());
+        } else {
+            let h = h.unwrap();
+            prop_assert!(h.is_canonical(&mut m, &space).unwrap());
+            let got = to_characteristic(&mut m, &space, &h).unwrap();
+            let expect = chi_of_mask(&mut m, &space, a & b);
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn conversion_roundtrip_is_identity(a in 1u16..) {
+        let mut m = BddManager::new(N as u32);
+        let space = Space::contiguous(N as u32);
+        let f = set_of_mask(&mut m, &space, a).unwrap();
+        prop_assert!(f.is_canonical(&mut m, &space).unwrap());
+        let chi = to_characteristic(&mut m, &space, &f).unwrap();
+        let g = from_characteristic(&mut m, &space, chi).unwrap().unwrap();
+        prop_assert_eq!(f.components(), g.components());
+    }
+
+    #[test]
+    fn union_associative_via_canonicity(a in 1u16.., b in 1u16.., c in 1u16..) {
+        let mut m = BddManager::new(N as u32);
+        let space = Space::contiguous(N as u32);
+        let fa = set_of_mask(&mut m, &space, a).unwrap();
+        let fb = set_of_mask(&mut m, &space, b).unwrap();
+        let fc = set_of_mask(&mut m, &space, c).unwrap();
+        let ab = ops::union(&mut m, &space, &fa, &fb).unwrap();
+        let ab_c = ops::union(&mut m, &space, &ab, &fc).unwrap();
+        let bc = ops::union(&mut m, &space, &fb, &fc).unwrap();
+        let a_bc = ops::union(&mut m, &space, &fa, &bc).unwrap();
+        prop_assert_eq!(ab_c.components(), a_bc.components());
+    }
+
+    #[test]
+    fn quantification_matches_oracle(a in 1u16.., comp in 0usize..N) {
+        let mut m = BddManager::new(N as u32);
+        let space = Space::contiguous(N as u32);
+        let f = set_of_mask(&mut m, &space, a).unwrap();
+        let v = space.var(comp);
+        // Oracle via characteristic functions.
+        let chi = to_characteristic(&mut m, &space, &f).unwrap();
+        let chi0 = m.cofactor(chi, v, false).unwrap();
+        let chi1 = m.cofactor(chi, v, true).unwrap();
+        let e = ops::exists(&mut m, &space, &f, v).unwrap();
+        prop_assert!(e.is_canonical(&mut m, &space).unwrap());
+        let got = to_characteristic(&mut m, &space, &e).unwrap();
+        let expect = m.or(chi0, chi1).unwrap();
+        // ∃v F as a set = (F|v=0) ∪ (F|v=1): the oracle is the union of
+        // the two cofactor sets. F|v=c as a set has χ… the componentwise
+        // cofactor selects a subset; its χ is from the vector directly.
+        let f0 = ops::cofactor(&mut m, &space, &f, v, false).unwrap();
+        let f1 = ops::cofactor(&mut m, &space, &f, v, true).unwrap();
+        let c0 = to_characteristic(&mut m, &space, &f0).unwrap();
+        let c1 = to_characteristic(&mut m, &space, &f1).unwrap();
+        let set_expect = m.or(c0, c1).unwrap();
+        prop_assert_eq!(got, set_expect);
+        // The smoothing view must contain the set view.
+        let gap = m.diff(got, expect).unwrap();
+        prop_assert!(gap.is_false());
+    }
+
+    #[test]
+    fn forall_matches_cofactor_intersection(a in 1u16.., comp in 0usize..N) {
+        let mut m = BddManager::new(N as u32);
+        let space = Space::contiguous(N as u32);
+        let f = set_of_mask(&mut m, &space, a).unwrap();
+        let v = space.var(comp);
+        let fa = ops::forall(&mut m, &space, &f, v).unwrap();
+        let f0 = ops::cofactor(&mut m, &space, &f, v, false).unwrap();
+        let f1 = ops::cofactor(&mut m, &space, &f, v, true).unwrap();
+        let c0 = to_characteristic(&mut m, &space, &f0).unwrap();
+        let c1 = to_characteristic(&mut m, &space, &f1).unwrap();
+        let expect = m.and(c0, c1).unwrap();
+        match fa {
+            None => prop_assert!(expect.is_false()),
+            Some(h) => {
+                prop_assert!(h.is_canonical(&mut m, &space).unwrap());
+                let got = to_characteristic(&mut m, &space, &h).unwrap();
+                prop_assert_eq!(got, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn cofactor_members_are_subset(a in 1u16.., comp in 0usize..N, val: bool) {
+        let mut m = BddManager::new(N as u32);
+        let space = Space::contiguous(N as u32);
+        let f = set_of_mask(&mut m, &space, a).unwrap();
+        let g = ops::cofactor(&mut m, &space, &f, space.var(comp), val).unwrap();
+        prop_assert!(g.is_canonical(&mut m, &space).unwrap());
+        let sg = StateSet::NonEmpty(g);
+        let sf = StateSet::NonEmpty(f);
+        for mem in sg.members(&mut m, &space).unwrap() {
+            prop_assert!(sf.contains(&m, &space, &mem).unwrap());
+        }
+    }
+
+    #[test]
+    fn reparam_matches_relational_image(
+        tt0 in any::<u16>(),
+        tt1 in any::<u16>(),
+        tt2 in any::<u16>(),
+        tt3 in any::<u16>(),
+        dynamic: bool,
+    ) {
+        // Four random next-state functions of 4 parameters, given as
+        // 16-entry truth tables. Oracle: χ_img(x) = ∃p. ⋀ x_i ↔ n_i(p).
+        let mut m = BddManager::new(8);
+        let space = Space::contiguous(4);
+        let params: Vec<Var> = (4..8).map(Var).collect();
+        let tts = [tt0, tt1, tt2, tt3];
+        let mut comps = Vec::new();
+        for tt in tts {
+            // Build the function from its truth table over params.
+            let mut f = Bdd::FALSE;
+            for row in 0..16u16 {
+                if tt & (1 << row) != 0 {
+                    let mut cube = Bdd::TRUE;
+                    for (j, &p) in params.iter().enumerate() {
+                        let bit = (row >> (3 - j)) & 1 == 1;
+                        let lit = if bit { m.var(p) } else { m.nvar(p).unwrap() };
+                        cube = m.and(cube, lit).unwrap();
+                    }
+                    f = m.or(f, cube).unwrap();
+                }
+            }
+            comps.push(f);
+        }
+        let n = Bfv::from_components(&space, comps.clone()).unwrap();
+        let sched = if dynamic { Schedule::DynamicSupport } else { Schedule::Fixed };
+        let r = reparameterize_with(&mut m, &space, &n, &params, sched).unwrap();
+        prop_assert!(r.is_canonical(&mut m, &space).unwrap());
+        let got = to_characteristic(&mut m, &space, &r).unwrap();
+        // Oracle.
+        let mut rel = Bdd::TRUE;
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..4 {
+            let xi = m.var(space.var(i));
+            let eq = m.xnor(xi, comps[i]).unwrap();
+            rel = m.and(rel, eq).unwrap();
+        }
+        let pcube = m.cube_from_vars(&params).unwrap();
+        let expect = m.exists(rel, pcube).unwrap();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn permuted_component_order_still_canonical(a in 1u16.., seed in any::<u64>()) {
+        // The set algebra is correct for any component order over the
+        // same variables (the future-work reordering experiments rely on
+        // this).
+        let mut m = BddManager::new(N as u32);
+        let mut perm: Vec<usize> = (0..N).collect();
+        let mut s = seed;
+        for i in (1..N).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            perm.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let space = Space::contiguous(N as u32).permuted(&perm);
+        let chi = chi_of_mask(&mut m, &Space::contiguous(N as u32), a);
+        // chi is over vars 0..4 which are exactly the permuted space's
+        // vars, just weighted differently.
+        let f = from_characteristic(&mut m, &space, chi).unwrap().unwrap();
+        prop_assert!(f.is_canonical(&mut m, &space).unwrap());
+        let back = to_characteristic(&mut m, &space, &f).unwrap();
+        prop_assert_eq!(back, chi);
+        // Union in the permuted space matches the oracle too.
+        let g = ops::union(&mut m, &space, &f, &f).unwrap();
+        prop_assert_eq!(g.components(), f.components());
+    }
+}

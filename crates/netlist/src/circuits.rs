@@ -1,0 +1,70 @@
+//! Embedded reference circuits.
+
+use crate::model::Netlist;
+
+/// The ISCAS89 benchmark circuit **s27** (4 inputs, 1 output, 3 flip-flops,
+/// 10 gates) in `.bench` syntax — the standard smoke test for sequential
+/// state-traversal tools.
+pub const S27_BENCH: &str = "\
+# s27 (ISCAS89): 4 inputs, 1 output, 3 D-type flip-flops, 10 gates
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+";
+
+/// Parses the embedded s27 circuit.
+///
+/// # Panics
+///
+/// Never panics — the embedded text is valid (covered by tests).
+pub fn s27() -> Netlist {
+    crate::bench::parse_named(S27_BENCH, "s27").expect("embedded s27 is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s27_shape() {
+        let net = s27();
+        let st = net.stats();
+        assert_eq!(st.inputs, 4);
+        assert_eq!(st.outputs, 1);
+        assert_eq!(st.latches, 3);
+        assert_eq!(st.gates, 10);
+        assert_eq!(net.initial_state(), vec![false, false, false]);
+    }
+
+    #[test]
+    fn s27_is_acyclic_and_leveled() {
+        let net = s27();
+        let lv = crate::topo::levels(&net).unwrap();
+        assert!(lv.iter().max().unwrap() >= &3);
+    }
+
+    #[test]
+    fn s27_roundtrips_through_bench_and_blif() {
+        let net = s27();
+        let b = crate::bench::write(&net).unwrap();
+        assert_eq!(crate::bench::parse_named(&b, "s27").unwrap(), net);
+        let blif = crate::blif::write(&net);
+        let from_blif = crate::blif::parse(&blif).unwrap();
+        assert_eq!(from_blif.stats().latches, 3);
+    }
+}

@@ -1,0 +1,23 @@
+//! Shared test interpreter for the generator families.
+
+use crate::model::Netlist;
+use crate::topo;
+
+/// Steps a netlist's state once under given inputs (reference
+/// interpreter used to validate the generators' behaviour).
+pub(crate) fn step(net: &Netlist, state: &[bool], inputs: &[bool]) -> Vec<bool> {
+    let order = topo::order(net).unwrap();
+    let mut vals = vec![false; net.num_signals()];
+    for (i, &s) in net.inputs().iter().enumerate() {
+        vals[s.index()] = inputs[i];
+    }
+    for (i, l) in net.latches().iter().enumerate() {
+        vals[l.output.index()] = state[i];
+    }
+    for g in order {
+        let gate = &net.gates()[g];
+        let ins: Vec<bool> = gate.inputs.iter().map(|&x| vals[x.index()]).collect();
+        vals[gate.output.index()] = gate.kind.eval(&ins);
+    }
+    net.latches().iter().map(|l| vals[l.input.index()]).collect()
+}

@@ -1,0 +1,508 @@
+//! The in-memory netlist model and its builder.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A handle to a named signal in a [`Netlist`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// Raw index of this signal in the netlist's signal table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The logic function of a combinational gate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GateKind {
+    /// Conjunction of all fan-ins.
+    And,
+    /// Disjunction of all fan-ins.
+    Or,
+    /// Negated conjunction.
+    Nand,
+    /// Negated disjunction.
+    Nor,
+    /// Inversion (exactly one fan-in).
+    Not,
+    /// Identity (exactly one fan-in).
+    Buf,
+    /// Parity of all fan-ins.
+    Xor,
+    /// Negated parity.
+    Xnor,
+    /// Constant 0 (no fan-ins).
+    Const0,
+    /// Constant 1 (no fan-ins).
+    Const1,
+    /// A sum-of-products cover over the fan-ins (BLIF `.names`):
+    /// each row is a cube (`Some(v)` = literal, `None` = don't care);
+    /// the output is 1 exactly on the union of the cubes.
+    Cover(Vec<Vec<Option<bool>>>),
+}
+
+impl GateKind {
+    /// Evaluates the gate on concrete fan-in values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity is invalid for the kind (e.g. `Not` with two
+    /// fan-ins) — construction validates this, so only hand-rolled gates
+    /// can trip it.
+    pub fn eval(&self, ins: &[bool]) -> bool {
+        match self {
+            GateKind::And => ins.iter().all(|&b| b),
+            GateKind::Or => ins.iter().any(|&b| b),
+            GateKind::Nand => !ins.iter().all(|&b| b),
+            GateKind::Nor => !ins.iter().any(|&b| b),
+            GateKind::Not => !ins[0],
+            GateKind::Buf => ins[0],
+            GateKind::Xor => ins.iter().filter(|&&b| b).count() % 2 == 1,
+            GateKind::Xnor => ins.iter().filter(|&&b| b).count() % 2 == 0,
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::Cover(rows) => rows.iter().any(|row| {
+                row.iter().zip(ins).all(|(lit, &v)| lit.is_none_or(|want| want == v))
+            }),
+        }
+    }
+
+    /// Whether `n` fan-ins are legal for this gate kind.
+    pub fn arity_ok(&self, n: usize) -> bool {
+        match self {
+            GateKind::Not | GateKind::Buf => n == 1,
+            GateKind::Const0 | GateKind::Const1 => n == 0,
+            GateKind::Cover(rows) => rows.iter().all(|r| r.len() == n),
+            _ => n >= 1,
+        }
+    }
+}
+
+/// A combinational gate driving one signal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Gate {
+    /// The driven signal.
+    pub output: SignalId,
+    /// The logic function.
+    pub kind: GateKind,
+    /// Fan-in signals, in order.
+    pub inputs: Vec<SignalId>,
+}
+
+/// A D flip-flop (state element).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Latch {
+    /// The latch output (current-state signal).
+    pub output: SignalId,
+    /// The next-state (data) signal.
+    pub input: SignalId,
+    /// Reset value (ISCAS89 convention: 0).
+    pub init: bool,
+}
+
+/// How a signal is driven.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Driver {
+    /// Primary input.
+    Input,
+    /// Output of the latch with this index.
+    Latch(usize),
+    /// Output of the gate with this index.
+    Gate(usize),
+}
+
+/// A sequential gate-level netlist.
+///
+/// Build one with [`NetlistBuilder`] or the [`crate::bench`]/
+/// [`crate::blif`] parsers. Every signal is driven exactly once (by an
+/// input, a latch or a gate); [`NetlistBuilder::finish`] verifies this and
+/// the absence of combinational cycles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) names: Vec<String>,
+    pub(crate) drivers: Vec<Option<Driver>>,
+    pub(crate) inputs: Vec<SignalId>,
+    pub(crate) outputs: Vec<SignalId>,
+    pub(crate) latches: Vec<Latch>,
+    pub(crate) gates: Vec<Gate>,
+}
+
+/// Size summary of a netlist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// State elements.
+    pub latches: usize,
+    /// Combinational gates.
+    pub gates: usize,
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} inputs, {} outputs, {} latches, {} gates",
+            self.inputs, self.outputs, self.latches, self.gates
+        )
+    }
+}
+
+impl Netlist {
+    /// The netlist's name (model name for BLIF, file stem for bench).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of signals (inputs + latch outputs + gate outputs).
+    pub fn num_signals(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The name of a signal.
+    pub fn signal_name(&self, s: SignalId) -> &str {
+        &self.names[s.index()]
+    }
+
+    /// Looks a signal up by name.
+    pub fn find_signal(&self, name: &str) -> Option<SignalId> {
+        self.names.iter().position(|n| n == name).map(|i| SignalId(i as u32))
+    }
+
+    /// Primary inputs, in declaration order.
+    pub fn inputs(&self) -> &[SignalId] {
+        &self.inputs
+    }
+
+    /// Primary outputs, in declaration order.
+    pub fn outputs(&self) -> &[SignalId] {
+        &self.outputs
+    }
+
+    /// State elements, in declaration order.
+    pub fn latches(&self) -> &[Latch] {
+        &self.latches
+    }
+
+    /// Combinational gates (unordered; see [`crate::topo::order`]).
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// What drives a signal.
+    pub fn driver(&self, s: SignalId) -> Driver {
+        self.drivers[s.index()].expect("finished netlists have all signals driven")
+    }
+
+    /// Size summary.
+    pub fn stats(&self) -> NetlistStats {
+        NetlistStats {
+            inputs: self.inputs.len(),
+            outputs: self.outputs.len(),
+            latches: self.latches.len(),
+            gates: self.gates.len(),
+        }
+    }
+
+    /// The initial state, one bit per latch in declaration order.
+    pub fn initial_state(&self) -> Vec<bool> {
+        self.latches.iter().map(|l| l.init).collect()
+    }
+}
+
+/// Errors raised while building or parsing netlists.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A signal is referenced but never driven.
+    Undriven {
+        /// The signal's name.
+        name: String,
+    },
+    /// A signal is driven more than once.
+    MultiplyDriven {
+        /// The signal's name.
+        name: String,
+    },
+    /// The combinational logic contains a cycle.
+    CombinationalCycle {
+        /// The name of a signal on the cycle.
+        name: String,
+    },
+    /// A gate has an illegal number of fan-ins for its kind.
+    BadArity {
+        /// The driven signal's name.
+        name: String,
+        /// Fan-ins supplied.
+        got: usize,
+    },
+    /// A syntax error in a parsed description.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Undriven { name } => write!(f, "signal `{name}` is never driven"),
+            NetlistError::MultiplyDriven { name } => {
+                write!(f, "signal `{name}` is driven more than once")
+            }
+            NetlistError::CombinationalCycle { name } => {
+                write!(f, "combinational cycle through signal `{name}`")
+            }
+            NetlistError::BadArity { name, got } => {
+                write!(f, "gate driving `{name}` has invalid fan-in count {got}")
+            }
+            NetlistError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+/// Incrementally constructs a [`Netlist`].
+///
+/// Signals are created on first mention (by name); [`NetlistBuilder::finish`]
+/// checks that every signal is driven exactly once and that the
+/// combinational logic is acyclic.
+#[derive(Debug, Default)]
+pub struct NetlistBuilder {
+    name: String,
+    names: Vec<String>,
+    by_name: HashMap<String, SignalId>,
+    drivers: Vec<Option<Driver>>,
+    inputs: Vec<SignalId>,
+    outputs: Vec<SignalId>,
+    latches: Vec<Latch>,
+    gates: Vec<Gate>,
+}
+
+impl NetlistBuilder {
+    /// Starts building a netlist with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder { name: name.into(), ..Default::default() }
+    }
+
+    /// Interns (or finds) a signal by name.
+    pub fn signal(&mut self, name: impl AsRef<str>) -> SignalId {
+        let name = name.as_ref();
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = SignalId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        self.drivers.push(None);
+        id
+    }
+
+    /// Declares a primary input.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the signal is already driven.
+    pub fn input(&mut self, name: impl AsRef<str>) -> Result<SignalId, NetlistError> {
+        let id = self.signal(&name);
+        self.drive(id, Driver::Input)?;
+        self.inputs.push(id);
+        Ok(id)
+    }
+
+    /// Declares a primary output (a reference to an existing or future
+    /// signal).
+    pub fn output(&mut self, name: impl AsRef<str>) -> SignalId {
+        let id = self.signal(&name);
+        self.outputs.push(id);
+        id
+    }
+
+    /// Adds a D flip-flop: `out` holds the registered value of `next`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `out` is already driven.
+    pub fn latch(
+        &mut self,
+        out: impl AsRef<str>,
+        next: impl AsRef<str>,
+        init: bool,
+    ) -> Result<SignalId, NetlistError> {
+        let output = self.signal(&out);
+        let input = self.signal(&next);
+        self.drive(output, Driver::Latch(self.latches.len()))?;
+        self.latches.push(Latch { output, input, init });
+        Ok(output)
+    }
+
+    /// Adds a combinational gate driving `out`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `out` is already driven or the fan-in count is illegal for
+    /// `kind`.
+    pub fn gate<S: AsRef<str>>(
+        &mut self,
+        out: impl AsRef<str>,
+        kind: GateKind,
+        ins: &[S],
+    ) -> Result<SignalId, NetlistError> {
+        let output = self.signal(&out);
+        if !kind.arity_ok(ins.len()) {
+            return Err(NetlistError::BadArity {
+                name: self.names[output.index()].clone(),
+                got: ins.len(),
+            });
+        }
+        let inputs = ins.iter().map(|s| self.signal(s)).collect();
+        self.drive(output, Driver::Gate(self.gates.len()))?;
+        self.gates.push(Gate { output, kind, inputs });
+        Ok(output)
+    }
+
+    fn drive(&mut self, id: SignalId, d: Driver) -> Result<(), NetlistError> {
+        let slot = &mut self.drivers[id.index()];
+        if slot.is_some() {
+            return Err(NetlistError::MultiplyDriven { name: self.names[id.index()].clone() });
+        }
+        *slot = Some(d);
+        Ok(())
+    }
+
+    /// Validates and produces the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a signal is undriven or the combinational logic is cyclic.
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
+        for (i, d) in self.drivers.iter().enumerate() {
+            if d.is_none() {
+                return Err(NetlistError::Undriven { name: self.names[i].clone() });
+            }
+        }
+        let net = Netlist {
+            name: self.name,
+            names: self.names,
+            drivers: self.drivers,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            latches: self.latches,
+            gates: self.gates,
+        };
+        // Cycle check doubles as a build of the topological order.
+        crate::topo::order(&net).map(|_| net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> NetlistBuilder {
+        let mut b = NetlistBuilder::new("toy");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        b.latch("q", "d", false).unwrap();
+        b.gate("x", GateKind::And, &["a", "q"]).unwrap();
+        b.gate("d", GateKind::Xor, &["x", "b"]).unwrap();
+        b.output("x");
+        b
+    }
+
+    #[test]
+    fn build_and_query() {
+        let net = toy().finish().unwrap();
+        assert_eq!(net.name(), "toy");
+        assert_eq!(net.stats().to_string(), "2 inputs, 1 outputs, 1 latches, 2 gates");
+        assert_eq!(net.signal_name(net.inputs()[0]), "a");
+        let q = net.find_signal("q").unwrap();
+        assert_eq!(net.driver(q), Driver::Latch(0));
+        assert!(net.find_signal("nope").is_none());
+        assert_eq!(net.initial_state(), vec![false]);
+    }
+
+    #[test]
+    fn undriven_detected() {
+        let mut b = NetlistBuilder::new("bad");
+        b.input("a").unwrap();
+        b.gate("x", GateKind::And, &["a", "ghost"]).unwrap();
+        assert_eq!(b.finish().unwrap_err(), NetlistError::Undriven { name: "ghost".into() });
+    }
+
+    #[test]
+    fn multiply_driven_detected() {
+        let mut b = NetlistBuilder::new("bad");
+        b.input("a").unwrap();
+        let err = b.input("a").unwrap_err();
+        assert_eq!(err, NetlistError::MultiplyDriven { name: "a".into() });
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut b = NetlistBuilder::new("cyc");
+        b.input("a").unwrap();
+        b.gate("x", GateKind::And, &["a", "y"]).unwrap();
+        b.gate("y", GateKind::Or, &["x", "a"]).unwrap();
+        assert!(matches!(b.finish().unwrap_err(), NetlistError::CombinationalCycle { .. }));
+    }
+
+    #[test]
+    fn latch_breaks_cycles() {
+        // Feedback through a latch is sequential, not combinational.
+        let mut b = NetlistBuilder::new("seq");
+        b.latch("q", "d", true).unwrap();
+        b.gate("d", GateKind::Not, &["q"]).unwrap();
+        let net = b.finish().unwrap();
+        assert_eq!(net.initial_state(), vec![true]);
+    }
+
+    #[test]
+    fn arity_validation() {
+        let mut b = NetlistBuilder::new("bad");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        let err = b.gate("x", GateKind::Not, &["a", "b"]).unwrap_err();
+        assert_eq!(err, NetlistError::BadArity { name: "x".into(), got: 2 });
+    }
+
+    #[test]
+    fn gate_eval_truth_tables() {
+        use GateKind::*;
+        assert!(And.eval(&[true, true]));
+        assert!(!And.eval(&[true, false]));
+        assert!(Or.eval(&[false, true]));
+        assert!(Nand.eval(&[true, false]));
+        assert!(!Nor.eval(&[false, true]));
+        assert!(Not.eval(&[false]));
+        assert!(Buf.eval(&[true]));
+        assert!(Xor.eval(&[true, false, false]));
+        assert!(!Xor.eval(&[true, true]));
+        assert!(Xnor.eval(&[true, true]));
+        assert!(!Const0.eval(&[]));
+        assert!(Const1.eval(&[]));
+        let cover = Cover(vec![
+            vec![Some(true), None],
+            vec![Some(false), Some(false)],
+        ]);
+        assert!(cover.eval(&[true, false]));
+        assert!(cover.eval(&[false, false]));
+        assert!(!cover.eval(&[false, true]));
+    }
+
+    #[test]
+    fn cover_arity() {
+        let cover = GateKind::Cover(vec![vec![Some(true), None]]);
+        assert!(cover.arity_ok(2));
+        assert!(!cover.arity_ok(3));
+    }
+}

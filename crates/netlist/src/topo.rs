@@ -1,0 +1,230 @@
+//! Structural analyses: topological order, levels, cone of influence.
+
+use std::collections::HashMap;
+
+use crate::model::{Driver, Netlist, NetlistError, SignalId};
+use crate::Result;
+
+/// Returns the gate indices in topological (fan-in before fan-out) order.
+///
+/// Latch outputs and primary inputs are sources; latch *inputs* are sinks,
+/// so feedback through state elements is fine.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if the combinational logic
+/// is cyclic.
+pub fn order(net: &Netlist) -> Result<Vec<usize>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks = vec![Mark::White; net.num_signals()];
+    let mut out = Vec::with_capacity(net.gates().len());
+    // Iterative DFS to keep deep chains off the call stack.
+    for root in 0..net.num_signals() {
+        if marks[root] != Mark::White {
+            continue;
+        }
+        let mut stack: Vec<(u32, bool)> = vec![(root as u32, false)];
+        while let Some((s, expanded)) = stack.pop() {
+            let sid = SignalId(s);
+            if expanded {
+                marks[s as usize] = Mark::Black;
+                if let Driver::Gate(g) = net.driver(sid) {
+                    out.push(g);
+                }
+                continue;
+            }
+            match marks[s as usize] {
+                Mark::Black => continue,
+                Mark::Grey => {
+                    return Err(NetlistError::CombinationalCycle {
+                        name: net.signal_name(sid).to_string(),
+                    })
+                }
+                Mark::White => {}
+            }
+            marks[s as usize] = Mark::Grey;
+            stack.push((s, true));
+            if let Driver::Gate(g) = net.driver(sid) {
+                for &inp in &net.gates()[g].inputs {
+                    if marks[inp.index()] == Mark::White {
+                        stack.push((inp.0, false));
+                    } else if marks[inp.index()] == Mark::Grey {
+                        return Err(NetlistError::CombinationalCycle {
+                            name: net.signal_name(inp).to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Logic level of every signal: inputs and latch outputs are level 0, a
+/// gate is one more than its deepest fan-in.
+pub fn levels(net: &Netlist) -> Result<Vec<usize>> {
+    let order = order(net)?;
+    let mut lvl = vec![0usize; net.num_signals()];
+    for g in order {
+        let gate = &net.gates()[g];
+        let depth = gate.inputs.iter().map(|i| lvl[i.index()]).max().unwrap_or(0);
+        lvl[gate.output.index()] = depth + 1;
+    }
+    Ok(lvl)
+}
+
+/// The set of latches and inputs in the cone of influence of `roots`
+/// (transitively, through gates and latch next-state functions).
+///
+/// Returns `(latch_indices, input_indices)`, each sorted.
+pub fn cone_of_influence(net: &Netlist, roots: &[SignalId]) -> (Vec<usize>, Vec<usize>) {
+    let mut seen = vec![false; net.num_signals()];
+    let mut latches = Vec::new();
+    let mut inputs = Vec::new();
+    let input_index: HashMap<SignalId, usize> =
+        net.inputs().iter().copied().enumerate().map(|(i, s)| (s, i)).collect();
+    let mut stack: Vec<SignalId> = roots.to_vec();
+    while let Some(s) = stack.pop() {
+        if seen[s.index()] {
+            continue;
+        }
+        seen[s.index()] = true;
+        match net.driver(s) {
+            Driver::Input => inputs.push(input_index[&s]),
+            Driver::Latch(l) => {
+                latches.push(l);
+                stack.push(net.latches()[l].input);
+            }
+            Driver::Gate(g) => stack.extend(net.gates()[g].inputs.iter().copied()),
+        }
+    }
+    latches.sort_unstable();
+    inputs.sort_unstable();
+    (latches, inputs)
+}
+
+/// Restricts a netlist to the cone of influence of its outputs, dropping
+/// latches and gates that cannot affect any output.
+///
+/// # Errors
+///
+/// Propagates builder validation errors (cannot occur for well-formed
+/// inputs).
+pub fn reduce_to_outputs(net: &Netlist) -> Result<Netlist> {
+    let (latches, inputs) = cone_of_influence(net, net.outputs());
+    let mut b = crate::model::NetlistBuilder::new(net.name().to_string());
+    for &i in &inputs {
+        b.input(net.signal_name(net.inputs()[i]))?;
+    }
+    let mut keep = vec![false; net.num_signals()];
+    {
+        // Mark the cone.
+        let mut stack: Vec<SignalId> = net.outputs().to_vec();
+        while let Some(s) = stack.pop() {
+            if keep[s.index()] {
+                continue;
+            }
+            keep[s.index()] = true;
+            match net.driver(s) {
+                Driver::Input => {}
+                Driver::Latch(l) => stack.push(net.latches()[l].input),
+                Driver::Gate(g) => stack.extend(net.gates()[g].inputs.iter().copied()),
+            }
+        }
+    }
+    for &l in &latches {
+        let latch = net.latches()[l];
+        b.latch(net.signal_name(latch.output), net.signal_name(latch.input), latch.init)?;
+    }
+    for gate in net.gates() {
+        if keep[gate.output.index()] {
+            let ins: Vec<&str> = gate.inputs.iter().map(|&i| net.signal_name(i)).collect();
+            b.gate(net.signal_name(gate.output), gate.kind.clone(), &ins)?;
+        }
+    }
+    for &o in net.outputs() {
+        b.output(net.signal_name(o));
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GateKind, NetlistBuilder};
+
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new("sample");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        b.latch("q", "d", false).unwrap();
+        // dead latch: feeds nothing observable
+        b.latch("dead", "dead_next", false).unwrap();
+        b.gate("dead_next", GateKind::Not, &["dead"]).unwrap();
+        b.gate("x", GateKind::And, &["a", "q"]).unwrap();
+        b.gate("y", GateKind::Or, &["x", "b"]).unwrap();
+        b.gate("d", GateKind::Xor, &["y", "q"]).unwrap();
+        b.output("y");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn topological_order_respects_fanin() {
+        let net = sample();
+        let ord = order(&net).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; net.gates().len()];
+            for (rank, &g) in ord.iter().enumerate() {
+                p[g] = rank;
+            }
+            p
+        };
+        for (gi, gate) in net.gates().iter().enumerate() {
+            for &inp in &gate.inputs {
+                if let crate::model::Driver::Gate(pg) = net.driver(inp) {
+                    assert!(pos[pg] < pos[gi], "gate {gi} before its fan-in {pg}");
+                }
+            }
+        }
+        assert_eq!(ord.len(), net.gates().len());
+    }
+
+    #[test]
+    fn levels_increase_along_paths() {
+        let net = sample();
+        let lvl = levels(&net).unwrap();
+        let x = net.find_signal("x").unwrap();
+        let y = net.find_signal("y").unwrap();
+        let d = net.find_signal("d").unwrap();
+        let a = net.find_signal("a").unwrap();
+        assert_eq!(lvl[a.index()], 0);
+        assert_eq!(lvl[x.index()], 1);
+        assert_eq!(lvl[y.index()], 2);
+        assert_eq!(lvl[d.index()], 3);
+    }
+
+    #[test]
+    fn coi_finds_relevant_state() {
+        let net = sample();
+        let (latches, inputs) = cone_of_influence(&net, net.outputs());
+        assert_eq!(latches, vec![0]); // q, not dead
+        assert_eq!(inputs, vec![0, 1]);
+    }
+
+    #[test]
+    fn reduce_drops_dead_logic() {
+        let net = sample();
+        let red = reduce_to_outputs(&net).unwrap();
+        assert_eq!(red.latches().len(), 1);
+        // d (next-state of q) stays because q is in the cone... d is the
+        // latch input, which the cone includes transitively.
+        assert!(red.find_signal("dead").is_none());
+        assert!(red.find_signal("q").is_some());
+        assert_eq!(red.outputs().len(), 1);
+    }
+}

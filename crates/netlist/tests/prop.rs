@@ -1,0 +1,191 @@
+//! Property tests: random netlists survive both serialization formats
+//! with identical behaviour.
+
+use bfvr_netlist::{bench, blif, GateKind, Netlist, NetlistBuilder};
+use proptest::prelude::*;
+
+/// A recipe for one random gate: kind selector and fan-in picks.
+#[derive(Clone, Debug)]
+struct GateSpec {
+    kind: u8,
+    fanins: Vec<u8>,
+}
+
+/// A recipe for a random sequential netlist.
+#[derive(Clone, Debug)]
+struct NetSpec {
+    num_inputs: u8,
+    num_latches: u8,
+    gates: Vec<GateSpec>,
+    latch_sources: Vec<u8>,
+    inits: Vec<bool>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = NetSpec> {
+    (1u8..4, 1u8..5).prop_flat_map(|(num_inputs, num_latches)| {
+        let gates = prop::collection::vec(
+            (0u8..8, prop::collection::vec(any::<u8>(), 1..4)).prop_map(|(kind, fanins)| {
+                GateSpec { kind, fanins }
+            }),
+            1..12,
+        );
+        let latch_sources = prop::collection::vec(any::<u8>(), num_latches as usize);
+        let inits = prop::collection::vec(any::<bool>(), num_latches as usize);
+        (Just(num_inputs), Just(num_latches), gates, latch_sources, inits).prop_map(
+            |(num_inputs, num_latches, gates, latch_sources, inits)| NetSpec {
+                num_inputs,
+                num_latches,
+                gates,
+                latch_sources,
+                inits,
+            },
+        )
+    })
+}
+
+/// Materializes a spec into a valid netlist: gates may only read inputs,
+/// latch outputs and *earlier* gates, which makes the result acyclic by
+/// construction.
+fn build(spec: &NetSpec) -> Netlist {
+    let mut b = NetlistBuilder::new("random");
+    let mut readable: Vec<String> = Vec::new();
+    for i in 0..spec.num_inputs {
+        let name = format!("in{i}");
+        b.input(&name).expect("fresh input");
+        readable.push(name);
+    }
+    for l in 0..spec.num_latches {
+        let name = format!("q{l}");
+        b.latch(&name, format!("d{l}"), spec.inits[l as usize]).expect("fresh latch");
+        readable.push(name);
+    }
+    for (gi, g) in spec.gates.iter().enumerate() {
+        let kind = match g.kind % 8 {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            2 => GateKind::Nand,
+            3 => GateKind::Nor,
+            4 => GateKind::Not,
+            5 => GateKind::Buf,
+            6 => GateKind::Xor,
+            _ => GateKind::Xnor,
+        };
+        let arity = if matches!(kind, GateKind::Not | GateKind::Buf) { 1 } else { g.fanins.len() };
+        let ins: Vec<String> = (0..arity)
+            .map(|k| {
+                let pick = g.fanins[k % g.fanins.len()] as usize % readable.len();
+                readable[pick].clone()
+            })
+            .collect();
+        let refs: Vec<&str> = ins.iter().map(String::as_str).collect();
+        let name = format!("g{gi}");
+        b.gate(&name, kind, &refs).expect("fresh gate");
+        readable.push(name);
+    }
+    // Latch data inputs and one primary output pick from anything readable.
+    for l in 0..spec.num_latches {
+        let pick = spec.latch_sources[l as usize] as usize % readable.len();
+        b.gate(format!("d{l}"), GateKind::Buf, &[readable[pick].as_str()])
+            .expect("fresh data buf");
+    }
+    b.output(readable.last().expect("non-empty"));
+    b.finish().expect("acyclic by construction")
+}
+
+/// Reference interpreter step.
+fn step(net: &Netlist, state: &[bool], inputs: &[bool]) -> (Vec<bool>, Vec<bool>) {
+    let order = bfvr_netlist::topo::order(net).expect("validated");
+    let mut vals = vec![false; net.num_signals()];
+    for (i, &s) in net.inputs().iter().enumerate() {
+        vals[s.index()] = inputs[i];
+    }
+    for (i, l) in net.latches().iter().enumerate() {
+        vals[l.output.index()] = state[i];
+    }
+    for g in order {
+        let gate = &net.gates()[g];
+        let ins: Vec<bool> = gate.inputs.iter().map(|&x| vals[x.index()]).collect();
+        vals[gate.output.index()] = gate.kind.eval(&ins);
+    }
+    let next = net.latches().iter().map(|l| vals[l.input.index()]).collect();
+    let outs = net.outputs().iter().map(|&o| vals[o.index()]).collect();
+    (next, outs)
+}
+
+fn behaviourally_equal(a: &Netlist, b: &Netlist, seed: u64) {
+    assert_eq!(a.initial_state(), b.initial_state());
+    let mut sa = a.initial_state();
+    let mut sb = b.initial_state();
+    let mut rng = seed | 1;
+    for t in 0..32 {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        let ins: Vec<bool> = (0..a.inputs().len()).map(|i| rng >> i & 1 == 1).collect();
+        let (na, oa) = step(a, &sa, &ins);
+        let (nb, ob) = step(b, &sb, &ins);
+        assert_eq!(oa, ob, "outputs diverged at step {t}");
+        assert_eq!(na, nb, "states diverged at step {t}");
+        sa = na;
+        sb = nb;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bench_roundtrip_is_behaviour_preserving(spec in spec_strategy(), seed: u64) {
+        let net = build(&spec);
+        let text = bench::write(&net).expect("no covers in random nets");
+        let again = bench::parse(&text).expect("own output parses");
+        prop_assert_eq!(again.stats(), net.stats());
+        behaviourally_equal(&net, &again, seed);
+    }
+
+    #[test]
+    fn blif_roundtrip_is_behaviour_preserving(spec in spec_strategy(), seed: u64) {
+        let net = build(&spec);
+        let text = blif::write(&net);
+        let again = blif::parse(&text).expect("own output parses");
+        // BLIF re-expresses gates as covers, so only behaviour matches.
+        prop_assert_eq!(again.inputs().len(), net.inputs().len());
+        prop_assert_eq!(again.latches().len(), net.latches().len());
+        behaviourally_equal(&net, &again, seed);
+    }
+
+    #[test]
+    fn cone_reduction_preserves_outputs(spec in spec_strategy(), seed: u64) {
+        let net = build(&spec);
+        let reduced = bfvr_netlist::topo::reduce_to_outputs(&net).expect("reducible");
+        prop_assert!(reduced.latches().len() <= net.latches().len());
+        // Compare output traces (states may differ in dead latches).
+        let mut sa = net.initial_state();
+        let mut sb = reduced.initial_state();
+        let mut rng = seed | 1;
+        for _ in 0..32 {
+            rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17;
+            let ins_full: Vec<bool> =
+                (0..net.inputs().len()).map(|i| rng >> i & 1 == 1).collect();
+            // The reduced net may have dropped inputs; map by name.
+            let ins_red: Vec<bool> = reduced
+                .inputs()
+                .iter()
+                .map(|&s| {
+                    let name = reduced.signal_name(s);
+                    let pos = net
+                        .inputs()
+                        .iter()
+                        .position(|&t| net.signal_name(t) == name)
+                        .expect("input names preserved");
+                    ins_full[pos]
+                })
+                .collect();
+            let (na, oa) = step(&net, &sa, &ins_full);
+            let (nb, ob) = step(&reduced, &sb, &ins_red);
+            prop_assert_eq!(oa, ob, "outputs diverged after reduction");
+            sa = na;
+            sb = nb;
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! The paper's Figure 2 flow: reachability with Boolean functional
+//! vectors only — symbolic simulation, re-parameterization, BFV union.
+
+use std::time::Instant;
+
+use bfvr_bdd::BddManager;
+use bfvr_bfv::{ops, Bfv, StateSet};
+use bfvr_sim::{simulate_image_with, EncodedFsm};
+
+use crate::common::{
+    arm_limits, disarm_limits, outcome_of_bfv_error, IterationStats, Outcome, ReachOptions,
+    ReachResult,
+};
+use crate::EngineKind;
+
+/// Runs least-fixed-point reachability with the BFV engine.
+///
+/// ```
+/// use bfvr_netlist::generators;
+/// use bfvr_reach::{reach_bfv, ReachOptions};
+/// use bfvr_sim::{EncodedFsm, OrderHeuristic};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = generators::johnson(6);
+/// let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin)?;
+/// let r = reach_bfv(&mut m, &fsm, &ReachOptions::default());
+/// assert_eq!(r.reached_states, Some(12.0)); // 2n of 2^n states
+/// # Ok(())
+/// # }
+/// ```
+///
+/// No characteristic function is constructed anywhere in the loop; the
+/// fix-point test is componentwise BDD-handle equality, which canonicity
+/// makes sound. The final `reached_chi`/state count are produced *after*
+/// the timed region, purely for cross-engine validation.
+pub fn reach_bfv(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> ReachResult {
+    let start = Instant::now();
+    arm_limits(m, opts);
+    let space = fsm.space();
+    let init = StateSet::singleton(m, &space, &fsm.initial_state())
+        .expect("initial state matches the space dimension");
+    let mut reached: Bfv = init.as_bfv().expect("singleton is non-empty").clone();
+    let mut from = reached.clone();
+    let mut iterations = 0usize;
+    let mut per_iteration = Vec::new();
+    let outcome = loop {
+        if opts.max_iterations.is_some_and(|cap| iterations >= cap) {
+            break Outcome::IterationLimit;
+        }
+        let iter_start = Instant::now();
+        let img = match simulate_image_with(m, fsm, &from, opts.schedule) {
+            Ok(img) => img,
+            Err(e) => break outcome_of_bfv_error(&e),
+        };
+        let new_reached = match ops::union(m, &space, &reached, &img) {
+            Ok(u) => u,
+            Err(e) => break outcome_of_bfv_error(&e),
+        };
+        iterations += 1;
+        if new_reached.components() == reached.components() {
+            break Outcome::FixedPoint;
+        }
+        reached = new_reached;
+        // Selection heuristic (Figure 2): iterate from the smaller of the
+        // image and the full reached set.
+        from = if opts.use_frontier && img.shared_size(m) <= reached.shared_size(m) {
+            img
+        } else {
+            reached.clone()
+        };
+        let mut roots: Vec<bfvr_bdd::Bdd> = reached.components().to_vec();
+        roots.extend_from_slice(from.components());
+        let gc = m.collect_garbage(&roots);
+        if opts.record_iterations {
+            per_iteration.push(IterationStats {
+                reached_states: f64::NAN, // filled lazily below when cheap
+                reached_nodes: reached.shared_size(m),
+                live_nodes: gc.live,
+                elapsed: iter_start.elapsed(),
+                conversion: std::time::Duration::ZERO,
+            });
+        }
+    };
+    let elapsed = start.elapsed();
+    let peak_nodes = m.peak_nodes();
+    disarm_limits(m);
+    // Post-run accounting (untimed): state count + χ for validation.
+    let set = StateSet::NonEmpty(reached.clone());
+    let reached_chi = set.to_characteristic(m, &space).ok();
+    if let Some(chi) = reached_chi {
+        m.protect(chi);
+    }
+    let reached_states = reached_chi.map(|chi| {
+        m.sat_count(chi, m.num_vars()) / 2f64.powi(m.num_vars() as i32 - space.len() as i32)
+    });
+    ReachResult {
+        engine: EngineKind::Bfv,
+        outcome,
+        iterations,
+        reached_states,
+        reached_chi,
+        representation_nodes: Some(reached.shared_size(m)),
+        peak_nodes,
+        elapsed,
+        conversion_time: std::time::Duration::ZERO,
+        per_iteration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfvr_netlist::generators;
+    use bfvr_sim::OrderHeuristic;
+
+    fn run(net: &bfvr_netlist::Netlist) -> (BddManager, EncodedFsm, ReachResult) {
+        let (mut m, fsm) = EncodedFsm::encode(net, OrderHeuristic::DfsFanin).unwrap();
+        let r = reach_bfv(&mut m, &fsm, &ReachOptions::default());
+        (m, fsm, r)
+    }
+
+    #[test]
+    fn counter_reaches_all_states() {
+        let (_, _, r) = run(&generators::counter(6));
+        assert_eq!(r.outcome, Outcome::FixedPoint);
+        assert_eq!(r.reached_states, Some(64.0));
+        // One step per count plus the fix-point confirmation.
+        assert!(r.iterations >= 64, "iterations = {}", r.iterations);
+    }
+
+    #[test]
+    fn modk_counter_reaches_k_states() {
+        let (_, _, r) = run(&generators::counter_modk(5, 11));
+        assert_eq!(r.outcome, Outcome::FixedPoint);
+        assert_eq!(r.reached_states, Some(11.0));
+    }
+
+    #[test]
+    fn johnson_reaches_2n() {
+        let (_, _, r) = run(&generators::johnson(7));
+        assert_eq!(r.outcome, Outcome::FixedPoint);
+        assert_eq!(r.reached_states, Some(14.0));
+    }
+
+    #[test]
+    fn rotator_reaches_n() {
+        let (_, _, r) = run(&generators::rotator(6));
+        assert_eq!(r.outcome, Outcome::FixedPoint);
+        assert_eq!(r.reached_states, Some(6.0));
+    }
+
+    #[test]
+    fn lfsr_reaches_all_but_one() {
+        let (_, _, r) = run(&generators::lfsr(5));
+        assert_eq!(r.outcome, Outcome::FixedPoint);
+        assert_eq!(r.reached_states, Some(31.0));
+        assert_eq!(r.iterations, 31); // 30 growth steps + cycle-closing confirmation
+    }
+
+    #[test]
+    fn paired_registers_reach_diagonal() {
+        let (_, _, r) = run(&generators::paired_registers(5));
+        assert_eq!(r.outcome, Outcome::FixedPoint);
+        assert_eq!(r.reached_states, Some(32.0)); // 2^5 of 2^10
+    }
+
+    #[test]
+    fn s27_reached_states() {
+        let (_, _, r) = run(&bfvr_netlist::circuits::s27());
+        assert_eq!(r.outcome, Outcome::FixedPoint);
+        // s27 has 6 reachable states of 8 — a classic known result.
+        assert_eq!(r.reached_states, Some(6.0));
+        assert_eq!(r.conversion_time, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let net = generators::counter(8);
+        let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+        let opts = ReachOptions { max_iterations: Some(5), ..Default::default() };
+        let r = reach_bfv(&mut m, &fsm, &opts);
+        assert_eq!(r.outcome, Outcome::IterationLimit);
+        assert_eq!(r.iterations, 5);
+        assert_eq!(r.reached_states, Some(6.0)); // init + 5 steps
+    }
+
+    #[test]
+    fn node_limit_produces_memout() {
+        let net = generators::queue_controller(3);
+        let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+        let opts = ReachOptions {
+            node_limit: Some(m.allocated() + 40),
+            ..Default::default()
+        };
+        let r = reach_bfv(&mut m, &fsm, &opts);
+        assert_eq!(r.outcome, Outcome::MemOut);
+    }
+
+    #[test]
+    fn time_limit_produces_timeout() {
+        let net = generators::gray(10);
+        let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+        let opts = ReachOptions {
+            time_limit: Some(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        let r = reach_bfv(&mut m, &fsm, &opts);
+        assert_eq!(r.outcome, Outcome::TimeOut);
+    }
+
+    #[test]
+    fn frontier_and_full_iteration_agree() {
+        let net = generators::traffic_chain(3);
+        let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+        let rf = reach_bfv(&mut m, &fsm, &ReachOptions::default());
+        let ra = reach_bfv(
+            &mut m,
+            &fsm,
+            &ReachOptions { use_frontier: false, ..Default::default() },
+        );
+        assert_eq!(rf.reached_chi, ra.reached_chi);
+        assert_eq!(rf.reached_states, ra.reached_states);
+    }
+}

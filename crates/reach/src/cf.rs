@@ -1,0 +1,159 @@
+//! Monolithic transition-relation reachability (characteristic functions).
+
+use std::time::Instant;
+
+use bfvr_bdd::{Bdd, BddManager, Var};
+use bfvr_sim::EncodedFsm;
+
+use crate::common::{
+    arm_limits, disarm_limits, outcome_of_bdd_error, IterationStats, Outcome, ReachOptions,
+    ReachResult,
+};
+use crate::EngineKind;
+
+/// Builds the cube of the initial state over the current-state variables.
+pub(crate) fn initial_chi(m: &mut BddManager, fsm: &EncodedFsm) -> Result<Bdd, bfvr_bdd::BddError> {
+    let space = fsm.space();
+    let bits = fsm.initial_state();
+    let mut chi = Bdd::TRUE;
+    for (c, &v) in space.vars().iter().enumerate() {
+        let lit = if bits[c] { m.var(v) } else { m.nvar(v)? };
+        chi = m.and(chi, lit)?;
+    }
+    Ok(chi)
+}
+
+/// Counts states of a χ over the current-state variables.
+pub(crate) fn count_states(m: &BddManager, fsm: &EncodedFsm, chi: Bdd) -> f64 {
+    let n = fsm.space().len() as i32;
+    m.sat_count(chi, m.num_vars()) / 2f64.powi(m.num_vars() as i32 - n)
+}
+
+/// Runs reachability with one monolithic transition relation
+/// `T(v,u,w) = ⋀ᵢ (uᵢ ↔ δᵢ(v,w))` and one relational product per step.
+pub fn reach_monolithic(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> ReachResult {
+    let start = Instant::now();
+    arm_limits(m, opts);
+    let mut per_iteration = Vec::new();
+    let mut iterations = 0usize;
+    let mut reached = Bdd::FALSE;
+    let mut outcome_opt = None;
+    // Quantification cube: all current-state and input variables.
+    let run = (|| -> Result<(Bdd, usize), bfvr_bdd::BddError> {
+        let mut t = Bdd::TRUE;
+        for l in 0..fsm.num_latches() {
+            let (_, u) = fsm.state_vars(l);
+            let uu = m.var(u);
+            let eq = m.xnor(uu, fsm.next_fn(l))?;
+            t = m.and(t, eq)?;
+        }
+        m.protect(t);
+        let mut qvars: Vec<Var> = fsm.space().vars().to_vec();
+        qvars.extend(fsm.input_vars());
+        let cube = m.cube_from_vars(&qvars)?;
+        m.protect(cube);
+        let pairs = fsm.swap_pairs();
+        reached = initial_chi(m, fsm)?;
+        let mut from = reached;
+        loop {
+            if opts.max_iterations.is_some_and(|cap| iterations >= cap) {
+                outcome_opt = Some(Outcome::IterationLimit);
+                m.unprotect(t);
+                m.unprotect(cube);
+                return Ok((reached, iterations));
+            }
+            let iter_start = Instant::now();
+            let img_u = m.and_exists(t, from, cube)?;
+            let img = m.swap_vars(img_u, &pairs)?;
+            let new_reached = m.or(reached, img)?;
+            iterations += 1;
+            if new_reached == reached {
+                m.unprotect(t);
+                m.unprotect(cube);
+                return Ok((reached, iterations));
+            }
+            reached = new_reached;
+            from = if opts.use_frontier && m.size(img) <= m.size(reached) { img } else { reached };
+            let gc = m.collect_garbage(&[reached, from, t, cube]);
+            if opts.record_iterations {
+                per_iteration.push(IterationStats {
+                    reached_states: count_states(m, fsm, reached),
+                    reached_nodes: m.size(reached),
+                    live_nodes: gc.live,
+                    elapsed: iter_start.elapsed(),
+                    conversion: std::time::Duration::ZERO,
+                });
+            }
+        }
+    })();
+    let outcome = match (&run, outcome_opt) {
+        (_, Some(o)) => o,
+        (Ok(_), None) => Outcome::FixedPoint,
+        (Err(e), None) => outcome_of_bdd_error(e),
+    };
+    let elapsed = start.elapsed();
+    let peak_nodes = m.peak_nodes();
+    disarm_limits(m);
+    m.protect(reached);
+    ReachResult {
+        engine: EngineKind::Monolithic,
+        outcome,
+        iterations,
+        reached_states: Some(count_states(m, fsm, reached)),
+        reached_chi: Some(reached),
+        representation_nodes: Some(m.size(reached)),
+        peak_nodes,
+        elapsed,
+        conversion_time: std::time::Duration::ZERO,
+        per_iteration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach_bfv;
+    use bfvr_netlist::generators;
+    use bfvr_sim::OrderHeuristic;
+
+    #[test]
+    fn monolithic_counts_match_known_values() {
+        for (net, expect) in [
+            (generators::counter(5), 32.0),
+            (generators::counter_modk(4, 9), 9.0),
+            (generators::johnson(5), 10.0),
+            (bfvr_netlist::circuits::s27(), 6.0),
+        ] {
+            let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+            let r = reach_monolithic(&mut m, &fsm, &ReachOptions::default());
+            assert_eq!(r.outcome, Outcome::FixedPoint, "{}", net.name());
+            assert_eq!(r.reached_states, Some(expect), "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn monolithic_agrees_with_bfv_engine() {
+        for net in [
+            generators::shift_register(6),
+            generators::queue_controller(2),
+            generators::rotator(5),
+            generators::traffic_chain(2),
+            generators::paired_registers(4),
+        ] {
+            let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+            let a = reach_monolithic(&mut m, &fsm, &ReachOptions::default());
+            let b = reach_bfv(&mut m, &fsm, &ReachOptions::default());
+            assert_eq!(a.outcome, Outcome::FixedPoint);
+            assert_eq!(b.outcome, Outcome::FixedPoint);
+            assert_eq!(a.reached_chi, b.reached_chi, "{} sets differ", net.name());
+        }
+    }
+
+    #[test]
+    fn initial_chi_is_singleton() {
+        let net = generators::rotator(4);
+        let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::Declaration).unwrap();
+        let chi = initial_chi(&mut m, &fsm).unwrap();
+        assert_eq!(count_states(&m, &fsm, chi), 1.0);
+    }
+}

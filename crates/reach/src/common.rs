@@ -1,0 +1,222 @@
+//! Shared options, statistics and outcome types for the engines.
+
+use std::time::{Duration, Instant};
+
+use bfvr_bdd::{Bdd, BddError, BddManager};
+use bfvr_bfv::reparam::Schedule;
+use bfvr_bfv::BfvError;
+
+/// Which reachability engine to run (see the crate docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The paper's Figure 2 flow (Boolean functional vectors).
+    Bfv,
+    /// Coudert–Berthet–Madre Figure 1 flow (χ + range computation).
+    Cbm,
+    /// Monolithic transition relation.
+    Monolithic,
+    /// Partitioned transition relation with IWLS95-style scheduling.
+    Iwls95,
+    /// Figure 2 flow over McMillan's conjunctive decomposition (§2.7).
+    Cdec,
+}
+
+impl EngineKind {
+    /// Short label used in benchmark tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Bfv => "BFV",
+            EngineKind::Cbm => "CBM",
+            EngineKind::Monolithic => "MONO",
+            EngineKind::Iwls95 => "IWLS95",
+            EngineKind::Cdec => "CDEC",
+        }
+    }
+
+    /// All engines, for sweeps.
+    pub fn all() -> [EngineKind; 5] {
+        [
+            EngineKind::Bfv,
+            EngineKind::Cbm,
+            EngineKind::Monolithic,
+            EngineKind::Iwls95,
+            EngineKind::Cdec,
+        ]
+    }
+}
+
+/// Resource limits and tuning knobs shared by all engines.
+#[derive(Clone, Debug)]
+pub struct ReachOptions {
+    /// Ceiling on allocated BDD nodes (reproduces `M.O.`).
+    pub node_limit: Option<usize>,
+    /// Wall-clock budget (reproduces `T.O.`).
+    pub time_limit: Option<Duration>,
+    /// Safety cap on image iterations.
+    pub max_iterations: Option<usize>,
+    /// Parameter-elimination schedule for the BFV/CDEC engines (§3).
+    pub schedule: Schedule,
+    /// Cluster size threshold for the partitioned-TR engine \[IWLS95\].
+    pub cluster_threshold: usize,
+    /// Use the smaller of frontier/reached as the image source (the
+    /// selection heuristic of Figures 1–2). When false, always iterate
+    /// from the full reached set.
+    pub use_frontier: bool,
+    /// Record per-iteration statistics (adds one count per step).
+    pub record_iterations: bool,
+}
+
+impl Default for ReachOptions {
+    fn default() -> Self {
+        ReachOptions {
+            node_limit: None,
+            time_limit: None,
+            max_iterations: None,
+            schedule: Schedule::DynamicSupport,
+            cluster_threshold: 500,
+            use_frontier: true,
+            record_iterations: false,
+        }
+    }
+}
+
+/// How a traversal ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The least fixed point was reached.
+    FixedPoint,
+    /// The wall-clock budget was exhausted (`T.O.` in Table 2).
+    TimeOut,
+    /// The node ceiling was hit (`M.O.` in Table 2).
+    MemOut,
+    /// The iteration cap was hit.
+    IterationLimit,
+}
+
+impl Outcome {
+    /// The paper's table notation: `ok`, `T.O.`, `M.O.`, `I.L.`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::FixedPoint => "ok",
+            Outcome::TimeOut => "T.O.",
+            Outcome::MemOut => "M.O.",
+            Outcome::IterationLimit => "I.L.",
+        }
+    }
+}
+
+/// One image iteration's bookkeeping.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IterationStats {
+    /// States reached after this iteration.
+    pub reached_states: f64,
+    /// Shared BDD size of the reached-set representation.
+    pub reached_nodes: usize,
+    /// Allocated nodes after this iteration's garbage collection.
+    pub live_nodes: usize,
+    /// Time spent in this iteration.
+    pub elapsed: Duration,
+    /// Time spent converting between representations (CBM flow only).
+    pub conversion: Duration,
+}
+
+/// The result of a reachability run.
+#[derive(Clone, Debug)]
+pub struct ReachResult {
+    /// The engine that produced this result.
+    pub engine: EngineKind,
+    /// How the traversal ended.
+    pub outcome: Outcome,
+    /// Image iterations completed.
+    pub iterations: usize,
+    /// Number of reached states (exact when the state count fits; present
+    /// even on resource-limited runs, for the states found so far).
+    pub reached_states: Option<f64>,
+    /// Characteristic function of the reached set over the current-state
+    /// variables (present when the engine completed; the BFV engine
+    /// converts once at the end purely for cross-engine validation).
+    ///
+    /// The engine leaves one [`bfvr_bdd::BddManager::protect`] reference
+    /// on this handle so later engine runs in the same manager cannot
+    /// collect it; release it with `unprotect` when done.
+    pub reached_chi: Option<Bdd>,
+    /// Shared size of the final reached-set representation (BDD nodes).
+    pub representation_nodes: Option<usize>,
+    /// Peak allocated BDD nodes during the run (the paper's `Peak(K)`).
+    pub peak_nodes: usize,
+    /// Wall time.
+    pub elapsed: Duration,
+    /// Total time spent in representation conversions (χ↔BFV); zero for
+    /// the Figure 2 flow — that is the paper's headline.
+    pub conversion_time: Duration,
+    /// Per-iteration statistics (when requested).
+    pub per_iteration: Vec<IterationStats>,
+}
+
+/// Internal: classify a BDD failure as an outcome.
+pub(crate) fn outcome_of_bdd_error(e: &BddError) -> Outcome {
+    match e {
+        BddError::NodeLimit { .. } => Outcome::MemOut,
+        BddError::Deadline => Outcome::TimeOut,
+        _ => Outcome::MemOut,
+    }
+}
+
+/// Internal: classify a BFV failure as an outcome.
+pub(crate) fn outcome_of_bfv_error(e: &BfvError) -> Outcome {
+    match e {
+        BfvError::Bdd(b) => outcome_of_bdd_error(b),
+        _ => Outcome::MemOut,
+    }
+}
+
+/// Internal: arm the manager's limits; returns the deadline used.
+pub(crate) fn arm_limits(m: &mut BddManager, opts: &ReachOptions) -> Option<Instant> {
+    if let Some(n) = opts.node_limit {
+        m.set_node_limit(n);
+    }
+    let deadline = opts.time_limit.map(|d| Instant::now() + d);
+    m.set_deadline(deadline);
+    m.reset_peak_nodes();
+    deadline
+}
+
+/// Internal: disarm limits after a run.
+pub(crate) fn disarm_limits(m: &mut BddManager) {
+    m.clear_node_limit();
+    m.set_deadline(None);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(EngineKind::Bfv.label(), "BFV");
+        assert_eq!(Outcome::TimeOut.label(), "T.O.");
+        assert_eq!(Outcome::MemOut.label(), "M.O.");
+        assert_eq!(EngineKind::all().len(), 5);
+    }
+
+    #[test]
+    fn default_options_are_unbounded() {
+        let o = ReachOptions::default();
+        assert!(o.node_limit.is_none());
+        assert!(o.time_limit.is_none());
+        assert!(o.use_frontier);
+    }
+
+    #[test]
+    fn error_classification() {
+        assert_eq!(
+            outcome_of_bdd_error(&BddError::NodeLimit { limit: 1 }),
+            Outcome::MemOut
+        );
+        assert_eq!(outcome_of_bdd_error(&BddError::Deadline), Outcome::TimeOut);
+        assert_eq!(
+            outcome_of_bfv_error(&BfvError::Bdd(BddError::Deadline)),
+            Outcome::TimeOut
+        );
+    }
+}

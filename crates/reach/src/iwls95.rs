@@ -1,0 +1,257 @@
+//! Partitioned transition relation with IWLS95-style clustering and early
+//! quantification — the configuration of the paper's "VIS-IWLS" baseline.
+
+use std::time::Instant;
+
+use bfvr_bdd::{Bdd, BddManager, Var};
+use bfvr_sim::EncodedFsm;
+
+use crate::cf::{count_states, initial_chi};
+use crate::common::{
+    arm_limits, disarm_limits, outcome_of_bdd_error, IterationStats, Outcome, ReachOptions,
+    ReachResult,
+};
+use crate::EngineKind;
+
+/// A processed cluster: its relation and the quantifiable variables whose
+/// last occurrence is this cluster.
+struct Cluster {
+    relation: Bdd,
+    retire_cube: Bdd,
+}
+
+/// Builds clusters of per-latch relations, greedily conjoined until the
+/// BDD size threshold is exceeded [IWLS95].
+fn build_clusters(
+    m: &mut BddManager,
+    fsm: &EncodedFsm,
+    threshold: usize,
+) -> Result<Vec<Bdd>, bfvr_bdd::BddError> {
+    let mut clusters = Vec::new();
+    let mut acc = Bdd::TRUE;
+    for c in 0..fsm.num_latches() {
+        let l = fsm.latch_of_component(c);
+        let (_, u) = fsm.state_vars(l);
+        let uu = m.var(u);
+        let r = m.xnor(uu, fsm.next_fn(l))?;
+        let joined = m.and(acc, r)?;
+        if !acc.is_true() && m.size(joined) > threshold {
+            clusters.push(acc);
+            acc = r;
+        } else {
+            acc = joined;
+        }
+    }
+    if !acc.is_true() || clusters.is_empty() {
+        clusters.push(acc);
+    }
+    Ok(clusters)
+}
+
+/// Orders clusters and computes each step's retire cube: the greedy
+/// IWLS95-flavored schedule — at every step pick the cluster that retires
+/// the most quantifiable variables (variables absent from all remaining
+/// clusters), breaking ties toward smaller support.
+fn schedule(
+    m: &mut BddManager,
+    clusters: Vec<Bdd>,
+    quantifiable: &[Var],
+) -> Result<Vec<Cluster>, bfvr_bdd::BddError> {
+    let mut remaining: Vec<Bdd> = clusters;
+    let mut ordered = Vec::with_capacity(remaining.len());
+    let is_q = |v: Var| quantifiable.contains(&v);
+    while !remaining.is_empty() {
+        let supports: Vec<Vec<Var>> = remaining
+            .iter()
+            .map(|&c| m.support(c).vars().into_iter().filter(|&v| is_q(v)).collect())
+            .collect();
+        let mut best = 0usize;
+        let mut best_score = (usize::MIN, usize::MAX);
+        for i in 0..remaining.len() {
+            let retired = supports[i]
+                .iter()
+                .filter(|v| {
+                    supports
+                        .iter()
+                        .enumerate()
+                        .all(|(j, s)| j == i || !s.contains(v))
+                })
+                .count();
+            let score = (retired, usize::MAX - supports[i].len());
+            if score > best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        let chosen = remaining.swap_remove(best);
+        let chosen_support: Vec<Var> =
+            m.support(chosen).vars().into_iter().filter(|&v| is_q(v)).collect();
+        // Retire the chosen cluster's quantifiable vars that no remaining
+        // cluster mentions.
+        let remaining_supports: Vec<Vec<Var>> = remaining
+            .iter()
+            .map(|&c| m.support(c).vars().into_iter().filter(|&v| is_q(v)).collect())
+            .collect();
+        let retire: Vec<Var> = chosen_support
+            .into_iter()
+            .filter(|v| remaining_supports.iter().all(|s| !s.contains(v)))
+            .collect();
+        let retire_cube = m.cube_from_vars(&retire)?;
+        ordered.push(Cluster { relation: chosen, retire_cube });
+    }
+    Ok(ordered)
+}
+
+/// Runs reachability with the partitioned transition relation.
+pub fn reach_iwls95(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> ReachResult {
+    let start = Instant::now();
+    arm_limits(m, opts);
+    let mut per_iteration = Vec::new();
+    let mut iterations = 0usize;
+    let mut reached = Bdd::FALSE;
+    let mut outcome_opt = None;
+    let run = (|| -> Result<(), bfvr_bdd::BddError> {
+        let mut qvars: Vec<Var> = fsm.space().vars().to_vec();
+        qvars.extend(fsm.input_vars());
+        let raw = build_clusters(m, fsm, opts.cluster_threshold)?;
+        let clusters = schedule(m, raw, &qvars)?;
+        for c in &clusters {
+            m.protect(c.relation);
+            m.protect(c.retire_cube);
+        }
+        // Variables in no cluster at all can be smoothed out of the from-
+        // set up front (inputs the next-state logic ignores, say).
+        let unused: Vec<Var> = {
+            let mut used = bfvr_bdd::Support::empty(m.num_vars());
+            for c in &clusters {
+                used.union_with(&m.support(c.relation));
+            }
+            qvars.iter().copied().filter(|&v| !used.contains(v)).collect()
+        };
+        let presmooth = m.cube_from_vars(&unused)?;
+        m.protect(presmooth);
+        let pairs = fsm.swap_pairs();
+        reached = initial_chi(m, fsm)?;
+        let mut from = reached;
+        loop {
+            if opts.max_iterations.is_some_and(|cap| iterations >= cap) {
+                outcome_opt = Some(Outcome::IterationLimit);
+                break;
+            }
+            let iter_start = Instant::now();
+            let mut acc = m.exists(from, presmooth)?;
+            for c in &clusters {
+                acc = m.and_exists(acc, c.relation, c.retire_cube)?;
+            }
+            let img = m.swap_vars(acc, &pairs)?;
+            let new_reached = m.or(reached, img)?;
+            iterations += 1;
+            if new_reached == reached {
+                break;
+            }
+            reached = new_reached;
+            from = if opts.use_frontier && m.size(img) <= m.size(reached) {
+                img
+            } else {
+                reached
+            };
+            let mut roots = vec![reached, from];
+            roots.extend(clusters.iter().map(|c| c.relation));
+            let gc = m.collect_garbage(&roots);
+            if opts.record_iterations {
+                per_iteration.push(IterationStats {
+                    reached_states: count_states(m, fsm, reached),
+                    reached_nodes: m.size(reached),
+                    live_nodes: gc.live,
+                    elapsed: iter_start.elapsed(),
+                    conversion: std::time::Duration::ZERO,
+                });
+            }
+        }
+        for c in &clusters {
+            m.unprotect(c.relation);
+            m.unprotect(c.retire_cube);
+        }
+        m.unprotect(presmooth);
+        Ok(())
+    })();
+    let outcome = match (&run, outcome_opt) {
+        (_, Some(o)) => o,
+        (Ok(()), None) => Outcome::FixedPoint,
+        (Err(e), None) => outcome_of_bdd_error(e),
+    };
+    let elapsed = start.elapsed();
+    let peak_nodes = m.peak_nodes();
+    disarm_limits(m);
+    m.protect(reached);
+    ReachResult {
+        engine: EngineKind::Iwls95,
+        outcome,
+        iterations,
+        reached_states: Some(count_states(m, fsm, reached)),
+        reached_chi: Some(reached),
+        representation_nodes: Some(m.size(reached)),
+        peak_nodes,
+        elapsed,
+        conversion_time: std::time::Duration::ZERO,
+        per_iteration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{reach_bfv, reach_monolithic};
+    use bfvr_netlist::generators;
+    use bfvr_sim::OrderHeuristic;
+
+    #[test]
+    fn iwls_agrees_with_monolithic_and_bfv() {
+        for net in [
+            generators::counter(6),
+            generators::johnson(6),
+            generators::queue_controller(2),
+            bfvr_netlist::circuits::s27(),
+            generators::paired_registers(4),
+        ] {
+            let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+            let a = reach_iwls95(&mut m, &fsm, &ReachOptions::default());
+            let b = reach_monolithic(&mut m, &fsm, &ReachOptions::default());
+            let c = reach_bfv(&mut m, &fsm, &ReachOptions::default());
+            assert_eq!(a.outcome, Outcome::FixedPoint, "{}", net.name());
+            assert_eq!(a.reached_chi, b.reached_chi, "{} iwls vs mono", net.name());
+            assert_eq!(a.reached_chi, c.reached_chi, "{} iwls vs bfv", net.name());
+        }
+    }
+
+    #[test]
+    fn small_threshold_makes_many_clusters() {
+        let net = generators::counter(8);
+        let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+        let tiny = build_clusters(&mut m, &fsm, 1).unwrap();
+        let big = build_clusters(&mut m, &fsm, 100_000).unwrap();
+        assert!(tiny.len() > big.len());
+        assert_eq!(big.len(), 1);
+        // Both cluster sets conjoin to the same relation.
+        let t1 = m.and_all(&tiny).unwrap();
+        let t2 = m.and_all(&big).unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn threshold_does_not_change_result() {
+        let net = generators::traffic_chain(3);
+        let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+        let r1 = reach_iwls95(
+            &mut m,
+            &fsm,
+            &ReachOptions { cluster_threshold: 5, ..Default::default() },
+        );
+        let r2 = reach_iwls95(
+            &mut m,
+            &fsm,
+            &ReachOptions { cluster_threshold: 10_000, ..Default::default() },
+        );
+        assert_eq!(r1.reached_chi, r2.reached_chi);
+    }
+}

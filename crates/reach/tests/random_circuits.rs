@@ -1,0 +1,147 @@
+//! Property test: on random small sequential circuits, every symbolic
+//! engine's reached set equals an explicit-state BFS ground truth.
+
+use std::collections::{HashSet, VecDeque};
+
+use bfvr_netlist::{GateKind, Netlist, NetlistBuilder};
+use bfvr_reach::{run, EngineKind, Outcome, ReachOptions};
+use bfvr_sim::{EncodedFsm, OrderHeuristic};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Spec {
+    num_inputs: u8,
+    num_latches: u8,
+    gates: Vec<(u8, Vec<u8>)>,
+    latch_sources: Vec<u8>,
+    inits: Vec<bool>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    (1u8..3, 2u8..6).prop_flat_map(|(num_inputs, num_latches)| {
+        let gates = prop::collection::vec(
+            (0u8..8, prop::collection::vec(any::<u8>(), 1..4)),
+            2..10,
+        );
+        (
+            Just(num_inputs),
+            Just(num_latches),
+            gates,
+            prop::collection::vec(any::<u8>(), num_latches as usize),
+            prop::collection::vec(any::<bool>(), num_latches as usize),
+        )
+            .prop_map(|(num_inputs, num_latches, gates, latch_sources, inits)| Spec {
+                num_inputs,
+                num_latches,
+                gates,
+                latch_sources,
+                inits,
+            })
+    })
+}
+
+fn build(spec: &Spec) -> Netlist {
+    let mut b = NetlistBuilder::new("rand");
+    let mut readable: Vec<String> = Vec::new();
+    for i in 0..spec.num_inputs {
+        let n = format!("in{i}");
+        b.input(&n).unwrap();
+        readable.push(n);
+    }
+    for l in 0..spec.num_latches {
+        let n = format!("q{l}");
+        b.latch(&n, format!("d{l}"), spec.inits[l as usize]).unwrap();
+        readable.push(n);
+    }
+    for (gi, (kind, fanins)) in spec.gates.iter().enumerate() {
+        let kind = match kind % 8 {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            2 => GateKind::Nand,
+            3 => GateKind::Nor,
+            4 => GateKind::Not,
+            5 => GateKind::Buf,
+            6 => GateKind::Xor,
+            _ => GateKind::Xnor,
+        };
+        let arity =
+            if matches!(kind, GateKind::Not | GateKind::Buf) { 1 } else { fanins.len() };
+        let ins: Vec<String> = (0..arity)
+            .map(|k| readable[fanins[k % fanins.len()] as usize % readable.len()].clone())
+            .collect();
+        let refs: Vec<&str> = ins.iter().map(String::as_str).collect();
+        let n = format!("g{gi}");
+        b.gate(&n, kind, &refs).unwrap();
+        readable.push(n);
+    }
+    for l in 0..spec.num_latches {
+        let pick = spec.latch_sources[l as usize] as usize % readable.len();
+        b.gate(format!("d{l}"), GateKind::Buf, &[readable[pick].as_str()]).unwrap();
+    }
+    b.output(readable.last().unwrap());
+    b.finish().unwrap()
+}
+
+fn explicit_reachable(net: &Netlist) -> usize {
+    let order = bfvr_netlist::topo::order(net).unwrap();
+    let ni = net.inputs().len();
+    let step = |state: &Vec<bool>, inputs: u32| -> Vec<bool> {
+        let mut vals = vec![false; net.num_signals()];
+        for (i, &s) in net.inputs().iter().enumerate() {
+            vals[s.index()] = inputs >> i & 1 == 1;
+        }
+        for (i, l) in net.latches().iter().enumerate() {
+            vals[l.output.index()] = state[i];
+        }
+        for &g in &order {
+            let gate = &net.gates()[g];
+            let ins: Vec<bool> = gate.inputs.iter().map(|&x| vals[x.index()]).collect();
+            vals[gate.output.index()] = gate.kind.eval(&ins);
+        }
+        net.latches().iter().map(|l| vals[l.input.index()]).collect()
+    };
+    let mut seen: HashSet<Vec<bool>> = HashSet::new();
+    let mut q = VecDeque::new();
+    let init = net.initial_state();
+    seen.insert(init.clone());
+    q.push_back(init);
+    while let Some(st) = q.pop_front() {
+        for inputs in 0..(1u32 << ni) {
+            let nxt = step(&st, inputs);
+            if seen.insert(nxt.clone()) {
+                q.push_back(nxt);
+            }
+        }
+    }
+    seen.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_engine_matches_explicit_bfs(spec in spec_strategy(), order_seed: u64) {
+        let net = build(&spec);
+        let truth = explicit_reachable(&net) as f64;
+        let order = OrderHeuristic::Random(order_seed);
+        for kind in EngineKind::all() {
+            let (mut m, fsm) = EncodedFsm::encode(&net, order).unwrap();
+            let r = run(kind, &mut m, &fsm, &ReachOptions::default());
+            prop_assert_eq!(r.outcome, Outcome::FixedPoint, "{:?}", kind);
+            prop_assert_eq!(r.reached_states, Some(truth), "{:?} vs explicit BFS", kind);
+        }
+    }
+
+    #[test]
+    fn frontier_choice_never_changes_the_answer(spec in spec_strategy()) {
+        let net = build(&spec);
+        let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+        let with = bfvr_reach::reach_bfv(&mut m, &fsm, &ReachOptions::default());
+        let without = bfvr_reach::reach_bfv(
+            &mut m,
+            &fsm,
+            &ReachOptions { use_frontier: false, ..Default::default() },
+        );
+        prop_assert_eq!(with.reached_chi, without.reached_chi);
+    }
+}

@@ -1,0 +1,354 @@
+//! Netlist → BDD encoding with paired current/next state variables.
+
+use bfvr_bdd::{Bdd, BddManager, Var};
+use bfvr_bfv::Space;
+use bfvr_netlist::{GateKind, Netlist};
+
+use crate::order::{OrderHeuristic, Slot};
+
+/// A BDD encoding of a finite state machine.
+///
+/// Variable layout: the slot order (from the [`OrderHeuristic`]) is walked
+/// once; each latch slot receives two adjacent levels — current-state
+/// variable `v` then next-state variable `u` — and each input slot one
+/// level. Pairing `v`/`u` makes the current↔next rename an adjacent swap
+/// and gives both representations their preferred interleaving.
+#[derive(Debug)]
+pub struct EncodedFsm {
+    /// `(v, u)` variable pair per latch (indexed by latch index).
+    state_vars: Vec<(Var, Var)>,
+    /// Variable per primary input (indexed by input index).
+    input_vars: Vec<Var>,
+    /// Next-state function per latch over `(v, w)` variables.
+    next: Vec<Bdd>,
+    /// Primary-output functions over `(v, w)` variables.
+    outputs: Vec<Bdd>,
+    /// Latch indices in component (variable) order.
+    comp_to_latch: Vec<usize>,
+    init: Vec<bool>,
+    name: String,
+}
+
+impl EncodedFsm {
+    /// Encodes a netlist, creating the manager with the variable order
+    /// produced by `heuristic`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on BDD resource-limit exhaustion (unbounded by default).
+    pub fn encode(
+        net: &Netlist,
+        heuristic: OrderHeuristic,
+    ) -> Result<(BddManager, EncodedFsm), bfvr_bdd::BddError> {
+        Self::encode_with_slots(net, &heuristic.slots(net))
+    }
+
+    /// Encodes with an explicit slot order (for custom order studies).
+    ///
+    /// # Errors
+    ///
+    /// Fails on BDD resource-limit exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is not a complete, duplicate-free cover of the
+    /// netlist's latches and inputs, or if the netlist has no latches
+    /// (purely combinational circuits have no state to traverse).
+    pub fn encode_with_slots(
+        net: &Netlist,
+        slots: &[Slot],
+    ) -> Result<(BddManager, EncodedFsm), bfvr_bdd::BddError> {
+        let nl = net.latches().len();
+        assert!(nl > 0, "state traversal needs at least one latch (combinational circuit?)");
+        let ni = net.inputs().len();
+        assert_eq!(slots.len(), nl + ni, "slot order must cover all latches and inputs");
+        let num_vars = 2 * nl as u32 + ni as u32;
+        let mut m = BddManager::new(num_vars);
+        let mut state_vars = vec![(Var(0), Var(0)); nl];
+        let mut input_vars = vec![Var(0); ni];
+        let mut comp_to_latch = Vec::with_capacity(nl);
+        let mut level = 0u32;
+        for &slot in slots {
+            match slot {
+                Slot::Latch(l) => {
+                    state_vars[l] = (Var(level), Var(level + 1));
+                    comp_to_latch.push(l);
+                    level += 2;
+                }
+                Slot::Input(i) => {
+                    input_vars[i] = Var(level);
+                    level += 1;
+                }
+            }
+        }
+        debug_assert_eq!(level, num_vars);
+        // Build every signal's function over (v, w).
+        let order = bfvr_netlist::topo::order(net).expect("validated netlists are acyclic");
+        let mut funcs: Vec<Bdd> = vec![Bdd::FALSE; net.num_signals()];
+        for (i, &s) in net.inputs().iter().enumerate() {
+            funcs[s.index()] = m.var(input_vars[i]);
+        }
+        for (l, latch) in net.latches().iter().enumerate() {
+            funcs[latch.output.index()] = m.var(state_vars[l].0);
+        }
+        for g in order {
+            let gate = &net.gates()[g];
+            let ins: Vec<Bdd> = gate.inputs.iter().map(|&x| funcs[x.index()]).collect();
+            funcs[gate.output.index()] = encode_gate(&mut m, &gate.kind, &ins)?;
+        }
+        let next: Vec<Bdd> = net.latches().iter().map(|l| funcs[l.input.index()]).collect();
+        let outputs: Vec<Bdd> = net.outputs().iter().map(|&o| funcs[o.index()]).collect();
+        for &f in next.iter().chain(outputs.iter()) {
+            m.protect(f);
+        }
+        let fsm = EncodedFsm {
+            state_vars,
+            input_vars,
+            next,
+            outputs,
+            comp_to_latch,
+            init: net.initial_state(),
+            name: net.name().to_string(),
+        };
+        Ok((m, fsm))
+    }
+
+    /// The FSM's name (from the netlist).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of latches (state bits).
+    pub fn num_latches(&self) -> usize {
+        self.next.len()
+    }
+
+    /// `(current, next)` variable pair of latch `l`.
+    pub fn state_vars(&self, l: usize) -> (Var, Var) {
+        self.state_vars[l]
+    }
+
+    /// Variable of primary input `i`.
+    pub fn input_var(&self, i: usize) -> Var {
+        self.input_vars[i]
+    }
+
+    /// All input variables.
+    pub fn input_vars(&self) -> Vec<Var> {
+        self.input_vars.clone()
+    }
+
+    /// Next-state function of latch `l`, over current-state and input
+    /// variables.
+    pub fn next_fn(&self, l: usize) -> Bdd {
+        self.next[l]
+    }
+
+    /// Primary-output functions over current-state and input variables.
+    pub fn output_fns(&self) -> &[Bdd] {
+        &self.outputs
+    }
+
+    /// The component space of state sets: current-state variables in
+    /// variable order (component order = BDD order, the paper's §3
+    /// configuration).
+    pub fn space(&self) -> Space {
+        let vars = self.comp_to_latch.iter().map(|&l| self.state_vars[l].0).collect();
+        Space::new(vars).expect("state spaces are non-empty and duplicate-free")
+    }
+
+    /// Like [`EncodedFsm::space`] but over the *next*-state variables —
+    /// the re-parameterization target of the Figure 2 flow.
+    pub fn next_space(&self) -> Space {
+        let vars = self.comp_to_latch.iter().map(|&l| self.state_vars[l].1).collect();
+        Space::new(vars).expect("state spaces are non-empty and duplicate-free")
+    }
+
+    /// Latch index of component `c` of the state space.
+    pub fn latch_of_component(&self, c: usize) -> usize {
+        self.comp_to_latch[c]
+    }
+
+    /// The initial state in *component* order (ready for
+    /// [`bfvr_bfv::StateSet::singleton`]).
+    pub fn initial_state(&self) -> Vec<bool> {
+        self.comp_to_latch.iter().map(|&l| self.init[l]).collect()
+    }
+
+    /// Next-state functions in component order.
+    pub fn next_fns_in_component_order(&self) -> Vec<Bdd> {
+        self.comp_to_latch.iter().map(|&l| self.next[l]).collect()
+    }
+
+    /// The `(v, u)` rename pairs, for swapping a set between the current
+    /// and next spaces.
+    pub fn swap_pairs(&self) -> Vec<(Var, Var)> {
+        self.state_vars.to_vec()
+    }
+}
+
+fn encode_gate(
+    m: &mut BddManager,
+    kind: &GateKind,
+    ins: &[Bdd],
+) -> Result<Bdd, bfvr_bdd::BddError> {
+    Ok(match kind {
+        GateKind::And => m.and_all(ins)?,
+        GateKind::Or => m.or_all(ins)?,
+        GateKind::Nand => {
+            let a = m.and_all(ins)?;
+            m.not(a)?
+        }
+        GateKind::Nor => {
+            let o = m.or_all(ins)?;
+            m.not(o)?
+        }
+        GateKind::Not => m.not(ins[0])?,
+        GateKind::Buf => ins[0],
+        GateKind::Xor | GateKind::Xnor => {
+            let mut acc = Bdd::FALSE;
+            for &i in ins {
+                acc = m.xor(acc, i)?;
+            }
+            if matches!(kind, GateKind::Xnor) {
+                m.not(acc)?
+            } else {
+                acc
+            }
+        }
+        GateKind::Const0 => Bdd::FALSE,
+        GateKind::Const1 => Bdd::TRUE,
+        GateKind::Cover(rows) => {
+            let mut acc = Bdd::FALSE;
+            for row in rows {
+                let mut cube = Bdd::TRUE;
+                for (lit, &f) in row.iter().zip(ins) {
+                    match lit {
+                        Some(true) => cube = m.and(cube, f)?,
+                        Some(false) => {
+                            let nf = m.not(f)?;
+                            cube = m.and(cube, nf)?;
+                        }
+                        None => {}
+                    }
+                }
+                acc = m.or(acc, cube)?;
+            }
+            acc
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfvr_netlist::generators;
+
+    /// Reference interpreter (mirrors the netlist test util).
+    fn step(net: &Netlist, state: &[bool], inputs: &[bool]) -> Vec<bool> {
+        let order = bfvr_netlist::topo::order(net).unwrap();
+        let mut vals = vec![false; net.num_signals()];
+        for (i, &s) in net.inputs().iter().enumerate() {
+            vals[s.index()] = inputs[i];
+        }
+        for (i, l) in net.latches().iter().enumerate() {
+            vals[l.output.index()] = state[i];
+        }
+        for g in order {
+            let gate = &net.gates()[g];
+            let ins: Vec<bool> = gate.inputs.iter().map(|&x| vals[x.index()]).collect();
+            vals[gate.output.index()] = gate.kind.eval(&ins);
+        }
+        net.latches().iter().map(|l| vals[l.input.index()]).collect()
+    }
+
+    #[test]
+    fn encoding_matches_interpreter() {
+        for net in [
+            generators::counter(4),
+            generators::queue_controller(2),
+            bfvr_netlist::circuits::s27(),
+        ] {
+            let (m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+            let nl = net.latches().len();
+            let ni = net.inputs().len();
+            let mut rng = 0xA5A5_5A5A_1234_5678u64;
+            for _ in 0..64 {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                let st: Vec<bool> = (0..nl).map(|i| rng >> i & 1 == 1).collect();
+                let ins: Vec<bool> = (0..ni).map(|i| rng >> (i + nl) & 1 == 1).collect();
+                let expect = step(&net, &st, &ins);
+                // Build the full-variable assignment.
+                let mut asg = vec![false; m.num_vars() as usize];
+                for (l, &(v, _)) in fsm.state_vars.iter().enumerate() {
+                    asg[v.0 as usize] = st[l];
+                }
+                for (i, &w) in fsm.input_vars.iter().enumerate() {
+                    asg[w.0 as usize] = ins[i];
+                }
+                #[allow(clippy::needless_range_loop)]
+                for l in 0..nl {
+                    assert_eq!(
+                        m.eval(fsm.next_fn(l), &asg),
+                        expect[l],
+                        "{} latch {l} mismatch",
+                        net.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn variable_pairs_are_adjacent() {
+        let net = generators::johnson(5);
+        for h in [OrderHeuristic::DfsFanin, OrderHeuristic::Declaration, OrderHeuristic::Random(3)]
+        {
+            let (_, fsm) = EncodedFsm::encode(&net, h).unwrap();
+            #[allow(clippy::needless_range_loop)]
+            for l in 0..fsm.num_latches() {
+                let (v, u) = fsm.state_vars(l);
+                assert_eq!(u.0, v.0 + 1, "pair for latch {l} not adjacent under {h:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn space_is_sorted_by_level() {
+        let net = generators::counter(5);
+        let (_, fsm) = EncodedFsm::encode(&net, OrderHeuristic::Random(9)).unwrap();
+        let space = fsm.space();
+        for w in space.vars().windows(2) {
+            assert!(w[0].0 < w[1].0, "component order must follow variable order");
+        }
+        // next_space mirrors it one level down.
+        let nspace = fsm.next_space();
+        for (v, u) in space.vars().iter().zip(nspace.vars()) {
+            assert_eq!(u.0, v.0 + 1);
+        }
+    }
+
+    #[test]
+    fn initial_state_is_permuted_with_components() {
+        let net = generators::rotator(4); // latch 0 resets to 1
+        let (_, fsm) = EncodedFsm::encode(&net, OrderHeuristic::Reversed).unwrap();
+        let init = fsm.initial_state();
+        assert_eq!(init.iter().filter(|&&b| b).count(), 1);
+        // The hot bit must sit at the component mapped to latch 0.
+        let hot = init.iter().position(|&b| b).unwrap();
+        assert_eq!(fsm.latch_of_component(hot), 0);
+    }
+
+    #[test]
+    fn outputs_encoded() {
+        let net = generators::counter(3);
+        let (m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::Declaration).unwrap();
+        assert_eq!(fsm.output_fns().len(), 1);
+        // ov = en ∧ c0 ∧ c1 ∧ c2: exactly one satisfying assignment over
+        // the 4 relevant variables.
+        let ov = fsm.output_fns()[0];
+        assert_eq!(m.sat_count(ov, m.num_vars()) as u64, 1 << (m.num_vars() - 4));
+    }
+}

@@ -1,0 +1,192 @@
+//! Static variable-ordering heuristics.
+//!
+//! The paper (§3) uses *fixed* variable orders from several sources: the
+//! VIS static order (S1), their own tool's static order (S2), orders from
+//! dynamic-reordering runs (D), and third-party orders (P/O). We model the
+//! spectrum with four heuristics over *slots* (latches and primary
+//! inputs); the encoder then assigns each latch slot a pair of adjacent
+//! BDD levels (current, next) and each input slot a single level.
+
+use bfvr_netlist::{Netlist, SignalId};
+
+/// One position in the variable order: a latch (by index) or a primary
+/// input (by index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Slot {
+    /// Latch `latches()[i]` (will occupy two adjacent levels).
+    Latch(usize),
+    /// Input `inputs()[i]` (one level).
+    Input(usize),
+}
+
+/// A recipe for computing a static slot order for a netlist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrderHeuristic {
+    /// Depth-first traversal from the outputs through the combinational
+    /// logic and across latch boundaries, recording inputs and latches in
+    /// first-visit order — the classic fan-in ordering used by VIS-style
+    /// static ordering (the paper's `S1` flavor).
+    DfsFanin,
+    /// Declaration order: latches then inputs as the netlist lists them
+    /// (the paper's "our tool's static ordering" `S2` flavor).
+    Declaration,
+    /// Declaration order reversed — a deliberately degraded order standing
+    /// in for the paper's externally-sourced `D`/`P` orders on circuits
+    /// where those were bad for one representation.
+    Reversed,
+    /// A seeded random permutation (the paper's "other orders available to
+    /// us", `O`).
+    Random(u64),
+}
+
+impl OrderHeuristic {
+    /// Computes the slot order for a netlist.
+    pub fn slots(self, net: &Netlist) -> Vec<Slot> {
+        match self {
+            OrderHeuristic::DfsFanin => dfs_fanin(net),
+            OrderHeuristic::Declaration => declaration(net),
+            OrderHeuristic::Reversed => {
+                let mut s = declaration(net);
+                s.reverse();
+                s
+            }
+            OrderHeuristic::Random(seed) => {
+                let mut s = declaration(net);
+                let mut state = seed | 1;
+                for i in (1..s.len()).rev() {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let j = (state % (i as u64 + 1)) as usize;
+                    s.swap(i, j);
+                }
+                s
+            }
+        }
+    }
+
+    /// Short label used in benchmark tables (mirrors the paper's columns).
+    pub fn label(self) -> String {
+        match self {
+            OrderHeuristic::DfsFanin => "S1".to_string(),
+            OrderHeuristic::Declaration => "S2".to_string(),
+            OrderHeuristic::Reversed => "D".to_string(),
+            OrderHeuristic::Random(seed) => format!("O{seed}"),
+        }
+    }
+}
+
+fn declaration(net: &Netlist) -> Vec<Slot> {
+    let mut slots: Vec<Slot> = (0..net.latches().len()).map(Slot::Latch).collect();
+    slots.extend((0..net.inputs().len()).map(Slot::Input));
+    slots
+}
+
+fn dfs_fanin(net: &Netlist) -> Vec<Slot> {
+    use bfvr_netlist::Driver;
+    let mut seen = vec![false; net.num_signals()];
+    let mut order = Vec::new();
+    let latch_of: std::collections::HashMap<SignalId, usize> = net
+        .latches()
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (l.output, i))
+        .collect();
+    let input_of: std::collections::HashMap<SignalId, usize> =
+        net.inputs().iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    // Roots: primary outputs first, then latch next-state functions, so
+    // the traversal eventually covers every slot.
+    let mut roots: Vec<SignalId> = net.outputs().to_vec();
+    roots.extend(net.latches().iter().map(|l| l.input));
+    for root in roots {
+        // Iterative DFS; latch boundaries enqueue their next-state cone
+        // immediately after the latch is first seen (interleaving related
+        // state variables, which is what makes fan-in orders effective).
+        let mut stack = vec![root];
+        while let Some(s) = stack.pop() {
+            if seen[s.index()] {
+                continue;
+            }
+            seen[s.index()] = true;
+            if let Some(&l) = latch_of.get(&s) {
+                order.push(Slot::Latch(l));
+                stack.push(net.latches()[l].input);
+            } else if let Some(&i) = input_of.get(&s) {
+                order.push(Slot::Input(i));
+            } else if let Driver::Gate(g) = net.driver(s) {
+                stack.extend(net.gates()[g].inputs.iter().rev().copied());
+            }
+        }
+    }
+    // Latches/inputs whose outputs feed nothing are never *visited*; append
+    // them in declaration order so the cover is complete.
+    for (l, latch) in net.latches().iter().enumerate() {
+        if !seen[latch.output.index()] {
+            order.push(Slot::Latch(l));
+        }
+    }
+    for (i, &inp) in net.inputs().iter().enumerate() {
+        if !seen[inp.index()] {
+            order.push(Slot::Input(i));
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfvr_netlist::generators;
+
+    fn check_complete(net: &Netlist, slots: &[Slot]) {
+        let latches = slots.iter().filter(|s| matches!(s, Slot::Latch(_))).count();
+        let inputs = slots.iter().filter(|s| matches!(s, Slot::Input(_))).count();
+        assert_eq!(latches, net.latches().len());
+        assert_eq!(inputs, net.inputs().len());
+        // No duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for s in slots {
+            assert!(seen.insert(format!("{s:?}")), "duplicate slot {s:?}");
+        }
+    }
+
+    #[test]
+    fn all_heuristics_produce_complete_orders() {
+        let nets =
+            [generators::counter(5), generators::paired_registers(3), generators::queue_controller(2)];
+        for net in &nets {
+            for h in [
+                OrderHeuristic::DfsFanin,
+                OrderHeuristic::Declaration,
+                OrderHeuristic::Reversed,
+                OrderHeuristic::Random(42),
+            ] {
+                check_complete(net, &h.slots(net));
+            }
+        }
+    }
+
+    #[test]
+    fn random_orders_differ_by_seed() {
+        let net = generators::counter(8);
+        let a = OrderHeuristic::Random(1).slots(&net);
+        let b = OrderHeuristic::Random(2).slots(&net);
+        assert_ne!(a, b);
+        // Same seed is deterministic.
+        assert_eq!(a, OrderHeuristic::Random(1).slots(&net));
+    }
+
+    #[test]
+    fn reversed_is_reverse_of_declaration() {
+        let net = generators::johnson(4);
+        let mut d = OrderHeuristic::Declaration.slots(&net);
+        d.reverse();
+        assert_eq!(d, OrderHeuristic::Reversed.slots(&net));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(OrderHeuristic::DfsFanin.label(), "S1");
+        assert_eq!(OrderHeuristic::Random(7).label(), "O7");
+    }
+}

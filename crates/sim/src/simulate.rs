@@ -1,0 +1,173 @@
+//! Symbolic simulation: image computation by functional composition.
+//!
+//! The image step of the paper's Figure 2 flow: compose the next-state
+//! functions `δ(v, w)` with the components of the current state set's
+//! canonical vector `R(v)` (simultaneous composition, because the
+//! components themselves depend on the `v` variables), then re-parameterize
+//! the resulting vector — whose parameters are the current-state choice
+//! variables and the inputs — onto the next-state space, and finally
+//! rename next-state variables back to current.
+
+use bfvr_bdd::{Bdd, BddManager, Var};
+use bfvr_bfv::reparam::{reparameterize_with, Schedule};
+use bfvr_bfv::{Bfv, BfvError};
+
+use crate::encode::EncodedFsm;
+
+/// Computes the canonical vector of the image
+/// `{ δ(s, w) : s ∈ R, w ∈ inputs }` of a reached set `R`.
+///
+/// Uses the dynamic support-based quantification schedule (paper §3).
+///
+/// # Errors
+///
+/// Fails on BDD resource-limit exhaustion.
+pub fn simulate_image(m: &mut BddManager, fsm: &EncodedFsm, reached: &Bfv) -> Result<Bfv, BfvError> {
+    simulate_image_with(m, fsm, reached, Schedule::DynamicSupport)
+}
+
+/// Like [`simulate_image`] with an explicit quantification schedule.
+///
+/// # Errors
+///
+/// Fails on BDD resource-limit exhaustion.
+pub fn simulate_image_with(
+    m: &mut BddManager,
+    fsm: &EncodedFsm,
+    reached: &Bfv,
+    schedule: Schedule,
+) -> Result<Bfv, BfvError> {
+    let space = fsm.space();
+    let next_space = fsm.next_space();
+    // Substitution map: current-state variable of latch l ← component of
+    // the reached vector representing that latch.
+    let mut map: Vec<Option<Bdd>> = vec![None; m.num_vars() as usize];
+    for (c, &var) in space.vars().iter().enumerate() {
+        map[var.0 as usize] = Some(reached.component(c));
+    }
+    // Symbolic simulation: one simultaneous composition per latch.
+    let mut composed = Vec::with_capacity(fsm.num_latches());
+    for next_fn in fsm.next_fns_in_component_order() {
+        composed.push(m.vector_compose(next_fn, &map)?);
+    }
+    let simulated = Bfv::from_components(&next_space, composed)?;
+    // Parameters: the current-state choice variables and the inputs.
+    let mut params: Vec<Var> = space.vars().to_vec();
+    params.extend(fsm.input_vars());
+    let image_next = reparameterize_with(m, &next_space, &simulated, &params, schedule)?;
+    // Rename u → v so the image lives in the current-state space again.
+    let pairs = fsm.swap_pairs();
+    let mut renamed = Vec::with_capacity(image_next.len());
+    for &c in image_next.components() {
+        renamed.push(m.swap_vars(c, &pairs)?);
+    }
+    Bfv::from_components(&space, renamed)
+}
+
+/// Evaluates the primary outputs over a state set: returns, per output,
+/// the condition (over current-state and input variables) under which the
+/// output is 1 *restricted to* states in the set — i.e. the output
+/// function composed with the set's vector.
+///
+/// # Errors
+///
+/// Fails on BDD resource-limit exhaustion.
+pub fn simulate_outputs(
+    m: &mut BddManager,
+    fsm: &EncodedFsm,
+    reached: &Bfv,
+) -> Result<Vec<Bdd>, BfvError> {
+    let space = fsm.space();
+    let mut map: Vec<Option<Bdd>> = vec![None; m.num_vars() as usize];
+    for (c, &var) in space.vars().iter().enumerate() {
+        map[var.0 as usize] = Some(reached.component(c));
+    }
+    let mut out = Vec::with_capacity(fsm.output_fns().len());
+    for &f in fsm.output_fns() {
+        out.push(m.vector_compose(f, &map)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::OrderHeuristic;
+    use bfvr_bfv::StateSet;
+    use bfvr_netlist::generators;
+
+    #[test]
+    fn counter_image_steps() {
+        let net = generators::counter(3);
+        let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+        let space = fsm.space();
+        let init = StateSet::singleton(&mut m, &space, &fsm.initial_state()).unwrap();
+        // Image of {0} = {0, 1}; of that = {0, 1, 2}; etc.
+        let mut cur = init.as_bfv().unwrap().clone();
+        for step in 1..=4u64 {
+            cur = simulate_image(&mut m, &fsm, &cur).unwrap();
+            assert!(cur.is_canonical(&mut m, &space).unwrap(), "step {step} not canonical");
+            let s = StateSet::NonEmpty(cur.clone());
+            assert_eq!(s.len(&mut m, &space).unwrap() as u64, step + 1, "step {step}");
+        }
+    }
+
+    #[test]
+    fn image_matches_relational_oracle() {
+        // Cross-check symbolic simulation against the transition-relation
+        // image on s27 for a couple of steps.
+        let net = bfvr_netlist::circuits::s27();
+        let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+        let space = fsm.space();
+        let init = StateSet::singleton(&mut m, &space, &fsm.initial_state()).unwrap();
+        // Build the monolithic transition relation over (v, u, w).
+        let mut t = bfvr_bdd::Bdd::TRUE;
+        for c in 0..fsm.num_latches() {
+            let l = fsm.latch_of_component(c);
+            let (_, u) = fsm.state_vars(l);
+            let uu = m.var(u);
+            let eq = m.xnor(uu, fsm.next_fn(l)).unwrap();
+            t = m.and(t, eq).unwrap();
+        }
+        let mut quant_vars: Vec<Var> = space.vars().to_vec();
+        quant_vars.extend(fsm.input_vars());
+        let cube = m.cube_from_vars(&quant_vars).unwrap();
+        let mut cur = init.as_bfv().unwrap().clone();
+        let mut chi = StateSet::NonEmpty(cur.clone()).to_characteristic(&mut m, &space).unwrap();
+        for step in 0..3 {
+            // Oracle image.
+            let img = m.and_exists(t, chi, cube).unwrap();
+            let img_v = m.swap_vars(img, &fsm.swap_pairs()).unwrap();
+            // Symbolic simulation image.
+            cur = simulate_image(&mut m, &fsm, &cur).unwrap();
+            let got = StateSet::NonEmpty(cur.clone()).to_characteristic(&mut m, &space).unwrap();
+            assert_eq!(got, img_v, "image mismatch at step {step}");
+            chi = img_v;
+        }
+    }
+
+    #[test]
+    fn fixed_and_dynamic_schedules_agree() {
+        let net = generators::johnson(5);
+        let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::Declaration).unwrap();
+        let space = fsm.space();
+        let init = StateSet::singleton(&mut m, &space, &fsm.initial_state()).unwrap();
+        let f = init.as_bfv().unwrap();
+        let a = simulate_image_with(&mut m, &fsm, f, Schedule::DynamicSupport).unwrap();
+        let b = simulate_image_with(&mut m, &fsm, f, Schedule::Fixed).unwrap();
+        assert_eq!(a.components(), b.components());
+    }
+
+    #[test]
+    fn outputs_over_state_set() {
+        let net = generators::counter(2);
+        let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::Declaration).unwrap();
+        let space = fsm.space();
+        // At state 3 (both bits set) with en=1, the overflow output fires.
+        let s3 = StateSet::singleton(&mut m, &space, &[true, true]).unwrap();
+        let outs = simulate_outputs(&mut m, &fsm, s3.as_bfv().unwrap()).unwrap();
+        // Output = en (since c0=c1=1 inside this set).
+        let en = m.var(fsm.input_var(0));
+        assert_eq!(outs[0], en);
+    }
+}

@@ -1,0 +1,340 @@
+//! Ternary (three-valued) symbolic simulation with dual-rail encoding —
+//! the simulation style of Symbolic Trajectory Evaluation, which the
+//! paper cites as the established consumer of Boolean functional vectors
+//! (§1: "Boolean functional vectors are also used in Symbolic Trajectory
+//! Evaluation").
+//!
+//! Every signal carries a pair of BDDs `(hi, lo)`: `hi` is the condition
+//! under which the signal is definitely 1, `lo` definitely 0; where
+//! neither holds the value is the unknown `X`. Gates propagate
+//! pessimistically per the standard ternary extension (an AND with one
+//! definite 0 input is 0 even if the other input is X), and the rails are
+//! kept mutually exclusive by construction.
+
+use bfvr_bdd::{Bdd, BddManager};
+use bfvr_netlist::{GateKind, Netlist, NetlistError};
+
+/// A dual-rail ternary value: `hi` = "is 1", `lo` = "is 0"; where neither
+/// holds the value is X. Invariant: `hi ∧ lo = ⊥`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TernValue {
+    /// Condition under which the signal is definitely 1.
+    pub hi: Bdd,
+    /// Condition under which the signal is definitely 0.
+    pub lo: Bdd,
+}
+
+impl TernValue {
+    /// The constant 1.
+    pub const ONE: TernValue = TernValue { hi: Bdd::TRUE, lo: Bdd::FALSE };
+    /// The constant 0.
+    pub const ZERO: TernValue = TernValue { hi: Bdd::FALSE, lo: Bdd::TRUE };
+    /// The unknown X.
+    pub const X: TernValue = TernValue { hi: Bdd::FALSE, lo: Bdd::FALSE };
+
+    /// A two-valued (fully determined) symbolic value: 1 exactly where
+    /// `f` holds.
+    ///
+    /// # Errors
+    ///
+    /// Fails on BDD resource exhaustion.
+    pub fn from_boolean(m: &mut BddManager, f: Bdd) -> Result<Self, bfvr_bdd::BddError> {
+        Ok(TernValue { hi: f, lo: m.not(f)? })
+    }
+
+    /// Whether the value is definite (never X) for every assignment.
+    ///
+    /// # Errors
+    ///
+    /// Fails on BDD resource exhaustion.
+    pub fn is_definite(&self, m: &mut BddManager) -> Result<bool, bfvr_bdd::BddError> {
+        Ok(m.or(self.hi, self.lo)?.is_true())
+    }
+
+    /// The concrete ternary value under a full assignment of the BDD
+    /// variables: `Some(bit)` when definite, `None` for X.
+    pub fn eval(&self, m: &BddManager, asg: &[bool]) -> Option<bool> {
+        if m.eval(self.hi, asg) {
+            Some(true)
+        } else if m.eval(self.lo, asg) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+}
+
+/// A gate-level ternary symbolic simulator over a netlist.
+#[derive(Debug)]
+pub struct TernarySimulator<'n> {
+    net: &'n Netlist,
+    order: Vec<usize>,
+}
+
+impl<'n> TernarySimulator<'n> {
+    /// Prepares a simulator (computes the evaluation order once).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the netlist has a combinational cycle (impossible for
+    /// validated netlists).
+    pub fn new(net: &'n Netlist) -> Result<Self, NetlistError> {
+        let order = bfvr_netlist::topo::order(net)?;
+        Ok(TernarySimulator { net, order })
+    }
+
+    /// The all-X state (nothing known about any latch).
+    pub fn unknown_state(&self) -> Vec<TernValue> {
+        vec![TernValue::X; self.net.latches().len()]
+    }
+
+    /// The reset state as definite values.
+    pub fn reset_state(&self) -> Vec<TernValue> {
+        self.net
+            .latches()
+            .iter()
+            .map(|l| if l.init { TernValue::ONE } else { TernValue::ZERO })
+            .collect()
+    }
+
+    /// One clock cycle: returns `(next_state, outputs)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on BDD resource exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state`/`inputs` lengths do not match the netlist.
+    pub fn step(
+        &self,
+        m: &mut BddManager,
+        state: &[TernValue],
+        inputs: &[TernValue],
+    ) -> Result<(Vec<TernValue>, Vec<TernValue>), bfvr_bdd::BddError> {
+        assert_eq!(state.len(), self.net.latches().len(), "state width mismatch");
+        assert_eq!(inputs.len(), self.net.inputs().len(), "input width mismatch");
+        let mut vals = vec![TernValue::X; self.net.num_signals()];
+        for (i, &s) in self.net.inputs().iter().enumerate() {
+            vals[s.index()] = inputs[i];
+        }
+        for (i, l) in self.net.latches().iter().enumerate() {
+            vals[l.output.index()] = state[i];
+        }
+        for &g in &self.order {
+            let gate = &self.net.gates()[g];
+            let ins: Vec<TernValue> =
+                gate.inputs.iter().map(|&x| vals[x.index()]).collect();
+            vals[gate.output.index()] = eval_gate(m, &gate.kind, &ins)?;
+        }
+        let next =
+            self.net.latches().iter().map(|l| vals[l.input.index()]).collect();
+        let outs = self.net.outputs().iter().map(|&o| vals[o.index()]).collect();
+        Ok((next, outs))
+    }
+}
+
+/// Ternary gate evaluation in dual-rail form.
+fn eval_gate(
+    m: &mut BddManager,
+    kind: &GateKind,
+    ins: &[TernValue],
+) -> Result<TernValue, bfvr_bdd::BddError> {
+    let and_all = |m: &mut BddManager, ins: &[TernValue]| -> Result<TernValue, bfvr_bdd::BddError> {
+        // 1 iff all definitely 1; 0 iff any definitely 0.
+        let his: Vec<Bdd> = ins.iter().map(|v| v.hi).collect();
+        let los: Vec<Bdd> = ins.iter().map(|v| v.lo).collect();
+        Ok(TernValue { hi: m.and_all(&his)?, lo: m.or_all(&los)? })
+    };
+    let or_all = |m: &mut BddManager, ins: &[TernValue]| -> Result<TernValue, bfvr_bdd::BddError> {
+        let his: Vec<Bdd> = ins.iter().map(|v| v.hi).collect();
+        let los: Vec<Bdd> = ins.iter().map(|v| v.lo).collect();
+        Ok(TernValue { hi: m.or_all(&his)?, lo: m.and_all(&los)? })
+    };
+    let invert = |v: TernValue| TernValue { hi: v.lo, lo: v.hi };
+    Ok(match kind {
+        GateKind::And => and_all(m, ins)?,
+        GateKind::Or => or_all(m, ins)?,
+        GateKind::Nand => invert(and_all(m, ins)?),
+        GateKind::Nor => invert(or_all(m, ins)?),
+        GateKind::Not => invert(ins[0]),
+        GateKind::Buf => ins[0],
+        GateKind::Xor | GateKind::Xnor => {
+            // Parity is definite only where every input is definite.
+            let mut acc = TernValue::ZERO;
+            for &v in ins {
+                // xor(acc, v): 1 iff rails disagree definitely.
+                let hl = m.and(acc.hi, v.lo)?;
+                let lh = m.and(acc.lo, v.hi)?;
+                let hh = m.and(acc.hi, v.hi)?;
+                let ll = m.and(acc.lo, v.lo)?;
+                acc = TernValue { hi: m.or(hl, lh)?, lo: m.or(hh, ll)? };
+            }
+            if matches!(kind, GateKind::Xnor) {
+                invert(acc)
+            } else {
+                acc
+            }
+        }
+        GateKind::Const0 => TernValue::ZERO,
+        GateKind::Const1 => TernValue::ONE,
+        GateKind::Cover(rows) => {
+            // Output 1 iff some row definitely matches; 0 iff every row
+            // definitely mismatches.
+            let mut any_hi = Bdd::FALSE;
+            let mut all_lo = Bdd::TRUE;
+            for row in rows {
+                let mut row_hi = Bdd::TRUE; // definitely matches
+                let mut row_lo = Bdd::FALSE; // definitely mismatches
+                for (lit, v) in row.iter().zip(ins) {
+                    match lit {
+                        Some(true) => {
+                            row_hi = m.and(row_hi, v.hi)?;
+                            row_lo = m.or(row_lo, v.lo)?;
+                        }
+                        Some(false) => {
+                            row_hi = m.and(row_hi, v.lo)?;
+                            row_lo = m.or(row_lo, v.hi)?;
+                        }
+                        None => {}
+                    }
+                }
+                any_hi = m.or(any_hi, row_hi)?;
+                all_lo = m.and(all_lo, row_lo)?;
+            }
+            TernValue { hi: any_hi, lo: all_lo }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfvr_bdd::Var;
+    use bfvr_netlist::generators;
+
+    #[test]
+    fn definite_simulation_matches_boolean() {
+        let net = generators::counter(4);
+        let sim = TernarySimulator::new(&net).unwrap();
+        let mut m = BddManager::new(1);
+        let mut state = sim.reset_state();
+        // 5 enabled steps: counter must read 5, fully definite.
+        for _ in 0..5 {
+            let (next, _) = sim.step(&mut m, &state, &[TernValue::ONE]).unwrap();
+            state = next;
+        }
+        let value: u32 = state
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                assert!(v.is_definite(&mut m).unwrap());
+                u32::from(v.hi.is_true()) << i
+            })
+            .sum();
+        assert_eq!(value, 5);
+    }
+
+    #[test]
+    fn x_propagates_and_rails_stay_exclusive() {
+        let net = generators::counter(3);
+        let sim = TernarySimulator::new(&net).unwrap();
+        let mut m = BddManager::new(1);
+        // X on the enable: next state is X everywhere the count would
+        // change, but bit values that cannot change stay definite.
+        let state = sim.reset_state(); // 000
+        let (next, _) = sim.step(&mut m, &state, &[TernValue::X]).unwrap();
+        // Bit 0 flips iff en: unknown. Bits 1,2 stay 0 regardless: known.
+        assert_eq!(next[0], TernValue::X);
+        assert_eq!(next[1], TernValue::ZERO);
+        assert_eq!(next[2], TernValue::ZERO);
+        for v in &next {
+            let both = m.and(v.hi, v.lo).unwrap();
+            assert!(both.is_false(), "rails overlap");
+        }
+    }
+
+    #[test]
+    fn symbolic_inputs_split_cases() {
+        // Drive the shift register with a symbolic bit: the output after
+        // n cycles equals that variable.
+        let n = 4;
+        let net = generators::shift_register(n);
+        let sim = TernarySimulator::new(&net).unwrap();
+        let mut m = BddManager::new(1);
+        let d = m.var(Var(0));
+        let sym = TernValue::from_boolean(&mut m, d).unwrap();
+        let mut state = sim.reset_state();
+        for step in 0..n {
+            let inp = if step == 0 { sym } else { TernValue::ZERO };
+            let (next, _) = sim.step(&mut m, &state, &[inp]).unwrap();
+            state = next;
+        }
+        // After n steps the symbolic bit sits in the last stage; one more
+        // step exposes it on the serial output.
+        assert_eq!(state[n as usize - 1].hi, d);
+        let (_, outs) = sim.step(&mut m, &state, &[TernValue::ZERO]).unwrap();
+        assert_eq!(outs[0].hi, d);
+        assert!(outs[0].is_definite(&mut m).unwrap());
+    }
+
+    #[test]
+    fn monotonic_refinement() {
+        // Refining an X input to a constant can only refine outputs:
+        // wherever the X-run was definite, the refined run agrees.
+        let net = bfvr_netlist::circuits::s27();
+        let sim = TernarySimulator::new(&net).unwrap();
+        let mut m = BddManager::new(1);
+        let state = sim.reset_state();
+        let x_inputs = vec![TernValue::X; 4];
+        let (x_next, x_outs) = sim.step(&mut m, &state, &x_inputs).unwrap();
+        for bits in 0u8..16 {
+            let conc: Vec<TernValue> = (0..4)
+                .map(|i| if bits >> i & 1 == 1 { TernValue::ONE } else { TernValue::ZERO })
+                .collect();
+            let (c_next, c_outs) = sim.step(&mut m, &state, &conc).unwrap();
+            for (x, c) in x_next.iter().zip(&c_next).chain(x_outs.iter().zip(&c_outs)) {
+                if x.hi.is_true() {
+                    assert!(c.hi.is_true(), "refinement flipped a definite 1");
+                }
+                if x.lo.is_true() {
+                    assert!(c.lo.is_true(), "refinement flipped a definite 0");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_reset_resolves_in_a_johnson_ring() {
+        // From the all-X state, n enabled cycles flush a Johnson counter's
+        // stage 0..k with definite values (the inverted feedback is X, but
+        // stages fed by definite values become definite).
+        let net = generators::shift_register(3);
+        let sim = TernarySimulator::new(&net).unwrap();
+        let mut m = BddManager::new(1);
+        let mut state = sim.unknown_state();
+        assert!(state.iter().all(|v| *v == TernValue::X));
+        for _ in 0..3 {
+            let (next, _) = sim.step(&mut m, &state, &[TernValue::ZERO]).unwrap();
+            state = next;
+        }
+        // After 3 shifts of 0, all stages are definite 0.
+        assert!(state.iter().all(|v| *v == TernValue::ZERO));
+    }
+
+    #[test]
+    fn xor_ternary_semantics() {
+        let mut m = BddManager::new(1);
+        let x = TernValue::X;
+        let one = TernValue::ONE;
+        let zero = TernValue::ZERO;
+        let g = GateKind::Xor;
+        assert_eq!(eval_gate(&mut m, &g, &[one, one]).unwrap(), zero);
+        assert_eq!(eval_gate(&mut m, &g, &[one, zero]).unwrap(), one);
+        assert_eq!(eval_gate(&mut m, &g, &[one, x]).unwrap(), x);
+        // AND absorbs X with a definite 0.
+        assert_eq!(eval_gate(&mut m, &GateKind::And, &[zero, x]).unwrap(), zero);
+        assert_eq!(eval_gate(&mut m, &GateKind::Or, &[one, x]).unwrap(), one);
+        assert_eq!(eval_gate(&mut m, &GateKind::Nand, &[zero, x]).unwrap(), one);
+    }
+}

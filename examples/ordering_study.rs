@@ -1,0 +1,70 @@
+//! The paper's §3 variable-ordering argument, reproduced live: for the
+//! reachable set `χ = ⋀ᵢ (aᵢ ↔ bᵢ)` of the twin-register circuit, the
+//! characteristic function needs related variables adjacent, while the
+//! Boolean functional vector is small under *any* order because the
+//! dependency `bᵢ = aᵢ` is factored out by the representation.
+//!
+//! ```sh
+//! cargo run --release --example ordering_study
+//! ```
+
+use bfvr::bfv::StateSet;
+use bfvr::netlist::generators;
+use bfvr::reach::{reach_bfv, ReachOptions};
+use bfvr::sim::{EncodedFsm, OrderHeuristic, Slot};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("pairs |  order       χ nodes   BFV shared nodes");
+    for p in [4u32, 6, 8, 10, 12] {
+        let net = generators::paired_registers(p);
+        // Two slot orders over the same circuit:
+        //  - interleaved: a0 b0 a1 b1 …  (good for χ)
+        //  - separated:   a0 a1 … b0 b1 …  (exponential for χ)
+        let interleaved: Vec<Slot> = (0..p as usize)
+            .flat_map(|i| [Slot::Latch(i), Slot::Latch(p as usize + i)])
+            .chain((0..p as usize).map(Slot::Input))
+            .collect();
+        let separated: Vec<Slot> = (0..2 * p as usize)
+            .map(Slot::Latch)
+            .chain((0..p as usize).map(Slot::Input))
+            .collect();
+        for (label, slots) in [("paired", interleaved), ("split", separated)] {
+            let (mut m, fsm) = EncodedFsm::encode_with_slots(&net, &slots)?;
+            let r = reach_bfv(&mut m, &fsm, &ReachOptions::default());
+            let space = fsm.space();
+            let set = StateSet::from_characteristic(
+                &mut m,
+                &space,
+                r.reached_chi.expect("traversal completed"),
+            )?;
+            let chi_nodes = m.size(r.reached_chi.unwrap());
+            let bfv_nodes = set.as_bfv().expect("non-empty").shared_size(&m);
+            println!("{p:5} |  {label:10} {chi_nodes:8}   {bfv_nodes:8}");
+        }
+    }
+    println!();
+    println!("χ under the split order grows exponentially with the pair count;");
+    println!("the functional vector stays linear under both orders (paper §3).");
+
+    // And the Random/hostile orders of Table 2, on a mid-size instance:
+    println!();
+    println!("reachability of pair8 across order heuristics (BFV engine):");
+    let net = generators::paired_registers(8);
+    for h in [
+        OrderHeuristic::DfsFanin,
+        OrderHeuristic::Declaration,
+        OrderHeuristic::Reversed,
+        OrderHeuristic::Random(7),
+    ] {
+        let (mut m, fsm) = EncodedFsm::encode(&net, h)?;
+        let r = reach_bfv(&mut m, &fsm, &ReachOptions::default());
+        println!(
+            "  order {:4}  states={:6}  peak={:7}  time={:.1} ms",
+            h.label(),
+            r.reached_states.unwrap_or(f64::NAN),
+            r.peak_nodes,
+            r.elapsed.as_secs_f64() * 1e3
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: the paper's Table 1 set, built and manipulated with
+//! Boolean functional vectors.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use bfvr::bdd::{BddManager, Var};
+use bfvr::bfv::{Space, StateSet};
+
+fn bits(s: &str) -> Vec<bool> {
+    s.chars().map(|c| c == '1').collect()
+}
+
+fn show(s: &StateSet, m: &mut BddManager, space: &Space) -> String {
+    let mut names: Vec<String> = s
+        .members(m, space)
+        .expect("enumeration fits in memory")
+        .iter()
+        .map(|p| p.iter().map(|&b| if b { '1' } else { '0' }).collect())
+        .collect();
+    names.sort();
+    format!("{{{}}}", names.join(", "))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three state bits, one choice variable per bit.
+    let mut m = BddManager::new(3);
+    let space = Space::contiguous(3);
+
+    // The paper's running example: S = {000,001,010,011,100,101},
+    // i.e. "the first two bits cannot both be 1".
+    let points: Vec<Vec<bool>> =
+        ["000", "001", "010", "011", "100", "101"].iter().map(|s| bits(s)).collect();
+    let s = StateSet::from_points(&mut m, &space, &points)?;
+
+    println!("S = {}", show(&s, &mut m, &space));
+    println!("|S| = {}", s.len(&mut m, &space)?);
+
+    // The canonical vector is exactly the paper's (v1, ¬v1∧v2, v3).
+    let f = s.as_bfv().expect("non-empty");
+    for (i, &c) in f.components().iter().enumerate() {
+        println!("f{} = BDD of {} node(s)", i + 1, m.size(c));
+    }
+    assert_eq!(f.component(0), m.var(Var(0)));
+
+    // Non-members map to the nearest member (Table 1): 110 → 100.
+    let image = f.eval(&m, &space, &bits("110"))?;
+    println!(
+        "F(110) = {}",
+        image.iter().map(|&b| if b { '1' } else { '0' }).collect::<String>()
+    );
+
+    // Set algebra without ever building a characteristic function:
+    let t = StateSet::from_points(&mut m, &space, &[bits("110"), bits("011")])?;
+    let union = s.union(&mut m, &space, &t)?;
+    let inter = s.intersect(&mut m, &space, &t)?;
+    println!("S ∪ T = {}", show(&union, &mut m, &space));
+    println!("S ∩ T = {}", show(&inter, &mut m, &space));
+
+    // Membership is two component evaluations, no conversion:
+    assert!(s.contains(&m, &space, &bits("101"))?);
+    assert!(!s.contains(&m, &space, &bits("111"))?);
+    println!("membership checks passed");
+    Ok(())
+}

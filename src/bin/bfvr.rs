@@ -1,0 +1,314 @@
+//! `bfvr` — command-line front end for the Boolean-functional-vector
+//! reachability toolkit.
+//!
+//! ```text
+//! bfvr gen <family:param>             emit a generated circuit as .bench
+//! bfvr stats <file>                   parse and summarize a circuit
+//! bfvr convert <file> --to FORMAT     convert between bench and blif
+//! bfvr reach <file> [options]         reachability analysis
+//! bfvr check <file> --bad CUBE        invariant check (+ counterexample)
+//! bfvr trace <file> --to CUBE         minimal input trace to a state cube
+//! ```
+//!
+//! Run `bfvr help` for the full option list.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use bfvr::bfv::StateSet;
+use bfvr::netlist::{bench, blif, generators, Netlist};
+use bfvr::reach::{
+    check_invariant, find_trace, run as run_engine, CheckResult, EngineKind, ReachOptions,
+};
+use bfvr::sim::{EncodedFsm, OrderHeuristic};
+
+const USAGE: &str = "\
+bfvr — symbolic reachability with Boolean functional vectors
+
+USAGE:
+  bfvr gen <family:param>                 counter:8, modk:4:10, gray:6, lfsr:10,
+                                          shift:16, johnson:12, pair:8, queue:4,
+                                          rot:12, traffic:4, s27
+  bfvr stats <file>
+  bfvr convert <file> --to bench|blif|verilog
+  bfvr reach <file> [--engine bfv|cbm|mono|iwls95|cdec|all]
+                    [--order s1|s2|d|o:<seed>]
+                    [--time-limit <sec>] [--node-limit <nodes>]
+                    [--dump-reached]     print the reached set as cubes
+  bfvr check <file> --bad <cube>          cube over latches in file order,
+                                          e.g. 1x0x (x = don't care)
+  bfvr trace <file> --to <cube>
+
+Files ending in .blif parse as BLIF; everything else as ISCAS89 bench.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(args.get(1).ok_or("gen needs a family spec")?),
+        Some("stats") => cmd_stats(&load(args.get(1).ok_or("stats needs a file")?)?),
+        Some("convert") => cmd_convert(args),
+        Some("reach") => cmd_reach(args),
+        Some("check") => cmd_check(args),
+        Some("trace") => cmd_trace(args),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn generate(spec: &str) -> Result<Netlist, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let p = |i: usize| -> Result<u32, String> {
+        parts
+            .get(i)
+            .ok_or_else(|| format!("`{spec}` needs a parameter"))?
+            .parse()
+            .map_err(|e| format!("bad parameter in `{spec}`: {e}"))
+    };
+    Ok(match parts[0] {
+        "s27" => bfvr::netlist::circuits::s27(),
+        "counter" => generators::counter(p(1)?),
+        "modk" => generators::counter_modk(p(1)?, u64::from(p(2)?)),
+        "gray" => generators::gray(p(1)?),
+        "lfsr" => generators::lfsr(p(1)?),
+        "shift" => generators::shift_register(p(1)?),
+        "johnson" => generators::johnson(p(1)?),
+        "pair" => generators::paired_registers(p(1)?),
+        "queue" => generators::queue_controller(p(1)?),
+        "rot" => generators::rotator(p(1)?),
+        "traffic" => generators::traffic_chain(p(1)?),
+        other => return Err(format!("unknown family `{other}`")),
+    })
+}
+
+fn cmd_gen(spec: &str) -> Result<(), String> {
+    let net = generate(spec)?;
+    print!("{}", bench::write(&net).map_err(|e| e.to_string())?);
+    Ok(())
+}
+
+fn load(path: &str) -> Result<Netlist, String> {
+    if let Some(spec) = path.strip_prefix("gen:") {
+        return generate(spec);
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".blif") {
+        blif::parse(&text).map_err(|e| format!("{path}: {e}"))
+    } else {
+        bench::parse_named(&text, path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn cmd_stats(net: &Netlist) -> Result<(), String> {
+    println!("{}: {}", net.name(), net.stats());
+    let levels = bfvr::netlist::topo::levels(net).map_err(|e| e.to_string())?;
+    println!("logic depth: {}", levels.iter().max().copied().unwrap_or(0));
+    let (latches, inputs) =
+        bfvr::netlist::topo::cone_of_influence(net, net.outputs());
+    println!(
+        "cone of influence of the outputs: {} of {} latches, {} of {} inputs",
+        latches.len(),
+        net.latches().len(),
+        inputs.len(),
+        net.inputs().len()
+    );
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let net = load(args.get(1).ok_or("convert needs a file")?)?;
+    let to = flag_value(args, "--to").ok_or("convert needs --to bench|blif")?;
+    match to.as_str() {
+        "bench" => print!("{}", bench::write(&net).map_err(|e| e.to_string())?),
+        "blif" => print!("{}", blif::write(&net)),
+        "verilog" | "v" => print!("{}", bfvr::netlist::verilog::write(&net)),
+        other => return Err(format!("unknown format `{other}`")),
+    }
+    Ok(())
+}
+
+fn parse_order(args: &[String]) -> Result<OrderHeuristic, String> {
+    Ok(match flag_value(args, "--order").as_deref() {
+        None | Some("s1") => OrderHeuristic::DfsFanin,
+        Some("s2") => OrderHeuristic::Declaration,
+        Some("d") => OrderHeuristic::Reversed,
+        Some(o) if o.starts_with("o:") => OrderHeuristic::Random(
+            o[2..].parse().map_err(|e| format!("bad order seed: {e}"))?,
+        ),
+        Some(other) => return Err(format!("unknown order `{other}`")),
+    })
+}
+
+fn parse_opts(args: &[String]) -> Result<ReachOptions, String> {
+    let mut opts = ReachOptions::default();
+    if let Some(s) = flag_value(args, "--time-limit") {
+        let secs: u64 = s.parse().map_err(|e| format!("bad --time-limit: {e}"))?;
+        opts.time_limit = Some(Duration::from_secs(secs));
+    }
+    if let Some(s) = flag_value(args, "--node-limit") {
+        opts.node_limit = Some(s.parse().map_err(|e| format!("bad --node-limit: {e}"))?);
+    }
+    Ok(opts)
+}
+
+fn cmd_reach(args: &[String]) -> Result<(), String> {
+    let net = load(args.get(1).ok_or("reach needs a file")?)?;
+    let order = parse_order(args)?;
+    let opts = parse_opts(args)?;
+    let engines: Vec<EngineKind> = match flag_value(args, "--engine").as_deref() {
+        None | Some("bfv") => vec![EngineKind::Bfv],
+        Some("cbm") => vec![EngineKind::Cbm],
+        Some("mono") => vec![EngineKind::Monolithic],
+        Some("iwls95") => vec![EngineKind::Iwls95],
+        Some("cdec") => vec![EngineKind::Cdec],
+        Some("all") => EngineKind::all().to_vec(),
+        Some(other) => return Err(format!("unknown engine `{other}`")),
+    };
+    println!(
+        "{:8} {:>6} {:>14} {:>7} {:>10} {:>11}",
+        "engine", "status", "states", "iters", "time(ms)", "peak nodes"
+    );
+    let dump = args.iter().any(|a| a == "--dump-reached");
+    for kind in engines {
+        let (mut m, fsm) = EncodedFsm::encode(&net, order).map_err(|e| e.to_string())?;
+        let r = run_engine(kind, &mut m, &fsm, &opts);
+        println!(
+            "{:8} {:>6} {:>14} {:>7} {:>10.1} {:>11}",
+            kind.label(),
+            r.outcome.label(),
+            r.reached_states.map_or("-".into(), |s| format!("{s}")),
+            r.iterations,
+            r.elapsed.as_secs_f64() * 1e3,
+            r.peak_nodes
+        );
+        if dump {
+            if let Some(chi) = r.reached_chi {
+                let cubes = m.isop(chi).map_err(|e| e.to_string())?;
+                // Column per latch, in declaration order.
+                let mut comp_of_var = std::collections::HashMap::new();
+                for c in 0..fsm.num_latches() {
+                    let l = fsm.latch_of_component(c);
+                    comp_of_var.insert(fsm.state_vars(l).0, l);
+                }
+                println!("reached set, one cube per line (latch order):");
+                for cube in &cubes {
+                    let mut row = vec!['-'; fsm.num_latches()];
+                    for &(v, pol) in cube {
+                        let l = comp_of_var[&v];
+                        row[l] = if pol { '1' } else { '0' };
+                    }
+                    println!("  {}", row.iter().collect::<String>());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses a latch-order cube string (`1`, `0`, `x`/`-`) into component
+/// order for the given encoding.
+fn parse_cube(
+    cube: &str,
+    fsm: &EncodedFsm,
+) -> Result<Vec<Option<bool>>, String> {
+    let bits: Vec<Option<bool>> = cube
+        .chars()
+        .map(|c| match c {
+            '1' => Ok(Some(true)),
+            '0' => Ok(Some(false)),
+            'x' | 'X' | '-' => Ok(None),
+            other => Err(format!("bad cube character `{other}`")),
+        })
+        .collect::<Result<_, _>>()?;
+    if bits.len() != fsm.num_latches() {
+        return Err(format!(
+            "cube has {} bits but the circuit has {} latches",
+            bits.len(),
+            fsm.num_latches()
+        ));
+    }
+    Ok((0..fsm.num_latches()).map(|c| bits[fsm.latch_of_component(c)]).collect())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let net = load(args.get(1).ok_or("check needs a file")?)?;
+    let cube = flag_value(args, "--bad").ok_or("check needs --bad <cube>")?;
+    let opts = parse_opts(args)?;
+    let (mut m, fsm) =
+        EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).map_err(|e| e.to_string())?;
+    let pattern = parse_cube(&cube, &fsm)?;
+    let space = fsm.space();
+    let bad = StateSet::from_cube(&m, &space, &pattern).map_err(|e| e.to_string())?;
+    match check_invariant(&mut m, &fsm, &bad, &opts).map_err(|e| e.to_string())? {
+        CheckResult::Holds { iterations } => {
+            println!("HOLDS: no state matching {cube} is reachable ({iterations} images)");
+        }
+        CheckResult::Violated { depth, witness } => {
+            let latch_bits = to_latch_order(&fsm, &witness);
+            println!("VIOLATED at depth {depth}: state {}", bits_str(&latch_bits));
+            return Err("invariant violated".into());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let net = load(args.get(1).ok_or("trace needs a file")?)?;
+    let cube = flag_value(args, "--to").ok_or("trace needs --to <cube>")?;
+    let opts = parse_opts(args)?;
+    let (mut m, fsm) =
+        EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).map_err(|e| e.to_string())?;
+    let pattern = parse_cube(&cube, &fsm)?;
+    let space = fsm.space();
+    let target = StateSet::from_cube(&m, &space, &pattern).map_err(|e| e.to_string())?;
+    match find_trace(&mut m, &fsm, &target, &opts).map_err(|e| e.to_string())? {
+        None => {
+            println!("UNREACHABLE: no state matching {cube} is reachable");
+        }
+        Some(trace) => {
+            println!("reached {cube} in {} steps:", trace.depth());
+            let input_names: Vec<&str> =
+                net.inputs().iter().map(|&s| net.signal_name(s)).collect();
+            println!("  state {}", bits_str(&to_latch_order(&fsm, &trace.states[0])));
+            for (i, inp) in trace.inputs.iter().enumerate() {
+                let pairs: Vec<String> = input_names
+                    .iter()
+                    .zip(inp)
+                    .map(|(n, &b)| format!("{n}={}", u8::from(b)))
+                    .collect();
+                println!("  step {:3}: {}", i + 1, pairs.join(" "));
+                println!("  state {}", bits_str(&to_latch_order(&fsm, &trace.states[i + 1])));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn to_latch_order(fsm: &EncodedFsm, comp_state: &[bool]) -> Vec<bool> {
+    let mut latch = vec![false; comp_state.len()];
+    for (c, &b) in comp_state.iter().enumerate() {
+        latch[fsm.latch_of_component(c)] = b;
+    }
+    latch
+}
+
+fn bits_str(bits: &[bool]) -> String {
+    bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}

@@ -1,0 +1,25 @@
+//! # bfvr — Boolean functional vectors for symbolic reachability analysis
+//!
+//! Umbrella crate for the reproduction of *"Set Manipulation with Boolean
+//! Functional Vectors for Symbolic Reachability Analysis"* (Goel & Bryant,
+//! DATE 2003). It re-exports the workspace crates under short module
+//! names; see each crate for the full API:
+//!
+//! * [`bdd`] — the ROBDD substrate (`bfvr-bdd`),
+//! * [`bfv`] — canonical Boolean functional vectors and their set algebra
+//!   (`bfvr-bfv`, the paper's contribution),
+//! * [`netlist`] — ISCAS89/BLIF sequential netlists and circuit generators
+//!   (`bfvr-netlist`),
+//! * [`sim`] — symbolic simulation and variable-ordering heuristics
+//!   (`bfvr-sim`),
+//! * [`reach`] — the reachability engines of the paper's Figures 1 and 2
+//!   plus the characteristic-function baselines (`bfvr-reach`).
+//!
+//! The `examples/` directory shows end-to-end flows; `DESIGN.md` maps the
+//! paper's every table and figure to a regenerating binary.
+
+pub use bfvr_bdd as bdd;
+pub use bfvr_bfv as bfv;
+pub use bfvr_netlist as netlist;
+pub use bfvr_reach as reach;
+pub use bfvr_sim as sim;

@@ -1,0 +1,85 @@
+//! Algebraic-law property tests for the public set API, across crates.
+
+use bfvr::bdd::BddManager;
+use bfvr::bfv::{Space, StateSet};
+use proptest::prelude::*;
+
+const N: usize = 4;
+
+fn set_from_mask(m: &mut BddManager, space: &Space, mask: u16) -> StateSet {
+    let points: Vec<Vec<bool>> = (0..16u16)
+        .filter(|p| mask & (1 << p) != 0)
+        .map(|p| (0..N).map(|i| (p >> (N - 1 - i)) & 1 == 1).collect())
+        .collect();
+    StateSet::from_points(m, space, &points).expect("small sets build")
+}
+
+fn mask_of(m: &mut BddManager, space: &Space, s: &StateSet) -> u16 {
+    let mut mask = 0u16;
+    for mem in s.members(m, space).expect("members enumerable") {
+        let p: u16 = mem.iter().enumerate().map(|(i, &b)| (b as u16) << (N - 1 - i)).sum();
+        mask |= 1 << p;
+    }
+    mask
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn boolean_algebra_laws(a: u16, b: u16, c: u16) {
+        let mut m = BddManager::new(N as u32);
+        let space = Space::contiguous(N as u32);
+        let sa = set_from_mask(&mut m, &space, a);
+        let sb = set_from_mask(&mut m, &space, b);
+        let sc = set_from_mask(&mut m, &space, c);
+        // Union/intersection against bitmask arithmetic.
+        let u = sa.union(&mut m, &space, &sb).unwrap();
+        prop_assert_eq!(mask_of(&mut m, &space, &u), a | b);
+        let i = sa.intersect(&mut m, &space, &sb).unwrap();
+        prop_assert_eq!(mask_of(&mut m, &space, &i), a & b);
+        // Distributivity: a ∩ (b ∪ c) = (a∩b) ∪ (a∩c).
+        let bc = sb.union(&mut m, &space, &sc).unwrap();
+        let lhs = sa.intersect(&mut m, &space, &bc).unwrap();
+        let ab = sa.intersect(&mut m, &space, &sb).unwrap();
+        let ac = sa.intersect(&mut m, &space, &sc).unwrap();
+        let rhs = ab.union(&mut m, &space, &ac).unwrap();
+        prop_assert_eq!(mask_of(&mut m, &space, &lhs), mask_of(&mut m, &space, &rhs));
+        // Canonicity: equal masks ⇒ identical representations.
+        prop_assert_eq!(lhs == rhs, true);
+        // Absorption: a ∪ (a ∩ b) = a.
+        let absorbed = sa.union(&mut m, &space, &ab).unwrap();
+        prop_assert_eq!(absorbed, sa);
+    }
+
+    #[test]
+    fn counting_and_membership_consistent(a: u16) {
+        let mut m = BddManager::new(N as u32);
+        let space = Space::contiguous(N as u32);
+        let s = set_from_mask(&mut m, &space, a);
+        prop_assert_eq!(s.len(&mut m, &space).unwrap(), u128::from(a.count_ones()));
+        for p in 0..16u16 {
+            let point: Vec<bool> = (0..N).map(|i| (p >> (N - 1 - i)) & 1 == 1).collect();
+            prop_assert_eq!(
+                s.contains(&m, &space, &point).unwrap(),
+                a & (1 << p) != 0,
+                "point {:04b}", p
+            );
+        }
+    }
+
+    #[test]
+    fn complement_partitions_the_universe(a in 1u16..u16::MAX) {
+        let mut m = BddManager::new(N as u32);
+        let space = Space::contiguous(N as u32);
+        let s = set_from_mask(&mut m, &space, a);
+        let f = s.as_bfv().unwrap().clone();
+        let comp = bfvr::bfv::convert::complement_via_characteristic(&mut m, &space, &f)
+            .unwrap()
+            .expect("a < MAX so the complement is non-empty");
+        let cs = StateSet::NonEmpty(comp);
+        prop_assert!(s.is_disjoint(&mut m, &space, &cs).unwrap());
+        let u = s.union(&mut m, &space, &cs).unwrap();
+        prop_assert_eq!(u.len(&mut m, &space).unwrap(), 16);
+    }
+}

@@ -1,0 +1,87 @@
+//! Robustness tests: cache starvation, interleaved engine runs in one
+//! manager, and repeated GC pressure must never change any result.
+
+use bfvr::netlist::generators;
+use bfvr::reach::{reach_bfv, reach_iwls95, reach_monolithic, Outcome, ReachOptions};
+use bfvr::sim::{EncodedFsm, OrderHeuristic};
+
+/// A starved computed cache only affects speed, never results.
+#[test]
+fn tiny_cache_does_not_change_results() {
+    let net = generators::queue_controller(3);
+    let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+    let baseline = reach_bfv(&mut m, &fsm, &ReachOptions::default());
+    m.set_cache_limit(64); // pathological: constant cache thrash
+    let starved = reach_bfv(&mut m, &fsm, &ReachOptions::default());
+    assert_eq!(baseline.reached_chi, starved.reached_chi);
+    assert_eq!(baseline.iterations, starved.iterations);
+    m.set_cache_limit(1 << 22);
+}
+
+/// Three engines interleaved twice each in one manager, with garbage
+/// collections in between, must all agree and stay stable.
+#[test]
+fn interleaved_engines_share_a_manager() {
+    let net = generators::johnson(8);
+    let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::Declaration).unwrap();
+    let mut results = Vec::new();
+    for round in 0..2 {
+        for which in 0..3 {
+            let r = match which {
+                0 => reach_bfv(&mut m, &fsm, &ReachOptions::default()),
+                1 => reach_monolithic(&mut m, &fsm, &ReachOptions::default()),
+                _ => reach_iwls95(&mut m, &fsm, &ReachOptions::default()),
+            };
+            assert_eq!(r.outcome, Outcome::FixedPoint, "round {round} engine {which}");
+            results.push(r);
+            // Aggressive collection between runs (results are protected).
+            m.collect_garbage(&[]);
+        }
+    }
+    let first = results[0].reached_chi.unwrap();
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.reached_chi, Some(first), "result {i} diverged");
+        assert_eq!(r.reached_states, Some(16.0));
+    }
+}
+
+/// A run that hits the node ceiling mid-flight leaves the manager in a
+/// state where a clean rerun still works — no poisoned caches or leaked
+/// limits.
+#[test]
+fn memout_recovery_is_clean() {
+    let net = generators::traffic_chain(3);
+    let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+    for budget in [20usize, 100, 400] {
+        let limit = m.allocated() + budget;
+        let r = reach_bfv(
+            &mut m,
+            &fsm,
+            &ReachOptions { node_limit: Some(limit), ..Default::default() },
+        );
+        assert_eq!(r.outcome, Outcome::MemOut, "budget {budget} unexpectedly sufficed");
+        m.collect_garbage(&[]);
+    }
+    let ok = reach_bfv(&mut m, &fsm, &ReachOptions::default());
+    assert_eq!(ok.outcome, Outcome::FixedPoint);
+    assert_eq!(ok.reached_states, Some(64.0)); // all 2^6 phase states
+}
+
+/// Deadline in the past: every engine must abort promptly with T.O. and
+/// remain usable.
+#[test]
+fn timeout_recovery_is_clean() {
+    let net = generators::gray(8);
+    let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+    let opts = ReachOptions {
+        time_limit: Some(std::time::Duration::ZERO),
+        ..Default::default()
+    };
+    for _ in 0..3 {
+        let r = reach_monolithic(&mut m, &fsm, &opts);
+        assert_eq!(r.outcome, Outcome::TimeOut);
+    }
+    let ok = reach_monolithic(&mut m, &fsm, &ReachOptions::default());
+    assert_eq!(ok.outcome, Outcome::FixedPoint);
+    assert_eq!(ok.reached_states, Some(256.0));
+}
