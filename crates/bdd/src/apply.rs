@@ -1,12 +1,15 @@
 //! Logical operations through a single memoized ITE (if-then-else) core.
 //!
-//! Every binary/unary connective is expressed as an `ite` instance, the
-//! classic Brace–Rudell–Bryant construction. One recursive core plus one
-//! cache keeps the implementation small and uniformly correct; the standard
-//! terminal simplifications keep it fast enough for the workloads in this
-//! reproduction.
+//! Every binary connective is expressed as an `ite` instance, the classic
+//! Brace–Rudell–Bryant construction (negation itself is free under
+//! complement edges — see [`BddManager::not`]). One recursive core plus
+//! one cache keeps the implementation small and uniformly correct; the
+//! standard terminal simplifications and the two complement-edge
+//! canonicalizations — regular `f` via `ite(¬f,g,h) = ite(f,h,g)` and
+//! regular `g` via `ite(f,¬g,¬h) = ¬ite(f,g,h)` — quadruple the cache's
+//! reach by folding equivalent calls onto one key.
 
-use crate::manager::{op, BddManager};
+use crate::manager::BddManager;
 use crate::node::Bdd;
 use crate::Result;
 
@@ -24,20 +27,45 @@ impl BddManager {
         if f.is_false() {
             return Ok(h);
         }
+        // Operand rewrites: a branch equal to (the complement of) the test
+        // collapses to a constant.
+        let mut g = g;
+        let mut h = h;
+        if g == f {
+            g = Bdd::TRUE; // ite(f, f, h) = f ∨ h
+        } else if g == f.complement() {
+            g = Bdd::FALSE; // ite(f, ¬f, h) = ¬f ∧ h
+        }
+        if h == f {
+            h = Bdd::FALSE; // ite(f, g, f) = f ∧ g
+        } else if h == f.complement() {
+            h = Bdd::TRUE; // ite(f, g, ¬f) = ¬f ∨ g
+        }
+        if g == h {
+            return Ok(g);
+        }
         if g.is_true() && h.is_false() {
             return Ok(f);
         }
-        if f == g {
-            // ite(f, f, h) = f ∨ h = ite(f, 1, h)
-            return self.ite(f, Bdd::TRUE, h);
+        if g.is_false() && h.is_true() {
+            return Ok(f.complement());
         }
-        if f == h {
-            // ite(f, g, f) = f ∧ g = ite(f, g, 0)
-            return self.ite(f, g, Bdd::FALSE);
+        // Canonicalize to a regular test: ite(¬f, g, h) = ite(f, h, g).
+        let mut f = f;
+        if f.is_complemented() {
+            f = f.complement();
+            std::mem::swap(&mut g, &mut h);
         }
-        let key = (op::ITE, f.index(), g.index(), h.index());
-        if let Some(r) = self.cache_get(key) {
-            return Ok(r);
+        // Canonicalize to a regular then-branch by complementing the
+        // output: ite(f, ¬g, h) = ¬ite(f, g, ¬h).
+        let neg = g.is_complemented();
+        if neg {
+            g = g.complement();
+            h = h.complement();
+        }
+        let key = (f.0, g.0, h.0);
+        if let Some(r) = self.caches.ite.get(key) {
+            return Ok(if neg { r.complement() } else { r });
         }
         let lvl = self.level(f).min(self.level(g)).min(self.level(h));
         let (f0, f1) = self.cofactors_at(f, lvl);
@@ -46,8 +74,9 @@ impl BddManager {
         let t = self.ite(f1, g1, h1)?;
         let e = self.ite(f0, g0, h0)?;
         let r = self.mk(lvl, e, t)?;
-        self.cache_put(key, r);
-        Ok(r)
+        let limit = self.caches.limit;
+        self.caches.ite.put(key, r, limit);
+        Ok(if neg { r.complement() } else { r })
     }
 
     /// Conjunction `f ∧ g`.
@@ -70,23 +99,13 @@ impl BddManager {
         self.ite(f, Bdd::TRUE, g)
     }
 
-    /// Negation `¬f`.
-    ///
-    /// # Errors
-    ///
-    /// Fails on resource-limit exhaustion.
-    #[inline]
-    pub fn not(&mut self, f: Bdd) -> Result<Bdd> {
-        self.ite(f, Bdd::FALSE, Bdd::TRUE)
-    }
-
     /// Exclusive or `f ⊕ g`.
     ///
     /// # Errors
     ///
     /// Fails on resource-limit exhaustion.
     pub fn xor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd> {
-        let ng = self.not(g)?;
+        let ng = self.not(g);
         self.ite(f, ng, g)
     }
 
@@ -96,7 +115,7 @@ impl BddManager {
     ///
     /// Fails on resource-limit exhaustion.
     pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd> {
-        let ng = self.not(g)?;
+        let ng = self.not(g);
         self.ite(f, g, ng)
     }
 
@@ -116,7 +135,7 @@ impl BddManager {
     ///
     /// Fails on resource-limit exhaustion.
     pub fn diff(&mut self, f: Bdd, g: Bdd) -> Result<Bdd> {
-        let ng = self.not(g)?;
+        let ng = self.not(g);
         self.ite(f, ng, Bdd::FALSE)
     }
 
@@ -177,15 +196,30 @@ impl BddManager {
                 None
             }
         }
-        // Terminal resolutions first.
+        // Terminal resolutions, mirroring `ite`.
         if f.is_true() || g == h {
             return as_const(g);
         }
         if f.is_false() {
             return as_const(h);
         }
-        if g.is_true() && h.is_false() {
-            return None; // result is f, non-constant here
+        let mut g = g;
+        let mut h = h;
+        if g == f {
+            g = Bdd::TRUE;
+        } else if g == f.complement() {
+            g = Bdd::FALSE;
+        }
+        if h == f {
+            h = Bdd::FALSE;
+        } else if h == f.complement() {
+            h = Bdd::TRUE;
+        }
+        if g == h {
+            return as_const(g);
+        }
+        if (g.is_true() && h.is_false()) || (g.is_false() && h.is_true()) {
+            return None; // result is ±f, non-constant here
         }
         let lvl = self.level(f).min(self.level(g)).min(self.level(h));
         let (f0, f1) = self.cofactors_at(f, lvl);
@@ -199,7 +233,6 @@ impl BddManager {
             None
         }
     }
-
 }
 
 #[cfg(test)]
@@ -228,9 +261,9 @@ mod tests {
     fn de_morgan() {
         let (mut m, a, b, _) = mgr();
         let ab = m.and(a, b).unwrap();
-        let lhs = m.not(ab).unwrap();
-        let na = m.not(a).unwrap();
-        let nb = m.not(b).unwrap();
+        let lhs = m.not(ab);
+        let na = m.not(a);
+        let nb = m.not(b);
         let rhs = m.or(na, nb).unwrap();
         assert_eq!(lhs, rhs);
     }
@@ -240,9 +273,33 @@ mod tests {
         let (mut m, a, b, c) = mgr();
         let ab = m.and(a, b).unwrap();
         let f = m.xor(ab, c).unwrap();
-        let nf = m.not(f).unwrap();
-        let nnf = m.not(nf).unwrap();
-        assert_eq!(f, nnf);
+        assert_eq!(m.not(m.not(f)), f);
+    }
+
+    #[test]
+    fn not_is_constant_time_and_allocation_free() {
+        let (mut m, a, b, c) = mgr();
+        let ab = m.and(a, b).unwrap();
+        let f = m.or(ab, c).unwrap();
+        let before = m.stats().mk_calls;
+        let nf = m.not(f);
+        assert_eq!(m.stats().mk_calls, before, "not must not allocate");
+        assert_ne!(nf, f);
+        assert!(m.eval(f, &[true, true, false]));
+        assert!(!m.eval(nf, &[true, true, false]));
+    }
+
+    #[test]
+    fn complement_shares_structure() {
+        let (mut m, a, b, c) = mgr();
+        let ab = m.and(a, b).unwrap();
+        let f = m.or(ab, c).unwrap();
+        let nf = m.not(f);
+        assert_eq!(
+            m.live_from(&[f, nf]),
+            m.live_from(&[f]),
+            "f and ¬f must share one subgraph"
+        );
     }
 
     #[test]
@@ -250,8 +307,7 @@ mod tests {
         let (mut m, a, b, _) = mgr();
         let x = m.xor(a, b).unwrap();
         let xn = m.xnor(a, b).unwrap();
-        let nx = m.not(x).unwrap();
-        assert_eq!(xn, nx);
+        assert_eq!(xn, m.not(x));
     }
 
     #[test]
@@ -261,10 +317,38 @@ mod tests {
         assert_eq!(m.ite(Bdd::FALSE, b, c).unwrap(), c);
         assert_eq!(m.ite(a, b, b).unwrap(), b);
         assert_eq!(m.ite(a, Bdd::TRUE, Bdd::FALSE).unwrap(), a);
+        assert_eq!(m.ite(a, Bdd::FALSE, Bdd::TRUE).unwrap(), m.not(a));
         let a_or_c = m.or(a, c).unwrap();
         assert_eq!(m.ite(a, a, c).unwrap(), a_or_c);
         let a_and_b = m.and(a, b).unwrap();
         assert_eq!(m.ite(a, b, a).unwrap(), a_and_b);
+        // Complement-operand collapses.
+        let na = m.not(a);
+        let na_and_c = m.and(na, c).unwrap();
+        assert_eq!(m.ite(a, na, c).unwrap(), na_and_c);
+        let na_or_b = m.or(na, b).unwrap();
+        assert_eq!(m.ite(a, b, na).unwrap(), na_or_b);
+    }
+
+    #[test]
+    fn ite_duality_under_complement() {
+        let (mut m, a, b, c) = mgr();
+        let ab = m.and(a, b).unwrap();
+        let bc = m.or(b, c).unwrap();
+        for &f in &[a, ab, m.not(ab)] {
+            for &g in &[b, bc, Bdd::TRUE] {
+                for &h in &[c, m.not(bc), Bdd::FALSE] {
+                    let lhs = m.ite(f, g, h).unwrap();
+                    let nf = m.not(f);
+                    let rhs = m.ite(nf, h, g).unwrap();
+                    assert_eq!(lhs, rhs, "ite(f,g,h) == ite(¬f,h,g)");
+                    let ng = m.not(g);
+                    let nh = m.not(h);
+                    let dual = m.ite(f, ng, nh).unwrap();
+                    assert_eq!(dual, m.not(lhs), "ite(f,¬g,¬h) == ¬ite(f,g,h)");
+                }
+            }
+        }
     }
 
     #[test]
@@ -310,7 +394,7 @@ mod tests {
     }
 
     #[test]
-    fn ite_constant_detects_constants_without_allocating(){
+    fn ite_constant_detects_constants_without_allocating() {
         let (mut m, a, b, _) = mgr();
         let ab = m.and(a, b).unwrap();
         let before = m.stats().mk_calls;
@@ -320,14 +404,26 @@ mod tests {
         assert_eq!(m.ite_constant(a, b, Bdd::FALSE), None);
         assert_eq!(m.ite_constant(Bdd::TRUE, a, Bdd::FALSE), None);
         assert_eq!(m.stats().mk_calls, before, "ite_constant allocated nodes");
-        // Agreement with the allocating ite on a sample of triples.
-        let xs = [Bdd::TRUE, Bdd::FALSE, a, b, ab];
-        for &f in &xs { for &g in &xs { for &h in &xs {
-            let full = m.ite(f, g, h).unwrap();
-            let expect = if full.is_true() { Some(true) }
-                else if full.is_false() { Some(false) } else { None };
-            assert_eq!(m.ite_constant(f, g, h), expect, "{f:?} {g:?} {h:?}");
-        }}}
+        // Agreement with the allocating ite on a sample of triples,
+        // including complemented operands.
+        let nab = m.not(ab);
+        let na = m.not(a);
+        let xs = [Bdd::TRUE, Bdd::FALSE, a, na, b, ab, nab];
+        for &f in &xs {
+            for &g in &xs {
+                for &h in &xs {
+                    let full = m.ite(f, g, h).unwrap();
+                    let expect = if full.is_true() {
+                        Some(true)
+                    } else if full.is_false() {
+                        Some(false)
+                    } else {
+                        None
+                    };
+                    assert_eq!(m.ite_constant(f, g, h), expect, "{f:?} {g:?} {h:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Node storage layer: a flat arena with an intrusive free list.
+//!
+//! The arena owns every node slot and nothing else — hash consing lives in
+//! [`crate::unique`], memoization in [`crate::cache`], and reachability
+//! marking in the manager (which coordinates all three during garbage
+//! collection). Slot indices are stable for the lifetime of the manager:
+//! freeing a slot threads it onto the free list in place, and a later
+//! allocation reuses it without moving any other node.
+
+use crate::error::BddError;
+use crate::node::{Node, FREE_LEVEL, TERMINAL_LEVEL};
+
+/// Sentinel for "no next entry" in the free list.
+const FREE_END: u32 = u32::MAX;
+
+/// Highest usable slot count: node indices must fit in 31 bits because an
+/// edge word packs `index << 1 | complement`.
+const MAX_NODES: usize = (u32::MAX >> 1) as usize - 1;
+
+/// Flat node store with in-place slot recycling.
+///
+/// Slot 0 always holds the single terminal node (the constant ⊤); the
+/// constant ⊥ is the complemented edge to it, so no second terminal slot
+/// exists.
+#[derive(Debug)]
+pub(crate) struct Arena {
+    nodes: Vec<Node>,
+    free_head: u32,
+    free_count: usize,
+    peak: usize,
+}
+
+impl Arena {
+    /// Creates an arena holding only the terminal node.
+    pub fn new(capacity_hint: usize) -> Self {
+        let mut nodes = Vec::with_capacity(capacity_hint.max(1));
+        nodes.push(Node {
+            var: TERMINAL_LEVEL,
+            lo: 0,
+            hi: 0,
+        });
+        Arena {
+            nodes,
+            free_head: FREE_END,
+            free_count: 0,
+            peak: 1,
+        }
+    }
+
+    /// The node stored at `idx`.
+    #[inline]
+    pub fn get(&self, idx: u32) -> Node {
+        self.nodes[idx as usize]
+    }
+
+    /// Total slots (live + free), i.e. one past the largest index ever used.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Live (non-free) slots.
+    #[inline]
+    pub fn allocated(&self) -> usize {
+        self.nodes.len() - self.free_count
+    }
+
+    /// High-water mark of [`Arena::allocated`] over the arena's lifetime.
+    #[inline]
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Resets the high-water mark to the current allocation.
+    pub fn reset_peak(&mut self) {
+        self.peak = self.allocated();
+    }
+
+    /// Stores `node` in a recycled or fresh slot and returns its index.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`BddError::Capacity`] when the 31-bit index space is
+    /// exhausted.
+    pub fn alloc(&mut self, node: Node) -> Result<u32, BddError> {
+        debug_assert!(node.var != FREE_LEVEL);
+        let idx = if self.free_head != FREE_END {
+            let slot = self.free_head;
+            self.free_head = self.nodes[slot as usize].lo;
+            self.free_count -= 1;
+            self.nodes[slot as usize] = node;
+            slot
+        } else {
+            if self.nodes.len() >= MAX_NODES {
+                return Err(BddError::Capacity);
+            }
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        };
+        if self.allocated() > self.peak {
+            self.peak = self.allocated();
+        }
+        Ok(idx)
+    }
+
+    /// Returns slot `idx` to the free list. The caller is responsible for
+    /// removing the node from the unique table first.
+    pub fn free(&mut self, idx: u32) {
+        debug_assert!(idx != 0, "cannot free the terminal");
+        debug_assert!(self.nodes[idx as usize].var != FREE_LEVEL, "double free");
+        self.nodes[idx as usize] = Node {
+            var: FREE_LEVEL,
+            lo: self.free_head,
+            hi: 0,
+        };
+        self.free_head = idx;
+        self.free_count += 1;
+    }
+
+    /// Whether slot `idx` currently holds a live node.
+    #[cfg(test)]
+    #[inline]
+    pub fn is_live_slot(&self, idx: u32) -> bool {
+        (idx as usize) < self.nodes.len() && self.nodes[idx as usize].var != FREE_LEVEL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_with_only_the_terminal() {
+        let a = Arena::new(0);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.allocated(), 1);
+        assert_eq!(a.get(0).var, TERMINAL_LEVEL);
+    }
+
+    #[test]
+    fn alloc_free_recycles_slots() {
+        let mut a = Arena::new(4);
+        let i = a
+            .alloc(Node {
+                var: 0,
+                lo: 1,
+                hi: 0,
+            })
+            .unwrap();
+        let j = a
+            .alloc(Node {
+                var: 1,
+                lo: 1,
+                hi: 0,
+            })
+            .unwrap();
+        assert_ne!(i, j);
+        assert_eq!(a.allocated(), 3);
+        a.free(i);
+        assert_eq!(a.allocated(), 2);
+        assert!(!a.is_live_slot(i));
+        let k = a
+            .alloc(Node {
+                var: 2,
+                lo: 1,
+                hi: 0,
+            })
+            .unwrap();
+        assert_eq!(k, i, "freed slot should be recycled");
+        assert_eq!(a.len(), 3, "no growth while the free list is non-empty");
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut a = Arena::new(0);
+        let i = a
+            .alloc(Node {
+                var: 0,
+                lo: 1,
+                hi: 0,
+            })
+            .unwrap();
+        let _ = a
+            .alloc(Node {
+                var: 1,
+                lo: 1,
+                hi: 0,
+            })
+            .unwrap();
+        assert_eq!(a.peak(), 3);
+        a.free(i);
+        assert_eq!(a.peak(), 3);
+        a.reset_peak();
+        assert_eq!(a.peak(), 2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Memoization layer: one computed cache per operation.
+//!
+//! The seed core funnelled every operation through a single
+//! `FxHashMap<(op_tag, a, b, c), result>`; this layer gives each operation
+//! its own table with its own hit/miss counters, so `exists`-heavy image
+//! computations no longer evict `ite` results (and vice versa) and
+//! [`crate::BddManager::cache_stats`] can report which operation a
+//! workload actually exercises. Keys are raw edge words — a function and
+//! its complement hash to different keys, which is exactly right because
+//! their results differ.
+
+use crate::hash::FxHashMap;
+use crate::node::Bdd;
+
+/// Per-operation cache counters, as reported by
+/// [`crate::BddManager::cache_stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Operation name (`"ite"`, `"exists"`, …).
+    pub name: &'static str,
+    /// Lookups since the manager was created (survives cache clears).
+    pub lookups: u64,
+    /// Hits since the manager was created.
+    pub hits: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// One operation's memo table plus lifetime counters.
+#[derive(Debug, Default)]
+pub(crate) struct OpCache {
+    map: FxHashMap<(u32, u32, u32), u32>,
+    lookups: u64,
+    hits: u64,
+}
+
+impl OpCache {
+    #[inline]
+    pub fn get(&mut self, key: (u32, u32, u32)) -> Option<Bdd> {
+        self.lookups += 1;
+        let hit = self.map.get(&key).copied().map(Bdd);
+        if hit.is_some() {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Inserts, wholesale-clearing the table first when it is at `limit`
+    /// (the standard CUDD-style safety valve; counters are preserved).
+    #[inline]
+    pub fn put(&mut self, key: (u32, u32, u32), val: Bdd, limit: usize) {
+        if self.map.len() >= limit {
+            self.map.clear();
+        }
+        self.map.insert(key, val.0);
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    fn stats(&self, name: &'static str) -> CacheStats {
+        CacheStats {
+            name,
+            lookups: self.lookups,
+            hits: self.hits,
+            entries: self.map.len(),
+        }
+    }
+}
+
+/// Default maximum entries per operation cache before it is cleared.
+const DEFAULT_CACHE_LIMIT: usize = 1 << 22;
+
+/// The full set of per-operation caches owned by a manager.
+#[derive(Debug)]
+pub(crate) struct Caches {
+    pub ite: OpCache,
+    pub exists: OpCache,
+    pub and_exists: OpCache,
+    pub constrain: OpCache,
+    pub restrict: OpCache,
+    /// Per-cache entry cap; reaching it clears that cache.
+    pub limit: usize,
+}
+
+impl Caches {
+    pub fn new() -> Self {
+        Caches {
+            ite: OpCache::default(),
+            exists: OpCache::default(),
+            and_exists: OpCache::default(),
+            constrain: OpCache::default(),
+            restrict: OpCache::default(),
+            limit: DEFAULT_CACHE_LIMIT,
+        }
+    }
+
+    /// Drops all memoized results (counters survive).
+    pub fn clear_all(&mut self) {
+        self.ite.clear();
+        self.exists.clear();
+        self.and_exists.clear();
+        self.constrain.clear();
+        self.restrict.clear();
+    }
+
+    /// Lifetime totals across all operations: `(lookups, hits)`.
+    pub fn totals(&self) -> (u64, u64) {
+        let all = [
+            &self.ite,
+            &self.exists,
+            &self.and_exists,
+            &self.constrain,
+            &self.restrict,
+        ];
+        let lookups = all.iter().map(|c| c.lookups).sum();
+        let hits = all.iter().map(|c| c.hits).sum();
+        (lookups, hits)
+    }
+
+    /// Per-operation counter snapshot.
+    pub fn stats(&self) -> Vec<CacheStats> {
+        vec![
+            self.ite.stats("ite"),
+            self.exists.stats("exists"),
+            self.and_exists.stats("and_exists"),
+            self.constrain.stats("constrain"),
+            self.restrict.stats("restrict"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_and_counters() {
+        let mut c = OpCache::default();
+        assert_eq!(c.get((1, 2, 3)), None);
+        c.put((1, 2, 3), Bdd(8), 16);
+        assert_eq!(c.get((1, 2, 3)), Some(Bdd(8)));
+        let s = c.stats("t");
+        assert_eq!((s.lookups, s.hits, s.entries), (2, 1, 1));
+    }
+
+    #[test]
+    fn limit_clears_but_keeps_counters() {
+        let mut c = OpCache::default();
+        c.put((1, 0, 0), Bdd(2), 2);
+        c.put((2, 0, 0), Bdd(2), 2);
+        // Table is at the limit of 2: the next put clears first.
+        c.put((3, 0, 0), Bdd(2), 2);
+        assert_eq!(c.get((1, 0, 0)), None);
+        assert_eq!(c.get((3, 0, 0)), Some(Bdd(2)));
+        assert_eq!(c.stats("t").entries, 1);
+        assert_eq!(c.stats("t").lookups, 2);
+    }
+
+    #[test]
+    fn caches_aggregate_totals() {
+        let mut cs = Caches::new();
+        cs.ite.put((0, 0, 0), Bdd(2), cs.limit);
+        let _ = cs.ite.get((0, 0, 0));
+        let _ = cs.exists.get((9, 9, 9));
+        assert_eq!(cs.totals(), (2, 1));
+        assert_eq!(cs.stats().len(), 5);
+        cs.clear_all();
+        assert_eq!(cs.stats()[0].entries, 0);
+        assert_eq!(cs.totals(), (2, 1), "clearing keeps counters");
+    }
+}

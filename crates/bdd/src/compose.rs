@@ -137,7 +137,10 @@ impl BddManager {
         assert!(perm.len() >= n, "permutation must cover all variables");
         let mut map: Vec<Option<Bdd>> = vec![None; n];
         for (old, &new) in perm.iter().enumerate().take(n) {
-            assert!(new.0 < self.num_vars(), "permutation target {new} out of range");
+            assert!(
+                new.0 < self.num_vars(),
+                "permutation target {new} out of range"
+            );
             if old as u32 != new.0 {
                 map[old] = Some(self.var(new));
             }
@@ -163,7 +166,10 @@ impl BddManager {
         let mut perm: Vec<Var> = (0..n as u32).map(Var).collect();
         let mut seen = vec![false; n];
         for &(a, b) in pairs {
-            assert!(a.0 < self.num_vars() && b.0 < self.num_vars(), "swap var out of range");
+            assert!(
+                a.0 < self.num_vars() && b.0 < self.num_vars(),
+                "swap var out of range"
+            );
             assert!(
                 !seen[a.0 as usize] && !seen[b.0 as usize] && a != b,
                 "swap pairs must be disjoint"

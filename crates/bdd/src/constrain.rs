@@ -4,9 +4,12 @@
 //! range computation in the paper's Figure 1 flow and for the set
 //! operations on McMillan's conjunctive decomposition (paper §2.7).
 //! `restrict` is the don't-care minimization variant: it never enlarges the
-//! support of `f` and usually shrinks the BDD.
+//! support of `f` and usually shrinks the BDD. Both commute with
+//! complementation in their first argument (`op(¬f, c) = ¬op(f, c)`), so
+//! the recursion normalizes `f` to its regular edge and the cache serves
+//! `f` and `¬f` from one entry.
 
-use crate::manager::{op, BddManager};
+use crate::manager::BddManager;
 use crate::node::Bdd;
 use crate::Result;
 
@@ -48,8 +51,16 @@ impl BddManager {
         if f == c {
             return Ok(Bdd::TRUE);
         }
-        let key = (op::CONSTRAIN, f.index(), c.index(), 0);
-        if let Some(r) = self.cache_get(key) {
+        if f == c.complement() {
+            return Ok(Bdd::FALSE);
+        }
+        // Normalize: constrain(¬f, c) = ¬constrain(f, c).
+        if f.is_complemented() {
+            let r = self.constrain(f.complement(), c)?;
+            return Ok(r.complement());
+        }
+        let key = (f.0, c.0, 0);
+        if let Some(r) = self.caches.constrain.get(key) {
             return Ok(r);
         }
         let lvl = self.level(f).min(self.level(c));
@@ -64,7 +75,8 @@ impl BddManager {
             let r1 = self.constrain(f1, c1)?;
             self.mk(lvl, r0, r1)?
         };
-        self.cache_put(key, r);
+        let limit = self.caches.limit;
+        self.caches.constrain.put(key, r, limit);
         Ok(r)
     }
 
@@ -91,8 +103,16 @@ impl BddManager {
         if f == c {
             return Ok(Bdd::TRUE);
         }
-        let key = (op::RESTRICT, f.index(), c.index(), 0);
-        if let Some(r) = self.cache_get(key) {
+        if f == c.complement() {
+            return Ok(Bdd::FALSE);
+        }
+        // Normalize: restrict(¬f, c) = ¬restrict(f, c).
+        if f.is_complemented() {
+            let r = self.restrict(f.complement(), c)?;
+            return Ok(r.complement());
+        }
+        let key = (f.0, c.0, 0);
+        if let Some(r) = self.caches.restrict.get(key) {
             return Ok(r);
         }
         let lvl_f = self.level(f);
@@ -118,7 +138,8 @@ impl BddManager {
                 self.mk(lvl, r0, r1)?
             }
         };
-        self.cache_put(key, r);
+        let limit = self.caches.limit;
+        self.caches.restrict.put(key, r, limit);
         Ok(r)
     }
 }
@@ -129,12 +150,11 @@ mod tests {
     use crate::node::Var;
 
     fn setup() -> (BddManager, Bdd, Bdd, Bdd, Bdd) {
-        let mut m = BddManager::new(4);
+        let m = BddManager::new(4);
         let a = m.var(Var(0));
         let b = m.var(Var(1));
         let c = m.var(Var(2));
         let d = m.var(Var(3));
-        let _ = &mut m;
         (m, a, b, c, d)
     }
 
@@ -156,6 +176,27 @@ mod tests {
         assert_eq!(m.restrict(a, Bdd::TRUE).unwrap(), a);
         assert_eq!(m.constrain(a, a).unwrap(), Bdd::TRUE);
         assert!(m.constrain(Bdd::FALSE, a).unwrap().is_false());
+        let na = m.not(a);
+        assert!(
+            m.constrain(na, a).unwrap().is_false(),
+            "f == ¬c is empty in the care set"
+        );
+        assert!(m.restrict(na, a).unwrap().is_false());
+    }
+
+    #[test]
+    fn complement_commutes_with_constrain() {
+        let (mut m, a, b, c, d) = setup();
+        let ab = m.xor(a, b).unwrap();
+        let f = m.or(ab, d).unwrap();
+        let care = m.or(b, c).unwrap();
+        let nf = m.not(f);
+        let lhs = m.constrain(nf, care).unwrap();
+        let pos = m.constrain(f, care).unwrap();
+        assert_eq!(lhs, m.not(pos));
+        let lhs = m.restrict(nf, care).unwrap();
+        let pos = m.restrict(f, care).unwrap();
+        assert_eq!(lhs, m.not(pos));
     }
 
     #[test]
@@ -195,7 +236,7 @@ mod tests {
         // f depends only on b; care set depends on a and c.
         let f = b;
         let ac = m.and(a, c).unwrap();
-        let nb = m.not(b).unwrap();
+        let nb = m.not(b);
         let care = m.or(ac, nb).unwrap();
         let r = m.restrict(f, care).unwrap();
         let sup = m.support(r);

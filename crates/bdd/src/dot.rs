@@ -10,30 +10,51 @@ impl BddManager {
     ///
     /// `var_name` maps a level to a label; pass `|v| format!("v{v}")` for
     /// generic names. Dashed edges are low (else) branches, solid edges
-    /// high (then) branches — the conventional BDD drawing style.
+    /// high (then) branches — the conventional BDD drawing style. There is
+    /// a single terminal box `1`; complemented edges carry an `odot`
+    /// arrowhead (the standard complement-edge marker), so the constant 0
+    /// appears as a dotted-into-`1` edge and `¬f` shares `f`'s subgraph.
     pub fn to_dot(&self, roots: &[(&str, Bdd)], var_name: impl Fn(u32) -> String) -> String {
         let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
         out.push_str("  node [shape=circle];\n");
-        out.push_str("  f0 [label=\"0\", shape=box];\n  f1 [label=\"1\", shape=box];\n");
+        out.push_str("  t1 [label=\"1\", shape=box];\n");
         let mut seen: FxHashSet<u32> = FxHashSet::default();
         let mut stack = Vec::new();
         for (name, root) in roots {
             let _ = writeln!(out, "  \"{name}\" [shape=plaintext];");
-            let _ = writeln!(out, "  \"{name}\" -> {};", node_name(*root));
-            stack.push(*root);
+            let _ = writeln!(
+                out,
+                "  \"{name}\" -> {}{};",
+                node_name(*root),
+                edge_attrs(*root, false)
+            );
+            stack.push(root.regular());
         }
+        // Traverse regular edges only: a node is drawn once, shared by f/¬f.
         while let Some(f) = stack.pop() {
-            if f.is_const() || !seen.insert(f.index()) {
+            if f.is_const() || !seen.insert(f.node()) {
                 continue;
             }
             let lvl = self.level(f);
-            let _ = writeln!(out, "  n{} [label=\"{}\"];", f.index(), var_name(lvl));
+            let _ = writeln!(out, "  n{} [label=\"{}\"];", f.node(), var_name(lvl));
             let lo = self.low(f);
             let hi = self.high(f);
-            let _ = writeln!(out, "  n{} -> {} [style=dashed];", f.index(), node_name(lo));
-            let _ = writeln!(out, "  n{} -> {};", f.index(), node_name(hi));
-            stack.push(lo);
-            stack.push(hi);
+            let _ = writeln!(
+                out,
+                "  n{} -> {}{};",
+                f.node(),
+                node_name(lo),
+                edge_attrs(lo, true)
+            );
+            let _ = writeln!(
+                out,
+                "  n{} -> {}{};",
+                f.node(),
+                node_name(hi),
+                edge_attrs(hi, false)
+            );
+            stack.push(lo.regular());
+            stack.push(hi.regular());
         }
         out.push_str("}\n");
         out
@@ -41,10 +62,25 @@ impl BddManager {
 }
 
 fn node_name(f: Bdd) -> String {
-    match f {
-        Bdd::FALSE => "f0".to_string(),
-        Bdd::TRUE => "f1".to_string(),
-        other => format!("n{}", other.index()),
+    if f.is_const() {
+        "t1".to_string()
+    } else {
+        format!("n{}", f.node())
+    }
+}
+
+fn edge_attrs(f: Bdd, low: bool) -> String {
+    let mut attrs: Vec<&str> = Vec::new();
+    if low {
+        attrs.push("style=dashed");
+    }
+    if f.is_complemented() {
+        attrs.push("arrowhead=odot");
+    }
+    if attrs.is_empty() {
+        String::new()
+    } else {
+        format!(" [{}]", attrs.join(", "))
     }
 }
 
@@ -65,13 +101,31 @@ mod tests {
         assert!(dot.contains("x0"));
         assert!(dot.contains("x1"));
         assert!(dot.contains("style=dashed"));
+        // a∧b reaches the constant 0: drawn as a complemented arc into t1.
+        assert!(dot.contains("arrowhead=odot"));
         assert!(dot.trim_end().ends_with('}'));
     }
 
     #[test]
-    fn dot_of_constant() {
+    fn dot_of_constants() {
         let m = BddManager::new(1);
         let dot = m.to_dot(&[("t", Bdd::TRUE)], |v| format!("v{v}"));
-        assert!(dot.contains("\"t\" -> f1"));
+        assert!(dot.contains("\"t\" -> t1;"));
+        let dot = m.to_dot(&[("z", Bdd::FALSE)], |v| format!("v{v}"));
+        assert!(dot.contains("\"z\" -> t1 [arrowhead=odot];"));
+    }
+
+    #[test]
+    fn complement_roots_share_one_drawing() {
+        let mut m = BddManager::new(2);
+        let a = m.var(Var(0));
+        let b = m.var(Var(1));
+        let f = m.and(a, b).unwrap();
+        let nf = m.not(f);
+        let dot = m.to_dot(&[("f", f), ("nf", nf)], |v| format!("x{v}"));
+        // Each interior node is declared exactly once even with both
+        // polarities rooted.
+        let decls = dot.matches("[label=\"x0\"]").count();
+        assert_eq!(decls, 1, "f and ¬f must share the drawn subgraph");
     }
 }

@@ -27,7 +27,8 @@ pub enum BddError {
         /// Number of variables the manager was created with.
         num_vars: u32,
     },
-    /// The 32-bit node index space was exhausted.
+    /// The 31-bit node index space was exhausted (one bit of every edge
+    /// word is the complement flag).
     Capacity,
 }
 
@@ -39,7 +40,10 @@ impl fmt::Display for BddError {
             }
             BddError::Deadline => write!(f, "bdd operation deadline exceeded"),
             BddError::VarOutOfRange { var, num_vars } => {
-                write!(f, "variable v{var} out of range (manager has {num_vars} variables)")
+                write!(
+                    f,
+                    "variable v{var} out of range (manager has {num_vars} variables)"
+                )
             }
             BddError::Capacity => write!(f, "bdd node index space exhausted"),
         }
@@ -58,12 +62,22 @@ mod tests {
             BddError::NodeLimit { limit: 10 }.to_string(),
             "bdd node limit of 10 nodes exceeded"
         );
-        assert_eq!(BddError::Deadline.to_string(), "bdd operation deadline exceeded");
         assert_eq!(
-            BddError::VarOutOfRange { var: 9, num_vars: 4 }.to_string(),
+            BddError::Deadline.to_string(),
+            "bdd operation deadline exceeded"
+        );
+        assert_eq!(
+            BddError::VarOutOfRange {
+                var: 9,
+                num_vars: 4
+            }
+            .to_string(),
             "variable v9 out of range (manager has 4 variables)"
         );
-        assert_eq!(BddError::Capacity.to_string(), "bdd node index space exhausted");
+        assert_eq!(
+            BddError::Capacity.to_string(),
+            "bdd node index space exhausted"
+        );
     }
 
     #[test]

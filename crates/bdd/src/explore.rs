@@ -16,7 +16,9 @@ pub struct Support {
 impl Support {
     /// An empty support over `num_vars` variables.
     pub fn empty(num_vars: u32) -> Self {
-        Support { bits: vec![0; (num_vars as usize).div_ceil(64)] }
+        Support {
+            bits: vec![0; (num_vars as usize).div_ceil(64)],
+        }
     }
 
     fn set(&mut self, v: u32) {
@@ -65,7 +67,10 @@ impl Support {
 
     /// Whether the two supports share any variable.
     pub fn intersects(&self, other: &Support) -> bool {
-        self.bits.iter().zip(other.bits.iter()).any(|(a, b)| a & b != 0)
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .any(|(a, b)| a & b != 0)
     }
 }
 
@@ -76,7 +81,8 @@ impl BddManager {
         let mut seen = crate::hash::FxHashSet::default();
         let mut stack = vec![f];
         while let Some(g) = stack.pop() {
-            if g.is_const() || !seen.insert(g.index()) {
+            // Deduplicate by node, not edge: f and ¬f have identical support.
+            if g.is_const() || !seen.insert(g.node()) {
                 continue;
             }
             sup.set(self.level(g));
@@ -132,7 +138,10 @@ impl BddManager {
         if f.is_true() {
             return 1.0;
         }
-        assert!(self.level(f) < num_vars, "function depends on variables beyond num_vars");
+        assert!(
+            self.level(f) < num_vars,
+            "function depends on variables beyond num_vars"
+        );
         if let Some(&r) = memo.get(&f.index()) {
             return r;
         }
@@ -154,12 +163,7 @@ impl BddManager {
         if num_vars > 127 {
             return None;
         }
-        fn rec(
-            m: &BddManager,
-            f: Bdd,
-            num_vars: u32,
-            memo: &mut FxHashMap<u32, u128>,
-        ) -> u128 {
+        fn rec(m: &BddManager, f: Bdd, num_vars: u32, memo: &mut FxHashMap<u32, u128>) -> u128 {
             // Count over variables strictly below f's level.
             if f.is_false() {
                 return 0;
@@ -186,7 +190,10 @@ impl BddManager {
         if f.is_true() {
             return Some(1u128 << num_vars);
         }
-        assert!(self.level(f) < num_vars, "function depends on variables beyond num_vars");
+        assert!(
+            self.level(f) < num_vars,
+            "function depends on variables beyond num_vars"
+        );
         let mut memo = FxHashMap::default();
         let below = rec(self, f, num_vars, &mut memo);
         Some(below << self.level(f))
@@ -203,7 +210,11 @@ impl BddManager {
         let mut g = f;
         while !g.is_const() {
             let v = self.level(g) as usize;
-            g = if assignment[v] { self.high(g) } else { self.low(g) };
+            g = if assignment[v] {
+                self.high(g)
+            } else {
+                self.low(g)
+            };
         }
         g.is_true()
     }
@@ -240,7 +251,11 @@ impl BddManager {
         CubeIter {
             mgr: self,
             num_vars,
-            stack: if f.is_false() { vec![] } else { vec![(f, vec![None; num_vars as usize])] },
+            stack: if f.is_false() {
+                vec![]
+            } else {
+                vec![(f, vec![None; num_vars as usize])]
+            },
         }
     }
 
@@ -258,12 +273,7 @@ impl BddManager {
     }
 }
 
-fn expand_cube(
-    cube: &[Option<bool>],
-    i: usize,
-    cur: &mut Vec<bool>,
-    out: &mut Vec<Vec<bool>>,
-) {
+fn expand_cube(cube: &[Option<bool>], i: usize, cur: &mut Vec<bool>, out: &mut Vec<Vec<bool>>) {
     if i == cube.len() {
         out.push(cur.clone());
         return;
@@ -397,13 +407,16 @@ mod tests {
     #[test]
     fn pick_minterm_is_minimal_and_satisfying() {
         let (mut m, a, b, _) = setup();
-        let nb = m.not(b).unwrap();
+        let nb = m.not(b);
         let f = m.and(a, nb).unwrap();
         let p = m.pick_minterm(f, 3).unwrap();
         assert!(m.eval(f, &p));
         assert_eq!(p, vec![true, false, false]);
         assert_eq!(m.pick_minterm(Bdd::FALSE, 3), None);
-        assert_eq!(m.pick_minterm(Bdd::TRUE, 3), Some(vec![false, false, false]));
+        assert_eq!(
+            m.pick_minterm(Bdd::TRUE, 3),
+            Some(vec![false, false, false])
+        );
     }
 
     #[test]

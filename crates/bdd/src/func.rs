@@ -1,0 +1,150 @@
+//! RAII root handles: a [`Func`] pins its node across garbage collection.
+//!
+//! The seed core exposed manual `protect`/`unprotect` calls, which every
+//! engine had to pair correctly on every exit path — the classic leaked- or
+//! dangling-root bug source. A `Func` replaces that: creating one (via
+//! [`crate::BddManager::func`]) increments a refcount on the target node,
+//! cloning increments it again, and dropping decrements it. The garbage
+//! collector seeds its mark phase from the live refcounts, so a rooted
+//! function can never be collected and a forgotten release can never leak —
+//! the borrow checker enforces the pairing.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::hash::FxHashMap;
+use crate::node::Bdd;
+
+/// Shared root table: regular node index → refcount. One per manager,
+/// shared (via `Rc`) with every outstanding handle so drops need no access
+/// to the manager itself.
+pub(crate) type RootTable = Rc<RefCell<FxHashMap<u32, u32>>>;
+
+/// An owning handle to a BDD function, pinned against garbage collection.
+///
+/// Obtained from [`crate::BddManager::func`]. While any clone of the handle
+/// is alive, [`crate::BddManager::collect_garbage`] treats the function as
+/// a root. Use [`Func::bdd`] to get the plain [`Bdd`] edge for passing into
+/// manager operations.
+///
+/// Equality and hashing compare the underlying edge, so two handles to the
+/// same function (from the same manager) compare equal regardless of how
+/// they were obtained. Handles are not `Send`: the manager and all its
+/// handles live on one thread.
+pub struct Func {
+    edge: Bdd,
+    roots: RootTable,
+}
+
+impl Func {
+    /// Creates a handle, incrementing the root refcount. Constants need no
+    /// pinning (the terminal is never collected) but are counted anyway for
+    /// uniformity — the entry is removed again on drop.
+    pub(crate) fn new(edge: Bdd, roots: RootTable) -> Func {
+        *roots.borrow_mut().entry(edge.node()).or_insert(0) += 1;
+        Func { edge, roots }
+    }
+
+    /// The underlying edge handle, for use with manager operations.
+    #[inline]
+    pub fn bdd(&self) -> Bdd {
+        self.edge
+    }
+
+    /// The complement `¬f`, as a new pinned handle. Constant time: with
+    /// complement edges this flips one bit and bumps the shared refcount —
+    /// no manager access and no node allocation.
+    pub fn not(&self) -> Func {
+        Func::new(self.edge.complement(), Rc::clone(&self.roots))
+    }
+}
+
+impl Clone for Func {
+    fn clone(&self) -> Func {
+        Func::new(self.edge, Rc::clone(&self.roots))
+    }
+}
+
+impl Drop for Func {
+    fn drop(&mut self) {
+        let mut roots = self.roots.borrow_mut();
+        if let Some(c) = roots.get_mut(&self.edge.node()) {
+            *c -= 1;
+            if *c == 0 {
+                roots.remove(&self.edge.node());
+            }
+        }
+    }
+}
+
+impl PartialEq for Func {
+    fn eq(&self, other: &Func) -> bool {
+        self.edge == other.edge
+    }
+}
+
+impl Eq for Func {}
+
+impl PartialEq<Bdd> for Func {
+    fn eq(&self, other: &Bdd) -> bool {
+        self.edge == *other
+    }
+}
+
+impl std::hash::Hash for Func {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.edge.hash(state);
+    }
+}
+
+impl fmt::Debug for Func {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Func({:?})", self.edge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> RootTable {
+        Rc::new(RefCell::new(FxHashMap::default()))
+    }
+
+    #[test]
+    fn refcount_follows_clone_and_drop() {
+        let t = table();
+        let f = Func::new(Bdd(6), Rc::clone(&t));
+        assert_eq!(t.borrow().get(&3), Some(&1));
+        let g = f.clone();
+        assert_eq!(t.borrow().get(&3), Some(&2));
+        drop(f);
+        assert_eq!(t.borrow().get(&3), Some(&1));
+        drop(g);
+        assert_eq!(t.borrow().get(&3), None);
+    }
+
+    #[test]
+    fn not_pins_the_same_node() {
+        let t = table();
+        let f = Func::new(Bdd(6), Rc::clone(&t));
+        let nf = f.not();
+        assert_eq!(nf.bdd(), Bdd(7));
+        assert_eq!(t.borrow().get(&3), Some(&2), "f and ¬f share the node");
+        drop(f);
+        drop(nf);
+        assert!(t.borrow().is_empty());
+    }
+
+    #[test]
+    fn equality_is_by_edge() {
+        let t = table();
+        let f = Func::new(Bdd(6), Rc::clone(&t));
+        let g = Func::new(Bdd(6), Rc::clone(&t));
+        let h = Func::new(Bdd(7), Rc::clone(&t));
+        assert_eq!(f, g);
+        assert_ne!(f, h);
+        assert_eq!(f, Bdd(6));
+    }
+}

@@ -67,20 +67,20 @@ impl BddManager {
         let (l0, l1) = self.cofactors_at(l, lvl);
         let (u0, u1) = self.cofactors_at(u, lvl);
         // Cubes that must contain ¬v: needed where l0 exceeds u1.
-        let nu1 = self.not(u1)?;
+        let nu1 = self.not(u1);
         let lsub0 = self.and(l0, nu1)?;
         path.push((v, false));
         let c0 = self.isop_rec(lsub0, u0, path, out)?;
         path.pop();
         // Cubes that must contain v.
-        let nu0 = self.not(u0)?;
+        let nu0 = self.not(u0);
         let lsub1 = self.and(l1, nu0)?;
         path.push((v, true));
         let c1 = self.isop_rec(lsub1, u1, path, out)?;
         path.pop();
         // Remainder, independent of v.
-        let nc0 = self.not(c0)?;
-        let nc1 = self.not(c1)?;
+        let nc0 = self.not(c0);
+        let nc1 = self.not(c1);
         let r0 = self.and(l0, nc0)?;
         let r1 = self.and(l1, nc1)?;
         let lr = self.or(r0, r1)?;
@@ -88,7 +88,7 @@ impl BddManager {
         let cr = self.isop_rec(lr, ur, path, out)?;
         // Cover = v̄·c0 ∨ v·c1 ∨ cr.
         let vc0 = {
-            let nv = self.nvar(v)?;
+            let nv = self.nvar(v);
             self.and(nv, c0)?
         };
         let vc1 = {
@@ -123,7 +123,7 @@ mod tests {
         for cube in cubes {
             let mut c = Bdd::TRUE;
             for &(v, pol) in cube {
-                let lit = if pol { m.var(v) } else { m.nvar(v).unwrap() };
+                let lit = if pol { m.var(v) } else { m.nvar(v) };
                 c = m.and(c, lit).unwrap();
             }
             acc = m.or(acc, c).unwrap();
@@ -160,7 +160,7 @@ mod tests {
                     for i in 0..3 {
                         let bit = row >> (2 - i) & 1 == 1;
                         let v = Var(i);
-                        let lit = if bit { m.var(v) } else { m.nvar(v).unwrap() };
+                        let lit = if bit { m.var(v) } else { m.nvar(v) };
                         cube = m.and(cube, lit).unwrap();
                     }
                     f = m.or(f, cube).unwrap();
@@ -191,7 +191,7 @@ mod tests {
     fn pla_rendering() {
         let mut m = BddManager::new(3);
         let a = m.var(Var(0));
-        let nc = m.nvar(Var(2)).unwrap();
+        let nc = m.nvar(Var(2));
         let f = m.and(a, nc).unwrap();
         let cubes = m.isop(f).unwrap();
         assert_eq!(m.cover_to_pla(&cubes, 3), "1-0\n");

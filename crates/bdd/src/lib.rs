@@ -5,11 +5,16 @@
 //! Symbolic Reachability Analysis"* (Goel & Bryant, DATE 2003). It provides
 //! the machinery a 2003-era model checker obtained from CUDD/VIS:
 //!
-//! * hash-consed ROBDD nodes with a fixed variable order ([`BddManager`]),
-//! * logical operations through an ITE core with a computed cache
-//!   ([`BddManager::ite`], [`BddManager::and`], ...),
+//! * hash-consed ROBDD nodes with a fixed variable order and **complement
+//!   edges** ([`BddManager`]): `f` and `¬f` share one subgraph, and
+//!   negation ([`BddManager::not`], [`BddManager::nvar`]) is a constant-time
+//!   bit flip that can never fail or allocate,
+//! * logical operations through an ITE core with per-operation computed
+//!   caches ([`BddManager::ite`], [`BddManager::and`], ...; counters via
+//!   [`BddManager::cache_stats`]),
 //! * existential/universal quantification and the relational product
-//!   ([`BddManager::exists`], [`BddManager::and_exists`]),
+//!   ([`BddManager::exists`], [`BddManager::and_exists`]; `∀` is the free
+//!   complement-edge dual of `∃`),
 //! * functional composition, simultaneous vector composition and variable
 //!   permutation ([`BddManager::compose`], [`BddManager::vector_compose`]),
 //! * the generalized cofactor (`constrain`) and `restrict` operators of
@@ -21,16 +26,20 @@
 //!   [`BddManager::isop`]),
 //! * cross-manager transfer under a variable mapping
 //!   ([`BddManager::transfer_from`]) for variable-order studies,
-//! * mark-sweep garbage collection with stable node ids and live/peak node
+//! * mark-sweep garbage collection with stable node ids, RAII root
+//!   handles ([`Func`], from [`BddManager::func`]) and live/peak node
 //!   accounting (the "Peak(K)" metric of the paper's Table 2), and
 //! * optional node-count and deadline resource limits so long traversals
 //!   can reproduce the paper's `T.O.`/`M.O.` outcomes gracefully.
 //!
-//! The package is deliberately single-threaded and uses plain `u32` node
-//! handles ([`Bdd`]): exactly one manager owns all nodes, and all operations
-//! take `&mut BddManager`. Handles stay valid across garbage collections as
+//! Internally the manager is layered: arena node storage with a free
+//! list, a per-level unique table for hash consing, and one computed
+//! cache per operation. The package is deliberately
+//! single-threaded and uses plain 4-byte edge handles ([`Bdd`]): exactly
+//! one manager owns all nodes, and allocating operations take
+//! `&mut BddManager`. Handles stay valid across garbage collections as
 //! long as they are reachable from the roots passed to
-//! [`BddManager::collect_garbage`].
+//! [`BddManager::collect_garbage`] or pinned by a live [`Func`].
 //!
 //! ## Example
 //!
@@ -44,6 +53,13 @@
 //! let ab = m.and(a, b)?;
 //! let f = m.or(ab, c)?;
 //! assert_eq!(m.sat_count(f, 3), 5.0);
+//! // Negation is free and involutive (complement edges).
+//! let nf = m.not(f);
+//! assert_eq!(m.not(nf), f);
+//! // Pin f across garbage collection with an RAII handle.
+//! let root = m.func(f);
+//! m.collect_garbage(&[]);
+//! assert_eq!(m.sat_count(root.bdd(), 3), 5.0);
 //! // Quantify a out: ∃a. f = b ∨ c
 //! let cube = m.cube_from_vars(&[Var(0)])?;
 //! let g = m.exists(f, cube)?;
@@ -57,20 +73,26 @@
 #![warn(missing_docs)]
 
 mod apply;
+mod arena;
+mod cache;
 mod compose;
 mod constrain;
 mod dot;
 mod error;
 mod explore;
+mod func;
 pub mod hash;
 mod isop;
 mod manager;
 mod node;
 mod quant;
 mod transfer;
+mod unique;
 
+pub use cache::CacheStats;
 pub use error::BddError;
 pub use explore::{CubeIter, Support};
+pub use func::Func;
 pub use isop::Cube;
 pub use manager::{BddManager, GcStats, ManagerStats};
 pub use node::{Bdd, Var};

@@ -1,47 +1,46 @@
-//! The BDD manager: node arena, unique table, computed cache, GC, limits.
+//! The BDD manager: composes the arena, unique-table and cache layers.
+//!
+//! The manager owns one [`Arena`] (node storage + free list), one
+//! [`UniqueTable`] (hash consing, per-level subtables) and one set of
+//! per-operation [`Caches`]. It enforces the two representation
+//! invariants the layers themselves cannot see:
+//!
+//! * **Complement-edge canonical form** — a stored `hi` edge is never
+//!   complemented. [`BddManager::mk`] rewrites `(v, lo, ¬n)` into the
+//!   complement of `(v, ¬lo, n)`, so `f` and `¬f` always share one
+//!   subgraph and negation is a bit flip.
+//! * **Root discipline** — garbage collection marks from explicit roots,
+//!   the per-variable literal nodes, and the refcounts held by live
+//!   [`Func`] handles.
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::time::Instant;
 
+use crate::arena::Arena;
+use crate::cache::{CacheStats, Caches};
 use crate::error::BddError;
+use crate::func::{Func, RootTable};
 use crate::hash::FxHashMap;
-use crate::node::{Bdd, Node, Var, FREE_LEVEL, TERMINAL_LEVEL};
+use crate::node::{Bdd, Node, Var};
+use crate::unique::UniqueTable;
 use crate::Result;
 
-/// Sentinel for "no next entry" in the free list.
-const FREE_END: u32 = u32::MAX;
-
 /// How often (in node allocations) the deadline is polled.
-const DEADLINE_POLL_MASK: u64 = 0x1FFF;
-
-/// Default maximum number of memoized results before the computed cache is
-/// wholesale cleared (a standard CUDD-style safety valve).
-const DEFAULT_CACHE_LIMIT: usize = 1 << 22;
-
-/// Key into the computed cache: operation tag plus up to three operands.
-pub(crate) type CacheKey = (u8, u32, u32, u32);
-
-/// Operation tags for the computed cache.
-pub(crate) mod op {
-    pub const ITE: u8 = 1;
-    pub const EXISTS: u8 = 2;
-    pub const FORALL: u8 = 3;
-    pub const AND_EXISTS: u8 = 4;
-    pub const CONSTRAIN: u8 = 5;
-    pub const RESTRICT: u8 = 6;
-}
+pub(crate) const DEADLINE_POLL_MASK: u64 = 0x1FFF;
 
 /// Counters describing the current state of a [`BddManager`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ManagerStats {
-    /// Nodes currently allocated (terminals + variables + interior).
+    /// Nodes currently allocated (terminal + variables + interior).
     pub allocated_nodes: usize,
     /// High-water mark of `allocated_nodes` over the manager's lifetime.
     pub peak_nodes: usize,
     /// Total node creations (including unique-table hits).
     pub mk_calls: u64,
-    /// Computed-cache lookups.
+    /// Computed-cache lookups, summed over all operation caches.
     pub cache_lookups: u64,
-    /// Computed-cache hits.
+    /// Computed-cache hits, summed over all operation caches.
     pub cache_hits: u64,
     /// Garbage collections performed.
     pub gc_runs: u64,
@@ -58,12 +57,16 @@ pub struct GcStats {
     pub live: usize,
 }
 
-/// An ROBDD manager with a fixed variable order.
+/// An ROBDD manager with a fixed variable order and complement edges.
 ///
 /// All nodes live in one arena owned by the manager; [`Bdd`] handles are
-/// indices into it. Operations take `&mut self` because they allocate nodes
-/// and consult the computed cache. See the [crate root](crate) for an
-/// overview and example.
+/// complement-encoded edges into it. Allocating operations take
+/// `&mut self`; negation ([`BddManager::not`]) and the negative literal
+/// ([`BddManager::nvar`]) are `&self`, infallible and allocation-free.
+/// See the [crate root](crate) for an overview and example.
+///
+/// The manager is single-threaded (`!Send`): [`Func`] handles share its
+/// root table through an `Rc`.
 ///
 /// # Resource limits
 ///
@@ -74,18 +77,16 @@ pub struct GcStats {
 /// Table 2 without thrashing the host.
 #[derive(Debug)]
 pub struct BddManager {
-    nodes: Vec<Node>,
-    unique: FxHashMap<(u32, u32, u32), u32>,
-    free_head: u32,
-    free_count: usize,
-    cache: FxHashMap<CacheKey, u32>,
-    cache_limit: usize,
+    arena: Arena,
+    unique: UniqueTable,
+    pub(crate) caches: Caches,
     num_vars: u32,
-    /// Pre-built positive literal for each variable (stable, protected).
+    /// Pre-built positive literal edge for each variable (stable, rooted).
     var_nodes: Vec<u32>,
     node_limit: usize,
     deadline: Option<Instant>,
-    protected: FxHashMap<u32, u32>,
+    /// Refcounted roots held by live [`Func`] handles (node index → count).
+    roots: RootTable,
     stats: ManagerStats,
 }
 
@@ -96,35 +97,26 @@ impl BddManager {
     ///
     /// # Panics
     ///
-    /// Panics if `num_vars` exceeds `u32::MAX - 2` (index space for
-    /// sentinels).
+    /// Panics if `num_vars` exceeds the 31-bit node index space.
     pub fn new(num_vars: u32) -> Self {
-        assert!(num_vars < u32::MAX - 2, "too many variables");
+        assert!(num_vars < (u32::MAX >> 1) - 1, "too many variables");
         let mut m = BddManager {
-            nodes: Vec::with_capacity(num_vars as usize + 2),
-            unique: FxHashMap::default(),
-            free_head: FREE_END,
-            free_count: 0,
-            cache: FxHashMap::default(),
-            cache_limit: DEFAULT_CACHE_LIMIT,
+            arena: Arena::new(num_vars as usize + 1),
+            unique: UniqueTable::new(num_vars),
+            caches: Caches::new(),
             num_vars,
             var_nodes: Vec::with_capacity(num_vars as usize),
             node_limit: usize::MAX,
             deadline: None,
-            protected: FxHashMap::default(),
+            roots: Rc::new(RefCell::new(FxHashMap::default())),
             stats: ManagerStats::default(),
         };
-        // Terminals occupy slots 0 and 1.
-        m.nodes.push(Node { var: TERMINAL_LEVEL, lo: 0, hi: 0 });
-        m.nodes.push(Node { var: TERMINAL_LEVEL, lo: 1, hi: 1 });
         for v in 0..num_vars {
-            let id = m
+            let lit = m
                 .mk(v, Bdd::FALSE, Bdd::TRUE)
                 .expect("variable nodes fit within fresh manager limits");
-            m.var_nodes.push(id.0);
+            m.var_nodes.push(lit.0);
         }
-        m.stats.allocated_nodes = m.nodes.len();
-        m.stats.peak_nodes = m.nodes.len();
         m
     }
 
@@ -148,16 +140,29 @@ impl BddManager {
 
     /// The function of a single negative literal (`¬v`).
     ///
-    /// # Errors
-    ///
-    /// Fails only on resource-limit exhaustion.
+    /// Constant time and allocation-free: the complement edge to the
+    /// positive literal's node.
     ///
     /// # Panics
     ///
     /// Panics if `v` is outside the manager's variable range.
-    pub fn nvar(&mut self, v: Var) -> Result<Bdd> {
-        assert!(v.0 < self.num_vars, "variable {v} out of range");
-        self.mk(v.0, Bdd::TRUE, Bdd::FALSE)
+    #[inline]
+    pub fn nvar(&self, v: Var) -> Bdd {
+        self.var(v).complement()
+    }
+
+    /// Negation `¬f`. Constant time and allocation-free: flips the
+    /// complement bit of the edge.
+    #[inline]
+    pub fn not(&self, f: Bdd) -> Bdd {
+        f.complement()
+    }
+
+    /// An RAII handle pinning `f` (and everything it references) across
+    /// garbage collections until the handle — and every clone of it — is
+    /// dropped. This is the only root-pinning mechanism; see [`Func`].
+    pub fn func(&self, f: Bdd) -> Func {
+        Func::new(f, Rc::clone(&self.roots))
     }
 
     /// Arms a ceiling on allocated nodes; exceeded ⇒ [`BddError::NodeLimit`].
@@ -175,33 +180,55 @@ impl BddManager {
         self.deadline = deadline;
     }
 
-    /// Caps the computed cache (entries); the cache is cleared when full.
+    /// Fails with [`BddError::Deadline`] if the armed deadline has passed.
+    ///
+    /// Node allocation polls the deadline only every few thousand
+    /// allocations, so short operations may run to completion past it;
+    /// long-running drivers call this at their own iteration boundaries
+    /// for prompt, allocation-independent aborts.
+    pub fn check_deadline(&self) -> Result<()> {
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Err(BddError::Deadline),
+            _ => Ok(()),
+        }
+    }
+
+    /// Caps each operation cache (entries); a cache is cleared when full.
     pub fn set_cache_limit(&mut self, limit: usize) {
-        self.cache_limit = limit.max(1);
+        self.caches.limit = limit.max(1);
     }
 
     /// Current counters (allocation, cache and GC statistics).
     pub fn stats(&self) -> ManagerStats {
         let mut s = self.stats;
         s.allocated_nodes = self.allocated();
+        s.peak_nodes = self.arena.peak();
+        let (lookups, hits) = self.caches.totals();
+        s.cache_lookups = lookups;
+        s.cache_hits = hits;
         s
+    }
+
+    /// Per-operation computed-cache counters (lookups, hits, residency).
+    pub fn cache_stats(&self) -> Vec<CacheStats> {
+        self.caches.stats()
     }
 
     /// Nodes currently allocated (live from the manager's point of view).
     #[inline]
     pub fn allocated(&self) -> usize {
-        self.nodes.len() - self.free_count
+        self.arena.allocated()
     }
 
     /// High-water mark of allocated nodes.
     #[inline]
     pub fn peak_nodes(&self) -> usize {
-        self.stats.peak_nodes
+        self.arena.peak()
     }
 
     /// Resets the peak-node high-water mark to the current allocation.
     pub fn reset_peak_nodes(&mut self) {
-        self.stats.peak_nodes = self.allocated();
+        self.arena.reset_peak();
     }
 
     // ----- node access -------------------------------------------------
@@ -209,7 +236,7 @@ impl BddManager {
     /// Level of the decision variable of `f` (`u32::MAX` for terminals).
     #[inline]
     pub(crate) fn level(&self, f: Bdd) -> u32 {
-        self.nodes[f.0 as usize].var
+        self.arena.get(f.node()).var
     }
 
     /// Decision variable of a non-terminal node.
@@ -224,7 +251,9 @@ impl BddManager {
         Var(v)
     }
 
-    /// Low (else) child of a non-terminal node.
+    /// Low (else) child of a non-terminal node, with the parent edge's
+    /// complement bit pushed into the result — i.e. the cofactor
+    /// `f|top=0` of the *function* `f`, not of the stored node.
     ///
     /// # Panics
     ///
@@ -232,10 +261,11 @@ impl BddManager {
     #[inline]
     pub fn low(&self, f: Bdd) -> Bdd {
         assert!(!f.is_const(), "low of a terminal");
-        Bdd(self.nodes[f.0 as usize].lo)
+        Bdd(self.arena.get(f.node()).lo ^ (f.0 & 1))
     }
 
-    /// High (then) child of a non-terminal node.
+    /// High (then) child of a non-terminal node, complement-resolved the
+    /// same way as [`BddManager::low`].
     ///
     /// # Panics
     ///
@@ -243,18 +273,20 @@ impl BddManager {
     #[inline]
     pub fn high(&self, f: Bdd) -> Bdd {
         assert!(!f.is_const(), "high of a terminal");
-        Bdd(self.nodes[f.0 as usize].hi)
+        Bdd(self.arena.get(f.node()).hi ^ (f.0 & 1))
     }
 
     /// Cofactors of `f` with respect to level `lvl`: `(f|lvl=0, f|lvl=1)`.
     ///
     /// `lvl` must be ≤ the level of `f`'s top variable (standard apply-step
-    /// usage); if `f`'s top is below `lvl`, both cofactors are `f`.
+    /// usage); if `f`'s top is below `lvl`, both cofactors are `f`. The
+    /// parent's complement bit is resolved into both children.
     #[inline]
     pub(crate) fn cofactors_at(&self, f: Bdd, lvl: u32) -> (Bdd, Bdd) {
-        let n = self.nodes[f.0 as usize];
+        let n = self.arena.get(f.node());
         if n.var == lvl {
-            (Bdd(n.lo), Bdd(n.hi))
+            let c = f.0 & 1;
+            (Bdd(n.lo ^ c), Bdd(n.hi ^ c))
         } else {
             (f, f)
         }
@@ -262,25 +294,43 @@ impl BddManager {
 
     // ----- node creation ------------------------------------------------
 
-    /// Finds or creates the node `(var, lo, hi)`, applying the reduction
-    /// rule `lo == hi ⇒ lo`.
+    /// Finds or creates the function `ite(v, hi, lo)`, applying the
+    /// reduction rule `lo == hi ⇒ lo` and the complement-edge canonical
+    /// form (a stored `hi` edge is never complemented).
     ///
     /// # Errors
     ///
     /// Fails on node-limit, deadline or index-space exhaustion.
     pub(crate) fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Result<Bdd> {
         debug_assert!(var < self.num_vars);
-        debug_assert!(self.level(lo) > var && self.level(hi) > var, "order violation");
+        debug_assert!(
+            self.level(lo) > var && self.level(hi) > var,
+            "order violation"
+        );
         self.stats.mk_calls += 1;
         if lo == hi {
             return Ok(lo);
         }
-        if let Some(&id) = self.unique.get(&(var, lo.0, hi.0)) {
-            return Ok(Bdd(id));
+        if hi.is_complemented() {
+            // (v, lo, ¬n) ≡ ¬(v, ¬lo, n): store the regular-hi form.
+            let r = self.mk_node(var, lo.complement(), hi.complement())?;
+            Ok(r.complement())
+        } else {
+            self.mk_node(var, lo, hi)
+        }
+    }
+
+    /// Hash-conses the node `(var, lo, hi)` with `hi` already regular.
+    fn mk_node(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Result<Bdd> {
+        debug_assert!(!hi.is_complemented());
+        if let Some(idx) = self.unique.get(var, lo.0, hi.0) {
+            return Ok(Bdd(idx << 1));
         }
         // Resource checks on the slow (allocating) path only.
         if self.allocated() >= self.node_limit {
-            return Err(BddError::NodeLimit { limit: self.node_limit });
+            return Err(BddError::NodeLimit {
+                limit: self.node_limit,
+            });
         }
         if self.stats.mk_calls & DEADLINE_POLL_MASK == 0 {
             if let Some(d) = self.deadline {
@@ -289,139 +339,80 @@ impl BddManager {
                 }
             }
         }
-        let node = Node { var, lo: lo.0, hi: hi.0 };
-        let id = if self.free_head != FREE_END {
-            let slot = self.free_head;
-            self.free_head = self.nodes[slot as usize].lo;
-            self.free_count -= 1;
-            self.nodes[slot as usize] = node;
-            slot
-        } else {
-            if self.nodes.len() >= (u32::MAX - 2) as usize {
-                return Err(BddError::Capacity);
-            }
-            self.nodes.push(node);
-            (self.nodes.len() - 1) as u32
-        };
-        self.unique.insert((var, lo.0, hi.0), id);
-        let alloc = self.allocated();
-        if alloc > self.stats.peak_nodes {
-            self.stats.peak_nodes = alloc;
-        }
-        Ok(Bdd(id))
+        let idx = self.arena.alloc(Node {
+            var,
+            lo: lo.0,
+            hi: hi.0,
+        })?;
+        self.unique.insert(var, lo.0, hi.0, idx);
+        Ok(Bdd(idx << 1))
     }
 
-    // ----- computed cache -------------------------------------------------
-
-    #[inline]
-    pub(crate) fn cache_get(&mut self, key: CacheKey) -> Option<Bdd> {
-        self.stats.cache_lookups += 1;
-        let hit = self.cache.get(&key).copied().map(Bdd);
-        if hit.is_some() {
-            self.stats.cache_hits += 1;
-        }
-        hit
-    }
-
-    #[inline]
-    pub(crate) fn cache_put(&mut self, key: CacheKey, val: Bdd) {
-        if self.cache.len() >= self.cache_limit {
-            self.cache.clear();
-        }
-        self.cache.insert(key, val.0);
-    }
-
-    /// Clears the computed cache (memoized operation results).
+    /// Clears all computed caches (memoized operation results).
     ///
     /// Purely a memory/performance knob; never affects results.
     pub fn clear_cache(&mut self) {
-        self.cache.clear();
+        self.caches.clear_all();
     }
 
-    // ----- protection & garbage collection -------------------------------
+    // ----- garbage collection -------------------------------------------
 
-    /// Pins `f` (and everything it references) across garbage collections.
-    ///
-    /// Protection is counted: matching calls to [`BddManager::unprotect`]
-    /// release it.
-    pub fn protect(&mut self, f: Bdd) {
-        *self.protected.entry(f.0).or_insert(0) += 1;
-    }
-
-    /// Releases one level of protection added by [`BddManager::protect`].
-    ///
-    /// Unprotecting a handle that is not protected is a no-op.
-    pub fn unprotect(&mut self, f: Bdd) {
-        if let Some(c) = self.protected.get_mut(&f.0) {
-            *c -= 1;
-            if *c == 0 {
-                self.protected.remove(&f.0);
-            }
-        }
-    }
-
-    /// Reclaims every node not reachable from `roots`, the protected set,
-    /// or the per-variable literal nodes. Handles to live nodes remain
-    /// valid; the computed cache is cleared.
+    /// Reclaims every node not reachable from `roots`, a live [`Func`]
+    /// handle, or the per-variable literal nodes. Handles to live nodes
+    /// remain valid; the computed caches are cleared.
     pub fn collect_garbage(&mut self, roots: &[Bdd]) -> GcStats {
-        let mut mark = vec![false; self.nodes.len()];
-        mark[0] = true;
-        mark[1] = true;
-        let mut stack: Vec<u32> = Vec::new();
-        for &r in roots {
-            stack.push(r.0);
-        }
-        stack.extend(self.protected.keys().copied());
-        stack.extend(self.var_nodes.iter().copied());
+        let mut mark = vec![false; self.arena.len()];
+        mark[0] = true; // the terminal
+        let mut stack: Vec<u32> = roots.iter().map(|b| b.node()).collect();
+        stack.extend(self.roots.borrow().keys().copied());
+        stack.extend(self.var_nodes.iter().map(|&e| e >> 1));
         while let Some(i) = stack.pop() {
             if mark[i as usize] {
                 continue;
             }
             mark[i as usize] = true;
-            let n = self.nodes[i as usize];
+            let n = self.arena.get(i);
             if n.var < self.num_vars {
-                if !mark[n.lo as usize] {
-                    stack.push(n.lo);
-                }
-                if !mark[n.hi as usize] {
-                    stack.push(n.hi);
-                }
+                stack.push(n.lo >> 1);
+                stack.push(n.hi >> 1);
             }
         }
         let mut collected = 0;
-        #[allow(clippy::needless_range_loop)] // reads nodes[i] and writes nodes[i]
-        for i in 2..self.nodes.len() {
-            let n = self.nodes[i];
-            if !mark[i] && n.var < self.num_vars {
-                self.unique.remove(&(n.var, n.lo, n.hi));
-                self.nodes[i] = Node { var: FREE_LEVEL, lo: self.free_head, hi: 0 };
-                self.free_head = i as u32;
-                self.free_count += 1;
+        for i in 1..self.arena.len() as u32 {
+            let n = self.arena.get(i);
+            if !mark[i as usize] && n.var < self.num_vars {
+                self.unique.remove(n.var, n.lo, n.hi);
+                self.arena.free(i);
                 collected += 1;
             }
         }
-        self.cache.clear();
+        self.caches.clear_all();
         self.stats.gc_runs += 1;
         self.stats.gc_reclaimed += collected as u64;
-        GcStats { collected, live: self.allocated() }
+        GcStats {
+            collected,
+            live: self.allocated(),
+        }
     }
 
     /// Counts the nodes reachable from `roots` (shared live size) without
-    /// collecting anything. Terminals are not counted.
+    /// collecting anything. The terminal is not counted, and — because
+    /// counting is by node, not by edge — `f` and `¬f` contribute the same
+    /// shared structure.
     pub fn live_from(&self, roots: &[Bdd]) -> usize {
-        let mut mark = vec![false; self.nodes.len()];
-        let mut stack: Vec<u32> = roots.iter().map(|b| b.0).collect();
+        let mut mark = vec![false; self.arena.len()];
+        let mut stack: Vec<u32> = roots.iter().map(|b| b.node()).collect();
         let mut count = 0;
         while let Some(i) = stack.pop() {
             if mark[i as usize] {
                 continue;
             }
             mark[i as usize] = true;
-            let n = self.nodes[i as usize];
+            let n = self.arena.get(i);
             if n.var < self.num_vars {
                 count += 1;
-                stack.push(n.lo);
-                stack.push(n.hi);
+                stack.push(n.lo >> 1);
+                stack.push(n.hi >> 1);
             }
         }
         count
@@ -430,7 +421,7 @@ impl BddManager {
     /// Checks whether the node slot is live (not freed); for debug tooling.
     #[cfg(test)]
     pub(crate) fn is_live(&self, f: Bdd) -> bool {
-        (f.0 as usize) < self.nodes.len() && self.nodes[f.0 as usize].var != FREE_LEVEL
+        self.arena.is_live_slot(f.node())
     }
 }
 
@@ -442,11 +433,25 @@ mod tests {
     fn terminals_and_vars() {
         let m = BddManager::new(3);
         assert_eq!(m.num_vars(), 3);
-        assert_eq!(m.allocated(), 5); // 2 terminals + 3 literals
+        assert_eq!(m.allocated(), 4); // 1 terminal + 3 literals
         let a = m.var(Var(0));
         assert_eq!(m.top_var(a), Var(0));
         assert_eq!(m.low(a), Bdd::FALSE);
         assert_eq!(m.high(a), Bdd::TRUE);
+    }
+
+    #[test]
+    fn nvar_is_free_and_complement_resolved() {
+        let m = BddManager::new(2);
+        let a = m.var(Var(0));
+        let na = m.nvar(Var(0));
+        assert_eq!(m.allocated(), 3, "nvar allocates nothing");
+        assert_eq!(na, m.not(a));
+        assert_eq!(m.not(na), a);
+        // Accessors push the complement bit into the children.
+        assert_eq!(m.low(na), Bdd::TRUE);
+        assert_eq!(m.high(na), Bdd::FALSE);
+        assert_eq!(m.top_var(na), Var(0));
     }
 
     #[test]
@@ -460,30 +465,49 @@ mod tests {
     }
 
     #[test]
+    fn mk_canonicalizes_complemented_hi() {
+        let mut m = BddManager::new(2);
+        // (v0, ⊤, ⊥) is ¬v0: must resolve to the complement of the literal
+        // node, not a second node.
+        let before = m.allocated();
+        let nv = m.mk(0, Bdd::TRUE, Bdd::FALSE).unwrap();
+        assert_eq!(nv, m.nvar(Var(0)));
+        assert_eq!(m.allocated(), before, "no new node for a complement");
+        // General case: mk with complemented hi equals ¬mk(¬lo, ¬hi).
+        let b = m.var(Var(1));
+        let f = m.mk(0, b, b.complement()).unwrap();
+        let g = m.mk(0, b.complement(), b).unwrap();
+        assert_eq!(f, g.complement());
+        assert_eq!(m.live_from(&[f]), m.live_from(&[g]));
+    }
+
+    #[test]
     fn node_limit_trips() {
         let mut m = BddManager::new(8);
+        let a = m.var(Var(0));
+        let b = m.var(Var(1));
         m.set_node_limit(m.allocated()); // no headroom
-        let err = m.nvar(Var(0)).unwrap_err();
-        assert_eq!(err, BddError::NodeLimit { limit: 10 });
+        let err = m.and(a, b).unwrap_err();
+        assert_eq!(err, BddError::NodeLimit { limit: 9 });
         m.clear_node_limit();
-        assert!(m.nvar(Var(0)).is_ok());
+        assert!(m.and(a, b).is_ok());
     }
 
     #[test]
     fn deadline_trips_eventually() {
         let mut m = BddManager::new(4);
+        let a = m.var(Var(0));
+        let b = m.var(Var(1));
         m.set_deadline(Some(Instant::now() - std::time::Duration::from_secs(1)));
-        // The poll only fires every DEADLINE_POLL_MASK+1 mk calls; hammer it.
+        // The poll only fires every DEADLINE_POLL_MASK+1 mk calls; hammer
+        // it with fresh allocations (GC clears the caches in between).
         let mut r = Ok(Bdd::TRUE);
-        'outer: for _ in 0..DEADLINE_POLL_MASK + 2 {
-            for v in 0..4 {
-                r = m.nvar(Var(v));
-                if r.is_err() {
-                    break 'outer;
-                }
-                // Force fresh allocations by collecting in between.
-                m.collect_garbage(&[]);
+        for _ in 0..DEADLINE_POLL_MASK + 2 {
+            r = m.and(a, b);
+            if r.is_err() {
+                break;
             }
+            m.collect_garbage(&[]);
         }
         assert_eq!(r.unwrap_err(), BddError::Deadline);
     }
@@ -493,41 +517,60 @@ mod tests {
         let mut m = BddManager::new(4);
         let a = m.var(Var(0));
         let b = m.var(Var(1));
-        let nb = m.nvar(Var(1)).unwrap();
+        let nb = m.nvar(Var(1)); // shares b's node
         let g = m.mk(0, nb, b).unwrap();
         let before = m.allocated();
         let stats = m.collect_garbage(&[g]);
         assert_eq!(stats.live, before); // everything is reachable or a literal
         let stats = m.collect_garbage(&[]);
-        assert_eq!(stats.collected, 2); // g and nb die; literals stay
+        assert_eq!(stats.collected, 1); // g dies; nb *is* b's node, which stays
         assert!(m.is_live(a));
+        assert!(m.is_live(nb));
         assert!(!m.is_live(g));
     }
 
     #[test]
-    fn protection_survives_gc_and_is_counted() {
+    fn func_handles_root_across_gc() {
         let mut m = BddManager::new(2);
-        let nb = m.nvar(Var(1)).unwrap();
-        m.protect(nb);
-        m.protect(nb);
+        let a = m.var(Var(0));
+        let b = m.var(Var(1));
+        let g = m.and(a, b).unwrap();
+        let h1 = m.func(g);
+        let h2 = h1.clone();
         m.collect_garbage(&[]);
-        assert!(m.is_live(nb));
-        m.unprotect(nb);
+        assert!(m.is_live(g));
+        drop(h1);
         m.collect_garbage(&[]);
-        assert!(m.is_live(nb)); // still one protection left
-        m.unprotect(nb);
+        assert!(m.is_live(g), "second handle still pins the node");
+        drop(h2);
         m.collect_garbage(&[]);
-        assert!(!m.is_live(nb));
+        assert!(!m.is_live(g));
+    }
+
+    #[test]
+    fn func_not_pins_without_allocation() {
+        let mut m = BddManager::new(2);
+        let a = m.var(Var(0));
+        let b = m.var(Var(1));
+        let g = m.and(a, b).unwrap();
+        let h = m.func(g);
+        let before = m.stats().mk_calls;
+        let nh = h.not();
+        assert_eq!(m.stats().mk_calls, before, "Func::not must not allocate");
+        assert_eq!(nh.bdd(), m.not(g));
+        drop(h);
+        m.collect_garbage(&[]);
+        assert!(m.is_live(g), "¬g pins the same node as g");
     }
 
     #[test]
     fn freed_slots_are_recycled() {
         let mut m = BddManager::new(3);
-        let x = m.nvar(Var(2)).unwrap();
-        let slot = x.0;
+        let b = m.var(Var(1));
+        let x = m.mk(0, b, Bdd::TRUE).unwrap();
         m.collect_garbage(&[]);
-        let y = m.nvar(Var(2)).unwrap();
-        assert_eq!(y.0, slot, "slot should be recycled");
+        let y = m.mk(0, b, Bdd::TRUE).unwrap();
+        assert_eq!(y, x, "slot should be recycled");
     }
 
     #[test]
@@ -538,14 +581,17 @@ mod tests {
         // f shares b; counting both roots must not double count.
         assert_eq!(m.live_from(&[f, b]), 2);
         assert_eq!(m.live_from(&[Bdd::TRUE]), 0);
+        // f and ¬f are one subgraph under complement edges.
+        assert_eq!(m.live_from(&[f, m.not(f)]), 2);
     }
 
     #[test]
     fn peak_tracking() {
         let mut m = BddManager::new(4);
+        let b = m.var(Var(1));
         let base = m.allocated();
-        let x = m.nvar(Var(1)).unwrap();
-        let _ = m.mk(0, x, Bdd::TRUE).unwrap();
+        let _x = m.mk(0, b, Bdd::TRUE).unwrap();
+        let _y = m.mk(0, Bdd::TRUE, b).unwrap();
         assert_eq!(m.peak_nodes(), base + 2);
         m.collect_garbage(&[]);
         assert_eq!(m.peak_nodes(), base + 2);
@@ -554,9 +600,31 @@ mod tests {
     }
 
     #[test]
+    fn per_op_cache_stats_are_reported() {
+        let mut m = BddManager::new(3);
+        let a = m.var(Var(0));
+        let b = m.var(Var(1));
+        let _ = m.and(a, b).unwrap();
+        let _ = m.and(a, b).unwrap();
+        let stats = m.cache_stats();
+        let ite = stats.iter().find(|s| s.name == "ite").unwrap();
+        assert!(ite.lookups >= 2);
+        assert!(ite.hits >= 1);
+        let exists = stats.iter().find(|s| s.name == "exists").unwrap();
+        assert_eq!(exists.lookups, 0);
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn var_out_of_range_panics() {
         let m = BddManager::new(1);
         let _ = m.var(Var(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn nvar_out_of_range_panics() {
+        let m = BddManager::new(1);
+        let _ = m.nvar(Var(5));
     }
 }

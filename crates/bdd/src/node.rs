@@ -1,14 +1,23 @@
-//! Node handles, variable handles and the packed node representation.
+//! Edge handles, variable handles and the packed node representation.
+//!
+//! A [`Bdd`] is an *edge*: a node index plus a complement bit in the low
+//! bit. The arena stores only one terminal node (the constant ⊤ at index
+//! 0); the constant ⊥ is the complemented edge to it. Negation is
+//! therefore a bit flip, and a function and its complement share one
+//! subgraph.
 
 use std::fmt;
 
-/// A handle to a BDD node owned by a [`crate::BddManager`].
+/// A handle to a BDD edge owned by a [`crate::BddManager`].
 ///
-/// Handles are plain indices; they are `Copy`, 4 bytes, and remain valid
-/// across garbage collections as long as the node is reachable from the
-/// roots supplied to [`crate::BddManager::collect_garbage`]. The two
-/// terminal nodes have dedicated constants, [`Bdd::FALSE`] and
-/// [`Bdd::TRUE`].
+/// Handles are complement-edge encoded: bit 0 carries the complement
+/// flag, the remaining bits index the target node in the manager's arena.
+/// They are `Copy`, 4 bytes, and remain valid across garbage collections
+/// as long as the node is reachable from the roots supplied to
+/// [`crate::BddManager::collect_garbage`] or pinned by a live
+/// [`crate::Func`] handle. The two constant functions have dedicated
+/// constants, [`Bdd::FALSE`] and [`Bdd::TRUE`], both referring to the
+/// single terminal node.
 ///
 /// A `Bdd` is only meaningful together with the manager that created it;
 /// mixing handles from different managers is a logic error (caught only on
@@ -17,36 +26,64 @@ use std::fmt;
 pub struct Bdd(pub(crate) u32);
 
 impl Bdd {
-    /// The terminal node for the constant function `0` (the empty set).
-    pub const FALSE: Bdd = Bdd(0);
-    /// The terminal node for the constant function `1` (the universe).
-    pub const TRUE: Bdd = Bdd(1);
+    /// The constant function `1` (the universe): the regular edge to the
+    /// terminal node.
+    pub const TRUE: Bdd = Bdd(0);
+    /// The constant function `0` (the empty set): the complemented edge to
+    /// the terminal node.
+    pub const FALSE: Bdd = Bdd(1);
 
-    /// Returns `true` if this handle is one of the two terminal nodes.
+    /// Returns `true` if this handle is one of the two constant functions.
     #[inline]
     pub fn is_const(self) -> bool {
         self.0 <= 1
     }
 
-    /// Returns `true` if this is the constant-false terminal.
+    /// Returns `true` if this is the constant-false function.
     #[inline]
     pub fn is_false(self) -> bool {
         self == Bdd::FALSE
     }
 
-    /// Returns `true` if this is the constant-true terminal.
+    /// Returns `true` if this is the constant-true function.
     #[inline]
     pub fn is_true(self) -> bool {
         self == Bdd::TRUE
     }
 
-    /// Raw index of the node in the manager arena.
+    /// Raw edge word (node index plus complement bit).
     ///
     /// Exposed for hashing/interning by higher layers (e.g. memo tables
-    /// keyed on vectors of nodes); not useful for interpreting the node.
+    /// keyed on vectors of functions); distinct functions — including a
+    /// function and its complement — have distinct values. Not useful for
+    /// interpreting the node.
     #[inline]
     pub fn index(self) -> u32 {
         self.0
+    }
+
+    /// Arena index of the target node (complement bit stripped).
+    #[inline]
+    pub(crate) fn node(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the edge carries the complement flag.
+    #[inline]
+    pub(crate) fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The same edge with the complement flag flipped: `¬f`, for free.
+    #[inline]
+    pub(crate) fn complement(self) -> Bdd {
+        Bdd(self.0 ^ 1)
+    }
+
+    /// The regular (uncomplemented) version of this edge.
+    #[inline]
+    pub(crate) fn regular(self) -> Bdd {
+        Bdd(self.0 & !1)
     }
 }
 
@@ -55,7 +92,8 @@ impl fmt::Debug for Bdd {
         match *self {
             Bdd::FALSE => write!(f, "Bdd(⊥)"),
             Bdd::TRUE => write!(f, "Bdd(⊤)"),
-            Bdd(i) => write!(f, "Bdd({i})"),
+            b if b.is_complemented() => write!(f, "Bdd(¬{})", b.node()),
+            b => write!(f, "Bdd({})", b.node()),
         }
     }
 }
@@ -89,16 +127,18 @@ impl fmt::Display for Var {
     }
 }
 
-/// Level value used by terminal nodes (and free slots): sorts after every
-/// real variable, so `min(var(f), var(g))` naturally skips terminals.
+/// Level value used by the terminal node (and free slots): sorts after
+/// every real variable, so `min(var(f), var(g))` naturally skips terminals.
 pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
 
 /// Level value marking a recycled (dead) node slot on the free list.
 pub(crate) const FREE_LEVEL: u32 = u32::MAX - 1;
 
-/// Packed in-arena node: decision variable level plus the two cofactors.
+/// Packed in-arena node: decision variable level plus the two cofactor
+/// *edges* (complement-encoded, like [`Bdd`]). The canonical form stores
+/// no complemented `hi` edge; complement flags appear only on `lo`.
 ///
-/// Terminals use `var == TERMINAL_LEVEL`; free-list entries use
+/// The terminal uses `var == TERMINAL_LEVEL`; free-list entries use
 /// `var == FREE_LEVEL` and store the next free slot in `lo`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub(crate) struct Node {
@@ -121,17 +161,30 @@ mod tests {
     }
 
     #[test]
+    fn complement_encoding() {
+        assert_eq!(Bdd::TRUE.complement(), Bdd::FALSE);
+        assert_eq!(Bdd::FALSE.complement(), Bdd::TRUE);
+        let e = Bdd(6);
+        assert!(!e.is_complemented());
+        assert!(e.complement().is_complemented());
+        assert_eq!(e.complement().complement(), e);
+        assert_eq!(e.complement().node(), e.node());
+        assert_eq!(e.complement().regular(), e);
+    }
+
+    #[test]
     fn debug_formats() {
         assert_eq!(format!("{:?}", Bdd::FALSE), "Bdd(⊥)");
         assert_eq!(format!("{:?}", Bdd::TRUE), "Bdd(⊤)");
-        assert_eq!(format!("{:?}", Bdd(5)), "Bdd(5)");
+        assert_eq!(format!("{:?}", Bdd(6)), "Bdd(3)");
+        assert_eq!(format!("{:?}", Bdd(7)), "Bdd(¬3)");
         assert_eq!(format!("{:?}", Var(3)), "v3");
         assert_eq!(format!("{}", Var(3)), "v3");
     }
 
     #[test]
-    fn ordering_of_handles_is_by_index() {
-        assert!(Bdd::FALSE < Bdd::TRUE);
+    fn ordering_of_handles_is_by_edge_word() {
+        assert!(Bdd::TRUE < Bdd::FALSE); // ⊤ is the regular edge
         assert!(Bdd(2) < Bdd(3));
     }
 

@@ -3,9 +3,11 @@
 //! Variable sets are passed as *positive cubes* — conjunctions of the
 //! variables to quantify — the conventional CUDD interface. Cubes compose
 //! naturally with the recursion (skip cube variables above the operand's
-//! top) and give the computed cache a ready-made key.
+//! top) and give the computed cache a ready-made key. Under complement
+//! edges, `∀` needs no cache or recursion of its own: it is
+//! `¬∃ cube. ¬f` with both negations free.
 
-use crate::manager::{op, BddManager};
+use crate::manager::BddManager;
 use crate::node::{Bdd, Var};
 use crate::{BddError, Result};
 
@@ -25,7 +27,10 @@ impl BddManager {
         let mut cube = Bdd::TRUE;
         for v in sorted.into_iter().rev() {
             if v.0 >= self.num_vars() {
-                return Err(BddError::VarOutOfRange { var: v.0, num_vars: self.num_vars() });
+                return Err(BddError::VarOutOfRange {
+                    var: v.0,
+                    num_vars: self.num_vars(),
+                });
             }
             cube = self.mk(v.0, Bdd::FALSE, cube)?;
         }
@@ -66,8 +71,8 @@ impl BddManager {
         if cube.is_true() {
             return Ok(f);
         }
-        let key = (op::EXISTS, f.index(), cube.index(), 0);
-        if let Some(r) = self.cache_get(key) {
+        let key = (f.0, cube.0, 0);
+        if let Some(r) = self.caches.exists.get(key) {
             return Ok(r);
         }
         let lvl = self.level(f);
@@ -86,48 +91,22 @@ impl BddManager {
             let e1 = self.exists(f1, cube)?;
             self.mk(lvl, e0, e1)?
         };
-        self.cache_put(key, r);
+        let limit = self.caches.limit;
+        self.caches.exists.put(key, r, limit);
         Ok(r)
     }
 
-    /// Universal quantification `∀ cube. f` (set consensus).
+    /// Universal quantification `∀ cube. f` (set consensus), computed as
+    /// the complement-edge dual `¬∃ cube. ¬f` — it shares the `exists`
+    /// cache and costs two free bit flips on top of the smoothing.
     ///
     /// # Errors
     ///
     /// Fails on resource-limit exhaustion.
     pub fn forall(&mut self, f: Bdd, cube: Bdd) -> Result<Bdd> {
-        if f.is_const() || cube.is_true() {
-            return Ok(f);
-        }
-        let mut cube = cube;
-        while !cube.is_const() && self.level(cube) < self.level(f) {
-            cube = self.high(cube);
-        }
-        if cube.is_true() {
-            return Ok(f);
-        }
-        let key = (op::FORALL, f.index(), cube.index(), 0);
-        if let Some(r) = self.cache_get(key) {
-            return Ok(r);
-        }
-        let lvl = self.level(f);
-        let (f0, f1) = self.cofactors_at(f, lvl);
-        let r = if self.level(cube) == lvl {
-            let rest = self.high(cube);
-            let a0 = self.forall(f0, rest)?;
-            if a0.is_false() {
-                a0
-            } else {
-                let a1 = self.forall(f1, rest)?;
-                self.and(a0, a1)?
-            }
-        } else {
-            let a0 = self.forall(f0, cube)?;
-            let a1 = self.forall(f1, cube)?;
-            self.mk(lvl, a0, a1)?
-        };
-        self.cache_put(key, r);
-        Ok(r)
+        let nf = self.not(f);
+        let e = self.exists(nf, cube)?;
+        Ok(self.not(e))
     }
 
     /// Relational product `∃ cube. (f ∧ g)` without building `f ∧ g`.
@@ -139,7 +118,7 @@ impl BddManager {
     ///
     /// Fails on resource-limit exhaustion.
     pub fn and_exists(&mut self, f: Bdd, g: Bdd, cube: Bdd) -> Result<Bdd> {
-        if f.is_false() || g.is_false() {
+        if f.is_false() || g.is_false() || f == g.complement() {
             return Ok(Bdd::FALSE);
         }
         if f.is_true() && g.is_true() {
@@ -163,9 +142,13 @@ impl BddManager {
             return self.and(f, g);
         }
         // Normalize operand order for cache symmetry.
-        let (f, g) = if f.index() <= g.index() { (f, g) } else { (g, f) };
-        let key = (op::AND_EXISTS, f.index(), g.index(), cube.index());
-        if let Some(r) = self.cache_get(key) {
+        let (f, g) = if f.index() <= g.index() {
+            (f, g)
+        } else {
+            (g, f)
+        };
+        let key = (f.0, g.0, cube.0);
+        if let Some(r) = self.caches.and_exists.get(key) {
             return Ok(r);
         }
         let lvl = self.level(f).min(self.level(g));
@@ -185,7 +168,8 @@ impl BddManager {
             let r1 = self.and_exists(f1, g1, cube)?;
             self.mk(lvl, r0, r1)?
         };
-        self.cache_put(key, r);
+        let limit = self.caches.limit;
+        self.caches.and_exists.put(key, r, limit);
         Ok(r)
     }
 }
@@ -215,7 +199,13 @@ mod tests {
     fn cube_out_of_range() {
         let (mut m, ..) = setup();
         let err = m.cube_from_vars(&[Var(9)]).unwrap_err();
-        assert_eq!(err, BddError::VarOutOfRange { var: 9, num_vars: 4 });
+        assert_eq!(
+            err,
+            BddError::VarOutOfRange {
+                var: 9,
+                num_vars: 4
+            }
+        );
     }
 
     #[test]
@@ -249,9 +239,9 @@ mod tests {
         let cube = m.cube_from_vars(&[Var(1), Var(2)]).unwrap();
         // ∀x. f  ==  ¬∃x. ¬f
         let lhs = m.forall(f, cube).unwrap();
-        let nf = m.not(f).unwrap();
+        let nf = m.not(f);
         let e = m.exists(nf, cube).unwrap();
-        let rhs = m.not(e).unwrap();
+        let rhs = m.not(e);
         assert_eq!(lhs, rhs);
     }
 
@@ -274,6 +264,11 @@ mod tests {
         let cube = m.cube_from_vars(&[Var(0)]).unwrap();
         assert!(m.and_exists(Bdd::FALSE, a, cube).unwrap().is_false());
         assert!(m.and_exists(a, Bdd::TRUE, cube).unwrap().is_true());
+        let na = m.not(a);
+        assert!(
+            m.and_exists(a, na, cube).unwrap().is_false(),
+            "f ∧ ¬f is empty"
+        );
         let e = m.and_exists(a, b, Bdd::TRUE).unwrap();
         let ab = m.and(a, b).unwrap();
         assert_eq!(e, ab);

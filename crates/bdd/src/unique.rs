@@ -1,0 +1,69 @@
+//! Hash-consing layer: the unique table, split into per-level subtables.
+//!
+//! Each variable level owns its own hash map keyed by the `(lo, hi)` edge
+//! pair, so the level never needs to be part of the key and whole levels
+//! can be enumerated or dropped independently (the hook future dynamic
+//! reordering builds on). The table stores *node indices*; canonicality of
+//! edges (no complemented `hi`) is the caller's invariant, enforced in
+//! `BddManager::mk`.
+
+use crate::hash::FxHashMap;
+
+/// Per-level unique subtables mapping `(lo_edge, hi_edge)` → node index.
+#[derive(Debug)]
+pub(crate) struct UniqueTable {
+    levels: Vec<FxHashMap<(u32, u32), u32>>,
+}
+
+impl UniqueTable {
+    /// Creates an empty table with one subtable per variable level.
+    pub fn new(num_vars: u32) -> Self {
+        UniqueTable {
+            levels: (0..num_vars).map(|_| FxHashMap::default()).collect(),
+        }
+    }
+
+    /// Looks up the node `(var, lo, hi)`.
+    #[inline]
+    pub fn get(&self, var: u32, lo: u32, hi: u32) -> Option<u32> {
+        self.levels[var as usize].get(&(lo, hi)).copied()
+    }
+
+    /// Records `(var, lo, hi)` as canonically stored at `idx`.
+    #[inline]
+    pub fn insert(&mut self, var: u32, lo: u32, hi: u32, idx: u32) {
+        self.levels[var as usize].insert((lo, hi), idx);
+    }
+
+    /// Forgets the node `(var, lo, hi)` (freed by garbage collection).
+    #[inline]
+    pub fn remove(&mut self, var: u32, lo: u32, hi: u32) {
+        self.levels[var as usize].remove(&(lo, hi));
+    }
+
+    /// Total entries across all levels (diagnostics only).
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.levels.iter().map(|t| t.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut u = UniqueTable::new(3);
+        assert_eq!(u.get(1, 2, 4), None);
+        u.insert(1, 2, 4, 7);
+        assert_eq!(u.get(1, 2, 4), Some(7));
+        // Same (lo, hi) pair at another level is a distinct node.
+        assert_eq!(u.get(2, 2, 4), None);
+        u.insert(2, 2, 4, 9);
+        assert_eq!(u.len(), 2);
+        u.remove(1, 2, 4);
+        assert_eq!(u.get(1, 2, 4), None);
+        assert_eq!(u.get(2, 2, 4), Some(9));
+    }
+}

@@ -1,9 +1,40 @@
 //! Property tests: random formulas checked against a truth-table oracle.
+//!
+//! Deterministic xorshift generation keeps the suite dependency-free (the
+//! container builds offline), while covering the same ground a proptest
+//! harness would: every case derives from a seeded PRNG, so failures are
+//! reproducible from the printed case number.
 
 use bfvr_bdd::{Bdd, BddManager, Var};
-use proptest::prelude::*;
 
 const NVARS: u32 = 5;
+const CASES: u64 = 128;
+
+/// xorshift64* — deterministic, seedable, no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn flip(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
 
 /// A tiny formula AST used to generate random functions.
 #[derive(Clone, Debug)]
@@ -18,6 +49,25 @@ enum Expr {
 }
 
 impl Expr {
+    /// Random expression over `nvars` variables, depth-bounded.
+    fn random(rng: &mut Rng, nvars: u32, depth: u32) -> Expr {
+        if depth == 0 || rng.below(8) == 0 {
+            return if rng.below(4) == 0 {
+                Expr::Const(rng.flip())
+            } else {
+                Expr::Var(rng.below(nvars as u64) as u32)
+            };
+        }
+        let sub = |rng: &mut Rng| Box::new(Expr::random(rng, nvars, depth - 1));
+        match rng.below(5) {
+            0 => Expr::Not(sub(rng)),
+            1 => Expr::And(sub(rng), sub(rng)),
+            2 => Expr::Or(sub(rng), sub(rng)),
+            3 => Expr::Xor(sub(rng), sub(rng)),
+            _ => Expr::Ite(sub(rng), sub(rng), sub(rng)),
+        }
+    }
+
     fn eval(&self, asg: &[bool]) -> bool {
         match self {
             Expr::Var(v) => asg[*v as usize],
@@ -43,7 +93,7 @@ impl Expr {
             Expr::Const(false) => Bdd::FALSE,
             Expr::Not(a) => {
                 let a = a.build(m);
-                m.not(a).unwrap()
+                m.not(a)
             }
             Expr::And(a, b) => {
                 let (a, b) = (a.build(m), b.build(m));
@@ -65,65 +115,123 @@ impl Expr {
     }
 }
 
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0..NVARS).prop_map(Expr::Var),
-        any::<bool>().prop_map(Expr::Const),
-    ];
-    leaf.prop_recursive(4, 48, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|a| Expr::Not(Box::new(a))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
-        ]
+fn assignments_over(nvars: u32) -> impl Iterator<Item = Vec<bool>> {
+    (0u32..1 << nvars).map(move |bits| {
+        (0..nvars)
+            .map(|i| (bits >> (nvars - 1 - i)) & 1 == 1)
+            .collect()
     })
 }
 
 fn assignments() -> impl Iterator<Item = Vec<bool>> {
-    (0u32..1 << NVARS).map(|bits| (0..NVARS).map(|i| (bits >> (NVARS - 1 - i)) & 1 == 1).collect())
+    assignments_over(NVARS)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Runs `CASES` random cases, each with its own manager and expression.
+fn for_cases(seed: u64, mut check: impl FnMut(u64, &mut Rng)) {
+    let mut rng = Rng::new(seed);
+    for case in 0..CASES {
+        check(case, &mut rng);
+    }
+}
 
-    #[test]
-    fn bdd_matches_oracle(e in expr_strategy()) {
+#[test]
+fn bdd_matches_oracle() {
+    for_cases(0xB001, |case, rng| {
+        let e = Expr::random(rng, NVARS, 4);
         let mut m = BddManager::new(NVARS);
         let f = e.build(&mut m);
         for asg in assignments() {
-            prop_assert_eq!(m.eval(f, &asg), e.eval(&asg));
+            assert_eq!(m.eval(f, &asg), e.eval(&asg), "case {case}: {e:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn semantically_equal_exprs_get_same_node(e in expr_strategy()) {
-        // Canonicity: rebuilding ¬¬e and e ∨ e must give the identical node.
+#[test]
+fn semantically_equal_exprs_get_same_node() {
+    // Canonicity: ¬¬e and e ∨ e must give the identical edge handle.
+    for_cases(0xB002, |case, rng| {
+        let e = Expr::random(rng, NVARS, 4);
         let mut m = BddManager::new(NVARS);
         let f = e.build(&mut m);
-        let nf = m.not(f).unwrap();
-        let nnf = m.not(nf).unwrap();
-        prop_assert_eq!(f, nnf);
+        let nf = m.not(f);
+        let nnf = m.not(nf);
+        assert_eq!(f, nnf, "case {case}: ¬¬f != f");
         let ff = m.or(f, f).unwrap();
-        prop_assert_eq!(f, ff);
-    }
+        assert_eq!(f, ff, "case {case}: f ∨ f != f");
+    });
+}
 
-    #[test]
-    fn sat_count_matches_all_sat(e in expr_strategy()) {
+#[test]
+fn negation_is_involutive_and_free() {
+    // The complement-edge acceptance property: ¬ is O(1), allocation-free
+    // and involutive on arbitrary functions.
+    for_cases(0xB003, |case, rng| {
+        let e = Expr::random(rng, NVARS, 4);
+        let mut m = BddManager::new(NVARS);
+        let f = e.build(&mut m);
+        let allocated = m.allocated();
+        let nf = m.not(f);
+        assert_eq!(
+            m.allocated(),
+            allocated,
+            "case {case}: not() allocated nodes"
+        );
+        assert_eq!(m.not(nf), f, "case {case}");
+        for asg in assignments() {
+            assert_eq!(m.eval(nf, &asg), !e.eval(&asg), "case {case}");
+        }
+    });
+}
+
+#[test]
+fn ite_duality_laws() {
+    // ite(f,g,h) == ite(¬f,h,g) and ite(f,g,h) == ¬ite(¬f,¬h,¬g):
+    // the two complement-edge normalization identities the ITE core uses.
+    for_cases(0xB004, |case, rng| {
+        let ef = Expr::random(rng, NVARS, 3);
+        let eg = Expr::random(rng, NVARS, 3);
+        let eh = Expr::random(rng, NVARS, 3);
+        let mut m = BddManager::new(NVARS);
+        let f = ef.build(&mut m);
+        let g = eg.build(&mut m);
+        let h = eh.build(&mut m);
+        let nf = m.not(f);
+        let lhs = m.ite(f, g, h).unwrap();
+        let swapped = m.ite(nf, h, g).unwrap();
+        assert_eq!(lhs, swapped, "case {case}: ite(f,g,h) != ite(¬f,h,g)");
+        let ng = m.not(g);
+        let nh = m.not(h);
+        let dual = m.ite(nf, nh, ng).unwrap();
+        assert_eq!(
+            lhs,
+            m.not(dual),
+            "case {case}: ite(f,g,h) != ¬ite(¬f,¬h,¬g)"
+        );
+    });
+}
+
+#[test]
+fn sat_count_matches_all_sat() {
+    for_cases(0xB005, |case, rng| {
+        let e = Expr::random(rng, NVARS, 4);
         let mut m = BddManager::new(NVARS);
         let f = e.build(&mut m);
         let sats = m.all_sat(f, NVARS);
-        prop_assert_eq!(m.sat_count(f, NVARS) as usize, sats.len());
-        prop_assert_eq!(m.sat_count_exact(f, NVARS), Some(sats.len() as u128));
-    }
+        assert_eq!(m.sat_count(f, NVARS) as usize, sats.len(), "case {case}");
+        assert_eq!(
+            m.sat_count_exact(f, NVARS),
+            Some(sats.len() as u128),
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn exists_matches_oracle(e in expr_strategy(), v in 0..NVARS) {
+#[test]
+fn exists_matches_oracle() {
+    for_cases(0xB006, |case, rng| {
+        let e = Expr::random(rng, NVARS, 4);
+        let v = rng.below(NVARS as u64) as u32;
         let mut m = BddManager::new(NVARS);
         let f = e.build(&mut m);
         let cube = m.cube_from_vars(&[Var(v)]).unwrap();
@@ -136,59 +244,113 @@ proptest! {
             a1[v as usize] = true;
             let or = e.eval(&a0) || e.eval(&a1);
             let and = e.eval(&a0) && e.eval(&a1);
-            prop_assert_eq!(m.eval(ex, &asg), or);
-            prop_assert_eq!(m.eval(fa, &asg), and);
+            assert_eq!(m.eval(ex, &asg), or, "case {case}: ∃v{v}");
+            assert_eq!(m.eval(fa, &asg), and, "case {case}: ∀v{v}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn and_exists_is_relational_product(
-        e1 in expr_strategy(),
-        e2 in expr_strategy(),
-        v1 in 0..NVARS,
-        v2 in 0..NVARS,
-    ) {
+#[test]
+fn and_exists_is_relational_product() {
+    for_cases(0xB007, |case, rng| {
+        let e1 = Expr::random(rng, NVARS, 3);
+        let e2 = Expr::random(rng, NVARS, 3);
+        let v1 = rng.below(NVARS as u64) as u32;
+        let v2 = rng.below(NVARS as u64) as u32;
         let mut m = BddManager::new(NVARS);
         let f = e1.build(&mut m);
         let g = e2.build(&mut m);
-        let cube = m.cube_from_vars(&[Var(v1), Var(v2)]).unwrap();
+        let vars = if v1 == v2 {
+            vec![Var(v1)]
+        } else {
+            vec![Var(v1), Var(v2)]
+        };
+        let cube = m.cube_from_vars(&vars).unwrap();
         let direct = m.and_exists(f, g, cube).unwrap();
         let fg = m.and(f, g).unwrap();
         let two_step = m.exists(fg, cube).unwrap();
-        prop_assert_eq!(direct, two_step);
-    }
+        assert_eq!(direct, two_step, "case {case}");
+    });
+}
 
-    #[test]
-    fn constrain_and_restrict_agree_on_care_set(
-        e in expr_strategy(),
-        c in expr_strategy(),
-    ) {
+#[test]
+fn constrain_and_restrict_agree_on_care_set() {
+    for_cases(0xB008, |case, rng| {
+        let e = Expr::random(rng, NVARS, 4);
+        let c = Expr::random(rng, NVARS, 4);
         let mut m = BddManager::new(NVARS);
         let f = e.build(&mut m);
         let care = c.build(&mut m);
-        prop_assume!(!care.is_false());
+        if care.is_false() {
+            return;
+        }
         let con = m.constrain(f, care).unwrap();
         let res = m.restrict(f, care).unwrap();
         for asg in assignments() {
             if m.eval(care, &asg) {
-                prop_assert_eq!(m.eval(con, &asg), e.eval(&asg));
-                prop_assert_eq!(m.eval(res, &asg), e.eval(&asg));
+                assert_eq!(m.eval(con, &asg), e.eval(&asg), "case {case}: constrain");
+                assert_eq!(m.eval(res, &asg), e.eval(&asg), "case {case}: restrict");
             }
         }
         // restrict never grows the support beyond f's.
         let sup_f = m.support(f);
         let sup_r = m.support(res);
         for v in sup_r.vars() {
-            prop_assert!(sup_f.contains(v), "restrict introduced {v}");
+            assert!(sup_f.contains(v), "case {case}: restrict introduced {v}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn vector_compose_matches_semantic_substitution(
-        e in expr_strategy(),
-        g0 in expr_strategy(),
-        g1 in expr_strategy(),
-    ) {
+/// The ISSUE's equivalence check: `apply`/`exists`/`constrain` on random
+/// 8-variable functions agree with the truth-table semantics on all 256
+/// assignments — the new complement-edge core computes the same functions
+/// the seed core did.
+#[test]
+fn eight_var_operations_match_semantics() {
+    const N8: u32 = 8;
+    for_cases(0xB009, |case, rng| {
+        let ef = Expr::random(rng, N8, 4);
+        let eg = Expr::random(rng, N8, 4);
+        let v = rng.below(N8 as u64) as u32;
+        let mut m = BddManager::new(N8);
+        let f = ef.build(&mut m);
+        let g = eg.build(&mut m);
+        let conj = m.and(f, g).unwrap();
+        let disj = m.or(f, g).unwrap();
+        let xo = m.xor(f, g).unwrap();
+        let cube = m.cube_from_vars(&[Var(v)]).unwrap();
+        let ex = m.exists(conj, cube).unwrap();
+        let con = if g.is_false() {
+            None
+        } else {
+            Some(m.constrain(f, g).unwrap())
+        };
+        for asg in assignments_over(N8) {
+            let (bf, bg) = (ef.eval(&asg), eg.eval(&asg));
+            assert_eq!(m.eval(conj, &asg), bf && bg, "case {case}: and");
+            assert_eq!(m.eval(disj, &asg), bf || bg, "case {case}: or");
+            assert_eq!(m.eval(xo, &asg), bf ^ bg, "case {case}: xor");
+            let mut a0 = asg.clone();
+            a0[v as usize] = false;
+            let mut a1 = asg.clone();
+            a1[v as usize] = true;
+            let sem = (ef.eval(&a0) && eg.eval(&a0)) || (ef.eval(&a1) && eg.eval(&a1));
+            assert_eq!(m.eval(ex, &asg), sem, "case {case}: exists");
+            if let Some(con) = con {
+                if bg {
+                    assert_eq!(m.eval(con, &asg), bf, "case {case}: constrain");
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn vector_compose_matches_semantic_substitution() {
+    for_cases(0xB00A, |case, rng| {
+        let e = Expr::random(rng, NVARS, 3);
+        let g0 = Expr::random(rng, NVARS, 3);
+        let g1 = Expr::random(rng, NVARS, 3);
         let mut m = BddManager::new(NVARS);
         let f = e.build(&mut m);
         let s0 = g0.build(&mut m);
@@ -201,45 +363,63 @@ proptest! {
             let mut sub = asg.clone();
             sub[0] = g0.eval(&asg);
             sub[1] = g1.eval(&asg);
-            prop_assert_eq!(m.eval(composed, &asg), e.eval(&sub));
+            assert_eq!(m.eval(composed, &asg), e.eval(&sub), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn cofactor_matches_oracle(e in expr_strategy(), v in 0..NVARS, val: bool) {
+#[test]
+fn cofactor_matches_oracle() {
+    for_cases(0xB00B, |case, rng| {
+        let e = Expr::random(rng, NVARS, 4);
+        let v = rng.below(NVARS as u64) as u32;
+        let val = rng.flip();
         let mut m = BddManager::new(NVARS);
         let f = e.build(&mut m);
         let cf = m.cofactor(f, Var(v), val).unwrap();
         for asg in assignments() {
             let mut a = asg.clone();
             a[v as usize] = val;
-            prop_assert_eq!(m.eval(cf, &asg), e.eval(&a));
+            assert_eq!(m.eval(cf, &asg), e.eval(&a), "case {case}");
         }
         // The cofactor no longer depends on v.
-        prop_assert!(!m.support(cf).contains(Var(v)));
-    }
+        assert!(!m.support(cf).contains(Var(v)), "case {case}");
+    });
+}
 
-    #[test]
-    fn gc_preserves_rooted_functions(e in expr_strategy()) {
+#[test]
+fn gc_preserves_rooted_functions() {
+    for_cases(0xB00C, |case, rng| {
+        let e = Expr::random(rng, NVARS, 4);
         let mut m = BddManager::new(NVARS);
         let f = e.build(&mut m);
         let truth: Vec<bool> = assignments().map(|a| e.eval(&a)).collect();
-        m.collect_garbage(&[f]);
+        // Root half the cases through the RAII handle, half via the
+        // explicit root list — both must pin the function.
+        let guard = if case % 2 == 0 { Some(m.func(f)) } else { None };
+        let roots: &[Bdd] = if guard.is_some() {
+            &[]
+        } else {
+            std::slice::from_ref(&f)
+        };
+        m.collect_garbage(roots);
         for (asg, expect) in assignments().zip(truth) {
-            prop_assert_eq!(m.eval(f, &asg), expect);
+            assert_eq!(m.eval(f, &asg), expect, "case {case}");
         }
-    }
+        drop(guard);
+    });
+}
 
-    #[test]
-    fn permute_roundtrip(e in expr_strategy(), seed in any::<u64>()) {
+#[test]
+fn permute_roundtrip() {
+    for_cases(0xB00D, |case, rng| {
+        let e = Expr::random(rng, NVARS, 4);
         let mut m = BddManager::new(NVARS);
         let f = e.build(&mut m);
-        // Build a random permutation from the seed.
+        // Random permutation (Fisher–Yates).
         let mut perm: Vec<Var> = (0..NVARS).map(Var).collect();
-        let mut s = seed;
         for i in (1..perm.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let j = (s >> 33) as usize % (i + 1);
+            let j = rng.below(i as u64 + 1) as usize;
             perm.swap(i, j);
         }
         let g = m.permute(f, &perm).unwrap();
@@ -249,6 +429,6 @@ proptest! {
             inv[new.0 as usize] = Var(old as u32);
         }
         let back = m.permute(g, &inv).unwrap();
-        prop_assert_eq!(back, f);
-    }
+        assert_eq!(back, f, "case {case}");
+    });
 }

@@ -1,42 +1,36 @@
-//! Criterion benches for the representation conversions the Figure 2 flow
+//! Timed benches for the representation conversions the Figure 2 flow
 //! eliminates: χ → canonical BFV (CBM parameterization) and BFV → χ
 //! (conjunctive construction), plus the recursive-splitting range used by
 //! the Figure 1 flow.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use bfvr_bench::timing::bench;
 use bfvr_bfv::convert::{from_characteristic, to_characteristic};
 use bfvr_bfv::StateSet;
 use bfvr_netlist::generators;
 use bfvr_reach::{reach_bfv, ReachOptions};
 use bfvr_sim::{EncodedFsm, OrderHeuristic};
 
-fn bench_convert(c: &mut Criterion) {
+fn main() {
     let circuits = vec![
         ("johnson12", generators::johnson(12)),
         ("pair8", generators::paired_registers(8)),
         ("queue3", generators::queue_controller(3)),
         ("rot12", generators::rotator(12)),
     ];
-    let mut group = c.benchmark_group("convert");
-    group.sample_size(20);
     for (name, net) in &circuits {
         // Use each circuit's real reached set as the workload.
         let (mut m, fsm) = EncodedFsm::encode(net, OrderHeuristic::DfsFanin).unwrap();
         let r = reach_bfv(&mut m, &fsm, &ReachOptions::default());
-        let chi = r.reached_chi.expect("suite circuits complete");
+        let chi_root = r.reached_chi.expect("suite circuits complete");
+        let chi = chi_root.bdd();
         let space = fsm.space();
         let set = StateSet::from_characteristic(&mut m, &space, chi).unwrap();
         let bfv = set.as_bfv().expect("non-empty").clone();
-        group.bench_with_input(BenchmarkId::new("chi_to_bfv", name), name, |b, _| {
-            b.iter(|| from_characteristic(&mut m, &space, chi).unwrap());
+        bench(&format!("convert/chi_to_bfv/{name}"), 20, || {
+            from_characteristic(&mut m, &space, chi).unwrap();
         });
-        group.bench_with_input(BenchmarkId::new("bfv_to_chi", name), name, |b, _| {
-            b.iter(|| to_characteristic(&mut m, &space, &bfv).unwrap());
+        bench(&format!("convert/bfv_to_chi/{name}"), 20, || {
+            to_characteristic(&mut m, &space, &bfv).unwrap();
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_convert);
-criterion_main!(benches);

@@ -1,9 +1,8 @@
-//! Criterion benches for the §3 ordering claim: reachability of the
+//! Timed benches for the §3 ordering claim: reachability of the
 //! twin-register family under the friendly (interleaved) and hostile
 //! (split) variable orders, BFV engine vs the χ-based baseline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use bfvr_bench::timing::bench;
 use bfvr_netlist::generators;
 use bfvr_reach::{reach_bfv, reach_iwls95, Outcome, ReachOptions};
 use bfvr_sim::{EncodedFsm, Slot};
@@ -15,45 +14,28 @@ fn slots(p: u32, interleaved: bool) -> Vec<Slot> {
             .chain((0..p as usize).map(Slot::Input))
             .collect()
     } else {
-        (0..2 * p as usize).map(Slot::Latch).chain((0..p as usize).map(Slot::Input)).collect()
+        (0..2 * p as usize)
+            .map(Slot::Latch)
+            .chain((0..p as usize).map(Slot::Input))
+            .collect()
     }
 }
 
-fn bench_ordering(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ordering");
-    group.sample_size(10);
+fn main() {
     for p in [6u32, 8, 10] {
         let net = generators::paired_registers(p);
         for (label, inter) in [("paired", true), ("split", false)] {
             let order = slots(p, inter);
-            group.bench_with_input(
-                BenchmarkId::new(format!("bfv_{label}"), p),
-                &net,
-                |b, net| {
-                    b.iter_with_large_drop(|| {
-                        let (mut m, fsm) = EncodedFsm::encode_with_slots(net, &order).unwrap();
-                        let r = reach_bfv(&mut m, &fsm, &ReachOptions::default());
-                        assert_eq!(r.outcome, Outcome::FixedPoint);
-                        (m, r)
-                    });
-                },
-            );
-            group.bench_with_input(
-                BenchmarkId::new(format!("iwls_{label}"), p),
-                &net,
-                |b, net| {
-                    b.iter_with_large_drop(|| {
-                        let (mut m, fsm) = EncodedFsm::encode_with_slots(net, &order).unwrap();
-                        let r = reach_iwls95(&mut m, &fsm, &ReachOptions::default());
-                        assert_eq!(r.outcome, Outcome::FixedPoint);
-                        (m, r)
-                    });
-                },
-            );
+            bench(&format!("ordering/bfv_{label}/{p}"), 5, || {
+                let (mut m, fsm) = EncodedFsm::encode_with_slots(&net, &order).unwrap();
+                let r = reach_bfv(&mut m, &fsm, &ReachOptions::default());
+                assert_eq!(r.outcome, Outcome::FixedPoint);
+            });
+            bench(&format!("ordering/iwls_{label}/{p}"), 5, || {
+                let (mut m, fsm) = EncodedFsm::encode_with_slots(&net, &order).unwrap();
+                let r = reach_iwls95(&mut m, &fsm, &ReachOptions::default());
+                assert_eq!(r.outcome, Outcome::FixedPoint);
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ordering);
-criterion_main!(benches);

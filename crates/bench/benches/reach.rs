@@ -1,13 +1,12 @@
-//! Criterion benches for the Table 2 engines: full reachability runs per
+//! Timed benches for the Table 2 engines: full reachability runs per
 //! (circuit, engine) on mid-size suite members.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use bfvr_bench::timing::bench;
 use bfvr_netlist::generators;
 use bfvr_reach::{run, EngineKind, Outcome, ReachOptions};
 use bfvr_sim::{EncodedFsm, OrderHeuristic};
 
-fn bench_reach(c: &mut Criterion) {
+fn main() {
     let circuits = vec![
         ("s27", bfvr_netlist::circuits::s27()),
         ("johnson10", generators::johnson(10)),
@@ -16,27 +15,13 @@ fn bench_reach(c: &mut Criterion) {
         ("queue2", generators::queue_controller(2)),
         ("mod24x6", generators::counter_modk(6, 24)),
     ];
-    let mut group = c.benchmark_group("reach");
-    group.sample_size(10);
     for (name, net) in &circuits {
         for engine in [EngineKind::Bfv, EngineKind::Iwls95, EngineKind::Cbm] {
-            group.bench_with_input(
-                BenchmarkId::new(engine.label(), name),
-                net,
-                |b, net| {
-                    b.iter_with_large_drop(|| {
-                        let (mut m, fsm) =
-                            EncodedFsm::encode(net, OrderHeuristic::DfsFanin).unwrap();
-                        let r = run(engine, &mut m, &fsm, &ReachOptions::default());
-                        assert_eq!(r.outcome, Outcome::FixedPoint);
-                        (m, r)
-                    });
-                },
-            );
+            bench(&format!("reach/{}/{name}", engine.label()), 5, || {
+                let (mut m, fsm) = EncodedFsm::encode(net, OrderHeuristic::DfsFanin).unwrap();
+                let r = run(engine, &mut m, &fsm, &ReachOptions::default());
+                assert_eq!(r.outcome, Outcome::FixedPoint);
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_reach);
-criterion_main!(benches);

@@ -1,11 +1,10 @@
-//! Criterion benches for the core set operations (§2.3–§2.5): union and
+//! Timed benches for the core set operations (§2.3–§2.5): union and
 //! intersection cost as the component count grows, including the §2.4
 //! note that intersection needs quadratically many BDD operations, and
 //! the §2.7 conjunctive-decomposition variants.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use bfvr_bdd::{Bdd, BddManager, Var};
+use bfvr_bench::timing::bench;
 use bfvr_bfv::cdec::CDec;
 use bfvr_bfv::convert::from_characteristic;
 use bfvr_bfv::{ops, Bfv, Space};
@@ -45,34 +44,30 @@ fn random_set(m: &mut BddManager, space: &Space, n: u32, seed: u64) -> Bfv {
         let eq = m.xnor(a, b).unwrap();
         chi = m.and(chi, eq).unwrap();
     }
-    from_characteristic(m, space, chi).unwrap().expect("all-ones is always a member")
+    from_characteristic(m, space, chi)
+        .unwrap()
+        .expect("all-ones is always a member")
 }
 
-fn bench_setops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("setops");
-    group.sample_size(20);
+fn main() {
     for n in [8u32, 16, 32, 64] {
         let mut m = BddManager::new(n);
         let space = Space::contiguous(n);
         let f = random_set(&mut m, &space, n, 0xDEADBEEF);
         let g = random_set(&mut m, &space, n, 0x12345678);
-        group.bench_with_input(BenchmarkId::new("union", n), &n, |b, _| {
-            b.iter(|| ops::union(&mut m, &space, &f, &g).unwrap());
+        bench(&format!("setops/union/{n}"), 20, || {
+            ops::union(&mut m, &space, &f, &g).unwrap();
         });
-        group.bench_with_input(BenchmarkId::new("intersect", n), &n, |b, _| {
-            b.iter(|| ops::intersect(&mut m, &space, &f, &g).unwrap());
+        bench(&format!("setops/intersect/{n}"), 20, || {
+            ops::intersect(&mut m, &space, &f, &g).unwrap();
         });
-        group.bench_with_input(BenchmarkId::new("exists", n), &n, |b, _| {
-            b.iter(|| ops::exists(&mut m, &space, &f, space.var(0)).unwrap());
+        bench(&format!("setops/exists/{n}"), 20, || {
+            ops::exists(&mut m, &space, &f, space.var(0)).unwrap();
         });
         let df = CDec::from_bfv(&mut m, &space, &f).unwrap();
         let dg = CDec::from_bfv(&mut m, &space, &g).unwrap();
-        group.bench_with_input(BenchmarkId::new("cdec_union", n), &n, |b, _| {
-            b.iter(|| df.union(&mut m, &space, &dg).unwrap());
+        bench(&format!("setops/cdec_union/{n}"), 20, || {
+            df.union(&mut m, &space, &dg).unwrap();
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_setops);
-criterion_main!(benches);

@@ -40,9 +40,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             b.elapsed.as_secs_f64() * 1e3,
             b_mk,
             b.conversion_time.as_secs_f64() * 1e3,
-            if a.reached_states == b.reached_states { "yes" } else { "NO" },
+            if a.reached_states == b.reached_states {
+                "yes"
+            } else {
+                "NO"
+            },
         );
-        assert_eq!(a.reached_states, b.reached_states, "{name}: engines disagree");
+        assert_eq!(
+            a.reached_states, b.reached_states,
+            "{name}: engines disagree"
+        );
     }
     println!();
     println!("The constraint view performs the same per-component work (paper §2.7:");

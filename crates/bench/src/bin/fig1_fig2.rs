@@ -24,7 +24,9 @@ fn report(label: &str, r: &ReachResult) {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "queue4".to_string());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "queue4".to_string());
     let suite = generators::standard_suite();
     let net = suite
         .iter()
@@ -34,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("circuit {which}: {}", net.stats());
     println!();
 
-    let opts = ReachOptions { record_iterations: true, ..Default::default() };
+    let opts = ReachOptions {
+        record_iterations: true,
+        ..Default::default()
+    };
 
     let (mut m1, fsm1) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin)?;
     let fig1 = reach_cbm(&mut m1, &fsm1, &opts);
@@ -62,7 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("per-iteration trace (Figure 2 flow): reached-BFV shared nodes");
     for (i, s) in fig2.per_iteration.iter().enumerate() {
-        println!("  iter {:3}: {:>7} nodes  (no conversions)", i + 1, s.reached_nodes);
+        println!(
+            "  iter {:3}: {:>7} nodes  (no conversions)",
+            i + 1,
+            s.reached_nodes
+        );
     }
     Ok(())
 }

@@ -44,10 +44,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let c = reach_iwls95(&mut m2, &fsm2, &limits);
             let chi_nodes = c
                 .reached_chi
-                .map(|chi| m2.size(chi).to_string())
+                .map(|chi| m2.size(chi.bdd()).to_string())
                 .unwrap_or_else(|| c.outcome.label().to_string());
-            let bfv_nodes =
-                b.representation_nodes.map(|n| n.to_string()).unwrap_or_else(|| "-".into());
+            let bfv_nodes = b
+                .representation_nodes
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".into());
             println!(
                 "| {:5} | {:6} | {:>12.1} | {:>8} | {:>13.1} | {:>9} | {:>7} | {:>9} |",
                 p,

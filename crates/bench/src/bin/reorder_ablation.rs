@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let set = StateSet::from_characteristic(
                 &mut m,
                 &space,
-                r.reached_chi.expect("completed"),
+                r.reached_chi.expect("completed").bdd(),
             )?;
             let f = set.as_bfv().expect("non-empty");
             let res = sift_components(&mut m, &space, f)?;

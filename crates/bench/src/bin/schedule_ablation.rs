@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut results = Vec::new();
         for schedule in [Schedule::DynamicSupport, Schedule::Fixed] {
             let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin)?;
-            let opts = ReachOptions { schedule, ..Default::default() };
+            let opts = ReachOptions {
+                schedule,
+                ..Default::default()
+            };
             results.push(reach_bfv(&mut m, &fsm, &opts));
         }
         let (d, f) = (&results[0], &results[1]);
@@ -34,9 +37,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             d.peak_nodes,
             f.elapsed.as_secs_f64() * 1e3,
             f.peak_nodes,
-            if d.reached_states == f.reached_states { "yes" } else { "NO" },
+            if d.reached_states == f.reached_states {
+                "yes"
+            } else {
+                "NO"
+            },
         );
-        assert_eq!(d.reached_states, f.reached_states, "{name}: schedules disagree");
+        assert_eq!(
+            d.reached_states, f.reached_states,
+            "{name}: schedules disagree"
+        );
     }
     Ok(())
 }

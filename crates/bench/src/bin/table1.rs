@@ -2,10 +2,13 @@
 //! `S = {000,001,010,011,100,101}` as a characteristic function and as a
 //! canonical Boolean functional vector, row by row.
 
+use std::time::Instant;
+
 use bfvr_bdd::{BddManager, Var};
 use bfvr_bfv::{Space, StateSet};
 
 fn main() {
+    let start = Instant::now();
     let mut m = BddManager::new(3);
     let space = Space::contiguous(3);
     let points: Vec<Vec<bool>> = (0u8..6)
@@ -32,7 +35,10 @@ fn main() {
         println!("| {asg_s}| {}   | {img_s}  |", u8::from(in_set));
     }
     println!();
-    println!("χ_S  = ¬(v1 ∧ v2)               ({} BDD nodes)", m.size(chi));
+    println!(
+        "χ_S  = ¬(v1 ∧ v2)               ({} BDD nodes)",
+        m.size(chi)
+    );
     println!(
         "F    = (v1, ¬v1∧v2, v3)          ({} shared BDD nodes)",
         f.shared_size(&m)
@@ -41,8 +47,14 @@ fn main() {
     let v1 = m.var(Var(0));
     let v2 = m.var(Var(1));
     let v3 = m.var(Var(2));
-    let nv1 = m.not(v1).expect("unbounded");
+    let nv1 = m.not(v1);
     let f2 = m.and(nv1, v2).expect("unbounded");
     assert_eq!(f.components(), &[v1, f2, v3], "Table 1 vector mismatch");
     println!("component check: F matches the paper's (v1, v̄1·v2, v3) exactly");
+    println!(
+        "manager: {} nodes allocated, peak {}, {:.3} ms",
+        m.allocated(),
+        m.peak_nodes(),
+        start.elapsed().as_secs_f64() * 1e3
+    );
 }

@@ -26,7 +26,10 @@ fn main() {
     };
     let mut suite = generators::standard_suite();
     let suite: Vec<_> = if quick {
-        suite.into_iter().filter(|(n, _)| !matches!(n.as_str(), "gray8" | "cnt12")).collect()
+        suite
+            .into_iter()
+            .filter(|(n, _)| !matches!(n.as_str(), "gray8" | "cnt12"))
+            .collect()
     } else {
         // The full run adds larger instances where the two representations
         // part ways, reproducing the paper's asymmetric T.O./M.O. cells.

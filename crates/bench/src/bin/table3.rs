@@ -33,7 +33,7 @@ fn main() {
             let (mut m, fsm) = EncodedFsm::encode(net, order).expect("suite circuits encode");
             let r = reach_bfv(&mut m, &fsm, &ReachOptions::default());
             assert_eq!(r.outcome, Outcome::FixedPoint, "{name} did not complete");
-            let chi = r.reached_chi.expect("completed runs produce χ");
+            let chi = r.reached_chi.expect("completed runs produce χ").bdd();
             let chi_nodes = m.size(chi);
             // Rebuild the canonical vector from χ to measure its size (it
             // equals the engine's final representation, by canonicity).

@@ -1,6 +1,6 @@
 //! # bfvr-bench — the paper's evaluation, regenerated
 //!
-//! Shared plumbing for the table/figure binaries and criterion benches.
+//! Shared plumbing for the table/figure binaries and timing benches.
 //! Each artifact of the paper's evaluation section maps to one binary
 //! (see `DESIGN.md` §4):
 //!
@@ -75,6 +75,35 @@ pub fn format_cell(r: &ReachResult) -> String {
 /// Markdown-ish row printer used by the table binaries.
 pub fn print_row(cols: &[String]) {
     println!("| {} |", cols.join(" | "));
+}
+
+/// Minimal wall-clock timing harness for the `benches/` binaries.
+///
+/// The benches are plain `fn main()` programs (`harness = false`), so
+/// they build and run without any external benchmarking dependency —
+/// the whole workspace stays compilable offline.
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// Times `samples` runs of `f` (after one untimed warm-up) and
+    /// prints a `min / median / mean` row under `label`.
+    pub fn bench(label: &str, samples: usize, mut f: impl FnMut()) {
+        f(); // warm-up: populate caches, fault in pages
+        let mut times: Vec<Duration> = (0..samples.max(1))
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed()
+            })
+            .collect();
+        times.sort();
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{label:<44} min {:>12?}  median {:>12?}  mean {:>12?}",
+            times[0], median, mean
+        );
+    }
 }
 
 #[cfg(test)]

@@ -60,7 +60,7 @@ impl CDec {
             let v = space.var(i);
             let allow0 = m.cofactor(c, v, false)?;
             let allow1 = m.cofactor(c, v, true)?;
-            let one = m.not(allow0)?;
+            let one = m.not(allow0);
             let choice = m.and(allow0, allow1)?;
             let vv = m.var(v);
             let cv = m.and(choice, vv)?;
@@ -95,7 +95,14 @@ impl CDec {
             proj[i - 1] = m.exists(proj[i], cube)?;
         }
         // proj[0] quantifies everything: must be ⊤ for a nonempty set.
-        debug_assert!(proj[0].is_true() || !m.support(proj[0]).vars().iter().any(|v| space.vars().contains(v)));
+        debug_assert!(
+            proj[0].is_true()
+                || !m
+                    .support(proj[0])
+                    .vars()
+                    .iter()
+                    .any(|v| space.vars().contains(v))
+        );
         let mut constraints = Vec::with_capacity(n);
         let mut prefix = proj[0];
         #[allow(clippy::needless_range_loop)] // walks proj[i] against the running prefix
@@ -165,11 +172,17 @@ mod tests {
     use crate::StateSet;
 
     fn pts(bits: &[&str]) -> Vec<Vec<bool>> {
-        bits.iter().map(|s| s.chars().map(|c| c == '1').collect()).collect()
+        bits.iter()
+            .map(|s| s.chars().map(|c| c == '1').collect())
+            .collect()
     }
 
     fn set_of(m: &mut BddManager, space: &Space, bits: &[&str]) -> Bfv {
-        StateSet::from_points(m, space, &pts(bits)).unwrap().as_bfv().unwrap().clone()
+        StateSet::from_points(m, space, &pts(bits))
+            .unwrap()
+            .as_bfv()
+            .unwrap()
+            .clone()
     }
 
     #[test]
@@ -227,7 +240,9 @@ mod tests {
             let f = s.as_bfv().unwrap();
             let via_bfv = CDec::from_bfv(&mut m, &space, f).unwrap();
             let chi = s.to_characteristic(&mut m, &space).unwrap();
-            let via_chi = CDec::from_characteristic(&mut m, &space, chi).unwrap().unwrap();
+            let via_chi = CDec::from_characteristic(&mut m, &space, chi)
+                .unwrap()
+                .unwrap();
             // Both must denote the same set; the constrain-based and
             // correspondence-based constructions coincide on conjunction.
             let a = via_bfv.conjoin_all(&mut m).unwrap();
@@ -247,7 +262,10 @@ mod tests {
         let du = da.union(&mut m, &space, &db).unwrap();
         let chi_u = du.conjoin_all(&mut m).unwrap();
         let su = StateSet::from_characteristic(&mut m, &space, chi_u).unwrap();
-        assert_eq!(su.members(&mut m, &space).unwrap(), pts(&["000", "011", "111"]));
+        assert_eq!(
+            su.members(&mut m, &space).unwrap(),
+            pts(&["000", "011", "111"])
+        );
         let di = da.intersect(&mut m, &space, &db).unwrap().unwrap();
         let chi_i = di.conjoin_all(&mut m).unwrap();
         let si = StateSet::from_characteristic(&mut m, &space, chi_i).unwrap();
@@ -262,6 +280,8 @@ mod tests {
     fn empty_characteristic() {
         let mut m = BddManager::new(2);
         let space = Space::contiguous(2);
-        assert!(CDec::from_characteristic(&mut m, &space, Bdd::FALSE).unwrap().is_none());
+        assert!(CDec::from_characteristic(&mut m, &space, Bdd::FALSE)
+            .unwrap()
+            .is_none());
     }
 }

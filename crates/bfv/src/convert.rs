@@ -48,7 +48,10 @@ pub fn from_characteristic(m: &mut BddManager, space: &Space, chi: Bdd) -> Resul
         return Ok(None);
     }
     debug_assert!(
-        m.support(chi).vars().iter().all(|v| space.vars().contains(v)),
+        m.support(chi)
+            .vars()
+            .iter()
+            .all(|v| space.vars().contains(v)),
         "characteristic function depends on variables outside the space"
     );
     let n = space.len();
@@ -98,7 +101,7 @@ pub fn complement_via_characteristic(
 ) -> Result<Option<Bfv>> {
     let chi = to_characteristic(m, space, f)?;
     // χ depends only on the space's variables, so ¬χ does too.
-    let nchi = m.not(chi)?;
+    let nchi = m.not(chi);
     from_characteristic(m, space, nchi)
 }
 
@@ -113,7 +116,7 @@ mod tests {
         let v1 = m.var(Var(0));
         let v2 = m.var(Var(1));
         let v12 = m.and(v1, v2).unwrap();
-        let chi = m.not(v12).unwrap();
+        let chi = m.not(v12);
         (space, chi)
     }
 
@@ -126,7 +129,7 @@ mod tests {
         let v1 = m.var(Var(0));
         let v2 = m.var(Var(1));
         let v3 = m.var(Var(2));
-        let nv1 = m.not(v1).unwrap();
+        let nv1 = m.not(v1);
         let f2 = m.and(nv1, v2).unwrap();
         assert_eq!(f.components(), &[v1, f2, v3]);
         assert!(f.is_canonical(&mut m, &space).unwrap());
@@ -145,18 +148,22 @@ mod tests {
     fn empty_set_has_no_vector() {
         let mut m = BddManager::new(2);
         let space = Space::contiguous(2);
-        assert!(from_characteristic(&mut m, &space, Bdd::FALSE).unwrap().is_none());
+        assert!(from_characteristic(&mut m, &space, Bdd::FALSE)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn universe_and_singleton() {
         let mut m = BddManager::new(2);
         let space = Space::contiguous(2);
-        let u = from_characteristic(&mut m, &space, Bdd::TRUE).unwrap().unwrap();
+        let u = from_characteristic(&mut m, &space, Bdd::TRUE)
+            .unwrap()
+            .unwrap();
         assert_eq!(u.components(), &[m.var(Var(0)), m.var(Var(1))]);
         // Singleton {10}: χ = v1 ∧ ¬v2.
         let v1 = m.var(Var(0));
-        let nv2 = m.nvar(Var(1)).unwrap();
+        let nv2 = m.nvar(Var(1));
         let chi = m.and(v1, nv2).unwrap();
         let s = from_characteristic(&mut m, &space, chi).unwrap().unwrap();
         assert_eq!(s.components(), &[Bdd::TRUE, Bdd::FALSE]);
@@ -176,14 +183,21 @@ mod tests {
                     let bits: Vec<bool> = (0..3).map(|i| (pt >> (2 - i)) & 1 == 1).collect();
                     let mut cube = Bdd::TRUE;
                     for (i, &b) in bits.iter().enumerate() {
-                        let lit = if b { m.var(Var(i as u32)) } else { m.nvar(Var(i as u32)).unwrap() };
+                        let lit = if b {
+                            m.var(Var(i as u32))
+                        } else {
+                            m.nvar(Var(i as u32))
+                        };
                         cube = m.and(cube, lit).unwrap();
                     }
                     chi = m.or(chi, cube).unwrap();
                 }
             }
             let f = from_characteristic(&mut m, &space, chi).unwrap().unwrap();
-            assert!(f.is_canonical(&mut m, &space).unwrap(), "mask {mask:#x} not canonical");
+            assert!(
+                f.is_canonical(&mut m, &space).unwrap(),
+                "mask {mask:#x} not canonical"
+            );
             let back = to_characteristic(&mut m, &space, &f).unwrap();
             assert_eq!(back, chi, "mask {mask:#x} roundtrip failed");
         }
@@ -194,13 +208,19 @@ mod tests {
         let mut m = BddManager::new(3);
         let (space, chi) = table1_set(&mut m);
         let f = from_characteristic(&mut m, &space, chi).unwrap().unwrap();
-        let c = complement_via_characteristic(&mut m, &space, &f).unwrap().unwrap();
+        let c = complement_via_characteristic(&mut m, &space, &f)
+            .unwrap()
+            .unwrap();
         let c_chi = to_characteristic(&mut m, &space, &c).unwrap();
-        let expect = m.not(chi).unwrap();
+        let expect = m.not(chi);
         assert_eq!(c_chi, expect);
         // Complement of the universe is empty.
-        let u = from_characteristic(&mut m, &space, Bdd::TRUE).unwrap().unwrap();
-        assert!(complement_via_characteristic(&mut m, &space, &u).unwrap().is_none());
+        let u = from_characteristic(&mut m, &space, Bdd::TRUE)
+            .unwrap()
+            .unwrap();
+        assert!(complement_via_characteristic(&mut m, &space, &u)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -212,7 +232,7 @@ mod tests {
         let v1 = m.var(Var(0));
         let v2 = m.var(Var(1));
         let v12 = m.and(v1, v2).unwrap();
-        let chi = m.not(v12).unwrap();
+        let chi = m.not(v12);
         let f = from_characteristic(&mut m, &space, chi).unwrap().unwrap();
         assert!(f.is_canonical(&mut m, &space).unwrap());
         let back = to_characteristic(&mut m, &space, &f).unwrap();

@@ -69,7 +69,11 @@ mod tests {
         assert!(e.to_string().contains("deadline"));
         assert!(Error::source(&e).is_some());
         assert_eq!(
-            BfvError::DimensionMismatch { expected: 3, got: 2 }.to_string(),
+            BfvError::DimensionMismatch {
+                expected: 3,
+                got: 2
+            }
+            .to_string(),
             "expected 3 bits, got 2"
         );
         assert!(Error::source(&BfvError::SpaceMismatch).is_none());

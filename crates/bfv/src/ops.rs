@@ -65,11 +65,19 @@ pub fn union(m: &mut BddManager, space: &Space, f: &Bfv, g: &Bfv) -> Result<Bfv>
         let h1 = three_way(m, cf.one, cg.one, fx, gx)?;
         let h0 = three_way(m, cf.zero, cg.zero, fx, gx)?;
         let forced = m.or(h1, h0)?;
-        let hc = m.not(forced)?;
-        let h = component_from_conditions(m, Conditions { one: h1, zero: h0, choice: hc }, v)?;
+        let hc = m.not(forced);
+        let h = component_from_conditions(
+            m,
+            Conditions {
+                one: h1,
+                zero: h0,
+                choice: hc,
+            },
+            v,
+        )?;
         // Exclusion update: an operand drops out when the selected bit
         // contradicts its forced value.
-        let nh = m.not(h)?;
+        let nh = m.not(h);
         fx = exclude(m, fx, cf, h, nh)?;
         gx = exclude(m, gx, cg, h, nh)?;
         comps.push(h);
@@ -178,8 +186,16 @@ pub fn intersect(m: &mut BddManager, space: &Space, f: &Bfv, g: &Bfv) -> Result<
         let k1 = m.or_all(&[cf[i].one, cg[i].one, e_lo])?;
         let k0 = m.or_all(&[cf[i].zero, cg[i].zero, e_hi])?;
         let forced = m.or(k1, k0)?;
-        let kc = m.not(forced)?;
-        let k = component_from_conditions(m, Conditions { one: k1, zero: k0, choice: kc }, v)?;
+        let kc = m.not(forced);
+        let k = component_from_conditions(
+            m,
+            Conditions {
+                one: k1,
+                zero: k0,
+                choice: kc,
+            },
+            v,
+        )?;
         let h = m.vector_compose(k, &sub)?;
         sub[v.0 as usize] = Some(h);
         comps.push(h);
@@ -234,11 +250,17 @@ mod tests {
     use crate::StateSet;
 
     fn pts(bits: &[&str]) -> Vec<Vec<bool>> {
-        bits.iter().map(|s| s.chars().map(|c| c == '1').collect()).collect()
+        bits.iter()
+            .map(|s| s.chars().map(|c| c == '1').collect())
+            .collect()
     }
 
     fn set_of(m: &mut BddManager, space: &Space, bits: &[&str]) -> Bfv {
-        StateSet::from_points(m, space, &pts(bits)).unwrap().as_bfv().unwrap().clone()
+        StateSet::from_points(m, space, &pts(bits))
+            .unwrap()
+            .as_bfv()
+            .unwrap()
+            .clone()
     }
 
     #[test]
@@ -266,7 +288,10 @@ mod tests {
         let h = union(&mut m, &space, &f, &g).unwrap();
         assert!(h.is_canonical(&mut m, &space).unwrap());
         let s = StateSet::NonEmpty(h);
-        assert_eq!(s.members(&mut m, &space).unwrap(), pts(&["000", "010", "100", "110"]));
+        assert_eq!(
+            s.members(&mut m, &space).unwrap(),
+            pts(&["000", "010", "100", "110"])
+        );
     }
 
     #[test]
@@ -356,7 +381,7 @@ mod tests {
         // ∀v1: states reachable under both v1 = 0 and v1 = 1 selections:
         // F|v1=0 = {000,001,010,011}, F|v1=1 = {100,101}; intersection ∅.
         assert!(forall(&mut m, &space, &f, Var(0)).unwrap().is_none());
-        // ∀v3 on the cube {00x, 01x}: both cofactors = {000,010} ∩ {001,011}… 
+        // ∀v3 on the cube {00x, 01x}: both cofactors = {000,010} ∩ {001,011}…
         let g = set_of(&mut m, &space, &["000", "001", "010", "011"]);
         let a = forall(&mut m, &space, &g, Var(2)).unwrap();
         assert!(a.is_none(), "bit-3 differs between the cofactors' members");
@@ -367,11 +392,13 @@ mod tests {
         // All pairs of nonempty 2-bit sets: union must match the oracle.
         let mut m = BddManager::new(2);
         let space = Space::contiguous(2);
-        let all_points: Vec<Vec<bool>> =
-            (0..4u8).map(|k| vec![k & 2 != 0, k & 1 != 0]).collect();
+        let all_points: Vec<Vec<bool>> = (0..4u8).map(|k| vec![k & 2 != 0, k & 1 != 0]).collect();
         let sets: Vec<Vec<Vec<bool>>> = (1u8..16)
             .map(|mask| {
-                (0..4).filter(|&i| mask & (1 << i) != 0).map(|i| all_points[i].clone()).collect()
+                (0..4)
+                    .filter(|&i| mask & (1 << i) != 0)
+                    .map(|i| all_points[i].clone())
+                    .collect()
             })
             .collect();
         for sa in &sets {
@@ -383,7 +410,12 @@ mod tests {
                 expect.sort();
                 expect.dedup();
                 assert_eq!(u.members(&mut m, &space).unwrap(), expect);
-                assert!(u.as_bfv().unwrap().clone().is_canonical(&mut m, &space).unwrap());
+                assert!(u
+                    .as_bfv()
+                    .unwrap()
+                    .clone()
+                    .is_canonical(&mut m, &space)
+                    .unwrap());
                 let i = a.intersect(&mut m, &space, &b).unwrap();
                 let mut expect: Vec<Vec<bool>> =
                     sa.iter().filter(|p| sb.contains(p)).cloned().collect();

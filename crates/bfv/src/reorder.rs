@@ -52,7 +52,7 @@ pub struct ReorderResult {
 pub fn sift_components(m: &mut BddManager, space: &Space, f: &Bfv) -> Result<ReorderResult> {
     let n = space.len();
     let chi = to_characteristic(m, space, f)?;
-    m.protect(chi);
+    let _chi_guard = m.func(chi);
     let before = f.shared_size(m);
     let mut perm: Vec<usize> = (0..n).collect();
     let mut best_vec = f.clone();
@@ -82,7 +82,6 @@ pub fn sift_components(m: &mut BddManager, space: &Space, f: &Bfv) -> Result<Reo
             break;
         }
     }
-    m.unprotect(chi);
     Ok(ReorderResult {
         perm,
         space: best_space,

@@ -51,7 +51,7 @@ pub enum Schedule {
 /// let mut m = BddManager::new(3);
 /// let space = Space::contiguous(2);
 /// let p = m.var(Var(2));
-/// let np = m.not(p)?;
+/// let np = m.not(p);
 /// let n = Bfv::from_components(&space, vec![p, np])?;
 /// let image = reparam::reparameterize(&mut m, &space, &n, &[Var(2)])?;
 /// let set = StateSet::NonEmpty(image);
@@ -64,12 +64,7 @@ pub enum Schedule {
 /// # Errors
 ///
 /// Fails on BDD resource-limit exhaustion.
-pub fn reparameterize(
-    m: &mut BddManager,
-    space: &Space,
-    vec: &Bfv,
-    params: &[Var],
-) -> Result<Bfv> {
+pub fn reparameterize(m: &mut BddManager, space: &Space, vec: &Bfv, params: &[Var]) -> Result<Bfv> {
     reparameterize_with(m, space, vec, params, Schedule::DynamicSupport)
 }
 
@@ -119,7 +114,9 @@ fn cheapest_param(m: &BddManager, vec: &Bfv, remaining: &[Var]) -> usize {
     let mut best = 0usize;
     let mut best_cost = (usize::MAX, usize::MAX);
     for (i, &p) in remaining.iter().enumerate() {
-        let dependents: Vec<usize> = (0..vec.len()).filter(|&j| supports[j].contains(p)).collect();
+        let dependents: Vec<usize> = (0..vec.len())
+            .filter(|&j| supports[j].contains(p))
+            .collect();
         let count = dependents.len();
         let size: usize = if count == 0 {
             0
@@ -175,7 +172,7 @@ mod tests {
         // N = (p0, p0, ¬p0): image = {110, 001}.
         let (mut m, space, ps) = setup();
         let p0 = m.var(ps[0]);
-        let np0 = m.not(p0).unwrap();
+        let np0 = m.not(p0);
         let n = Bfv::from_components(&space, vec![p0, p0, np0]).unwrap();
         let r = reparameterize(&mut m, &space, &n, &ps).unwrap();
         assert!(r.is_canonical(&mut m, &space).unwrap());

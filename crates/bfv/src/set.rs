@@ -34,9 +34,15 @@ impl StateSet {
             "space variables must exist in the manager"
         );
         if point.len() != space.len() {
-            return Err(BfvError::DimensionMismatch { expected: space.len(), got: point.len() });
+            return Err(BfvError::DimensionMismatch {
+                expected: space.len(),
+                got: point.len(),
+            });
         }
-        let comps = point.iter().map(|&b| if b { Bdd::TRUE } else { Bdd::FALSE }).collect();
+        let comps = point
+            .iter()
+            .map(|&b| if b { Bdd::TRUE } else { Bdd::FALSE })
+            .collect();
         Ok(StateSet::NonEmpty(Bfv::from_components(space, comps)?))
     }
 
@@ -251,12 +257,7 @@ impl StateSet {
     /// # Errors
     ///
     /// Fails on BDD resource exhaustion.
-    pub fn is_disjoint(
-        &self,
-        m: &mut BddManager,
-        space: &Space,
-        other: &StateSet,
-    ) -> Result<bool> {
+    pub fn is_disjoint(&self, m: &mut BddManager, space: &Space, other: &StateSet) -> Result<bool> {
         Ok(self.intersect(m, space, other)?.is_empty())
     }
 
@@ -331,7 +332,9 @@ mod tests {
     use bfvr_bdd::Var;
 
     fn pts(bits: &[&str]) -> Vec<Vec<bool>> {
-        bits.iter().map(|s| s.chars().map(|c| c == '1').collect()).collect()
+        bits.iter()
+            .map(|s| s.chars().map(|c| c == '1').collect())
+            .collect()
     }
 
     #[test]
@@ -365,9 +368,12 @@ mod tests {
     fn from_points_builds_paper_set() {
         let mut m = BddManager::new(3);
         let space = Space::contiguous(3);
-        let s =
-            StateSet::from_points(&mut m, &space, &pts(&["000", "001", "010", "011", "100", "101"]))
-                .unwrap();
+        let s = StateSet::from_points(
+            &mut m,
+            &space,
+            &pts(&["000", "001", "010", "011", "100", "101"]),
+        )
+        .unwrap();
         let f = s.as_bfv().unwrap();
         assert!(f.clone().is_canonical(&mut m, &space).unwrap());
         assert_eq!(s.len(&mut m, &space).unwrap(), 6);
@@ -399,7 +405,10 @@ mod tests {
         let a = StateSet::from_points(&mut m, &space, &pts(&["000", "011", "101"])).unwrap();
         let b = StateSet::from_points(&mut m, &space, &pts(&["011", "110"])).unwrap();
         let u = a.union(&mut m, &space, &b).unwrap();
-        assert_eq!(u.members(&mut m, &space).unwrap(), pts(&["000", "011", "101", "110"]));
+        assert_eq!(
+            u.members(&mut m, &space).unwrap(),
+            pts(&["000", "011", "101", "110"])
+        );
         let i = a.intersect(&mut m, &space, &b).unwrap();
         assert_eq!(i.members(&mut m, &space).unwrap(), pts(&["011"]));
         assert!(!a.is_disjoint(&mut m, &space, &b).unwrap());
@@ -427,11 +436,17 @@ mod tests {
         let space = Space::contiguous(3);
         assert!(matches!(
             StateSet::singleton(&mut m, &space, &[true]).unwrap_err(),
-            BfvError::DimensionMismatch { expected: 3, got: 1 }
+            BfvError::DimensionMismatch {
+                expected: 3,
+                got: 1
+            }
         ));
         assert!(matches!(
             StateSet::from_cube(&m, &space, &[None]).unwrap_err(),
-            BfvError::DimensionMismatch { expected: 3, got: 1 }
+            BfvError::DimensionMismatch {
+                expected: 3,
+                got: 1
+            }
         ));
     }
 }
@@ -457,7 +472,9 @@ mod union_all_tests {
         }
         // Canonicity ⇒ identical representation.
         assert_eq!(tree, fold);
-        assert!(StateSet::union_all(&mut m, &space, vec![]).unwrap().is_empty());
+        assert!(StateSet::union_all(&mut m, &space, vec![])
+            .unwrap()
+            .is_empty());
         let one = StateSet::union_all(&mut m, &space, vec![sets[0].clone()]).unwrap();
         assert_eq!(one, sets[0]);
     }
@@ -468,7 +485,9 @@ mod difference_tests {
     use super::*;
 
     fn pts(bits: &[&str]) -> Vec<Vec<bool>> {
-        bits.iter().map(|s| s.chars().map(|c| c == '1').collect()).collect()
+        bits.iter()
+            .map(|s| s.chars().map(|c| c == '1').collect())
+            .collect()
     }
 
     #[test]
@@ -480,7 +499,10 @@ mod difference_tests {
         let d = a.difference(&mut m, &space, &b).unwrap();
         assert_eq!(d.members(&mut m, &space).unwrap(), pts(&["000", "101"]));
         let sd = a.symmetric_difference(&mut m, &space, &b).unwrap();
-        assert_eq!(sd.members(&mut m, &space).unwrap(), pts(&["000", "101", "110"]));
+        assert_eq!(
+            sd.members(&mut m, &space).unwrap(),
+            pts(&["000", "101", "110"])
+        );
     }
 
     #[test]
@@ -492,12 +514,22 @@ mod difference_tests {
         // a \ a = ∅; a \ ∅ = a; ∅ \ a = ∅; a \ U = ∅; U \ a = complement.
         assert!(a.difference(&mut m, &space, &a).unwrap().is_empty());
         assert_eq!(a.difference(&mut m, &space, &StateSet::Empty).unwrap(), a);
-        assert!(StateSet::Empty.difference(&mut m, &space, &a).unwrap().is_empty());
+        assert!(StateSet::Empty
+            .difference(&mut m, &space, &a)
+            .unwrap()
+            .is_empty());
         assert!(a.difference(&mut m, &space, &u).unwrap().is_empty());
         let c = u.difference(&mut m, &space, &a).unwrap();
         assert_eq!(c.members(&mut m, &space).unwrap(), pts(&["00", "11"]));
         // Symmetric difference with self is empty; with ∅ is identity.
-        assert!(a.symmetric_difference(&mut m, &space, &a).unwrap().is_empty());
-        assert_eq!(a.symmetric_difference(&mut m, &space, &StateSet::Empty).unwrap(), a);
+        assert!(a
+            .symmetric_difference(&mut m, &space, &a)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            a.symmetric_difference(&mut m, &space, &StateSet::Empty)
+                .unwrap(),
+            a
+        );
     }
 }

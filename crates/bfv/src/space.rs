@@ -50,7 +50,9 @@ impl Space {
     /// Panics if `n == 0`.
     pub fn contiguous(n: u32) -> Self {
         assert!(n > 0, "component space must be non-empty");
-        Space { vars: (0..n).map(Var).collect() }
+        Space {
+            vars: (0..n).map(Var).collect(),
+        }
     }
 
     /// Number of components.

@@ -1,6 +1,6 @@
 //! The Boolean functional vector type and its structural queries.
 
-use bfvr_bdd::{Bdd, BddManager, Var};
+use bfvr_bdd::{Bdd, BddManager, Func, Var};
 
 use crate::{BfvError, Result, Space};
 
@@ -110,7 +110,10 @@ impl Bfv {
     /// choice variables (i.e. the vector is parameterized).
     pub fn eval(&self, m: &BddManager, space: &Space, point: &[bool]) -> Result<Vec<bool>> {
         if point.len() != space.len() {
-            return Err(BfvError::DimensionMismatch { expected: space.len(), got: point.len() });
+            return Err(BfvError::DimensionMismatch {
+                expected: space.len(),
+                got: point.len(),
+            });
         }
         let mut full = vec![false; m.num_vars() as usize];
         for (i, &b) in point.iter().enumerate() {
@@ -179,18 +182,10 @@ impl Bfv {
         Ok(true)
     }
 
-    /// Pins all components against garbage collection.
-    pub fn protect(&self, m: &mut BddManager) {
-        for &f in &self.components {
-            m.protect(f);
-        }
-    }
-
-    /// Releases the protection added by [`Bfv::protect`].
-    pub fn unprotect(&self, m: &mut BddManager) {
-        for &f in &self.components {
-            m.unprotect(f);
-        }
+    /// Pins all components against garbage collection for as long as the
+    /// returned handles live (RAII; dropping them releases the roots).
+    pub fn pin(&self, m: &BddManager) -> Vec<Func> {
+        self.components.iter().map(|&f| m.func(f)).collect()
     }
 }
 
@@ -200,18 +195,14 @@ pub(crate) fn conditions_of(m: &mut BddManager, f: Bdd, v: Var) -> Result<Condit
     let f0 = m.cofactor(f, v, false)?;
     let f1 = m.cofactor(f, v, true)?;
     let one = f0;
-    let zero = m.not(f1)?;
-    let nf0 = m.not(f0)?;
+    let zero = m.not(f1);
+    let nf0 = m.not(f0);
     let choice = m.and(f1, nf0)?;
     Ok(Conditions { one, zero, choice })
 }
 
 /// Reassembles a component from its conditions: `f = one ∨ (choice ∧ v)`.
-pub(crate) fn component_from_conditions(
-    m: &mut BddManager,
-    c: Conditions,
-    v: Var,
-) -> Result<Bdd> {
+pub(crate) fn component_from_conditions(m: &mut BddManager, c: Conditions, v: Var) -> Result<Bdd> {
     let vv = m.var(v);
     let cv = m.and(c.choice, vv)?;
     Ok(m.or(c.one, cv)?)
@@ -228,7 +219,7 @@ mod tests {
         let v1 = m.var(Var(0));
         let v2 = m.var(Var(1));
         let v3 = m.var(Var(2));
-        let nv1 = m.not(v1).unwrap();
+        let nv1 = m.not(v1);
         let f2 = m.and(nv1, v2).unwrap();
         let f = Bfv::from_components(&space, vec![v1, f2, v3]).unwrap();
         (space, f)
@@ -240,7 +231,11 @@ mod tests {
         let (space, f) = paper_example(&mut m);
         for k in 0u8..6 {
             let p: Vec<bool> = (0..3).map(|i| (k >> (2 - i)) & 1 == 1).collect();
-            assert_eq!(f.eval(&m, &space, &p).unwrap(), p, "member {k:03b} not fixed");
+            assert_eq!(
+                f.eval(&m, &space, &p).unwrap(),
+                p,
+                "member {k:03b} not fixed"
+            );
             assert!(f.contains(&m, &space, &p).unwrap());
         }
     }
@@ -272,7 +267,7 @@ mod tests {
         assert!(c1.choice.is_true());
         let c2 = f.conditions(&mut m, &space, 1).unwrap();
         let v1 = m.var(Var(0));
-        let nv1 = m.not(v1).unwrap();
+        let nv1 = m.not(v1);
         assert!(c2.one.is_false());
         assert_eq!(c2.zero, v1); // second bit forced to 0 when first is 1
         assert_eq!(c2.choice, nv1);
@@ -339,7 +334,13 @@ mod tests {
         let m = BddManager::new(3);
         let space = Space::contiguous(3);
         let err = Bfv::from_components(&space, vec![Bdd::TRUE]).unwrap_err();
-        assert_eq!(err, BfvError::DimensionMismatch { expected: 3, got: 1 });
+        assert_eq!(
+            err,
+            BfvError::DimensionMismatch {
+                expected: 3,
+                got: 1
+            }
+        );
         let _ = m;
     }
 
@@ -348,7 +349,13 @@ mod tests {
         let mut m = BddManager::new(3);
         let (space, f) = paper_example(&mut m);
         let err = f.eval(&m, &space, &[true]).unwrap_err();
-        assert_eq!(err, BfvError::DimensionMismatch { expected: 3, got: 1 });
+        assert_eq!(
+            err,
+            BfvError::DimensionMismatch {
+                expected: 3,
+                got: 1
+            }
+        );
     }
 
     #[test]
@@ -360,13 +367,13 @@ mod tests {
     }
 
     #[test]
-    fn protect_survives_gc() {
+    fn pin_survives_gc() {
         let mut m = BddManager::new(3);
         let (space, f) = paper_example(&mut m);
-        f.protect(&mut m);
+        let guards = f.pin(&m);
         m.collect_garbage(&[]);
         // Still evaluable after GC.
         assert!(f.contains(&m, &space, &[false, true, true]).unwrap());
-        f.unprotect(&mut m);
+        drop(guards);
     }
 }

@@ -1,13 +1,59 @@
 //! Property tests: the BFV set algebra against the characteristic-function
 //! oracle, on random sets and random parameterized vectors.
+//!
+//! Deterministic xorshift generation keeps the suite dependency-free; a
+//! failing case is reproducible from the printed case number.
 
 use bfvr_bdd::{Bdd, BddManager, Var};
 use bfvr_bfv::convert::{from_characteristic, to_characteristic};
 use bfvr_bfv::reparam::{reparameterize_with, Schedule};
 use bfvr_bfv::{ops, Bfv, Space, StateSet};
-use proptest::prelude::*;
 
 const N: usize = 4; // state bits
+const CASES: u64 = 200;
+
+/// xorshift64* — deterministic, seedable, no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Non-empty 16-point set mask.
+    fn mask(&mut self) -> u16 {
+        let m = self.next() as u16;
+        if m == 0 {
+            1
+        } else {
+            m
+        }
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn flip(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+fn for_cases(seed: u64, mut check: impl FnMut(u64, &mut Rng)) {
+    let mut rng = Rng::new(seed);
+    for case in 0..CASES {
+        check(case, &mut rng);
+    }
+}
 
 /// Builds the characteristic function of a set given as a 16-bit mask over
 /// {0,1}^4 (bit k of the mask = membership of the point with value k,
@@ -21,7 +67,7 @@ fn chi_of_mask(m: &mut BddManager, space: &Space, mask: u16) -> Bdd {
             for i in 0..N {
                 let bit = (pt >> (N - 1 - i)) & 1 == 1;
                 let v = space.var(i);
-                let lit = if bit { m.var(v) } else { m.nvar(v).unwrap() };
+                let lit = if bit { m.var(v) } else { m.nvar(v) };
                 cube = m.and(cube, lit).unwrap();
             }
             chi = m.or(chi, cube).unwrap();
@@ -35,53 +81,61 @@ fn set_of_mask(m: &mut BddManager, space: &Space, mask: u16) -> Option<Bfv> {
     from_characteristic(m, space, chi).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    #[test]
-    fn union_matches_oracle(a in 1u16.., b in 1u16..) {
+#[test]
+fn union_matches_oracle() {
+    for_cases(0xBF01, |case, rng| {
+        let (a, b) = (rng.mask(), rng.mask());
         let mut m = BddManager::new(N as u32);
         let space = Space::contiguous(N as u32);
         let fa = set_of_mask(&mut m, &space, a).unwrap();
         let fb = set_of_mask(&mut m, &space, b).unwrap();
         let h = ops::union(&mut m, &space, &fa, &fb).unwrap();
-        prop_assert!(h.is_canonical(&mut m, &space).unwrap());
+        assert!(h.is_canonical(&mut m, &space).unwrap(), "case {case}");
         let got = to_characteristic(&mut m, &space, &h).unwrap();
         let expect = chi_of_mask(&mut m, &space, a | b);
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect, "case {case}: {a:#06x} ∪ {b:#06x}");
+    });
+}
 
-    #[test]
-    fn intersect_matches_oracle(a in 1u16.., b in 1u16..) {
+#[test]
+fn intersect_matches_oracle() {
+    for_cases(0xBF02, |case, rng| {
+        let (a, b) = (rng.mask(), rng.mask());
         let mut m = BddManager::new(N as u32);
         let space = Space::contiguous(N as u32);
         let fa = set_of_mask(&mut m, &space, a).unwrap();
         let fb = set_of_mask(&mut m, &space, b).unwrap();
         let h = ops::intersect(&mut m, &space, &fa, &fb).unwrap();
         if a & b == 0 {
-            prop_assert!(h.is_none());
+            assert!(h.is_none(), "case {case}");
         } else {
             let h = h.unwrap();
-            prop_assert!(h.is_canonical(&mut m, &space).unwrap());
+            assert!(h.is_canonical(&mut m, &space).unwrap(), "case {case}");
             let got = to_characteristic(&mut m, &space, &h).unwrap();
             let expect = chi_of_mask(&mut m, &space, a & b);
-            prop_assert_eq!(got, expect);
+            assert_eq!(got, expect, "case {case}: {a:#06x} ∩ {b:#06x}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn conversion_roundtrip_is_identity(a in 1u16..) {
+#[test]
+fn conversion_roundtrip_is_identity() {
+    for_cases(0xBF03, |case, rng| {
+        let a = rng.mask();
         let mut m = BddManager::new(N as u32);
         let space = Space::contiguous(N as u32);
         let f = set_of_mask(&mut m, &space, a).unwrap();
-        prop_assert!(f.is_canonical(&mut m, &space).unwrap());
+        assert!(f.is_canonical(&mut m, &space).unwrap(), "case {case}");
         let chi = to_characteristic(&mut m, &space, &f).unwrap();
         let g = from_characteristic(&mut m, &space, chi).unwrap().unwrap();
-        prop_assert_eq!(f.components(), g.components());
-    }
+        assert_eq!(f.components(), g.components(), "case {case}");
+    });
+}
 
-    #[test]
-    fn union_associative_via_canonicity(a in 1u16.., b in 1u16.., c in 1u16..) {
+#[test]
+fn union_associative_via_canonicity() {
+    for_cases(0xBF04, |case, rng| {
+        let (a, b, c) = (rng.mask(), rng.mask(), rng.mask());
         let mut m = BddManager::new(N as u32);
         let space = Space::contiguous(N as u32);
         let fa = set_of_mask(&mut m, &space, a).unwrap();
@@ -91,11 +145,15 @@ proptest! {
         let ab_c = ops::union(&mut m, &space, &ab, &fc).unwrap();
         let bc = ops::union(&mut m, &space, &fb, &fc).unwrap();
         let a_bc = ops::union(&mut m, &space, &fa, &bc).unwrap();
-        prop_assert_eq!(ab_c.components(), a_bc.components());
-    }
+        assert_eq!(ab_c.components(), a_bc.components(), "case {case}");
+    });
+}
 
-    #[test]
-    fn quantification_matches_oracle(a in 1u16.., comp in 0usize..N) {
+#[test]
+fn quantification_matches_oracle() {
+    for_cases(0xBF05, |case, rng| {
+        let a = rng.mask();
+        let comp = rng.below(N as u64) as usize;
         let mut m = BddManager::new(N as u32);
         let space = Space::contiguous(N as u32);
         let f = set_of_mask(&mut m, &space, a).unwrap();
@@ -105,25 +163,28 @@ proptest! {
         let chi0 = m.cofactor(chi, v, false).unwrap();
         let chi1 = m.cofactor(chi, v, true).unwrap();
         let e = ops::exists(&mut m, &space, &f, v).unwrap();
-        prop_assert!(e.is_canonical(&mut m, &space).unwrap());
+        assert!(e.is_canonical(&mut m, &space).unwrap(), "case {case}");
         let got = to_characteristic(&mut m, &space, &e).unwrap();
         let expect = m.or(chi0, chi1).unwrap();
         // ∃v F as a set = (F|v=0) ∪ (F|v=1): the oracle is the union of
-        // the two cofactor sets. F|v=c as a set has χ… the componentwise
-        // cofactor selects a subset; its χ is from the vector directly.
+        // the two cofactor sets.
         let f0 = ops::cofactor(&mut m, &space, &f, v, false).unwrap();
         let f1 = ops::cofactor(&mut m, &space, &f, v, true).unwrap();
         let c0 = to_characteristic(&mut m, &space, &f0).unwrap();
         let c1 = to_characteristic(&mut m, &space, &f1).unwrap();
         let set_expect = m.or(c0, c1).unwrap();
-        prop_assert_eq!(got, set_expect);
+        assert_eq!(got, set_expect, "case {case}");
         // The smoothing view must contain the set view.
         let gap = m.diff(got, expect).unwrap();
-        prop_assert!(gap.is_false());
-    }
+        assert!(gap.is_false(), "case {case}");
+    });
+}
 
-    #[test]
-    fn forall_matches_cofactor_intersection(a in 1u16.., comp in 0usize..N) {
+#[test]
+fn forall_matches_cofactor_intersection() {
+    for_cases(0xBF06, |case, rng| {
+        let a = rng.mask();
+        let comp = rng.below(N as u64) as usize;
         let mut m = BddManager::new(N as u32);
         let space = Space::contiguous(N as u32);
         let f = set_of_mask(&mut m, &space, a).unwrap();
@@ -135,43 +196,50 @@ proptest! {
         let c1 = to_characteristic(&mut m, &space, &f1).unwrap();
         let expect = m.and(c0, c1).unwrap();
         match fa {
-            None => prop_assert!(expect.is_false()),
+            None => assert!(expect.is_false(), "case {case}"),
             Some(h) => {
-                prop_assert!(h.is_canonical(&mut m, &space).unwrap());
+                assert!(h.is_canonical(&mut m, &space).unwrap(), "case {case}");
                 let got = to_characteristic(&mut m, &space, &h).unwrap();
-                prop_assert_eq!(got, expect);
+                assert_eq!(got, expect, "case {case}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn cofactor_members_are_subset(a in 1u16.., comp in 0usize..N, val: bool) {
+#[test]
+fn cofactor_members_are_subset() {
+    for_cases(0xBF07, |case, rng| {
+        let a = rng.mask();
+        let comp = rng.below(N as u64) as usize;
+        let val = rng.flip();
         let mut m = BddManager::new(N as u32);
         let space = Space::contiguous(N as u32);
         let f = set_of_mask(&mut m, &space, a).unwrap();
         let g = ops::cofactor(&mut m, &space, &f, space.var(comp), val).unwrap();
-        prop_assert!(g.is_canonical(&mut m, &space).unwrap());
+        assert!(g.is_canonical(&mut m, &space).unwrap(), "case {case}");
         let sg = StateSet::NonEmpty(g);
         let sf = StateSet::NonEmpty(f);
         for mem in sg.members(&mut m, &space).unwrap() {
-            prop_assert!(sf.contains(&m, &space, &mem).unwrap());
+            assert!(sf.contains(&m, &space, &mem).unwrap(), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn reparam_matches_relational_image(
-        tt0 in any::<u16>(),
-        tt1 in any::<u16>(),
-        tt2 in any::<u16>(),
-        tt3 in any::<u16>(),
-        dynamic: bool,
-    ) {
+#[test]
+fn reparam_matches_relational_image() {
+    for_cases(0xBF08, |case, rng| {
         // Four random next-state functions of 4 parameters, given as
         // 16-entry truth tables. Oracle: χ_img(x) = ∃p. ⋀ x_i ↔ n_i(p).
+        let tts = [
+            rng.next() as u16,
+            rng.next() as u16,
+            rng.next() as u16,
+            rng.next() as u16,
+        ];
+        let dynamic = rng.flip();
         let mut m = BddManager::new(8);
         let space = Space::contiguous(4);
         let params: Vec<Var> = (4..8).map(Var).collect();
-        let tts = [tt0, tt1, tt2, tt3];
         let mut comps = Vec::new();
         for tt in tts {
             // Build the function from its truth table over params.
@@ -181,7 +249,7 @@ proptest! {
                     let mut cube = Bdd::TRUE;
                     for (j, &p) in params.iter().enumerate() {
                         let bit = (row >> (3 - j)) & 1 == 1;
-                        let lit = if bit { m.var(p) } else { m.nvar(p).unwrap() };
+                        let lit = if bit { m.var(p) } else { m.nvar(p) };
                         cube = m.and(cube, lit).unwrap();
                     }
                     f = m.or(f, cube).unwrap();
@@ -190,9 +258,13 @@ proptest! {
             comps.push(f);
         }
         let n = Bfv::from_components(&space, comps.clone()).unwrap();
-        let sched = if dynamic { Schedule::DynamicSupport } else { Schedule::Fixed };
+        let sched = if dynamic {
+            Schedule::DynamicSupport
+        } else {
+            Schedule::Fixed
+        };
         let r = reparameterize_with(&mut m, &space, &n, &params, sched).unwrap();
-        prop_assert!(r.is_canonical(&mut m, &space).unwrap());
+        assert!(r.is_canonical(&mut m, &space).unwrap(), "case {case}");
         let got = to_characteristic(&mut m, &space, &r).unwrap();
         // Oracle.
         let mut rel = Bdd::TRUE;
@@ -204,31 +276,33 @@ proptest! {
         }
         let pcube = m.cube_from_vars(&params).unwrap();
         let expect = m.exists(rel, pcube).unwrap();
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect, "case {case}: tts {tts:?}");
+    });
+}
 
-    #[test]
-    fn permuted_component_order_still_canonical(a in 1u16.., seed in any::<u64>()) {
+#[test]
+fn permuted_component_order_still_canonical() {
+    for_cases(0xBF09, |case, rng| {
         // The set algebra is correct for any component order over the
         // same variables (the future-work reordering experiments rely on
         // this).
+        let a = rng.mask();
         let mut m = BddManager::new(N as u32);
         let mut perm: Vec<usize> = (0..N).collect();
-        let mut s = seed;
         for i in (1..N).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            perm.swap(i, (s >> 33) as usize % (i + 1));
+            let j = rng.below(i as u64 + 1) as usize;
+            perm.swap(i, j);
         }
         let space = Space::contiguous(N as u32).permuted(&perm);
         let chi = chi_of_mask(&mut m, &Space::contiguous(N as u32), a);
         // chi is over vars 0..4 which are exactly the permuted space's
         // vars, just weighted differently.
         let f = from_characteristic(&mut m, &space, chi).unwrap().unwrap();
-        prop_assert!(f.is_canonical(&mut m, &space).unwrap());
+        assert!(f.is_canonical(&mut m, &space).unwrap(), "case {case}");
         let back = to_characteristic(&mut m, &space, &f).unwrap();
-        prop_assert_eq!(back, chi);
+        assert_eq!(back, chi, "case {case}");
         // Union in the permuted space matches the oracle too.
         let g = ops::union(&mut m, &space, &f, &f).unwrap();
-        prop_assert_eq!(g.components(), f.components());
-    }
+        assert_eq!(g.components(), f.components(), "case {case}");
+    });
 }

@@ -43,7 +43,10 @@ pub fn parse_named(text: &str, name: &str) -> Result<Netlist> {
         if line.is_empty() {
             continue;
         }
-        let err = |message: String| NetlistError::Parse { line: lineno + 1, message };
+        let err = |message: String| NetlistError::Parse {
+            line: lineno + 1,
+            message,
+        };
         if let Some(rest) = strip_call(line, "INPUT") {
             b.input(rest).map_err(|e| err(e.to_string()))?;
         } else if let Some(rest) = strip_call(line, "OUTPUT") {
@@ -51,14 +54,19 @@ pub fn parse_named(text: &str, name: &str) -> Result<Netlist> {
         } else if let Some((lhs, rhs)) = line.split_once('=') {
             let lhs = lhs.trim();
             let rhs = rhs.trim();
-            let (func, args) = rhs
-                .split_once('(')
-                .ok_or_else(|| err(format!("expected FUNC(args) on right-hand side, got `{rhs}`")))?;
+            let (func, args) = rhs.split_once('(').ok_or_else(|| {
+                err(format!(
+                    "expected FUNC(args) on right-hand side, got `{rhs}`"
+                ))
+            })?;
             let args = args
                 .strip_suffix(')')
                 .ok_or_else(|| err("missing closing parenthesis".to_string()))?;
-            let ins: Vec<&str> =
-                args.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+            let ins: Vec<&str> = args
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
             let func = func.trim().to_ascii_uppercase();
             match func.as_str() {
                 "DFF" | "DFF0" => {
@@ -99,7 +107,10 @@ pub fn parse_named(text: &str, name: &str) -> Result<Netlist> {
 
 fn strip_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
     let rest = line.strip_prefix(keyword)?.trim_start();
-    rest.strip_prefix('(')?.trim().strip_suffix(')').map(str::trim)
+    rest.strip_prefix('(')?
+        .trim()
+        .strip_suffix(')')
+        .map(str::trim)
 }
 
 /// Serializes a netlist to `.bench` text.
@@ -148,7 +159,13 @@ pub fn write(net: &Netlist) -> Result<String> {
                 continue;
             }
         };
-        let _ = writeln!(out, "{} = {}({})", net.signal_name(g.output), func, ins.join(", "));
+        let _ = writeln!(
+            out,
+            "{} = {}({})",
+            net.signal_name(g.output),
+            func,
+            ins.join(", ")
+        );
     }
     Ok(out)
 }
@@ -251,7 +268,10 @@ d = XOR(y, r)
         let err = parse("INPUT(a)\nx = FROB(a)\n").unwrap_err();
         assert_eq!(
             err,
-            NetlistError::Parse { line: 2, message: "unknown gate type `FROB`".into() }
+            NetlistError::Parse {
+                line: 2,
+                message: "unknown gate type `FROB`".into()
+            }
         );
         let err = parse("what is this").unwrap_err();
         assert!(matches!(err, NetlistError::Parse { line: 1, .. }));
@@ -322,7 +342,10 @@ mod cover_tests {
             assert_eq!(eval(&net, &ins), eval(&again, &ins), "inputs {ins:?}");
         }
         // No cover gates survive in the round-tripped netlist.
-        assert!(again.gates().iter().all(|g| !matches!(g.kind, GateKind::Cover(_))));
+        assert!(again
+            .gates()
+            .iter()
+            .all(|g| !matches!(g.kind, GateKind::Cover(_))));
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub fn parse(text: &str) -> Result<Netlist> {
     while idx < lines.len() {
         let (lineno, line) = &lines[idx];
         let lineno = *lineno;
-        let err = |message: String| NetlistError::Parse { line: lineno, message };
+        let err = |message: String| NetlistError::Parse {
+            line: lineno,
+            message,
+        };
         let mut tokens = line.split_whitespace();
         let head = tokens.next().expect("blank lines were filtered");
         match head {
@@ -55,21 +58,27 @@ pub fn parse(text: &str) -> Result<Netlist> {
                 idx += 1;
             }
             ".inputs" => {
-                let b = b.as_mut().ok_or_else(|| err(".inputs before .model".into()))?;
+                let b = b
+                    .as_mut()
+                    .ok_or_else(|| err(".inputs before .model".into()))?;
                 for t in tokens {
                     b.input(t).map_err(|e| err(e.to_string()))?;
                 }
                 idx += 1;
             }
             ".outputs" => {
-                let b = b.as_mut().ok_or_else(|| err(".outputs before .model".into()))?;
+                let b = b
+                    .as_mut()
+                    .ok_or_else(|| err(".outputs before .model".into()))?;
                 for t in tokens {
                     b.output(t);
                 }
                 idx += 1;
             }
             ".latch" => {
-                let b = b.as_mut().ok_or_else(|| err(".latch before .model".into()))?;
+                let b = b
+                    .as_mut()
+                    .ok_or_else(|| err(".latch before .model".into()))?;
                 let args: Vec<&str> = tokens.collect();
                 // .latch <input> <output> [<type> <control>] [<init>]
                 if args.len() < 2 {
@@ -86,11 +95,14 @@ pub fn parse(text: &str) -> Result<Netlist> {
                     }
                     _ => false,
                 };
-                b.latch(args[1], args[0], init).map_err(|e| err(e.to_string()))?;
+                b.latch(args[1], args[0], init)
+                    .map_err(|e| err(e.to_string()))?;
                 idx += 1;
             }
             ".names" => {
-                let b = b.as_mut().ok_or_else(|| err(".names before .model".into()))?;
+                let b = b
+                    .as_mut()
+                    .ok_or_else(|| err(".names before .model".into()))?;
                 let sigs: Vec<&str> = tokens.collect();
                 if sigs.is_empty() {
                     return Err(err(".names needs at least an output".into()));
@@ -102,8 +114,7 @@ pub fn parse(text: &str) -> Result<Netlist> {
                 idx += 1;
                 while idx < lines.len() && !lines[idx].1.starts_with('.') {
                     let (rl, row) = &lines[idx];
-                    let rerr =
-                        |message: String| NetlistError::Parse { line: *rl, message };
+                    let rerr = |message: String| NetlistError::Parse { line: *rl, message };
                     let parts: Vec<&str> = row.split_whitespace().collect();
                     let (cube_str, val) = match parts.len() {
                         1 if ins.is_empty() => ("", parts[0]),
@@ -159,8 +170,11 @@ pub fn parse(text: &str) -> Result<Netlist> {
             other => return Err(err(format!("unsupported construct `{other}`"))),
         }
     }
-    b.ok_or_else(|| NetlistError::Parse { line: 1, message: "no .model found".into() })?
-        .finish()
+    b.ok_or_else(|| NetlistError::Parse {
+        line: 1,
+        message: "no .model found".into(),
+    })?
+    .finish()
 }
 
 /// Serializes a netlist as BLIF. Every gate kind (including
@@ -187,7 +201,12 @@ pub fn write(net: &Netlist) -> String {
     }
     for g in net.gates() {
         let ins: Vec<&str> = g.inputs.iter().map(|&s| net.signal_name(s)).collect();
-        let _ = writeln!(out, ".names {} {}", ins.join(" "), net.signal_name(g.output));
+        let _ = writeln!(
+            out,
+            ".names {} {}",
+            ins.join(" "),
+            net.signal_name(g.output)
+        );
         let n = ins.len();
         match &g.kind {
             GateKind::And => {
@@ -222,7 +241,13 @@ pub fn write(net: &Netlist) -> String {
                     let ones = bits.count_ones() as usize;
                     if (ones % 2 == 1) == want_odd {
                         let row: String = (0..n)
-                            .map(|i| if bits >> (n - 1 - i) & 1 == 1 { '1' } else { '0' })
+                            .map(|i| {
+                                if bits >> (n - 1 - i) & 1 == 1 {
+                                    '1'
+                                } else {
+                                    '0'
+                                }
+                            })
                             .collect();
                         let _ = writeln!(out, "{row} 1");
                     }
@@ -367,9 +392,15 @@ y = AND(t, s)
     #[test]
     fn errors() {
         assert!(matches!(parse("xyz"), Err(NetlistError::Parse { .. })));
-        assert!(matches!(parse(".inputs a"), Err(NetlistError::Parse { line: 1, .. })));
+        assert!(matches!(
+            parse(".inputs a"),
+            Err(NetlistError::Parse { line: 1, .. })
+        ));
         let bad_cube = ".model m\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n";
-        assert!(matches!(parse(bad_cube), Err(NetlistError::Parse { line: 5, .. })));
+        assert!(matches!(
+            parse(bad_cube),
+            Err(NetlistError::Parse { line: 5, .. })
+        ));
     }
 
     #[test]

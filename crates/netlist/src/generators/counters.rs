@@ -18,17 +18,21 @@ pub fn counter(n: u32) -> Netlist {
     let mut b = NetlistBuilder::new(format!("cnt{n}"));
     b.input("en").expect("fresh");
     for i in 0..n {
-        b.latch(format!("c{i}"), format!("nc{i}"), false).expect("fresh");
+        b.latch(format!("c{i}"), format!("nc{i}"), false)
+            .expect("fresh");
     }
     b.gate("cr0", GateKind::Buf, &["en"]).expect("fresh");
     for i in 0..n {
         let c = format!("c{i}");
         let cr = format!("cr{i}");
         let ncr = format!("cr{}", i + 1);
-        b.gate(format!("nc{i}"), GateKind::Xor, &[c.as_str(), cr.as_str()]).expect("fresh");
-        b.gate(&ncr, GateKind::And, &[cr.as_str(), c.as_str()]).expect("fresh");
+        b.gate(format!("nc{i}"), GateKind::Xor, &[c.as_str(), cr.as_str()])
+            .expect("fresh");
+        b.gate(&ncr, GateKind::And, &[cr.as_str(), c.as_str()])
+            .expect("fresh");
     }
-    b.gate("ov", GateKind::Buf, &[format!("cr{n}").as_str()]).expect("fresh");
+    b.gate("ov", GateKind::Buf, &[format!("cr{n}").as_str()])
+        .expect("fresh");
     b.output("ov");
     b.finish().expect("counter is structurally valid")
 }
@@ -47,7 +51,8 @@ pub fn counter_modk(n: u32, k: u64) -> Netlist {
     let mut b = NetlistBuilder::new(format!("mod{k}x{n}"));
     b.input("en").expect("fresh");
     for i in 0..n {
-        b.latch(format!("c{i}"), format!("nc{i}"), false).expect("fresh");
+        b.latch(format!("c{i}"), format!("nc{i}"), false)
+            .expect("fresh");
     }
     // eq = (counter == k-1)
     let top = k - 1;
@@ -56,9 +61,11 @@ pub fn counter_modk(n: u32, k: u64) -> Netlist {
         let bit = (top >> i) & 1 == 1;
         let t = format!("eq{i}");
         if bit {
-            b.gate(&t, GateKind::Buf, &[format!("c{i}").as_str()]).expect("fresh");
+            b.gate(&t, GateKind::Buf, &[format!("c{i}").as_str()])
+                .expect("fresh");
         } else {
-            b.gate(&t, GateKind::Not, &[format!("c{i}").as_str()]).expect("fresh");
+            b.gate(&t, GateKind::Not, &[format!("c{i}").as_str()])
+                .expect("fresh");
         }
         eq_terms.push(t);
     }
@@ -71,11 +78,20 @@ pub fn counter_modk(n: u32, k: u64) -> Netlist {
     for i in 0..n {
         let c = format!("c{i}");
         let cr = format!("cr{i}");
-        b.gate(format!("inc{i}"), GateKind::Xor, &[c.as_str(), cr.as_str()]).expect("fresh");
-        b.gate(format!("cr{}", i + 1), GateKind::And, &[cr.as_str(), c.as_str()])
+        b.gate(format!("inc{i}"), GateKind::Xor, &[c.as_str(), cr.as_str()])
             .expect("fresh");
-        b.gate(format!("nc{i}"), GateKind::And, &[format!("inc{i}").as_str(), "keep"])
-            .expect("fresh");
+        b.gate(
+            format!("cr{}", i + 1),
+            GateKind::And,
+            &[cr.as_str(), c.as_str()],
+        )
+        .expect("fresh");
+        b.gate(
+            format!("nc{i}"),
+            GateKind::And,
+            &[format!("inc{i}").as_str(), "keep"],
+        )
+        .expect("fresh");
     }
     b.gate("atmax", GateKind::Buf, &["eq"]).expect("fresh");
     b.output("atmax");
@@ -97,11 +113,16 @@ pub fn gray(n: u32) -> Netlist {
     let mut b = NetlistBuilder::new(format!("gray{n}"));
     b.input("en").expect("fresh");
     for i in 0..n {
-        b.latch(format!("g{i}"), format!("ng{i}"), false).expect("fresh");
+        b.latch(format!("g{i}"), format!("ng{i}"), false)
+            .expect("fresh");
     }
     // Decode to binary: b_{n-1} = g_{n-1}; b_i = b_{i+1} ⊕ g_i.
-    b.gate(format!("b{}", n - 1), GateKind::Buf, &[format!("g{}", n - 1).as_str()])
-        .expect("fresh");
+    b.gate(
+        format!("b{}", n - 1),
+        GateKind::Buf,
+        &[format!("g{}", n - 1).as_str()],
+    )
+    .expect("fresh");
     for i in (0..n - 1).rev() {
         b.gate(
             format!("b{i}"),
@@ -127,8 +148,12 @@ pub fn gray(n: u32) -> Netlist {
         .expect("fresh");
     }
     // Re-encode to Gray: ng_{n-1} = s_{n-1}; ng_i = s_i ⊕ s_{i+1}.
-    b.gate(format!("ng{}", n - 1), GateKind::Buf, &[format!("s{}", n - 1).as_str()])
-        .expect("fresh");
+    b.gate(
+        format!("ng{}", n - 1),
+        GateKind::Buf,
+        &[format!("s{}", n - 1).as_str()],
+    )
+    .expect("fresh");
     for i in 0..n - 1 {
         b.gate(
             format!("ng{i}"),
@@ -137,7 +162,8 @@ pub fn gray(n: u32) -> Netlist {
         )
         .expect("fresh");
     }
-    b.gate("msb", GateKind::Buf, &[format!("g{}", n - 1).as_str()]).expect("fresh");
+    b.gate("msb", GateKind::Buf, &[format!("g{}", n - 1).as_str()])
+        .expect("fresh");
     b.output("msb");
     b.finish().expect("gray counter is structurally valid")
 }

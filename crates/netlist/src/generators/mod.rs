@@ -45,14 +45,17 @@ impl BuilderExt for NetlistBuilder {
         let ta = format!("{out}$t");
         let tb = format!("{out}$e");
         self.inv(&nsel, sel);
-        self.gate(&ta, GateKind::And, &[sel, a]).expect("generator signals are fresh");
-        self.gate(&tb, GateKind::And, &[nsel.as_str(), b]).expect("generator signals are fresh");
+        self.gate(&ta, GateKind::And, &[sel, a])
+            .expect("generator signals are fresh");
+        self.gate(&tb, GateKind::And, &[nsel.as_str(), b])
+            .expect("generator signals are fresh");
         self.gate(out, GateKind::Or, &[ta.as_str(), tb.as_str()])
             .expect("generator signals are fresh");
     }
 
     fn inv(&mut self, out: &str, x: &str) {
-        self.gate(out, GateKind::Not, &[x]).expect("generator signals are fresh");
+        self.gate(out, GateKind::Not, &[x])
+            .expect("generator signals are fresh");
     }
 }
 
@@ -98,7 +101,11 @@ mod tests {
             let text = net.to_bench();
             let again = crate::bench::parse_named(&text, &name).unwrap();
             assert_eq!(again.stats(), net.stats(), "{name} shape changed");
-            assert_eq!(again.initial_state(), net.initial_state(), "{name} reset changed");
+            assert_eq!(
+                again.initial_state(),
+                net.initial_state(),
+                "{name} reset changed"
+            );
             let mut st_a = net.initial_state();
             let mut st_b = again.initial_state();
             let mut rng = 0xD1B54A32D192ED03u64;
@@ -106,8 +113,7 @@ mod tests {
                 rng ^= rng << 13;
                 rng ^= rng >> 7;
                 rng ^= rng << 17;
-                let ins: Vec<bool> =
-                    (0..net.inputs().len()).map(|i| rng >> i & 1 == 1).collect();
+                let ins: Vec<bool> = (0..net.inputs().len()).map(|i| rng >> i & 1 == 1).collect();
                 st_a = testutil::step(&net, &st_a, &ins);
                 st_b = testutil::step(&again, &st_b, &ins);
                 assert_eq!(st_a, st_b, "{name} diverged at step {step_no}");

@@ -18,14 +18,20 @@ pub fn shift_register(n: u32) -> Netlist {
     let mut b = NetlistBuilder::new(format!("shift{n}"));
     b.input("d").expect("fresh");
     for i in 0..n {
-        b.latch(format!("s{i}"), format!("ns{i}"), false).expect("fresh");
+        b.latch(format!("s{i}"), format!("ns{i}"), false)
+            .expect("fresh");
     }
     b.gate("ns0", GateKind::Buf, &["d"]).expect("fresh");
     for i in 1..n {
-        b.gate(format!("ns{i}"), GateKind::Buf, &[format!("s{}", i - 1).as_str()])
-            .expect("fresh");
+        b.gate(
+            format!("ns{i}"),
+            GateKind::Buf,
+            &[format!("s{}", i - 1).as_str()],
+        )
+        .expect("fresh");
     }
-    b.gate("serout", GateKind::Buf, &[format!("s{}", n - 1).as_str()]).expect("fresh");
+    b.gate("serout", GateKind::Buf, &[format!("s{}", n - 1).as_str()])
+        .expect("fresh");
     b.output("serout");
     b.finish().expect("shift register is structurally valid")
 }
@@ -65,7 +71,8 @@ pub fn lfsr(n: u32) -> Netlist {
     let taps = MAXIMAL_TAPS[(n - 2) as usize];
     let mut b = NetlistBuilder::new(format!("lfsr{n}"));
     for i in 0..n {
-        b.latch(format!("s{i}"), format!("ns{i}"), false).expect("fresh");
+        b.latch(format!("s{i}"), format!("ns{i}"), false)
+            .expect("fresh");
     }
     // Feedback = XNOR of the tapped stages (stage k taps signal s{k-1}).
     let tap_names: Vec<String> = taps.iter().map(|&t| format!("s{}", t - 1)).collect();
@@ -73,10 +80,15 @@ pub fn lfsr(n: u32) -> Netlist {
     b.gate("fb", GateKind::Xnor, &refs).expect("fresh");
     b.gate("ns0", GateKind::Buf, &["fb"]).expect("fresh");
     for i in 1..n {
-        b.gate(format!("ns{i}"), GateKind::Buf, &[format!("s{}", i - 1).as_str()])
-            .expect("fresh");
+        b.gate(
+            format!("ns{i}"),
+            GateKind::Buf,
+            &[format!("s{}", i - 1).as_str()],
+        )
+        .expect("fresh");
     }
-    b.gate("tap", GateKind::Buf, &[format!("s{}", n - 1).as_str()]).expect("fresh");
+    b.gate("tap", GateKind::Buf, &[format!("s{}", n - 1).as_str()])
+        .expect("fresh");
     b.output("tap");
     b.finish().expect("lfsr is structurally valid")
 }
@@ -95,7 +107,8 @@ pub fn johnson(n: u32) -> Netlist {
     let mut b = NetlistBuilder::new(format!("johnson{n}"));
     b.input("en").expect("fresh");
     for i in 0..n {
-        b.latch(format!("s{i}"), format!("ns{i}"), false).expect("fresh");
+        b.latch(format!("s{i}"), format!("ns{i}"), false)
+            .expect("fresh");
     }
     b.inv("last_n", format!("s{}", n - 1).as_str());
     b.mux("ns0", "en", "last_n", "s0");
@@ -147,7 +160,10 @@ mod tests {
                 }
             }
             assert_eq!(period, (1u64 << n) - 1, "lfsr{n} period");
-            assert!(!seen.contains(&((1u64 << n) - 1)), "all-ones must be unreachable");
+            assert!(
+                !seen.contains(&((1u64 << n) - 1)),
+                "all-ones must be unreachable"
+            );
         }
     }
 

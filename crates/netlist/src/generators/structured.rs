@@ -26,19 +26,27 @@ pub fn paired_registers(p: u32) -> Netlist {
         b.input(format!("d{i}")).expect("fresh");
     }
     for i in 0..p {
-        b.latch(format!("a{i}"), format!("n{i}"), false).expect("fresh");
-    }
-    for i in 0..p {
-        b.latch(format!("b{i}"), format!("nb{i}"), false).expect("fresh");
-    }
-    for i in 0..p {
-        b.gate(format!("n{i}"), GateKind::Xor, &[format!("a{i}").as_str(), format!("d{i}").as_str()])
+        b.latch(format!("a{i}"), format!("n{i}"), false)
             .expect("fresh");
-        b.gate(format!("nb{i}"), GateKind::Buf, &[format!("n{i}").as_str()]).expect("fresh");
+    }
+    for i in 0..p {
+        b.latch(format!("b{i}"), format!("nb{i}"), false)
+            .expect("fresh");
+    }
+    for i in 0..p {
+        b.gate(
+            format!("n{i}"),
+            GateKind::Xor,
+            &[format!("a{i}").as_str(), format!("d{i}").as_str()],
+        )
+        .expect("fresh");
+        b.gate(format!("nb{i}"), GateKind::Buf, &[format!("n{i}").as_str()])
+            .expect("fresh");
     }
     let eq0 = "eq0".to_string();
     b.gate(&eq0, GateKind::Xnor, &["a0", "b0"]).expect("fresh");
-    b.gate("match", GateKind::Buf, &[eq0.as_str()]).expect("fresh");
+    b.gate("match", GateKind::Buf, &[eq0.as_str()])
+        .expect("fresh");
     b.output("match");
     b.finish().expect("paired registers are structurally valid")
 }
@@ -61,23 +69,29 @@ pub fn queue_controller(k: u32) -> Netlist {
     b.input("push").expect("fresh");
     b.input("pop").expect("fresh");
     for i in 0..k {
-        b.latch(format!("h{i}"), format!("nh{i}"), false).expect("fresh");
+        b.latch(format!("h{i}"), format!("nh{i}"), false)
+            .expect("fresh");
     }
     for i in 0..=k {
-        b.latch(format!("q{i}"), format!("nq{i}"), false).expect("fresh");
+        b.latch(format!("q{i}"), format!("nq{i}"), false)
+            .expect("fresh");
     }
     for i in 0..k {
-        b.latch(format!("t{i}"), format!("nt{i}"), false).expect("fresh");
+        b.latch(format!("t{i}"), format!("nt{i}"), false)
+            .expect("fresh");
     }
     // full = count == 2^k (bit k set); empty = count == 0.
-    b.gate("full", GateKind::Buf, &[format!("q{k}").as_str()]).expect("fresh");
+    b.gate("full", GateKind::Buf, &[format!("q{k}").as_str()])
+        .expect("fresh");
     let qrefs: Vec<String> = (0..=k).map(|i| format!("q{i}")).collect();
     let qr: Vec<&str> = qrefs.iter().map(String::as_str).collect();
     b.gate("empty", GateKind::Nor, &qr).expect("fresh");
     b.gate("nfull", GateKind::Not, &["full"]).expect("fresh");
     b.gate("nempty", GateKind::Not, &["empty"]).expect("fresh");
-    b.gate("do_push", GateKind::And, &["push", "nfull"]).expect("fresh");
-    b.gate("do_pop", GateKind::And, &["pop", "nempty"]).expect("fresh");
+    b.gate("do_push", GateKind::And, &["push", "nfull"])
+        .expect("fresh");
+    b.gate("do_pop", GateKind::And, &["pop", "nempty"])
+        .expect("fresh");
     // head' = head + do_pop ; tail' = tail + do_push (k-bit wrap-around).
     incrementer(&mut b, "h", "nh", k, "do_pop");
     incrementer(&mut b, "t", "nt", k, "do_push");
@@ -85,8 +99,10 @@ pub fn queue_controller(k: u32) -> Netlist {
     // pop-only, hold otherwise.
     b.gate("npop", GateKind::Not, &["do_pop"]).expect("fresh");
     b.gate("npush", GateKind::Not, &["do_push"]).expect("fresh");
-    b.gate("up", GateKind::And, &["do_push", "npop"]).expect("fresh");
-    b.gate("down", GateKind::And, &["do_pop", "npush"]).expect("fresh");
+    b.gate("up", GateKind::And, &["do_push", "npop"])
+        .expect("fresh");
+    b.gate("down", GateKind::And, &["do_pop", "npush"])
+        .expect("fresh");
     // Increment and decrement candidates for count.
     incrementer(&mut b, "q", "qinc", k + 1, "up");
     decrementer(&mut b, "q", "qdec", k + 1, "down");
@@ -94,7 +110,12 @@ pub fn queue_controller(k: u32) -> Netlist {
         // If up: qinc; if down: qdec; else hold. up/down are exclusive and
         // the candidate networks already hold when their enable is low, so
         // nq = down ? qdec : qinc covers all three cases.
-        b.mux(&format!("nq{i}"), "down", &format!("qdec{i}"), &format!("qinc{i}"));
+        b.mux(
+            &format!("nq{i}"),
+            "down",
+            &format!("qdec{i}"),
+            &format!("qinc{i}"),
+        );
     }
     b.output("full");
     b.output("empty");
@@ -103,27 +124,41 @@ pub fn queue_controller(k: u32) -> Netlist {
 
 /// Ripple incrementer: `dst = src + en` over `n` bits.
 fn incrementer(b: &mut NetlistBuilder, src: &str, dst: &str, n: u32, en: &str) {
-    b.gate(format!("{dst}$c0"), GateKind::Buf, &[en]).expect("fresh");
+    b.gate(format!("{dst}$c0"), GateKind::Buf, &[en])
+        .expect("fresh");
     for i in 0..n {
         let s = format!("{src}{i}");
         let c = format!("{dst}$c{i}");
         let nc = format!("{dst}$c{}", i + 1);
-        b.gate(format!("{dst}{i}"), GateKind::Xor, &[s.as_str(), c.as_str()]).expect("fresh");
-        b.gate(&nc, GateKind::And, &[c.as_str(), s.as_str()]).expect("fresh");
+        b.gate(
+            format!("{dst}{i}"),
+            GateKind::Xor,
+            &[s.as_str(), c.as_str()],
+        )
+        .expect("fresh");
+        b.gate(&nc, GateKind::And, &[c.as_str(), s.as_str()])
+            .expect("fresh");
     }
 }
 
 /// Ripple decrementer: `dst = src − en` over `n` bits.
 fn decrementer(b: &mut NetlistBuilder, src: &str, dst: &str, n: u32, en: &str) {
-    b.gate(format!("{dst}$b0"), GateKind::Buf, &[en]).expect("fresh");
+    b.gate(format!("{dst}$b0"), GateKind::Buf, &[en])
+        .expect("fresh");
     for i in 0..n {
         let s = format!("{src}{i}");
         let c = format!("{dst}$b{i}");
         let nc = format!("{dst}$b{}", i + 1);
-        b.gate(format!("{dst}{i}"), GateKind::Xor, &[s.as_str(), c.as_str()]).expect("fresh");
+        b.gate(
+            format!("{dst}{i}"),
+            GateKind::Xor,
+            &[s.as_str(), c.as_str()],
+        )
+        .expect("fresh");
         let sn = format!("{dst}$n{i}");
         b.gate(&sn, GateKind::Not, &[s.as_str()]).expect("fresh");
-        b.gate(&nc, GateKind::And, &[c.as_str(), sn.as_str()]).expect("fresh");
+        b.gate(&nc, GateKind::And, &[c.as_str(), sn.as_str()])
+            .expect("fresh");
     }
 }
 
@@ -142,7 +177,8 @@ pub fn rotator(n: u32) -> Netlist {
     b.input("adv").expect("fresh");
     b.latch("t0", "nt0", true).expect("fresh");
     for i in 1..n {
-        b.latch(format!("t{i}"), format!("nt{i}"), false).expect("fresh");
+        b.latch(format!("t{i}"), format!("nt{i}"), false)
+            .expect("fresh");
     }
     for i in 0..n {
         let prev = format!("t{}", (i + n as usize as u32 - 1) % n);
@@ -168,8 +204,10 @@ pub fn traffic_chain(k: u32) -> Netlist {
     let mut b = NetlistBuilder::new(format!("traffic{k}"));
     b.input("go").expect("fresh");
     for i in 0..k {
-        b.latch(format!("p0_{i}"), format!("np0_{i}"), false).expect("fresh");
-        b.latch(format!("p1_{i}"), format!("np1_{i}"), false).expect("fresh");
+        b.latch(format!("p0_{i}"), format!("np0_{i}"), false)
+            .expect("fresh");
+        b.latch(format!("p1_{i}"), format!("np1_{i}"), false)
+            .expect("fresh");
     }
     b.gate("en_0", GateKind::Buf, &["go"]).expect("fresh");
     for i in 0..k {
@@ -177,21 +215,45 @@ pub fn traffic_chain(k: u32) -> Netlist {
         let p1 = format!("p1_{i}");
         let en = format!("en_{i}");
         // Two-bit counter: p0' = p0 ⊕ en; p1' = p1 ⊕ (en ∧ p0).
-        b.gate(format!("x0_{i}"), GateKind::Xor, &[p0.as_str(), en.as_str()]).expect("fresh");
-        b.gate(format!("c_{i}"), GateKind::And, &[en.as_str(), p0.as_str()]).expect("fresh");
-        b.gate(format!("x1_{i}"), GateKind::Xor, &[p1.as_str(), format!("c_{i}").as_str()])
+        b.gate(
+            format!("x0_{i}"),
+            GateKind::Xor,
+            &[p0.as_str(), en.as_str()],
+        )
+        .expect("fresh");
+        b.gate(format!("c_{i}"), GateKind::And, &[en.as_str(), p0.as_str()])
             .expect("fresh");
-        b.gate(format!("np0_{i}"), GateKind::Buf, &[format!("x0_{i}").as_str()])
-            .expect("fresh");
-        b.gate(format!("np1_{i}"), GateKind::Buf, &[format!("x1_{i}").as_str()])
-            .expect("fresh");
+        b.gate(
+            format!("x1_{i}"),
+            GateKind::Xor,
+            &[p1.as_str(), format!("c_{i}").as_str()],
+        )
+        .expect("fresh");
+        b.gate(
+            format!("np0_{i}"),
+            GateKind::Buf,
+            &[format!("x0_{i}").as_str()],
+        )
+        .expect("fresh");
+        b.gate(
+            format!("np1_{i}"),
+            GateKind::Buf,
+            &[format!("x1_{i}").as_str()],
+        )
+        .expect("fresh");
         // Next stage advances when this stage is in phase 3 and advancing.
         let both = format!("ph3_{i}");
-        b.gate(&both, GateKind::And, &[p0.as_str(), p1.as_str()]).expect("fresh");
-        b.gate(format!("en_{}", i + 1), GateKind::And, &[both.as_str(), en.as_str()])
+        b.gate(&both, GateKind::And, &[p0.as_str(), p1.as_str()])
             .expect("fresh");
+        b.gate(
+            format!("en_{}", i + 1),
+            GateKind::And,
+            &[both.as_str(), en.as_str()],
+        )
+        .expect("fresh");
     }
-    b.gate("done", GateKind::Buf, &[format!("en_{k}").as_str()]).expect("fresh");
+    b.gate("done", GateKind::Buf, &[format!("en_{k}").as_str()])
+        .expect("fresh");
     b.output("done");
     b.finish().expect("traffic chain is structurally valid")
 }
@@ -229,8 +291,9 @@ mod tests {
         let mut rng = 0x9E3779B97F4A7C15u64;
         let read = |st: &[bool]| {
             let h: u64 = (0..k as usize).map(|i| (st[i] as u64) << i).sum();
-            let q: u64 =
-                (0..=k as usize).map(|i| (st[k as usize + i] as u64) << i).sum();
+            let q: u64 = (0..=k as usize)
+                .map(|i| (st[k as usize + i] as u64) << i)
+                .sum();
             let t: u64 = (0..k as usize)
                 .map(|i| (st[(2 * k as usize + 1) + i] as u64) << i)
                 .sum();
@@ -254,7 +317,11 @@ mod tests {
         let mut st = net.initial_state();
         let mut seen = HashSet::new();
         for i in 0..3 * n as usize {
-            assert_eq!(st.iter().filter(|&&b| b).count(), 1, "not one-hot at step {i}");
+            assert_eq!(
+                st.iter().filter(|&&b| b).count(),
+                1,
+                "not one-hot at step {i}"
+            );
             seen.insert(st.clone());
             st = step(&net, &st, &[true]);
         }

@@ -19,5 +19,8 @@ pub(crate) fn step(net: &Netlist, state: &[bool], inputs: &[bool]) -> Vec<bool> 
         let ins: Vec<bool> = gate.inputs.iter().map(|&x| vals[x.index()]).collect();
         vals[gate.output.index()] = gate.kind.eval(&ins);
     }
-    net.latches().iter().map(|l| vals[l.input.index()]).collect()
+    net.latches()
+        .iter()
+        .map(|l| vals[l.input.index()])
+        .collect()
 }

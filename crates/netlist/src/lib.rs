@@ -46,8 +46,7 @@ pub mod topo;
 pub mod verilog;
 
 pub use model::{
-    Driver, Gate, GateKind, Latch, Netlist, NetlistBuilder, NetlistError, NetlistStats,
-    SignalId,
+    Driver, Gate, GateKind, Latch, Netlist, NetlistBuilder, NetlistError, NetlistStats, SignalId,
 };
 
 /// Result alias for fallible netlist operations.

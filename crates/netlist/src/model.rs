@@ -65,7 +65,9 @@ impl GateKind {
             GateKind::Const0 => false,
             GateKind::Const1 => true,
             GateKind::Cover(rows) => rows.iter().any(|row| {
-                row.iter().zip(ins).all(|(lit, &v)| lit.is_none_or(|want| want == v))
+                row.iter()
+                    .zip(ins)
+                    .all(|(lit, &v)| lit.is_none_or(|want| want == v))
             }),
         }
     }
@@ -172,7 +174,10 @@ impl Netlist {
 
     /// Looks a signal up by name.
     pub fn find_signal(&self, name: &str) -> Option<SignalId> {
-        self.names.iter().position(|n| n == name).map(|i| SignalId(i as u32))
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| SignalId(i as u32))
     }
 
     /// Primary inputs, in declaration order.
@@ -291,7 +296,10 @@ pub struct NetlistBuilder {
 impl NetlistBuilder {
     /// Starts building a netlist with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        NetlistBuilder { name: name.into(), ..Default::default() }
+        NetlistBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Interns (or finds) a signal by name.
@@ -341,7 +349,11 @@ impl NetlistBuilder {
         let output = self.signal(&out);
         let input = self.signal(&next);
         self.drive(output, Driver::Latch(self.latches.len()))?;
-        self.latches.push(Latch { output, input, init });
+        self.latches.push(Latch {
+            output,
+            input,
+            init,
+        });
         Ok(output)
     }
 
@@ -366,14 +378,20 @@ impl NetlistBuilder {
         }
         let inputs = ins.iter().map(|s| self.signal(s)).collect();
         self.drive(output, Driver::Gate(self.gates.len()))?;
-        self.gates.push(Gate { output, kind, inputs });
+        self.gates.push(Gate {
+            output,
+            kind,
+            inputs,
+        });
         Ok(output)
     }
 
     fn drive(&mut self, id: SignalId, d: Driver) -> Result<(), NetlistError> {
         let slot = &mut self.drivers[id.index()];
         if slot.is_some() {
-            return Err(NetlistError::MultiplyDriven { name: self.names[id.index()].clone() });
+            return Err(NetlistError::MultiplyDriven {
+                name: self.names[id.index()].clone(),
+            });
         }
         *slot = Some(d);
         Ok(())
@@ -387,7 +405,9 @@ impl NetlistBuilder {
     pub fn finish(self) -> Result<Netlist, NetlistError> {
         for (i, d) in self.drivers.iter().enumerate() {
             if d.is_none() {
-                return Err(NetlistError::Undriven { name: self.names[i].clone() });
+                return Err(NetlistError::Undriven {
+                    name: self.names[i].clone(),
+                });
             }
         }
         let net = Netlist {
@@ -423,7 +443,10 @@ mod tests {
     fn build_and_query() {
         let net = toy().finish().unwrap();
         assert_eq!(net.name(), "toy");
-        assert_eq!(net.stats().to_string(), "2 inputs, 1 outputs, 1 latches, 2 gates");
+        assert_eq!(
+            net.stats().to_string(),
+            "2 inputs, 1 outputs, 1 latches, 2 gates"
+        );
         assert_eq!(net.signal_name(net.inputs()[0]), "a");
         let q = net.find_signal("q").unwrap();
         assert_eq!(net.driver(q), Driver::Latch(0));
@@ -436,7 +459,12 @@ mod tests {
         let mut b = NetlistBuilder::new("bad");
         b.input("a").unwrap();
         b.gate("x", GateKind::And, &["a", "ghost"]).unwrap();
-        assert_eq!(b.finish().unwrap_err(), NetlistError::Undriven { name: "ghost".into() });
+        assert_eq!(
+            b.finish().unwrap_err(),
+            NetlistError::Undriven {
+                name: "ghost".into()
+            }
+        );
     }
 
     #[test]
@@ -453,7 +481,10 @@ mod tests {
         b.input("a").unwrap();
         b.gate("x", GateKind::And, &["a", "y"]).unwrap();
         b.gate("y", GateKind::Or, &["x", "a"]).unwrap();
-        assert!(matches!(b.finish().unwrap_err(), NetlistError::CombinationalCycle { .. }));
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            NetlistError::CombinationalCycle { .. }
+        ));
     }
 
     #[test]
@@ -472,7 +503,13 @@ mod tests {
         b.input("a").unwrap();
         b.input("b").unwrap();
         let err = b.gate("x", GateKind::Not, &["a", "b"]).unwrap_err();
-        assert_eq!(err, NetlistError::BadArity { name: "x".into(), got: 2 });
+        assert_eq!(
+            err,
+            NetlistError::BadArity {
+                name: "x".into(),
+                got: 2
+            }
+        );
     }
 
     #[test]
@@ -490,10 +527,7 @@ mod tests {
         assert!(Xnor.eval(&[true, true]));
         assert!(!Const0.eval(&[]));
         assert!(Const1.eval(&[]));
-        let cover = Cover(vec![
-            vec![Some(true), None],
-            vec![Some(false), Some(false)],
-        ]);
+        let cover = Cover(vec![vec![Some(true), None], vec![Some(false), Some(false)]]);
         assert!(cover.eval(&[true, false]));
         assert!(cover.eval(&[false, false]));
         assert!(!cover.eval(&[false, true]));

@@ -56,8 +56,11 @@ pub fn product_miter(a: &Netlist, b: &Netlist) -> Result<Netlist> {
     }
     let mut builder = NetlistBuilder::new(format!("{}_x_{}", a.name(), b.name()));
     // Shared inputs, named after `a`'s.
-    let input_names: Vec<String> =
-        a.inputs().iter().map(|&s| a.signal_name(s).to_string()).collect();
+    let input_names: Vec<String> = a
+        .inputs()
+        .iter()
+        .map(|&s| a.signal_name(s).to_string())
+        .collect();
     for name in &input_names {
         builder.input(name)?;
     }
@@ -138,7 +141,10 @@ mod tests {
                 let ins: Vec<bool> = gate.inputs.iter().map(|&x| vals[x.index()]).collect();
                 vals[gate.output.index()] = gate.kind.eval(&ins);
             }
-            assert!(vals[p.outputs()[0].index()], "miter dropped on identical machines");
+            assert!(
+                vals[p.outputs()[0].index()],
+                "miter dropped on identical machines"
+            );
             state = p.latches().iter().map(|l| vals[l.input.index()]).collect();
         }
     }

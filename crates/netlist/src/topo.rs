@@ -72,7 +72,12 @@ pub fn levels(net: &Netlist) -> Result<Vec<usize>> {
     let mut lvl = vec![0usize; net.num_signals()];
     for g in order {
         let gate = &net.gates()[g];
-        let depth = gate.inputs.iter().map(|i| lvl[i.index()]).max().unwrap_or(0);
+        let depth = gate
+            .inputs
+            .iter()
+            .map(|i| lvl[i.index()])
+            .max()
+            .unwrap_or(0);
         lvl[gate.output.index()] = depth + 1;
     }
     Ok(lvl)
@@ -86,8 +91,13 @@ pub fn cone_of_influence(net: &Netlist, roots: &[SignalId]) -> (Vec<usize>, Vec<
     let mut seen = vec![false; net.num_signals()];
     let mut latches = Vec::new();
     let mut inputs = Vec::new();
-    let input_index: HashMap<SignalId, usize> =
-        net.inputs().iter().copied().enumerate().map(|(i, s)| (s, i)).collect();
+    let input_index: HashMap<SignalId, usize> = net
+        .inputs()
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, s)| (s, i))
+        .collect();
     let mut stack: Vec<SignalId> = roots.to_vec();
     while let Some(s) = stack.pop() {
         if seen[s.index()] {
@@ -139,7 +149,11 @@ pub fn reduce_to_outputs(net: &Netlist) -> Result<Netlist> {
     }
     for &l in &latches {
         let latch = net.latches()[l];
-        b.latch(net.signal_name(latch.output), net.signal_name(latch.input), latch.init)?;
+        b.latch(
+            net.signal_name(latch.output),
+            net.signal_name(latch.input),
+            latch.init,
+        )?;
     }
     for gate in net.gates() {
         if keep[gate.output.index()] {

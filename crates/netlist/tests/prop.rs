@@ -1,8 +1,38 @@
 //! Property tests: random netlists survive both serialization formats
 //! with identical behaviour.
+//!
+//! Deterministic xorshift generation keeps the suite dependency-free; a
+//! failing case is reproducible from the printed case number.
 
 use bfvr_netlist::{bench, blif, GateKind, Netlist, NetlistBuilder};
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
+
+/// xorshift64* — deterministic, seedable, no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn flip(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
 
 /// A recipe for one random gate: kind selector and fan-in picks.
 #[derive(Clone, Debug)]
@@ -21,26 +51,33 @@ struct NetSpec {
     inits: Vec<bool>,
 }
 
-fn spec_strategy() -> impl Strategy<Value = NetSpec> {
-    (1u8..4, 1u8..5).prop_flat_map(|(num_inputs, num_latches)| {
-        let gates = prop::collection::vec(
-            (0u8..8, prop::collection::vec(any::<u8>(), 1..4)).prop_map(|(kind, fanins)| {
-                GateSpec { kind, fanins }
-            }),
-            1..12,
-        );
-        let latch_sources = prop::collection::vec(any::<u8>(), num_latches as usize);
-        let inits = prop::collection::vec(any::<bool>(), num_latches as usize);
-        (Just(num_inputs), Just(num_latches), gates, latch_sources, inits).prop_map(
-            |(num_inputs, num_latches, gates, latch_sources, inits)| NetSpec {
-                num_inputs,
-                num_latches,
-                gates,
-                latch_sources,
-                inits,
-            },
-        )
-    })
+impl NetSpec {
+    fn random(rng: &mut Rng) -> NetSpec {
+        let num_inputs = 1 + rng.below(3) as u8;
+        let num_latches = 1 + rng.below(4) as u8;
+        let gates = (0..1 + rng.below(11))
+            .map(|_| GateSpec {
+                kind: rng.next() as u8,
+                fanins: (0..1 + rng.below(3)).map(|_| rng.next() as u8).collect(),
+            })
+            .collect();
+        let latch_sources = (0..num_latches).map(|_| rng.next() as u8).collect();
+        let inits = (0..num_latches).map(|_| rng.flip()).collect();
+        NetSpec {
+            num_inputs,
+            num_latches,
+            gates,
+            latch_sources,
+            inits,
+        }
+    }
+}
+
+fn for_cases(seed: u64, mut check: impl FnMut(u64, &mut Rng)) {
+    let mut rng = Rng::new(seed);
+    for case in 0..CASES {
+        check(case, &mut rng);
+    }
 }
 
 /// Materializes a spec into a valid netlist: gates may only read inputs,
@@ -56,7 +93,8 @@ fn build(spec: &NetSpec) -> Netlist {
     }
     for l in 0..spec.num_latches {
         let name = format!("q{l}");
-        b.latch(&name, format!("d{l}"), spec.inits[l as usize]).expect("fresh latch");
+        b.latch(&name, format!("d{l}"), spec.inits[l as usize])
+            .expect("fresh latch");
         readable.push(name);
     }
     for (gi, g) in spec.gates.iter().enumerate() {
@@ -70,7 +108,11 @@ fn build(spec: &NetSpec) -> Netlist {
             6 => GateKind::Xor,
             _ => GateKind::Xnor,
         };
-        let arity = if matches!(kind, GateKind::Not | GateKind::Buf) { 1 } else { g.fanins.len() };
+        let arity = if matches!(kind, GateKind::Not | GateKind::Buf) {
+            1
+        } else {
+            g.fanins.len()
+        };
         let ins: Vec<String> = (0..arity)
             .map(|k| {
                 let pick = g.fanins[k % g.fanins.len()] as usize % readable.len();
@@ -107,7 +149,11 @@ fn step(net: &Netlist, state: &[bool], inputs: &[bool]) -> (Vec<bool>, Vec<bool>
         let ins: Vec<bool> = gate.inputs.iter().map(|&x| vals[x.index()]).collect();
         vals[gate.output.index()] = gate.kind.eval(&ins);
     }
-    let next = net.latches().iter().map(|l| vals[l.input.index()]).collect();
+    let next = net
+        .latches()
+        .iter()
+        .map(|l| vals[l.input.index()])
+        .collect();
     let outs = net.outputs().iter().map(|&o| vals[o.index()]).collect();
     (next, outs)
 }
@@ -131,48 +177,60 @@ fn behaviourally_equal(a: &Netlist, b: &Netlist, seed: u64) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn bench_roundtrip_is_behaviour_preserving(spec in spec_strategy(), seed: u64) {
+#[test]
+fn bench_roundtrip_is_behaviour_preserving() {
+    for_cases(0xE711, |case, rng| {
+        let spec = NetSpec::random(rng);
+        let seed = rng.next();
         let net = build(&spec);
         let text = bench::write(&net).expect("no covers in random nets");
         let again = bench::parse(&text).expect("own output parses");
-        prop_assert_eq!(again.stats(), net.stats());
+        assert_eq!(again.stats(), net.stats(), "case {case}");
         behaviourally_equal(&net, &again, seed);
-    }
+    });
+}
 
-    #[test]
-    fn blif_roundtrip_is_behaviour_preserving(spec in spec_strategy(), seed: u64) {
+#[test]
+fn blif_roundtrip_is_behaviour_preserving() {
+    for_cases(0xE712, |case, rng| {
+        let spec = NetSpec::random(rng);
+        let seed = rng.next();
         let net = build(&spec);
         let text = blif::write(&net);
         let again = blif::parse(&text).expect("own output parses");
         // BLIF re-expresses gates as covers, so only behaviour matches.
-        prop_assert_eq!(again.inputs().len(), net.inputs().len());
-        prop_assert_eq!(again.latches().len(), net.latches().len());
+        assert_eq!(again.inputs().len(), net.inputs().len(), "case {case}");
+        assert_eq!(again.latches().len(), net.latches().len(), "case {case}");
         behaviourally_equal(&net, &again, seed);
-    }
+    });
+}
 
-    #[test]
-    fn cone_reduction_preserves_outputs(spec in spec_strategy(), seed: u64) {
+#[test]
+fn cone_reduction_preserves_outputs() {
+    for_cases(0xE713, |case, rng| {
+        let spec = NetSpec::random(rng);
+        let seed = rng.next();
         let net = build(&spec);
         let reduced = bfvr_netlist::topo::reduce_to_outputs(&net).expect("reducible");
-        prop_assert!(reduced.latches().len() <= net.latches().len());
+        assert!(
+            reduced.latches().len() <= net.latches().len(),
+            "case {case}"
+        );
         // Compare output traces (states may differ in dead latches).
         let mut sa = net.initial_state();
         let mut sb = reduced.initial_state();
-        let mut rng = seed | 1;
+        let mut s = seed | 1;
         for _ in 0..32 {
-            rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17;
-            let ins_full: Vec<bool> =
-                (0..net.inputs().len()).map(|i| rng >> i & 1 == 1).collect();
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let ins_full: Vec<bool> = (0..net.inputs().len()).map(|i| s >> i & 1 == 1).collect();
             // The reduced net may have dropped inputs; map by name.
             let ins_red: Vec<bool> = reduced
                 .inputs()
                 .iter()
-                .map(|&s| {
-                    let name = reduced.signal_name(s);
+                .map(|&sig| {
+                    let name = reduced.signal_name(sig);
                     let pos = net
                         .inputs()
                         .iter()
@@ -183,9 +241,9 @@ proptest! {
                 .collect();
             let (na, oa) = step(&net, &sa, &ins_full);
             let (nb, ob) = step(&reduced, &sb, &ins_red);
-            prop_assert_eq!(oa, ob, "outputs diverged after reduction");
+            assert_eq!(oa, ob, "case {case}: outputs diverged after reduction");
             sa = na;
             sb = nb;
         }
-    }
+    });
 }

@@ -47,12 +47,14 @@ pub fn reach_backward(
             let eq = m.xnor(uu, fsm.next_fn(l))?;
             t = m.and(t, eq)?;
         }
-        m.protect(t);
+        let _t_guard = m.func(t);
         // Pre-image quantifies the *next*-state and input variables.
-        let mut qvars: Vec<Var> = (0..fsm.num_latches()).map(|l| fsm.state_vars(l).1).collect();
+        let mut qvars: Vec<Var> = (0..fsm.num_latches())
+            .map(|l| fsm.state_vars(l).1)
+            .collect();
         qvars.extend(fsm.input_vars());
         let cube = m.cube_from_vars(&qvars)?;
-        m.protect(cube);
+        let _cube_guard = m.func(cube);
         let pairs = fsm.swap_pairs();
         let mut from = reached;
         loop {
@@ -61,6 +63,7 @@ pub fn reach_backward(
                 break;
             }
             let iter_start = Instant::now();
+            m.check_deadline()?;
             // pre(R) = ∃u,w. T(v,u,w) ∧ R[v→u].
             let from_u = m.swap_vars(from, &pairs)?;
             let pre = m.and_exists(t, from_u, cube)?;
@@ -86,8 +89,6 @@ pub fn reach_backward(
                 });
             }
         }
-        m.unprotect(t);
-        m.unprotect(cube);
         Ok(())
     })();
     let outcome = match (&run, outcome_opt) {
@@ -98,13 +99,12 @@ pub fn reach_backward(
     let elapsed = start.elapsed();
     let peak_nodes = m.peak_nodes();
     disarm_limits(m);
-    m.protect(reached);
     ReachResult {
         engine: EngineKind::Monolithic,
         outcome,
         iterations,
         reached_states: Some(count_states(m, fsm, reached)),
-        reached_chi: Some(reached),
+        reached_chi: Some(m.func(reached)),
         representation_nodes: Some(m.size(reached)),
         peak_nodes,
         elapsed,
@@ -129,8 +129,7 @@ pub fn check_invariant_backward(
     let r = reach_backward(m, fsm, bad, opts);
     let back = r.reached_chi.expect("backward traversal always yields a χ");
     let init = initial_chi(m, fsm)?;
-    let hit = m.and(back, init)?;
-    m.unprotect(back);
+    let hit = m.and(back.bdd(), init)?;
     Ok(hit.is_false())
 }
 
@@ -177,14 +176,14 @@ mod tests {
         for (net, bad_latch_bits, expect_holds) in cases {
             let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
             let space = fsm.space();
-            let comp_bits: Vec<bool> =
-                (0..space.len()).map(|c| bad_latch_bits[fsm.latch_of_component(c)]).collect();
+            let comp_bits: Vec<bool> = (0..space.len())
+                .map(|c| bad_latch_bits[fsm.latch_of_component(c)])
+                .collect();
             let bad_set = StateSet::singleton(&mut m, &space, &comp_bits).unwrap();
             let bad_chi = bad_set.to_characteristic(&mut m, &space).unwrap();
-            m.protect(bad_chi);
+            let _bad_guard = m.func(bad_chi);
             let back_holds =
-                check_invariant_backward(&mut m, &fsm, bad_chi, &ReachOptions::default())
-                    .unwrap();
+                check_invariant_backward(&mut m, &fsm, bad_chi, &ReachOptions::default()).unwrap();
             let fwd = check_invariant(&mut m, &fsm, &bad_set, &ReachOptions::default()).unwrap();
             let fwd_holds = matches!(fwd, CheckResult::Holds { .. });
             assert_eq!(back_holds, fwd_holds, "{} verdicts disagree", net.name());
@@ -204,8 +203,7 @@ mod tests {
         // The lockout state maps to itself under XNOR feedback, so the
         // backward set is just {1111}.
         assert_eq!(r.reached_states, Some(1.0));
-        assert!(check_invariant_backward(&mut m, &fsm, bad_chi, &ReachOptions::default())
-            .unwrap());
+        assert!(check_invariant_backward(&mut m, &fsm, bad_chi, &ReachOptions::default()).unwrap());
     }
 
     #[test]

@@ -48,6 +48,9 @@ pub fn reach_bfv(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> R
             break Outcome::IterationLimit;
         }
         let iter_start = Instant::now();
+        if m.check_deadline().is_err() {
+            break Outcome::TimeOut;
+        }
         let img = match simulate_image_with(m, fsm, &from, opts.schedule) {
             Ok(img) => img,
             Err(e) => break outcome_of_bfv_error(&e),
@@ -86,11 +89,8 @@ pub fn reach_bfv(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> R
     disarm_limits(m);
     // Post-run accounting (untimed): state count + χ for validation.
     let set = StateSet::NonEmpty(reached.clone());
-    let reached_chi = set.to_characteristic(m, &space).ok();
-    if let Some(chi) = reached_chi {
-        m.protect(chi);
-    }
-    let reached_states = reached_chi.map(|chi| {
+    let chi = set.to_characteristic(m, &space).ok();
+    let reached_states = chi.map(|chi| {
         m.sat_count(chi, m.num_vars()) / 2f64.powi(m.num_vars() as i32 - space.len() as i32)
     });
     ReachResult {
@@ -98,7 +98,7 @@ pub fn reach_bfv(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> R
         outcome,
         iterations,
         reached_states,
-        reached_chi,
+        reached_chi: chi.map(|c| m.func(c)),
         representation_nodes: Some(reached.shared_size(m)),
         peak_nodes,
         elapsed,
@@ -177,7 +177,10 @@ mod tests {
     fn iteration_cap_respected() {
         let net = generators::counter(8);
         let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
-        let opts = ReachOptions { max_iterations: Some(5), ..Default::default() };
+        let opts = ReachOptions {
+            max_iterations: Some(5),
+            ..Default::default()
+        };
         let r = reach_bfv(&mut m, &fsm, &opts);
         assert_eq!(r.outcome, Outcome::IterationLimit);
         assert_eq!(r.iterations, 5);
@@ -216,7 +219,10 @@ mod tests {
         let ra = reach_bfv(
             &mut m,
             &fsm,
-            &ReachOptions { use_frontier: false, ..Default::default() },
+            &ReachOptions {
+                use_frontier: false,
+                ..Default::default()
+            },
         );
         assert_eq!(rf.reached_chi, ra.reached_chi);
         assert_eq!(rf.reached_states, ra.reached_states);

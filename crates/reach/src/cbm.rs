@@ -51,7 +51,11 @@ fn range_rec(
         // All constant: the range is the single point they denote.
         let mut cube = Bdd::TRUE;
         for (i, &c) in comps.iter().enumerate() {
-            let lit = if c.is_true() { m.var(out_vars[i]) } else { m.nvar(out_vars[i])? };
+            let lit = if c.is_true() {
+                m.var(out_vars[i])
+            } else {
+                m.nvar(out_vars[i])
+            };
             cube = m.and(cube, lit)?;
         }
         return Ok(cube);
@@ -99,6 +103,7 @@ pub fn reach_cbm(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> R
                 break;
             }
             let iter_start = Instant::now();
+            m.check_deadline()?;
             // CF → functional vector bridge: constrain δ by the care set.
             let conv_start = Instant::now();
             let mut constrained = Vec::with_capacity(deltas.len());
@@ -142,13 +147,12 @@ pub fn reach_cbm(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> R
     let elapsed = start.elapsed();
     let peak_nodes = m.peak_nodes();
     disarm_limits(m);
-    m.protect(reached);
     ReachResult {
         engine: EngineKind::Cbm,
         outcome,
         iterations,
         reached_states: Some(count_states(m, fsm, reached)),
-        reached_chi: Some(reached),
+        reached_chi: Some(m.func(reached)),
         representation_nodes: Some(m.size(reached)),
         peak_nodes,
         elapsed,
@@ -167,11 +171,10 @@ mod tests {
     #[test]
     fn range_of_constant_vector_is_a_point() {
         let mut m = BddManager::new(4);
-        let r =
-            range_by_splitting(&mut m, &[Bdd::TRUE, Bdd::FALSE], &[Var(0), Var(1)]).unwrap();
+        let r = range_by_splitting(&mut m, &[Bdd::TRUE, Bdd::FALSE], &[Var(0), Var(1)]).unwrap();
         assert_eq!(m.sat_count(r, 2), 1.0);
         let v0 = m.var(Var(0));
-        let nv1 = m.nvar(Var(1)).unwrap();
+        let nv1 = m.nvar(Var(1));
         let expect = m.and(v0, nv1).unwrap();
         assert_eq!(r, expect);
     }
@@ -211,7 +214,11 @@ mod tests {
             assert_eq!(a.outcome, Outcome::FixedPoint, "{}", net.name());
             assert_eq!(a.reached_chi, b.reached_chi, "{} cbm vs mono", net.name());
             assert_eq!(a.reached_chi, c.reached_chi, "{} cbm vs bfv", net.name());
-            assert!(a.conversion_time > Duration::ZERO, "{} conversions untimed", net.name());
+            assert!(
+                a.conversion_time > Duration::ZERO,
+                "{} conversions untimed",
+                net.name()
+            );
         }
     }
 }

@@ -42,6 +42,9 @@ pub fn reach_cdec(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> 
             break Outcome::IterationLimit;
         }
         let iter_start = Instant::now();
+        if m.check_deadline().is_err() {
+            break Outcome::TimeOut;
+        }
         let img = match simulate_image_with(m, fsm, &from_bfv, opts.schedule) {
             Ok(img) => img,
             Err(e) => break outcome_of_bfv_error(&e),
@@ -90,17 +93,14 @@ pub fn reach_cdec(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> 
     let elapsed = start.elapsed();
     let peak_nodes = m.peak_nodes();
     disarm_limits(m);
-    let reached_chi = reached_dec.conjoin_all(m).ok();
-    if let Some(chi) = reached_chi {
-        m.protect(chi);
-    }
-    let reached_states = reached_chi.map(|chi| crate::cf::count_states(m, fsm, chi));
+    let chi = reached_dec.conjoin_all(m).ok();
+    let reached_states = chi.map(|chi| crate::cf::count_states(m, fsm, chi));
     ReachResult {
         engine: EngineKind::Cdec,
         outcome,
         iterations,
         reached_states,
-        reached_chi,
+        reached_chi: chi.map(|c| m.func(c)),
         representation_nodes: Some(reached_dec.shared_size(m)),
         peak_nodes,
         elapsed,

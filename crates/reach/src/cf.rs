@@ -17,7 +17,7 @@ pub(crate) fn initial_chi(m: &mut BddManager, fsm: &EncodedFsm) -> Result<Bdd, b
     let bits = fsm.initial_state();
     let mut chi = Bdd::TRUE;
     for (c, &v) in space.vars().iter().enumerate() {
-        let lit = if bits[c] { m.var(v) } else { m.nvar(v)? };
+        let lit = if bits[c] { m.var(v) } else { m.nvar(v) };
         chi = m.and(chi, lit)?;
     }
     Ok(chi)
@@ -47,33 +47,34 @@ pub fn reach_monolithic(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOption
             let eq = m.xnor(uu, fsm.next_fn(l))?;
             t = m.and(t, eq)?;
         }
-        m.protect(t);
+        let _t_guard = m.func(t);
         let mut qvars: Vec<Var> = fsm.space().vars().to_vec();
         qvars.extend(fsm.input_vars());
         let cube = m.cube_from_vars(&qvars)?;
-        m.protect(cube);
+        let _cube_guard = m.func(cube);
         let pairs = fsm.swap_pairs();
         reached = initial_chi(m, fsm)?;
         let mut from = reached;
         loop {
             if opts.max_iterations.is_some_and(|cap| iterations >= cap) {
                 outcome_opt = Some(Outcome::IterationLimit);
-                m.unprotect(t);
-                m.unprotect(cube);
                 return Ok((reached, iterations));
             }
             let iter_start = Instant::now();
+            m.check_deadline()?;
             let img_u = m.and_exists(t, from, cube)?;
             let img = m.swap_vars(img_u, &pairs)?;
             let new_reached = m.or(reached, img)?;
             iterations += 1;
             if new_reached == reached {
-                m.unprotect(t);
-                m.unprotect(cube);
                 return Ok((reached, iterations));
             }
             reached = new_reached;
-            from = if opts.use_frontier && m.size(img) <= m.size(reached) { img } else { reached };
+            from = if opts.use_frontier && m.size(img) <= m.size(reached) {
+                img
+            } else {
+                reached
+            };
             let gc = m.collect_garbage(&[reached, from, t, cube]);
             if opts.record_iterations {
                 per_iteration.push(IterationStats {
@@ -94,13 +95,12 @@ pub fn reach_monolithic(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOption
     let elapsed = start.elapsed();
     let peak_nodes = m.peak_nodes();
     disarm_limits(m);
-    m.protect(reached);
     ReachResult {
         engine: EngineKind::Monolithic,
         outcome,
         iterations,
         reached_states: Some(count_states(m, fsm, reached)),
-        reached_chi: Some(reached),
+        reached_chi: Some(m.func(reached)),
         representation_nodes: Some(m.size(reached)),
         peak_nodes,
         elapsed,

@@ -65,7 +65,11 @@ pub fn check_invariant(
         // the witness depth-minimal for the frontier strategy.
         hit = img_set.intersect(m, &space, bad)?;
         reached = new_reached;
-        from = if opts.use_frontier { img_set } else { reached.clone() };
+        from = if opts.use_frontier {
+            img_set
+        } else {
+            reached.clone()
+        };
     }
     let witness = hit
         .members(m, &space)?
@@ -160,6 +164,9 @@ mod tests {
         }
         let bad = StateSet::from_cube(&m, &space, &pattern).unwrap();
         let r = check_invariant(&mut m, &fsm, &bad, &ReachOptions::default()).unwrap();
-        assert!(matches!(r, CheckResult::Holds { .. }), "count exceeded capacity: {r:?}");
+        assert!(
+            matches!(r, CheckResult::Holds { .. }),
+            "count exceeded capacity: {r:?}"
+        );
     }
 }

@@ -2,7 +2,7 @@
 
 use std::time::{Duration, Instant};
 
-use bfvr_bdd::{Bdd, BddError, BddManager};
+use bfvr_bdd::{BddError, BddManager, Func};
 use bfvr_bfv::reparam::Schedule;
 use bfvr_bfv::BfvError;
 
@@ -136,10 +136,10 @@ pub struct ReachResult {
     /// variables (present when the engine completed; the BFV engine
     /// converts once at the end purely for cross-engine validation).
     ///
-    /// The engine leaves one [`bfvr_bdd::BddManager::protect`] reference
-    /// on this handle so later engine runs in the same manager cannot
-    /// collect it; release it with `unprotect` when done.
-    pub reached_chi: Option<Bdd>,
+    /// The [`Func`] handle roots the BDD, so later engine runs in the same
+    /// manager cannot collect it; it is released when the result (and all
+    /// clones of the handle) are dropped.
+    pub reached_chi: Option<Func>,
     /// Shared size of the final reached-set representation (BDD nodes).
     pub representation_nodes: Option<usize>,
     /// Peak allocated BDD nodes during the run (the paper's `Peak(K)`).

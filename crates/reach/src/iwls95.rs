@@ -63,7 +63,13 @@ fn schedule(
     while !remaining.is_empty() {
         let supports: Vec<Vec<Var>> = remaining
             .iter()
-            .map(|&c| m.support(c).vars().into_iter().filter(|&v| is_q(v)).collect())
+            .map(|&c| {
+                m.support(c)
+                    .vars()
+                    .into_iter()
+                    .filter(|&v| is_q(v))
+                    .collect()
+            })
             .collect();
         let mut best = 0usize;
         let mut best_score = (usize::MIN, usize::MAX);
@@ -84,20 +90,33 @@ fn schedule(
             }
         }
         let chosen = remaining.swap_remove(best);
-        let chosen_support: Vec<Var> =
-            m.support(chosen).vars().into_iter().filter(|&v| is_q(v)).collect();
+        let chosen_support: Vec<Var> = m
+            .support(chosen)
+            .vars()
+            .into_iter()
+            .filter(|&v| is_q(v))
+            .collect();
         // Retire the chosen cluster's quantifiable vars that no remaining
         // cluster mentions.
         let remaining_supports: Vec<Vec<Var>> = remaining
             .iter()
-            .map(|&c| m.support(c).vars().into_iter().filter(|&v| is_q(v)).collect())
+            .map(|&c| {
+                m.support(c)
+                    .vars()
+                    .into_iter()
+                    .filter(|&v| is_q(v))
+                    .collect()
+            })
             .collect();
         let retire: Vec<Var> = chosen_support
             .into_iter()
             .filter(|v| remaining_supports.iter().all(|s| !s.contains(v)))
             .collect();
         let retire_cube = m.cube_from_vars(&retire)?;
-        ordered.push(Cluster { relation: chosen, retire_cube });
+        ordered.push(Cluster {
+            relation: chosen,
+            retire_cube,
+        });
     }
     Ok(ordered)
 }
@@ -115,10 +134,10 @@ pub fn reach_iwls95(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -
         qvars.extend(fsm.input_vars());
         let raw = build_clusters(m, fsm, opts.cluster_threshold)?;
         let clusters = schedule(m, raw, &qvars)?;
-        for c in &clusters {
-            m.protect(c.relation);
-            m.protect(c.retire_cube);
-        }
+        let _cluster_guards: Vec<_> = clusters
+            .iter()
+            .flat_map(|c| [m.func(c.relation), m.func(c.retire_cube)])
+            .collect();
         // Variables in no cluster at all can be smoothed out of the from-
         // set up front (inputs the next-state logic ignores, say).
         let unused: Vec<Var> = {
@@ -126,10 +145,14 @@ pub fn reach_iwls95(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -
             for c in &clusters {
                 used.union_with(&m.support(c.relation));
             }
-            qvars.iter().copied().filter(|&v| !used.contains(v)).collect()
+            qvars
+                .iter()
+                .copied()
+                .filter(|&v| !used.contains(v))
+                .collect()
         };
         let presmooth = m.cube_from_vars(&unused)?;
-        m.protect(presmooth);
+        let _presmooth_guard = m.func(presmooth);
         let pairs = fsm.swap_pairs();
         reached = initial_chi(m, fsm)?;
         let mut from = reached;
@@ -139,6 +162,7 @@ pub fn reach_iwls95(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -
                 break;
             }
             let iter_start = Instant::now();
+            m.check_deadline()?;
             let mut acc = m.exists(from, presmooth)?;
             for c in &clusters {
                 acc = m.and_exists(acc, c.relation, c.retire_cube)?;
@@ -168,11 +192,6 @@ pub fn reach_iwls95(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -
                 });
             }
         }
-        for c in &clusters {
-            m.unprotect(c.relation);
-            m.unprotect(c.retire_cube);
-        }
-        m.unprotect(presmooth);
         Ok(())
     })();
     let outcome = match (&run, outcome_opt) {
@@ -183,13 +202,12 @@ pub fn reach_iwls95(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -
     let elapsed = start.elapsed();
     let peak_nodes = m.peak_nodes();
     disarm_limits(m);
-    m.protect(reached);
     ReachResult {
         engine: EngineKind::Iwls95,
         outcome,
         iterations,
         reached_states: Some(count_states(m, fsm, reached)),
-        reached_chi: Some(reached),
+        reached_chi: Some(m.func(reached)),
         representation_nodes: Some(m.size(reached)),
         peak_nodes,
         elapsed,
@@ -245,12 +263,18 @@ mod tests {
         let r1 = reach_iwls95(
             &mut m,
             &fsm,
-            &ReachOptions { cluster_threshold: 5, ..Default::default() },
+            &ReachOptions {
+                cluster_threshold: 5,
+                ..Default::default()
+            },
         );
         let r2 = reach_iwls95(
             &mut m,
             &fsm,
-            &ReachOptions { cluster_threshold: 10_000, ..Default::default() },
+            &ReachOptions {
+                cluster_threshold: 10_000,
+                ..Default::default()
+            },
         );
         assert_eq!(r1.reached_chi, r2.reached_chi);
     }

@@ -115,7 +115,10 @@ pub fn find_trace(
     }
     states.reverse();
     inputs_rev.reverse();
-    Ok(Some(Trace { states, inputs: inputs_rev }))
+    Ok(Some(Trace {
+        states,
+        inputs: inputs_rev,
+    }))
 }
 
 /// Finds some `(state ∈ ring, input)` with `δ(state, input) = next`.
@@ -129,7 +132,7 @@ fn step_back(
     // cond(v, w) = ⋀_c (δ_c(v,w) ↔ next[c]) ∧ χ_ring(v)
     let mut cond = ring.to_characteristic(m, &space)?;
     for (c, next_fn) in fsm.next_fns_in_component_order().into_iter().enumerate() {
-        let lit = if next[c] { next_fn } else { m.not(next_fn)? };
+        let lit = if next[c] { next_fn } else { m.not(next_fn) };
         cond = m.and(cond, lit)?;
         if cond.is_false() {
             break;
@@ -138,8 +141,7 @@ fn step_back(
     let asg = m
         .pick_minterm(cond, m.num_vars())
         .expect("every frontier state has a predecessor in the previous ring");
-    let state: Vec<bool> =
-        space.vars().iter().map(|v| asg[v.0 as usize]).collect();
+    let state: Vec<bool> = space.vars().iter().map(|v| asg[v.0 as usize]).collect();
     let inputs: Vec<bool> = (0..fsm.input_vars().len())
         .map(|i| asg[fsm.input_var(i).0 as usize])
         .collect();
@@ -163,7 +165,11 @@ mod tests {
             }
             latch
         };
-        assert_eq!(to_latch(&trace.states[0]), net.initial_state(), "trace must start at reset");
+        assert_eq!(
+            to_latch(&trace.states[0]),
+            net.initial_state(),
+            "trace must start at reset"
+        );
         for (i, inp) in trace.inputs.iter().enumerate() {
             let state = to_latch(&trace.states[i]);
             let mut vals = vec![false; net.num_signals()];
@@ -178,8 +184,16 @@ mod tests {
                 let ins: Vec<bool> = gate.inputs.iter().map(|&x| vals[x.index()]).collect();
                 vals[gate.output.index()] = gate.kind.eval(&ins);
             }
-            let got: Vec<bool> = net.latches().iter().map(|l| vals[l.input.index()]).collect();
-            assert_eq!(got, to_latch(&trace.states[i + 1]), "replay diverged at step {i}");
+            let got: Vec<bool> = net
+                .latches()
+                .iter()
+                .map(|l| vals[l.input.index()])
+                .collect();
+            assert_eq!(
+                got,
+                to_latch(&trace.states[i + 1]),
+                "replay diverged at step {i}"
+            );
         }
     }
 
@@ -189,8 +203,9 @@ mod tests {
         let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
         let space = fsm.space();
         // Target: counter value 7 (latch bits 1110 lsb-first).
-        let comp: Vec<bool> =
-            (0..4).map(|c| [true, true, true, false][fsm.latch_of_component(c)]).collect();
+        let comp: Vec<bool> = (0..4)
+            .map(|c| [true, true, true, false][fsm.latch_of_component(c)])
+            .collect();
         let target = StateSet::singleton(&mut m, &space, &comp).unwrap();
         let trace = find_trace(&mut m, &fsm, &target, &ReachOptions::default())
             .unwrap()
@@ -198,7 +213,10 @@ mod tests {
         assert_eq!(trace.depth(), 7, "minimal depth to value 7");
         validate(&net, &fsm, &trace);
         // Every step of a counter trace must have en = 1.
-        assert!(trace.inputs.iter().all(|i| i[0]), "counter must be enabled every step");
+        assert!(
+            trace.inputs.iter().all(|i| i[0]),
+            "counter must be enabled every step"
+        );
     }
 
     #[test]
@@ -222,8 +240,9 @@ mod tests {
         let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::Declaration).unwrap();
         let space = fsm.space();
         let target = StateSet::singleton(&mut m, &space, &fsm.initial_state()).unwrap();
-        let trace =
-            find_trace(&mut m, &fsm, &target, &ReachOptions::default()).unwrap().unwrap();
+        let trace = find_trace(&mut m, &fsm, &target, &ReachOptions::default())
+            .unwrap()
+            .unwrap();
         assert_eq!(trace.depth(), 0);
         assert_eq!(trace.states, vec![fsm.initial_state()]);
     }
@@ -242,8 +261,9 @@ mod tests {
             }
         }
         let target = StateSet::from_cube(&m, &space, &pattern).unwrap();
-        let trace =
-            find_trace(&mut m, &fsm, &target, &ReachOptions::default()).unwrap().unwrap();
+        let trace = find_trace(&mut m, &fsm, &target, &ReachOptions::default())
+            .unwrap()
+            .unwrap();
         // Filling a 4-slot FIFO takes exactly 4 pushes.
         assert_eq!(trace.depth(), 4);
         validate(&net, &fsm, &trace);
@@ -263,8 +283,9 @@ mod tests {
             }
         }
         let target = StateSet::from_cube(&m, &space, &pattern).unwrap();
-        let trace =
-            find_trace(&mut m, &fsm, &target, &ReachOptions::default()).unwrap().unwrap();
+        let trace = find_trace(&mut m, &fsm, &target, &ReachOptions::default())
+            .unwrap()
+            .unwrap();
         assert_eq!(trace.depth(), 1);
         validate(&net, &fsm, &trace);
         assert!(trace.inputs[0][0], "d must be 1 to set stage 0");

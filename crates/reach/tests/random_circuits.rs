@@ -1,12 +1,49 @@
 //! Property test: on random small sequential circuits, every symbolic
 //! engine's reached set equals an explicit-state BFS ground truth.
+//!
+//! Deterministic xorshift generation keeps the suite dependency-free; a
+//! failing case is reproducible from the printed case number.
 
 use std::collections::{HashSet, VecDeque};
 
 use bfvr_netlist::{GateKind, Netlist, NetlistBuilder};
 use bfvr_reach::{run, EngineKind, Outcome, ReachOptions};
 use bfvr_sim::{EncodedFsm, OrderHeuristic};
-use proptest::prelude::*;
+
+const CASES: u64 = 48;
+
+/// xorshift64* — deterministic, seedable, no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn flip(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+fn for_cases(seed: u64, mut check: impl FnMut(u64, &mut Rng)) {
+    let mut rng = Rng::new(seed);
+    for case in 0..CASES {
+        check(case, &mut rng);
+    }
+}
 
 #[derive(Clone, Debug)]
 struct Spec {
@@ -17,27 +54,28 @@ struct Spec {
     inits: Vec<bool>,
 }
 
-fn spec_strategy() -> impl Strategy<Value = Spec> {
-    (1u8..3, 2u8..6).prop_flat_map(|(num_inputs, num_latches)| {
-        let gates = prop::collection::vec(
-            (0u8..8, prop::collection::vec(any::<u8>(), 1..4)),
-            2..10,
-        );
-        (
-            Just(num_inputs),
-            Just(num_latches),
-            gates,
-            prop::collection::vec(any::<u8>(), num_latches as usize),
-            prop::collection::vec(any::<bool>(), num_latches as usize),
-        )
-            .prop_map(|(num_inputs, num_latches, gates, latch_sources, inits)| Spec {
-                num_inputs,
-                num_latches,
-                gates,
-                latch_sources,
-                inits,
+impl Spec {
+    fn random(rng: &mut Rng) -> Spec {
+        let num_inputs = 1 + rng.below(2) as u8;
+        let num_latches = 2 + rng.below(4) as u8;
+        let gates = (0..2 + rng.below(8))
+            .map(|_| {
+                (
+                    rng.next() as u8,
+                    (0..1 + rng.below(3)).map(|_| rng.next() as u8).collect(),
+                )
             })
-    })
+            .collect();
+        let latch_sources = (0..num_latches).map(|_| rng.next() as u8).collect();
+        let inits = (0..num_latches).map(|_| rng.flip()).collect();
+        Spec {
+            num_inputs,
+            num_latches,
+            gates,
+            latch_sources,
+            inits,
+        }
+    }
 }
 
 fn build(spec: &Spec) -> Netlist {
@@ -50,7 +88,8 @@ fn build(spec: &Spec) -> Netlist {
     }
     for l in 0..spec.num_latches {
         let n = format!("q{l}");
-        b.latch(&n, format!("d{l}"), spec.inits[l as usize]).unwrap();
+        b.latch(&n, format!("d{l}"), spec.inits[l as usize])
+            .unwrap();
         readable.push(n);
     }
     for (gi, (kind, fanins)) in spec.gates.iter().enumerate() {
@@ -64,8 +103,11 @@ fn build(spec: &Spec) -> Netlist {
             6 => GateKind::Xor,
             _ => GateKind::Xnor,
         };
-        let arity =
-            if matches!(kind, GateKind::Not | GateKind::Buf) { 1 } else { fanins.len() };
+        let arity = if matches!(kind, GateKind::Not | GateKind::Buf) {
+            1
+        } else {
+            fanins.len()
+        };
         let ins: Vec<String> = (0..arity)
             .map(|k| readable[fanins[k % fanins.len()] as usize % readable.len()].clone())
             .collect();
@@ -76,7 +118,8 @@ fn build(spec: &Spec) -> Netlist {
     }
     for l in 0..spec.num_latches {
         let pick = spec.latch_sources[l as usize] as usize % readable.len();
-        b.gate(format!("d{l}"), GateKind::Buf, &[readable[pick].as_str()]).unwrap();
+        b.gate(format!("d{l}"), GateKind::Buf, &[readable[pick].as_str()])
+            .unwrap();
     }
     b.output(readable.last().unwrap());
     b.finish().unwrap()
@@ -98,7 +141,10 @@ fn explicit_reachable(net: &Netlist) -> usize {
             let ins: Vec<bool> = gate.inputs.iter().map(|&x| vals[x.index()]).collect();
             vals[gate.output.index()] = gate.kind.eval(&ins);
         }
-        net.latches().iter().map(|l| vals[l.input.index()]).collect()
+        net.latches()
+            .iter()
+            .map(|l| vals[l.input.index()])
+            .collect()
     };
     let mut seen: HashSet<Vec<bool>> = HashSet::new();
     let mut q = VecDeque::new();
@@ -116,32 +162,42 @@ fn explicit_reachable(net: &Netlist) -> usize {
     seen.len()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn every_engine_matches_explicit_bfs(spec in spec_strategy(), order_seed: u64) {
+#[test]
+fn every_engine_matches_explicit_bfs() {
+    for_cases(0x5EA1, |case, rng| {
+        let spec = Spec::random(rng);
+        let order_seed = rng.next();
         let net = build(&spec);
         let truth = explicit_reachable(&net) as f64;
         let order = OrderHeuristic::Random(order_seed);
         for kind in EngineKind::all() {
             let (mut m, fsm) = EncodedFsm::encode(&net, order).unwrap();
             let r = run(kind, &mut m, &fsm, &ReachOptions::default());
-            prop_assert_eq!(r.outcome, Outcome::FixedPoint, "{:?}", kind);
-            prop_assert_eq!(r.reached_states, Some(truth), "{:?} vs explicit BFS", kind);
+            assert_eq!(r.outcome, Outcome::FixedPoint, "case {case}: {kind:?}");
+            assert_eq!(
+                r.reached_states,
+                Some(truth),
+                "case {case}: {kind:?} vs explicit BFS"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn frontier_choice_never_changes_the_answer(spec in spec_strategy()) {
+#[test]
+fn frontier_choice_never_changes_the_answer() {
+    for_cases(0x5EA2, |case, rng| {
+        let spec = Spec::random(rng);
         let net = build(&spec);
         let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
         let with = bfvr_reach::reach_bfv(&mut m, &fsm, &ReachOptions::default());
         let without = bfvr_reach::reach_bfv(
             &mut m,
             &fsm,
-            &ReachOptions { use_frontier: false, ..Default::default() },
+            &ReachOptions {
+                use_frontier: false,
+                ..Default::default()
+            },
         );
-        prop_assert_eq!(with.reached_chi, without.reached_chi);
-    }
+        assert_eq!(with.reached_chi, without.reached_chi, "case {case}");
+    });
 }

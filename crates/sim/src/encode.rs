@@ -1,6 +1,6 @@
 //! Netlist → BDD encoding with paired current/next state variables.
 
-use bfvr_bdd::{Bdd, BddManager, Var};
+use bfvr_bdd::{Bdd, BddManager, Func, Var};
 use bfvr_bfv::Space;
 use bfvr_netlist::{GateKind, Netlist};
 
@@ -23,6 +23,10 @@ pub struct EncodedFsm {
     next: Vec<Bdd>,
     /// Primary-output functions over `(v, w)` variables.
     outputs: Vec<Bdd>,
+    /// RAII roots pinning `next` and `outputs` against garbage collection
+    /// for the lifetime of the encoding.
+    #[allow(dead_code)]
+    roots: Vec<Func>,
     /// Latch indices in component (variable) order.
     comp_to_latch: Vec<usize>,
     init: Vec<bool>,
@@ -59,9 +63,16 @@ impl EncodedFsm {
         slots: &[Slot],
     ) -> Result<(BddManager, EncodedFsm), bfvr_bdd::BddError> {
         let nl = net.latches().len();
-        assert!(nl > 0, "state traversal needs at least one latch (combinational circuit?)");
+        assert!(
+            nl > 0,
+            "state traversal needs at least one latch (combinational circuit?)"
+        );
         let ni = net.inputs().len();
-        assert_eq!(slots.len(), nl + ni, "slot order must cover all latches and inputs");
+        assert_eq!(
+            slots.len(),
+            nl + ni,
+            "slot order must cover all latches and inputs"
+        );
         let num_vars = 2 * nl as u32 + ni as u32;
         let mut m = BddManager::new(num_vars);
         let mut state_vars = vec![(Var(0), Var(0)); nl];
@@ -96,16 +107,23 @@ impl EncodedFsm {
             let ins: Vec<Bdd> = gate.inputs.iter().map(|&x| funcs[x.index()]).collect();
             funcs[gate.output.index()] = encode_gate(&mut m, &gate.kind, &ins)?;
         }
-        let next: Vec<Bdd> = net.latches().iter().map(|l| funcs[l.input.index()]).collect();
+        let next: Vec<Bdd> = net
+            .latches()
+            .iter()
+            .map(|l| funcs[l.input.index()])
+            .collect();
         let outputs: Vec<Bdd> = net.outputs().iter().map(|&o| funcs[o.index()]).collect();
-        for &f in next.iter().chain(outputs.iter()) {
-            m.protect(f);
-        }
+        let roots: Vec<Func> = next
+            .iter()
+            .chain(outputs.iter())
+            .map(|&f| m.func(f))
+            .collect();
         let fsm = EncodedFsm {
             state_vars,
             input_vars,
             next,
             outputs,
+            roots,
             comp_to_latch,
             init: net.initial_state(),
             name: net.name().to_string(),
@@ -153,14 +171,22 @@ impl EncodedFsm {
     /// variable order (component order = BDD order, the paper's §3
     /// configuration).
     pub fn space(&self) -> Space {
-        let vars = self.comp_to_latch.iter().map(|&l| self.state_vars[l].0).collect();
+        let vars = self
+            .comp_to_latch
+            .iter()
+            .map(|&l| self.state_vars[l].0)
+            .collect();
         Space::new(vars).expect("state spaces are non-empty and duplicate-free")
     }
 
     /// Like [`EncodedFsm::space`] but over the *next*-state variables —
     /// the re-parameterization target of the Figure 2 flow.
     pub fn next_space(&self) -> Space {
-        let vars = self.comp_to_latch.iter().map(|&l| self.state_vars[l].1).collect();
+        let vars = self
+            .comp_to_latch
+            .iter()
+            .map(|&l| self.state_vars[l].1)
+            .collect();
         Space::new(vars).expect("state spaces are non-empty and duplicate-free")
     }
 
@@ -197,13 +223,13 @@ fn encode_gate(
         GateKind::Or => m.or_all(ins)?,
         GateKind::Nand => {
             let a = m.and_all(ins)?;
-            m.not(a)?
+            m.not(a)
         }
         GateKind::Nor => {
             let o = m.or_all(ins)?;
-            m.not(o)?
+            m.not(o)
         }
-        GateKind::Not => m.not(ins[0])?,
+        GateKind::Not => m.not(ins[0]),
         GateKind::Buf => ins[0],
         GateKind::Xor | GateKind::Xnor => {
             let mut acc = Bdd::FALSE;
@@ -211,7 +237,7 @@ fn encode_gate(
                 acc = m.xor(acc, i)?;
             }
             if matches!(kind, GateKind::Xnor) {
-                m.not(acc)?
+                m.not(acc)
             } else {
                 acc
             }
@@ -226,7 +252,7 @@ fn encode_gate(
                     match lit {
                         Some(true) => cube = m.and(cube, f)?,
                         Some(false) => {
-                            let nf = m.not(f)?;
+                            let nf = m.not(f);
                             cube = m.and(cube, nf)?;
                         }
                         None => {}
@@ -259,7 +285,10 @@ mod tests {
             let ins: Vec<bool> = gate.inputs.iter().map(|&x| vals[x.index()]).collect();
             vals[gate.output.index()] = gate.kind.eval(&ins);
         }
-        net.latches().iter().map(|l| vals[l.input.index()]).collect()
+        net.latches()
+            .iter()
+            .map(|l| vals[l.input.index()])
+            .collect()
     }
 
     #[test]
@@ -304,8 +333,11 @@ mod tests {
     #[test]
     fn variable_pairs_are_adjacent() {
         let net = generators::johnson(5);
-        for h in [OrderHeuristic::DfsFanin, OrderHeuristic::Declaration, OrderHeuristic::Random(3)]
-        {
+        for h in [
+            OrderHeuristic::DfsFanin,
+            OrderHeuristic::Declaration,
+            OrderHeuristic::Random(3),
+        ] {
             let (_, fsm) = EncodedFsm::encode(&net, h).unwrap();
             #[allow(clippy::needless_range_loop)]
             for l in 0..fsm.num_latches() {
@@ -321,7 +353,10 @@ mod tests {
         let (_, fsm) = EncodedFsm::encode(&net, OrderHeuristic::Random(9)).unwrap();
         let space = fsm.space();
         for w in space.vars().windows(2) {
-            assert!(w[0].0 < w[1].0, "component order must follow variable order");
+            assert!(
+                w[0].0 < w[1].0,
+                "component order must follow variable order"
+            );
         }
         // next_space mirrors it one level down.
         let nspace = fsm.next_space();
@@ -349,6 +384,9 @@ mod tests {
         // ov = en ∧ c0 ∧ c1 ∧ c2: exactly one satisfying assignment over
         // the 4 relevant variables.
         let ov = fsm.output_fns()[0];
-        assert_eq!(m.sat_count(ov, m.num_vars()) as u64, 1 << (m.num_vars() - 4));
+        assert_eq!(
+            m.sat_count(ov, m.num_vars()) as u64,
+            1 << (m.num_vars() - 4)
+        );
     }
 }

@@ -92,8 +92,12 @@ fn dfs_fanin(net: &Netlist) -> Vec<Slot> {
         .enumerate()
         .map(|(i, l)| (l.output, i))
         .collect();
-    let input_of: std::collections::HashMap<SignalId, usize> =
-        net.inputs().iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let input_of: std::collections::HashMap<SignalId, usize> = net
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i))
+        .collect();
     // Roots: primary outputs first, then latch next-state functions, so
     // the traversal eventually covers every slot.
     let mut roots: Vec<SignalId> = net.outputs().to_vec();
@@ -152,8 +156,11 @@ mod tests {
 
     #[test]
     fn all_heuristics_produce_complete_orders() {
-        let nets =
-            [generators::counter(5), generators::paired_registers(3), generators::queue_controller(2)];
+        let nets = [
+            generators::counter(5),
+            generators::paired_registers(3),
+            generators::queue_controller(2),
+        ];
         for net in &nets {
             for h in [
                 OrderHeuristic::DfsFanin,

@@ -22,7 +22,11 @@ use crate::encode::EncodedFsm;
 /// # Errors
 ///
 /// Fails on BDD resource-limit exhaustion.
-pub fn simulate_image(m: &mut BddManager, fsm: &EncodedFsm, reached: &Bfv) -> Result<Bfv, BfvError> {
+pub fn simulate_image(
+    m: &mut BddManager,
+    fsm: &EncodedFsm,
+    reached: &Bfv,
+) -> Result<Bfv, BfvError> {
     simulate_image_with(m, fsm, reached, Schedule::DynamicSupport)
 }
 
@@ -106,9 +110,16 @@ mod tests {
         let mut cur = init.as_bfv().unwrap().clone();
         for step in 1..=4u64 {
             cur = simulate_image(&mut m, &fsm, &cur).unwrap();
-            assert!(cur.is_canonical(&mut m, &space).unwrap(), "step {step} not canonical");
+            assert!(
+                cur.is_canonical(&mut m, &space).unwrap(),
+                "step {step} not canonical"
+            );
             let s = StateSet::NonEmpty(cur.clone());
-            assert_eq!(s.len(&mut m, &space).unwrap() as u64, step + 1, "step {step}");
+            assert_eq!(
+                s.len(&mut m, &space).unwrap() as u64,
+                step + 1,
+                "step {step}"
+            );
         }
     }
 
@@ -133,14 +144,18 @@ mod tests {
         quant_vars.extend(fsm.input_vars());
         let cube = m.cube_from_vars(&quant_vars).unwrap();
         let mut cur = init.as_bfv().unwrap().clone();
-        let mut chi = StateSet::NonEmpty(cur.clone()).to_characteristic(&mut m, &space).unwrap();
+        let mut chi = StateSet::NonEmpty(cur.clone())
+            .to_characteristic(&mut m, &space)
+            .unwrap();
         for step in 0..3 {
             // Oracle image.
             let img = m.and_exists(t, chi, cube).unwrap();
             let img_v = m.swap_vars(img, &fsm.swap_pairs()).unwrap();
             // Symbolic simulation image.
             cur = simulate_image(&mut m, &fsm, &cur).unwrap();
-            let got = StateSet::NonEmpty(cur.clone()).to_characteristic(&mut m, &space).unwrap();
+            let got = StateSet::NonEmpty(cur.clone())
+                .to_characteristic(&mut m, &space)
+                .unwrap();
             assert_eq!(got, img_v, "image mismatch at step {step}");
             chi = img_v;
         }

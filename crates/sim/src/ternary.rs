@@ -26,11 +26,20 @@ pub struct TernValue {
 
 impl TernValue {
     /// The constant 1.
-    pub const ONE: TernValue = TernValue { hi: Bdd::TRUE, lo: Bdd::FALSE };
+    pub const ONE: TernValue = TernValue {
+        hi: Bdd::TRUE,
+        lo: Bdd::FALSE,
+    };
     /// The constant 0.
-    pub const ZERO: TernValue = TernValue { hi: Bdd::FALSE, lo: Bdd::TRUE };
+    pub const ZERO: TernValue = TernValue {
+        hi: Bdd::FALSE,
+        lo: Bdd::TRUE,
+    };
     /// The unknown X.
-    pub const X: TernValue = TernValue { hi: Bdd::FALSE, lo: Bdd::FALSE };
+    pub const X: TernValue = TernValue {
+        hi: Bdd::FALSE,
+        lo: Bdd::FALSE,
+    };
 
     /// A two-valued (fully determined) symbolic value: 1 exactly where
     /// `f` holds.
@@ -39,7 +48,10 @@ impl TernValue {
     ///
     /// Fails on BDD resource exhaustion.
     pub fn from_boolean(m: &mut BddManager, f: Bdd) -> Result<Self, bfvr_bdd::BddError> {
-        Ok(TernValue { hi: f, lo: m.not(f)? })
+        Ok(TernValue {
+            hi: f,
+            lo: m.not(f),
+        })
     }
 
     /// Whether the value is definite (never X) for every assignment.
@@ -93,7 +105,13 @@ impl<'n> TernarySimulator<'n> {
         self.net
             .latches()
             .iter()
-            .map(|l| if l.init { TernValue::ONE } else { TernValue::ZERO })
+            .map(|l| {
+                if l.init {
+                    TernValue::ONE
+                } else {
+                    TernValue::ZERO
+                }
+            })
             .collect()
     }
 
@@ -112,8 +130,16 @@ impl<'n> TernarySimulator<'n> {
         state: &[TernValue],
         inputs: &[TernValue],
     ) -> Result<(Vec<TernValue>, Vec<TernValue>), bfvr_bdd::BddError> {
-        assert_eq!(state.len(), self.net.latches().len(), "state width mismatch");
-        assert_eq!(inputs.len(), self.net.inputs().len(), "input width mismatch");
+        assert_eq!(
+            state.len(),
+            self.net.latches().len(),
+            "state width mismatch"
+        );
+        assert_eq!(
+            inputs.len(),
+            self.net.inputs().len(),
+            "input width mismatch"
+        );
         let mut vals = vec![TernValue::X; self.net.num_signals()];
         for (i, &s) in self.net.inputs().iter().enumerate() {
             vals[s.index()] = inputs[i];
@@ -123,13 +149,21 @@ impl<'n> TernarySimulator<'n> {
         }
         for &g in &self.order {
             let gate = &self.net.gates()[g];
-            let ins: Vec<TernValue> =
-                gate.inputs.iter().map(|&x| vals[x.index()]).collect();
+            let ins: Vec<TernValue> = gate.inputs.iter().map(|&x| vals[x.index()]).collect();
             vals[gate.output.index()] = eval_gate(m, &gate.kind, &ins)?;
         }
-        let next =
-            self.net.latches().iter().map(|l| vals[l.input.index()]).collect();
-        let outs = self.net.outputs().iter().map(|&o| vals[o.index()]).collect();
+        let next = self
+            .net
+            .latches()
+            .iter()
+            .map(|l| vals[l.input.index()])
+            .collect();
+        let outs = self
+            .net
+            .outputs()
+            .iter()
+            .map(|&o| vals[o.index()])
+            .collect();
         Ok((next, outs))
     }
 }
@@ -140,16 +174,23 @@ fn eval_gate(
     kind: &GateKind,
     ins: &[TernValue],
 ) -> Result<TernValue, bfvr_bdd::BddError> {
-    let and_all = |m: &mut BddManager, ins: &[TernValue]| -> Result<TernValue, bfvr_bdd::BddError> {
-        // 1 iff all definitely 1; 0 iff any definitely 0.
-        let his: Vec<Bdd> = ins.iter().map(|v| v.hi).collect();
-        let los: Vec<Bdd> = ins.iter().map(|v| v.lo).collect();
-        Ok(TernValue { hi: m.and_all(&his)?, lo: m.or_all(&los)? })
-    };
+    let and_all =
+        |m: &mut BddManager, ins: &[TernValue]| -> Result<TernValue, bfvr_bdd::BddError> {
+            // 1 iff all definitely 1; 0 iff any definitely 0.
+            let his: Vec<Bdd> = ins.iter().map(|v| v.hi).collect();
+            let los: Vec<Bdd> = ins.iter().map(|v| v.lo).collect();
+            Ok(TernValue {
+                hi: m.and_all(&his)?,
+                lo: m.or_all(&los)?,
+            })
+        };
     let or_all = |m: &mut BddManager, ins: &[TernValue]| -> Result<TernValue, bfvr_bdd::BddError> {
         let his: Vec<Bdd> = ins.iter().map(|v| v.hi).collect();
         let los: Vec<Bdd> = ins.iter().map(|v| v.lo).collect();
-        Ok(TernValue { hi: m.or_all(&his)?, lo: m.and_all(&los)? })
+        Ok(TernValue {
+            hi: m.or_all(&his)?,
+            lo: m.and_all(&los)?,
+        })
     };
     let invert = |v: TernValue| TernValue { hi: v.lo, lo: v.hi };
     Ok(match kind {
@@ -168,7 +209,10 @@ fn eval_gate(
                 let lh = m.and(acc.lo, v.hi)?;
                 let hh = m.and(acc.hi, v.hi)?;
                 let ll = m.and(acc.lo, v.lo)?;
-                acc = TernValue { hi: m.or(hl, lh)?, lo: m.or(hh, ll)? };
+                acc = TernValue {
+                    hi: m.or(hl, lh)?,
+                    lo: m.or(hh, ll)?,
+                };
             }
             if matches!(kind, GateKind::Xnor) {
                 invert(acc)
@@ -202,7 +246,10 @@ fn eval_gate(
                 any_hi = m.or(any_hi, row_hi)?;
                 all_lo = m.and(all_lo, row_lo)?;
             }
-            TernValue { hi: any_hi, lo: all_lo }
+            TernValue {
+                hi: any_hi,
+                lo: all_lo,
+            }
         }
     })
 }
@@ -290,7 +337,13 @@ mod tests {
         let (x_next, x_outs) = sim.step(&mut m, &state, &x_inputs).unwrap();
         for bits in 0u8..16 {
             let conc: Vec<TernValue> = (0..4)
-                .map(|i| if bits >> i & 1 == 1 { TernValue::ONE } else { TernValue::ZERO })
+                .map(|i| {
+                    if bits >> i & 1 == 1 {
+                        TernValue::ONE
+                    } else {
+                        TernValue::ZERO
+                    }
+                })
                 .collect();
             let (c_next, c_outs) = sim.step(&mut m, &state, &conc).unwrap();
             for (x, c) in x_next.iter().zip(&c_next).chain(x_outs.iter().zip(&c_outs)) {

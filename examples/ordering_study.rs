@@ -32,12 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let (mut m, fsm) = EncodedFsm::encode_with_slots(&net, &slots)?;
             let r = reach_bfv(&mut m, &fsm, &ReachOptions::default());
             let space = fsm.space();
-            let set = StateSet::from_characteristic(
-                &mut m,
-                &space,
-                r.reached_chi.expect("traversal completed"),
-            )?;
-            let chi_nodes = m.size(r.reached_chi.unwrap());
+            let chi = r.reached_chi.expect("traversal completed").bdd();
+            let set = StateSet::from_characteristic(&mut m, &space, chi)?;
+            let chi_nodes = m.size(chi);
             let bfv_nodes = set.as_bfv().expect("non-empty").shared_size(&m);
             println!("{p:5} |  {label:10} {chi_nodes:8}   {bfv_nodes:8}");
         }

@@ -30,8 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The paper's running example: S = {000,001,010,011,100,101},
     // i.e. "the first two bits cannot both be 1".
-    let points: Vec<Vec<bool>> =
-        ["000", "001", "010", "011", "100", "101"].iter().map(|s| bits(s)).collect();
+    let points: Vec<Vec<bool>> = ["000", "001", "010", "011", "100", "101"]
+        .iter()
+        .map(|s| bits(s))
+        .collect();
     let s = StateSet::from_points(&mut m, &space, &points)?;
 
     println!("S = {}", show(&s, &mut m, &space));
@@ -48,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let image = f.eval(&m, &space, &bits("110"))?;
     println!(
         "F(110) = {}",
-        image.iter().map(|&b| if b { '1' } else { '0' }).collect::<String>()
+        image
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect::<String>()
     );
 
     // Set algebra without ever building a characteristic function:

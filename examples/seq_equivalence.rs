@@ -24,14 +24,20 @@ fn complemented_shift_register(n: u32) -> Netlist {
     let mut b = NetlistBuilder::new(format!("nshift{n}"));
     b.input("d").expect("fresh");
     for i in 0..n {
-        b.latch(format!("s{i}"), format!("ns{i}"), true).expect("fresh");
+        b.latch(format!("s{i}"), format!("ns{i}"), true)
+            .expect("fresh");
     }
     b.gate("ns0", GateKind::Not, &["d"]).expect("fresh");
     for i in 1..n {
-        b.gate(format!("ns{i}"), GateKind::Buf, &[format!("s{}", i - 1).as_str()])
-            .expect("fresh");
+        b.gate(
+            format!("ns{i}"),
+            GateKind::Buf,
+            &[format!("s{}", i - 1).as_str()],
+        )
+        .expect("fresh");
     }
-    b.gate("serout", GateKind::Not, &[format!("s{}", n - 1).as_str()]).expect("fresh");
+    b.gate("serout", GateKind::Not, &[format!("s{}", n - 1).as_str()])
+        .expect("fresh");
     b.output("serout");
     b.finish().expect("valid by construction")
 }
@@ -47,7 +53,7 @@ fn check_equivalence(a: &Netlist, b: &Netlist) -> Result<bool, Box<dyn std::erro
     let reached = bfvr::bfv::StateSet::from_characteristic(
         &mut m,
         &space,
-        r.reached_chi.expect("completed"),
+        r.reached_chi.expect("completed").bdd(),
     )?;
     let outs = simulate_outputs(&mut m, &fsm, reached.as_bfv().expect("non-empty"))?;
     println!(
@@ -65,7 +71,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = generators::shift_register(n);
     let b = complemented_shift_register(n);
     let equivalent = check_equivalence(&a, &b)?;
-    println!("  => {}", if equivalent { "EQUIVALENT" } else { "NOT equivalent" });
+    println!(
+        "  => {}",
+        if equivalent {
+            "EQUIVALENT"
+        } else {
+            "NOT equivalent"
+        }
+    );
     assert!(equivalent);
 
     println!();
@@ -78,13 +91,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     buggy.gate("ns0", GateKind::Buf, &["d"])?;
     for i in 1..n {
         let src = if i == 3 { 1 } else { i - 1 }; // the bug
-        buggy.gate(format!("ns{i}"), GateKind::Buf, &[format!("s{src}").as_str()])?;
+        buggy.gate(
+            format!("ns{i}"),
+            GateKind::Buf,
+            &[format!("s{src}").as_str()],
+        )?;
     }
     buggy.gate("serout", GateKind::Buf, &[format!("s{}", n - 1).as_str()])?;
     buggy.output("serout");
     let buggy = buggy.finish()?;
     let equivalent = check_equivalence(&a, &buggy)?;
-    println!("  => {}", if equivalent { "EQUIVALENT" } else { "NOT equivalent" });
+    println!(
+        "  => {}",
+        if equivalent {
+            "EQUIVALENT"
+        } else {
+            "NOT equivalent"
+        }
+    );
     assert!(!equivalent);
     println!();
     println!("both verdicts match expectation");

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "output rails     : hi = {}, lo = {}",
         if final_out.hi == d { "d" } else { "?" },
         {
-            let nd = m.not(d)?;
+            let nd = m.not(d);
             if final_out.lo == nd {
                 "¬d"
             } else {

@@ -116,8 +116,7 @@ fn cmd_stats(net: &Netlist) -> Result<(), String> {
     println!("{}: {}", net.name(), net.stats());
     let levels = bfvr::netlist::topo::levels(net).map_err(|e| e.to_string())?;
     println!("logic depth: {}", levels.iter().max().copied().unwrap_or(0));
-    let (latches, inputs) =
-        bfvr::netlist::topo::cone_of_influence(net, net.outputs());
+    let (latches, inputs) = bfvr::netlist::topo::cone_of_influence(net, net.outputs());
     println!(
         "cone of influence of the outputs: {} of {} latches, {} of {} inputs",
         latches.len(),
@@ -145,9 +144,9 @@ fn parse_order(args: &[String]) -> Result<OrderHeuristic, String> {
         None | Some("s1") => OrderHeuristic::DfsFanin,
         Some("s2") => OrderHeuristic::Declaration,
         Some("d") => OrderHeuristic::Reversed,
-        Some(o) if o.starts_with("o:") => OrderHeuristic::Random(
-            o[2..].parse().map_err(|e| format!("bad order seed: {e}"))?,
-        ),
+        Some(o) if o.starts_with("o:") => {
+            OrderHeuristic::Random(o[2..].parse().map_err(|e| format!("bad order seed: {e}"))?)
+        }
         Some(other) => return Err(format!("unknown order `{other}`")),
     })
 }
@@ -195,8 +194,8 @@ fn cmd_reach(args: &[String]) -> Result<(), String> {
             r.peak_nodes
         );
         if dump {
-            if let Some(chi) = r.reached_chi {
-                let cubes = m.isop(chi).map_err(|e| e.to_string())?;
+            if let Some(chi) = &r.reached_chi {
+                let cubes = m.isop(chi.bdd()).map_err(|e| e.to_string())?;
                 // Column per latch, in declaration order.
                 let mut comp_of_var = std::collections::HashMap::new();
                 for c in 0..fsm.num_latches() {
@@ -220,10 +219,7 @@ fn cmd_reach(args: &[String]) -> Result<(), String> {
 
 /// Parses a latch-order cube string (`1`, `0`, `x`/`-`) into component
 /// order for the given encoding.
-fn parse_cube(
-    cube: &str,
-    fsm: &EncodedFsm,
-) -> Result<Vec<Option<bool>>, String> {
+fn parse_cube(cube: &str, fsm: &EncodedFsm) -> Result<Vec<Option<bool>>, String> {
     let bits: Vec<Option<bool>> = cube
         .chars()
         .map(|c| match c {
@@ -240,7 +236,9 @@ fn parse_cube(
             fsm.num_latches()
         ));
     }
-    Ok((0..fsm.num_latches()).map(|c| bits[fsm.latch_of_component(c)]).collect())
+    Ok((0..fsm.num_latches())
+        .map(|c| bits[fsm.latch_of_component(c)])
+        .collect())
 }
 
 fn cmd_check(args: &[String]) -> Result<(), String> {
@@ -280,9 +278,11 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         }
         Some(trace) => {
             println!("reached {cube} in {} steps:", trace.depth());
-            let input_names: Vec<&str> =
-                net.inputs().iter().map(|&s| net.signal_name(s)).collect();
-            println!("  state {}", bits_str(&to_latch_order(&fsm, &trace.states[0])));
+            let input_names: Vec<&str> = net.inputs().iter().map(|&s| net.signal_name(s)).collect();
+            println!(
+                "  state {}",
+                bits_str(&to_latch_order(&fsm, &trace.states[0]))
+            );
             for (i, inp) in trace.inputs.iter().enumerate() {
                 let pairs: Vec<String> = input_names
                     .iter()
@@ -290,7 +290,10 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
                     .map(|(n, &b)| format!("{n}={}", u8::from(b)))
                     .collect();
                 println!("  step {:3}: {}", i + 1, pairs.join(" "));
-                println!("  state {}", bits_str(&to_latch_order(&fsm, &trace.states[i + 1])));
+                println!(
+                    "  state {}",
+                    bits_str(&to_latch_order(&fsm, &trace.states[i + 1]))
+                );
             }
         }
     }
@@ -310,5 +313,8 @@ fn bits_str(bits: &[bool]) -> String {
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }

@@ -60,8 +60,11 @@ fn convert_roundtrip_through_files() {
     assert!(to_blif.status.success());
     std::fs::write(&blif_path, stdout(&to_blif)).unwrap();
     let back = bfvr(&["convert", blif_path.to_str().unwrap(), "--to", "bench"]);
-    assert!(back.status.success(), "blif did not convert back: {}",
-        String::from_utf8_lossy(&back.stderr));
+    assert!(
+        back.status.success(),
+        "blif did not convert back: {}",
+        String::from_utf8_lossy(&back.stderr)
+    );
     let net = bfvr::netlist::bench::parse(&stdout(&back)).expect("round trip parses");
     assert_eq!(net.latches().len(), 5);
 }
@@ -119,8 +122,10 @@ fn dump_reached_prints_cubes() {
     let out = stdout(&o);
     assert!(out.contains("one cube per line"));
     // The 8 Johnson codes pack into exactly 4 cubes.
-    let cubes: Vec<&str> =
-        out.lines().filter(|l| l.trim_start().chars().all(|c| "01-".contains(c)) && !l.trim().is_empty()).collect();
+    let cubes: Vec<&str> = out
+        .lines()
+        .filter(|l| l.trim_start().chars().all(|c| "01-".contains(c)) && !l.trim().is_empty())
+        .collect();
     assert_eq!(cubes.len(), 4, "{out}");
 }
 

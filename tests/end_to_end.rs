@@ -79,7 +79,10 @@ fn reachability_is_order_independent() {
         assert_eq!(r.outcome, Outcome::FixedPoint);
         counts.push(r.reached_states.unwrap());
     }
-    assert!(counts.windows(2).all(|w| w[0] == w[1]), "counts: {counts:?}");
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "counts: {counts:?}"
+    );
 }
 
 /// Explicit-state baseline: breadth-first search with a concrete
@@ -106,11 +109,13 @@ fn explicit_bfs_confirms_symbolic_counts() {
             }
             for &g in &order {
                 let gate = &net.gates()[g];
-                let ins: Vec<bool> =
-                    gate.inputs.iter().map(|&x| vals[x.index()]).collect();
+                let ins: Vec<bool> = gate.inputs.iter().map(|&x| vals[x.index()]).collect();
                 vals[gate.output.index()] = gate.kind.eval(&ins);
             }
-            net.latches().iter().map(|l| vals[l.input.index()]).collect()
+            net.latches()
+                .iter()
+                .map(|l| vals[l.input.index()])
+                .collect()
         };
         let mut seen: HashSet<Vec<bool>> = HashSet::new();
         let mut queue = VecDeque::new();

@@ -1,10 +1,38 @@
 //! Algebraic-law property tests for the public set API, across crates.
+//!
+//! Deterministic xorshift generation keeps the suite dependency-free; a
+//! failing case is reproducible from the printed case number.
 
 use bfvr::bdd::BddManager;
 use bfvr::bfv::{Space, StateSet};
-use proptest::prelude::*;
 
 const N: usize = 4;
+const CASES: u64 = 96;
+
+/// xorshift64* — deterministic, seedable, no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn for_cases(seed: u64, mut check: impl FnMut(u64, &mut Rng)) {
+    let mut rng = Rng::new(seed);
+    for case in 0..CASES {
+        check(case, &mut rng);
+    }
+}
 
 fn set_from_mask(m: &mut BddManager, space: &Space, mask: u16) -> StateSet {
     let points: Vec<Vec<bool>> = (0..16u16)
@@ -17,17 +45,20 @@ fn set_from_mask(m: &mut BddManager, space: &Space, mask: u16) -> StateSet {
 fn mask_of(m: &mut BddManager, space: &Space, s: &StateSet) -> u16 {
     let mut mask = 0u16;
     for mem in s.members(m, space).expect("members enumerable") {
-        let p: u16 = mem.iter().enumerate().map(|(i, &b)| (b as u16) << (N - 1 - i)).sum();
+        let p: u16 = mem
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b as u16) << (N - 1 - i))
+            .sum();
         mask |= 1 << p;
     }
     mask
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn boolean_algebra_laws(a: u16, b: u16, c: u16) {
+#[test]
+fn boolean_algebra_laws() {
+    for_cases(0x5E71, |case, rng| {
+        let (a, b, c) = (rng.next() as u16, rng.next() as u16, rng.next() as u16);
         let mut m = BddManager::new(N as u32);
         let space = Space::contiguous(N as u32);
         let sa = set_from_mask(&mut m, &space, a);
@@ -35,41 +66,59 @@ proptest! {
         let sc = set_from_mask(&mut m, &space, c);
         // Union/intersection against bitmask arithmetic.
         let u = sa.union(&mut m, &space, &sb).unwrap();
-        prop_assert_eq!(mask_of(&mut m, &space, &u), a | b);
+        assert_eq!(mask_of(&mut m, &space, &u), a | b, "case {case}");
         let i = sa.intersect(&mut m, &space, &sb).unwrap();
-        prop_assert_eq!(mask_of(&mut m, &space, &i), a & b);
+        assert_eq!(mask_of(&mut m, &space, &i), a & b, "case {case}");
         // Distributivity: a ∩ (b ∪ c) = (a∩b) ∪ (a∩c).
         let bc = sb.union(&mut m, &space, &sc).unwrap();
         let lhs = sa.intersect(&mut m, &space, &bc).unwrap();
         let ab = sa.intersect(&mut m, &space, &sb).unwrap();
         let ac = sa.intersect(&mut m, &space, &sc).unwrap();
         let rhs = ab.union(&mut m, &space, &ac).unwrap();
-        prop_assert_eq!(mask_of(&mut m, &space, &lhs), mask_of(&mut m, &space, &rhs));
+        assert_eq!(
+            mask_of(&mut m, &space, &lhs),
+            mask_of(&mut m, &space, &rhs),
+            "case {case}"
+        );
         // Canonicity: equal masks ⇒ identical representations.
-        prop_assert_eq!(lhs == rhs, true);
+        assert_eq!(lhs, rhs, "case {case}");
         // Absorption: a ∪ (a ∩ b) = a.
         let absorbed = sa.union(&mut m, &space, &ab).unwrap();
-        prop_assert_eq!(absorbed, sa);
-    }
+        assert_eq!(absorbed, sa, "case {case}");
+    });
+}
 
-    #[test]
-    fn counting_and_membership_consistent(a: u16) {
+#[test]
+fn counting_and_membership_consistent() {
+    for_cases(0x5E72, |case, rng| {
+        let a = rng.next() as u16;
         let mut m = BddManager::new(N as u32);
         let space = Space::contiguous(N as u32);
         let s = set_from_mask(&mut m, &space, a);
-        prop_assert_eq!(s.len(&mut m, &space).unwrap(), u128::from(a.count_ones()));
+        assert_eq!(
+            s.len(&mut m, &space).unwrap(),
+            u128::from(a.count_ones()),
+            "case {case}"
+        );
         for p in 0..16u16 {
             let point: Vec<bool> = (0..N).map(|i| (p >> (N - 1 - i)) & 1 == 1).collect();
-            prop_assert_eq!(
+            assert_eq!(
                 s.contains(&m, &space, &point).unwrap(),
                 a & (1 << p) != 0,
-                "point {:04b}", p
+                "case {case}: point {p:04b}"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn complement_partitions_the_universe(a in 1u16..u16::MAX) {
+#[test]
+fn complement_partitions_the_universe() {
+    for_cases(0x5E73, |case, rng| {
+        let a = match rng.next() as u16 {
+            0 => 1,
+            u16::MAX => u16::MAX - 1,
+            x => x,
+        };
         let mut m = BddManager::new(N as u32);
         let space = Space::contiguous(N as u32);
         let s = set_from_mask(&mut m, &space, a);
@@ -78,8 +127,8 @@ proptest! {
             .unwrap()
             .expect("a < MAX so the complement is non-empty");
         let cs = StateSet::NonEmpty(comp);
-        prop_assert!(s.is_disjoint(&mut m, &space, &cs).unwrap());
+        assert!(s.is_disjoint(&mut m, &space, &cs).unwrap(), "case {case}");
         let u = s.union(&mut m, &space, &cs).unwrap();
-        prop_assert_eq!(u.len(&mut m, &space).unwrap(), 16);
-    }
+        assert_eq!(u.len(&mut m, &space).unwrap(), 16, "case {case}");
+    });
 }

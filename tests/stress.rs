@@ -32,15 +32,19 @@ fn interleaved_engines_share_a_manager() {
                 1 => reach_monolithic(&mut m, &fsm, &ReachOptions::default()),
                 _ => reach_iwls95(&mut m, &fsm, &ReachOptions::default()),
             };
-            assert_eq!(r.outcome, Outcome::FixedPoint, "round {round} engine {which}");
+            assert_eq!(
+                r.outcome,
+                Outcome::FixedPoint,
+                "round {round} engine {which}"
+            );
             results.push(r);
-            // Aggressive collection between runs (results are protected).
+            // Aggressive collection between runs (results hold RAII roots).
             m.collect_garbage(&[]);
         }
     }
-    let first = results[0].reached_chi.unwrap();
+    let first = results[0].reached_chi.clone().unwrap();
     for (i, r) in results.iter().enumerate() {
-        assert_eq!(r.reached_chi, Some(first), "result {i} diverged");
+        assert_eq!(r.reached_chi.as_ref(), Some(&first), "result {i} diverged");
         assert_eq!(r.reached_states, Some(16.0));
     }
 }
@@ -57,9 +61,16 @@ fn memout_recovery_is_clean() {
         let r = reach_bfv(
             &mut m,
             &fsm,
-            &ReachOptions { node_limit: Some(limit), ..Default::default() },
+            &ReachOptions {
+                node_limit: Some(limit),
+                ..Default::default()
+            },
         );
-        assert_eq!(r.outcome, Outcome::MemOut, "budget {budget} unexpectedly sufficed");
+        assert_eq!(
+            r.outcome,
+            Outcome::MemOut,
+            "budget {budget} unexpectedly sufficed"
+        );
         m.collect_garbage(&[]);
     }
     let ok = reach_bfv(&mut m, &fsm, &ReachOptions::default());
