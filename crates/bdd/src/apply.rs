@@ -18,8 +18,14 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Fails on resource-limit exhaustion ([`crate::BddError`]).
+    /// Fails on resource-limit exhaustion ([`crate::BddError`]) — after a
+    /// reclaim-before-fail pass if the node limit was the cause.
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Result<Bdd> {
+        self.recover(&[f, g, h], |m| m.ite_rec(f, g, h))
+    }
+
+    /// The memoized ITE recursion behind every connective.
+    fn ite_rec(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Result<Bdd> {
         // Terminal cases.
         if f.is_true() || g == h {
             return Ok(g);
@@ -71,8 +77,8 @@ impl BddManager {
         let (f0, f1) = self.cofactors_at(f, lvl);
         let (g0, g1) = self.cofactors_at(g, lvl);
         let (h0, h1) = self.cofactors_at(h, lvl);
-        let t = self.ite(f1, g1, h1)?;
-        let e = self.ite(f0, g0, h0)?;
+        let t = self.ite_rec(f1, g1, h1)?;
+        let e = self.ite_rec(f0, g0, h0)?;
         let r = self.mk(lvl, e, t)?;
         let limit = self.caches.limit;
         self.caches.ite.put(key, r, limit);

@@ -118,12 +118,29 @@ impl Arena {
     }
 
     /// Whether slot `idx` currently holds a live node.
-    #[cfg(test)]
     #[inline]
     pub fn is_live_slot(&self, idx: u32) -> bool {
         (idx as usize) < self.nodes.len() && self.nodes[idx as usize].var != FREE_LEVEL
     }
+
+    /// Head of the intrusive free list (`u32::MAX` when empty); the chain
+    /// continues through each free slot's `lo` field. For the invariant
+    /// validator.
+    #[inline]
+    pub fn free_head(&self) -> u32 {
+        self.free_head
+    }
+
+    /// Number of slots on the free list. For the invariant validator.
+    #[inline]
+    pub fn free_slots(&self) -> usize {
+        self.free_count
+    }
 }
+
+/// Sentinel for "no next entry" in the free list, exposed to the
+/// manager's invariant validator.
+pub(crate) const FREE_LIST_END: u32 = FREE_END;
 
 #[cfg(test)]
 mod tests {

@@ -24,8 +24,12 @@ impl BddManager {
     /// Panics if `v` is outside the manager's variable range.
     pub fn cofactor(&mut self, f: Bdd, v: Var, val: bool) -> Result<Bdd> {
         assert!(v.0 < self.num_vars(), "variable {v} out of range");
-        let mut memo = FxHashMap::default();
-        self.cofactor_rec(f, v.0, val, &mut memo)
+        // The memo lives inside the closure so a reclaim-and-retry starts
+        // from a clean table (stale entries would reference freed slots).
+        self.recover(&[f], |m| {
+            let mut memo = FxHashMap::default();
+            m.cofactor_rec(f, v.0, val, &mut memo)
+        })
     }
 
     fn cofactor_rec(
@@ -90,8 +94,12 @@ impl BddManager {
             "substitution map must cover all {} variables",
             self.num_vars()
         );
-        let mut memo = FxHashMap::default();
-        self.vcompose_rec(f, map, &mut memo)
+        let mut roots: Vec<Bdd> = vec![f];
+        roots.extend(map.iter().flatten().copied());
+        self.recover(&roots, |m| {
+            let mut memo = FxHashMap::default();
+            m.vcompose_rec(f, map, &mut memo)
+        })
     }
 
     fn vcompose_rec(

@@ -45,6 +45,11 @@ impl BddManager {
     /// undefined for an empty care set).
     pub fn constrain(&mut self, f: Bdd, c: Bdd) -> Result<Bdd> {
         assert!(!c.is_false(), "constrain by empty care set");
+        self.recover(&[f, c], |m| m.constrain_rec(f, c))
+    }
+
+    /// The memoized recursion behind [`BddManager::constrain`].
+    fn constrain_rec(&mut self, f: Bdd, c: Bdd) -> Result<Bdd> {
         if c.is_true() || f.is_const() {
             return Ok(f);
         }
@@ -56,7 +61,7 @@ impl BddManager {
         }
         // Normalize: constrain(¬f, c) = ¬constrain(f, c).
         if f.is_complemented() {
-            let r = self.constrain(f.complement(), c)?;
+            let r = self.constrain_rec(f.complement(), c)?;
             return Ok(r.complement());
         }
         let key = (f.0, c.0, 0);
@@ -67,12 +72,12 @@ impl BddManager {
         let (c0, c1) = self.cofactors_at(c, lvl);
         let (f0, f1) = self.cofactors_at(f, lvl);
         let r = if c1.is_false() {
-            self.constrain(f0, c0)?
+            self.constrain_rec(f0, c0)?
         } else if c0.is_false() {
-            self.constrain(f1, c1)?
+            self.constrain_rec(f1, c1)?
         } else {
-            let r0 = self.constrain(f0, c0)?;
-            let r1 = self.constrain(f1, c1)?;
+            let r0 = self.constrain_rec(f0, c0)?;
+            let r1 = self.constrain_rec(f1, c1)?;
             self.mk(lvl, r0, r1)?
         };
         let limit = self.caches.limit;
@@ -97,6 +102,11 @@ impl BddManager {
     /// Panics if `c` is the constant ⊥.
     pub fn restrict(&mut self, f: Bdd, c: Bdd) -> Result<Bdd> {
         assert!(!c.is_false(), "restrict by empty care set");
+        self.recover(&[f, c], |m| m.restrict_rec(f, c))
+    }
+
+    /// The memoized recursion behind [`BddManager::restrict`].
+    fn restrict_rec(&mut self, f: Bdd, c: Bdd) -> Result<Bdd> {
         if c.is_true() || f.is_const() {
             return Ok(f);
         }
@@ -108,7 +118,7 @@ impl BddManager {
         }
         // Normalize: restrict(¬f, c) = ¬restrict(f, c).
         if f.is_complemented() {
-            let r = self.restrict(f.complement(), c)?;
+            let r = self.restrict_rec(f.complement(), c)?;
             return Ok(r.complement());
         }
         let key = (f.0, c.0, 0);
@@ -122,19 +132,19 @@ impl BddManager {
             let c0 = self.low(c);
             let c1 = self.high(c);
             let smoothed = self.or(c0, c1)?;
-            self.restrict(f, smoothed)?
+            self.restrict_rec(f, smoothed)?
         } else {
             let lvl = lvl_f;
             let (c0, c1) = self.cofactors_at(c, lvl);
             let f0 = self.low(f);
             let f1 = self.high(f);
             if c1.is_false() {
-                self.restrict(f0, c0)?
+                self.restrict_rec(f0, c0)?
             } else if c0.is_false() {
-                self.restrict(f1, c1)?
+                self.restrict_rec(f1, c1)?
             } else {
-                let r0 = self.restrict(f0, c0)?;
-                let r1 = self.restrict(f1, c1)?;
+                let r0 = self.restrict_rec(f0, c0)?;
+                let r1 = self.restrict_rec(f1, c1)?;
                 self.mk(lvl, r0, r1)?
             }
         };

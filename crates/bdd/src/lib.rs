@@ -71,6 +71,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod apply;
 mod arena;
@@ -80,6 +82,7 @@ mod constrain;
 mod dot;
 mod error;
 mod explore;
+mod fault;
 mod func;
 pub mod hash;
 mod isop;
@@ -92,6 +95,7 @@ mod unique;
 pub use cache::CacheStats;
 pub use error::BddError;
 pub use explore::{CubeIter, Support};
+pub use fault::{FaultKind, FaultPlan};
 pub use func::Func;
 pub use isop::Cube;
 pub use manager::{BddManager, GcStats, ManagerStats};

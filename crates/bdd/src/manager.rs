@@ -13,16 +13,17 @@
 //!   the per-variable literal nodes, and the refcounts held by live
 //!   [`Func`] handles.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::time::Instant;
 
-use crate::arena::Arena;
+use crate::arena::{Arena, FREE_LIST_END};
 use crate::cache::{CacheStats, Caches};
 use crate::error::BddError;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::func::{Func, RootTable};
 use crate::hash::FxHashMap;
-use crate::node::{Bdd, Node, Var};
+use crate::node::{Bdd, Node, Var, FREE_LEVEL, TERMINAL_LEVEL};
 use crate::unique::UniqueTable;
 use crate::Result;
 
@@ -46,6 +47,11 @@ pub struct ManagerStats {
     pub gc_runs: u64,
     /// Nodes reclaimed across all garbage collections.
     pub gc_reclaimed: u64,
+    /// Reclaim-before-fail passes triggered by a tripped node limit.
+    pub reclaim_attempts: u64,
+    /// Nodes recovered by reclaim-before-fail passes (not counted in
+    /// [`ManagerStats::gc_reclaimed`], which tracks explicit collections).
+    pub reclaimed_nodes: u64,
 }
 
 /// Result of one garbage collection.
@@ -88,6 +94,23 @@ pub struct BddManager {
     /// Refcounted roots held by live [`Func`] handles (node index → count).
     roots: RootTable,
     stats: ManagerStats,
+    /// Nesting depth of public operation entry points; reclaim-and-retry
+    /// happens only at depth 0 (the outermost call), where no in-flight
+    /// recursion holds unrooted intermediates.
+    op_depth: u32,
+    /// Results of completed top-level operations since the last *explicit*
+    /// garbage collection. A reclaim pass marks these as roots: any edge a
+    /// caller can hold was returned by some operation (or is pinned/a
+    /// literal), so protecting returned results makes mid-operation
+    /// collection safe while still freeing operation-internal transients.
+    result_pins: Vec<u32>,
+    /// Armed deterministic fault schedule, if any.
+    fault: Option<FaultPlan>,
+    /// 1-based ordinal of node-allocation attempts (fault injection).
+    alloc_seq: u64,
+    /// 1-based ordinal of `check_deadline` calls (fault injection); a
+    /// `Cell` because deadline checks take `&self`.
+    deadline_checks: Cell<u64>,
 }
 
 impl BddManager {
@@ -110,8 +133,16 @@ impl BddManager {
             deadline: None,
             roots: Rc::new(RefCell::new(FxHashMap::default())),
             stats: ManagerStats::default(),
+            op_depth: 0,
+            result_pins: Vec::new(),
+            fault: None,
+            alloc_seq: 0,
+            deadline_checks: Cell::new(0),
         };
         for v in 0..num_vars {
+            // A fresh manager has no limits or faults armed and the index
+            // space check already happened, so literal creation cannot fail.
+            #[allow(clippy::expect_used)]
             let lit = m
                 .mk(v, Bdd::FALSE, Bdd::TRUE)
                 .expect("variable nodes fit within fresh manager limits");
@@ -187,10 +218,30 @@ impl BddManager {
     /// long-running drivers call this at their own iteration boundaries
     /// for prompt, allocation-independent aborts.
     pub fn check_deadline(&self) -> Result<()> {
+        let ordinal = self.deadline_checks.get() + 1;
+        self.deadline_checks.set(ordinal);
+        if let Some(plan) = &self.fault {
+            if plan.fail_deadline_at.is_some_and(|k| ordinal >= k) {
+                return Err(BddError::Deadline);
+            }
+        }
         match self.deadline {
             Some(d) if Instant::now() >= d => Err(BddError::Deadline),
             _ => Ok(()),
         }
+    }
+
+    /// Arms a deterministic [`FaultPlan`]; see [`crate::fault`] for the
+    /// sticky-ordinal semantics. Ordinals count from the moment of arming.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.alloc_seq = 0;
+        self.deadline_checks.set(0);
+        self.fault = Some(plan);
+    }
+
+    /// Disarms any fault plan; subsequent operations behave normally.
+    pub fn clear_fault_plan(&mut self) {
+        self.fault = None;
     }
 
     /// Caps each operation cache (entries); a cache is cleared when full.
@@ -327,6 +378,17 @@ impl BddManager {
             return Ok(Bdd(idx << 1));
         }
         // Resource checks on the slow (allocating) path only.
+        self.alloc_seq += 1;
+        if let Some(plan) = &self.fault {
+            if plan.fail_alloc_at.is_some_and(|k| self.alloc_seq >= k) {
+                return match plan.alloc_fault_kind {
+                    Some(FaultKind::Capacity) => Err(BddError::Capacity),
+                    _ => Err(BddError::NodeLimit {
+                        limit: self.allocated(),
+                    }),
+                };
+            }
+        }
         if self.allocated() >= self.node_limit {
             return Err(BddError::NodeLimit {
                 limit: self.node_limit,
@@ -355,17 +417,74 @@ impl BddManager {
         self.caches.clear_all();
     }
 
-    // ----- garbage collection -------------------------------------------
+    // ----- operation recovery -------------------------------------------
 
-    /// Reclaims every node not reachable from `roots`, a live [`Func`]
-    /// handle, or the per-variable literal nodes. Handles to live nodes
-    /// remain valid; the computed caches are cleared.
-    pub fn collect_garbage(&mut self, roots: &[Bdd]) -> GcStats {
-        let mut mark = vec![false; self.arena.len()];
-        mark[0] = true; // the terminal
+    /// Runs a public operation with reclaim-before-fail semantics.
+    ///
+    /// Every allocating entry point wraps its body in this. Only the
+    /// *outermost* invocation (operation depth 0) does anything beyond
+    /// bookkeeping; nested invocations — an `exists` step calling `or`,
+    /// say — pass errors straight through, because their caller's
+    /// recursion stack holds unrooted intermediates that a collection
+    /// would free.
+    ///
+    /// At depth 0, a [`BddError::NodeLimit`] triggers one [`Self::reclaim`]
+    /// pass over everything the caller could still observe (`roots` must
+    /// list the operation's operands) and, if any node was recovered, one
+    /// wholesale retry. A single retry suffices: a second reclaim could
+    /// free nothing the first did not, so a third attempt would replay the
+    /// second identically.
+    ///
+    /// A successful outermost result is pinned in [`Self::result_pins`]
+    /// until the next explicit [`Self::collect_garbage`], which is what
+    /// makes the mid-workload reclaim sound: any edge a caller can hold is
+    /// a constant, a literal, `Func`-pinned, or the pinned result of a
+    /// completed operation.
+    pub(crate) fn recover(
+        &mut self,
+        roots: &[Bdd],
+        mut op: impl FnMut(&mut Self) -> Result<Bdd>,
+    ) -> Result<Bdd> {
+        let outermost = self.op_depth == 0;
+        self.op_depth += 1;
+        let mut r = op(self);
+        if outermost {
+            if matches!(r, Err(BddError::NodeLimit { .. })) && self.reclaim(roots) > 0 {
+                r = op(self);
+            }
+            if let Ok(b) = &r {
+                if !b.is_const() {
+                    self.result_pins.push(b.node());
+                }
+            }
+        }
+        self.op_depth -= 1;
+        r
+    }
+
+    /// Emergency mark-sweep run when an operation trips the node limit:
+    /// marks from `Func` roots, literals, the caller-supplied operand
+    /// `roots`, and all pinned results, then sweeps and flushes the
+    /// computed caches. Returns the number of nodes recovered.
+    fn reclaim(&mut self, roots: &[Bdd]) -> usize {
         let mut stack: Vec<u32> = roots.iter().map(|b| b.node()).collect();
+        stack.extend(self.result_pins.iter().copied());
         stack.extend(self.roots.borrow().keys().copied());
         stack.extend(self.var_nodes.iter().map(|&e| e >> 1));
+        let mark = self.mark_from(stack);
+        let collected = self.sweep(&mark);
+        self.stats.reclaim_attempts += 1;
+        self.stats.reclaimed_nodes += collected as u64;
+        collected
+    }
+
+    // ----- garbage collection -------------------------------------------
+
+    /// Marks every node reachable from the indices on `stack`; slot 0 (the
+    /// terminal) is always marked.
+    fn mark_from(&self, mut stack: Vec<u32>) -> Vec<bool> {
+        let mut mark = vec![false; self.arena.len()];
+        mark[0] = true; // the terminal
         while let Some(i) = stack.pop() {
             if mark[i as usize] {
                 continue;
@@ -377,6 +496,12 @@ impl BddManager {
                 stack.push(n.hi >> 1);
             }
         }
+        mark
+    }
+
+    /// Frees every live, unmarked interior node and flushes the computed
+    /// caches (which may reference the freed slots).
+    fn sweep(&mut self, mark: &[bool]) -> usize {
         let mut collected = 0;
         for i in 1..self.arena.len() as u32 {
             let n = self.arena.get(i);
@@ -387,6 +512,24 @@ impl BddManager {
             }
         }
         self.caches.clear_all();
+        collected
+    }
+
+    /// Reclaims every node not reachable from `roots`, a live [`Func`]
+    /// handle, or the per-variable literal nodes. Handles to live nodes
+    /// remain valid; the computed caches are cleared.
+    ///
+    /// Also resets the result-pin set kept for reclaim-before-fail: from
+    /// this point on, only `roots`, `Func` handles and literals define
+    /// liveness, so results of operations completed before this call must
+    /// be pinned by one of those to survive.
+    pub fn collect_garbage(&mut self, roots: &[Bdd]) -> GcStats {
+        self.result_pins.clear();
+        let mut stack: Vec<u32> = roots.iter().map(|b| b.node()).collect();
+        stack.extend(self.roots.borrow().keys().copied());
+        stack.extend(self.var_nodes.iter().map(|&e| e >> 1));
+        let mark = self.mark_from(stack);
+        let collected = self.sweep(&mark);
         self.stats.gc_runs += 1;
         self.stats.gc_reclaimed += collected as u64;
         GcStats {
@@ -418,10 +561,138 @@ impl BddManager {
         count
     }
 
-    /// Checks whether the node slot is live (not freed); for debug tooling.
-    #[cfg(test)]
-    pub(crate) fn is_live(&self, f: Bdd) -> bool {
+    /// Checks whether the node slot behind `f` is live (not freed).
+    ///
+    /// Debug aid for tests and validators; never needed for correct use of
+    /// the API, since handles obtained under the root discipline are
+    /// always live.
+    pub fn is_live(&self, f: Bdd) -> bool {
         self.arena.is_live_slot(f.node())
+    }
+
+    // ----- validation ---------------------------------------------------
+
+    /// Exhaustively validates the manager's representation invariants,
+    /// returning a description of the first violation found.
+    ///
+    /// Checked: slot 0 holds the only terminal; every live interior node
+    /// has a regular (non-complemented) `hi` edge, distinct children, live
+    /// children strictly below it in the order, and exactly one matching
+    /// unique-table entry; every unique-table entry points back at a
+    /// matching live slot; every `Func` refcount is positive and pins a
+    /// live slot; every result pin and literal node is live and
+    /// well-formed; and the free list is exactly the set of freed slots.
+    ///
+    /// O(nodes) — intended for tests and fault-injection harnesses, not
+    /// hot paths.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        if self.arena.get(0).var != TERMINAL_LEVEL {
+            return Err("slot 0 does not hold the terminal".to_string());
+        }
+        let mut live_interior = 0usize;
+        for i in 0..self.arena.len() as u32 {
+            if !self.arena.is_live_slot(i) {
+                continue;
+            }
+            let n = self.arena.get(i);
+            if n.var == TERMINAL_LEVEL {
+                if i != 0 {
+                    return Err(format!("terminal node stored at non-zero slot {i}"));
+                }
+                continue;
+            }
+            if n.var >= self.num_vars {
+                return Err(format!("slot {i}: variable {} out of range", n.var));
+            }
+            live_interior += 1;
+            if n.hi & 1 != 0 {
+                return Err(format!("slot {i}: complemented hi edge"));
+            }
+            if n.lo == n.hi {
+                return Err(format!("slot {i}: redundant node (lo == hi)"));
+            }
+            for (name, edge) in [("lo", n.lo), ("hi", n.hi)] {
+                let child = edge >> 1;
+                if !self.arena.is_live_slot(child) {
+                    return Err(format!("slot {i}: {name} child {child} is freed"));
+                }
+                if self.arena.get(child).var <= n.var {
+                    return Err(format!("slot {i}: {name} child {child} violates the order"));
+                }
+            }
+            match self.unique.get(n.var, n.lo, n.hi) {
+                Some(idx) if idx == i => {}
+                Some(idx) => {
+                    return Err(format!("slot {i}: unique table maps its key to slot {idx}"))
+                }
+                None => return Err(format!("slot {i}: missing from the unique table")),
+            }
+        }
+        if self.unique.len() != live_interior {
+            return Err(format!(
+                "unique table holds {} entries for {live_interior} live interior nodes",
+                self.unique.len()
+            ));
+        }
+        for (var, lo, hi, idx) in self.unique.iter() {
+            if !self.arena.is_live_slot(idx) {
+                return Err(format!(
+                    "unique entry ({var}, {lo}, {hi}) points at freed slot {idx}"
+                ));
+            }
+            let n = self.arena.get(idx);
+            if n.var != var || n.lo != lo || n.hi != hi {
+                return Err(format!(
+                    "unique entry ({var}, {lo}, {hi}) disagrees with slot {idx}"
+                ));
+            }
+        }
+        for (&idx, &count) in self.roots.borrow().iter() {
+            if count == 0 {
+                return Err(format!("root table holds a zero refcount for slot {idx}"));
+            }
+            if !self.arena.is_live_slot(idx) {
+                return Err(format!("root table pins freed slot {idx}"));
+            }
+        }
+        for &idx in &self.result_pins {
+            if !self.arena.is_live_slot(idx) {
+                return Err(format!("result pin references freed slot {idx}"));
+            }
+        }
+        for (v, &e) in self.var_nodes.iter().enumerate() {
+            let idx = e >> 1;
+            if !self.arena.is_live_slot(idx) {
+                return Err(format!("literal node for variable {v} is freed"));
+            }
+            let n = self.arena.get(idx);
+            if n.var != v as u32 || n.lo != Bdd::FALSE.0 || n.hi != Bdd::TRUE.0 {
+                return Err(format!("literal node for variable {v} is malformed"));
+            }
+        }
+        let mut seen = 0usize;
+        let mut cur = self.arena.free_head();
+        while cur != FREE_LIST_END {
+            if cur as usize >= self.arena.len() {
+                return Err(format!("free list points outside the arena ({cur})"));
+            }
+            let n = self.arena.get(cur);
+            if n.var != FREE_LEVEL {
+                return Err(format!("free list passes through live slot {cur}"));
+            }
+            seen += 1;
+            if seen > self.arena.free_slots() {
+                return Err("free list is longer than the free count (cycle?)".to_string());
+            }
+            cur = n.lo;
+        }
+        if seen != self.arena.free_slots() {
+            return Err(format!(
+                "free list has {seen} entries but {} slots are free",
+                self.arena.free_slots()
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -612,6 +883,110 @@ mod tests {
         assert!(ite.hits >= 1);
         let exists = stats.iter().find(|s| s.name == "exists").unwrap();
         assert_eq!(exists.lookups, 0);
+    }
+
+    #[test]
+    fn reclaim_before_fail_recovers_garbage() {
+        let mut m = BddManager::new(8);
+        let a = m.var(Var(0));
+        let b = m.var(Var(1));
+        let c = m.var(Var(2));
+        // Manufacture unrooted garbage: pin g across an explicit GC (which
+        // clears the result pins), then drop the handle.
+        let g = m.xor(a, b).unwrap();
+        let h = m.func(g);
+        m.collect_garbage(&[]);
+        drop(h);
+        assert!(m.is_live(g));
+        // No headroom: and(a, c) needs a fresh node, which only fits after
+        // the reclaim pass frees g (whose slot the retry then recycles).
+        let limit = m.allocated();
+        m.set_node_limit(limit);
+        let r = m.and(a, c).unwrap();
+        assert_eq!(m.low(r), Bdd::FALSE);
+        assert_eq!(m.allocated(), limit, "retry must recycle, not grow");
+        let stats = m.stats();
+        assert_eq!(stats.reclaim_attempts, 1);
+        assert!(stats.reclaimed_nodes >= 1);
+        assert_eq!(stats.gc_runs, 1, "reclaim is not an explicit collection");
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reclaim_fails_when_nothing_is_collectable() {
+        let mut m = BddManager::new(8);
+        let a = m.var(Var(0));
+        let b = m.var(Var(1));
+        m.set_node_limit(m.allocated()); // fresh manager: no garbage at all
+        let err = m.and(a, b).unwrap_err();
+        assert_eq!(err, BddError::NodeLimit { limit: 9 });
+        assert_eq!(m.stats().reclaim_attempts, 1);
+        assert_eq!(m.stats().reclaimed_nodes, 0);
+        // The manager stays usable once the limit is lifted.
+        m.clear_node_limit();
+        assert!(m.and(a, b).is_ok());
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fault_plan_fails_allocations_stickily() {
+        let mut m = BddManager::new(4);
+        let a = m.var(Var(0));
+        let b = m.var(Var(1));
+        m.set_fault_plan(FaultPlan::node_limit_at(1));
+        assert!(matches!(
+            m.and(a, b).unwrap_err(),
+            BddError::NodeLimit { .. }
+        ));
+        // Sticky: the reclaim-retry cannot mask it.
+        assert!(m.and(a, b).is_err());
+        m.clear_fault_plan();
+        assert!(m.and(a, b).is_ok());
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fault_plan_capacity_is_reported_verbatim() {
+        let mut m = BddManager::new(4);
+        let a = m.var(Var(0));
+        let b = m.var(Var(1));
+        m.set_fault_plan(FaultPlan::capacity_at(1));
+        assert_eq!(m.and(a, b).unwrap_err(), BddError::Capacity);
+        assert_eq!(
+            m.stats().reclaim_attempts,
+            0,
+            "capacity is not recoverable by collection"
+        );
+        m.clear_fault_plan();
+        assert!(m.and(a, b).is_ok());
+    }
+
+    #[test]
+    fn fault_plan_trips_deadline_at_ordinal() {
+        let mut m = BddManager::new(2);
+        m.set_fault_plan(FaultPlan::deadline_at(3));
+        assert!(m.check_deadline().is_ok());
+        assert!(m.check_deadline().is_ok());
+        assert_eq!(m.check_deadline().unwrap_err(), BddError::Deadline);
+        assert_eq!(m.check_deadline().unwrap_err(), BddError::Deadline); // sticky
+        m.clear_fault_plan();
+        assert!(m.check_deadline().is_ok());
+    }
+
+    #[test]
+    fn invariants_hold_through_ops_and_gc() {
+        let mut m = BddManager::new(6);
+        let a = m.var(Var(0));
+        let b = m.var(Var(1));
+        let c = m.var(Var(2));
+        let ab = m.and(a, b).unwrap();
+        let f = m.xor(ab, c).unwrap();
+        m.check_invariants().unwrap();
+        let _h = m.func(f);
+        m.collect_garbage(&[]);
+        m.check_invariants().unwrap();
+        m.collect_garbage(&[]);
+        m.check_invariants().unwrap();
     }
 
     #[test]

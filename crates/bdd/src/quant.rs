@@ -20,21 +20,23 @@ impl BddManager {
     ///
     /// Fails on resource-limit exhaustion or if a variable is out of range.
     pub fn cube_from_vars(&mut self, vars: &[Var]) -> Result<Bdd> {
-        let mut sorted: Vec<Var> = vars.to_vec();
-        sorted.sort_unstable();
-        sorted.dedup();
-        // Build bottom-up so each mk respects the order invariant.
-        let mut cube = Bdd::TRUE;
-        for v in sorted.into_iter().rev() {
-            if v.0 >= self.num_vars() {
-                return Err(BddError::VarOutOfRange {
-                    var: v.0,
-                    num_vars: self.num_vars(),
-                });
+        self.recover(&[], |m| {
+            let mut sorted: Vec<Var> = vars.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            // Build bottom-up so each mk respects the order invariant.
+            let mut cube = Bdd::TRUE;
+            for v in sorted.into_iter().rev() {
+                if v.0 >= m.num_vars() {
+                    return Err(BddError::VarOutOfRange {
+                        var: v.0,
+                        num_vars: m.num_vars(),
+                    });
+                }
+                cube = m.mk(v.0, Bdd::FALSE, cube)?;
             }
-            cube = self.mk(v.0, Bdd::FALSE, cube)?;
-        }
-        Ok(cube)
+            Ok(cube)
+        })
     }
 
     /// The variables of a positive cube, top to bottom.
@@ -60,6 +62,11 @@ impl BddManager {
     ///
     /// Fails on resource-limit exhaustion.
     pub fn exists(&mut self, f: Bdd, cube: Bdd) -> Result<Bdd> {
+        self.recover(&[f, cube], |m| m.exists_rec(f, cube))
+    }
+
+    /// The memoized smoothing recursion behind [`BddManager::exists`].
+    fn exists_rec(&mut self, f: Bdd, cube: Bdd) -> Result<Bdd> {
         if f.is_const() || cube.is_true() {
             return Ok(f);
         }
@@ -79,16 +86,16 @@ impl BddManager {
         let (f0, f1) = self.cofactors_at(f, lvl);
         let r = if self.level(cube) == lvl {
             let rest = self.high(cube);
-            let e0 = self.exists(f0, rest)?;
+            let e0 = self.exists_rec(f0, rest)?;
             if e0.is_true() {
                 e0
             } else {
-                let e1 = self.exists(f1, rest)?;
+                let e1 = self.exists_rec(f1, rest)?;
                 self.or(e0, e1)?
             }
         } else {
-            let e0 = self.exists(f0, cube)?;
-            let e1 = self.exists(f1, cube)?;
+            let e0 = self.exists_rec(f0, cube)?;
+            let e1 = self.exists_rec(f1, cube)?;
             self.mk(lvl, e0, e1)?
         };
         let limit = self.caches.limit;
@@ -118,6 +125,12 @@ impl BddManager {
     ///
     /// Fails on resource-limit exhaustion.
     pub fn and_exists(&mut self, f: Bdd, g: Bdd, cube: Bdd) -> Result<Bdd> {
+        self.recover(&[f, g, cube], |m| m.and_exists_rec(f, g, cube))
+    }
+
+    /// The memoized relational-product recursion behind
+    /// [`BddManager::and_exists`].
+    fn and_exists_rec(&mut self, f: Bdd, g: Bdd, cube: Bdd) -> Result<Bdd> {
         if f.is_false() || g.is_false() || f == g.complement() {
             return Ok(Bdd::FALSE);
         }
@@ -125,10 +138,10 @@ impl BddManager {
             return Ok(Bdd::TRUE);
         }
         if f.is_true() {
-            return self.exists(g, cube);
+            return self.exists_rec(g, cube);
         }
         if g.is_true() || f == g {
-            return self.exists(f, cube);
+            return self.exists_rec(f, cube);
         }
         if cube.is_true() {
             return self.and(f, g);
@@ -156,16 +169,16 @@ impl BddManager {
         let (g0, g1) = self.cofactors_at(g, lvl);
         let r = if self.level(cube) == lvl {
             let rest = self.high(cube);
-            let r0 = self.and_exists(f0, g0, rest)?;
+            let r0 = self.and_exists_rec(f0, g0, rest)?;
             if r0.is_true() {
                 r0
             } else {
-                let r1 = self.and_exists(f1, g1, rest)?;
+                let r1 = self.and_exists_rec(f1, g1, rest)?;
                 self.or(r0, r1)?
             }
         } else {
-            let r0 = self.and_exists(f0, g0, cube)?;
-            let r1 = self.and_exists(f1, g1, cube)?;
+            let r0 = self.and_exists_rec(f0, g0, cube)?;
+            let r1 = self.and_exists_rec(f1, g1, cube)?;
             self.mk(lvl, r0, r1)?
         };
         let limit = self.caches.limit;
@@ -206,6 +219,10 @@ mod tests {
                 num_vars: 4
             }
         );
+        // The failure leaves the manager structurally sound and usable.
+        m.check_invariants().unwrap();
+        let ok = m.cube_from_vars(&[Var(1), Var(3)]).unwrap();
+        assert_eq!(m.cube_vars(ok), vec![Var(1), Var(3)]);
     }
 
     #[test]

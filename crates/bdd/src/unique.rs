@@ -42,9 +42,17 @@ impl UniqueTable {
     }
 
     /// Total entries across all levels (diagnostics only).
-    #[allow(dead_code)]
     pub fn len(&self) -> usize {
         self.levels.iter().map(|t| t.len()).sum()
+    }
+
+    /// Iterates every entry as `(var, lo, hi, idx)` (diagnostics only).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, u32, u32)> + '_ {
+        self.levels.iter().enumerate().flat_map(|(var, table)| {
+            table
+                .iter()
+                .map(move |(&(lo, hi), &idx)| (var as u32, lo, hi, idx))
+        })
     }
 }
 

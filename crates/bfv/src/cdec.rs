@@ -129,6 +129,14 @@ impl CDec {
         &self.constraints
     }
 
+    /// Rebuilds a decomposition from a previously extracted constraint
+    /// list (e.g. a checkpoint). The caller must pass constraints taken
+    /// from a canonical decomposition — `c_i` over `v_1 … v_i` only —
+    /// since no canonicity check is performed here.
+    pub fn from_constraints(constraints: Vec<Bdd>) -> Self {
+        CDec { constraints }
+    }
+
     /// Shared BDD size of all constraints.
     pub fn shared_size(&self, m: &BddManager) -> usize {
         m.shared_size(&self.constraints)

@@ -292,6 +292,36 @@ d = XOR(y, r)
     }
 
     #[test]
+    fn malformed_inputs_return_structured_errors() {
+        // Truncated line: assignment with an empty right-hand side.
+        assert!(matches!(
+            parse("INPUT(a)\nx = \n"),
+            Err(NetlistError::Parse { line: 2, .. })
+        ));
+        // Truncated INPUT (missing closing parenthesis) is not a valid
+        // directive or assignment.
+        assert!(matches!(
+            parse("INPUT(a\n"),
+            Err(NetlistError::Parse { line: 1, .. })
+        ));
+        // Duplicate latch definition: q driven twice.
+        assert!(matches!(
+            parse("INPUT(a)\nq = DFF(a)\nq = DFF(a)\n"),
+            Err(NetlistError::Parse { line: 3, .. })
+        ));
+        // Undeclared signal feeding a gate surfaces as a structural error.
+        assert!(matches!(
+            parse("OUTPUT(y)\ny = NOT(ghost)\n"),
+            Err(NetlistError::Undriven { .. })
+        ));
+        // Zero-input DFF.
+        assert!(matches!(
+            parse("q = DFF()\n"),
+            Err(NetlistError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
     fn constants_parse() {
         let net = parse("OUTPUT(y)\nz = VDD()\ny = BUF(z)\n").unwrap();
         assert_eq!(net.gates().len(), 2);

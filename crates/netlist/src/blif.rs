@@ -36,6 +36,14 @@ pub fn parse(text: &str) -> Result<Netlist> {
             lines.push((start + 1, trimmed));
         }
     }
+    // A `\` on the final line leaves its continuation pending: flush it
+    // rather than silently dropping the accumulated text.
+    if let Some((start, acc)) = pending {
+        let trimmed = acc.trim().to_string();
+        if !trimmed.is_empty() {
+            lines.push((start + 1, trimmed));
+        }
+    }
 
     let mut b: Option<NetlistBuilder> = None;
     let mut idx = 0;
@@ -47,7 +55,11 @@ pub fn parse(text: &str) -> Result<Netlist> {
             message,
         };
         let mut tokens = line.split_whitespace();
-        let head = tokens.next().expect("blank lines were filtered");
+        // Blank lines were filtered above; skip defensively regardless.
+        let Some(head) = tokens.next() else {
+            idx += 1;
+            continue;
+        };
         match head {
             ".model" => {
                 let name = tokens.next().unwrap_or("blif");
@@ -401,6 +413,56 @@ y = AND(t, s)
             parse(bad_cube),
             Err(NetlistError::Parse { line: 5, .. })
         ));
+    }
+
+    #[test]
+    fn malformed_inputs_return_structured_errors() {
+        // Truncated .latch line (missing the output signal).
+        let truncated = ".model m\n.outputs q\n.latch d\n.end\n";
+        assert!(matches!(
+            parse(truncated),
+            Err(NetlistError::Parse { line: 3, .. })
+        ));
+        // Duplicate latch definition: same output driven twice.
+        let dup = "\
+.model m
+.inputs a
+.outputs q
+.latch a q 0
+.latch a q 0
+.end
+";
+        assert!(matches!(
+            parse(dup),
+            Err(NetlistError::Parse { line: 5, .. })
+        ));
+        // Undeclared signal: referenced in a cover but never driven.
+        let undriven = ".model m\n.outputs y\n.names ghost y\n1 1\n.end\n";
+        assert!(matches!(
+            parse(undriven),
+            Err(NetlistError::Undriven { .. })
+        ));
+        // Cover row wider than the input list.
+        let wide = ".model m\n.inputs a\n.outputs y\n.names a y\n11 1\n.end\n";
+        assert!(matches!(
+            parse(wide),
+            Err(NetlistError::Parse { line: 5, .. })
+        ));
+        // Directives before .model.
+        assert!(matches!(
+            parse(".inputs a\n"),
+            Err(NetlistError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_continuation_at_eof_is_not_dropped() {
+        // The final line ends in `\`: its content must still be parsed
+        // (here, completing the .outputs list), not silently discarded.
+        let text = ".model m\n.inputs a\n.names a y\n1 1\n.outputs \\\ny";
+        let net = parse(text).unwrap();
+        assert_eq!(net.outputs().len(), 1);
+        assert_eq!(net.signal_name(net.outputs()[0]), "y");
     }
 
     #[test]

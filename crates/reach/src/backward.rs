@@ -39,6 +39,8 @@ pub fn reach_backward(
     let mut iterations = 0usize;
     let mut reached = bad;
     let mut outcome_opt = None;
+    // Pin the caller's bad-set against mid-operation reclaim passes.
+    let _bad_guard = m.func(bad);
     let run = (|| -> Result<(), bfvr_bdd::BddError> {
         let mut t = Bdd::TRUE;
         for l in 0..fsm.num_latches() {
@@ -57,6 +59,8 @@ pub fn reach_backward(
         let _cube_guard = m.func(cube);
         let pairs = fsm.swap_pairs();
         let mut from = reached;
+        // Pin the loop state against mid-operation reclaim passes.
+        let mut _state_guards = (m.func(reached), m.func(from));
         loop {
             if opts.max_iterations.is_some_and(|cap| iterations >= cap) {
                 outcome_opt = Some(Outcome::IterationLimit);
@@ -78,6 +82,7 @@ pub fn reach_backward(
             } else {
                 reached
             };
+            _state_guards = (m.func(reached), m.func(from));
             let gc = m.collect_garbage(&[reached, from, t, cube, bad]);
             if opts.record_iterations {
                 per_iteration.push(IterationStats {
@@ -110,6 +115,9 @@ pub fn reach_backward(
         elapsed,
         conversion_time: std::time::Duration::ZERO,
         per_iteration,
+        // Backward traversal is a validation utility, not one of the
+        // escalation-driven engines; it does not checkpoint.
+        checkpoint: None,
     }
 }
 
@@ -127,9 +135,12 @@ pub fn check_invariant_backward(
     opts: &ReachOptions,
 ) -> Result<bool, bfvr_bdd::BddError> {
     let r = reach_backward(m, fsm, bad, opts);
-    let back = r.reached_chi.expect("backward traversal always yields a χ");
     let init = initial_chi(m, fsm)?;
-    let hit = m.and(back.bdd(), init)?;
+    // `reach_backward` always yields a χ; an absent one hits nothing.
+    let hit = match r.reached_chi {
+        Some(back) => m.and(back.bdd(), init)?,
+        None => Bdd::FALSE,
+    };
     Ok(hit.is_false())
 }
 

@@ -8,10 +8,14 @@ use bfvr_bfv::{ops, Bfv, StateSet};
 use bfvr_sim::{simulate_image_with, EncodedFsm};
 
 use crate::common::{
-    arm_limits, disarm_limits, outcome_of_bfv_error, IterationStats, Outcome, ReachOptions,
-    ReachResult,
+    arm_limits, disarm_limits, failed_result, outcome_of_bfv_error, Checkpoint, CheckpointState,
+    IterationStats, Outcome, ReachOptions, ReachResult,
 };
 use crate::EngineKind;
+
+/// Internal: the BFV-engine resume seed — reached and from vectors plus
+/// the number of iterations already completed.
+pub(crate) type BfvSeed = (Bfv, Bfv, usize);
 
 /// Runs least-fixed-point reachability with the BFV engine.
 ///
@@ -34,14 +38,38 @@ use crate::EngineKind;
 /// makes sound. The final `reached_chi`/state count are produced *after*
 /// the timed region, purely for cross-engine validation.
 pub fn reach_bfv(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> ReachResult {
+    reach_bfv_seeded(m, fsm, opts, None)
+}
+
+/// The Figure 2 traversal, optionally resumed from a checkpoint seed.
+pub(crate) fn reach_bfv_seeded(
+    m: &mut BddManager,
+    fsm: &EncodedFsm,
+    opts: &ReachOptions,
+    seed: Option<BfvSeed>,
+) -> ReachResult {
     let start = Instant::now();
     arm_limits(m, opts);
     let space = fsm.space();
-    let init = StateSet::singleton(m, &space, &fsm.initial_state())
-        .expect("initial state matches the space dimension");
-    let mut reached: Bfv = init.as_bfv().expect("singleton is non-empty").clone();
-    let mut from = reached.clone();
-    let mut iterations = 0usize;
+    let (mut reached, mut from, mut iterations) = match seed {
+        Some((r, f, i)) => (r, f, i),
+        None => {
+            let init = match StateSet::singleton(m, &space, &fsm.initial_state()) {
+                Ok(s) => s,
+                Err(e) => {
+                    let o = outcome_of_bfv_error(&e);
+                    return failed_result(m, EngineKind::Bfv, o, start.elapsed());
+                }
+            };
+            let Some(init) = init.as_bfv().cloned() else {
+                // A singleton set is never empty; treat it as internal.
+                return failed_result(m, EngineKind::Bfv, Outcome::Error, start.elapsed());
+            };
+            (init.clone(), init, 0usize)
+        }
+    };
+    // Pin the loop state against mid-operation reclaim passes.
+    let mut _state_guards = (reached.pin(m), from.pin(m));
     let mut per_iteration = Vec::new();
     let outcome = loop {
         if opts.max_iterations.is_some_and(|cap| iterations >= cap) {
@@ -71,6 +99,7 @@ pub fn reach_bfv(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> R
         } else {
             reached.clone()
         };
+        _state_guards = (reached.pin(m), from.pin(m));
         let mut roots: Vec<bfvr_bdd::Bdd> = reached.components().to_vec();
         roots.extend_from_slice(from.components());
         let gc = m.collect_garbage(&roots);
@@ -87,6 +116,18 @@ pub fn reach_bfv(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> R
     let elapsed = start.elapsed();
     let peak_nodes = m.peak_nodes();
     disarm_limits(m);
+    let checkpoint = if outcome == Outcome::FixedPoint || outcome == Outcome::Error {
+        None
+    } else {
+        Some(Checkpoint {
+            engine: EngineKind::Bfv,
+            iterations,
+            state: CheckpointState::Vector {
+                reached: reached.pin(m),
+                from: from.pin(m),
+            },
+        })
+    };
     // Post-run accounting (untimed): state count + χ for validation.
     let set = StateSet::NonEmpty(reached.clone());
     let chi = set.to_characteristic(m, &space).ok();
@@ -104,6 +145,7 @@ pub fn reach_bfv(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> R
         elapsed,
         conversion_time: std::time::Duration::ZERO,
         per_iteration,
+        checkpoint,
     }
 }
 

@@ -16,7 +16,7 @@ use bfvr_bdd::hash::FxHashMap;
 use bfvr_bdd::{Bdd, BddManager, Var};
 use bfvr_sim::EncodedFsm;
 
-use crate::cf::{count_states, initial_chi};
+use crate::cf::{chi_checkpoint, count_states, initial_chi, ChiSeed};
 use crate::common::{
     arm_limits, disarm_limits, outcome_of_bdd_error, IterationStats, Outcome, ReachOptions,
     ReachResult,
@@ -84,19 +84,37 @@ fn range_rec(
 
 /// Runs reachability with the Figure 1 flow.
 pub fn reach_cbm(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> ReachResult {
+    reach_cbm_seeded(m, fsm, opts, None)
+}
+
+/// The Figure 1 traversal, optionally resumed from a checkpoint seed.
+pub(crate) fn reach_cbm_seeded(
+    m: &mut BddManager,
+    fsm: &EncodedFsm,
+    opts: &ReachOptions,
+    seed: Option<ChiSeed>,
+) -> ReachResult {
     let start = Instant::now();
     arm_limits(m, opts);
     let mut per_iteration = Vec::new();
-    let mut iterations = 0usize;
+    let mut iterations = seed.map_or(0, |(_, _, i)| i);
     let mut reached = Bdd::FALSE;
+    let mut from = Bdd::FALSE;
     let mut conversion_time = Duration::ZERO;
     let mut outcome_opt = None;
     let deltas = fsm.next_fns_in_component_order();
     let next_vars: Vec<Var> = fsm.next_space().vars().to_vec();
     let pairs = fsm.swap_pairs();
     let run = (|| -> Result<(), bfvr_bdd::BddError> {
-        reached = initial_chi(m, fsm)?;
-        let mut from = reached;
+        (reached, from) = match seed {
+            Some((r, f, _)) => (r, f),
+            None => {
+                let init = initial_chi(m, fsm)?;
+                (init, init)
+            }
+        };
+        // Pin the loop state against mid-operation reclaim passes.
+        let mut _state_guards = (m.func(reached), m.func(from));
         loop {
             if opts.max_iterations.is_some_and(|cap| iterations >= cap) {
                 outcome_opt = Some(Outcome::IterationLimit);
@@ -126,6 +144,7 @@ pub fn reach_cbm(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> R
             } else {
                 reached
             };
+            _state_guards = (m.func(reached), m.func(from));
             let gc = m.collect_garbage(&[reached, from]);
             if opts.record_iterations {
                 per_iteration.push(IterationStats {
@@ -147,6 +166,7 @@ pub fn reach_cbm(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> R
     let elapsed = start.elapsed();
     let peak_nodes = m.peak_nodes();
     disarm_limits(m);
+    let checkpoint = chi_checkpoint(m, EngineKind::Cbm, outcome, iterations, reached, from);
     ReachResult {
         engine: EngineKind::Cbm,
         outcome,
@@ -158,6 +178,7 @@ pub fn reach_cbm(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> R
         elapsed,
         conversion_time,
         per_iteration,
+        checkpoint,
     }
 }
 

@@ -8,35 +8,71 @@
 
 use std::time::{Duration, Instant};
 
-use bfvr_bdd::BddManager;
+use bfvr_bdd::{BddManager, Func};
 use bfvr_bfv::cdec::CDec;
-use bfvr_bfv::StateSet;
+use bfvr_bfv::{Bfv, StateSet};
 use bfvr_sim::{simulate_image_with, EncodedFsm};
 
 use crate::common::{
-    arm_limits, disarm_limits, outcome_of_bfv_error, IterationStats, Outcome, ReachOptions,
-    ReachResult,
+    arm_limits, disarm_limits, failed_result, outcome_of_bfv_error, Checkpoint, CheckpointState,
+    IterationStats, Outcome, ReachOptions, ReachResult,
 };
 use crate::EngineKind;
 
+/// Internal: the CDEC-engine resume seed — the reached set's
+/// decomposition, the from vector and the iterations already completed.
+pub(crate) type CdecSeed = (CDec, Bfv, usize);
+
+/// Internal: pin a decomposition + vector pair against garbage collection.
+fn pin_state(m: &BddManager, dec: &CDec, from: &Bfv) -> (Vec<Func>, Vec<Func>) {
+    let dec_pins = dec.constraints().iter().map(|&c| m.func(c)).collect();
+    (dec_pins, from.pin(m))
+}
+
 /// Runs reachability with the conjunctive-decomposition set representation.
 pub fn reach_cdec(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> ReachResult {
+    reach_cdec_seeded(m, fsm, opts, None)
+}
+
+/// The conjunctive-decomposition traversal, optionally resumed from a
+/// checkpoint seed.
+pub(crate) fn reach_cdec_seeded(
+    m: &mut BddManager,
+    fsm: &EncodedFsm,
+    opts: &ReachOptions,
+    seed: Option<CdecSeed>,
+) -> ReachResult {
     let start = Instant::now();
     arm_limits(m, opts);
     let space = fsm.space();
-    let init = StateSet::singleton(m, &space, &fsm.initial_state())
-        .expect("initial state matches the space dimension");
-    let init_bfv = init.as_bfv().expect("singleton is non-empty").clone();
-    let mut iterations = 0usize;
     let mut per_iteration = Vec::new();
     let mut conversion_time = Duration::ZERO;
-    let mut reached_dec = match CDec::from_bfv(m, &space, &init_bfv) {
-        Ok(d) => d,
-        Err(e) => {
-            return failed(m, fsm, outcome_of_bfv_error(&e), start.elapsed());
+    let (mut reached_dec, mut from_bfv, mut iterations) = match seed {
+        Some((d, f, i)) => (d, f, i),
+        None => {
+            let init = match StateSet::singleton(m, &space, &fsm.initial_state()) {
+                Ok(s) => s,
+                Err(e) => {
+                    let o = outcome_of_bfv_error(&e);
+                    return failed_result(m, EngineKind::Cdec, o, start.elapsed());
+                }
+            };
+            let Some(init_bfv) = init.as_bfv().cloned() else {
+                // A singleton set is never empty; treat it as internal.
+                return failed_result(m, EngineKind::Cdec, Outcome::Error, start.elapsed());
+            };
+            let dec = match CDec::from_bfv(m, &space, &init_bfv) {
+                Ok(d) => d,
+                Err(e) => {
+                    let o = outcome_of_bfv_error(&e);
+                    return failed_result(m, EngineKind::Cdec, o, start.elapsed());
+                }
+            };
+            (dec, init_bfv, 0usize)
         }
     };
-    let mut from_bfv = init_bfv;
+    // Pin the loop state against mid-operation reclaim passes.
+    let mut _state_guards = pin_state(m, &reached_dec, &from_bfv);
     let outcome = loop {
         if opts.max_iterations.is_some_and(|cap| iterations >= cap) {
             break Outcome::IterationLimit;
@@ -77,6 +113,7 @@ pub fn reach_cdec(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> 
         } else {
             reached_bfv
         };
+        _state_guards = pin_state(m, &reached_dec, &from_bfv);
         let mut roots: Vec<bfvr_bdd::Bdd> = reached_dec.constraints().to_vec();
         roots.extend_from_slice(from_bfv.components());
         let gc = m.collect_garbage(&roots);
@@ -93,6 +130,16 @@ pub fn reach_cdec(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> 
     let elapsed = start.elapsed();
     let peak_nodes = m.peak_nodes();
     disarm_limits(m);
+    let checkpoint = if outcome == Outcome::FixedPoint || outcome == Outcome::Error {
+        None
+    } else {
+        let (constraints, from) = pin_state(m, &reached_dec, &from_bfv);
+        Some(Checkpoint {
+            engine: EngineKind::Cdec,
+            iterations,
+            state: CheckpointState::Cdec { constraints, from },
+        })
+    };
     let chi = reached_dec.conjoin_all(m).ok();
     let reached_states = chi.map(|chi| crate::cf::count_states(m, fsm, chi));
     ReachResult {
@@ -106,28 +153,7 @@ pub fn reach_cdec(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> 
         elapsed,
         conversion_time,
         per_iteration,
-    }
-}
-
-fn failed(
-    m: &mut BddManager,
-    _fsm: &EncodedFsm,
-    outcome: Outcome,
-    elapsed: Duration,
-) -> ReachResult {
-    let peak_nodes = m.peak_nodes();
-    disarm_limits(m);
-    ReachResult {
-        engine: EngineKind::Cdec,
-        outcome,
-        iterations: 0,
-        reached_states: None,
-        reached_chi: None,
-        representation_nodes: None,
-        peak_nodes,
-        elapsed,
-        conversion_time: Duration::ZERO,
-        per_iteration: Vec::new(),
+        checkpoint,
     }
 }
 

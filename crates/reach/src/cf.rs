@@ -6,10 +6,38 @@ use bfvr_bdd::{Bdd, BddManager, Var};
 use bfvr_sim::EncodedFsm;
 
 use crate::common::{
-    arm_limits, disarm_limits, outcome_of_bdd_error, IterationStats, Outcome, ReachOptions,
-    ReachResult,
+    arm_limits, disarm_limits, outcome_of_bdd_error, Checkpoint, CheckpointState, IterationStats,
+    Outcome, ReachOptions, ReachResult,
 };
 use crate::EngineKind;
+
+/// Internal: the χ-engine resume seed — reached set, iteration start set
+/// and the number of iterations already completed.
+pub(crate) type ChiSeed = (Bdd, Bdd, usize);
+
+/// Internal: checkpoint a χ-based engine's partial traversal, unless it
+/// never got past the empty set (resuming from ⊥ would instantly — and
+/// wrongly — report an empty fixed point).
+pub(crate) fn chi_checkpoint(
+    m: &BddManager,
+    engine: EngineKind,
+    outcome: Outcome,
+    iterations: usize,
+    reached: Bdd,
+    from: Bdd,
+) -> Option<Checkpoint> {
+    if outcome == Outcome::FixedPoint || outcome == Outcome::Error || reached.is_false() {
+        return None;
+    }
+    Some(Checkpoint {
+        engine,
+        iterations,
+        state: CheckpointState::Chi {
+            reached: m.func(reached),
+            from: m.func(from),
+        },
+    })
+}
 
 /// Builds the cube of the initial state over the current-state variables.
 pub(crate) fn initial_chi(m: &mut BddManager, fsm: &EncodedFsm) -> Result<Bdd, bfvr_bdd::BddError> {
@@ -32,14 +60,25 @@ pub(crate) fn count_states(m: &BddManager, fsm: &EncodedFsm, chi: Bdd) -> f64 {
 /// Runs reachability with one monolithic transition relation
 /// `T(v,u,w) = ⋀ᵢ (uᵢ ↔ δᵢ(v,w))` and one relational product per step.
 pub fn reach_monolithic(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> ReachResult {
+    reach_monolithic_seeded(m, fsm, opts, None)
+}
+
+/// The monolithic traversal, optionally resumed from a checkpoint seed.
+pub(crate) fn reach_monolithic_seeded(
+    m: &mut BddManager,
+    fsm: &EncodedFsm,
+    opts: &ReachOptions,
+    seed: Option<ChiSeed>,
+) -> ReachResult {
     let start = Instant::now();
     arm_limits(m, opts);
     let mut per_iteration = Vec::new();
-    let mut iterations = 0usize;
+    let mut iterations = seed.map_or(0, |(_, _, i)| i);
     let mut reached = Bdd::FALSE;
+    let mut from = Bdd::FALSE;
     let mut outcome_opt = None;
     // Quantification cube: all current-state and input variables.
-    let run = (|| -> Result<(Bdd, usize), bfvr_bdd::BddError> {
+    let run = (|| -> Result<(), bfvr_bdd::BddError> {
         let mut t = Bdd::TRUE;
         for l in 0..fsm.num_latches() {
             let (_, u) = fsm.state_vars(l);
@@ -53,12 +92,20 @@ pub fn reach_monolithic(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOption
         let cube = m.cube_from_vars(&qvars)?;
         let _cube_guard = m.func(cube);
         let pairs = fsm.swap_pairs();
-        reached = initial_chi(m, fsm)?;
-        let mut from = reached;
+        (reached, from) = match seed {
+            Some((r, f, _)) => (r, f),
+            None => {
+                let init = initial_chi(m, fsm)?;
+                (init, init)
+            }
+        };
+        // Pin the loop state so a mid-operation reclaim pass (or the
+        // boundary collection) can never free it; rebound every iteration.
+        let mut _state_guards = (m.func(reached), m.func(from));
         loop {
             if opts.max_iterations.is_some_and(|cap| iterations >= cap) {
                 outcome_opt = Some(Outcome::IterationLimit);
-                return Ok((reached, iterations));
+                return Ok(());
             }
             let iter_start = Instant::now();
             m.check_deadline()?;
@@ -67,7 +114,7 @@ pub fn reach_monolithic(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOption
             let new_reached = m.or(reached, img)?;
             iterations += 1;
             if new_reached == reached {
-                return Ok((reached, iterations));
+                return Ok(());
             }
             reached = new_reached;
             from = if opts.use_frontier && m.size(img) <= m.size(reached) {
@@ -75,6 +122,7 @@ pub fn reach_monolithic(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOption
             } else {
                 reached
             };
+            _state_guards = (m.func(reached), m.func(from));
             let gc = m.collect_garbage(&[reached, from, t, cube]);
             if opts.record_iterations {
                 per_iteration.push(IterationStats {
@@ -89,12 +137,20 @@ pub fn reach_monolithic(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOption
     })();
     let outcome = match (&run, outcome_opt) {
         (_, Some(o)) => o,
-        (Ok(_), None) => Outcome::FixedPoint,
+        (Ok(()), None) => Outcome::FixedPoint,
         (Err(e), None) => outcome_of_bdd_error(e),
     };
     let elapsed = start.elapsed();
     let peak_nodes = m.peak_nodes();
     disarm_limits(m);
+    let checkpoint = chi_checkpoint(
+        m,
+        EngineKind::Monolithic,
+        outcome,
+        iterations,
+        reached,
+        from,
+    );
     ReachResult {
         engine: EngineKind::Monolithic,
         outcome,
@@ -106,6 +162,7 @@ pub fn reach_monolithic(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOption
         elapsed,
         conversion_time: std::time::Duration::ZERO,
         per_iteration,
+        checkpoint,
     }
 }
 

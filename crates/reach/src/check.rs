@@ -53,7 +53,12 @@ pub fn check_invariant(
         if opts.max_iterations.is_some_and(|cap| depth >= cap) {
             return Ok(CheckResult::Holds { iterations: depth });
         }
-        let from_bfv = from.as_bfv().expect("reached sets are non-empty");
+        // The from-set grows from a non-empty singleton and images of
+        // non-empty sets are non-empty; an empty one means exploration
+        // is already complete.
+        let Some(from_bfv) = from.as_bfv() else {
+            return Ok(CheckResult::Holds { iterations: depth });
+        };
         let img = simulate_image_with(m, fsm, from_bfv, opts.schedule)?;
         let img_set = StateSet::NonEmpty(img);
         let new_reached = reached.union(m, &space, &img_set)?;
@@ -71,12 +76,11 @@ pub fn check_invariant(
             reached.clone()
         };
     }
-    let witness = hit
-        .members(m, &space)?
-        .into_iter()
-        .next()
-        .expect("non-empty intersection has a member");
-    Ok(CheckResult::Violated { depth, witness })
+    // The loop only exits on a non-empty intersection, which has a member.
+    match hit.members(m, &space)?.into_iter().next() {
+        Some(witness) => Ok(CheckResult::Violated { depth, witness }),
+        None => Ok(CheckResult::Holds { iterations: depth }),
+    }
 }
 
 #[cfg(test)]

@@ -91,17 +91,30 @@ pub enum Outcome {
     MemOut,
     /// The iteration cap was hit.
     IterationLimit,
+    /// An internal failure that is *not* a legitimate resource exhaustion
+    /// (index-space capacity, a variable out of range). Kept distinct so
+    /// bugs are never reported as `M.O.` — and never retried with a
+    /// bigger budget.
+    Error,
 }
 
 impl Outcome {
-    /// The paper's table notation: `ok`, `T.O.`, `M.O.`, `I.L.`.
+    /// The paper's table notation: `ok`, `T.O.`, `M.O.`, `I.L.` (plus
+    /// `ERR` for internal failures, which Table 2 never shows).
     pub fn label(self) -> &'static str {
         match self {
             Outcome::FixedPoint => "ok",
             Outcome::TimeOut => "T.O.",
             Outcome::MemOut => "M.O.",
             Outcome::IterationLimit => "I.L.",
+            Outcome::Error => "ERR",
         }
+    }
+
+    /// Whether a retry with a larger budget could change this outcome
+    /// (the escalation driver's retry predicate).
+    pub fn is_resource_exhaustion(self) -> bool {
+        matches!(self, Outcome::TimeOut | Outcome::MemOut)
     }
 }
 
@@ -151,6 +164,57 @@ pub struct ReachResult {
     pub conversion_time: Duration,
     /// Per-iteration statistics (when requested).
     pub per_iteration: Vec<IterationStats>,
+    /// Resumable state, present when the run stopped short of its fixed
+    /// point for a recoverable reason (time-out, mem-out, iteration cap)
+    /// with at least one state reached. Feed it to [`crate::resume`] —
+    /// typically with raised limits — to continue from where this run
+    /// stopped instead of restarting.
+    pub checkpoint: Option<Checkpoint>,
+}
+
+/// Resumable traversal state captured at the last completed iteration.
+///
+/// All BDD state is held through [`Func`] handles, so the checkpoint's
+/// nodes survive garbage collection for as long as the checkpoint lives;
+/// drop it to release them. Checkpoints are tied to the
+/// manager/[`bfvr_sim::EncodedFsm`] pair that produced them.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Engine that produced this checkpoint (resume re-dispatches to it).
+    pub engine: EngineKind,
+    /// Image iterations completed before the interruption.
+    pub iterations: usize,
+    /// Engine-specific reached/frontier representation.
+    pub(crate) state: CheckpointState,
+}
+
+/// Engine-specific resumable state: each engine checkpoints its own set
+/// representation so resuming never pays a conversion the engine itself
+/// would not have performed.
+#[derive(Clone, Debug)]
+pub(crate) enum CheckpointState {
+    /// χ-based engines (monolithic, CBM, IWLS95): reached set and the
+    /// iteration's start set, both over current-state variables.
+    Chi {
+        /// Characteristic function of the states reached so far.
+        reached: Func,
+        /// Start set of the iteration being redone on resume.
+        from: Func,
+    },
+    /// BFV engine: componentwise reached and from vectors.
+    Vector {
+        /// Reached-set functional vector, one handle per state bit.
+        reached: Vec<Func>,
+        /// From-set functional vector.
+        from: Vec<Func>,
+    },
+    /// CDEC engine: the conjunctive decomposition and the from vector.
+    Cdec {
+        /// Constraint list of the reached set's decomposition.
+        constraints: Vec<Func>,
+        /// From-set functional vector.
+        from: Vec<Func>,
+    },
 }
 
 /// Internal: classify a BDD failure as an outcome.
@@ -158,7 +222,9 @@ pub(crate) fn outcome_of_bdd_error(e: &BddError) -> Outcome {
     match e {
         BddError::NodeLimit { .. } => Outcome::MemOut,
         BddError::Deadline => Outcome::TimeOut,
-        _ => Outcome::MemOut,
+        // Capacity / VarOutOfRange are internal failures, not legitimate
+        // memory-outs: never classify them as `M.O.`.
+        _ => Outcome::Error,
     }
 }
 
@@ -166,7 +232,32 @@ pub(crate) fn outcome_of_bdd_error(e: &BddError) -> Outcome {
 pub(crate) fn outcome_of_bfv_error(e: &BfvError) -> Outcome {
     match e {
         BfvError::Bdd(b) => outcome_of_bdd_error(b),
-        _ => Outcome::MemOut,
+        _ => Outcome::Error,
+    }
+}
+
+/// Internal: a result for a run that failed before completing a single
+/// iteration (no partial state to report or checkpoint).
+pub(crate) fn failed_result(
+    m: &mut BddManager,
+    engine: EngineKind,
+    outcome: Outcome,
+    elapsed: Duration,
+) -> ReachResult {
+    let peak_nodes = m.peak_nodes();
+    disarm_limits(m);
+    ReachResult {
+        engine,
+        outcome,
+        iterations: 0,
+        reached_states: None,
+        reached_chi: None,
+        representation_nodes: None,
+        peak_nodes,
+        elapsed,
+        conversion_time: Duration::ZERO,
+        per_iteration: Vec::new(),
+        checkpoint: None,
     }
 }
 
@@ -218,5 +309,26 @@ mod tests {
             outcome_of_bfv_error(&BfvError::Bdd(BddError::Deadline)),
             Outcome::TimeOut
         );
+    }
+
+    #[test]
+    fn internal_failures_are_not_memouts() {
+        assert_eq!(outcome_of_bdd_error(&BddError::Capacity), Outcome::Error);
+        assert_eq!(
+            outcome_of_bdd_error(&BddError::VarOutOfRange {
+                var: 9,
+                num_vars: 4
+            }),
+            Outcome::Error
+        );
+        assert_eq!(
+            outcome_of_bfv_error(&BfvError::Bdd(BddError::Capacity)),
+            Outcome::Error
+        );
+        assert_eq!(Outcome::Error.label(), "ERR");
+        assert!(!Outcome::Error.is_resource_exhaustion());
+        assert!(Outcome::MemOut.is_resource_exhaustion());
+        assert!(Outcome::TimeOut.is_resource_exhaustion());
+        assert!(!Outcome::FixedPoint.is_resource_exhaustion());
     }
 }

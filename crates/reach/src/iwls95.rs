@@ -6,7 +6,7 @@ use std::time::Instant;
 use bfvr_bdd::{Bdd, BddManager, Var};
 use bfvr_sim::EncodedFsm;
 
-use crate::cf::{count_states, initial_chi};
+use crate::cf::{chi_checkpoint, count_states, initial_chi, ChiSeed};
 use crate::common::{
     arm_limits, disarm_limits, outcome_of_bdd_error, IterationStats, Outcome, ReachOptions,
     ReachResult,
@@ -123,11 +123,22 @@ fn schedule(
 
 /// Runs reachability with the partitioned transition relation.
 pub fn reach_iwls95(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> ReachResult {
+    reach_iwls95_seeded(m, fsm, opts, None)
+}
+
+/// The partitioned-TR traversal, optionally resumed from a checkpoint seed.
+pub(crate) fn reach_iwls95_seeded(
+    m: &mut BddManager,
+    fsm: &EncodedFsm,
+    opts: &ReachOptions,
+    seed: Option<ChiSeed>,
+) -> ReachResult {
     let start = Instant::now();
     arm_limits(m, opts);
     let mut per_iteration = Vec::new();
-    let mut iterations = 0usize;
+    let mut iterations = seed.map_or(0, |(_, _, i)| i);
     let mut reached = Bdd::FALSE;
+    let mut from = Bdd::FALSE;
     let mut outcome_opt = None;
     let run = (|| -> Result<(), bfvr_bdd::BddError> {
         let mut qvars: Vec<Var> = fsm.space().vars().to_vec();
@@ -154,8 +165,15 @@ pub fn reach_iwls95(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -
         let presmooth = m.cube_from_vars(&unused)?;
         let _presmooth_guard = m.func(presmooth);
         let pairs = fsm.swap_pairs();
-        reached = initial_chi(m, fsm)?;
-        let mut from = reached;
+        (reached, from) = match seed {
+            Some((r, f, _)) => (r, f),
+            None => {
+                let init = initial_chi(m, fsm)?;
+                (init, init)
+            }
+        };
+        // Pin the loop state against mid-operation reclaim passes.
+        let mut _state_guards = (m.func(reached), m.func(from));
         loop {
             if opts.max_iterations.is_some_and(|cap| iterations >= cap) {
                 outcome_opt = Some(Outcome::IterationLimit);
@@ -179,6 +197,7 @@ pub fn reach_iwls95(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -
             } else {
                 reached
             };
+            _state_guards = (m.func(reached), m.func(from));
             let mut roots = vec![reached, from];
             roots.extend(clusters.iter().map(|c| c.relation));
             let gc = m.collect_garbage(&roots);
@@ -202,6 +221,7 @@ pub fn reach_iwls95(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -
     let elapsed = start.elapsed();
     let peak_nodes = m.peak_nodes();
     disarm_limits(m);
+    let checkpoint = chi_checkpoint(m, EngineKind::Iwls95, outcome, iterations, reached, from);
     ReachResult {
         engine: EngineKind::Iwls95,
         outcome,
@@ -213,6 +233,7 @@ pub fn reach_iwls95(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -
         elapsed,
         conversion_time: std::time::Duration::ZERO,
         per_iteration,
+        checkpoint,
     }
 }
 

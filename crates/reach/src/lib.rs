@@ -30,6 +30,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod backward;
 mod bfv_engine;
@@ -39,6 +41,7 @@ mod cf;
 mod check;
 mod common;
 mod iwls95;
+pub mod portfolio;
 mod trace;
 
 pub use backward::{check_invariant_backward, reach_backward};
@@ -47,12 +50,16 @@ pub use cbm::reach_cbm;
 pub use cdec_engine::reach_cdec;
 pub use cf::reach_monolithic;
 pub use check::{check_invariant, CheckResult};
-pub use common::{EngineKind, IterationStats, Outcome, ReachOptions, ReachResult};
+pub use common::{Checkpoint, EngineKind, IterationStats, Outcome, ReachOptions, ReachResult};
 pub use iwls95::reach_iwls95;
 pub use trace::{find_trace, Trace};
 
-use bfvr_bdd::BddManager;
+use bfvr_bdd::{BddManager, Func};
+use bfvr_bfv::cdec::CDec;
+use bfvr_bfv::Bfv;
 use bfvr_sim::EncodedFsm;
+
+use common::CheckpointState;
 
 /// Runs the engine selected by `kind` (convenience dispatcher for the
 /// benchmark harness).
@@ -68,5 +75,79 @@ pub fn run(
         EngineKind::Monolithic => reach_monolithic(m, fsm, opts),
         EngineKind::Iwls95 => reach_iwls95(m, fsm, opts),
         EngineKind::Cdec => reach_cdec(m, fsm, opts),
+    }
+}
+
+/// Continues an interrupted traversal from its [`Checkpoint`], typically
+/// with raised limits in `opts`. The checkpoint must come from a run on
+/// the same manager/FSM pair. The continuation reaches the same fixed
+/// point the uninterrupted run would have reached: the reached set only
+/// ever grows toward the unique least fixed point, and the seeded
+/// iteration restarts from a `from ⊆ reached` start set.
+///
+/// Reported `iterations` are cumulative across the original run and all
+/// resumptions.
+pub fn resume(
+    m: &mut BddManager,
+    fsm: &EncodedFsm,
+    opts: &ReachOptions,
+    checkpoint: Checkpoint,
+) -> ReachResult {
+    let start = std::time::Instant::now();
+    let Checkpoint {
+        engine,
+        iterations,
+        state,
+    } = checkpoint;
+    // Each arm keeps the checkpoint's `Func` handles alive until the
+    // seeded engine has re-pinned the state, then drops them.
+    match (engine, state) {
+        (EngineKind::Monolithic, CheckpointState::Chi { reached, from }) => {
+            let seed = (reached.bdd(), from.bdd(), iterations);
+            let r = cf::reach_monolithic_seeded(m, fsm, opts, Some(seed));
+            drop((reached, from));
+            r
+        }
+        (EngineKind::Cbm, CheckpointState::Chi { reached, from }) => {
+            let seed = (reached.bdd(), from.bdd(), iterations);
+            let r = cbm::reach_cbm_seeded(m, fsm, opts, Some(seed));
+            drop((reached, from));
+            r
+        }
+        (EngineKind::Iwls95, CheckpointState::Chi { reached, from }) => {
+            let seed = (reached.bdd(), from.bdd(), iterations);
+            let r = iwls95::reach_iwls95_seeded(m, fsm, opts, Some(seed));
+            drop((reached, from));
+            r
+        }
+        (EngineKind::Bfv, CheckpointState::Vector { reached, from }) => {
+            let space = fsm.space();
+            let rv = Bfv::from_components(&space, reached.iter().map(Func::bdd).collect());
+            let fv = Bfv::from_components(&space, from.iter().map(Func::bdd).collect());
+            match (rv, fv) {
+                (Ok(rv), Ok(fv)) => {
+                    let r = bfv_engine::reach_bfv_seeded(m, fsm, opts, Some((rv, fv, iterations)));
+                    drop((reached, from));
+                    r
+                }
+                // A malformed vector cannot come from this crate's engines.
+                _ => common::failed_result(m, engine, Outcome::Error, start.elapsed()),
+            }
+        }
+        (EngineKind::Cdec, CheckpointState::Cdec { constraints, from }) => {
+            let space = fsm.space();
+            let dec = CDec::from_constraints(constraints.iter().map(Func::bdd).collect());
+            match Bfv::from_components(&space, from.iter().map(Func::bdd).collect()) {
+                Ok(fv) => {
+                    let r =
+                        cdec_engine::reach_cdec_seeded(m, fsm, opts, Some((dec, fv, iterations)));
+                    drop((constraints, from));
+                    r
+                }
+                Err(_) => common::failed_result(m, engine, Outcome::Error, start.elapsed()),
+            }
+        }
+        // Engine/state mismatch: no engine of this crate produces one.
+        (engine, _) => common::failed_result(m, engine, Outcome::Error, start.elapsed()),
     }
 }

@@ -1,0 +1,238 @@
+//! Budget-escalation driver: retry resource-limited runs from their
+//! checkpoint with geometrically raised budgets.
+//!
+//! A run that ends in `T.O.`/`M.O.` (the paper's Table 2 failure cells)
+//! has still computed a prefix of the reachable set. Instead of
+//! restarting from scratch with a bigger machine, [`run_escalating`]
+//! resumes the traversal from the [`Checkpoint`] it returned, multiplying
+//! the node/time budgets by a fixed factor each round until the fixed
+//! point is reached, a budget ceiling is hit, or the round cap runs out.
+//! Internal errors ([`Outcome::Error`]) are never retried — a bug does
+//! not go away with a bigger budget.
+
+use std::time::Duration;
+
+use bfvr_bdd::BddManager;
+use bfvr_sim::EncodedFsm;
+
+use crate::{resume, run, EngineKind, Outcome, ReachOptions, ReachResult};
+
+/// How to raise budgets between escalation rounds.
+#[derive(Clone, Debug)]
+pub struct EscalationPolicy {
+    /// Multiplier applied to the node and time budgets on every retry
+    /// (must be > 1 to make progress; values ≤ 1 are treated as 2).
+    pub factor: f64,
+    /// Maximum number of retries after the initial run.
+    pub max_rounds: usize,
+    /// Hard ceiling on the node budget: escalation stops raising past
+    /// it, and gives up once a capped run still exhausts.
+    pub max_node_budget: Option<usize>,
+    /// Hard ceiling on the time budget.
+    pub max_time_budget: Option<Duration>,
+}
+
+impl Default for EscalationPolicy {
+    fn default() -> Self {
+        EscalationPolicy {
+            factor: 2.0,
+            max_rounds: 8,
+            max_node_budget: None,
+            max_time_budget: None,
+        }
+    }
+}
+
+/// One row of the escalation log.
+#[derive(Clone, Debug)]
+pub struct EscalationRound {
+    /// Outcome of this round's (partial) run.
+    pub outcome: Outcome,
+    /// Cumulative image iterations after this round.
+    pub iterations: usize,
+    /// Node budget this round ran under.
+    pub node_limit: Option<usize>,
+    /// Time budget this round ran under.
+    pub time_limit: Option<Duration>,
+    /// Whether this round continued from a checkpoint (as opposed to
+    /// starting from scratch).
+    pub resumed: bool,
+}
+
+/// The escalation driver's verdict: the final result plus the per-round
+/// log (round 0 is the initial run).
+#[derive(Clone, Debug)]
+pub struct EscalationReport {
+    /// Result of the last round — final if its outcome is not a
+    /// resource exhaustion, best-effort partial otherwise.
+    pub result: ReachResult,
+    /// One entry per round, in order.
+    pub rounds: Vec<EscalationRound>,
+}
+
+impl EscalationReport {
+    /// Whether the traversal eventually completed.
+    pub fn completed(&self) -> bool {
+        self.result.outcome == Outcome::FixedPoint
+    }
+}
+
+/// Raises the budgets in `opts` by the policy factor, respecting the
+/// ceilings. Returns `false` when no budget could be raised any further
+/// (both already at their ceilings, or no budget is set at all) — the
+/// signal to stop escalating.
+fn raise_budgets(opts: &mut ReachOptions, policy: &EscalationPolicy) -> bool {
+    let factor = if policy.factor > 1.0 {
+        policy.factor
+    } else {
+        2.0
+    };
+    let mut raised = false;
+    if let Some(n) = opts.node_limit {
+        let mut next = ((n as f64) * factor).ceil() as usize;
+        next = next.max(n + 1);
+        if let Some(cap) = policy.max_node_budget {
+            next = next.min(cap);
+        }
+        if next > n {
+            opts.node_limit = Some(next);
+            raised = true;
+        }
+    }
+    if let Some(t) = opts.time_limit {
+        let mut next = t.mul_f64(factor);
+        if let Some(cap) = policy.max_time_budget {
+            next = next.min(cap);
+        }
+        if next > t {
+            opts.time_limit = Some(next);
+            raised = true;
+        }
+    }
+    raised
+}
+
+/// Runs `kind` under `opts`, then — while the outcome is a resource
+/// exhaustion and budgets can still be raised — resumes from the
+/// returned checkpoint with the budgets multiplied by
+/// [`EscalationPolicy::factor`].
+///
+/// A round that exhausts without leaving a checkpoint (it failed before
+/// completing a single iteration) is restarted from scratch under the
+/// raised budgets instead.
+pub fn run_escalating(
+    kind: EngineKind,
+    m: &mut BddManager,
+    fsm: &EncodedFsm,
+    opts: &ReachOptions,
+    policy: &EscalationPolicy,
+) -> EscalationReport {
+    let mut opts = opts.clone();
+    let mut result = run(kind, m, fsm, &opts);
+    let mut rounds = vec![EscalationRound {
+        outcome: result.outcome,
+        iterations: result.iterations,
+        node_limit: opts.node_limit,
+        time_limit: opts.time_limit,
+        resumed: false,
+    }];
+    for _ in 0..policy.max_rounds {
+        if !result.outcome.is_resource_exhaustion() {
+            break;
+        }
+        if !raise_budgets(&mut opts, policy) {
+            break;
+        }
+        let checkpoint = result.checkpoint.take();
+        let resumed = checkpoint.is_some();
+        result = match checkpoint {
+            Some(c) => resume(m, fsm, &opts, c),
+            None => run(kind, m, fsm, &opts),
+        };
+        rounds.push(EscalationRound {
+            outcome: result.outcome,
+            iterations: result.iterations,
+            node_limit: opts.node_limit,
+            time_limit: opts.time_limit,
+            resumed,
+        });
+    }
+    EscalationReport { result, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfvr_netlist::generators;
+    use bfvr_sim::{EncodedFsm, OrderHeuristic};
+
+    #[test]
+    fn escalation_recovers_from_a_tight_node_budget() {
+        let net = generators::queue_controller(3);
+        let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+        let baseline = run(
+            EngineKind::Monolithic,
+            &mut m,
+            &fsm,
+            &ReachOptions::default(),
+        );
+        assert_eq!(baseline.outcome, Outcome::FixedPoint);
+        let opts = ReachOptions {
+            node_limit: Some(m.allocated() + 50),
+            ..Default::default()
+        };
+        let report = run_escalating(
+            EngineKind::Monolithic,
+            &mut m,
+            &fsm,
+            &opts,
+            &EscalationPolicy::default(),
+        );
+        assert!(report.completed(), "rounds: {:?}", report.rounds);
+        assert!(report.rounds.len() > 1, "first run should have mem-out");
+        assert_eq!(report.result.reached_states, baseline.reached_states);
+    }
+
+    #[test]
+    fn error_outcomes_are_not_retried() {
+        // A capacity fault is an internal failure: the driver must not
+        // burn rounds on it.
+        let net = generators::counter(4);
+        let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+        m.set_fault_plan(bfvr_bdd::FaultPlan::capacity_at(5));
+        let opts = ReachOptions {
+            node_limit: Some(1_000_000),
+            ..Default::default()
+        };
+        let report = run_escalating(
+            EngineKind::Monolithic,
+            &mut m,
+            &fsm,
+            &opts,
+            &EscalationPolicy::default(),
+        );
+        m.clear_fault_plan();
+        assert_eq!(report.result.outcome, Outcome::Error);
+        assert_eq!(report.rounds.len(), 1);
+    }
+
+    #[test]
+    fn budget_ceiling_stops_escalation() {
+        let net = generators::queue_controller(3);
+        let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+        let base = m.allocated() + 40;
+        let opts = ReachOptions {
+            node_limit: Some(base),
+            ..Default::default()
+        };
+        let policy = EscalationPolicy {
+            max_node_budget: Some(base + 10),
+            ..Default::default()
+        };
+        let report = run_escalating(EngineKind::Bfv, &mut m, &fsm, &opts, &policy);
+        assert!(!report.completed());
+        // Round 0 plus exactly one capped retry.
+        assert_eq!(report.rounds.len(), 2);
+        assert_eq!(report.rounds[1].node_limit, Some(base + 10));
+    }
+}

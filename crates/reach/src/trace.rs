@@ -78,13 +78,13 @@ pub fn find_trace(
         if opts.max_iterations.is_some_and(|cap| rings.len() > cap) {
             return Ok(None);
         }
-        let from = rings.last().expect("at least the initial ring");
-        let img = simulate_image_with(
-            m,
-            fsm,
-            from.as_bfv().expect("rings are non-empty"),
-            opts.schedule,
-        )?;
+        // Rings grow from the non-empty initial singleton and images of
+        // non-empty sets are non-empty; a missing ring or vector means
+        // there is nothing left to explore.
+        let Some(from_bfv) = rings.last().and_then(StateSet::as_bfv) else {
+            return Ok(None);
+        };
+        let img = simulate_image_with(m, fsm, from_bfv, opts.schedule)?;
         let img_set = StateSet::NonEmpty(img);
         let new_reached = reached.union(m, &space, &img_set)?;
         if new_reached == reached {
@@ -96,19 +96,22 @@ pub fn find_trace(
         rings.push(img_set);
         reached = new_reached;
     }
-    let depth = hit_depth.expect("loop exits only with a hit");
+    // The loop only exits with a hit at a recorded depth.
+    let Some(depth) = hit_depth else {
+        return Ok(None);
+    };
     // Pick the endpoint.
     let hit = rings[depth].intersect(m, &space, target)?;
-    let mut cur = hit
-        .members(m, &space)?
-        .into_iter()
-        .next()
-        .expect("non-empty intersection has a member");
+    let Some(mut cur) = hit.members(m, &space)?.into_iter().next() else {
+        return Ok(None);
+    };
     // Backward pass: predecessor + input per step.
     let mut states = vec![cur.clone()];
     let mut inputs_rev: Vec<Vec<bool>> = Vec::new();
     for i in (1..=depth).rev() {
-        let (prev, inp) = step_back(m, fsm, &rings[i - 1], &cur)?;
+        let Some((prev, inp)) = step_back(m, fsm, &rings[i - 1], &cur)? else {
+            return Ok(None);
+        };
         states.push(prev.clone());
         inputs_rev.push(inp);
         cur = prev;
@@ -121,13 +124,18 @@ pub fn find_trace(
     }))
 }
 
+/// A concrete `(state, input)` pair in component/input order.
+type StepBack = (Vec<bool>, Vec<bool>);
+
 /// Finds some `(state ∈ ring, input)` with `δ(state, input) = next`.
+/// Returns `None` when no predecessor exists (cannot happen for states
+/// taken from the successor ring).
 fn step_back(
     m: &mut BddManager,
     fsm: &EncodedFsm,
     ring: &StateSet,
     next: &[bool],
-) -> Result<(Vec<bool>, Vec<bool>), BfvError> {
+) -> Result<Option<StepBack>, BfvError> {
     let space = fsm.space();
     // cond(v, w) = ⋀_c (δ_c(v,w) ↔ next[c]) ∧ χ_ring(v)
     let mut cond = ring.to_characteristic(m, &space)?;
@@ -138,14 +146,14 @@ fn step_back(
             break;
         }
     }
-    let asg = m
-        .pick_minterm(cond, m.num_vars())
-        .expect("every frontier state has a predecessor in the previous ring");
+    let Some(asg) = m.pick_minterm(cond, m.num_vars()) else {
+        return Ok(None);
+    };
     let state: Vec<bool> = space.vars().iter().map(|v| asg[v.0 as usize]).collect();
     let inputs: Vec<bool> = (0..fsm.input_vars().len())
         .map(|i| asg[fsm.input_var(i).0 as usize])
         .collect();
-    Ok((state, inputs))
+    Ok(Some((state, inputs)))
 }
 
 #[cfg(test)]

@@ -17,8 +17,10 @@ use std::time::Duration;
 
 use bfvr::bfv::StateSet;
 use bfvr::netlist::{bench, blif, generators, Netlist};
+use bfvr::reach::portfolio::{run_escalating, EscalationPolicy};
 use bfvr::reach::{
     check_invariant, find_trace, run as run_engine, CheckResult, EngineKind, ReachOptions,
+    ReachResult,
 };
 use bfvr::sim::{EncodedFsm, OrderHeuristic};
 
@@ -34,6 +36,12 @@ USAGE:
   bfvr reach <file> [--engine bfv|cbm|mono|iwls95|cdec|all]
                     [--order s1|s2|d|o:<seed>]
                     [--time-limit <sec>] [--node-limit <nodes>]
+                    [--escalate]         on T.O./M.O., resume from the
+                                         checkpoint with raised budgets
+                    [--escalate-factor <f>]  budget multiplier per retry
+                                         (default 2)
+                    [--max-budget <nodes>]   node-budget ceiling for
+                                         escalation
                     [--dump-reached]     print the reached set as cubes
   bfvr check <file> --bad <cube>          cube over latches in file order,
                                           e.g. 1x0x (x = don't care)
@@ -163,10 +171,40 @@ fn parse_opts(args: &[String]) -> Result<ReachOptions, String> {
     Ok(opts)
 }
 
+/// Parses the escalation flags; `None` unless `--escalate` is given.
+fn parse_escalation(args: &[String]) -> Result<Option<EscalationPolicy>, String> {
+    let escalate = args.iter().any(|a| a == "--escalate");
+    let factor = flag_value(args, "--escalate-factor");
+    let max_budget = flag_value(args, "--max-budget");
+    if !escalate {
+        if factor.is_some() || max_budget.is_some() {
+            return Err("--escalate-factor/--max-budget require --escalate".into());
+        }
+        return Ok(None);
+    }
+    let mut policy = EscalationPolicy::default();
+    if let Some(f) = factor {
+        policy.factor = f
+            .parse()
+            .map_err(|e| format!("bad --escalate-factor: {e}"))?;
+        if policy.factor <= 1.0 {
+            return Err("--escalate-factor must be > 1".into());
+        }
+    }
+    if let Some(n) = max_budget {
+        policy.max_node_budget = Some(n.parse().map_err(|e| format!("bad --max-budget: {e}"))?);
+    }
+    Ok(Some(policy))
+}
+
 fn cmd_reach(args: &[String]) -> Result<(), String> {
     let net = load(args.get(1).ok_or("reach needs a file")?)?;
     let order = parse_order(args)?;
     let opts = parse_opts(args)?;
+    let escalation = parse_escalation(args)?;
+    if escalation.is_some() && opts.node_limit.is_none() && opts.time_limit.is_none() {
+        return Err("--escalate needs --node-limit and/or --time-limit to raise".into());
+    }
     let engines: Vec<EngineKind> = match flag_value(args, "--engine").as_deref() {
         None | Some("bfv") => vec![EngineKind::Bfv],
         Some("cbm") => vec![EngineKind::Cbm],
@@ -183,7 +221,29 @@ fn cmd_reach(args: &[String]) -> Result<(), String> {
     let dump = args.iter().any(|a| a == "--dump-reached");
     for kind in engines {
         let (mut m, fsm) = EncodedFsm::encode(&net, order).map_err(|e| e.to_string())?;
-        let r = run_engine(kind, &mut m, &fsm, &opts);
+        let r: ReachResult = match &escalation {
+            None => run_engine(kind, &mut m, &fsm, &opts),
+            Some(policy) => {
+                let report = run_escalating(kind, &mut m, &fsm, &opts, policy);
+                for (i, round) in report.rounds.iter().enumerate().skip(1) {
+                    eprintln!(
+                        "{}: round {i} ({}): {} at {} iterations under {} nodes",
+                        kind.label(),
+                        if round.resumed {
+                            "resumed"
+                        } else {
+                            "restarted"
+                        },
+                        round.outcome.label(),
+                        round.iterations,
+                        round
+                            .node_limit
+                            .map_or("unlimited".into(), |n| n.to_string()),
+                    );
+                }
+                report.result
+            }
+        };
         println!(
             "{:8} {:>6} {:>14} {:>7} {:>10.1} {:>11}",
             kind.label(),

@@ -51,12 +51,13 @@ fn interleaved_engines_share_a_manager() {
 
 /// A run that hits the node ceiling mid-flight leaves the manager in a
 /// state where a clean rerun still works — no poisoned caches or leaked
-/// limits.
+/// limits. Budgets that only used to fail because of dead intermediate
+/// nodes now complete: the manager reclaims before reporting `M.O.`.
 #[test]
 fn memout_recovery_is_clean() {
     let net = generators::traffic_chain(3);
     let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
-    for budget in [20usize, 100, 400] {
+    for budget in [20usize, 100] {
         let limit = m.allocated() + budget;
         let r = reach_bfv(
             &mut m,
@@ -73,6 +74,19 @@ fn memout_recovery_is_clean() {
         );
         m.collect_garbage(&[]);
     }
+    // 400 extra nodes used to mem-out; reclaim-before-fail collects the
+    // dead intermediates and lets the run finish inside the same budget.
+    let tight = ReachOptions {
+        node_limit: Some(m.allocated() + 400),
+        ..Default::default()
+    };
+    let reclaimed = reach_bfv(&mut m, &fsm, &tight);
+    assert_eq!(reclaimed.outcome, Outcome::FixedPoint);
+    assert!(
+        m.stats().reclaim_attempts > 0,
+        "tight budget should have forced at least one reclamation"
+    );
+    m.collect_garbage(&[]);
     let ok = reach_bfv(&mut m, &fsm, &ReachOptions::default());
     assert_eq!(ok.outcome, Outcome::FixedPoint);
     assert_eq!(ok.reached_states, Some(64.0)); // all 2^6 phase states
