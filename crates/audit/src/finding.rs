@@ -1,0 +1,331 @@
+//! The diagnostic vocabulary: passes, severities, witnesses, findings and
+//! the sorted report.
+
+use std::fmt;
+
+use bfvr_bdd::{Bdd, BddManager, Var};
+
+/// How serious a finding is.
+///
+/// Ordered so that `Info < Warning < Error`; reports sort descending.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Context the caller may want (e.g. an audit skipped as inconclusive).
+    Info,
+    /// A quality problem that does not make results wrong (e.g. a leak).
+    Warning,
+    /// A broken invariant: results can no longer be trusted.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label, as rendered in diagnostics.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The analysis passes of the framework, in the order they run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Pass {
+    /// Graph well-formedness: variable-order monotonicity, the
+    /// no-complemented-hi canonical rule, unique-table canonicity and the
+    /// refcount/arena audit (subsumes the old `check_invariants`).
+    GraphWf,
+    /// Dead-node and cache-residue leak detection after collection.
+    Leak,
+    /// BFV support restriction: `f_i` depends only on `v_1 … v_i` (§2.2).
+    BfvSupport,
+    /// Exclusivity and completeness of the `f¹`/`f⁰`/`fᶜ` condition
+    /// partition (§2.2).
+    BfvPartition,
+    /// Idempotence `F(F(X)) = F(X)`, checked symbolically: members map to
+    /// themselves (§2.2, canonicity condition 2).
+    BfvIdempotence,
+    /// CDec prefix restriction: constraint `c_i` ranges over `v_1 … v_i`
+    /// only, and the decomposition has one constraint per component
+    /// (§2.7).
+    CdecPrefix,
+    /// Cross-representation equivalence: χ, the BFV range and the CDec
+    /// constraints describe the same set.
+    CrossEquiv,
+}
+
+impl Pass {
+    /// Every pass, in run order.
+    pub const ALL: [Pass; 7] = [
+        Pass::GraphWf,
+        Pass::Leak,
+        Pass::BfvSupport,
+        Pass::BfvPartition,
+        Pass::BfvIdempotence,
+        Pass::CdecPrefix,
+        Pass::CrossEquiv,
+    ];
+
+    /// Stable pass identifier, as rendered in diagnostics (`error[bfv-support]`).
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Pass::GraphWf => "graph-wf",
+            Pass::Leak => "leak",
+            Pass::BfvSupport => "bfv-support",
+            Pass::BfvPartition => "bfv-partition",
+            Pass::BfvIdempotence => "bfv-idempotence",
+            Pass::CdecPrefix => "cdec-prefix",
+            Pass::CrossEquiv => "cross-equiv",
+        }
+    }
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// A concrete counterexample cube: one assignment of the violating BDD's
+/// support variables under which the reported property fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Witness {
+    /// `(variable, value)` pairs, in variable order. Empty means the
+    /// violation holds under every assignment.
+    pub assignment: Vec<(Var, bool)>,
+}
+
+impl Witness {
+    /// Extracts a witness cube from a non-⊥ violation function: a minterm
+    /// of `violation`, restricted to its support variables. Returns `None`
+    /// for ⊥ (no violation to witness).
+    #[must_use]
+    pub fn from_violation(m: &BddManager, violation: Bdd) -> Option<Witness> {
+        let minterm = m.pick_minterm(violation, m.num_vars())?;
+        let assignment = m
+            .support(violation)
+            .vars()
+            .into_iter()
+            .map(|v| (v, minterm[v.0 as usize]))
+            .collect();
+        Some(Witness { assignment })
+    }
+}
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.assignment.is_empty() {
+            return f.write_str("(any assignment)");
+        }
+        for (i, (v, val)) in self.assignment.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{v}={}", u8::from(*val))?;
+        }
+        Ok(())
+    }
+}
+
+/// One diagnostic: a pass, a severity, the path of the violating object,
+/// a message and (where extractable) a concrete witness cube.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// The pass that produced this finding.
+    pub pass: Pass,
+    /// How serious it is.
+    pub severity: Severity,
+    /// Path of the violating object, e.g. `bfv/component[2]` or
+    /// `manager/slot[17]`, optionally scoped (`iter[3]/bfv/component[2]`).
+    pub path: String,
+    /// One-line description with the concrete numbers.
+    pub message: String,
+    /// A counterexample cube, when one can be extracted from the
+    /// violating BDD.
+    pub witness: Option<Witness>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.pass, self.message)?;
+        write!(f, "\n  --> {}", self.path)?;
+        if let Some(w) = &self.witness {
+            write!(f, "\n  witness: {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An accumulating collection of findings with stable, diff-friendly
+/// ordering: severity (most severe first), then pass id, then path.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    findings: Vec<Finding>,
+}
+
+impl Report {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends one finding.
+    pub fn push(&mut self, finding: Finding) {
+        self.findings.push(finding);
+    }
+
+    /// Number of findings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.findings.len()
+    }
+
+    /// Whether the report holds no findings.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The findings in sorted order (severity desc, pass id, path,
+    /// message).
+    #[must_use]
+    pub fn sorted(&self) -> Vec<&Finding> {
+        let mut v: Vec<&Finding> = self.findings.iter().collect();
+        v.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.pass.id().cmp(b.pass.id()))
+                .then_with(|| a.path.cmp(&b.path))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+        v
+    }
+
+    /// The most severe finding level, if any.
+    #[must_use]
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// Whether any finding is at [`Severity::Error`] (the exit-code
+    /// contract of `bfvr audit`: nonzero iff this is true).
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.max_severity() == Some(Severity::Error)
+    }
+
+    /// Count of findings at exactly `severity`.
+    #[must_use]
+    pub fn count_at(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+
+    /// All findings produced by `pass`, unsorted.
+    pub fn by_pass(&self, pass: Pass) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.pass == pass)
+    }
+
+    /// Renders every finding in sorted order, one compiler-style block
+    /// per finding, separated by blank lines.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let blocks: Vec<String> = self.sorted().iter().map(|f| f.to_string()).collect();
+        blocks.join("\n\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(pass: Pass, severity: Severity, path: &str) -> Finding {
+        Finding {
+            pass,
+            severity,
+            path: path.to_string(),
+            message: "m".to_string(),
+            witness: None,
+        }
+    }
+
+    #[test]
+    fn report_sorts_by_severity_then_pass_then_path() {
+        let mut r = Report::new();
+        r.push(finding(Pass::Leak, Severity::Warning, "b"));
+        r.push(finding(Pass::BfvSupport, Severity::Error, "z"));
+        r.push(finding(Pass::GraphWf, Severity::Error, "a"));
+        r.push(finding(Pass::Leak, Severity::Warning, "a"));
+        let order: Vec<(&str, &str)> = r
+            .sorted()
+            .iter()
+            .map(|f| (f.pass.id(), f.path.as_str()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("bfv-support", "z"),
+                ("graph-wf", "a"),
+                ("leak", "a"),
+                ("leak", "b"),
+            ]
+        );
+        assert!(r.has_errors());
+        assert_eq!(r.max_severity(), Some(Severity::Error));
+        assert_eq!(r.count_at(Severity::Warning), 2);
+    }
+
+    #[test]
+    fn witness_renders_as_cube() {
+        let w = Witness {
+            assignment: vec![(Var(0), true), (Var(3), false)],
+        };
+        assert_eq!(w.to_string(), "v0=1 v3=0");
+        let any = Witness { assignment: vec![] };
+        assert_eq!(any.to_string(), "(any assignment)");
+    }
+
+    #[test]
+    fn finding_renders_compiler_style() {
+        let f = Finding {
+            pass: Pass::BfvSupport,
+            severity: Severity::Error,
+            path: "iter[3]/bfv/component[2]".to_string(),
+            message: "component 2 depends on v5".to_string(),
+            witness: Some(Witness {
+                assignment: vec![(Var(5), true)],
+            }),
+        };
+        assert_eq!(
+            f.to_string(),
+            "error[bfv-support]: component 2 depends on v5\n  --> iter[3]/bfv/component[2]\n  witness: v5=1"
+        );
+    }
+
+    #[test]
+    fn witness_extraction_restricts_to_support() {
+        let mut m = BddManager::new(4);
+        let a = m.var(Var(0));
+        let c = m.var(Var(2));
+        let f = m.and(a, c).unwrap();
+        let w = Witness::from_violation(&m, f).unwrap();
+        assert_eq!(w.assignment, vec![(Var(0), true), (Var(2), true)]);
+        assert!(Witness::from_violation(&m, Bdd::FALSE).is_none());
+        assert_eq!(
+            Witness::from_violation(&m, Bdd::TRUE).unwrap().assignment,
+            vec![]
+        );
+    }
+}

@@ -103,6 +103,14 @@ impl Arena {
         Ok(idx)
     }
 
+    /// Overwrites the node stored at `idx` in place, bypassing hash
+    /// consing. Only for the audit corruption hooks
+    /// ([`crate::audit::Corruption`]): normal code must never mutate a
+    /// stored node, since the unique table keys on its contents.
+    pub fn set(&mut self, idx: u32, node: Node) {
+        self.nodes[idx as usize] = node;
+    }
+
     /// Returns slot `idx` to the free list. The caller is responsible for
     /// removing the node from the unique table first.
     pub fn free(&mut self, idx: u32) {

@@ -59,6 +59,13 @@ impl OpCache {
         self.map.clear();
     }
 
+    /// Resident entries, for the cache-residue audit: `(key, result)`
+    /// pairs where every component is a raw edge word (or a literal 0,
+    /// which reads as the always-live terminal edge).
+    pub fn entries(&self) -> impl Iterator<Item = ((u32, u32, u32), u32)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+
     fn stats(&self, name: &'static str) -> CacheStats {
         CacheStats {
             name,
@@ -117,6 +124,17 @@ impl Caches {
         let lookups = all.iter().map(|c| c.lookups).sum();
         let hits = all.iter().map(|c| c.hits).sum();
         (lookups, hits)
+    }
+
+    /// All caches with their operation names, for the cache-residue audit.
+    pub fn named(&self) -> [(&'static str, &OpCache); 5] {
+        [
+            ("ite", &self.ite),
+            ("exists", &self.exists),
+            ("and_exists", &self.and_exists),
+            ("constrain", &self.constrain),
+            ("restrict", &self.restrict),
+        ]
     }
 
     /// Per-operation counter snapshot.

@@ -15,6 +15,7 @@ pub struct Support {
 
 impl Support {
     /// An empty support over `num_vars` variables.
+    #[must_use]
     pub fn empty(num_vars: u32) -> Self {
         Support {
             bits: vec![0; (num_vars as usize).div_ceil(64)],
@@ -26,22 +27,26 @@ impl Support {
     }
 
     /// Whether the function depends on `v`.
+    #[must_use]
     pub fn contains(&self, v: Var) -> bool {
         let w = (v.0 / 64) as usize;
         w < self.bits.len() && self.bits[w] & (1 << (v.0 % 64)) != 0
     }
 
     /// Number of variables in the support.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.bits.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Whether the support is empty (a constant function).
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.bits.iter().all(|&w| w == 0)
     }
 
     /// The support variables in order, top to bottom.
+    #[must_use]
     pub fn vars(&self) -> Vec<Var> {
         let mut out = Vec::with_capacity(self.len());
         for (i, &w) in self.bits.iter().enumerate() {
@@ -66,6 +71,7 @@ impl Support {
     }
 
     /// Whether the two supports share any variable.
+    #[must_use]
     pub fn intersects(&self, other: &Support) -> bool {
         self.bits
             .iter()

@@ -43,6 +43,7 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// A plan that fails the `k`-th (and every later) node allocation
     /// with [`crate::BddError::NodeLimit`].
+    #[must_use]
     pub fn node_limit_at(k: u64) -> Self {
         FaultPlan {
             fail_alloc_at: Some(k.max(1)),
@@ -53,6 +54,7 @@ impl FaultPlan {
 
     /// A plan that fails the `k`-th (and every later) node allocation
     /// with [`crate::BddError::Capacity`].
+    #[must_use]
     pub fn capacity_at(k: u64) -> Self {
         FaultPlan {
             fail_alloc_at: Some(k.max(1)),
@@ -64,6 +66,7 @@ impl FaultPlan {
     /// A plan that fails the `k`-th (and every later)
     /// [`crate::BddManager::check_deadline`] call with
     /// [`crate::BddError::Deadline`].
+    #[must_use]
     pub fn deadline_at(k: u64) -> Self {
         FaultPlan {
             fail_alloc_at: None,

@@ -48,6 +48,7 @@ impl Func {
 
     /// The underlying edge handle, for use with manager operations.
     #[inline]
+    #[must_use]
     pub fn bdd(&self) -> Bdd {
         self.edge
     }
@@ -55,6 +56,7 @@ impl Func {
     /// The complement `¬f`, as a new pinned handle. Constant time: with
     /// complement edges this flips one bit and bumps the shared refcount —
     /// no manager access and no node allocation.
+    #[must_use]
     pub fn not(&self) -> Func {
         Func::new(self.edge.complement(), Rc::clone(&self.roots))
     }

@@ -76,6 +76,7 @@
 
 mod apply;
 mod arena;
+pub mod audit;
 mod cache;
 mod compose;
 mod constrain;
@@ -92,6 +93,7 @@ mod quant;
 mod transfer;
 mod unique;
 
+pub use audit::{Corruption, GraphIssue, GraphIssueKind};
 pub use cache::CacheStats;
 pub use error::BddError;
 pub use explore::{CubeIter, Support};

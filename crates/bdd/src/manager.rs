@@ -17,13 +17,13 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::time::Instant;
 
-use crate::arena::{Arena, FREE_LIST_END};
+use crate::arena::Arena;
 use crate::cache::{CacheStats, Caches};
 use crate::error::BddError;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::func::{Func, RootTable};
 use crate::hash::FxHashMap;
-use crate::node::{Bdd, Node, Var, FREE_LEVEL, TERMINAL_LEVEL};
+use crate::node::{Bdd, Node, Var, TERMINAL_LEVEL};
 use crate::unique::UniqueTable;
 use crate::Result;
 
@@ -83,16 +83,16 @@ pub struct GcStats {
 /// Table 2 without thrashing the host.
 #[derive(Debug)]
 pub struct BddManager {
-    arena: Arena,
-    unique: UniqueTable,
+    pub(crate) arena: Arena,
+    pub(crate) unique: UniqueTable,
     pub(crate) caches: Caches,
     num_vars: u32,
     /// Pre-built positive literal edge for each variable (stable, rooted).
-    var_nodes: Vec<u32>,
+    pub(crate) var_nodes: Vec<u32>,
     node_limit: usize,
     deadline: Option<Instant>,
     /// Refcounted roots held by live [`Func`] handles (node index → count).
-    roots: RootTable,
+    pub(crate) roots: RootTable,
     stats: ManagerStats,
     /// Nesting depth of public operation entry points; reclaim-and-retry
     /// happens only at depth 0 (the outermost call), where no in-flight
@@ -103,7 +103,7 @@ pub struct BddManager {
     /// caller can hold was returned by some operation (or is pinned/a
     /// literal), so protecting returned results makes mid-operation
     /// collection safe while still freeing operation-internal transients.
-    result_pins: Vec<u32>,
+    pub(crate) result_pins: Vec<u32>,
     /// Armed deterministic fault schedule, if any.
     fault: Option<FaultPlan>,
     /// 1-based ordinal of node-allocation attempts (fault injection).
@@ -121,6 +121,7 @@ impl BddManager {
     /// # Panics
     ///
     /// Panics if `num_vars` exceeds the 31-bit node index space.
+    #[must_use]
     pub fn new(num_vars: u32) -> Self {
         assert!(num_vars < (u32::MAX >> 1) - 1, "too many variables");
         let mut m = BddManager {
@@ -206,9 +207,23 @@ impl BddManager {
         self.node_limit = usize::MAX;
     }
 
+    /// The armed node ceiling, if any. Lets callers (such as the audit
+    /// passes) save, suspend and restore the limit around out-of-band
+    /// work that must not trip it.
+    #[must_use]
+    pub fn node_limit(&self) -> Option<usize> {
+        (self.node_limit != usize::MAX).then_some(self.node_limit)
+    }
+
     /// Arms a wall-clock deadline; passed ⇒ [`BddError::Deadline`].
     pub fn set_deadline(&mut self, deadline: Option<Instant>) {
         self.deadline = deadline;
+    }
+
+    /// The armed deadline, if any (see [`BddManager::node_limit`]).
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
     }
 
     /// Fails with [`BddError::Deadline`] if the armed deadline has passed.
@@ -467,22 +482,35 @@ impl BddManager {
     /// `roots`, and all pinned results, then sweeps and flushes the
     /// computed caches. Returns the number of nodes recovered.
     fn reclaim(&mut self, roots: &[Bdd]) -> usize {
-        let mut stack: Vec<u32> = roots.iter().map(|b| b.node()).collect();
-        stack.extend(self.result_pins.iter().copied());
-        stack.extend(self.roots.borrow().keys().copied());
-        stack.extend(self.var_nodes.iter().map(|&e| e >> 1));
-        let mark = self.mark_from(stack);
+        let mark = self.mark_from(self.root_indices(roots, true));
         let collected = self.sweep(&mark);
         self.stats.reclaim_attempts += 1;
         self.stats.reclaimed_nodes += collected as u64;
+        self.cheap_integrity_check();
         collected
     }
 
     // ----- garbage collection -------------------------------------------
 
+    /// The mark-phase root set: the caller-supplied `roots`, every node
+    /// refcounted by a live [`Func`] handle, the per-variable literal
+    /// nodes and — when `with_result_pins` — the pinned results of
+    /// completed operations. This single definition of "root" is shared by
+    /// [`Self::reclaim`], [`Self::collect_garbage`] and the leak audit, so
+    /// the three can never drift apart.
+    pub(crate) fn root_indices(&self, roots: &[Bdd], with_result_pins: bool) -> Vec<u32> {
+        let mut stack: Vec<u32> = roots.iter().map(|b| b.node()).collect();
+        if with_result_pins {
+            stack.extend(self.result_pins.iter().copied());
+        }
+        stack.extend(self.roots.borrow().keys().copied());
+        stack.extend(self.var_nodes.iter().map(|&e| e >> 1));
+        stack
+    }
+
     /// Marks every node reachable from the indices on `stack`; slot 0 (the
     /// terminal) is always marked.
-    fn mark_from(&self, mut stack: Vec<u32>) -> Vec<bool> {
+    pub(crate) fn mark_from(&self, mut stack: Vec<u32>) -> Vec<bool> {
         let mut mark = vec![false; self.arena.len()];
         mark[0] = true; // the terminal
         while let Some(i) = stack.pop() {
@@ -525,17 +553,34 @@ impl BddManager {
     /// be pinned by one of those to survive.
     pub fn collect_garbage(&mut self, roots: &[Bdd]) -> GcStats {
         self.result_pins.clear();
-        let mut stack: Vec<u32> = roots.iter().map(|b| b.node()).collect();
-        stack.extend(self.roots.borrow().keys().copied());
-        stack.extend(self.var_nodes.iter().map(|&e| e >> 1));
-        let mark = self.mark_from(stack);
+        let mark = self.mark_from(self.root_indices(roots, false));
         let collected = self.sweep(&mark);
         self.stats.gc_runs += 1;
         self.stats.gc_reclaimed += collected as u64;
+        self.cheap_integrity_check();
         GcStats {
             collected,
             live: self.allocated(),
         }
+    }
+
+    /// O(levels) always-on integrity check run at every collection
+    /// boundary: the terminal occupies slot 0 and the unique table holds
+    /// exactly one entry per live interior node. Catches arena/unique
+    /// drift (lost or duplicated hash-consing entries) immediately instead
+    /// of many iterations later as a wrong reached-state count; the
+    /// exhaustive per-node walk stays in [`BddManager::audit_graph`].
+    fn cheap_integrity_check(&self) {
+        assert!(
+            self.arena.get(0).var == TERMINAL_LEVEL,
+            "post-GC integrity: slot 0 does not hold the terminal"
+        );
+        assert!(
+            self.unique.len() == self.allocated() - 1,
+            "post-GC integrity: unique table holds {} entries for {} live interior nodes",
+            self.unique.len(),
+            self.allocated() - 1
+        );
     }
 
     /// Counts the nodes reachable from `roots` (shared live size) without
@@ -568,131 +613,6 @@ impl BddManager {
     /// always live.
     pub fn is_live(&self, f: Bdd) -> bool {
         self.arena.is_live_slot(f.node())
-    }
-
-    // ----- validation ---------------------------------------------------
-
-    /// Exhaustively validates the manager's representation invariants,
-    /// returning a description of the first violation found.
-    ///
-    /// Checked: slot 0 holds the only terminal; every live interior node
-    /// has a regular (non-complemented) `hi` edge, distinct children, live
-    /// children strictly below it in the order, and exactly one matching
-    /// unique-table entry; every unique-table entry points back at a
-    /// matching live slot; every `Func` refcount is positive and pins a
-    /// live slot; every result pin and literal node is live and
-    /// well-formed; and the free list is exactly the set of freed slots.
-    ///
-    /// O(nodes) — intended for tests and fault-injection harnesses, not
-    /// hot paths.
-    pub fn check_invariants(&self) -> std::result::Result<(), String> {
-        if self.arena.get(0).var != TERMINAL_LEVEL {
-            return Err("slot 0 does not hold the terminal".to_string());
-        }
-        let mut live_interior = 0usize;
-        for i in 0..self.arena.len() as u32 {
-            if !self.arena.is_live_slot(i) {
-                continue;
-            }
-            let n = self.arena.get(i);
-            if n.var == TERMINAL_LEVEL {
-                if i != 0 {
-                    return Err(format!("terminal node stored at non-zero slot {i}"));
-                }
-                continue;
-            }
-            if n.var >= self.num_vars {
-                return Err(format!("slot {i}: variable {} out of range", n.var));
-            }
-            live_interior += 1;
-            if n.hi & 1 != 0 {
-                return Err(format!("slot {i}: complemented hi edge"));
-            }
-            if n.lo == n.hi {
-                return Err(format!("slot {i}: redundant node (lo == hi)"));
-            }
-            for (name, edge) in [("lo", n.lo), ("hi", n.hi)] {
-                let child = edge >> 1;
-                if !self.arena.is_live_slot(child) {
-                    return Err(format!("slot {i}: {name} child {child} is freed"));
-                }
-                if self.arena.get(child).var <= n.var {
-                    return Err(format!("slot {i}: {name} child {child} violates the order"));
-                }
-            }
-            match self.unique.get(n.var, n.lo, n.hi) {
-                Some(idx) if idx == i => {}
-                Some(idx) => {
-                    return Err(format!("slot {i}: unique table maps its key to slot {idx}"))
-                }
-                None => return Err(format!("slot {i}: missing from the unique table")),
-            }
-        }
-        if self.unique.len() != live_interior {
-            return Err(format!(
-                "unique table holds {} entries for {live_interior} live interior nodes",
-                self.unique.len()
-            ));
-        }
-        for (var, lo, hi, idx) in self.unique.iter() {
-            if !self.arena.is_live_slot(idx) {
-                return Err(format!(
-                    "unique entry ({var}, {lo}, {hi}) points at freed slot {idx}"
-                ));
-            }
-            let n = self.arena.get(idx);
-            if n.var != var || n.lo != lo || n.hi != hi {
-                return Err(format!(
-                    "unique entry ({var}, {lo}, {hi}) disagrees with slot {idx}"
-                ));
-            }
-        }
-        for (&idx, &count) in self.roots.borrow().iter() {
-            if count == 0 {
-                return Err(format!("root table holds a zero refcount for slot {idx}"));
-            }
-            if !self.arena.is_live_slot(idx) {
-                return Err(format!("root table pins freed slot {idx}"));
-            }
-        }
-        for &idx in &self.result_pins {
-            if !self.arena.is_live_slot(idx) {
-                return Err(format!("result pin references freed slot {idx}"));
-            }
-        }
-        for (v, &e) in self.var_nodes.iter().enumerate() {
-            let idx = e >> 1;
-            if !self.arena.is_live_slot(idx) {
-                return Err(format!("literal node for variable {v} is freed"));
-            }
-            let n = self.arena.get(idx);
-            if n.var != v as u32 || n.lo != Bdd::FALSE.0 || n.hi != Bdd::TRUE.0 {
-                return Err(format!("literal node for variable {v} is malformed"));
-            }
-        }
-        let mut seen = 0usize;
-        let mut cur = self.arena.free_head();
-        while cur != FREE_LIST_END {
-            if cur as usize >= self.arena.len() {
-                return Err(format!("free list points outside the arena ({cur})"));
-            }
-            let n = self.arena.get(cur);
-            if n.var != FREE_LEVEL {
-                return Err(format!("free list passes through live slot {cur}"));
-            }
-            seen += 1;
-            if seen > self.arena.free_slots() {
-                return Err("free list is longer than the free count (cycle?)".to_string());
-            }
-            cur = n.lo;
-        }
-        if seen != self.arena.free_slots() {
-            return Err(format!(
-                "free list has {seen} entries but {} slots are free",
-                self.arena.free_slots()
-            ));
-        }
-        Ok(())
     }
 }
 

@@ -35,18 +35,21 @@ impl Bdd {
 
     /// Returns `true` if this handle is one of the two constant functions.
     #[inline]
+    #[must_use]
     pub fn is_const(self) -> bool {
         self.0 <= 1
     }
 
     /// Returns `true` if this is the constant-false function.
     #[inline]
+    #[must_use]
     pub fn is_false(self) -> bool {
         self == Bdd::FALSE
     }
 
     /// Returns `true` if this is the constant-true function.
     #[inline]
+    #[must_use]
     pub fn is_true(self) -> bool {
         self == Bdd::TRUE
     }
@@ -58,6 +61,7 @@ impl Bdd {
     /// function and its complement — have distinct values. Not useful for
     /// interpreting the node.
     #[inline]
+    #[must_use]
     pub fn index(self) -> u32 {
         self.0
     }
@@ -110,6 +114,7 @@ pub struct Var(pub u32);
 impl Var {
     /// The level of this variable (0 = top of the order).
     #[inline]
+    #[must_use]
     pub fn level(self) -> u32 {
         self.0
     }

@@ -16,6 +16,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 use std::time::Duration;
 
@@ -25,6 +27,7 @@ use bfvr_sim::{EncodedFsm, OrderHeuristic};
 
 /// The variable orders of the Table 2 reproduction, labeled like the
 /// paper's columns.
+#[must_use]
 pub fn table_orders() -> Vec<OrderHeuristic> {
     vec![
         OrderHeuristic::DfsFanin,
@@ -39,6 +42,10 @@ pub fn table_orders() -> Vec<OrderHeuristic> {
 /// # Panics
 ///
 /// Panics if the circuit cannot be encoded (generator circuits always can).
+#[must_use]
+// The suite only feeds bundled, known-good circuits; an encode failure
+// here means the suite definition itself is broken.
+#[allow(clippy::expect_used)]
 pub fn run_cell(
     net: &Netlist,
     order: OrderHeuristic,
@@ -51,6 +58,7 @@ pub fn run_cell(
 
 /// Default per-cell limits for table runs (scaled-down analogue of the
 /// paper's 10 h / 1 GB budget).
+#[must_use]
 pub fn cell_limits(seconds: u64, nodes: usize) -> ReachOptions {
     ReachOptions {
         time_limit: Some(Duration::from_secs(seconds)),
@@ -61,6 +69,7 @@ pub fn cell_limits(seconds: u64, nodes: usize) -> ReachOptions {
 
 /// Formats a result like a Table 2 cell: `time(s)  peak(K)` or the
 /// outcome marker.
+#[must_use]
 pub fn format_cell(r: &ReachResult) -> String {
     match r.outcome {
         bfvr_reach::Outcome::FixedPoint => format!(

@@ -125,6 +125,7 @@ impl CDec {
     }
 
     /// The per-component constraints.
+    #[must_use]
     pub fn constraints(&self) -> &[Bdd] {
         &self.constraints
     }
@@ -133,6 +134,7 @@ impl CDec {
     /// list (e.g. a checkpoint). The caller must pass constraints taken
     /// from a canonical decomposition — `c_i` over `v_1 … v_i` only —
     /// since no canonicity check is performed here.
+    #[must_use]
     pub fn from_constraints(constraints: Vec<Bdd>) -> Self {
         CDec { constraints }
     }

@@ -118,7 +118,7 @@ impl StateSet {
             }
             sets = next;
         }
-        Ok(sets.pop().expect("non-empty by construction"))
+        Ok(sets.pop().unwrap_or(StateSet::Empty))
     }
 
     /// Wraps a characteristic function (over the space's choice
@@ -147,11 +147,13 @@ impl StateSet {
     }
 
     /// Whether this is the empty set.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         matches!(self, StateSet::Empty)
     }
 
     /// Borrows the canonical vector, or `None` for the empty set.
+    #[must_use]
     pub fn as_bfv(&self) -> Option<&Bfv> {
         match self {
             StateSet::Empty => None,
@@ -300,8 +302,8 @@ impl StateSet {
         let positions: Vec<usize> = space.vars().iter().map(|v| v.0 as usize).collect();
         for cube in m.cubes(chi, m.num_vars()) {
             // χ depends only on choice variables; project and expand.
-            let mut partial: Vec<Option<bool>> = positions.iter().map(|&p| cube[p]).collect();
-            expand(&mut partial, 0, &mut out);
+            let partial: Vec<Option<bool>> = positions.iter().map(|&p| cube[p]).collect();
+            expand(&partial, &mut Vec::new(), &mut out);
         }
         out.sort();
         out.dedup();
@@ -309,19 +311,20 @@ impl StateSet {
     }
 }
 
-fn expand(partial: &mut Vec<Option<bool>>, i: usize, out: &mut Vec<Vec<bool>>) {
-    if i == partial.len() {
-        out.push(partial.iter().map(|b| b.unwrap()).collect());
-        return;
-    }
-    match partial[i] {
-        Some(_) => expand(partial, i + 1, out),
-        None => {
+fn expand(partial: &[Option<bool>], acc: &mut Vec<bool>, out: &mut Vec<Vec<bool>>) {
+    match partial.split_first() {
+        None => out.push(acc.clone()),
+        Some((&Some(v), rest)) => {
+            acc.push(v);
+            expand(rest, acc, out);
+            acc.pop();
+        }
+        Some((&None, rest)) => {
             for v in [false, true] {
-                partial[i] = Some(v);
-                expand(partial, i + 1, out);
+                acc.push(v);
+                expand(rest, acc, out);
+                acc.pop();
             }
-            partial[i] = None;
         }
     }
 }

@@ -57,12 +57,14 @@ impl Space {
 
     /// Number of components.
     #[inline]
+    #[must_use]
     pub fn len(&self) -> usize {
         self.vars.len()
     }
 
     /// Always false: spaces have at least one component.
     #[inline]
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         false
     }
@@ -73,12 +75,14 @@ impl Space {
     ///
     /// Panics if `i` is out of range.
     #[inline]
+    #[must_use]
     pub fn var(&self, i: usize) -> Var {
         self.vars[i]
     }
 
     /// All choice variables in component order.
     #[inline]
+    #[must_use]
     pub fn vars(&self) -> &[Var] {
         &self.vars
     }
@@ -90,6 +94,7 @@ impl Space {
     /// # Panics
     ///
     /// Panics if `perm` is not a permutation of `0..len()`.
+    #[must_use]
     pub fn permuted(&self, perm: &[usize]) -> Space {
         assert_eq!(perm.len(), self.vars.len(), "permutation length mismatch");
         let mut seen = vec![false; perm.len()];

@@ -52,12 +52,14 @@ impl Bfv {
 
     /// Number of components.
     #[inline]
+    #[must_use]
     pub fn len(&self) -> usize {
         self.components.len()
     }
 
     /// Always false: vectors have at least one component.
     #[inline]
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         false
     }
@@ -68,12 +70,14 @@ impl Bfv {
     ///
     /// Panics if `i` is out of range.
     #[inline]
+    #[must_use]
     pub fn component(&self, i: usize) -> Bdd {
         self.components[i]
     }
 
     /// All component functions in component order.
     #[inline]
+    #[must_use]
     pub fn components(&self) -> &[Bdd] {
         &self.components
     }

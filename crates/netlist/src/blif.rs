@@ -191,6 +191,7 @@ pub fn parse(text: &str) -> Result<Netlist> {
 
 /// Serializes a netlist as BLIF. Every gate kind (including
 /// [`GateKind::Cover`]) is expressible.
+#[must_use]
 pub fn write(net: &Netlist) -> String {
     let mut out = String::new();
     let _ = writeln!(out, ".model {}", net.name());

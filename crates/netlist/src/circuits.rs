@@ -32,6 +32,8 @@ G13 = NAND(G2, G12)
 /// # Panics
 ///
 /// Never panics — the embedded text is valid (covered by tests).
+#[must_use]
+#[allow(clippy::expect_used)] // embedded text is fixed and covered by tests
 pub fn s27() -> Netlist {
     crate::bench::parse_named(S27_BENCH, "s27").expect("embedded s27 is valid")
 }

@@ -13,6 +13,7 @@ use crate::model::{GateKind, Netlist, NetlistBuilder};
 /// # Panics
 ///
 /// Panics if `n == 0`.
+#[must_use]
 pub fn counter(n: u32) -> Netlist {
     assert!(n > 0, "counter needs at least one bit");
     let mut b = NetlistBuilder::new(format!("cnt{n}"));
@@ -108,6 +109,7 @@ pub fn counter_modk(n: u32, k: u64) -> Netlist {
 /// # Panics
 ///
 /// Panics if `n == 0`.
+#[must_use]
 pub fn gray(n: u32) -> Netlist {
     assert!(n > 0, "gray counter needs at least one bit");
     let mut b = NetlistBuilder::new(format!("gray{n}"));

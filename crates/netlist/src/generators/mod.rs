@@ -73,6 +73,7 @@ impl ToBench for Netlist {
 
 /// The standard benchmark suite used by the Table 2 reproduction: pairs of
 /// `(name, netlist)` at the sizes the experiments run at.
+#[must_use]
 pub fn standard_suite() -> Vec<(String, Netlist)> {
     vec![
         ("s27".to_string(), crate::circuits::s27()),

@@ -13,6 +13,7 @@ use super::BuilderExt;
 /// # Panics
 ///
 /// Panics if `n == 0`.
+#[must_use]
 pub fn shift_register(n: u32) -> Netlist {
     assert!(n > 0, "shift register needs at least one stage");
     let mut b = NetlistBuilder::new(format!("shift{n}"));
@@ -102,6 +103,7 @@ pub fn lfsr(n: u32) -> Netlist {
 /// # Panics
 ///
 /// Panics if `n < 2`.
+#[must_use]
 pub fn johnson(n: u32) -> Netlist {
     assert!(n >= 2, "johnson counter needs at least two stages");
     let mut b = NetlistBuilder::new(format!("johnson{n}"));

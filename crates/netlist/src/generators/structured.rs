@@ -19,6 +19,7 @@ use super::BuilderExt;
 /// # Panics
 ///
 /// Panics if `p == 0`.
+#[must_use]
 pub fn paired_registers(p: u32) -> Netlist {
     assert!(p > 0, "need at least one pair");
     let mut b = NetlistBuilder::new(format!("pair{p}"));
@@ -171,6 +172,7 @@ fn decrementer(b: &mut NetlistBuilder, src: &str, dst: &str, n: u32, en: &str) {
 /// # Panics
 ///
 /// Panics if `n < 2`.
+#[must_use]
 pub fn rotator(n: u32) -> Netlist {
     assert!(n >= 2, "rotator needs at least two stations");
     let mut b = NetlistBuilder::new(format!("rot{n}"));
@@ -199,6 +201,7 @@ pub fn rotator(n: u32) -> Netlist {
 /// # Panics
 ///
 /// Panics if `k == 0`.
+#[must_use]
 pub fn traffic_chain(k: u32) -> Netlist {
     assert!(k > 0, "traffic chain needs at least one stage");
     let mut b = NetlistBuilder::new(format!("traffic{k}"));

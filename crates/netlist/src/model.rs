@@ -10,6 +10,7 @@ pub struct SignalId(pub(crate) u32);
 
 impl SignalId {
     /// Raw index of this signal in the netlist's signal table.
+    #[must_use]
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -52,6 +53,7 @@ impl GateKind {
     /// Panics if the arity is invalid for the kind (e.g. `Not` with two
     /// fan-ins) — construction validates this, so only hand-rolled gates
     /// can trip it.
+    #[must_use]
     pub fn eval(&self, ins: &[bool]) -> bool {
         match self {
             GateKind::And => ins.iter().all(|&b| b),
@@ -73,6 +75,7 @@ impl GateKind {
     }
 
     /// Whether `n` fan-ins are legal for this gate kind.
+    #[must_use]
     pub fn arity_ok(&self, n: usize) -> bool {
         match self {
             GateKind::Not | GateKind::Buf => n == 1,
@@ -158,21 +161,25 @@ impl fmt::Display for NetlistStats {
 
 impl Netlist {
     /// The netlist's name (model name for BLIF, file stem for bench).
+    #[must_use]
     pub fn name(&self) -> &str {
         &self.name
     }
 
     /// Number of signals (inputs + latch outputs + gate outputs).
+    #[must_use]
     pub fn num_signals(&self) -> usize {
         self.names.len()
     }
 
     /// The name of a signal.
+    #[must_use]
     pub fn signal_name(&self, s: SignalId) -> &str {
         &self.names[s.index()]
     }
 
     /// Looks a signal up by name.
+    #[must_use]
     pub fn find_signal(&self, name: &str) -> Option<SignalId> {
         self.names
             .iter()
@@ -181,31 +188,43 @@ impl Netlist {
     }
 
     /// Primary inputs, in declaration order.
+    #[must_use]
     pub fn inputs(&self) -> &[SignalId] {
         &self.inputs
     }
 
     /// Primary outputs, in declaration order.
+    #[must_use]
     pub fn outputs(&self) -> &[SignalId] {
         &self.outputs
     }
 
     /// State elements, in declaration order.
+    #[must_use]
     pub fn latches(&self) -> &[Latch] {
         &self.latches
     }
 
     /// Combinational gates (unordered; see [`crate::topo::order`]).
+    #[must_use]
     pub fn gates(&self) -> &[Gate] {
         &self.gates
     }
 
     /// What drives a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` has no driver — impossible for a finished netlist,
+    /// where the builder has checked that every signal is driven.
+    #[must_use]
+    #[allow(clippy::expect_used)] // documented invariant of finished netlists
     pub fn driver(&self, s: SignalId) -> Driver {
         self.drivers[s.index()].expect("finished netlists have all signals driven")
     }
 
     /// Size summary.
+    #[must_use]
     pub fn stats(&self) -> NetlistStats {
         NetlistStats {
             inputs: self.inputs.len(),
@@ -216,6 +235,7 @@ impl Netlist {
     }
 
     /// The initial state, one bit per latch in declaration order.
+    #[must_use]
     pub fn initial_state(&self) -> Vec<bool> {
         self.latches.iter().map(|l| l.init).collect()
     }

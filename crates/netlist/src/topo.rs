@@ -87,6 +87,7 @@ pub fn levels(net: &Netlist) -> Result<Vec<usize>> {
 /// (transitively, through gates and latch next-state functions).
 ///
 /// Returns `(latch_indices, input_indices)`, each sorted.
+#[must_use]
 pub fn cone_of_influence(net: &Netlist, roots: &[SignalId]) -> (Vec<usize>, Vec<usize>) {
     let mut seen = vec![false; net.num_signals()];
     let mut latches = Vec::new();

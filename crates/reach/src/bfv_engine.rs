@@ -8,8 +8,8 @@ use bfvr_bfv::{ops, Bfv, StateSet};
 use bfvr_sim::{simulate_image_with, EncodedFsm};
 
 use crate::common::{
-    arm_limits, disarm_limits, failed_result, outcome_of_bfv_error, Checkpoint, CheckpointState,
-    IterationStats, Outcome, ReachOptions, ReachResult,
+    arm_limits, disarm_limits, failed_result, notify_iteration, outcome_of_bfv_error, Checkpoint,
+    CheckpointState, IterationStats, IterationView, Outcome, ReachOptions, ReachResult, SetView,
 };
 use crate::EngineKind;
 
@@ -103,6 +103,20 @@ pub(crate) fn reach_bfv_seeded(
         let mut roots: Vec<bfvr_bdd::Bdd> = reached.components().to_vec();
         roots.extend_from_slice(from.components());
         let gc = m.collect_garbage(&roots);
+        notify_iteration(
+            m,
+            fsm,
+            opts,
+            &IterationView {
+                engine: EngineKind::Bfv,
+                iteration: iterations,
+                roots: &roots,
+                set: SetView::Vector {
+                    reached: &reached,
+                    from: &from,
+                },
+            },
+        );
         if opts.record_iterations {
             per_iteration.push(IterationStats {
                 reached_states: f64::NAN, // filled lazily below when cheap

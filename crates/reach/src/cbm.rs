@@ -18,8 +18,8 @@ use bfvr_sim::EncodedFsm;
 
 use crate::cf::{chi_checkpoint, count_states, initial_chi, ChiSeed};
 use crate::common::{
-    arm_limits, disarm_limits, outcome_of_bdd_error, IterationStats, Outcome, ReachOptions,
-    ReachResult,
+    arm_limits, disarm_limits, notify_iteration, outcome_of_bdd_error, IterationStats,
+    IterationView, Outcome, ReachOptions, ReachResult, SetView,
 };
 use crate::EngineKind;
 
@@ -32,12 +32,12 @@ pub(crate) fn range_by_splitting(
     out_vars: &[Var],
 ) -> Result<Bdd, bfvr_bdd::BddError> {
     let mut memo: FxHashMap<Vec<u32>, Bdd> = FxHashMap::default();
-    range_rec(m, comps.to_vec(), out_vars, &mut memo)
+    range_rec(m, comps, out_vars, &mut memo)
 }
 
 fn range_rec(
     m: &mut BddManager,
-    comps: Vec<Bdd>,
+    comps: &[Bdd],
     out_vars: &[Var],
     memo: &mut FxHashMap<Vec<u32>, Bdd>,
 ) -> Result<Bdd, bfvr_bdd::BddError> {
@@ -67,15 +67,15 @@ fn range_rec(
     let v = Var(top);
     let mut lo = Vec::with_capacity(comps.len());
     let mut hi = Vec::with_capacity(comps.len());
-    for &c in &comps {
+    for &c in comps {
         lo.push(m.cofactor(c, v, false)?);
         hi.push(m.cofactor(c, v, true)?);
     }
-    let r0 = range_rec(m, lo, out_vars, memo)?;
+    let r0 = range_rec(m, &lo, out_vars, memo)?;
     let r = if r0.is_true() {
         r0
     } else {
-        let r1 = range_rec(m, hi, out_vars, memo)?;
+        let r1 = range_rec(m, &hi, out_vars, memo)?;
         m.or(r0, r1)?
     };
     memo.insert(key, r);
@@ -145,7 +145,19 @@ pub(crate) fn reach_cbm_seeded(
                 reached
             };
             _state_guards = (m.func(reached), m.func(from));
-            let gc = m.collect_garbage(&[reached, from]);
+            let roots = [reached, from];
+            let gc = m.collect_garbage(&roots);
+            notify_iteration(
+                m,
+                fsm,
+                opts,
+                &IterationView {
+                    engine: EngineKind::Cbm,
+                    iteration: iterations,
+                    roots: &roots,
+                    set: SetView::Chi { reached, from },
+                },
+            );
             if opts.record_iterations {
                 per_iteration.push(IterationStats {
                     reached_states: count_states(m, fsm, reached),

@@ -14,8 +14,8 @@ use bfvr_bfv::{Bfv, StateSet};
 use bfvr_sim::{simulate_image_with, EncodedFsm};
 
 use crate::common::{
-    arm_limits, disarm_limits, failed_result, outcome_of_bfv_error, Checkpoint, CheckpointState,
-    IterationStats, Outcome, ReachOptions, ReachResult,
+    arm_limits, disarm_limits, failed_result, notify_iteration, outcome_of_bfv_error, Checkpoint,
+    CheckpointState, IterationStats, IterationView, Outcome, ReachOptions, ReachResult, SetView,
 };
 use crate::EngineKind;
 
@@ -117,6 +117,20 @@ pub(crate) fn reach_cdec_seeded(
         let mut roots: Vec<bfvr_bdd::Bdd> = reached_dec.constraints().to_vec();
         roots.extend_from_slice(from_bfv.components());
         let gc = m.collect_garbage(&roots);
+        notify_iteration(
+            m,
+            fsm,
+            opts,
+            &IterationView {
+                engine: EngineKind::Cdec,
+                iteration: iterations,
+                roots: &roots,
+                set: SetView::Cdec {
+                    reached: &reached_dec,
+                    from: &from_bfv,
+                },
+            },
+        );
         if opts.record_iterations {
             per_iteration.push(IterationStats {
                 reached_states: f64::NAN,

@@ -6,8 +6,8 @@ use bfvr_bdd::{Bdd, BddManager, Var};
 use bfvr_sim::EncodedFsm;
 
 use crate::common::{
-    arm_limits, disarm_limits, outcome_of_bdd_error, Checkpoint, CheckpointState, IterationStats,
-    Outcome, ReachOptions, ReachResult,
+    arm_limits, disarm_limits, notify_iteration, outcome_of_bdd_error, Checkpoint, CheckpointState,
+    IterationStats, IterationView, Outcome, ReachOptions, ReachResult, SetView,
 };
 use crate::EngineKind;
 
@@ -123,7 +123,19 @@ pub(crate) fn reach_monolithic_seeded(
                 reached
             };
             _state_guards = (m.func(reached), m.func(from));
-            let gc = m.collect_garbage(&[reached, from, t, cube]);
+            let roots = [reached, from, t, cube];
+            let gc = m.collect_garbage(&roots);
+            notify_iteration(
+                m,
+                fsm,
+                opts,
+                &IterationView {
+                    engine: EngineKind::Monolithic,
+                    iteration: iterations,
+                    roots: &roots,
+                    set: SetView::Chi { reached, from },
+                },
+            );
             if opts.record_iterations {
                 per_iteration.push(IterationStats {
                     reached_states: count_states(m, fsm, reached),

@@ -1,10 +1,14 @@
 //! Shared options, statistics and outcome types for the engines.
 
+use std::fmt;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
-use bfvr_bdd::{BddError, BddManager, Func};
+use bfvr_bdd::{Bdd, BddError, BddManager, Func};
+use bfvr_bfv::cdec::CDec;
 use bfvr_bfv::reparam::Schedule;
-use bfvr_bfv::BfvError;
+use bfvr_bfv::{Bfv, BfvError};
+use bfvr_sim::EncodedFsm;
 
 /// Which reachability engine to run (see the crate docs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -23,6 +27,7 @@ pub enum EngineKind {
 
 impl EngineKind {
     /// Short label used in benchmark tables.
+    #[must_use]
     pub fn label(self) -> &'static str {
         match self {
             EngineKind::Bfv => "BFV",
@@ -34,6 +39,7 @@ impl EngineKind {
     }
 
     /// All engines, for sweeps.
+    #[must_use]
     pub fn all() -> [EngineKind; 5] {
         [
             EngineKind::Bfv,
@@ -45,8 +51,66 @@ impl EngineKind {
     }
 }
 
+/// The engine's set representation at one fixed-point iteration, borrowed
+/// for the duration of an [`IterationObserver`] call.
+///
+/// Each variant is the representation the engine *actually* iterates on —
+/// no conversion is performed to build a view, so observing is free for
+/// the engine (the observer itself may of course convert).
+#[derive(Clone, Copy, Debug)]
+pub enum SetView<'a> {
+    /// χ-based engines (monolithic, CBM, IWLS95): characteristic
+    /// functions over the current-state variables.
+    Chi {
+        /// States reached so far.
+        reached: Bdd,
+        /// Start set of the next iteration.
+        from: Bdd,
+    },
+    /// The BFV engine: canonical Boolean functional vectors.
+    Vector {
+        /// Reached-set vector.
+        reached: &'a Bfv,
+        /// From-set vector.
+        from: &'a Bfv,
+    },
+    /// The CDEC engine: conjunctive decomposition + from vector.
+    Cdec {
+        /// Reached set as McMillan's conjunctive decomposition.
+        reached: &'a CDec,
+        /// From-set vector.
+        from: &'a Bfv,
+    },
+}
+
+/// Everything an [`IterationObserver`] sees at one iteration boundary:
+/// the engine, the iteration count, the engine's full garbage-collection
+/// root set, and the live set representation.
+#[derive(Clone, Copy, Debug)]
+pub struct IterationView<'a> {
+    /// The engine producing this iteration.
+    pub engine: EngineKind,
+    /// Iterations completed so far (1-based at the first callback).
+    pub iteration: usize,
+    /// The complete root set the engine just collected garbage against
+    /// (its loop state plus any engine-private relations, e.g. the
+    /// IWLS95 cluster relations). Anything live but unreachable from
+    /// these — plus the manager's pinned handles — is a leak.
+    pub roots: &'a [Bdd],
+    /// The set representation the engine iterates on.
+    pub set: SetView<'a>,
+}
+
+/// Per-iteration callback, invoked at every completed (growing)
+/// fixed-point iteration right after the engine's garbage collection.
+/// Receives the manager so it can inspect — or audit — the live graph.
+///
+/// `Rc` keeps [`ReachOptions`] cheaply cloneable; the engines never
+/// retain the observer beyond the run.
+pub type IterationObserver = Rc<dyn Fn(&mut BddManager, &EncodedFsm, &IterationView<'_>)>;
+
 /// Resource limits and tuning knobs shared by all engines.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ReachOptions {
     /// Ceiling on allocated BDD nodes (reproduces `M.O.`).
     pub node_limit: Option<usize>,
@@ -64,6 +128,10 @@ pub struct ReachOptions {
     pub use_frontier: bool,
     /// Record per-iteration statistics (adds one count per step).
     pub record_iterations: bool,
+    /// Per-iteration callback (see [`IterationObserver`]); used by the
+    /// `bfvr audit` subcommand to run the analysis passes against every
+    /// intermediate set. `None` costs nothing.
+    pub observer: Option<IterationObserver>,
 }
 
 impl Default for ReachOptions {
@@ -76,7 +144,41 @@ impl Default for ReachOptions {
             cluster_threshold: 500,
             use_frontier: true,
             record_iterations: false,
+            observer: None,
         }
+    }
+}
+
+// Hand-written: `Rc<dyn Fn>` has no `Debug`.
+impl fmt::Debug for ReachOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReachOptions")
+            .field("node_limit", &self.node_limit)
+            .field("time_limit", &self.time_limit)
+            .field("max_iterations", &self.max_iterations)
+            .field("schedule", &self.schedule)
+            .field("cluster_threshold", &self.cluster_threshold)
+            .field("use_frontier", &self.use_frontier)
+            .field("record_iterations", &self.record_iterations)
+            .field("observer", &self.observer.as_ref().map(|_| "<callback>"))
+            .finish()
+    }
+}
+
+/// Internal: the per-iteration hook shared by all five engines — runs the
+/// `audit`-feature self-check, then the caller-supplied observer. Called
+/// right after each growing iteration's garbage collection, so the
+/// manager is in its post-collection steady state.
+pub(crate) fn notify_iteration(
+    m: &mut BddManager,
+    fsm: &EncodedFsm,
+    opts: &ReachOptions,
+    view: &IterationView<'_>,
+) {
+    #[cfg(feature = "audit")]
+    crate::selfcheck::selfcheck_iteration(m, fsm, view);
+    if let Some(obs) = &opts.observer {
+        obs(m, fsm, view);
     }
 }
 
@@ -101,6 +203,7 @@ pub enum Outcome {
 impl Outcome {
     /// The paper's table notation: `ok`, `T.O.`, `M.O.`, `I.L.` (plus
     /// `ERR` for internal failures, which Table 2 never shows).
+    #[must_use]
     pub fn label(self) -> &'static str {
         match self {
             Outcome::FixedPoint => "ok",
@@ -113,6 +216,7 @@ impl Outcome {
 
     /// Whether a retry with a larger budget could change this outcome
     /// (the escalation driver's retry predicate).
+    #[must_use]
     pub fn is_resource_exhaustion(self) -> bool {
         matches!(self, Outcome::TimeOut | Outcome::MemOut)
     }

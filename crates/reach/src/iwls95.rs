@@ -8,8 +8,8 @@ use bfvr_sim::EncodedFsm;
 
 use crate::cf::{chi_checkpoint, count_states, initial_chi, ChiSeed};
 use crate::common::{
-    arm_limits, disarm_limits, outcome_of_bdd_error, IterationStats, Outcome, ReachOptions,
-    ReachResult,
+    arm_limits, disarm_limits, notify_iteration, outcome_of_bdd_error, IterationStats,
+    IterationView, Outcome, ReachOptions, ReachResult, SetView,
 };
 use crate::EngineKind;
 
@@ -201,6 +201,17 @@ pub(crate) fn reach_iwls95_seeded(
             let mut roots = vec![reached, from];
             roots.extend(clusters.iter().map(|c| c.relation));
             let gc = m.collect_garbage(&roots);
+            notify_iteration(
+                m,
+                fsm,
+                opts,
+                &IterationView {
+                    engine: EngineKind::Iwls95,
+                    iteration: iterations,
+                    roots: &roots,
+                    set: SetView::Chi { reached, from },
+                },
+            );
             if opts.record_iterations {
                 per_iteration.push(IterationStats {
                     reached_states: count_states(m, fsm, reached),

@@ -42,6 +42,8 @@ mod check;
 mod common;
 mod iwls95;
 pub mod portfolio;
+#[cfg(feature = "audit")]
+mod selfcheck;
 mod trace;
 
 pub use backward::{check_invariant_backward, reach_backward};
@@ -50,7 +52,10 @@ pub use cbm::reach_cbm;
 pub use cdec_engine::reach_cdec;
 pub use cf::reach_monolithic;
 pub use check::{check_invariant, CheckResult};
-pub use common::{Checkpoint, EngineKind, IterationStats, Outcome, ReachOptions, ReachResult};
+pub use common::{
+    Checkpoint, EngineKind, IterationObserver, IterationStats, IterationView, Outcome,
+    ReachOptions, ReachResult, SetView,
+};
 pub use iwls95::reach_iwls95;
 pub use trace::{find_trace, Trace};
 

@@ -72,6 +72,7 @@ pub struct EscalationReport {
 
 impl EscalationReport {
     /// Whether the traversal eventually completed.
+    #[must_use]
     pub fn completed(&self) -> bool {
         self.result.outcome == Outcome::FixedPoint
     }

@@ -29,6 +29,7 @@ pub struct Trace {
 
 impl Trace {
     /// Number of steps.
+    #[must_use]
     pub fn depth(&self) -> usize {
         self.inputs.len()
     }

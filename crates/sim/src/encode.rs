@@ -94,6 +94,8 @@ impl EncodedFsm {
         }
         debug_assert_eq!(level, num_vars);
         // Build every signal's function over (v, w).
+        // Cycles are rejected by netlist validation before encoding starts.
+        #[allow(clippy::expect_used)]
         let order = bfvr_netlist::topo::order(net).expect("validated netlists are acyclic");
         let mut funcs: Vec<Bdd> = vec![Bdd::FALSE; net.num_signals()];
         for (i, &s) in net.inputs().iter().enumerate() {
@@ -132,37 +134,44 @@ impl EncodedFsm {
     }
 
     /// The FSM's name (from the netlist).
+    #[must_use]
     pub fn name(&self) -> &str {
         &self.name
     }
 
     /// Number of latches (state bits).
+    #[must_use]
     pub fn num_latches(&self) -> usize {
         self.next.len()
     }
 
     /// `(current, next)` variable pair of latch `l`.
+    #[must_use]
     pub fn state_vars(&self, l: usize) -> (Var, Var) {
         self.state_vars[l]
     }
 
     /// Variable of primary input `i`.
+    #[must_use]
     pub fn input_var(&self, i: usize) -> Var {
         self.input_vars[i]
     }
 
     /// All input variables.
+    #[must_use]
     pub fn input_vars(&self) -> Vec<Var> {
         self.input_vars.clone()
     }
 
     /// Next-state function of latch `l`, over current-state and input
     /// variables.
+    #[must_use]
     pub fn next_fn(&self, l: usize) -> Bdd {
         self.next[l]
     }
 
     /// Primary-output functions over current-state and input variables.
+    #[must_use]
     pub fn output_fns(&self) -> &[Bdd] {
         &self.outputs
     }
@@ -170,6 +179,10 @@ impl EncodedFsm {
     /// The component space of state sets: current-state variables in
     /// variable order (component order = BDD order, the paper's §3
     /// configuration).
+    #[must_use]
+    // Encoding allocates one distinct variable per latch, so the space is
+    // non-empty and duplicate-free by construction.
+    #[allow(clippy::expect_used)]
     pub fn space(&self) -> Space {
         let vars = self
             .comp_to_latch
@@ -181,6 +194,9 @@ impl EncodedFsm {
 
     /// Like [`EncodedFsm::space`] but over the *next*-state variables —
     /// the re-parameterization target of the Figure 2 flow.
+    #[must_use]
+    // Same construction argument as [`EncodedFsm::space`].
+    #[allow(clippy::expect_used)]
     pub fn next_space(&self) -> Space {
         let vars = self
             .comp_to_latch
@@ -191,23 +207,27 @@ impl EncodedFsm {
     }
 
     /// Latch index of component `c` of the state space.
+    #[must_use]
     pub fn latch_of_component(&self, c: usize) -> usize {
         self.comp_to_latch[c]
     }
 
     /// The initial state in *component* order (ready for
     /// [`bfvr_bfv::StateSet::singleton`]).
+    #[must_use]
     pub fn initial_state(&self) -> Vec<bool> {
         self.comp_to_latch.iter().map(|&l| self.init[l]).collect()
     }
 
     /// Next-state functions in component order.
+    #[must_use]
     pub fn next_fns_in_component_order(&self) -> Vec<Bdd> {
         self.comp_to_latch.iter().map(|&l| self.next[l]).collect()
     }
 
     /// The `(v, u)` rename pairs, for swapping a set between the current
     /// and next spaces.
+    #[must_use]
     pub fn swap_pairs(&self) -> Vec<(Var, Var)> {
         self.state_vars.to_vec()
     }

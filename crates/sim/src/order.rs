@@ -41,6 +41,7 @@ pub enum OrderHeuristic {
 
 impl OrderHeuristic {
     /// Computes the slot order for a netlist.
+    #[must_use]
     pub fn slots(self, net: &Netlist) -> Vec<Slot> {
         match self {
             OrderHeuristic::DfsFanin => dfs_fanin(net),
@@ -66,6 +67,7 @@ impl OrderHeuristic {
     }
 
     /// Short label used in benchmark tables (mirrors the paper's columns).
+    #[must_use]
     pub fn label(self) -> String {
         match self {
             OrderHeuristic::DfsFanin => "S1".to_string(),

@@ -96,11 +96,13 @@ impl<'n> TernarySimulator<'n> {
     }
 
     /// The all-X state (nothing known about any latch).
+    #[must_use]
     pub fn unknown_state(&self) -> Vec<TernValue> {
         vec![TernValue::X; self.net.latches().len()]
     }
 
     /// The reset state as definite values.
+    #[must_use]
     pub fn reset_state(&self) -> Vec<TernValue> {
         self.net
             .latches()

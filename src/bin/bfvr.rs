@@ -6,21 +6,25 @@
 //! bfvr stats <file>                   parse and summarize a circuit
 //! bfvr convert <file> --to FORMAT     convert between bench and blif
 //! bfvr reach <file> [options]         reachability analysis
+//! bfvr audit <file> [options]         audit engines' intermediate sets
 //! bfvr check <file> --bad CUBE        invariant check (+ counterexample)
 //! bfvr trace <file> --to CUBE         minimal input trace to a state cube
 //! ```
 //!
 //! Run `bfvr help` for the full option list.
 
+use std::cell::RefCell;
 use std::process::ExitCode;
+use std::rc::Rc;
 use std::time::Duration;
 
+use bfvr::audit::{run_mutations, run_passes, AuditTargets, Report, Severity};
 use bfvr::bfv::StateSet;
 use bfvr::netlist::{bench, blif, generators, Netlist};
 use bfvr::reach::portfolio::{run_escalating, EscalationPolicy};
 use bfvr::reach::{
     check_invariant, find_trace, run as run_engine, CheckResult, EngineKind, ReachOptions,
-    ReachResult,
+    ReachResult, SetView,
 };
 use bfvr::sim::{EncodedFsm, OrderHeuristic};
 
@@ -43,6 +47,15 @@ USAGE:
                     [--max-budget <nodes>]   node-budget ceiling for
                                          escalation
                     [--dump-reached]     print the reached set as cubes
+  bfvr audit <file> [--engine bfv|cbm|mono|iwls95|cdec|all]  (default all)
+                    [--order s1|s2|d|o:<seed>]
+                    [--time-limit <sec>] [--node-limit <nodes>]
+                    [--selftest]         also run the mutation harness:
+                                         seed deliberate corruptions and
+                                         prove every pass detects its own
+          runs every analysis pass over every engine's intermediate sets;
+          prints compiler-style diagnostics, sorted by severity then pass;
+          exits nonzero iff any error-severity finding
   bfvr check <file> --bad <cube>          cube over latches in file order,
                                           e.g. 1x0x (x = don't care)
   bfvr trace <file> --to <cube>
@@ -67,6 +80,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("stats") => cmd_stats(&load(args.get(1).ok_or("stats needs a file")?)?),
         Some("convert") => cmd_convert(args),
         Some("reach") => cmd_reach(args),
+        Some("audit") => cmd_audit(args),
         Some("check") => cmd_check(args),
         Some("trace") => cmd_trace(args),
         Some("help") | None => {
@@ -197,6 +211,21 @@ fn parse_escalation(args: &[String]) -> Result<Option<EscalationPolicy>, String>
     Ok(Some(policy))
 }
 
+/// Parses `--engine` into the selected engine list; `all` expands to
+/// every engine, no flag selects `default`.
+fn parse_engines(args: &[String], default: &[EngineKind]) -> Result<Vec<EngineKind>, String> {
+    Ok(match flag_value(args, "--engine").as_deref() {
+        None => default.to_vec(),
+        Some("bfv") => vec![EngineKind::Bfv],
+        Some("cbm") => vec![EngineKind::Cbm],
+        Some("mono") => vec![EngineKind::Monolithic],
+        Some("iwls95") => vec![EngineKind::Iwls95],
+        Some("cdec") => vec![EngineKind::Cdec],
+        Some("all") => EngineKind::all().to_vec(),
+        Some(other) => return Err(format!("unknown engine `{other}`")),
+    })
+}
+
 fn cmd_reach(args: &[String]) -> Result<(), String> {
     let net = load(args.get(1).ok_or("reach needs a file")?)?;
     let order = parse_order(args)?;
@@ -205,15 +234,7 @@ fn cmd_reach(args: &[String]) -> Result<(), String> {
     if escalation.is_some() && opts.node_limit.is_none() && opts.time_limit.is_none() {
         return Err("--escalate needs --node-limit and/or --time-limit to raise".into());
     }
-    let engines: Vec<EngineKind> = match flag_value(args, "--engine").as_deref() {
-        None | Some("bfv") => vec![EngineKind::Bfv],
-        Some("cbm") => vec![EngineKind::Cbm],
-        Some("mono") => vec![EngineKind::Monolithic],
-        Some("iwls95") => vec![EngineKind::Iwls95],
-        Some("cdec") => vec![EngineKind::Cdec],
-        Some("all") => EngineKind::all().to_vec(),
-        Some(other) => return Err(format!("unknown engine `{other}`")),
-    };
+    let engines = parse_engines(args, &[EngineKind::Bfv])?;
     println!(
         "{:8} {:>6} {:>14} {:>7} {:>10} {:>11}",
         "engine", "status", "states", "iters", "time(ms)", "peak nodes"
@@ -273,6 +294,136 @@ fn cmd_reach(args: &[String]) -> Result<(), String> {
                 }
             }
         }
+    }
+    Ok(())
+}
+
+/// `bfvr audit`: run the selected engines with a per-iteration observer
+/// that feeds every intermediate set — and each engine's final reached
+/// set — through the full `bfvr-audit` pass battery, then print the
+/// findings compiler-style, sorted by severity then pass. Exits nonzero
+/// iff any error-severity finding was produced.
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let net = load(args.get(1).ok_or("audit needs a file")?)?;
+    let order = parse_order(args)?;
+    let base_opts = parse_opts(args)?;
+    let engines = parse_engines(args, &EngineKind::all())?;
+    let report = Rc::new(RefCell::new(Report::new()));
+    let inconclusive = Rc::new(RefCell::new(0usize));
+
+    for kind in engines {
+        let (mut m, fsm) = EncodedFsm::encode(&net, order).map_err(|e| e.to_string())?;
+        let mut opts = base_opts.clone();
+        let sink = Rc::clone(&report);
+        let skipped = Rc::clone(&inconclusive);
+        opts.observer = Some(Rc::new(move |m, fsm, view| {
+            let space = fsm.space();
+            let targets = match view.set {
+                SetView::Chi { reached, .. } => AuditTargets::for_chi(&space, reached),
+                SetView::Vector { reached, .. } => AuditTargets::for_bfv(&space, reached),
+                SetView::Cdec { reached, .. } => AuditTargets::for_cdec(&space, reached),
+            }
+            .with_leak_roots(view.roots);
+            let scope = format!("{}/iter[{}]", view.engine.label(), view.iteration);
+            // The audit's own scratch work must not count against the
+            // engine's resource budget: suspend limits, audit, restore.
+            // A resource failure inside the audit (possible only under
+            // injected faults) makes that audit inconclusive, not failed.
+            let node_limit = m.node_limit();
+            let deadline = m.deadline();
+            m.clear_node_limit();
+            m.set_deadline(None);
+            if run_passes(m, &targets, &scope, &mut sink.borrow_mut()).is_err() {
+                *skipped.borrow_mut() += 1;
+            }
+            match node_limit {
+                Some(n) => m.set_node_limit(n),
+                None => m.clear_node_limit(),
+            }
+            m.set_deadline(deadline);
+        }));
+        let r = run_engine(kind, &mut m, &fsm, &opts);
+        // Final audit of the engine's end state, through the χ the result
+        // carries (also exercising the χ→BFV converter one more time).
+        if let Some(chi) = &r.reached_chi {
+            let space = fsm.space();
+            let scope = format!("{}/final", kind.label());
+            run_passes(
+                &mut m,
+                &AuditTargets::for_chi(&space, chi.bdd()),
+                &scope,
+                &mut report.borrow_mut(),
+            )
+            .map_err(|e| format!("{scope}: audit aborted: {e}"))?;
+        }
+        println!(
+            "{:8} {:>6} {:>5} iteration(s), {} state(s), audited",
+            kind.label(),
+            r.outcome.label(),
+            r.iterations,
+            r.reached_states.map_or("-".into(), |s| format!("{s}")),
+        );
+    }
+
+    if args.iter().any(|a| a == "--selftest") {
+        run_selftest(&net, order)?;
+    }
+
+    let report = report.borrow();
+    let inconclusive = *inconclusive.borrow();
+    for f in report.sorted() {
+        println!("{f}");
+    }
+    if inconclusive > 0 {
+        println!("note: {inconclusive} iteration audit(s) were inconclusive (resource-limited)");
+    }
+    println!(
+        "audit: {} finding(s) — {} error(s), {} warning(s), {} note(s)",
+        report.len(),
+        report.count_at(Severity::Error),
+        report.count_at(Severity::Warning),
+        report.count_at(Severity::Info),
+    );
+    if report.has_errors() {
+        return Err("audit found error-severity findings".into());
+    }
+    Ok(())
+}
+
+/// `bfvr audit --selftest`: the mutation harness, seeded with the
+/// circuit's own reached set (converted to a canonical vector) so the
+/// corruptions act on realistic structure.
+fn run_selftest(net: &Netlist, order: OrderHeuristic) -> Result<(), String> {
+    let (mut m, fsm) = EncodedFsm::encode(net, order).map_err(|e| e.to_string())?;
+    let r = run_engine(EngineKind::Bfv, &mut m, &fsm, &ReachOptions::default());
+    let chi = r
+        .reached_chi
+        .as_ref()
+        .ok_or("self-test: reachability produced no reached set")?;
+    let space = fsm.space();
+    let clean = bfvr::bfv::convert::from_characteristic(&mut m, &space, chi.bdd())
+        .map_err(|e| e.to_string())?
+        .ok_or("self-test: empty reached set")?;
+    let outcomes = run_mutations(&mut m, &space, &clean).map_err(|e| e.to_string())?;
+    println!("mutation self-test over {}'s reached set:", net.name());
+    let mut undetected = 0usize;
+    for o in &outcomes {
+        println!(
+            "  {:22} -> {} by {}{} ({} finding(s))",
+            o.label,
+            if o.fired { "detected" } else { "NOT DETECTED" },
+            o.expected.id(),
+            if o.with_witness { ", with witness" } else { "" },
+            o.findings,
+        );
+        if !o.fired {
+            undetected += 1;
+        }
+    }
+    if undetected > 0 {
+        return Err(format!(
+            "self-test: {undetected} corruption(s) went undetected"
+        ));
     }
     Ok(())
 }

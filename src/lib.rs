@@ -13,11 +13,14 @@
 //! * [`sim`] — symbolic simulation and variable-ordering heuristics
 //!   (`bfvr-sim`),
 //! * [`reach`] — the reachability engines of the paper's Figures 1 and 2
-//!   plus the characteristic-function baselines (`bfvr-reach`).
+//!   plus the characteristic-function baselines (`bfvr-reach`),
+//! * [`audit`] — pass-based semantic analysis of BDD graphs and canonical
+//!   BFVs with compiler-style diagnostics (`bfvr-audit`).
 //!
 //! The `examples/` directory shows end-to-end flows; `DESIGN.md` maps the
 //! paper's every table and figure to a regenerating binary.
 
+pub use bfvr_audit as audit;
 pub use bfvr_bdd as bdd;
 pub use bfvr_bfv as bfv;
 pub use bfvr_netlist as netlist;

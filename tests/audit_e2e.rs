@@ -1,0 +1,127 @@
+//! End-to-end audit: every engine's every intermediate set audits clean
+//! on bundled circuits (via the per-iteration observer), and the `bfvr
+//! audit` CLI holds its exit-code contract.
+
+use std::cell::RefCell;
+use std::process::Command;
+use std::rc::Rc;
+
+use bfvr::audit::{run_passes, AuditTargets, Report};
+use bfvr::netlist::{circuits, generators, Netlist};
+use bfvr::reach::{run, EngineKind, Outcome, ReachOptions, SetView};
+use bfvr::sim::{EncodedFsm, OrderHeuristic};
+
+/// Runs every engine over `net` with an observer that audits each
+/// iteration's live set — graph, leaks, all semantic passes, and the
+/// cross-representation converters — then audits the final reached χ.
+/// Any finding anywhere fails the test.
+fn audit_all_engines(net: &Netlist) {
+    for kind in EngineKind::all() {
+        let (mut m, fsm) = EncodedFsm::encode(net, OrderHeuristic::DfsFanin).unwrap();
+        let report = Rc::new(RefCell::new(Report::new()));
+        let sink = Rc::clone(&report);
+        let opts = ReachOptions {
+            observer: Some(Rc::new(move |m, fsm, view| {
+                let space = fsm.space();
+                let targets = match view.set {
+                    SetView::Chi { reached, .. } => AuditTargets::for_chi(&space, reached),
+                    SetView::Vector { reached, .. } => AuditTargets::for_bfv(&space, reached),
+                    SetView::Cdec { reached, .. } => AuditTargets::for_cdec(&space, reached),
+                }
+                .with_leak_roots(view.roots);
+                let scope = format!("{}/iter[{}]", view.engine.label(), view.iteration);
+                run_passes(m, &targets, &scope, &mut sink.borrow_mut()).unwrap();
+            })),
+            ..Default::default()
+        };
+        let r = run(kind, &mut m, &fsm, &opts);
+        assert_eq!(r.outcome, Outcome::FixedPoint, "{kind:?} on {}", net.name());
+        assert!(r.iterations > 1, "{kind:?} on {}: trivial run", net.name());
+        let chi = r.reached_chi.as_ref().unwrap();
+        let space = fsm.space();
+        run_passes(
+            &mut m,
+            &AuditTargets::for_chi(&space, chi.bdd()),
+            &format!("{}/final", kind.label()),
+            &mut report.borrow_mut(),
+        )
+        .unwrap();
+        let report = report.borrow();
+        assert!(
+            report.is_empty(),
+            "{kind:?} on {}:\n{}",
+            net.name(),
+            report.render()
+        );
+    }
+}
+
+#[test]
+fn s27_audits_clean_on_all_engines() {
+    audit_all_engines(&circuits::s27());
+}
+
+#[test]
+fn counter_audits_clean_on_all_engines() {
+    audit_all_engines(&generators::counter(5));
+}
+
+#[test]
+fn queue_controller_audits_clean_on_all_engines() {
+    audit_all_engines(&generators::queue_controller(2));
+}
+
+#[test]
+fn paired_registers_audit_clean_on_all_engines() {
+    audit_all_engines(&generators::paired_registers(4));
+}
+
+// ------------------------------------------------ CLI contract
+
+#[test]
+fn cli_audit_clean_circuit_exits_zero_with_summary() {
+    let out = Command::new(env!("CARGO_BIN_EXE_bfvr"))
+        .args(["audit", "gen:s27"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+    // All five engines ran and were audited.
+    for label in ["BFV", "CBM", "MONO", "IWLS95", "CDEC"] {
+        assert!(stdout.contains(label), "missing {label}: {stdout}");
+    }
+}
+
+#[test]
+fn cli_audit_selftest_reports_every_mutation_detected() {
+    let out = Command::new(env!("CARGO_BIN_EXE_bfvr"))
+        .args(["audit", "gen:counter:4", "--engine", "bfv", "--selftest"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        stdout.matches("-> detected by").count(),
+        9,
+        "every mutation must be detected: {stdout}"
+    );
+    assert!(!stdout.contains("NOT DETECTED"), "{stdout}");
+}
+
+#[test]
+fn cli_audit_bad_input_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_bfvr"))
+        .args(["audit", "gen:nosuchfamily:3"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
