@@ -73,10 +73,16 @@ impl BddManager {
         if let Some(r) = self.caches.ite.get(key) {
             return Ok(if neg { r.complement() } else { r });
         }
-        let lvl = self.level(f).min(self.level(g)).min(self.level(h));
-        let (f0, f1) = self.cofactors_at(f, lvl);
-        let (g0, g1) = self.cofactors_at(g, lvl);
-        let (h0, h1) = self.cofactors_at(h, lvl);
+        // One arena read per operand: level and children come from the
+        // same fetched node, with the children discarded for operands
+        // whose top variable sits below the split level.
+        let (fv, fl, fh) = self.expand(f);
+        let (gv, gl, gh) = self.expand(g);
+        let (hv, hl, hh) = self.expand(h);
+        let lvl = fv.min(gv).min(hv);
+        let (f0, f1) = if fv == lvl { (fl, fh) } else { (f, f) };
+        let (g0, g1) = if gv == lvl { (gl, gh) } else { (g, g) };
+        let (h0, h1) = if hv == lvl { (hl, hh) } else { (h, h) };
         let t = self.ite_rec(f1, g1, h1)?;
         let e = self.ite_rec(f0, g0, h0)?;
         let r = self.mk(lvl, e, t)?;

@@ -3,11 +3,13 @@
 //! Simultaneous (vector) composition is the engine behind the paper's
 //! symbolic simulation step: next-state functions over state variables are
 //! composed with the Boolean functional vector of the current reached set
-//! in one pass (`bfvr-sim`). Each call uses a local memo table keyed on the
-//! operand node, which yields full sharing within the call without having
-//! to intern substitution maps globally.
+//! in one pass (`bfvr-sim`). Memoized results are valid only for one
+//! call's substitution map, so each call opens a fresh *scope* in the
+//! shared lossy [`crate::cache`] table — an O(1) generation bump — instead
+//! of allocating a hash map per call. Both polarities of an operand fold
+//! onto one entry, because substitution commutes with complement:
+//! `(¬f)[v ← g] = ¬(f[v ← g])`.
 
-use crate::hash::FxHashMap;
 use crate::manager::BddManager;
 use crate::node::{Bdd, Var};
 use crate::Result;
@@ -24,36 +26,36 @@ impl BddManager {
     /// Panics if `v` is outside the manager's variable range.
     pub fn cofactor(&mut self, f: Bdd, v: Var, val: bool) -> Result<Bdd> {
         assert!(v.0 < self.num_vars(), "variable {v} out of range");
-        // The memo lives inside the closure so a reclaim-and-retry starts
+        // The scope opens inside the closure so a reclaim-and-retry starts
         // from a clean table (stale entries would reference freed slots).
         self.recover(&[f], |m| {
-            let mut memo = FxHashMap::default();
-            m.cofactor_rec(f, v.0, val, &mut memo)
+            m.caches.subst.clear();
+            m.cofactor_rec(f, v.0, val)
         })
     }
 
-    fn cofactor_rec(
-        &mut self,
-        f: Bdd,
-        lvl: u32,
-        val: bool,
-        memo: &mut FxHashMap<u32, Bdd>,
-    ) -> Result<Bdd> {
+    fn cofactor_rec(&mut self, f: Bdd, lvl: u32, val: bool) -> Result<Bdd> {
         if f.is_const() || self.level(f) > lvl {
             return Ok(f);
         }
         if self.level(f) == lvl {
             return Ok(if val { self.high(f) } else { self.low(f) });
         }
-        if let Some(&r) = memo.get(&f.index()) {
-            return Ok(r);
+        // Cofactoring commutes with complement, so both polarities of a
+        // node share one scope entry keyed on the regular edge.
+        let reg = f.regular();
+        let neg = f.is_complemented();
+        let key = (reg.0, 0, 0);
+        if let Some(r) = self.caches.subst.get(key) {
+            return Ok(if neg { r.complement() } else { r });
         }
-        let top = self.level(f);
-        let e = self.cofactor_rec(self.low(f), lvl, val, memo)?;
-        let t = self.cofactor_rec(self.high(f), lvl, val, memo)?;
+        let top = self.level(reg);
+        let e = self.cofactor_rec(self.low(reg), lvl, val)?;
+        let t = self.cofactor_rec(self.high(reg), lvl, val)?;
         let r = self.mk(top, e, t)?;
-        memo.insert(f.index(), r);
-        Ok(r)
+        let limit = self.caches.limit;
+        self.caches.subst.put(key, r, limit);
+        Ok(if neg { r.complement() } else { r })
     }
 
     /// Substitutes `g` for variable `v` in `f`: `f[v ← g]`.
@@ -97,33 +99,34 @@ impl BddManager {
         let mut roots: Vec<Bdd> = vec![f];
         roots.extend(map.iter().flatten().copied());
         self.recover(&roots, |m| {
-            let mut memo = FxHashMap::default();
-            m.vcompose_rec(f, map, &mut memo)
+            m.caches.subst.clear();
+            m.vcompose_rec(f, map)
         })
     }
 
-    fn vcompose_rec(
-        &mut self,
-        f: Bdd,
-        map: &[Option<Bdd>],
-        memo: &mut FxHashMap<u32, Bdd>,
-    ) -> Result<Bdd> {
+    fn vcompose_rec(&mut self, f: Bdd, map: &[Option<Bdd>]) -> Result<Bdd> {
         if f.is_const() {
             return Ok(f);
         }
-        if let Some(&r) = memo.get(&f.index()) {
-            return Ok(r);
+        // Substitution commutes with complement, so both polarities of a
+        // node share one scope entry keyed on the regular edge.
+        let reg = f.regular();
+        let neg = f.is_complemented();
+        let key = (reg.0, 0, 0);
+        if let Some(r) = self.caches.subst.get(key) {
+            return Ok(if neg { r.complement() } else { r });
         }
-        let lvl = self.level(f);
-        let e = self.vcompose_rec(self.low(f), map, memo)?;
-        let t = self.vcompose_rec(self.high(f), map, memo)?;
+        let lvl = self.level(reg);
+        let e = self.vcompose_rec(self.low(reg), map)?;
+        let t = self.vcompose_rec(self.high(reg), map)?;
         let sub = match map[lvl as usize] {
             Some(g) => g,
             None => self.var(Var(lvl)),
         };
         let r = self.ite(sub, t, e)?;
-        memo.insert(f.index(), r);
-        Ok(r)
+        let limit = self.caches.limit;
+        self.caches.subst.put(key, r, limit);
+        Ok(if neg { r.complement() } else { r })
     }
 
     /// Renames variables according to `perm`, where `perm[old] = new`.
@@ -306,5 +309,22 @@ mod tests {
     fn swap_rejects_overlap() {
         let (mut m, a, ..) = setup();
         let _ = m.swap_vars(a, &[(Var(0), Var(1)), (Var(1), Var(2))]);
+    }
+
+    #[test]
+    fn compose_visits_both_polarities_of_a_shared_node() {
+        // xnor(a, b) reaches the b node through a regular edge on one
+        // branch and a complemented edge on the other; the memo must not
+        // serve the first polarity's result to the second.
+        let (mut m, a, b, c, _) = setup();
+        let f = m.xnor(a, b).unwrap();
+        let g = m.compose(f, Var(1), c).unwrap();
+        let expect = m.xnor(a, c).unwrap();
+        assert_eq!(g, expect);
+        // Same shape through cofactoring both polarities.
+        let f1 = m.cofactor(f, Var(1), true).unwrap();
+        assert_eq!(f1, a);
+        let f0 = m.cofactor(f, Var(1), false).unwrap();
+        assert_eq!(f0, m.not(a));
     }
 }

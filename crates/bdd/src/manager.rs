@@ -15,6 +15,8 @@
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::arena::Arena;
@@ -52,6 +54,12 @@ pub struct ManagerStats {
     /// Nodes recovered by reclaim-before-fail passes (not counted in
     /// [`ManagerStats::gc_reclaimed`], which tracks explicit collections).
     pub reclaimed_nodes: u64,
+    /// Resident bytes behind the computed caches' slot arrays — memory
+    /// the per-node accounting does not see (see
+    /// [`BddManager::set_cache_limit`]).
+    pub cache_bytes: usize,
+    /// Resident bytes behind the unique table's per-level slot arrays.
+    pub unique_bytes: usize,
 }
 
 /// Result of one garbage collection.
@@ -111,6 +119,10 @@ pub struct BddManager {
     /// 1-based ordinal of `check_deadline` calls (fault injection); a
     /// `Cell` because deadline checks take `&self`.
     deadline_checks: Cell<u64>,
+    /// Cooperative cancellation token, polled wherever the deadline is
+    /// (see [`BddManager::set_cancel_token`]). The manager itself stays
+    /// `!Send`; only this flag is shared across threads.
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl BddManager {
@@ -139,6 +151,7 @@ impl BddManager {
             fault: None,
             alloc_seq: 0,
             deadline_checks: Cell::new(0),
+            cancel: None,
         };
         for v in 0..num_vars {
             // A fresh manager has no limits or faults armed and the index
@@ -240,10 +253,33 @@ impl BddManager {
                 return Err(BddError::Deadline);
             }
         }
+        if self.is_cancelled() {
+            return Err(BddError::Deadline);
+        }
         match self.deadline {
             Some(d) if Instant::now() >= d => Err(BddError::Deadline),
             _ => Ok(()),
         }
+    }
+
+    /// Arms (or with `None` disarms) a cooperative cancellation token:
+    /// once another thread stores `true` in the flag, every deadline
+    /// poll — [`BddManager::check_deadline`] and the allocation-path
+    /// poll — fails with [`BddError::Deadline`], so a run winds down
+    /// exactly like a wall-clock timeout (partial results, checkpoint,
+    /// `T.O.` classification). This is how the racing portfolio cancels
+    /// losing lanes: each lane owns its manager, only the flag crosses
+    /// threads.
+    pub fn set_cancel_token(&mut self, token: Option<Arc<AtomicBool>>) {
+        self.cancel = token;
+    }
+
+    /// Whether the armed cancellation token (if any) has been raised.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|t| t.load(Ordering::Relaxed))
     }
 
     /// Arms a deterministic [`FaultPlan`]; see [`crate::fault`] for the
@@ -259,9 +295,14 @@ impl BddManager {
         self.fault = None;
     }
 
-    /// Caps each operation cache (entries); a cache is cleared when full.
+    /// Caps each operation cache's slot array at `limit` slots (rounded
+    /// up to a power of two). The caches are lossy and direct-mapped, so
+    /// a smaller cap trades recomputation for memory — never
+    /// correctness. Caches already over the new cap are shrunk
+    /// immediately; [`ManagerStats::cache_bytes`] reports the resident
+    /// total.
     pub fn set_cache_limit(&mut self, limit: usize) {
-        self.caches.limit = limit.max(1);
+        self.caches.set_limit(limit.max(1));
     }
 
     /// Current counters (allocation, cache and GC statistics).
@@ -272,6 +313,8 @@ impl BddManager {
         let (lookups, hits) = self.caches.totals();
         s.cache_lookups = lookups;
         s.cache_hits = hits;
+        s.cache_bytes = self.caches.bytes();
+        s.unique_bytes = self.unique.bytes();
         s
     }
 
@@ -358,6 +401,19 @@ impl BddManager {
         }
     }
 
+    /// Level plus complement-resolved children of `f` in one arena read
+    /// (the apply hot path would otherwise read each operand's node twice:
+    /// once for [`Self::level`], once for [`Self::cofactors_at`]).
+    ///
+    /// For a terminal the level is `u32::MAX` and the children are
+    /// garbage — callers must gate on the level before using them.
+    #[inline]
+    pub(crate) fn expand(&self, f: Bdd) -> (u32, Bdd, Bdd) {
+        let n = self.arena.get(f.node());
+        let c = f.0 & 1;
+        (n.var, Bdd(n.lo ^ c), Bdd(n.hi ^ c))
+    }
+
     // ----- node creation ------------------------------------------------
 
     /// Finds or creates the function `ite(v, hi, lo)`, applying the
@@ -410,6 +466,9 @@ impl BddManager {
             });
         }
         if self.stats.mk_calls & DEADLINE_POLL_MASK == 0 {
+            if self.is_cancelled() {
+                return Err(BddError::Deadline);
+            }
             if let Some(d) = self.deadline {
                 if Instant::now() >= d {
                     return Err(BddError::Deadline);
@@ -529,6 +588,10 @@ impl BddManager {
 
     /// Frees every live, unmarked interior node and flushes the computed
     /// caches (which may reference the freed slots).
+    ///
+    /// When nothing was freed the caches are left intact: every cached
+    /// entry still refers to live, unmoved slots, so flushing would only
+    /// throw away valid memoization.
     fn sweep(&mut self, mark: &[bool]) -> usize {
         let mut collected = 0;
         for i in 1..self.arena.len() as u32 {
@@ -539,7 +602,10 @@ impl BddManager {
                 collected += 1;
             }
         }
-        self.caches.clear_all();
+        if collected > 0 {
+            self.unique.compact();
+            self.caches.clear_all();
+        }
         collected
     }
 
@@ -562,6 +628,44 @@ impl BddManager {
             collected,
             live: self.allocated(),
         }
+    }
+
+    /// Allocation floor below which [`Self::maybe_collect_garbage`] never
+    /// sweeps. Graphs this small are collected in microseconds, but the
+    /// computed-cache flush a sweep forces costs far more than the nodes
+    /// it returns.
+    pub const GC_DEFER_FLOOR: usize = 1 << 16;
+
+    /// Like [`Self::collect_garbage`], but adaptive: the collection is
+    /// skipped while the allocation (garbage included) sits under
+    /// [`Self::GC_DEFER_FLOOR`] nodes. Fixed-point loops call this once
+    /// per iteration; deferring on small graphs keeps the computed caches
+    /// warm across iterations — every sweep that frees nodes must flush
+    /// them, and on a graph this size the flush costs far more than the
+    /// nodes returned. Large graphs still collect every call: there the
+    /// cross-iteration cache-hit yield is low and retained garbage only
+    /// bloats the unique table's working set. A skipped collection
+    /// reports `collected: 0` and the garbage-inclusive allocation as
+    /// `live`.
+    ///
+    /// Purely a memory/performance knob: deferral never changes any
+    /// operation's result, and the reclaim-before-fail path still sweeps
+    /// on node-limit pressure regardless of this policy.
+    ///
+    /// An armed [`Self::set_node_limit`] caps the deferral: once the
+    /// allocation fills half the budget, collection happens regardless of
+    /// the floor, so deferred garbage (and the result pins only a full
+    /// collection clears) never squeezes a tight budget that per-iteration
+    /// collection would have honored.
+    pub fn maybe_collect_garbage(&mut self, roots: &[Bdd]) -> GcStats {
+        let allocated = self.allocated();
+        if allocated < Self::GC_DEFER_FLOOR.min(self.node_limit / 2) {
+            return GcStats {
+                collected: 0,
+                live: allocated,
+            };
+        }
+        self.collect_garbage(roots)
     }
 
     /// O(levels) always-on integrity check run at every collection
@@ -907,6 +1011,57 @@ mod tests {
         m.check_invariants().unwrap();
         m.collect_garbage(&[]);
         m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cancel_token_trips_like_a_deadline() {
+        let mut m = BddManager::new(4);
+        let a = m.var(Var(0));
+        let b = m.var(Var(1));
+        let token = Arc::new(AtomicBool::new(false));
+        m.set_cancel_token(Some(Arc::clone(&token)));
+        assert!(m.check_deadline().is_ok());
+        assert!(m.and(a, b).is_ok());
+        token.store(true, Ordering::Relaxed);
+        assert!(m.is_cancelled());
+        assert_eq!(m.check_deadline().unwrap_err(), BddError::Deadline);
+        // Disarming restores normal operation.
+        m.set_cancel_token(None);
+        assert!(m.check_deadline().is_ok());
+        assert!(m.and(a, b).is_ok());
+    }
+
+    #[test]
+    fn stats_report_resident_table_bytes() {
+        let mut m = BddManager::new(6);
+        let a = m.var(Var(0));
+        let b = m.var(Var(1));
+        let _ = m.and(a, b).unwrap();
+        let s = m.stats();
+        assert!(s.cache_bytes > 0, "ite cache allocated slots");
+        assert!(s.unique_bytes > 0, "unique levels allocated slots");
+        // Capping the cache never leaves it larger than before.
+        m.set_cache_limit(1);
+        assert!(m.stats().cache_bytes <= s.cache_bytes);
+    }
+
+    #[test]
+    fn tight_cache_limit_never_affects_results() {
+        let mut big = BddManager::new(8);
+        let mut tiny = BddManager::new(8);
+        tiny.set_cache_limit(1); // rounds up to the minimum slot count
+        let mut f_big = Bdd::FALSE;
+        let mut f_tiny = Bdd::FALSE;
+        for v in 0..8 {
+            let (x, y) = (big.var(Var(v)), tiny.var(Var(v)));
+            f_big = big.xor(f_big, x).unwrap();
+            f_tiny = tiny.xor(f_tiny, y).unwrap();
+        }
+        assert_eq!(
+            big.sat_count(f_big, 8),
+            tiny.sat_count(f_tiny, 8),
+            "cache pressure must only cost recomputation"
+        );
     }
 
     #[test]

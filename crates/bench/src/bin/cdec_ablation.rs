@@ -4,15 +4,19 @@
 //! comparing BDD operation counts.
 //!
 //! ```sh
-//! cargo run --release -p bfvr-bench --bin cdec_ablation
+//! cargo run --release -p bfvr-bench --bin cdec_ablation [--samples N]
 //! ```
 
+use bfvr_bench::timing::{median_run, samples_from_args};
 use bfvr_netlist::generators;
 use bfvr_reach::{reach_bfv, reach_cdec, ReachOptions};
 use bfvr_sim::{EncodedFsm, OrderHeuristic};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let samples = samples_from_args(&args)?;
     println!("§2.7 ablation: BFV engine vs conjunctive-decomposition engine");
+    println!("(median of {samples} sample(s) per cell after warm-up)");
     println!();
     println!(
         "| circuit    | BFV ms | BFV mk-calls | CDEC ms | CDEC mk-calls | conv ms | same set |"
@@ -24,14 +28,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if matches!(name.as_str(), "gray8" | "cnt12" | "lfsr10") {
             continue; // deep fix-points dominate; the shallow suite shows the overhead
         }
-        let (mut m1, fsm1) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin)?;
-        let mk0 = m1.stats().mk_calls;
-        let a = reach_bfv(&mut m1, &fsm1, &ReachOptions::default());
-        let a_mk = m1.stats().mk_calls - mk0;
-        let (mut m2, fsm2) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin)?;
-        let mk0 = m2.stats().mk_calls;
-        let b = reach_cdec(&mut m2, &fsm2, &ReachOptions::default());
-        let b_mk = m2.stats().mk_calls - mk0;
+        // Each sample re-encodes in a fresh manager so runs are
+        // independent; the median-elapsed run is reported.
+        let ((a, a_mk), _) = median_run(samples, || {
+            let (mut m, fsm) =
+                EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).expect("suite encodes");
+            let mk0 = m.stats().mk_calls;
+            let r = reach_bfv(&mut m, &fsm, &ReachOptions::default());
+            let mk = m.stats().mk_calls - mk0;
+            let elapsed = r.elapsed;
+            ((r, mk), elapsed)
+        });
+        let ((b, b_mk), _) = median_run(samples, || {
+            let (mut m, fsm) =
+                EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).expect("suite encodes");
+            let mk0 = m.stats().mk_calls;
+            let r = reach_cdec(&mut m, &fsm, &ReachOptions::default());
+            let mk = m.stats().mk_calls - mk0;
+            let elapsed = r.elapsed;
+            ((r, mk), elapsed)
+        });
         println!(
             "| {:10} | {:>6.1} | {:>12} | {:>7.1} | {:>13} | {:>7.1} | {:>8} |",
             name,

@@ -3,16 +3,20 @@
 //! heuristic versus a fixed elimination order.
 //!
 //! ```sh
-//! cargo run --release -p bfvr-bench --bin schedule_ablation
+//! cargo run --release -p bfvr-bench --bin schedule_ablation [--samples N]
 //! ```
 
+use bfvr_bench::timing::{median_run, samples_from_args};
 use bfvr_bfv::reparam::Schedule;
 use bfvr_netlist::generators;
 use bfvr_reach::{reach_bfv, ReachOptions};
 use bfvr_sim::{EncodedFsm, OrderHeuristic};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let samples = samples_from_args(&args)?;
     println!("§3 ablation: dynamic support-based quantification schedule vs fixed order");
+    println!("(median of {samples} sample(s) per cell after warm-up)");
     println!();
     println!("| circuit    | dynamic ms | dyn peak | fixed ms | fixed peak | same set |");
     println!("|------------|------------|----------|----------|------------|----------|");
@@ -22,12 +26,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let mut results = Vec::new();
         for schedule in [Schedule::DynamicSupport, Schedule::Fixed] {
-            let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin)?;
-            let opts = ReachOptions {
-                schedule,
-                ..Default::default()
-            };
-            results.push(reach_bfv(&mut m, &fsm, &opts));
+            let (r, _) = median_run(samples, || {
+                let (mut m, fsm) =
+                    EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).expect("suite encodes");
+                let opts = ReachOptions {
+                    schedule,
+                    ..Default::default()
+                };
+                let r = reach_bfv(&mut m, &fsm, &opts);
+                let elapsed = r.elapsed;
+                (r, elapsed)
+            });
+            results.push(r);
         }
         let (d, f) = (&results[0], &results[1]);
         println!(

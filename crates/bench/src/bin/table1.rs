@@ -4,11 +4,12 @@
 
 use std::time::Instant;
 
-use bfvr_bdd::{BddManager, Var};
-use bfvr_bfv::{Space, StateSet};
+use bfvr_bdd::{Bdd, BddManager, Var};
+use bfvr_bench::timing::samples_from_args;
+use bfvr_bfv::{Bfv, Space, StateSet};
 
-fn main() {
-    let start = Instant::now();
+/// Builds the paper's example set in a fresh manager (the timed region).
+fn build() -> (BddManager, Space, Bdd, Bfv) {
     let mut m = BddManager::new(3);
     let space = Space::contiguous(3);
     let points: Vec<Vec<bool>> = (0u8..6)
@@ -16,7 +17,24 @@ fn main() {
         .collect();
     let s = StateSet::from_points(&mut m, &space, &points).expect("example set builds");
     let chi = s.to_characteristic(&mut m, &space).expect("χ builds");
-    let f = s.as_bfv().expect("non-empty");
+    let f = s.as_bfv().expect("non-empty").clone();
+    (m, space, chi, f)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let samples = match samples_from_args(&args) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let ((mut m, space, chi, f), build_time) = bfvr_bench::timing::median_run(samples, || {
+        let t = Instant::now();
+        let built = build();
+        (built, t.elapsed())
+    });
 
     println!("Table 1: representing S = {{000,...,101}} (paper §2)");
     println!();
@@ -52,9 +70,9 @@ fn main() {
     assert_eq!(f.components(), &[v1, f2, v3], "Table 1 vector mismatch");
     println!("component check: F matches the paper's (v1, v̄1·v2, v3) exactly");
     println!(
-        "manager: {} nodes allocated, peak {}, {:.3} ms",
+        "manager: {} nodes allocated, peak {}, build {:.3} ms (median of {samples} after warm-up)",
         m.allocated(),
         m.peak_nodes(),
-        start.elapsed().as_secs_f64() * 1e3
+        build_time.as_secs_f64() * 1e3
     );
 }

@@ -6,10 +6,15 @@
 //! `T.O.`/`M.O.` outcomes.
 //!
 //! ```sh
-//! cargo run --release -p bfvr-bench --bin table2 [--quick] [--all-engines]
+//! cargo run --release -p bfvr-bench --bin table2 [--quick] [--all-engines] [--samples N]
 //! ```
+//!
+//! Completed cells are re-run `--samples` times (default 3) after an
+//! untimed warm-up and report the median; `T.O.`/`M.O.` cells run once —
+//! their timing is the budget itself.
 
-use bfvr_bench::{cell_limits, format_cell, run_cell, table_orders};
+use bfvr_bench::timing::samples_from_args;
+use bfvr_bench::{cell_limits, format_cell, run_cell_sampled, table_orders};
 use bfvr_netlist::generators;
 use bfvr_reach::EngineKind;
 
@@ -17,6 +22,13 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let all_engines = args.iter().any(|a| a == "--all-engines");
+    let samples = match samples_from_args(&args) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let (secs, nodes) = if quick { (5, 400_000) } else { (60, 4_000_000) };
     let opts = cell_limits(secs, nodes);
     let engines: Vec<EngineKind> = if all_engines {
@@ -49,6 +61,7 @@ fn main() {
         secs, nodes
     );
     println!("Each engine cell: time(s)  peak(K nodes); T.O. = timeout, M.O. = node limit.");
+    println!("Completed cells: median of {samples} sample(s) after warm-up.");
     println!();
     print!("| {:10} | {:5} |", "circuit", "order");
     for e in &engines {
@@ -65,7 +78,7 @@ fn main() {
             print!("| {:10} | {:5} |", name, order.label());
             let mut states: Option<f64> = None;
             for &engine in &engines {
-                let r = run_cell(net, order, engine, &opts);
+                let r = run_cell_sampled(net, order, engine, &opts, samples);
                 print!(" {:>17} |", format_cell(&r));
                 if r.outcome == bfvr_reach::Outcome::FixedPoint {
                     if let (Some(prev), Some(cur)) = (states, r.reached_states) {

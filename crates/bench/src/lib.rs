@@ -56,6 +56,38 @@ pub fn run_cell(
     run(engine, &mut m, &fsm, opts)
 }
 
+/// Runs one cell like [`run_cell`], but warmed up and sampled: one
+/// untimed warm-up run decides the outcome, and — when it completed —
+/// `samples` further timed runs are taken and the median-elapsed result
+/// is returned, so table timings stop wobbling with cold caches.
+///
+/// Resource-limited cells (`T.O.`/`M.O.`) are returned from the warm-up
+/// run directly: their outcome is deterministic and their "timing" is the
+/// budget itself, so resampling would only multiply the suite's wall
+/// clock by the limit.
+///
+/// # Panics
+///
+/// Panics if the circuit cannot be encoded (generator circuits always can).
+#[must_use]
+pub fn run_cell_sampled(
+    net: &Netlist,
+    order: OrderHeuristic,
+    engine: EngineKind,
+    opts: &ReachOptions,
+    samples: usize,
+) -> ReachResult {
+    let warmup = run_cell(net, order, engine, opts);
+    if warmup.outcome != bfvr_reach::Outcome::FixedPoint || samples <= 1 {
+        return warmup;
+    }
+    let mut runs: Vec<ReachResult> = (0..samples)
+        .map(|_| run_cell(net, order, engine, opts))
+        .collect();
+    runs.sort_by_key(|r| r.elapsed);
+    runs.swap_remove(runs.len() / 2)
+}
+
 /// Default per-cell limits for table runs (scaled-down analogue of the
 /// paper's 10 h / 1 GB budget).
 #[must_use]
@@ -93,6 +125,41 @@ pub fn print_row(cols: &[String]) {
 /// the whole workspace stays compilable offline.
 pub mod timing {
     use std::time::{Duration, Instant};
+
+    /// Default sample count for the table/ablation binaries.
+    pub const DEFAULT_SAMPLES: usize = 3;
+
+    /// Parses a `--samples N` flag (default [`DEFAULT_SAMPLES`]).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a missing, unparsable, or zero `N`.
+    pub fn samples_from_args(args: &[String]) -> Result<usize, String> {
+        let Some(i) = args.iter().position(|a| a == "--samples") else {
+            return Ok(DEFAULT_SAMPLES);
+        };
+        let n: usize = args
+            .get(i + 1)
+            .ok_or("--samples needs a count")?
+            .parse()
+            .map_err(|e| format!("bad --samples: {e}"))?;
+        if n == 0 {
+            return Err("--samples must be at least 1".into());
+        }
+        Ok(n)
+    }
+
+    /// Runs `f` once untimed (warm-up), then `samples` timed runs, and
+    /// returns the run with the median duration (its value and the
+    /// duration itself). `f` reports its own duration so callers can
+    /// time a sub-region instead of the whole call.
+    pub fn median_run<T>(samples: usize, mut f: impl FnMut() -> (T, Duration)) -> (T, Duration) {
+        drop(f()); // warm-up: populate caches, fault in pages
+        let mut runs: Vec<(T, Duration)> = (0..samples.max(1)).map(|_| f()).collect();
+        runs.sort_by_key(|&(_, d)| d);
+        let mid = runs.len() / 2;
+        runs.swap_remove(mid)
+    }
 
     /// Times `samples` runs of `f` (after one untimed warm-up) and
     /// prints a `min / median / mean` row under `label`.
@@ -143,6 +210,72 @@ mod tests {
             &cell_limits(0, usize::MAX),
         );
         assert!(format_cell(&r).contains("T.O."));
+    }
+
+    #[test]
+    fn sampled_cell_matches_single_run() {
+        let net = generators::rotator(4);
+        let single = run_cell(
+            &net,
+            OrderHeuristic::DfsFanin,
+            EngineKind::Bfv,
+            &ReachOptions::default(),
+        );
+        let sampled = run_cell_sampled(
+            &net,
+            OrderHeuristic::DfsFanin,
+            EngineKind::Bfv,
+            &ReachOptions::default(),
+            3,
+        );
+        assert_eq!(sampled.outcome, single.outcome);
+        assert_eq!(sampled.reached_states, single.reached_states);
+        assert_eq!(sampled.iterations, single.iterations);
+    }
+
+    #[test]
+    fn sampled_cell_does_not_resample_exhausted_runs() {
+        // A 0-second budget times out; resampling it would multiply the
+        // wall clock by the limit, so only the warm-up run happens.
+        let net = generators::gray(12);
+        let t = std::time::Instant::now();
+        let r = run_cell_sampled(
+            &net,
+            OrderHeuristic::DfsFanin,
+            EngineKind::Bfv,
+            &cell_limits(0, usize::MAX),
+            100,
+        );
+        assert_eq!(r.outcome, bfvr_reach::Outcome::TimeOut);
+        assert!(t.elapsed() < Duration::from_secs(30), "ran only once");
+    }
+
+    #[test]
+    fn samples_flag_parses_with_default() {
+        let none: Vec<String> = vec!["table2".into(), "--quick".into()];
+        assert_eq!(
+            timing::samples_from_args(&none),
+            Ok(timing::DEFAULT_SAMPLES)
+        );
+        let five: Vec<String> = vec!["--samples".into(), "5".into()];
+        assert_eq!(timing::samples_from_args(&five), Ok(5));
+        let zero: Vec<String> = vec!["--samples".into(), "0".into()];
+        assert!(timing::samples_from_args(&zero).is_err());
+        let missing: Vec<String> = vec!["--samples".into()];
+        assert!(timing::samples_from_args(&missing).is_err());
+    }
+
+    #[test]
+    fn median_run_returns_a_sampled_value() {
+        let mut calls = 0u32;
+        let (value, d) = timing::median_run(3, || {
+            calls += 1;
+            (calls, Duration::from_millis(u64::from(calls)))
+        });
+        // One warm-up + three samples; the median sample is returned.
+        assert_eq!(calls, 4);
+        assert_eq!(value, 3);
+        assert_eq!(d, Duration::from_millis(3));
     }
 
     #[test]

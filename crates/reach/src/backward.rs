@@ -83,7 +83,7 @@ pub fn reach_backward(
                 reached
             };
             _state_guards = (m.func(reached), m.func(from));
-            let gc = m.collect_garbage(&[reached, from, t, cube, bad]);
+            let gc = m.maybe_collect_garbage(&[reached, from, t, cube, bad]);
             if opts.record_iterations {
                 per_iteration.push(IterationStats {
                     reached_states: count_states(m, fsm, reached),

@@ -102,7 +102,7 @@ pub(crate) fn reach_bfv_seeded(
         _state_guards = (reached.pin(m), from.pin(m));
         let mut roots: Vec<bfvr_bdd::Bdd> = reached.components().to_vec();
         roots.extend_from_slice(from.components());
-        let gc = m.collect_garbage(&roots);
+        let gc = m.maybe_collect_garbage(&roots);
         notify_iteration(
             m,
             fsm,

@@ -146,7 +146,7 @@ pub(crate) fn reach_cbm_seeded(
             };
             _state_guards = (m.func(reached), m.func(from));
             let roots = [reached, from];
-            let gc = m.collect_garbage(&roots);
+            let gc = m.maybe_collect_garbage(&roots);
             notify_iteration(
                 m,
                 fsm,

@@ -116,7 +116,7 @@ pub(crate) fn reach_cdec_seeded(
         _state_guards = pin_state(m, &reached_dec, &from_bfv);
         let mut roots: Vec<bfvr_bdd::Bdd> = reached_dec.constraints().to_vec();
         roots.extend_from_slice(from_bfv.components());
-        let gc = m.collect_garbage(&roots);
+        let gc = m.maybe_collect_garbage(&roots);
         notify_iteration(
             m,
             fsm,

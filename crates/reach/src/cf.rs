@@ -124,7 +124,7 @@ pub(crate) fn reach_monolithic_seeded(
             };
             _state_guards = (m.func(reached), m.func(from));
             let roots = [reached, from, t, cube];
-            let gc = m.collect_garbage(&roots);
+            let gc = m.maybe_collect_garbage(&roots);
             notify_iteration(
                 m,
                 fsm,

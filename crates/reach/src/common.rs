@@ -116,6 +116,12 @@ pub struct ReachOptions {
     pub node_limit: Option<usize>,
     /// Wall-clock budget (reproduces `T.O.`).
     pub time_limit: Option<Duration>,
+    /// Ceiling on computed-table slots per op cache (see
+    /// [`BddManager::set_cache_limit`]); `None` keeps the manager's
+    /// default. Unlike `node_limit` this is not an abort threshold — the
+    /// caches are lossy and simply stop growing, trading hit rate for a
+    /// bounded resident footprint (visible in `cache_stats`).
+    pub cache_limit: Option<usize>,
     /// Safety cap on image iterations.
     pub max_iterations: Option<usize>,
     /// Parameter-elimination schedule for the BFV/CDEC engines (§3).
@@ -139,6 +145,7 @@ impl Default for ReachOptions {
         ReachOptions {
             node_limit: None,
             time_limit: None,
+            cache_limit: None,
             max_iterations: None,
             schedule: Schedule::DynamicSupport,
             cluster_threshold: 500,
@@ -155,6 +162,7 @@ impl fmt::Debug for ReachOptions {
         f.debug_struct("ReachOptions")
             .field("node_limit", &self.node_limit)
             .field("time_limit", &self.time_limit)
+            .field("cache_limit", &self.cache_limit)
             .field("max_iterations", &self.max_iterations)
             .field("schedule", &self.schedule)
             .field("cluster_threshold", &self.cluster_threshold)
@@ -166,15 +174,28 @@ impl fmt::Debug for ReachOptions {
 }
 
 /// Internal: the per-iteration hook shared by all five engines — runs the
-/// `audit`-feature self-check, then the caller-supplied observer. Called
-/// right after each growing iteration's garbage collection, so the
-/// manager is in its post-collection steady state.
+/// `audit`-feature self-check, then the caller-supplied observer, with
+/// the manager in its post-collection steady state.
+///
+/// The engines' own per-iteration collection is adaptive
+/// ([`BddManager::maybe_collect_garbage`]) and defers on small graphs,
+/// leaving garbage in the arena on purpose. Observers and the audit's
+/// leak pass, however, are promised a freshly-collected heap — anything
+/// live but unreachable from `view.roots` is a finding to them — so when
+/// anyone is watching we force the full collection the engines skipped.
 pub(crate) fn notify_iteration(
     m: &mut BddManager,
     fsm: &EncodedFsm,
     opts: &ReachOptions,
     view: &IterationView<'_>,
 ) {
+    #[cfg(not(feature = "audit"))]
+    let observed = opts.observer.is_some();
+    #[cfg(feature = "audit")]
+    let observed = true;
+    if observed {
+        m.collect_garbage(view.roots);
+    }
     #[cfg(feature = "audit")]
     crate::selfcheck::selfcheck_iteration(m, fsm, view);
     if let Some(obs) = &opts.observer {
@@ -369,6 +390,9 @@ pub(crate) fn failed_result(
 pub(crate) fn arm_limits(m: &mut BddManager, opts: &ReachOptions) -> Option<Instant> {
     if let Some(n) = opts.node_limit {
         m.set_node_limit(n);
+    }
+    if let Some(c) = opts.cache_limit {
+        m.set_cache_limit(c);
     }
     let deadline = opts.time_limit.map(|d| Instant::now() + d);
     m.set_deadline(deadline);

@@ -200,7 +200,7 @@ pub(crate) fn reach_iwls95_seeded(
             _state_guards = (m.func(reached), m.func(from));
             let mut roots = vec![reached, from];
             roots.extend(clusters.iter().map(|c| c.relation));
-            let gc = m.collect_garbage(&roots);
+            let gc = m.maybe_collect_garbage(&roots);
             notify_iteration(
                 m,
                 fsm,

@@ -1,21 +1,37 @@
-//! Budget-escalation driver: retry resource-limited runs from their
-//! checkpoint with geometrically raised budgets.
+//! Portfolio drivers: budget escalation and engine racing.
 //!
-//! A run that ends in `T.O.`/`M.O.` (the paper's Table 2 failure cells)
-//! has still computed a prefix of the reachable set. Instead of
-//! restarting from scratch with a bigger machine, [`run_escalating`]
-//! resumes the traversal from the [`Checkpoint`] it returned, multiplying
-//! the node/time budgets by a fixed factor each round until the fixed
-//! point is reached, a budget ceiling is hit, or the round cap runs out.
-//! Internal errors ([`Outcome::Error`]) are never retried — a bug does
-//! not go away with a bigger budget.
+//! **Escalation.** A run that ends in `T.O.`/`M.O.` (the paper's Table 2
+//! failure cells) has still computed a prefix of the reachable set.
+//! Instead of restarting from scratch with a bigger machine,
+//! [`run_escalating`] resumes the traversal from the [`Checkpoint`] it
+//! returned, multiplying the node/time budgets by a fixed factor each
+//! round until the fixed point is reached, a budget ceiling is hit, or
+//! the round cap runs out. Internal errors ([`Outcome::Error`]) are never
+//! retried — a bug does not go away with a bigger budget.
+//!
+//! **Racing.** The paper's Table 2 story is that different engines win on
+//! different circuits, and no static chooser predicts the winner.
+//! [`run_racing`] runs a set of engines concurrently on the same netlist
+//! and returns the first fixed point any of them reaches. Because
+//! [`BddManager`] is deliberately `!Send` (its [`bfvr_bdd::Func`] root
+//! handles share an `Rc` root table), each lane runs a *private* manager
+//! built by encoding the netlist in its own worker thread — there is no
+//! shared mutable BDD state and therefore no locking on the op-cache and
+//! unique-table hot paths. Losers are cancelled cooperatively: the winner
+//! trips a shared [`AtomicBool`] that every manager polls at the same
+//! points as its deadline (each fixed-point iteration and every few
+//! thousand node allocations), so a cancelled lane unwinds as a clean
+//! `T.O.`-shaped partial result, never an error.
 
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 use bfvr_bdd::BddManager;
-use bfvr_sim::EncodedFsm;
+use bfvr_netlist::Netlist;
+use bfvr_sim::{EncodedFsm, OrderHeuristic};
 
-use crate::{resume, run, EngineKind, Outcome, ReachOptions, ReachResult};
+use crate::{resume, run, EngineKind, IterationStats, Outcome, ReachOptions, ReachResult};
 
 /// How to raise budgets between escalation rounds.
 #[derive(Clone, Debug)]
@@ -161,6 +177,353 @@ pub fn run_escalating(
     EscalationReport { result, rounds }
 }
 
+/// Tuning for [`run_racing`].
+#[derive(Clone, Debug, Default)]
+pub struct RaceConfig {
+    /// Worker-thread cap: at most this many lanes run at once (`0` means
+    /// one thread per engine). Lanes beyond the cap queue and start as
+    /// threads free up; queued lanes are skipped outright once a winner
+    /// has been declared.
+    pub jobs: usize,
+    /// When set, every lane runs under [`run_escalating`] with this
+    /// policy instead of a single [`run`] — the race then composes with
+    /// budget escalation (`--race --escalate` in the CLI).
+    pub escalation: Option<EscalationPolicy>,
+}
+
+/// One engine's lane in a race.
+#[derive(Clone, Debug)]
+pub struct LaneReport {
+    /// The engine this lane ran.
+    pub engine: EngineKind,
+    /// How the lane's traversal ended; `None` when the lane was skipped
+    /// because the race was already decided before it could start.
+    pub outcome: Option<Outcome>,
+    /// Image iterations the lane completed.
+    pub iterations: usize,
+    /// States the lane had reached when it stopped.
+    pub reached_states: Option<f64>,
+    /// Final representation size (completed lanes only).
+    pub representation_nodes: Option<usize>,
+    /// Peak allocated nodes in the lane's private manager.
+    pub peak_nodes: usize,
+    /// Lane wall time, including its private FSM encoding.
+    pub elapsed: Duration,
+    /// Escalation rounds the lane ran (1 without an escalation policy).
+    pub rounds: usize,
+    /// Whether the lane was stopped by the race (a winner finished first)
+    /// rather than by its own budget. Cancellation rides the deadline
+    /// path, so a cancelled lane reports [`Outcome::TimeOut`] — never
+    /// [`Outcome::Error`].
+    pub cancelled: bool,
+}
+
+/// The race's verdict: the winning result plus every lane's report.
+#[derive(Clone, Debug)]
+pub struct RaceReport {
+    /// The winner's result — the first lane to reach its fixed point, or
+    /// the best partial result when none did (completion beats iteration
+    /// cap beats resource exhaustion; ties go to the lane with more
+    /// iterations). `None` only when `engines` was empty.
+    ///
+    /// The result crosses a thread boundary, so the fields that hold
+    /// manager-owned state ([`ReachResult::reached_chi`] and
+    /// [`ReachResult::checkpoint`]) are always `None`: the lane's private
+    /// manager — and every `Func` rooted in it — dies with its thread.
+    /// Race when you want the answer fast; run a single engine when you
+    /// need the reached set itself afterwards.
+    pub result: Option<ReachResult>,
+    /// Index into `lanes` of the lane that produced [`RaceReport::result`].
+    pub winner: Option<usize>,
+    /// One report per engine, in the order given.
+    pub lanes: Vec<LaneReport>,
+    /// Wall time of the whole race.
+    pub elapsed: Duration,
+}
+
+/// The `Send`able subset of [`ReachOptions`] shipped to lane threads: the
+/// per-iteration observer is an `Rc` callback and stays on the caller's
+/// thread (lanes run unobserved).
+#[derive(Clone, Copy)]
+struct LaneOpts {
+    node_limit: Option<usize>,
+    time_limit: Option<Duration>,
+    cache_limit: Option<usize>,
+    max_iterations: Option<usize>,
+    schedule: bfvr_bfv::reparam::Schedule,
+    cluster_threshold: usize,
+    use_frontier: bool,
+    record_iterations: bool,
+}
+
+impl LaneOpts {
+    fn of(opts: &ReachOptions) -> Self {
+        LaneOpts {
+            node_limit: opts.node_limit,
+            time_limit: opts.time_limit,
+            cache_limit: opts.cache_limit,
+            max_iterations: opts.max_iterations,
+            schedule: opts.schedule,
+            cluster_threshold: opts.cluster_threshold,
+            use_frontier: opts.use_frontier,
+            record_iterations: opts.record_iterations,
+        }
+    }
+
+    fn into_options(self) -> ReachOptions {
+        ReachOptions {
+            node_limit: self.node_limit,
+            time_limit: self.time_limit,
+            cache_limit: self.cache_limit,
+            max_iterations: self.max_iterations,
+            schedule: self.schedule,
+            cluster_threshold: self.cluster_threshold,
+            use_frontier: self.use_frontier,
+            record_iterations: self.record_iterations,
+            observer: None,
+        }
+    }
+}
+
+/// Everything a lane thread sends home. All fields are plain data —
+/// [`IterationStats`] is `Copy` — so the message is `Send` even though
+/// the result it summarizes was produced by a `!Send` manager.
+struct LaneMessage {
+    lane: usize,
+    engine: EngineKind,
+    outcome: Option<Outcome>,
+    iterations: usize,
+    reached_states: Option<f64>,
+    representation_nodes: Option<usize>,
+    peak_nodes: usize,
+    elapsed: Duration,
+    conversion_time: Duration,
+    per_iteration: Vec<IterationStats>,
+    rounds: usize,
+    won: bool,
+    cancelled: bool,
+}
+
+/// Runs one lane to completion (or cancellation) on the current thread.
+fn race_lane(
+    lane: usize,
+    engine: EngineKind,
+    net: &Netlist,
+    order: OrderHeuristic,
+    opts: LaneOpts,
+    escalation: Option<&EscalationPolicy>,
+    cancel: &Arc<AtomicBool>,
+) -> LaneMessage {
+    let start = Instant::now();
+    let skipped = LaneMessage {
+        lane,
+        engine,
+        outcome: None,
+        iterations: 0,
+        reached_states: None,
+        representation_nodes: None,
+        peak_nodes: 0,
+        elapsed: Duration::ZERO,
+        conversion_time: Duration::ZERO,
+        per_iteration: Vec::new(),
+        rounds: 0,
+        won: false,
+        cancelled: true,
+    };
+    if cancel.load(Ordering::Relaxed) {
+        return skipped;
+    }
+    let Ok((mut m, fsm)) = EncodedFsm::encode(net, order) else {
+        return LaneMessage {
+            outcome: Some(Outcome::Error),
+            elapsed: start.elapsed(),
+            cancelled: false,
+            ..skipped
+        };
+    };
+    m.set_cancel_token(Some(Arc::clone(cancel)));
+    let opts = opts.into_options();
+    let (result, rounds) = match escalation {
+        Some(policy) => {
+            let report = run_escalating(engine, &mut m, &fsm, &opts, policy);
+            let n = report.rounds.len();
+            (report.result, n)
+        }
+        None => (run(engine, &mut m, &fsm, &opts), 1),
+    };
+    // First fixed point wins; `swap` makes exactly one lane the winner
+    // even if two finish back-to-back.
+    let won = result.outcome == Outcome::FixedPoint && !cancel.swap(true, Ordering::AcqRel);
+    // A loser whose run ended while the flag was up was (or would have
+    // been) stopped by the race, not by its own budget.
+    let cancelled =
+        !won && result.outcome.is_resource_exhaustion() && cancel.load(Ordering::Acquire);
+    LaneMessage {
+        lane,
+        engine,
+        outcome: Some(result.outcome),
+        iterations: result.iterations,
+        reached_states: result.reached_states,
+        representation_nodes: result.representation_nodes,
+        peak_nodes: result.peak_nodes,
+        elapsed: start.elapsed(),
+        conversion_time: result.conversion_time,
+        per_iteration: result.per_iteration,
+        rounds,
+        won,
+        cancelled,
+    }
+}
+
+/// Lower ranks make better fallback winners when no lane completed.
+fn outcome_rank(outcome: Option<Outcome>) -> u8 {
+    match outcome {
+        Some(Outcome::FixedPoint) => 0,
+        Some(Outcome::IterationLimit) => 1,
+        Some(Outcome::TimeOut | Outcome::MemOut) => 2,
+        Some(Outcome::Error) => 3,
+        None => 4,
+    }
+}
+
+/// Races `engines` on `net`: every engine traverses the same FSM (same
+/// netlist, same variable order) in its own worker thread with its own
+/// private [`BddManager`], and the first lane to reach the fixed point
+/// cancels the rest through the managers' cooperative deadline poll.
+///
+/// The returned [`RaceReport`] carries the winning [`ReachResult`]
+/// (reached-state count, iterations, peak nodes — but not the reached
+/// set itself; see [`RaceReport::result`]) and a [`LaneReport`] per
+/// engine. Reached-state counts are deterministic: every lane converges
+/// to the same unique least fixed point, so whichever engine wins, the
+/// count matches a sequential run bit for bit.
+#[must_use]
+pub fn run_racing(
+    engines: &[EngineKind],
+    net: &Netlist,
+    order: OrderHeuristic,
+    opts: &ReachOptions,
+    config: &RaceConfig,
+) -> RaceReport {
+    let start = Instant::now();
+    let n = engines.len();
+    let jobs = if config.jobs == 0 {
+        n
+    } else {
+        config.jobs.min(n)
+    };
+    let lane_opts = LaneOpts::of(opts);
+    let cancel = Arc::new(AtomicBool::new(false));
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<LaneMessage>();
+    let mut messages: Vec<Option<LaneMessage>> = Vec::new();
+    messages.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let cancel = Arc::clone(&cancel);
+            let next = &next;
+            scope.spawn(move || {
+                // Work-stealing loop: each thread pulls the next unstarted
+                // lane until the queue is drained, so `jobs` caps
+                // concurrency without dedicating a thread per engine.
+                loop {
+                    let lane = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&engine) = engines.get(lane) else {
+                        return;
+                    };
+                    let msg = race_lane(
+                        lane,
+                        engine,
+                        net,
+                        order,
+                        lane_opts,
+                        config.escalation.as_ref(),
+                        &cancel,
+                    );
+                    if tx.send(msg).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for msg in rx {
+            let lane = msg.lane;
+            messages[lane] = Some(msg);
+        }
+    });
+    // Winner: the lane that won the swap; otherwise the best-ranked
+    // partial result (most iterations, then lowest lane index).
+    let winner = messages
+        .iter()
+        .enumerate()
+        .filter_map(|(i, m)| m.as_ref().map(|m| (i, m)))
+        .min_by_key(|(i, m)| {
+            (
+                !m.won,
+                outcome_rank(m.outcome),
+                std::cmp::Reverse(m.iterations),
+                *i,
+            )
+        })
+        .map(|(i, _)| i);
+    let mut lanes = Vec::with_capacity(n);
+    let mut result = None;
+    for (i, slot) in messages.into_iter().enumerate() {
+        // Every spawned lane sends exactly one message, so the slot is
+        // always populated; guard anyway so a panicked lane degrades to
+        // a skipped report instead of poisoning the race.
+        let msg = slot.unwrap_or(LaneMessage {
+            lane: i,
+            engine: engines[i],
+            outcome: None,
+            iterations: 0,
+            reached_states: None,
+            representation_nodes: None,
+            peak_nodes: 0,
+            elapsed: Duration::ZERO,
+            conversion_time: Duration::ZERO,
+            per_iteration: Vec::new(),
+            rounds: 0,
+            won: false,
+            cancelled: true,
+        });
+        lanes.push(LaneReport {
+            engine: msg.engine,
+            outcome: msg.outcome,
+            iterations: msg.iterations,
+            reached_states: msg.reached_states,
+            representation_nodes: msg.representation_nodes,
+            peak_nodes: msg.peak_nodes,
+            elapsed: msg.elapsed,
+            rounds: msg.rounds,
+            cancelled: msg.cancelled,
+        });
+        if winner == Some(i) {
+            result = Some(ReachResult {
+                engine: msg.engine,
+                outcome: msg.outcome.unwrap_or(Outcome::Error),
+                iterations: msg.iterations,
+                reached_states: msg.reached_states,
+                reached_chi: None,
+                representation_nodes: msg.representation_nodes,
+                peak_nodes: msg.peak_nodes,
+                elapsed: msg.elapsed,
+                conversion_time: msg.conversion_time,
+                per_iteration: msg.per_iteration,
+                checkpoint: None,
+            });
+        }
+    }
+    RaceReport {
+        result,
+        winner,
+        lanes,
+        elapsed: start.elapsed(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +541,11 @@ mod tests {
             &ReachOptions::default(),
         );
         assert_eq!(baseline.outcome, Outcome::FixedPoint);
+        // Sweep the baseline run's garbage first: adaptive per-iteration
+        // collection defers on small graphs and leaves it in the arena,
+        // and a budget measured on top of reclaimable garbage would not
+        // actually be tight.
+        m.collect_garbage(&[]);
         let opts = ReachOptions {
             node_limit: Some(m.allocated() + 50),
             ..Default::default()

@@ -21,7 +21,7 @@ use std::time::Duration;
 use bfvr::audit::{run_mutations, run_passes, AuditTargets, Report, Severity};
 use bfvr::bfv::StateSet;
 use bfvr::netlist::{bench, blif, generators, Netlist};
-use bfvr::reach::portfolio::{run_escalating, EscalationPolicy};
+use bfvr::reach::portfolio::{run_escalating, run_racing, EscalationPolicy, RaceConfig};
 use bfvr::reach::{
     check_invariant, find_trace, run as run_engine, CheckResult, EngineKind, ReachOptions,
     ReachResult, SetView,
@@ -40,8 +40,19 @@ USAGE:
   bfvr reach <file> [--engine bfv|cbm|mono|iwls95|cdec|all]
                     [--order s1|s2|d|o:<seed>]
                     [--time-limit <sec>] [--node-limit <nodes>]
+                    [--cache-limit <slots>]  cap each op cache's computed
+                                         table at this many slots (rounded
+                                         to a power of two; bounds resident
+                                         cache memory, trades hit rate)
+                    [--race]             run the selected engines (default:
+                                         all) concurrently, one manager per
+                                         thread; first fixed point wins and
+                                         cancels the rest
+                    [--jobs <n>]         cap racing worker threads (default:
+                                         one per engine)
                     [--escalate]         on T.O./M.O., resume from the
                                          checkpoint with raised budgets
+                                         (per lane when racing)
                     [--escalate-factor <f>]  budget multiplier per retry
                                          (default 2)
                     [--max-budget <nodes>]   node-budget ceiling for
@@ -182,6 +193,13 @@ fn parse_opts(args: &[String]) -> Result<ReachOptions, String> {
     if let Some(s) = flag_value(args, "--node-limit") {
         opts.node_limit = Some(s.parse().map_err(|e| format!("bad --node-limit: {e}"))?);
     }
+    if let Some(s) = flag_value(args, "--cache-limit") {
+        let slots: usize = s.parse().map_err(|e| format!("bad --cache-limit: {e}"))?;
+        if slots == 0 {
+            return Err("--cache-limit must be at least 1".into());
+        }
+        opts.cache_limit = Some(slots);
+    }
     Ok(opts)
 }
 
@@ -234,12 +252,27 @@ fn cmd_reach(args: &[String]) -> Result<(), String> {
     if escalation.is_some() && opts.node_limit.is_none() && opts.time_limit.is_none() {
         return Err("--escalate needs --node-limit and/or --time-limit to raise".into());
     }
-    let engines = parse_engines(args, &[EngineKind::Bfv])?;
+    let race = args.iter().any(|a| a == "--race");
+    // A race defaults to the full portfolio — one engine has nothing to
+    // race against; a plain run defaults to the paper's BFV flow.
+    let default_engines: &[EngineKind] = if race {
+        &EngineKind::all()
+    } else {
+        &[EngineKind::Bfv]
+    };
+    let engines = parse_engines(args, default_engines)?;
+    if race {
+        return cmd_reach_race(args, &net, order, &opts, &engines, escalation);
+    }
+    if flag_value(args, "--jobs").is_some() {
+        return Err("--jobs requires --race".into());
+    }
     println!(
         "{:8} {:>6} {:>14} {:>7} {:>10} {:>11}",
         "engine", "status", "states", "iters", "time(ms)", "peak nodes"
     );
     let dump = args.iter().any(|a| a == "--dump-reached");
+    let show_stats = args.iter().any(|a| a == "--stats");
     for kind in engines {
         let (mut m, fsm) = EncodedFsm::encode(&net, order).map_err(|e| e.to_string())?;
         let r: ReachResult = match &escalation {
@@ -274,6 +307,31 @@ fn cmd_reach(args: &[String]) -> Result<(), String> {
             r.elapsed.as_secs_f64() * 1e3,
             r.peak_nodes
         );
+        if show_stats {
+            let s = m.stats();
+            println!(
+                "  tables: {} KiB computed caches + {} KiB unique table resident; \
+                 {} mk calls, {} GCs",
+                s.cache_bytes / 1024,
+                s.unique_bytes / 1024,
+                s.mk_calls,
+                s.gc_runs
+            );
+            for c in m.cache_stats() {
+                if c.lookups == 0 {
+                    continue;
+                }
+                println!(
+                    "  cache {:10} {:>10} lookups {:>6.1}% hit  {:>8} / {:>8} slots  {:>6} KiB",
+                    c.name,
+                    c.lookups,
+                    c.hits as f64 / c.lookups as f64 * 100.0,
+                    c.entries,
+                    c.capacity,
+                    c.bytes / 1024
+                );
+            }
+        }
         if dump {
             if let Some(chi) = &r.reached_chi {
                 let cubes = m.isop(chi.bdd()).map_err(|e| e.to_string())?;
@@ -296,6 +354,78 @@ fn cmd_reach(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `bfvr reach --race`: race the selected engines, each in its own
+/// worker thread with a private manager, and report every lane plus the
+/// winner. `--dump-reached` is rejected: the winning lane's manager (and
+/// the reached set rooted in it) does not outlive its thread.
+fn cmd_reach_race(
+    args: &[String],
+    net: &Netlist,
+    order: OrderHeuristic,
+    opts: &ReachOptions,
+    engines: &[EngineKind],
+    escalation: Option<EscalationPolicy>,
+) -> Result<(), String> {
+    if args.iter().any(|a| a == "--dump-reached") {
+        return Err("--dump-reached is not available with --race (the winning \
+                    lane's manager dies with its thread); rerun the winning \
+                    engine alone to dump the reached set"
+            .into());
+    }
+    let jobs = match flag_value(args, "--jobs") {
+        None => 0,
+        Some(s) => {
+            let n: usize = s.parse().map_err(|e| format!("bad --jobs: {e}"))?;
+            if n == 0 {
+                return Err("--jobs must be at least 1".into());
+            }
+            n
+        }
+    };
+    let config = RaceConfig { jobs, escalation };
+    let report = run_racing(engines, net, order, opts, &config);
+    println!(
+        "{:8} {:>9} {:>14} {:>7} {:>10} {:>11}",
+        "lane", "status", "states", "iters", "time(ms)", "peak nodes"
+    );
+    for (i, lane) in report.lanes.iter().enumerate() {
+        let status = match (lane.outcome, lane.cancelled) {
+            (None, _) => "skipped".to_string(),
+            (Some(o), true) => format!("{}*", o.label()),
+            (Some(o), false) => o.label().to_string(),
+        };
+        let won = if report.winner == Some(i) {
+            " <- winner"
+        } else {
+            ""
+        };
+        println!(
+            "{:8} {:>9} {:>14} {:>7} {:>10.1} {:>11}{}",
+            lane.engine.label(),
+            status,
+            lane.reached_states.map_or("-".into(), |s| format!("{s}")),
+            lane.iterations,
+            lane.elapsed.as_secs_f64() * 1e3,
+            lane.peak_nodes,
+            won,
+        );
+    }
+    println!(
+        "race over {} lane(s) finished in {:.1} ms (* = cancelled by the winner)",
+        report.lanes.len(),
+        report.elapsed.as_secs_f64() * 1e3
+    );
+    match report.result {
+        Some(r) if r.outcome == bfvr::reach::Outcome::FixedPoint => Ok(()),
+        Some(r) => Err(format!(
+            "no lane reached a fixed point (best: {} {})",
+            r.engine.label(),
+            r.outcome.label()
+        )),
+        None => Err("race had no engines".into()),
+    }
 }
 
 /// `bfvr audit`: run the selected engines with a per-iteration observer

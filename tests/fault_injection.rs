@@ -47,8 +47,12 @@ impl Fault {
 }
 
 /// Allocation-ordinal injection points: during engine setup, in the
-/// early iterations, and deep into the traversal.
-const ALLOC_POINTS: [u64; 3] = [25, 150, 600];
+/// early iterations, and deep into the traversal. The deepest point must
+/// stay below the *total* allocations of the leanest engine×circuit in
+/// the sweep (~290 for IWLS95/Monolithic on `counter(5)` from a cold
+/// manager): with adaptive GC nothing is re-allocated mid-run, so a run
+/// that completes in fewer allocations never reaches the ordinal.
+const ALLOC_POINTS: [u64; 3] = [25, 150, 250];
 /// `check_deadline`-ordinal injection points (one check per iteration).
 const DEADLINE_POINTS: [u64; 3] = [1, 3, 9];
 
@@ -69,6 +73,12 @@ fn sweep(kind: EngineKind, faults: &[Fault]) {
     let base_live = m.allocated();
 
     for &fault in faults {
+        // Cold-start each injection: sweep garbage and flush the computed
+        // caches so the run re-allocates its graph and the allocation
+        // ordinals actually reach the injection point (a warm manager
+        // would serve the whole traversal from cache without allocating).
+        m.collect_garbage(&[]);
+        m.clear_cache();
         m.set_fault_plan(fault.plan());
         let mut partial: ReachResult = run(kind, &mut m, &fsm, &opts);
         m.clear_fault_plan();
