@@ -100,7 +100,7 @@ pub use explore::{CubeIter, Support};
 pub use fault::{FaultKind, FaultPlan};
 pub use func::Func;
 pub use isop::Cube;
-pub use manager::{BddManager, GcStats, ManagerStats};
+pub use manager::{BddManager, GcStats, ManagerStats, UniqueTableStats};
 pub use node::{Bdd, Var};
 
 /// Convenient result alias for fallible BDD operations.

@@ -62,6 +62,23 @@ pub struct ManagerStats {
     pub unique_bytes: usize,
 }
 
+/// Occupancy summary of the unique table (hash-consing index), from
+/// [`BddManager::unique_stats`]. All fields are observations — reading
+/// them never allocates or perturbs the table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UniqueTableStats {
+    /// Entries stored across all per-level subtables.
+    pub entries: usize,
+    /// Slots allocated across all subtables (entries / slots = load).
+    pub slots: usize,
+    /// Resident bytes behind the slot arrays.
+    pub bytes: usize,
+    /// Subtables (one per variable level).
+    pub levels: usize,
+    /// Subtables currently holding at least one entry.
+    pub occupied_levels: usize,
+}
+
 /// Result of one garbage collection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GcStats {
@@ -282,7 +299,7 @@ impl BddManager {
             .is_some_and(|t| t.load(Ordering::Relaxed))
     }
 
-    /// Arms a deterministic [`FaultPlan`]; see [`crate::fault`] for the
+    /// Arms a deterministic [`FaultPlan`]; see that type's docs for the
     /// sticky-ordinal semantics. Ordinals count from the moment of arming.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.alloc_seq = 0;
@@ -321,6 +338,11 @@ impl BddManager {
     /// Per-operation computed-cache counters (lookups, hits, residency).
     pub fn cache_stats(&self) -> Vec<CacheStats> {
         self.caches.stats()
+    }
+
+    /// Unique-table occupancy (entries, slots, bytes, level spread).
+    pub fn unique_stats(&self) -> UniqueTableStats {
+        self.unique.stats()
     }
 
     /// Nodes currently allocated (live from the manager's point of view).

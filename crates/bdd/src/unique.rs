@@ -269,6 +269,25 @@ impl UniqueTable {
             .sum()
     }
 
+    /// Occupancy summary across all levels (diagnostics only).
+    pub fn stats(&self) -> crate::manager::UniqueTableStats {
+        let mut slots = 0usize;
+        let mut occupied_levels = 0usize;
+        for level in &self.levels {
+            slots += level.entries.len();
+            if level.len > 0 {
+                occupied_levels += 1;
+            }
+        }
+        crate::manager::UniqueTableStats {
+            entries: self.len(),
+            slots,
+            bytes: self.bytes(),
+            levels: self.levels.len(),
+            occupied_levels,
+        }
+    }
+
     /// Iterates every entry as `(var, lo, hi, idx)` (diagnostics only).
     pub fn iter(&self) -> impl Iterator<Item = (u32, u32, u32, u32)> + '_ {
         self.levels.iter().enumerate().flat_map(|(var, table)| {

@@ -6,16 +6,30 @@
 //! `T.O.`/`M.O.` outcomes.
 //!
 //! ```sh
-//! cargo run --release -p bfvr-bench --bin table2 [--quick] [--all-engines] [--samples N]
+//! cargo run --release -p bfvr-bench --bin table2 \
+//!     [--quick] [--all-engines] [--samples N]
+//!     [--trace-out FILE] [--trace-sample N]
 //! ```
 //!
 //! Completed cells are re-run `--samples` times (default 3) after an
 //! untimed warm-up and report the median; `T.O.`/`M.O.` cells run once —
 //! their timing is the budget itself.
+//!
+//! With `--trace-out FILE`, every cell's warm-up run is traced into one
+//! JSONL telemetry stream (one `run` span per circuit × order cell;
+//! render with `bfvr report FILE`). The timed sample runs stay untraced,
+//! so the table's medians are never polluted by telemetry.
+//! `--trace-sample N` records every n-th iteration (default 1): on
+//! iteration-heavy cells the per-iteration record costs O(reached-set
+//! nodes) to read while the iteration itself can be O(frontier), so a
+//! stride is what keeps whole-binary tracing overhead negligible (see
+//! `EXPERIMENTS.md` for the measurement).
 
 use bfvr_bench::timing::samples_from_args;
-use bfvr_bench::{cell_limits, format_cell, run_cell_sampled, table_orders};
+use bfvr_bench::{cell_limits, format_cell, run_cell_sampled_traced, table_orders};
 use bfvr_netlist::generators;
+use bfvr_obs::{Counters, JsonlSink, SpanKind, Tracer};
+use bfvr_reach::telemetry::trace_handle;
 use bfvr_reach::EngineKind;
 
 fn main() {
@@ -29,6 +43,37 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let stride: u64 = match args.iter().position(|a| a == "--trace-sample") {
+        None => 1,
+        Some(i) => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: --trace-sample needs a positive integer");
+                std::process::exit(2);
+            }
+        },
+    };
+    let trace = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| match args.get(i + 1) {
+            Some(path) => match std::fs::File::create(path) {
+                Ok(f) => {
+                    let sink = JsonlSink::new(std::io::BufWriter::new(f));
+                    let mut t = Tracer::with_sampling(Box::new(sink), stride);
+                    t.meta(&format!("table2{}", if quick { " --quick" } else { "" }));
+                    trace_handle(t)
+                }
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    std::process::exit(2);
+                }
+            },
+            None => {
+                eprintln!("error: --trace-out needs a file");
+                std::process::exit(2);
+            }
+        });
     let (secs, nodes) = if quick { (5, 400_000) } else { (60, 4_000_000) };
     let opts = cell_limits(secs, nodes);
     let engines: Vec<EngineKind> = if all_engines {
@@ -76,9 +121,16 @@ fn main() {
     for (name, net) in &suite {
         for order in table_orders() {
             print!("| {:10} | {:5} |", name, order.label());
+            let cell_span = trace.as_ref().map(|t| {
+                t.borrow_mut().open_span(
+                    SpanKind::Run,
+                    &format!("{name}/{}", order.label()),
+                    Counters::new(),
+                )
+            });
             let mut states: Option<f64> = None;
             for &engine in &engines {
-                let r = run_cell_sampled(net, order, engine, &opts, samples);
+                let r = run_cell_sampled_traced(net, order, engine, &opts, samples, trace.clone());
                 print!(" {:>17} |", format_cell(&r));
                 if r.outcome == bfvr_reach::Outcome::FixedPoint {
                     if let (Some(prev), Some(cur)) = (states, r.reached_states) {
@@ -87,8 +139,14 @@ fn main() {
                     states = states.or(r.reached_states);
                 }
             }
+            if let (Some(t), Some(id)) = (&trace, cell_span) {
+                t.borrow_mut().close_span(id, &Counters::new());
+            }
             println!(" {:>9} |", states.map_or("-".into(), |s| format!("{s}")));
         }
+    }
+    if let Some(t) = &trace {
+        t.borrow_mut().finish();
     }
     println!();
     println!("(Substitute suite for the paper's ISCAS89 circuits; see DESIGN.md §3.)");

@@ -77,7 +77,33 @@ pub fn run_cell_sampled(
     opts: &ReachOptions,
     samples: usize,
 ) -> ReachResult {
-    let warmup = run_cell(net, order, engine, opts);
+    run_cell_sampled_traced(net, order, engine, opts, samples, None)
+}
+
+/// Like [`run_cell_sampled`], but the untimed warm-up run carries the
+/// telemetry handle (`table2 --trace-out`): the trace captures one full
+/// representative traversal per cell, while the timed sample runs stay
+/// untraced so telemetry can never contaminate the reported medians.
+///
+/// # Panics
+///
+/// Panics if the circuit cannot be encoded (generator circuits always can).
+#[must_use]
+pub fn run_cell_sampled_traced(
+    net: &Netlist,
+    order: OrderHeuristic,
+    engine: EngineKind,
+    opts: &ReachOptions,
+    samples: usize,
+    trace: Option<bfvr_reach::TraceHandle>,
+) -> ReachResult {
+    let warmup = if let Some(trace) = trace {
+        let mut traced = opts.clone();
+        traced.trace = Some(trace);
+        run_cell(net, order, engine, &traced)
+    } else {
+        run_cell(net, order, engine, opts)
+    };
     if warmup.outcome != bfvr_reach::Outcome::FixedPoint || samples <= 1 {
         return warmup;
     }

@@ -88,6 +88,7 @@ pub fn reach_backward(
                 per_iteration.push(IterationStats {
                     reached_states: count_states(m, fsm, reached),
                     reached_nodes: m.size(reached),
+                    frontier_nodes: m.size(from),
                     live_nodes: gc.live,
                     elapsed: iter_start.elapsed(),
                     conversion: std::time::Duration::ZERO,

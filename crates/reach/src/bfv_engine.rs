@@ -9,7 +9,7 @@ use bfvr_sim::{simulate_image_with, EncodedFsm};
 
 use crate::common::{
     arm_limits, disarm_limits, failed_result, notify_iteration, outcome_of_bfv_error, Checkpoint,
-    CheckpointState, IterationStats, IterationView, Outcome, ReachOptions, ReachResult, SetView,
+    CheckpointState, IterMetrics, IterationView, Outcome, ReachOptions, ReachResult, SetView,
 };
 use crate::EngineKind;
 
@@ -79,14 +79,18 @@ pub(crate) fn reach_bfv_seeded(
         if m.check_deadline().is_err() {
             break Outcome::TimeOut;
         }
+        let op_start = Instant::now();
         let img = match simulate_image_with(m, fsm, &from, opts.schedule) {
             Ok(img) => img,
             Err(e) => break outcome_of_bfv_error(&e),
         };
+        let image_time = op_start.elapsed();
+        let op_start = Instant::now();
         let new_reached = match ops::union(m, &space, &reached, &img) {
             Ok(u) => u,
             Err(e) => break outcome_of_bfv_error(&e),
         };
+        let union_time = op_start.elapsed();
         iterations += 1;
         if new_reached.components() == reached.components() {
             break Outcome::FixedPoint;
@@ -116,16 +120,14 @@ pub(crate) fn reach_bfv_seeded(
                     from: &from,
                 },
             },
-        );
-        if opts.record_iterations {
-            per_iteration.push(IterationStats {
-                reached_states: f64::NAN, // filled lazily below when cheap
-                reached_nodes: reached.shared_size(m),
-                live_nodes: gc.live,
+            &IterMetrics {
+                gc,
                 elapsed: iter_start.elapsed(),
                 conversion: std::time::Duration::ZERO,
-            });
-        }
+                ops: &[("image", image_time), ("union", union_time)],
+            },
+            &mut per_iteration,
+        );
     };
     let elapsed = start.elapsed();
     let peak_nodes = m.peak_nodes();

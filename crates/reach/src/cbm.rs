@@ -18,8 +18,8 @@ use bfvr_sim::EncodedFsm;
 
 use crate::cf::{chi_checkpoint, count_states, initial_chi, ChiSeed};
 use crate::common::{
-    arm_limits, disarm_limits, notify_iteration, outcome_of_bdd_error, IterationStats,
-    IterationView, Outcome, ReachOptions, ReachResult, SetView,
+    arm_limits, disarm_limits, notify_iteration, outcome_of_bdd_error, IterMetrics, IterationView,
+    Outcome, ReachOptions, ReachResult, SetView,
 };
 use crate::EngineKind;
 
@@ -132,8 +132,10 @@ pub(crate) fn reach_cbm_seeded(
             let img_u = range_by_splitting(m, &constrained, &next_vars)?;
             let conv = conv_start.elapsed();
             conversion_time += conv;
+            let op_start = Instant::now();
             let img = m.swap_vars(img_u, &pairs)?;
             let new_reached = m.or(reached, img)?;
+            let union_time = op_start.elapsed();
             iterations += 1;
             if new_reached == reached {
                 break;
@@ -157,16 +159,14 @@ pub(crate) fn reach_cbm_seeded(
                     roots: &roots,
                     set: SetView::Chi { reached, from },
                 },
-            );
-            if opts.record_iterations {
-                per_iteration.push(IterationStats {
-                    reached_states: count_states(m, fsm, reached),
-                    reached_nodes: m.size(reached),
-                    live_nodes: gc.live,
+                &IterMetrics {
+                    gc,
                     elapsed: iter_start.elapsed(),
                     conversion: conv,
-                });
-            }
+                    ops: &[("convert", conv), ("union", union_time)],
+                },
+                &mut per_iteration,
+            );
         }
         Ok(())
     })();

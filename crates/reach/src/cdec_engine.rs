@@ -15,7 +15,7 @@ use bfvr_sim::{simulate_image_with, EncodedFsm};
 
 use crate::common::{
     arm_limits, disarm_limits, failed_result, notify_iteration, outcome_of_bfv_error, Checkpoint,
-    CheckpointState, IterationStats, IterationView, Outcome, ReachOptions, ReachResult, SetView,
+    CheckpointState, IterMetrics, IterationView, Outcome, ReachOptions, ReachResult, SetView,
 };
 use crate::EngineKind;
 
@@ -81,21 +81,26 @@ pub(crate) fn reach_cdec_seeded(
         if m.check_deadline().is_err() {
             break Outcome::TimeOut;
         }
+        let op_start = Instant::now();
         let img = match simulate_image_with(m, fsm, &from_bfv, opts.schedule) {
             Ok(img) => img,
             Err(e) => break outcome_of_bfv_error(&e),
         };
+        let image_time = op_start.elapsed();
         // Set algebra in the constraint view.
         let conv = Instant::now();
         let img_dec = match CDec::from_bfv(m, &space, &img) {
             Ok(d) => d,
             Err(e) => break outcome_of_bfv_error(&e),
         };
-        conversion_time += conv.elapsed();
+        let mut iter_conversion = conv.elapsed();
+        conversion_time += iter_conversion;
+        let op_start = Instant::now();
         let new_dec = match reached_dec.union(m, &space, &img_dec) {
             Ok(u) => u,
             Err(e) => break outcome_of_bfv_error(&e),
         };
+        let union_time = op_start.elapsed();
         iterations += 1;
         if new_dec.constraints() == reached_dec.constraints() {
             break Outcome::FixedPoint;
@@ -107,7 +112,9 @@ pub(crate) fn reach_cdec_seeded(
             Ok(f) => f,
             Err(e) => break outcome_of_bfv_error(&e),
         };
-        conversion_time += conv.elapsed();
+        let back_conv = conv.elapsed();
+        iter_conversion += back_conv;
+        conversion_time += back_conv;
         from_bfv = if opts.use_frontier && img.shared_size(m) <= reached_bfv.shared_size(m) {
             img
         } else {
@@ -130,16 +137,18 @@ pub(crate) fn reach_cdec_seeded(
                     from: &from_bfv,
                 },
             },
-        );
-        if opts.record_iterations {
-            per_iteration.push(IterationStats {
-                reached_states: f64::NAN,
-                reached_nodes: reached_dec.shared_size(m),
-                live_nodes: gc.live,
+            &IterMetrics {
+                gc,
                 elapsed: iter_start.elapsed(),
-                conversion: Duration::ZERO,
-            });
-        }
+                conversion: iter_conversion,
+                ops: &[
+                    ("image", image_time),
+                    ("convert", iter_conversion),
+                    ("union", union_time),
+                ],
+            },
+            &mut per_iteration,
+        );
     };
     let elapsed = start.elapsed();
     let peak_nodes = m.peak_nodes();

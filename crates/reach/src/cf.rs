@@ -7,7 +7,7 @@ use bfvr_sim::EncodedFsm;
 
 use crate::common::{
     arm_limits, disarm_limits, notify_iteration, outcome_of_bdd_error, Checkpoint, CheckpointState,
-    IterationStats, IterationView, Outcome, ReachOptions, ReachResult, SetView,
+    IterMetrics, IterationView, Outcome, ReachOptions, ReachResult, SetView,
 };
 use crate::EngineKind;
 
@@ -109,9 +109,13 @@ pub(crate) fn reach_monolithic_seeded(
             }
             let iter_start = Instant::now();
             m.check_deadline()?;
+            let op_start = Instant::now();
             let img_u = m.and_exists(t, from, cube)?;
             let img = m.swap_vars(img_u, &pairs)?;
+            let image_time = op_start.elapsed();
+            let op_start = Instant::now();
             let new_reached = m.or(reached, img)?;
+            let union_time = op_start.elapsed();
             iterations += 1;
             if new_reached == reached {
                 return Ok(());
@@ -135,16 +139,14 @@ pub(crate) fn reach_monolithic_seeded(
                     roots: &roots,
                     set: SetView::Chi { reached, from },
                 },
-            );
-            if opts.record_iterations {
-                per_iteration.push(IterationStats {
-                    reached_states: count_states(m, fsm, reached),
-                    reached_nodes: m.size(reached),
-                    live_nodes: gc.live,
+                &IterMetrics {
+                    gc,
                     elapsed: iter_start.elapsed(),
                     conversion: std::time::Duration::ZERO,
-                });
-            }
+                    ops: &[("image", image_time), ("union", union_time)],
+                },
+                &mut per_iteration,
+            );
         }
     })();
     let outcome = match (&run, outcome_opt) {

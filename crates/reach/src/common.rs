@@ -138,6 +138,12 @@ pub struct ReachOptions {
     /// `bfvr audit` subcommand to run the analysis passes against every
     /// intermediate set. `None` costs nothing.
     pub observer: Option<IterationObserver>,
+    /// Telemetry stream (see [`crate::telemetry::TraceHandle`]). Unlike
+    /// `observer`, tracing is read-only: it records sampled iteration
+    /// events, engine spans and outcome/limit events without forcing
+    /// collections or otherwise changing what the engine computes.
+    /// `None` costs nothing.
+    pub trace: Option<crate::telemetry::TraceHandle>,
 }
 
 impl Default for ReachOptions {
@@ -152,6 +158,7 @@ impl Default for ReachOptions {
             use_frontier: true,
             record_iterations: false,
             observer: None,
+            trace: None,
         }
     }
 }
@@ -169,26 +176,66 @@ impl fmt::Debug for ReachOptions {
             .field("use_frontier", &self.use_frontier)
             .field("record_iterations", &self.record_iterations)
             .field("observer", &self.observer.as_ref().map(|_| "<callback>"))
+            .field("trace", &self.trace.as_ref().map(|_| "<tracer>"))
             .finish()
     }
 }
 
-/// Internal: the per-iteration hook shared by all five engines — runs the
-/// `audit`-feature self-check, then the caller-supplied observer, with
-/// the manager in its post-collection steady state.
+/// Internal: one iteration's measurements, as only the engine's loop
+/// knows them — its (possibly deferred) collection result and its own
+/// wall-clock/op-class timers. Everything else recorded at the boundary
+/// is derived from `&self` reads inside [`notify_iteration`].
+pub(crate) struct IterMetrics<'a> {
+    /// Result of the engine's adaptive per-iteration collection.
+    pub gc: bfvr_bdd::GcStats,
+    /// Wall time of the whole iteration.
+    pub elapsed: Duration,
+    /// Time spent in representation conversions this iteration.
+    pub conversion: Duration,
+    /// Op-class durations (`image`, `union`, `convert`), in loop order.
+    pub ops: &'a [(&'static str, Duration)],
+}
+
+/// Internal: the per-iteration boundary hook shared by all five engines —
+/// records telemetry and `per_iteration` statistics, runs the
+/// `audit`-feature self-check, then the caller-supplied observer.
 ///
-/// The engines' own per-iteration collection is adaptive
-/// ([`BddManager::maybe_collect_garbage`]) and defers on small graphs,
-/// leaving garbage in the arena on purpose. Observers and the audit's
-/// leak pass, however, are promised a freshly-collected heap — anything
-/// live but unreachable from `view.roots` is a finding to them — so when
-/// anyone is watching we force the full collection the engines skipped.
+/// Ordering is load-bearing. Telemetry and statistics come **first**,
+/// from `&self` reads only, so a traced run measures exactly the state
+/// an untraced run would be in. The observer/audit path comes second
+/// and is allowed to perturb: the engines' own per-iteration collection
+/// is adaptive ([`BddManager::maybe_collect_garbage`]) and defers on
+/// small graphs, leaving garbage in the arena on purpose — but
+/// observers and the audit's leak pass are promised a freshly-collected
+/// heap (anything live but unreachable from `view.roots` is a finding
+/// to them), so when anyone is *observing* we force the full collection
+/// the engines skipped. Tracing alone never triggers that collection.
 pub(crate) fn notify_iteration(
     m: &mut BddManager,
     fsm: &EncodedFsm,
     opts: &ReachOptions,
     view: &IterationView<'_>,
+    metrics: &IterMetrics<'_>,
+    per_iteration: &mut Vec<IterationStats>,
 ) {
+    if let Some(trace) = &opts.trace {
+        let mut t = trace.borrow_mut();
+        if t.should_record(view.iteration as u64) {
+            let record = crate::telemetry::iter_record(m, fsm, view, metrics);
+            t.iteration(record);
+        }
+    }
+    if opts.record_iterations {
+        let (reached_nodes, frontier_nodes) = crate::telemetry::view_sizes(m, &view.set);
+        per_iteration.push(IterationStats {
+            reached_states: crate::telemetry::view_states(m, fsm, &view.set).unwrap_or(f64::NAN),
+            reached_nodes,
+            frontier_nodes,
+            live_nodes: metrics.gc.live,
+            elapsed: metrics.elapsed,
+            conversion: metrics.conversion,
+        });
+    }
     #[cfg(not(feature = "audit"))]
     let observed = opts.observer.is_some();
     #[cfg(feature = "audit")]
@@ -246,10 +293,13 @@ impl Outcome {
 /// One image iteration's bookkeeping.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct IterationStats {
-    /// States reached after this iteration.
+    /// States reached after this iteration (`NaN` for the vector/CDec
+    /// engines, which would have to build a χ to count).
     pub reached_states: f64,
     /// Shared BDD size of the reached-set representation.
     pub reached_nodes: usize,
+    /// Shared BDD size of the iteration's start (frontier) set.
+    pub frontier_nodes: usize,
     /// Allocated nodes after this iteration's garbage collection.
     pub live_nodes: usize,
     /// Time spent in this iteration.

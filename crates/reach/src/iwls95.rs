@@ -8,8 +8,8 @@ use bfvr_sim::EncodedFsm;
 
 use crate::cf::{chi_checkpoint, count_states, initial_chi, ChiSeed};
 use crate::common::{
-    arm_limits, disarm_limits, notify_iteration, outcome_of_bdd_error, IterationStats,
-    IterationView, Outcome, ReachOptions, ReachResult, SetView,
+    arm_limits, disarm_limits, notify_iteration, outcome_of_bdd_error, IterMetrics, IterationView,
+    Outcome, ReachOptions, ReachResult, SetView,
 };
 use crate::EngineKind;
 
@@ -181,12 +181,16 @@ pub(crate) fn reach_iwls95_seeded(
             }
             let iter_start = Instant::now();
             m.check_deadline()?;
+            let op_start = Instant::now();
             let mut acc = m.exists(from, presmooth)?;
             for c in &clusters {
                 acc = m.and_exists(acc, c.relation, c.retire_cube)?;
             }
             let img = m.swap_vars(acc, &pairs)?;
+            let image_time = op_start.elapsed();
+            let op_start = Instant::now();
             let new_reached = m.or(reached, img)?;
+            let union_time = op_start.elapsed();
             iterations += 1;
             if new_reached == reached {
                 break;
@@ -211,16 +215,14 @@ pub(crate) fn reach_iwls95_seeded(
                     roots: &roots,
                     set: SetView::Chi { reached, from },
                 },
-            );
-            if opts.record_iterations {
-                per_iteration.push(IterationStats {
-                    reached_states: count_states(m, fsm, reached),
-                    reached_nodes: m.size(reached),
-                    live_nodes: gc.live,
+                &IterMetrics {
+                    gc,
                     elapsed: iter_start.elapsed(),
                     conversion: std::time::Duration::ZERO,
-                });
-            }
+                    ops: &[("image", image_time), ("union", union_time)],
+                },
+                &mut per_iteration,
+            );
         }
         Ok(())
     })();

@@ -44,6 +44,7 @@ mod iwls95;
 pub mod portfolio;
 #[cfg(feature = "audit")]
 mod selfcheck;
+pub mod telemetry;
 mod trace;
 
 pub use backward::{check_invariant_backward, reach_backward};
@@ -57,6 +58,7 @@ pub use common::{
     ReachOptions, ReachResult, SetView,
 };
 pub use iwls95::reach_iwls95;
+pub use telemetry::TraceHandle;
 pub use trace::{find_trace, Trace};
 
 use bfvr_bdd::{BddManager, Func};
@@ -68,19 +70,28 @@ use common::CheckpointState;
 
 /// Runs the engine selected by `kind` (convenience dispatcher for the
 /// benchmark harness).
+///
+/// When [`ReachOptions::trace`] is set, the dispatcher brackets the
+/// traversal in an `engine` span and records the end-of-traversal
+/// summary (and any tripped resource limit) — callers invoking the
+/// `reach_*` functions directly still get per-iteration events, but
+/// only the dispatchers emit the engine-level framing.
 pub fn run(
     kind: EngineKind,
     m: &mut BddManager,
     fsm: &EncodedFsm,
     opts: &ReachOptions,
 ) -> ReachResult {
-    match kind {
+    let span = telemetry::engine_span_open(opts, m, kind);
+    let r = match kind {
         EngineKind::Bfv => reach_bfv(m, fsm, opts),
         EngineKind::Cbm => reach_cbm(m, fsm, opts),
         EngineKind::Monolithic => reach_monolithic(m, fsm, opts),
         EngineKind::Iwls95 => reach_iwls95(m, fsm, opts),
         EngineKind::Cdec => reach_cdec(m, fsm, opts),
-    }
+    };
+    telemetry::engine_span_close(opts, m, span, &r);
+    r
 }
 
 /// Continues an interrupted traversal from its [`Checkpoint`], typically
@@ -104,9 +115,10 @@ pub fn resume(
         iterations,
         state,
     } = checkpoint;
+    let span = telemetry::engine_span_open(opts, m, engine);
     // Each arm keeps the checkpoint's `Func` handles alive until the
     // seeded engine has re-pinned the state, then drops them.
-    match (engine, state) {
+    let r = match (engine, state) {
         (EngineKind::Monolithic, CheckpointState::Chi { reached, from }) => {
             let seed = (reached.bdd(), from.bdd(), iterations);
             let r = cf::reach_monolithic_seeded(m, fsm, opts, Some(seed));
@@ -154,5 +166,7 @@ pub fn resume(
         }
         // Engine/state mismatch: no engine of this crate produces one.
         (engine, _) => common::failed_result(m, engine, Outcome::Error, start.elapsed()),
-    }
+    };
+    telemetry::engine_span_close(opts, m, span, &r);
+    r
 }

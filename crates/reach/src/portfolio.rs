@@ -3,7 +3,7 @@
 //! **Escalation.** A run that ends in `T.O.`/`M.O.` (the paper's Table 2
 //! failure cells) has still computed a prefix of the reachable set.
 //! Instead of restarting from scratch with a bigger machine,
-//! [`run_escalating`] resumes the traversal from the [`Checkpoint`] it
+//! [`run_escalating`] resumes the traversal from the [`crate::Checkpoint`] it
 //! returned, multiplying the node/time budgets by a fixed factor each
 //! round until the fixed point is reached, a budget ceiling is hit, or
 //! the round cap runs out. Internal errors ([`Outcome::Error`]) are never
@@ -174,6 +174,19 @@ pub fn run_escalating(
             resumed,
         });
     }
+    if let Some(trace) = &opts.trace {
+        let mut t = trace.borrow_mut();
+        for (i, round) in rounds.iter().enumerate() {
+            t.round(
+                kind.label(),
+                i as u64,
+                round.outcome.label(),
+                round.resumed,
+                round.node_limit.map(|n| n as u64),
+                round.time_limit.map(|d| d.as_micros() as u64),
+            );
+        }
+    }
     EscalationReport { result, rounds }
 }
 
@@ -243,7 +256,8 @@ pub struct RaceReport {
 
 /// The `Send`able subset of [`ReachOptions`] shipped to lane threads: the
 /// per-iteration observer is an `Rc` callback and stays on the caller's
-/// thread (lanes run unobserved).
+/// thread (lanes run unobserved), and the tracer is `!Send` — lanes get
+/// only its sampling stride and rebuild a private collector tracer.
 #[derive(Clone, Copy)]
 struct LaneOpts {
     node_limit: Option<usize>,
@@ -254,6 +268,9 @@ struct LaneOpts {
     cluster_threshold: usize,
     use_frontier: bool,
     record_iterations: bool,
+    /// `Some(stride)` when the race driver traces: the lane records its
+    /// own stream into a collector tracer and ships the events home.
+    trace_sample: Option<u64>,
 }
 
 impl LaneOpts {
@@ -267,6 +284,7 @@ impl LaneOpts {
             cluster_threshold: opts.cluster_threshold,
             use_frontier: opts.use_frontier,
             record_iterations: opts.record_iterations,
+            trace_sample: opts.trace.as_ref().map(|t| t.borrow().sample_every()),
         }
     }
 
@@ -281,6 +299,9 @@ impl LaneOpts {
             use_frontier: self.use_frontier,
             record_iterations: self.record_iterations,
             observer: None,
+            trace: self
+                .trace_sample
+                .map(|s| crate::telemetry::trace_handle(bfvr_obs::Tracer::collector(s))),
         }
     }
 }
@@ -302,6 +323,9 @@ struct LaneMessage {
     rounds: usize,
     won: bool,
     cancelled: bool,
+    /// The lane's collected trace stream ([`bfvr_obs::Event`] is plain
+    /// data), empty when the race is untraced.
+    events: Vec<bfvr_obs::Event>,
 }
 
 /// Runs one lane to completion (or cancellation) on the current thread.
@@ -329,6 +353,7 @@ fn race_lane(
         rounds: 0,
         won: false,
         cancelled: true,
+        events: Vec::new(),
     };
     if cancel.load(Ordering::Relaxed) {
         return skipped;
@@ -358,6 +383,10 @@ fn race_lane(
     // been) stopped by the race, not by its own budget.
     let cancelled =
         !won && result.outcome.is_resource_exhaustion() && cancel.load(Ordering::Acquire);
+    let events = opts
+        .trace
+        .as_ref()
+        .map_or_else(Vec::new, |t| t.borrow_mut().drain());
     LaneMessage {
         lane,
         engine,
@@ -372,6 +401,7 @@ fn race_lane(
         rounds,
         won,
         cancelled,
+        events,
     }
 }
 
@@ -474,7 +504,7 @@ pub fn run_racing(
         // Every spawned lane sends exactly one message, so the slot is
         // always populated; guard anyway so a panicked lane degrades to
         // a skipped report instead of poisoning the race.
-        let msg = slot.unwrap_or(LaneMessage {
+        let mut msg = slot.unwrap_or(LaneMessage {
             lane: i,
             engine: engines[i],
             outcome: None,
@@ -488,7 +518,22 @@ pub fn run_racing(
             rounds: 0,
             won: false,
             cancelled: true,
+            events: Vec::new(),
         });
+        // Merge the lane's stream into the driver's trace, tagged with
+        // its lane index, then synthesize the race-level events: one
+        // `winner`, and one `cancel` per lane the race stopped (or
+        // skipped) rather than its own budget.
+        if let Some(trace) = &opts.trace {
+            let mut t = trace.borrow_mut();
+            t.ingest(i as u64, std::mem::take(&mut msg.events));
+            if msg.cancelled {
+                t.cancel(msg.engine.label());
+            }
+            if winner == Some(i) {
+                t.winner(msg.engine.label());
+            }
+        }
         lanes.push(LaneReport {
             engine: msg.engine,
             outcome: msg.outcome,

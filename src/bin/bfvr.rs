@@ -9,6 +9,7 @@
 //! bfvr audit <file> [options]         audit engines' intermediate sets
 //! bfvr check <file> --bad CUBE        invariant check (+ counterexample)
 //! bfvr trace <file> --to CUBE         minimal input trace to a state cube
+//! bfvr report <trace.jsonl>           render a --trace-out telemetry trace
 //! ```
 //!
 //! Run `bfvr help` for the full option list.
@@ -21,7 +22,10 @@ use std::time::Duration;
 use bfvr::audit::{run_mutations, run_passes, AuditTargets, Report, Severity};
 use bfvr::bfv::StateSet;
 use bfvr::netlist::{bench, blif, generators, Netlist};
+use bfvr::obs::{Counters, Format, JsonlSink, SpanKind, Tracer};
 use bfvr::reach::portfolio::{run_escalating, run_racing, EscalationPolicy, RaceConfig};
+use bfvr::reach::telemetry::trace_handle;
+use bfvr::reach::TraceHandle;
 use bfvr::reach::{
     check_invariant, find_trace, run as run_engine, CheckResult, EngineKind, ReachOptions,
     ReachResult, SetView,
@@ -58,6 +62,12 @@ USAGE:
                     [--max-budget <nodes>]   node-budget ceiling for
                                          escalation
                     [--dump-reached]     print the reached set as cubes
+                    [--trace-out <file>] write a structured JSONL telemetry
+                                         trace (spans, per-iteration counter
+                                         snapshots; render with bfvr report)
+                    [--trace-sample <n>] record every n-th iteration in the
+                                         trace (default 1 = every iteration;
+                                         the first is always recorded)
   bfvr audit <file> [--engine bfv|cbm|mono|iwls95|cdec|all]  (default all)
                     [--order s1|s2|d|o:<seed>]
                     [--time-limit <sec>] [--node-limit <nodes>]
@@ -70,6 +80,9 @@ USAGE:
   bfvr check <file> --bad <cube>          cube over latches in file order,
                                           e.g. 1x0x (x = don't care)
   bfvr trace <file> --to <cube>
+  bfvr report <trace.jsonl> [--format text|md]
+          render a --trace-out trace as per-engine timeline tables;
+          exits nonzero on schema violations (doubles as a validator)
 
 Files ending in .blif parse as BLIF; everything else as ISCAS89 bench.
 ";
@@ -94,6 +107,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("audit") => cmd_audit(args),
         Some("check") => cmd_check(args),
         Some("trace") => cmd_trace(args),
+        Some("report") => cmd_report(args),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -244,10 +258,37 @@ fn parse_engines(args: &[String], default: &[EngineKind]) -> Result<Vec<EngineKi
     })
 }
 
+/// Parses `--trace-out`/`--trace-sample` into a JSONL-backed tracer
+/// handle with the stream header already written (`None` without
+/// `--trace-out`).
+fn parse_trace(args: &[String], label: &str) -> Result<Option<TraceHandle>, String> {
+    let sample = match flag_value(args, "--trace-sample") {
+        None => 1,
+        Some(s) => {
+            let n: u64 = s.parse().map_err(|e| format!("bad --trace-sample: {e}"))?;
+            if n == 0 {
+                return Err("--trace-sample must be at least 1".into());
+            }
+            n
+        }
+    };
+    let Some(path) = flag_value(args, "--trace-out") else {
+        if sample != 1 {
+            return Err("--trace-sample requires --trace-out".into());
+        }
+        return Ok(None);
+    };
+    let file = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+    let sink = JsonlSink::new(std::io::BufWriter::new(file));
+    let mut tracer = Tracer::with_sampling(Box::new(sink), sample);
+    tracer.meta(label);
+    Ok(Some(trace_handle(tracer)))
+}
+
 fn cmd_reach(args: &[String]) -> Result<(), String> {
     let net = load(args.get(1).ok_or("reach needs a file")?)?;
     let order = parse_order(args)?;
-    let opts = parse_opts(args)?;
+    let mut opts = parse_opts(args)?;
     let escalation = parse_escalation(args)?;
     if escalation.is_some() && opts.node_limit.is_none() && opts.time_limit.is_none() {
         return Err("--escalate needs --node-limit and/or --time-limit to raise".into());
@@ -261,24 +302,54 @@ fn cmd_reach(args: &[String]) -> Result<(), String> {
         &[EngineKind::Bfv]
     };
     let engines = parse_engines(args, default_engines)?;
-    if race {
-        return cmd_reach_race(args, &net, order, &opts, &engines, escalation);
-    }
-    if flag_value(args, "--jobs").is_some() {
+    if !race && flag_value(args, "--jobs").is_some() {
         return Err("--jobs requires --race".into());
     }
+    let trace = parse_trace(args, &format!("bfvr reach {}", net.name()))?;
+    opts.trace.clone_from(&trace);
+    let run_span = trace.as_ref().map(|t| {
+        t.borrow_mut()
+            .open_span(SpanKind::Run, net.name(), Counters::new())
+    });
+    let result = if race {
+        cmd_reach_race(args, &net, order, &opts, &engines, escalation)
+    } else {
+        reach_plain(args, &net, order, &opts, &engines, escalation.as_ref())
+    };
+    // Close the run span and flush even when a lane failed: a trace of a
+    // timed-out run is exactly what the telemetry is for.
+    if let Some(t) = &trace {
+        let mut t = t.borrow_mut();
+        if let Some(id) = run_span {
+            t.close_span(id, &Counters::new());
+        }
+        t.finish();
+    }
+    result
+}
+
+/// The non-racing `bfvr reach` path: run each selected engine in its own
+/// fresh manager and print one summary row per engine.
+fn reach_plain(
+    args: &[String],
+    net: &Netlist,
+    order: OrderHeuristic,
+    opts: &ReachOptions,
+    engines: &[EngineKind],
+    escalation: Option<&EscalationPolicy>,
+) -> Result<(), String> {
     println!(
         "{:8} {:>6} {:>14} {:>7} {:>10} {:>11}",
         "engine", "status", "states", "iters", "time(ms)", "peak nodes"
     );
     let dump = args.iter().any(|a| a == "--dump-reached");
     let show_stats = args.iter().any(|a| a == "--stats");
-    for kind in engines {
-        let (mut m, fsm) = EncodedFsm::encode(&net, order).map_err(|e| e.to_string())?;
-        let r: ReachResult = match &escalation {
-            None => run_engine(kind, &mut m, &fsm, &opts),
+    for &kind in engines {
+        let (mut m, fsm) = EncodedFsm::encode(net, order).map_err(|e| e.to_string())?;
+        let r: ReachResult = match escalation {
+            None => run_engine(kind, &mut m, &fsm, opts),
             Some(policy) => {
-                let report = run_escalating(kind, &mut m, &fsm, &opts, policy);
+                let report = run_escalating(kind, &mut m, &fsm, opts, policy);
                 for (i, round) in report.rounds.iter().enumerate().skip(1) {
                     eprintln!(
                         "{}: round {i} ({}): {} at {} iterations under {} nodes",
@@ -638,6 +709,26 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             }
         }
     }
+    Ok(())
+}
+
+/// `bfvr report`: render a `--trace-out` JSONL trace as per-engine
+/// timeline tables. Any schema violation (bad line, missing or
+/// unsupported `meta` header) exits nonzero, so CI can use the command
+/// as a trace validator.
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let path = args.get(1).ok_or("report needs a trace file")?;
+    let format = match flag_value(args, "--format").as_deref() {
+        None | Some("text") => Format::Text,
+        Some("md" | "markdown") => Format::Markdown,
+        Some(other) => return Err(format!("unknown format `{other}` (expected text|md)")),
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let events = bfvr::obs::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    // Reports get piped into pagers and `head`; a closed pipe is not an
+    // error worth panicking over.
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(bfvr::obs::render(&events, format).as_bytes());
     Ok(())
 }
 

@@ -15,7 +15,9 @@
 //! * [`reach`] — the reachability engines of the paper's Figures 1 and 2
 //!   plus the characteristic-function baselines (`bfvr-reach`),
 //! * [`audit`] — pass-based semantic analysis of BDD graphs and canonical
-//!   BFVs with compiler-style diagnostics (`bfvr-audit`).
+//!   BFVs with compiler-style diagnostics (`bfvr-audit`),
+//! * [`obs`] — structured run telemetry: spans, counters and the JSONL
+//!   trace format rendered by `bfvr report` (`bfvr-obs`).
 //!
 //! The `examples/` directory shows end-to-end flows; `DESIGN.md` maps the
 //! paper's every table and figure to a regenerating binary.
@@ -24,5 +26,6 @@ pub use bfvr_audit as audit;
 pub use bfvr_bdd as bdd;
 pub use bfvr_bfv as bfv;
 pub use bfvr_netlist as netlist;
+pub use bfvr_obs as obs;
 pub use bfvr_reach as reach;
 pub use bfvr_sim as sim;

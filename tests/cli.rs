@@ -138,3 +138,48 @@ fn convert_to_verilog() {
     assert!(v.contains("endmodule"));
     assert_eq!(v.matches("always").count(), 4);
 }
+
+#[test]
+fn trace_out_then_report_renders_timelines() {
+    let dir = std::env::temp_dir().join("bfvr_cli_trace_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("run.jsonl");
+    let path = trace.to_str().unwrap();
+    let run = bfvr(&[
+        "reach",
+        "gen:modk:3:5",
+        "--engine",
+        "all",
+        "--trace-out",
+        path,
+    ]);
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    // The recorded stream is valid JSONL starting with the meta header.
+    let raw = std::fs::read_to_string(&trace).unwrap();
+    assert!(
+        raw.lines().next().unwrap().contains("\"ev\":\"meta\""),
+        "{raw}"
+    );
+    let text = bfvr(&["report", path]);
+    assert!(
+        text.status.success(),
+        "{}",
+        String::from_utf8_lossy(&text.stderr)
+    );
+    let out = stdout(&text);
+    // Summary row per engine plus a per-iteration timeline for each.
+    for engine in ["BFV", "CBM", "MONO", "IWLS95", "CDEC"] {
+        assert!(out.contains(&format!("-- {engine} timeline --")), "{out}");
+    }
+    assert!(out.contains("cache-hit"), "{out}");
+    let md = bfvr(&["report", path, "--format", "md"]);
+    assert!(md.status.success());
+    assert!(stdout(&md).contains("| engine |"), "{}", stdout(&md));
+    // A missing file is a clean error, not a panic.
+    let missing = bfvr(&["report", dir.join("nope.jsonl").to_str().unwrap()]);
+    assert!(!missing.status.success());
+}
