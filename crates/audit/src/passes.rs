@@ -1,9 +1,10 @@
 //! The analysis passes and their driver, [`run_passes`].
 
-use bfvr_bdd::{Bdd, BddManager, GraphIssueKind, Var};
+use bfvr_bdd::{bdd_from_zdd, zdd_from_bdd, Bdd, BddManager, GraphIssueKind, Var, ZddStore};
 use bfvr_bfv::cdec::CDec;
 use bfvr_bfv::convert::{from_characteristic, to_characteristic};
 use bfvr_bfv::{Bfv, Result, Space};
+use bfvr_setrepr::Zonotope;
 
 use crate::finding::{Finding, Pass, Report, Severity, Witness};
 
@@ -421,10 +422,18 @@ fn cdec_pass(
     Ok(())
 }
 
+/// Cube cap for the zonotope hull enumeration; past it the hull check
+/// degrades to the (always sound) universe hull.
+const HULL_CUBE_CAP: usize = 1024;
+
 /// Pass 7 — cross-representation equivalence: every representation the
 /// caller holds (or that was derived) must describe the same set of
 /// states; any disagreement yields a witness state in the symmetric
-/// difference.
+/// difference. The same χ is also round-tripped through the two
+/// non-BDD backends' production converters: `χ → ZDD → χ` must be the
+/// identity, and the logical-zonotope affine hull of χ must *contain*
+/// χ (zonotopes over-approximate, so containment is the contract, not
+/// equality).
 fn cross_equiv_pass(
     m: &mut BddManager,
     space: &Space,
@@ -457,6 +466,67 @@ fn cross_equiv_pass(
                 Witness::from_violation(m, diff),
             ));
         }
+    }
+    if let Some(&(name, chi)) = reps.first() {
+        roundtrip_pass(m, space, name, chi, scope, report)?;
+    }
+    Ok(())
+}
+
+/// Pass 7b — new-backend round-trips of a χ through the production
+/// converters (see [`cross_equiv_pass`]).
+fn roundtrip_pass(
+    m: &mut BddManager,
+    space: &Space,
+    name: &str,
+    chi: Bdd,
+    scope: &str,
+    report: &mut Report,
+) -> Result<()> {
+    // χ → ZDD → χ: the zero-suppressed reduction is a bijection on
+    // families over the state variables, so the round-trip is exact.
+    let mut store = ZddStore::new(space.len() as u32);
+    let z = zdd_from_bdd(m, &mut store, chi, space.vars())?;
+    let back = bdd_from_zdd(m, &store, z, space.vars())?;
+    if back != chi {
+        let diff = m.xor(back, chi)?;
+        report.push(scoped(
+            scope,
+            Pass::CrossEquiv,
+            Severity::Error,
+            &format!("equiv/{name}<->zdd-roundtrip"),
+            format!("{name} does not survive the χ → ZDD → χ round-trip"),
+            Witness::from_violation(m, diff),
+        ));
+    }
+    // χ → zonotope hull → χ: the affine hull must contain every state
+    // of χ. (`hull_of_chi` is `None` only for χ = ⊥, which is trivially
+    // contained in anything.)
+    if let Some(hull) = Zonotope::hull_of_chi(m, chi, space.vars(), HULL_CUBE_CAP) {
+        let hull_chi = hull.to_chi(m, space.vars())?;
+        let escapes = {
+            let not_hull = m.not(hull_chi);
+            m.and(chi, not_hull)?
+        };
+        if !escapes.is_false() {
+            report.push(scoped(
+                scope,
+                Pass::CrossEquiv,
+                Severity::Error,
+                &format!("equiv/{name}<->zonotope-hull"),
+                format!("a state of {name} escapes its own affine hull"),
+                Witness::from_violation(m, escapes),
+            ));
+        }
+    } else if !chi.is_false() {
+        report.push(scoped(
+            scope,
+            Pass::CrossEquiv,
+            Severity::Error,
+            &format!("equiv/{name}<->zonotope-hull"),
+            format!("hull_of_chi reported an empty hull for a non-empty {name}"),
+            Witness::from_violation(m, chi),
+        ));
     }
     Ok(())
 }

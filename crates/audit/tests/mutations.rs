@@ -339,3 +339,28 @@ fn findings_sort_by_severity_then_pass() {
     assert_eq!(sorted[0].severity, Severity::Error);
     assert_eq!(sorted.last().unwrap().severity, Severity::Warning);
 }
+
+#[test]
+fn clean_chi_survives_the_new_backend_roundtrips() {
+    // The cross-equiv pass now round-trips every audited χ through the
+    // production χ↔ZDD converters and the zonotope hull. A clean set
+    // must produce zero findings through both.
+    let mut m = BddManager::new(3);
+    let (space, bfv) = sample(&mut m);
+    let chi = to_characteristic(&mut m, &space, &bfv).unwrap();
+    let report = audit(&mut m, &AuditTargets::for_chi(&space, chi));
+    assert!(report.is_empty(), "{}", report.render());
+}
+
+#[test]
+fn empty_and_universe_chi_roundtrip_clean() {
+    // Degenerate sets stress the zero-suppression rules (⊥ has no ZDD
+    // nodes; ⊤ over three variables is the full-family ZDD) and the
+    // hull edge case (⊥ has no affine hull, vacuously contained).
+    let mut m = BddManager::new(3);
+    let space = Space::contiguous(3);
+    for chi in [bfvr_bdd::Bdd::FALSE, bfvr_bdd::Bdd::TRUE] {
+        let report = audit(&mut m, &AuditTargets::for_chi(&space, chi));
+        assert!(report.is_empty(), "{}", report.render());
+    }
+}

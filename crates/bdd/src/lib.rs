@@ -92,6 +92,7 @@ mod node;
 mod quant;
 mod transfer;
 mod unique;
+pub mod zdd;
 
 pub use audit::{Corruption, GraphIssue, GraphIssueKind};
 pub use cache::CacheStats;
@@ -102,6 +103,7 @@ pub use func::Func;
 pub use isop::Cube;
 pub use manager::{BddManager, GcStats, ManagerStats, UniqueTableStats};
 pub use node::{Bdd, Var};
+pub use zdd::{bdd_from_zdd, zdd_from_bdd, Zdd, ZddStore};
 
 /// Convenient result alias for fallible BDD operations.
 ///

@@ -1,0 +1,637 @@
+//! Zero-suppressed decision diagrams (ZDDs) over the manager's arena and
+//! unique-table machinery, plus the χ↔ZDD production converters.
+//!
+//! A reached-state set is a *set of states* — a sparse family of subsets
+//! of the state variables — which is exactly the shape ZDDs represent
+//! natively (Minato; see also Kojima, *BDDs Naturally Represent Boolean
+//! Functions, and ZDDs Naturally Represent Sets of Sets*). The
+//! [`ZddStore`] layers the zero-suppressed reduction rule on the same
+//! arena/unique-table core the ROBDD manager uses:
+//!
+//! * a node whose **hi child is ∅ is eliminated** (variable absent means
+//!   "0 only"), instead of the ROBDD rule eliminating `lo == hi`;
+//! * there are **no complement edges** on the ZDD side: zero-suppression
+//!   breaks the `f`/`¬f` subgraph-sharing symmetry (the complement of a
+//!   sparse family is dense), so edges are plain node indexes with two
+//!   distinct terminals [`Zdd::EMPTY`] (∅) and [`Zdd::BASE`] ({ε}).
+//!
+//! The converters bridge the two worlds over an explicit, ascending
+//! variable list (the state variables of an encoded FSM):
+//! [`zdd_from_bdd`] walks a χ — resolving the ROBDD's complement edges
+//! and level skips, which mean "don't care" there but "0 only" here —
+//! and [`bdd_from_zdd`] rebuilds the χ, reintroducing the `¬v`
+//! constraints that zero-suppression elides. Round-tripping any χ whose
+//! support lies in the variable list is exact.
+
+use crate::arena::Arena;
+use crate::error::BddError;
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::node::{Node, TERMINAL_LEVEL};
+use crate::unique::UniqueTable;
+use crate::{Bdd, BddManager, Var};
+
+/// A ZDD edge: a plain index into its [`ZddStore`]'s arena (no complement
+/// bit — see the module docs for why zero-suppression forbids one).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Zdd(u32);
+
+impl Zdd {
+    /// The empty family ∅ (no combination at all).
+    pub const EMPTY: Zdd = Zdd(u32::MAX);
+    /// The unit family {ε}: the single combination with every variable 0.
+    pub const BASE: Zdd = Zdd(0);
+
+    /// Whether this edge is one of the two terminals.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        self == Zdd::EMPTY || self == Zdd::BASE
+    }
+
+    /// Raw index (diagnostics only).
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A hash-consed zero-suppressed DD store with mark-sweep collection.
+///
+/// Deliberately separate from [`BddManager`]: a ZDD lane owns its store
+/// the way an engine owns its manager, and the two node spaces never
+/// alias. Levels `0..num_levels` index into the caller's variable list
+/// (component order), not the manager's global variable order.
+pub struct ZddStore {
+    arena: Arena,
+    unique: UniqueTable,
+    /// Computed cache for the binary set operations, keyed by
+    /// `(op, lhs, rhs)` with commutative operands normalized.
+    cache: FxHashMap<(u8, u32, u32), u32>,
+    num_levels: u32,
+}
+
+const OP_UNION: u8 = 0;
+const OP_INTERSECT: u8 = 1;
+
+impl std::fmt::Debug for ZddStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ZddStore")
+            .field("levels", &self.num_levels)
+            .field("allocated", &self.allocated())
+            .finish()
+    }
+}
+
+impl ZddStore {
+    /// Creates a store for families over `num_levels` variables.
+    #[must_use]
+    pub fn new(num_levels: u32) -> Self {
+        ZddStore {
+            arena: Arena::new(64),
+            unique: UniqueTable::new(num_levels),
+            cache: FxHashMap::default(),
+            num_levels,
+        }
+    }
+
+    /// Number of variable levels the store was created with.
+    #[must_use]
+    pub fn num_levels(&self) -> u32 {
+        self.num_levels
+    }
+
+    /// Live (non-terminal) nodes currently allocated.
+    #[must_use]
+    pub fn allocated(&self) -> usize {
+        // Slot 0 is the BASE terminal, not a decision node.
+        self.arena.allocated().saturating_sub(1)
+    }
+
+    /// Level of a non-terminal edge.
+    fn level(&self, z: Zdd) -> u32 {
+        if z == Zdd::EMPTY {
+            TERMINAL_LEVEL
+        } else {
+            self.arena.get(z.0).var
+        }
+    }
+
+    /// Children of a non-terminal edge.
+    fn children(&self, z: Zdd) -> (Zdd, Zdd) {
+        let n = self.arena.get(z.0);
+        (Zdd(n.lo), Zdd(n.hi))
+    }
+
+    /// The hash-consing constructor with the zero-suppressed reduction
+    /// rule: a node whose hi child is ∅ *is* its lo child.
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::Capacity`] when the index space is exhausted,
+    /// [`BddError::VarOutOfRange`] for a level outside the store.
+    pub fn mk(&mut self, level: u32, lo: Zdd, hi: Zdd) -> Result<Zdd, BddError> {
+        if level >= self.num_levels {
+            return Err(BddError::VarOutOfRange {
+                var: level,
+                num_vars: self.num_levels,
+            });
+        }
+        if hi == Zdd::EMPTY {
+            return Ok(lo);
+        }
+        debug_assert!(self.level(lo) > level && self.level(hi) > level);
+        if let Some(idx) = self.unique.get(level, lo.0, hi.0) {
+            return Ok(Zdd(idx));
+        }
+        let idx = self.arena.alloc(Node {
+            var: level,
+            lo: lo.0,
+            hi: hi.0,
+        })?;
+        self.unique.insert(level, lo.0, hi.0, idx);
+        Ok(Zdd(idx))
+    }
+
+    /// The family containing exactly one combination, described by one
+    /// `true`/`false` per level (ascending).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ZddStore::mk`] failures.
+    pub fn singleton(&mut self, bits: &[bool]) -> Result<Zdd, BddError> {
+        let mut z = Zdd::BASE;
+        for (i, &b) in bits.iter().enumerate().rev() {
+            if b {
+                z = self.mk(i as u32, Zdd::EMPTY, z)?;
+            }
+            // A 0 bit is implicit: zero-suppression elides the level.
+        }
+        Ok(z)
+    }
+
+    /// Set union of two families.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ZddStore::mk`] failures.
+    pub fn union(&mut self, p: Zdd, q: Zdd) -> Result<Zdd, BddError> {
+        if p == Zdd::EMPTY || p == q {
+            return Ok(q);
+        }
+        if q == Zdd::EMPTY {
+            return Ok(p);
+        }
+        let (a, b) = if p.0 <= q.0 { (p, q) } else { (q, p) };
+        if let Some(&r) = self.cache.get(&(OP_UNION, a.0, b.0)) {
+            return Ok(Zdd(r));
+        }
+        let (lp, lq) = (self.level(p), self.level(q));
+        let r = if lp < lq {
+            let (lo, hi) = self.children(p);
+            let lo = self.union(lo, q)?;
+            self.mk(lp, lo, hi)?
+        } else if lq < lp {
+            let (lo, hi) = self.children(q);
+            let lo = self.union(p, lo)?;
+            self.mk(lq, lo, hi)?
+        } else {
+            let (plo, phi) = self.children(p);
+            let (qlo, qhi) = self.children(q);
+            let lo = self.union(plo, qlo)?;
+            let hi = self.union(phi, qhi)?;
+            self.mk(lp, lo, hi)?
+        };
+        self.cache.insert((OP_UNION, a.0, b.0), r.0);
+        Ok(r)
+    }
+
+    /// Set intersection of two families.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ZddStore::mk`] failures.
+    pub fn intersect(&mut self, p: Zdd, q: Zdd) -> Result<Zdd, BddError> {
+        if p == Zdd::EMPTY || q == Zdd::EMPTY {
+            return Ok(Zdd::EMPTY);
+        }
+        if p == q {
+            return Ok(p);
+        }
+        let (a, b) = if p.0 <= q.0 { (p, q) } else { (q, p) };
+        if let Some(&r) = self.cache.get(&(OP_INTERSECT, a.0, b.0)) {
+            return Ok(Zdd(r));
+        }
+        let (lp, lq) = (self.level(p), self.level(q));
+        let r = if lp < lq {
+            // p branches on a level q skips; q admits only 0 there.
+            let (lo, _) = self.children(p);
+            self.intersect(lo, q)?
+        } else if lq < lp {
+            let (lo, _) = self.children(q);
+            self.intersect(p, lo)?
+        } else {
+            let (plo, phi) = self.children(p);
+            let (qlo, qhi) = self.children(q);
+            let lo = self.intersect(plo, qlo)?;
+            let hi = self.intersect(phi, qhi)?;
+            self.mk(lp, lo, hi)?
+        };
+        self.cache.insert((OP_INTERSECT, a.0, b.0), r.0);
+        Ok(r)
+    }
+
+    /// Number of combinations in the family. Exact for families that fit
+    /// an `f64` mantissa (every state space in this project does).
+    #[must_use]
+    pub fn count(&self, z: Zdd) -> f64 {
+        let mut memo: FxHashMap<u32, f64> = FxHashMap::default();
+        self.count_rec(z, &mut memo)
+    }
+
+    fn count_rec(&self, z: Zdd, memo: &mut FxHashMap<u32, f64>) -> f64 {
+        if z == Zdd::EMPTY {
+            return 0.0;
+        }
+        if z == Zdd::BASE {
+            return 1.0;
+        }
+        if let Some(&c) = memo.get(&z.0) {
+            return c;
+        }
+        let (lo, hi) = self.children(z);
+        let c = self.count_rec(lo, memo) + self.count_rec(hi, memo);
+        memo.insert(z.0, c);
+        c
+    }
+
+    /// Decision nodes reachable from `z` (the representation size).
+    #[must_use]
+    pub fn size(&self, z: Zdd) -> usize {
+        let mut seen: FxHashSet<u32> = FxHashSet::default();
+        let mut stack = vec![z];
+        let mut n = 0usize;
+        while let Some(e) = stack.pop() {
+            if e.is_terminal() || !seen.insert(e.0) {
+                continue;
+            }
+            n += 1;
+            let (lo, hi) = self.children(e);
+            stack.push(lo);
+            stack.push(hi);
+        }
+        n
+    }
+
+    /// Mark-sweep collection: frees every decision node not reachable
+    /// from `roots` and drops the computed cache (its entries may
+    /// reference freed slots). Returns the number of nodes reclaimed.
+    pub fn collect(&mut self, roots: &[Zdd]) -> usize {
+        let mut marked: FxHashSet<u32> = FxHashSet::default();
+        let mut stack: Vec<Zdd> = roots.to_vec();
+        while let Some(e) = stack.pop() {
+            if e.is_terminal() || !marked.insert(e.0) {
+                continue;
+            }
+            let (lo, hi) = self.children(e);
+            stack.push(lo);
+            stack.push(hi);
+        }
+        let mut reclaimed = 0usize;
+        for idx in 1..self.arena.len() as u32 {
+            if self.arena.is_live_slot(idx) && !marked.contains(&idx) {
+                let n = self.arena.get(idx);
+                self.unique.remove(n.var, n.lo, n.hi);
+                self.arena.free(idx);
+                reclaimed += 1;
+            }
+        }
+        self.unique.compact();
+        self.cache.clear();
+        reclaimed
+    }
+}
+
+/// Converts a χ over the ascending variable list `vars` into a ZDD
+/// family in `store` (one level per list position).
+///
+/// Complement edges on the ROBDD side are resolved by walking the
+/// *function* — [`BddManager::low`]/[`BddManager::high`] push the
+/// parent's complement bit into the children, and the memo keys on the
+/// polarity-carrying edge word — so `f` and `¬f` convert to different
+/// (correct) families even though they share one subgraph. A skipped
+/// level in the ROBDD (don't-care) expands to both branches here,
+/// because the ZDD elides a level only when the variable is 0.
+///
+/// # Errors
+///
+/// [`BddError::VarOutOfRange`] if `f` depends on a variable outside
+/// `vars`; propagates store capacity failures.
+pub fn zdd_from_bdd(
+    m: &BddManager,
+    store: &mut ZddStore,
+    f: Bdd,
+    vars: &[Var],
+) -> Result<Zdd, BddError> {
+    debug_assert!(vars.windows(2).all(|w| w[0].0 < w[1].0), "vars ascending");
+    let mut memo: FxHashMap<(u32, u32), Zdd> = FxHashMap::default();
+    from_bdd_rec(m, store, f, vars, 0, &mut memo)
+}
+
+fn from_bdd_rec(
+    m: &BddManager,
+    store: &mut ZddStore,
+    f: Bdd,
+    vars: &[Var],
+    i: u32,
+    memo: &mut FxHashMap<(u32, u32), Zdd>,
+) -> Result<Zdd, BddError> {
+    if i as usize == vars.len() {
+        if f.is_true() {
+            return Ok(Zdd::BASE);
+        }
+        if f.is_false() {
+            return Ok(Zdd::EMPTY);
+        }
+        // Still non-constant past the last listed variable: the support
+        // leaks outside the state space.
+        return Err(BddError::VarOutOfRange {
+            var: m.top_var(f).0,
+            num_vars: vars.len() as u32,
+        });
+    }
+    if let Some(&z) = memo.get(&(f.index(), i)) {
+        return Ok(z);
+    }
+    let v = vars[i as usize];
+    let (f0, f1) = if f.is_const() || m.top_var(f) != v {
+        (f, f)
+    } else {
+        (m.low(f), m.high(f))
+    };
+    let lo = from_bdd_rec(m, store, f0, vars, i + 1, memo)?;
+    let hi = from_bdd_rec(m, store, f1, vars, i + 1, memo)?;
+    let z = store.mk(i, lo, hi)?;
+    memo.insert((f.index(), i), z);
+    Ok(z)
+}
+
+/// Converts a ZDD family back into a χ over `vars` — the inverse of
+/// [`zdd_from_bdd`]. Levels the ZDD skips are reintroduced as `¬v`
+/// constraints (zero-suppression means "absent variable is 0").
+///
+/// # Errors
+///
+/// Propagates manager allocation failures (node limit, deadline).
+pub fn bdd_from_zdd(
+    m: &mut BddManager,
+    store: &ZddStore,
+    z: Zdd,
+    vars: &[Var],
+) -> Result<Bdd, BddError> {
+    let mut memo: FxHashMap<(u32, u32), Bdd> = FxHashMap::default();
+    to_bdd_rec(m, store, z, vars, 0, &mut memo)
+}
+
+fn to_bdd_rec(
+    m: &mut BddManager,
+    store: &ZddStore,
+    z: Zdd,
+    vars: &[Var],
+    i: u32,
+    memo: &mut FxHashMap<(u32, u32), Bdd>,
+) -> Result<Bdd, BddError> {
+    if z == Zdd::EMPTY {
+        return Ok(Bdd::FALSE);
+    }
+    if i as usize == vars.len() {
+        debug_assert_eq!(z, Zdd::BASE, "levels exhausted before the family");
+        return Ok(Bdd::TRUE);
+    }
+    if let Some(&b) = memo.get(&(z.0, i)) {
+        return Ok(b);
+    }
+    let v = vars[i as usize];
+    let b = if store.level(z) == i {
+        let (lo, hi) = store.children(z);
+        let blo = to_bdd_rec(m, store, lo, vars, i + 1, memo)?;
+        let bhi = to_bdd_rec(m, store, hi, vars, i + 1, memo)?;
+        let vv = m.var(v);
+        m.ite(vv, bhi, blo)?
+    } else {
+        // Skipped level: the variable is 0 in every member.
+        let inner = to_bdd_rec(m, store, z, vars, i + 1, memo)?;
+        let nv = m.nvar(v);
+        m.and(nv, inner)?
+    };
+    memo.insert((z.0, i), b);
+    Ok(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// xorshift64*: the project-standard seeded generator for random
+    /// test cases (no external dependencies).
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    /// Builds a random χ over `n` vars from `k` random minterms and
+    /// returns it with the expected member set.
+    fn random_chi(
+        m: &mut BddManager,
+        rng: &mut XorShift,
+        n: usize,
+        k: usize,
+    ) -> (Bdd, std::collections::BTreeSet<Vec<bool>>) {
+        let mut chi = Bdd::FALSE;
+        let mut members = std::collections::BTreeSet::new();
+        for _ in 0..k {
+            let bits: Vec<bool> = (0..n).map(|_| rng.next() & 1 == 1).collect();
+            let mut cube = Bdd::TRUE;
+            for (i, &b) in bits.iter().enumerate() {
+                let lit = if b {
+                    m.var(Var(i as u32))
+                } else {
+                    m.nvar(Var(i as u32))
+                };
+                cube = m.and(cube, lit).unwrap();
+            }
+            chi = m.or(chi, cube).unwrap();
+            members.insert(bits);
+        }
+        (chi, members)
+    }
+
+    fn all_vars(n: usize) -> Vec<Var> {
+        (0..n).map(|i| Var(i as u32)).collect()
+    }
+
+    #[test]
+    fn reduction_rule_eliminates_empty_hi() {
+        let mut s = ZddStore::new(4);
+        let inner = s.mk(2, Zdd::BASE, Zdd::BASE).unwrap();
+        // hi = ∅ must collapse to the lo child, allocating nothing.
+        let before = s.allocated();
+        let z = s.mk(0, inner, Zdd::EMPTY).unwrap();
+        assert_eq!(z, inner);
+        assert_eq!(s.allocated(), before);
+        // Unlike the ROBDD rule, lo == hi is a real node here.
+        let dup = s.mk(1, inner, inner).unwrap();
+        assert_ne!(dup, inner);
+    }
+
+    #[test]
+    fn hash_consing_is_canonical() {
+        let mut s = ZddStore::new(3);
+        let a = s.mk(1, Zdd::BASE, Zdd::BASE).unwrap();
+        let b = s.mk(1, Zdd::BASE, Zdd::BASE).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(s.allocated(), 1);
+    }
+
+    #[test]
+    fn singleton_and_count() {
+        let mut s = ZddStore::new(5);
+        let z = s.singleton(&[true, false, true, false, false]).unwrap();
+        assert_eq!(s.count(z), 1.0);
+        // All-zero state is the BASE terminal itself.
+        let zero = s.singleton(&[false; 5]).unwrap();
+        assert_eq!(zero, Zdd::BASE);
+        let u = s.union(z, zero).unwrap();
+        assert_eq!(s.count(u), 2.0);
+    }
+
+    #[test]
+    fn union_and_intersect_algebra() {
+        let mut s = ZddStore::new(4);
+        let a = s.singleton(&[true, false, false, true]).unwrap();
+        let b = s.singleton(&[false, true, true, false]).unwrap();
+        let ab = s.union(a, b).unwrap();
+        assert_eq!(s.count(ab), 2.0);
+        // Idempotent, commutative, absorbing.
+        assert_eq!(s.union(ab, ab).unwrap(), ab);
+        assert_eq!(s.union(b, a).unwrap(), ab);
+        assert_eq!(s.union(ab, a).unwrap(), ab);
+        assert_eq!(s.intersect(ab, a).unwrap(), a);
+        assert_eq!(s.intersect(a, b).unwrap(), Zdd::EMPTY);
+    }
+
+    #[test]
+    fn random_roundtrip_preserves_sets() {
+        let mut rng = XorShift(0x9E37_79B9_7F4A_7C15);
+        for trial in 0..24 {
+            let n = 3 + (trial % 5);
+            let k = 1 + (rng.next() as usize) % 12;
+            let mut m = BddManager::new(n as u32);
+            let mut s = ZddStore::new(n as u32);
+            let (chi, members) = random_chi(&mut m, &mut rng, n, k);
+            let vars = all_vars(n);
+            let z = zdd_from_bdd(&m, &mut s, chi, &vars).unwrap();
+            assert_eq!(
+                s.count(z),
+                members.len() as f64,
+                "trial {trial}: member count"
+            );
+            let back = bdd_from_zdd(&mut m, &s, z, &vars).unwrap();
+            assert_eq!(back, chi, "trial {trial}: round trip not exact");
+        }
+    }
+
+    #[test]
+    fn complement_edges_convert_correctly() {
+        // f and ¬f share one ROBDD subgraph through complement edges; the
+        // converter must still produce the complementary families.
+        let mut rng = XorShift(0xDEAD_BEEF_CAFE_F00D);
+        for trial in 0..12 {
+            let n = 4;
+            let mut m = BddManager::new(n as u32);
+            let mut s = ZddStore::new(n as u32);
+            let (chi, members) = random_chi(&mut m, &mut rng, n, 5);
+            let nchi = m.not(chi);
+            let vars = all_vars(n);
+            let z = zdd_from_bdd(&m, &mut s, chi, &vars).unwrap();
+            let nz = zdd_from_bdd(&m, &mut s, nchi, &vars).unwrap();
+            assert_eq!(s.count(z) + s.count(nz), 16.0, "trial {trial}");
+            assert_eq!(s.intersect(z, nz).unwrap(), Zdd::EMPTY, "trial {trial}");
+            let back = bdd_from_zdd(&mut m, &s, nz, &vars).unwrap();
+            assert_eq!(back, nchi, "trial {trial}: ¬χ round trip");
+            // The two families over-approximate nothing: χ ∨ ¬χ = ⊤.
+            let uz = s.union(z, nz).unwrap();
+            assert_eq!(s.count(uz), 16.0);
+            let _ = members;
+        }
+    }
+
+    #[test]
+    fn random_unions_agree_with_bdd_or() {
+        let mut rng = XorShift(42);
+        for trial in 0..16 {
+            let n = 5;
+            let mut m = BddManager::new(n as u32);
+            let mut s = ZddStore::new(n as u32);
+            let (c1, _) = random_chi(&mut m, &mut rng, n, 6);
+            let (c2, _) = random_chi(&mut m, &mut rng, n, 6);
+            let vars = all_vars(n);
+            let z1 = zdd_from_bdd(&m, &mut s, c1, &vars).unwrap();
+            let z2 = zdd_from_bdd(&m, &mut s, c2, &vars).unwrap();
+            let zu = s.union(z1, z2).unwrap();
+            let or = m.or(c1, c2).unwrap();
+            let via_bdd = zdd_from_bdd(&m, &mut s, or, &vars).unwrap();
+            assert_eq!(zu, via_bdd, "trial {trial}: union diverges from ∨");
+            assert_eq!(s.count(zu), m.sat_count(or, n as u32), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn true_and_false_convert_to_universe_and_empty() {
+        let mut m = BddManager::new(3);
+        let mut s = ZddStore::new(3);
+        let vars = all_vars(3);
+        let all = zdd_from_bdd(&m, &mut s, Bdd::TRUE, &vars).unwrap();
+        assert_eq!(s.count(all), 8.0);
+        let none = zdd_from_bdd(&m, &mut s, Bdd::FALSE, &vars).unwrap();
+        assert_eq!(none, Zdd::EMPTY);
+        let back = bdd_from_zdd(&mut m, &s, all, &vars).unwrap();
+        assert!(back.is_true());
+    }
+
+    #[test]
+    fn support_outside_vars_is_an_error() {
+        let m = BddManager::new(4);
+        let f = m.var(Var(3));
+        let mut s = ZddStore::new(2);
+        let err = zdd_from_bdd(&m, &mut s, f, &[Var(0), Var(1)]).unwrap_err();
+        assert!(matches!(err, BddError::VarOutOfRange { .. }));
+    }
+
+    #[test]
+    fn collect_reclaims_garbage_and_keeps_roots() {
+        let mut s = ZddStore::new(6);
+        let keep = s
+            .singleton(&[true, true, false, true, false, true])
+            .unwrap();
+        let dead = s
+            .singleton(&[false, true, true, false, true, true])
+            .unwrap();
+        let count_before = s.count(keep);
+        let _ = dead;
+        let reclaimed = s.collect(&[keep]);
+        assert!(reclaimed > 0);
+        assert_eq!(s.count(keep), count_before);
+        // The reclaimed slots are reusable and canonicity survives.
+        let again = s
+            .singleton(&[true, true, false, true, false, true])
+            .unwrap();
+        assert_eq!(again, keep);
+    }
+}

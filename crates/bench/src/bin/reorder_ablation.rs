@@ -3,15 +3,42 @@
 //! For each suite circuit's reached set, reports the shared size before
 //! and after sifting and the number of accepted swaps.
 //!
+//! The reached set is computed by driving [`BfvBackend`] through the
+//! [`SetRepr`] trait directly — the same loop shape the engines use —
+//! so the final canonical vector is sifted *natively*, without the old
+//! χ → vector round-trip the pre-trait version needed to recover it.
+//!
 //! ```sh
 //! cargo run --release -p bfvr-bench --bin reorder_ablation
 //! ```
 
 use bfvr_bfv::reorder::sift_components;
-use bfvr_bfv::StateSet;
+use bfvr_bfv::Bfv;
 use bfvr_netlist::generators;
-use bfvr_reach::{reach_bfv, Outcome, ReachOptions};
+use bfvr_reach::backends::BfvBackend;
+use bfvr_reach::SetRepr;
 use bfvr_sim::{EncodedFsm, OrderHeuristic};
+
+/// Runs the BFV lane to its fixed point through the trait and returns
+/// the final canonical reached vector.
+fn reached_vector(
+    m: &mut bfvr_bdd::BddManager,
+    fsm: &EncodedFsm,
+) -> Result<Bfv, bfvr_bfv::BfvError> {
+    let mut b = BfvBackend::new(fsm, Default::default());
+    b.prepare(m)?;
+    let mut reached = b.initial(m)?;
+    let mut from = reached.clone();
+    loop {
+        let img = b.image(m, &from)?;
+        let next = b.union(m, &reached, &img)?;
+        if b.set_eq(m, &next, &reached) {
+            return Ok(reached);
+        }
+        from = img;
+        reached = next;
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Component-reordering ablation (paper future work)");
@@ -25,16 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The hostile declaration order leaves the most to recover.
         for order in [OrderHeuristic::Declaration, OrderHeuristic::Reversed] {
             let (mut m, fsm) = EncodedFsm::encode(&net, order)?;
-            let r = reach_bfv(&mut m, &fsm, &ReachOptions::default());
-            assert_eq!(r.outcome, Outcome::FixedPoint, "{name}");
+            let f = reached_vector(&mut m, &fsm)?;
             let space = fsm.space();
-            let set = StateSet::from_characteristic(
-                &mut m,
-                &space,
-                r.reached_chi.expect("completed").bdd(),
-            )?;
-            let f = set.as_bfv().expect("non-empty");
-            let res = sift_components(&mut m, &space, f)?;
+            let res = sift_components(&mut m, &space, &f)?;
             println!(
                 "| {:10} | {:5} | {:>12} | {:>11} | {:>5} | {:>3.0}% |",
                 name,

@@ -200,9 +200,14 @@ impl Counters {
 
 impl FromIterator<(Cow<'static, str>, f64)> for Counters {
     fn from_iter<T: IntoIterator<Item = (Cow<'static, str>, f64)>>(iter: T) -> Self {
-        Counters {
-            pairs: iter.into_iter().collect(),
+        // Route through `set` so the sorted-pairs invariant (and with it
+        // the one-representation guarantee) holds regardless of the
+        // producer's insertion order.
+        let mut c = Counters::new();
+        for (name, value) in iter {
+            c.set(name, value);
         }
+        c
     }
 }
 

@@ -107,6 +107,8 @@ pub fn reach_backward(
     disarm_limits(m);
     ReachResult {
         engine: EngineKind::Monolithic,
+        repr: bfvr_setrepr::ReprKind::Chi,
+        over_approx: false,
         outcome,
         iterations,
         reached_states: Some(count_states(m, fsm, reached)),

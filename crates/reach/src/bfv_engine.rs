@@ -1,21 +1,13 @@
 //! The paper's Figure 2 flow: reachability with Boolean functional
 //! vectors only — symbolic simulation, re-parameterization, BFV union.
 
-use std::time::Instant;
-
 use bfvr_bdd::BddManager;
-use bfvr_bfv::{ops, Bfv, StateSet};
-use bfvr_sim::{simulate_image_with, EncodedFsm};
+use bfvr_sim::EncodedFsm;
 
-use crate::common::{
-    arm_limits, disarm_limits, failed_result, notify_iteration, outcome_of_bfv_error, Checkpoint,
-    CheckpointState, IterMetrics, IterationView, Outcome, ReachOptions, ReachResult, SetView,
-};
+use crate::backends::BfvBackend;
+use crate::common::{ReachOptions, ReachResult};
+use crate::driver::run_fixed_point;
 use crate::EngineKind;
-
-/// Internal: the BFV-engine resume seed — reached and from vectors plus
-/// the number of iterations already completed.
-pub(crate) type BfvSeed = (Bfv, Bfv, usize);
 
 /// Runs least-fixed-point reachability with the BFV engine.
 ///
@@ -38,136 +30,14 @@ pub(crate) type BfvSeed = (Bfv, Bfv, usize);
 /// makes sound. The final `reached_chi`/state count are produced *after*
 /// the timed region, purely for cross-engine validation.
 pub fn reach_bfv(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> ReachResult {
-    reach_bfv_seeded(m, fsm, opts, None)
-}
-
-/// The Figure 2 traversal, optionally resumed from a checkpoint seed.
-pub(crate) fn reach_bfv_seeded(
-    m: &mut BddManager,
-    fsm: &EncodedFsm,
-    opts: &ReachOptions,
-    seed: Option<BfvSeed>,
-) -> ReachResult {
-    let start = Instant::now();
-    arm_limits(m, opts);
-    let space = fsm.space();
-    let (mut reached, mut from, mut iterations) = match seed {
-        Some((r, f, i)) => (r, f, i),
-        None => {
-            let init = match StateSet::singleton(m, &space, &fsm.initial_state()) {
-                Ok(s) => s,
-                Err(e) => {
-                    let o = outcome_of_bfv_error(&e);
-                    return failed_result(m, EngineKind::Bfv, o, start.elapsed());
-                }
-            };
-            let Some(init) = init.as_bfv().cloned() else {
-                // A singleton set is never empty; treat it as internal.
-                return failed_result(m, EngineKind::Bfv, Outcome::Error, start.elapsed());
-            };
-            (init.clone(), init, 0usize)
-        }
-    };
-    // Pin the loop state against mid-operation reclaim passes.
-    let mut _state_guards = (reached.pin(m), from.pin(m));
-    let mut per_iteration = Vec::new();
-    let outcome = loop {
-        if opts.max_iterations.is_some_and(|cap| iterations >= cap) {
-            break Outcome::IterationLimit;
-        }
-        let iter_start = Instant::now();
-        if m.check_deadline().is_err() {
-            break Outcome::TimeOut;
-        }
-        let op_start = Instant::now();
-        let img = match simulate_image_with(m, fsm, &from, opts.schedule) {
-            Ok(img) => img,
-            Err(e) => break outcome_of_bfv_error(&e),
-        };
-        let image_time = op_start.elapsed();
-        let op_start = Instant::now();
-        let new_reached = match ops::union(m, &space, &reached, &img) {
-            Ok(u) => u,
-            Err(e) => break outcome_of_bfv_error(&e),
-        };
-        let union_time = op_start.elapsed();
-        iterations += 1;
-        if new_reached.components() == reached.components() {
-            break Outcome::FixedPoint;
-        }
-        reached = new_reached;
-        // Selection heuristic (Figure 2): iterate from the smaller of the
-        // image and the full reached set.
-        from = if opts.use_frontier && img.shared_size(m) <= reached.shared_size(m) {
-            img
-        } else {
-            reached.clone()
-        };
-        _state_guards = (reached.pin(m), from.pin(m));
-        let mut roots: Vec<bfvr_bdd::Bdd> = reached.components().to_vec();
-        roots.extend_from_slice(from.components());
-        let gc = m.maybe_collect_garbage(&roots);
-        notify_iteration(
-            m,
-            fsm,
-            opts,
-            &IterationView {
-                engine: EngineKind::Bfv,
-                iteration: iterations,
-                roots: &roots,
-                set: SetView::Vector {
-                    reached: &reached,
-                    from: &from,
-                },
-            },
-            &IterMetrics {
-                gc,
-                elapsed: iter_start.elapsed(),
-                conversion: std::time::Duration::ZERO,
-                ops: &[("image", image_time), ("union", union_time)],
-            },
-            &mut per_iteration,
-        );
-    };
-    let elapsed = start.elapsed();
-    let peak_nodes = m.peak_nodes();
-    disarm_limits(m);
-    let checkpoint = if outcome == Outcome::FixedPoint || outcome == Outcome::Error {
-        None
-    } else {
-        Some(Checkpoint {
-            engine: EngineKind::Bfv,
-            iterations,
-            state: CheckpointState::Vector {
-                reached: reached.pin(m),
-                from: from.pin(m),
-            },
-        })
-    };
-    // Post-run accounting (untimed): state count + χ for validation.
-    let set = StateSet::NonEmpty(reached.clone());
-    let chi = set.to_characteristic(m, &space).ok();
-    let reached_states = chi.map(|chi| {
-        m.sat_count(chi, m.num_vars()) / 2f64.powi(m.num_vars() as i32 - space.len() as i32)
-    });
-    ReachResult {
-        engine: EngineKind::Bfv,
-        outcome,
-        iterations,
-        reached_states,
-        reached_chi: chi.map(|c| m.func(c)),
-        representation_nodes: Some(reached.shared_size(m)),
-        peak_nodes,
-        elapsed,
-        conversion_time: std::time::Duration::ZERO,
-        per_iteration,
-        checkpoint,
-    }
+    let mut backend = BfvBackend::new(fsm, opts.schedule);
+    run_fixed_point(EngineKind::Bfv, &mut backend, m, fsm, opts, None)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::Outcome;
     use bfvr_netlist::generators;
     use bfvr_sim::OrderHeuristic;
 

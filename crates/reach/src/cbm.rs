@@ -10,17 +10,13 @@
 //! Figure 2 flow eliminates; their time is reported separately in
 //! [`ReachResult::conversion_time`].
 
-use std::time::{Duration, Instant};
-
 use bfvr_bdd::hash::FxHashMap;
 use bfvr_bdd::{Bdd, BddManager, Var};
 use bfvr_sim::EncodedFsm;
 
-use crate::cf::{chi_checkpoint, count_states, initial_chi, ChiSeed};
-use crate::common::{
-    arm_limits, disarm_limits, notify_iteration, outcome_of_bdd_error, IterMetrics, IterationView,
-    Outcome, ReachOptions, ReachResult, SetView,
-};
+use crate::backends::ChiBackend;
+use crate::common::{ReachOptions, ReachResult};
+use crate::driver::run_fixed_point;
 use crate::EngineKind;
 
 /// Computes the characteristic function (over `out_vars`) of the range of
@@ -84,122 +80,18 @@ fn range_rec(
 
 /// Runs reachability with the Figure 1 flow.
 pub fn reach_cbm(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> ReachResult {
-    reach_cbm_seeded(m, fsm, opts, None)
-}
-
-/// The Figure 1 traversal, optionally resumed from a checkpoint seed.
-pub(crate) fn reach_cbm_seeded(
-    m: &mut BddManager,
-    fsm: &EncodedFsm,
-    opts: &ReachOptions,
-    seed: Option<ChiSeed>,
-) -> ReachResult {
-    let start = Instant::now();
-    arm_limits(m, opts);
-    let mut per_iteration = Vec::new();
-    let mut iterations = seed.map_or(0, |(_, _, i)| i);
-    let mut reached = Bdd::FALSE;
-    let mut from = Bdd::FALSE;
-    let mut conversion_time = Duration::ZERO;
-    let mut outcome_opt = None;
-    let deltas = fsm.next_fns_in_component_order();
-    let next_vars: Vec<Var> = fsm.next_space().vars().to_vec();
-    let pairs = fsm.swap_pairs();
-    let run = (|| -> Result<(), bfvr_bdd::BddError> {
-        (reached, from) = match seed {
-            Some((r, f, _)) => (r, f),
-            None => {
-                let init = initial_chi(m, fsm)?;
-                (init, init)
-            }
-        };
-        // Pin the loop state against mid-operation reclaim passes.
-        let mut _state_guards = (m.func(reached), m.func(from));
-        loop {
-            if opts.max_iterations.is_some_and(|cap| iterations >= cap) {
-                outcome_opt = Some(Outcome::IterationLimit);
-                break;
-            }
-            let iter_start = Instant::now();
-            m.check_deadline()?;
-            // CF → functional vector bridge: constrain δ by the care set.
-            let conv_start = Instant::now();
-            let mut constrained = Vec::with_capacity(deltas.len());
-            for &d in &deltas {
-                constrained.push(m.constrain(d, from)?);
-            }
-            // Functional vector → CF bridge: range by recursive splitting.
-            let img_u = range_by_splitting(m, &constrained, &next_vars)?;
-            let conv = conv_start.elapsed();
-            conversion_time += conv;
-            let op_start = Instant::now();
-            let img = m.swap_vars(img_u, &pairs)?;
-            let new_reached = m.or(reached, img)?;
-            let union_time = op_start.elapsed();
-            iterations += 1;
-            if new_reached == reached {
-                break;
-            }
-            reached = new_reached;
-            from = if opts.use_frontier && m.size(img) <= m.size(reached) {
-                img
-            } else {
-                reached
-            };
-            _state_guards = (m.func(reached), m.func(from));
-            let roots = [reached, from];
-            let gc = m.maybe_collect_garbage(&roots);
-            notify_iteration(
-                m,
-                fsm,
-                opts,
-                &IterationView {
-                    engine: EngineKind::Cbm,
-                    iteration: iterations,
-                    roots: &roots,
-                    set: SetView::Chi { reached, from },
-                },
-                &IterMetrics {
-                    gc,
-                    elapsed: iter_start.elapsed(),
-                    conversion: conv,
-                    ops: &[("convert", conv), ("union", union_time)],
-                },
-                &mut per_iteration,
-            );
-        }
-        Ok(())
-    })();
-    let outcome = match (&run, outcome_opt) {
-        (_, Some(o)) => o,
-        (Ok(()), None) => Outcome::FixedPoint,
-        (Err(e), None) => outcome_of_bdd_error(e),
-    };
-    let elapsed = start.elapsed();
-    let peak_nodes = m.peak_nodes();
-    disarm_limits(m);
-    let checkpoint = chi_checkpoint(m, EngineKind::Cbm, outcome, iterations, reached, from);
-    ReachResult {
-        engine: EngineKind::Cbm,
-        outcome,
-        iterations,
-        reached_states: Some(count_states(m, fsm, reached)),
-        reached_chi: Some(m.func(reached)),
-        representation_nodes: Some(m.size(reached)),
-        peak_nodes,
-        elapsed,
-        conversion_time,
-        per_iteration,
-        checkpoint,
-    }
+    let mut backend = ChiBackend::cbm(fsm);
+    run_fixed_point(EngineKind::Cbm, &mut backend, m, fsm, opts, None)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::Outcome;
     use crate::{reach_bfv, reach_monolithic};
     use bfvr_netlist::generators;
     use bfvr_sim::OrderHeuristic;
+    use std::time::Duration;
 
     #[test]
     fn range_of_constant_vector_is_a_point() {

@@ -6,186 +6,28 @@
 //! are reported as conversion time, quantifying the §2.7 observation that
 //! the representations carry the same information.
 
-use std::time::{Duration, Instant};
+use bfvr_bdd::BddManager;
+use bfvr_sim::EncodedFsm;
 
-use bfvr_bdd::{BddManager, Func};
-use bfvr_bfv::cdec::CDec;
-use bfvr_bfv::{Bfv, StateSet};
-use bfvr_sim::{simulate_image_with, EncodedFsm};
-
-use crate::common::{
-    arm_limits, disarm_limits, failed_result, notify_iteration, outcome_of_bfv_error, Checkpoint,
-    CheckpointState, IterMetrics, IterationView, Outcome, ReachOptions, ReachResult, SetView,
-};
+use crate::backends::CdecBackend;
+use crate::common::{ReachOptions, ReachResult};
+use crate::driver::run_fixed_point;
 use crate::EngineKind;
-
-/// Internal: the CDEC-engine resume seed — the reached set's
-/// decomposition, the from vector and the iterations already completed.
-pub(crate) type CdecSeed = (CDec, Bfv, usize);
-
-/// Internal: pin a decomposition + vector pair against garbage collection.
-fn pin_state(m: &BddManager, dec: &CDec, from: &Bfv) -> (Vec<Func>, Vec<Func>) {
-    let dec_pins = dec.constraints().iter().map(|&c| m.func(c)).collect();
-    (dec_pins, from.pin(m))
-}
 
 /// Runs reachability with the conjunctive-decomposition set representation.
 pub fn reach_cdec(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> ReachResult {
-    reach_cdec_seeded(m, fsm, opts, None)
-}
-
-/// The conjunctive-decomposition traversal, optionally resumed from a
-/// checkpoint seed.
-pub(crate) fn reach_cdec_seeded(
-    m: &mut BddManager,
-    fsm: &EncodedFsm,
-    opts: &ReachOptions,
-    seed: Option<CdecSeed>,
-) -> ReachResult {
-    let start = Instant::now();
-    arm_limits(m, opts);
-    let space = fsm.space();
-    let mut per_iteration = Vec::new();
-    let mut conversion_time = Duration::ZERO;
-    let (mut reached_dec, mut from_bfv, mut iterations) = match seed {
-        Some((d, f, i)) => (d, f, i),
-        None => {
-            let init = match StateSet::singleton(m, &space, &fsm.initial_state()) {
-                Ok(s) => s,
-                Err(e) => {
-                    let o = outcome_of_bfv_error(&e);
-                    return failed_result(m, EngineKind::Cdec, o, start.elapsed());
-                }
-            };
-            let Some(init_bfv) = init.as_bfv().cloned() else {
-                // A singleton set is never empty; treat it as internal.
-                return failed_result(m, EngineKind::Cdec, Outcome::Error, start.elapsed());
-            };
-            let dec = match CDec::from_bfv(m, &space, &init_bfv) {
-                Ok(d) => d,
-                Err(e) => {
-                    let o = outcome_of_bfv_error(&e);
-                    return failed_result(m, EngineKind::Cdec, o, start.elapsed());
-                }
-            };
-            (dec, init_bfv, 0usize)
-        }
-    };
-    // Pin the loop state against mid-operation reclaim passes.
-    let mut _state_guards = pin_state(m, &reached_dec, &from_bfv);
-    let outcome = loop {
-        if opts.max_iterations.is_some_and(|cap| iterations >= cap) {
-            break Outcome::IterationLimit;
-        }
-        let iter_start = Instant::now();
-        if m.check_deadline().is_err() {
-            break Outcome::TimeOut;
-        }
-        let op_start = Instant::now();
-        let img = match simulate_image_with(m, fsm, &from_bfv, opts.schedule) {
-            Ok(img) => img,
-            Err(e) => break outcome_of_bfv_error(&e),
-        };
-        let image_time = op_start.elapsed();
-        // Set algebra in the constraint view.
-        let conv = Instant::now();
-        let img_dec = match CDec::from_bfv(m, &space, &img) {
-            Ok(d) => d,
-            Err(e) => break outcome_of_bfv_error(&e),
-        };
-        let mut iter_conversion = conv.elapsed();
-        conversion_time += iter_conversion;
-        let op_start = Instant::now();
-        let new_dec = match reached_dec.union(m, &space, &img_dec) {
-            Ok(u) => u,
-            Err(e) => break outcome_of_bfv_error(&e),
-        };
-        let union_time = op_start.elapsed();
-        iterations += 1;
-        if new_dec.constraints() == reached_dec.constraints() {
-            break Outcome::FixedPoint;
-        }
-        reached_dec = new_dec;
-        // Back to the vector view for the next simulation step.
-        let conv = Instant::now();
-        let reached_bfv = match reached_dec.to_bfv(m, &space) {
-            Ok(f) => f,
-            Err(e) => break outcome_of_bfv_error(&e),
-        };
-        let back_conv = conv.elapsed();
-        iter_conversion += back_conv;
-        conversion_time += back_conv;
-        from_bfv = if opts.use_frontier && img.shared_size(m) <= reached_bfv.shared_size(m) {
-            img
-        } else {
-            reached_bfv
-        };
-        _state_guards = pin_state(m, &reached_dec, &from_bfv);
-        let mut roots: Vec<bfvr_bdd::Bdd> = reached_dec.constraints().to_vec();
-        roots.extend_from_slice(from_bfv.components());
-        let gc = m.maybe_collect_garbage(&roots);
-        notify_iteration(
-            m,
-            fsm,
-            opts,
-            &IterationView {
-                engine: EngineKind::Cdec,
-                iteration: iterations,
-                roots: &roots,
-                set: SetView::Cdec {
-                    reached: &reached_dec,
-                    from: &from_bfv,
-                },
-            },
-            &IterMetrics {
-                gc,
-                elapsed: iter_start.elapsed(),
-                conversion: iter_conversion,
-                ops: &[
-                    ("image", image_time),
-                    ("convert", iter_conversion),
-                    ("union", union_time),
-                ],
-            },
-            &mut per_iteration,
-        );
-    };
-    let elapsed = start.elapsed();
-    let peak_nodes = m.peak_nodes();
-    disarm_limits(m);
-    let checkpoint = if outcome == Outcome::FixedPoint || outcome == Outcome::Error {
-        None
-    } else {
-        let (constraints, from) = pin_state(m, &reached_dec, &from_bfv);
-        Some(Checkpoint {
-            engine: EngineKind::Cdec,
-            iterations,
-            state: CheckpointState::Cdec { constraints, from },
-        })
-    };
-    let chi = reached_dec.conjoin_all(m).ok();
-    let reached_states = chi.map(|chi| crate::cf::count_states(m, fsm, chi));
-    ReachResult {
-        engine: EngineKind::Cdec,
-        outcome,
-        iterations,
-        reached_states,
-        reached_chi: chi.map(|c| m.func(c)),
-        representation_nodes: Some(reached_dec.shared_size(m)),
-        peak_nodes,
-        elapsed,
-        conversion_time,
-        per_iteration,
-        checkpoint,
-    }
+    let mut backend = CdecBackend::new(fsm, opts.schedule);
+    run_fixed_point(EngineKind::Cdec, &mut backend, m, fsm, opts, None)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::Outcome;
     use crate::reach_bfv;
     use bfvr_netlist::generators;
     use bfvr_sim::OrderHeuristic;
+    use std::time::Duration;
 
     #[test]
     fn cdec_agrees_with_bfv_engine() {

@@ -1,43 +1,12 @@
 //! Monolithic transition-relation reachability (characteristic functions).
 
-use std::time::Instant;
-
-use bfvr_bdd::{Bdd, BddManager, Var};
+use bfvr_bdd::{Bdd, BddManager};
 use bfvr_sim::EncodedFsm;
 
-use crate::common::{
-    arm_limits, disarm_limits, notify_iteration, outcome_of_bdd_error, Checkpoint, CheckpointState,
-    IterMetrics, IterationView, Outcome, ReachOptions, ReachResult, SetView,
-};
+use crate::backends::ChiBackend;
+use crate::common::{ReachOptions, ReachResult};
+use crate::driver::run_fixed_point;
 use crate::EngineKind;
-
-/// Internal: the χ-engine resume seed — reached set, iteration start set
-/// and the number of iterations already completed.
-pub(crate) type ChiSeed = (Bdd, Bdd, usize);
-
-/// Internal: checkpoint a χ-based engine's partial traversal, unless it
-/// never got past the empty set (resuming from ⊥ would instantly — and
-/// wrongly — report an empty fixed point).
-pub(crate) fn chi_checkpoint(
-    m: &BddManager,
-    engine: EngineKind,
-    outcome: Outcome,
-    iterations: usize,
-    reached: Bdd,
-    from: Bdd,
-) -> Option<Checkpoint> {
-    if outcome == Outcome::FixedPoint || outcome == Outcome::Error || reached.is_false() {
-        return None;
-    }
-    Some(Checkpoint {
-        engine,
-        iterations,
-        state: CheckpointState::Chi {
-            reached: m.func(reached),
-            from: m.func(from),
-        },
-    })
-}
 
 /// Builds the cube of the initial state over the current-state variables.
 pub(crate) fn initial_chi(m: &mut BddManager, fsm: &EncodedFsm) -> Result<Bdd, bfvr_bdd::BddError> {
@@ -60,129 +29,14 @@ pub(crate) fn count_states(m: &BddManager, fsm: &EncodedFsm, chi: Bdd) -> f64 {
 /// Runs reachability with one monolithic transition relation
 /// `T(v,u,w) = ⋀ᵢ (uᵢ ↔ δᵢ(v,w))` and one relational product per step.
 pub fn reach_monolithic(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> ReachResult {
-    reach_monolithic_seeded(m, fsm, opts, None)
-}
-
-/// The monolithic traversal, optionally resumed from a checkpoint seed.
-pub(crate) fn reach_monolithic_seeded(
-    m: &mut BddManager,
-    fsm: &EncodedFsm,
-    opts: &ReachOptions,
-    seed: Option<ChiSeed>,
-) -> ReachResult {
-    let start = Instant::now();
-    arm_limits(m, opts);
-    let mut per_iteration = Vec::new();
-    let mut iterations = seed.map_or(0, |(_, _, i)| i);
-    let mut reached = Bdd::FALSE;
-    let mut from = Bdd::FALSE;
-    let mut outcome_opt = None;
-    // Quantification cube: all current-state and input variables.
-    let run = (|| -> Result<(), bfvr_bdd::BddError> {
-        let mut t = Bdd::TRUE;
-        for l in 0..fsm.num_latches() {
-            let (_, u) = fsm.state_vars(l);
-            let uu = m.var(u);
-            let eq = m.xnor(uu, fsm.next_fn(l))?;
-            t = m.and(t, eq)?;
-        }
-        let _t_guard = m.func(t);
-        let mut qvars: Vec<Var> = fsm.space().vars().to_vec();
-        qvars.extend(fsm.input_vars());
-        let cube = m.cube_from_vars(&qvars)?;
-        let _cube_guard = m.func(cube);
-        let pairs = fsm.swap_pairs();
-        (reached, from) = match seed {
-            Some((r, f, _)) => (r, f),
-            None => {
-                let init = initial_chi(m, fsm)?;
-                (init, init)
-            }
-        };
-        // Pin the loop state so a mid-operation reclaim pass (or the
-        // boundary collection) can never free it; rebound every iteration.
-        let mut _state_guards = (m.func(reached), m.func(from));
-        loop {
-            if opts.max_iterations.is_some_and(|cap| iterations >= cap) {
-                outcome_opt = Some(Outcome::IterationLimit);
-                return Ok(());
-            }
-            let iter_start = Instant::now();
-            m.check_deadline()?;
-            let op_start = Instant::now();
-            let img_u = m.and_exists(t, from, cube)?;
-            let img = m.swap_vars(img_u, &pairs)?;
-            let image_time = op_start.elapsed();
-            let op_start = Instant::now();
-            let new_reached = m.or(reached, img)?;
-            let union_time = op_start.elapsed();
-            iterations += 1;
-            if new_reached == reached {
-                return Ok(());
-            }
-            reached = new_reached;
-            from = if opts.use_frontier && m.size(img) <= m.size(reached) {
-                img
-            } else {
-                reached
-            };
-            _state_guards = (m.func(reached), m.func(from));
-            let roots = [reached, from, t, cube];
-            let gc = m.maybe_collect_garbage(&roots);
-            notify_iteration(
-                m,
-                fsm,
-                opts,
-                &IterationView {
-                    engine: EngineKind::Monolithic,
-                    iteration: iterations,
-                    roots: &roots,
-                    set: SetView::Chi { reached, from },
-                },
-                &IterMetrics {
-                    gc,
-                    elapsed: iter_start.elapsed(),
-                    conversion: std::time::Duration::ZERO,
-                    ops: &[("image", image_time), ("union", union_time)],
-                },
-                &mut per_iteration,
-            );
-        }
-    })();
-    let outcome = match (&run, outcome_opt) {
-        (_, Some(o)) => o,
-        (Ok(()), None) => Outcome::FixedPoint,
-        (Err(e), None) => outcome_of_bdd_error(e),
-    };
-    let elapsed = start.elapsed();
-    let peak_nodes = m.peak_nodes();
-    disarm_limits(m);
-    let checkpoint = chi_checkpoint(
-        m,
-        EngineKind::Monolithic,
-        outcome,
-        iterations,
-        reached,
-        from,
-    );
-    ReachResult {
-        engine: EngineKind::Monolithic,
-        outcome,
-        iterations,
-        reached_states: Some(count_states(m, fsm, reached)),
-        reached_chi: Some(m.func(reached)),
-        representation_nodes: Some(m.size(reached)),
-        peak_nodes,
-        elapsed,
-        conversion_time: std::time::Duration::ZERO,
-        per_iteration,
-        checkpoint,
-    }
+    let mut backend = ChiBackend::monolithic(fsm);
+    run_fixed_point(EngineKind::Monolithic, &mut backend, m, fsm, opts, None)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::Outcome;
     use crate::reach_bfv;
     use bfvr_netlist::generators;
     use bfvr_sim::OrderHeuristic;

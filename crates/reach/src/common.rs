@@ -5,9 +5,9 @@ use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use bfvr_bdd::{Bdd, BddError, BddManager, Func};
-use bfvr_bfv::cdec::CDec;
 use bfvr_bfv::reparam::Schedule;
-use bfvr_bfv::{Bfv, BfvError};
+use bfvr_bfv::BfvError;
+use bfvr_setrepr::{ReprCheckpoint, ReprKind, SetView};
 use bfvr_sim::EncodedFsm;
 
 /// Which reachability engine to run (see the crate docs).
@@ -49,38 +49,49 @@ impl EngineKind {
             EngineKind::Cdec,
         ]
     }
+
+    /// The representation each engine natively iterates on (the lane
+    /// [`crate::run`] dispatches to).
+    #[must_use]
+    pub fn native_repr(self) -> ReprKind {
+        match self {
+            EngineKind::Bfv => ReprKind::Bfv,
+            EngineKind::Cbm | EngineKind::Monolithic | EngineKind::Iwls95 => ReprKind::Chi,
+            EngineKind::Cdec => ReprKind::Cdec,
+        }
+    }
+
+    /// The representations this engine's image computation can drive
+    /// (native first). The χ engines additionally iterate on ZDDs
+    /// through the χ↔ZDD converters; the BFV engine's functional image
+    /// additionally drives the over-approximating zonotope lane.
+    #[must_use]
+    pub fn supported_reprs(self) -> &'static [ReprKind] {
+        match self {
+            EngineKind::Bfv => &[ReprKind::Bfv, ReprKind::Zonotope],
+            EngineKind::Cbm | EngineKind::Monolithic | EngineKind::Iwls95 => {
+                &[ReprKind::Chi, ReprKind::Zdd]
+            }
+            EngineKind::Cdec => &[ReprKind::Cdec],
+        }
+    }
 }
 
-/// The engine's set representation at one fixed-point iteration, borrowed
-/// for the duration of an [`IterationObserver`] call.
-///
-/// Each variant is the representation the engine *actually* iterates on —
-/// no conversion is performed to build a view, so observing is free for
-/// the engine (the observer itself may of course convert).
-#[derive(Clone, Copy, Debug)]
-pub enum SetView<'a> {
-    /// χ-based engines (monolithic, CBM, IWLS95): characteristic
-    /// functions over the current-state variables.
-    Chi {
-        /// States reached so far.
-        reached: Bdd,
-        /// Start set of the next iteration.
-        from: Bdd,
-    },
-    /// The BFV engine: canonical Boolean functional vectors.
-    Vector {
-        /// Reached-set vector.
-        reached: &'a Bfv,
-        /// From-set vector.
-        from: &'a Bfv,
-    },
-    /// The CDEC engine: conjunctive decomposition + from vector.
-    Cdec {
-        /// Reached set as McMillan's conjunctive decomposition.
-        reached: &'a CDec,
-        /// From-set vector.
-        from: &'a Bfv,
-    },
+/// Label of an engine × representation lane. Native lanes keep the bare
+/// engine label (so existing tables read unchanged); cross-representation
+/// lanes are tagged `ENGINE+REPR`.
+#[must_use]
+pub fn lane_label(engine: EngineKind, repr: ReprKind) -> &'static str {
+    if repr == engine.native_repr() {
+        return engine.label();
+    }
+    match (engine, repr) {
+        (EngineKind::Cbm, ReprKind::Zdd) => "CBM+ZDD",
+        (EngineKind::Monolithic, ReprKind::Zdd) => "MONO+ZDD",
+        (EngineKind::Iwls95, ReprKind::Zdd) => "IWLS95+ZDD",
+        (EngineKind::Bfv, ReprKind::Zonotope) => "BFV+ZONO",
+        _ => "UNSUPPORTED",
+    }
 }
 
 /// Everything an [`IterationObserver`] sees at one iteration boundary:
@@ -90,6 +101,9 @@ pub enum SetView<'a> {
 pub struct IterationView<'a> {
     /// The engine producing this iteration.
     pub engine: EngineKind,
+    /// The set representation the engine is iterating on (matches the
+    /// [`IterationView::set`] variant; `engine × repr` names the lane).
+    pub repr: ReprKind,
     /// Iterations completed so far (1-based at the first callback).
     pub iteration: usize,
     /// The complete root set the engine just collected garbage against
@@ -313,6 +327,13 @@ pub struct IterationStats {
 pub struct ReachResult {
     /// The engine that produced this result.
     pub engine: EngineKind,
+    /// The set representation the engine iterated on (the engine's
+    /// native one under [`crate::run`]; see [`crate::run_repr`]).
+    pub repr: ReprKind,
+    /// Whether `reached_states`/`reached_chi` may strictly
+    /// over-approximate the exact reached set (zonotope lanes). Exact
+    /// lanes always report `false`.
+    pub over_approx: bool,
     /// How the traversal ended.
     pub outcome: Outcome,
     /// Image iterations completed.
@@ -357,39 +378,14 @@ pub struct ReachResult {
 pub struct Checkpoint {
     /// Engine that produced this checkpoint (resume re-dispatches to it).
     pub engine: EngineKind,
+    /// Representation lane that produced this checkpoint (resume rebuilds
+    /// the same backend; a mismatched state is rejected as an error).
+    pub repr: ReprKind,
     /// Image iterations completed before the interruption.
     pub iterations: usize,
-    /// Engine-specific reached/frontier representation.
-    pub(crate) state: CheckpointState,
-}
-
-/// Engine-specific resumable state: each engine checkpoints its own set
-/// representation so resuming never pays a conversion the engine itself
-/// would not have performed.
-#[derive(Clone, Debug)]
-pub(crate) enum CheckpointState {
-    /// χ-based engines (monolithic, CBM, IWLS95): reached set and the
-    /// iteration's start set, both over current-state variables.
-    Chi {
-        /// Characteristic function of the states reached so far.
-        reached: Func,
-        /// Start set of the iteration being redone on resume.
-        from: Func,
-    },
-    /// BFV engine: componentwise reached and from vectors.
-    Vector {
-        /// Reached-set functional vector, one handle per state bit.
-        reached: Vec<Func>,
-        /// From-set functional vector.
-        from: Vec<Func>,
-    },
-    /// CDEC engine: the conjunctive decomposition and the from vector.
-    Cdec {
-        /// Constraint list of the reached set's decomposition.
-        constraints: Vec<Func>,
-        /// From-set functional vector.
-        from: Vec<Func>,
-    },
+    /// Backend-specific reached/frontier representation, re-expressed in
+    /// manager-stable handles (see [`bfvr_setrepr::SetRepr::checkpoint`]).
+    pub(crate) state: ReprCheckpoint,
 }
 
 /// Internal: classify a BDD failure as an outcome.
@@ -416,6 +412,7 @@ pub(crate) fn outcome_of_bfv_error(e: &BfvError) -> Outcome {
 pub(crate) fn failed_result(
     m: &mut BddManager,
     engine: EngineKind,
+    repr: ReprKind,
     outcome: Outcome,
     elapsed: Duration,
 ) -> ReachResult {
@@ -423,6 +420,8 @@ pub(crate) fn failed_result(
     disarm_limits(m);
     ReachResult {
         engine,
+        repr,
+        over_approx: repr.over_approximates(),
         outcome,
         iterations: 0,
         reached_states: None,
@@ -466,6 +465,30 @@ mod tests {
         assert_eq!(Outcome::TimeOut.label(), "T.O.");
         assert_eq!(Outcome::MemOut.label(), "M.O.");
         assert_eq!(EngineKind::all().len(), 5);
+    }
+
+    #[test]
+    fn lane_labels_and_native_reprs() {
+        for e in EngineKind::all() {
+            // Native lanes keep the bare engine label.
+            assert_eq!(lane_label(e, e.native_repr()), e.label());
+            assert_eq!(e.supported_reprs()[0], e.native_repr());
+        }
+        assert_eq!(
+            lane_label(EngineKind::Monolithic, ReprKind::Zdd),
+            "MONO+ZDD"
+        );
+        assert_eq!(lane_label(EngineKind::Cbm, ReprKind::Zdd), "CBM+ZDD");
+        assert_eq!(lane_label(EngineKind::Iwls95, ReprKind::Zdd), "IWLS95+ZDD");
+        assert_eq!(lane_label(EngineKind::Bfv, ReprKind::Zonotope), "BFV+ZONO");
+        assert_eq!(
+            lane_label(EngineKind::Cdec, ReprKind::Zonotope),
+            "UNSUPPORTED"
+        );
+        assert!(EngineKind::Cdec
+            .supported_reprs()
+            .iter()
+            .all(|&r| r == ReprKind::Cdec));
     }
 
     #[test]

@@ -1,28 +1,26 @@
 //! Partitioned transition relation with IWLS95-style clustering and early
 //! quantification — the configuration of the paper's "VIS-IWLS" baseline.
 
-use std::time::Instant;
-
 use bfvr_bdd::{Bdd, BddManager, Var};
 use bfvr_sim::EncodedFsm;
 
-use crate::cf::{chi_checkpoint, count_states, initial_chi, ChiSeed};
-use crate::common::{
-    arm_limits, disarm_limits, notify_iteration, outcome_of_bdd_error, IterMetrics, IterationView,
-    Outcome, ReachOptions, ReachResult, SetView,
-};
+use crate::backends::ChiBackend;
+use crate::common::{ReachOptions, ReachResult};
+use crate::driver::run_fixed_point;
 use crate::EngineKind;
 
 /// A processed cluster: its relation and the quantifiable variables whose
 /// last occurrence is this cluster.
-struct Cluster {
-    relation: Bdd,
-    retire_cube: Bdd,
+pub(crate) struct Cluster {
+    /// The cluster's conjoined per-latch relations.
+    pub(crate) relation: Bdd,
+    /// Cube of the quantifiable variables retired at this step.
+    pub(crate) retire_cube: Bdd,
 }
 
 /// Builds clusters of per-latch relations, greedily conjoined until the
 /// BDD size threshold is exceeded [IWLS95].
-fn build_clusters(
+pub(crate) fn build_clusters(
     m: &mut BddManager,
     fsm: &EncodedFsm,
     threshold: usize,
@@ -52,7 +50,7 @@ fn build_clusters(
 /// IWLS95-flavored schedule — at every step pick the cluster that retires
 /// the most quantifiable variables (variables absent from all remaining
 /// clusters), breaking ties toward smaller support.
-fn schedule(
+pub(crate) fn schedule(
     m: &mut BddManager,
     clusters: Vec<Bdd>,
     quantifiable: &[Var],
@@ -123,136 +121,14 @@ fn schedule(
 
 /// Runs reachability with the partitioned transition relation.
 pub fn reach_iwls95(m: &mut BddManager, fsm: &EncodedFsm, opts: &ReachOptions) -> ReachResult {
-    reach_iwls95_seeded(m, fsm, opts, None)
-}
-
-/// The partitioned-TR traversal, optionally resumed from a checkpoint seed.
-pub(crate) fn reach_iwls95_seeded(
-    m: &mut BddManager,
-    fsm: &EncodedFsm,
-    opts: &ReachOptions,
-    seed: Option<ChiSeed>,
-) -> ReachResult {
-    let start = Instant::now();
-    arm_limits(m, opts);
-    let mut per_iteration = Vec::new();
-    let mut iterations = seed.map_or(0, |(_, _, i)| i);
-    let mut reached = Bdd::FALSE;
-    let mut from = Bdd::FALSE;
-    let mut outcome_opt = None;
-    let run = (|| -> Result<(), bfvr_bdd::BddError> {
-        let mut qvars: Vec<Var> = fsm.space().vars().to_vec();
-        qvars.extend(fsm.input_vars());
-        let raw = build_clusters(m, fsm, opts.cluster_threshold)?;
-        let clusters = schedule(m, raw, &qvars)?;
-        let _cluster_guards: Vec<_> = clusters
-            .iter()
-            .flat_map(|c| [m.func(c.relation), m.func(c.retire_cube)])
-            .collect();
-        // Variables in no cluster at all can be smoothed out of the from-
-        // set up front (inputs the next-state logic ignores, say).
-        let unused: Vec<Var> = {
-            let mut used = bfvr_bdd::Support::empty(m.num_vars());
-            for c in &clusters {
-                used.union_with(&m.support(c.relation));
-            }
-            qvars
-                .iter()
-                .copied()
-                .filter(|&v| !used.contains(v))
-                .collect()
-        };
-        let presmooth = m.cube_from_vars(&unused)?;
-        let _presmooth_guard = m.func(presmooth);
-        let pairs = fsm.swap_pairs();
-        (reached, from) = match seed {
-            Some((r, f, _)) => (r, f),
-            None => {
-                let init = initial_chi(m, fsm)?;
-                (init, init)
-            }
-        };
-        // Pin the loop state against mid-operation reclaim passes.
-        let mut _state_guards = (m.func(reached), m.func(from));
-        loop {
-            if opts.max_iterations.is_some_and(|cap| iterations >= cap) {
-                outcome_opt = Some(Outcome::IterationLimit);
-                break;
-            }
-            let iter_start = Instant::now();
-            m.check_deadline()?;
-            let op_start = Instant::now();
-            let mut acc = m.exists(from, presmooth)?;
-            for c in &clusters {
-                acc = m.and_exists(acc, c.relation, c.retire_cube)?;
-            }
-            let img = m.swap_vars(acc, &pairs)?;
-            let image_time = op_start.elapsed();
-            let op_start = Instant::now();
-            let new_reached = m.or(reached, img)?;
-            let union_time = op_start.elapsed();
-            iterations += 1;
-            if new_reached == reached {
-                break;
-            }
-            reached = new_reached;
-            from = if opts.use_frontier && m.size(img) <= m.size(reached) {
-                img
-            } else {
-                reached
-            };
-            _state_guards = (m.func(reached), m.func(from));
-            let mut roots = vec![reached, from];
-            roots.extend(clusters.iter().map(|c| c.relation));
-            let gc = m.maybe_collect_garbage(&roots);
-            notify_iteration(
-                m,
-                fsm,
-                opts,
-                &IterationView {
-                    engine: EngineKind::Iwls95,
-                    iteration: iterations,
-                    roots: &roots,
-                    set: SetView::Chi { reached, from },
-                },
-                &IterMetrics {
-                    gc,
-                    elapsed: iter_start.elapsed(),
-                    conversion: std::time::Duration::ZERO,
-                    ops: &[("image", image_time), ("union", union_time)],
-                },
-                &mut per_iteration,
-            );
-        }
-        Ok(())
-    })();
-    let outcome = match (&run, outcome_opt) {
-        (_, Some(o)) => o,
-        (Ok(()), None) => Outcome::FixedPoint,
-        (Err(e), None) => outcome_of_bdd_error(e),
-    };
-    let elapsed = start.elapsed();
-    let peak_nodes = m.peak_nodes();
-    disarm_limits(m);
-    let checkpoint = chi_checkpoint(m, EngineKind::Iwls95, outcome, iterations, reached, from);
-    ReachResult {
-        engine: EngineKind::Iwls95,
-        outcome,
-        iterations,
-        reached_states: Some(count_states(m, fsm, reached)),
-        reached_chi: Some(m.func(reached)),
-        representation_nodes: Some(m.size(reached)),
-        peak_nodes,
-        elapsed,
-        conversion_time: std::time::Duration::ZERO,
-        per_iteration,
-        checkpoint,
-    }
+    let mut backend = ChiBackend::iwls95(fsm, opts.cluster_threshold);
+    run_fixed_point(EngineKind::Iwls95, &mut backend, m, fsm, opts, None)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::Outcome;
     use crate::{reach_bfv, reach_monolithic};
     use bfvr_netlist::generators;
     use bfvr_sim::OrderHeuristic;

@@ -21,6 +21,13 @@
 //! * [`reach_cdec`] — the same Figure 2 flow storing sets as McMillan's
 //!   conjunctive decomposition (§2.7 correspondence).
 //!
+//! All five run through one shared fixed-point driver written against the
+//! [`SetRepr`] trait, so an engine's image computation can also drive a
+//! non-native set representation: [`run_repr`] pairs the χ engines with a
+//! zero-suppressed (ZDD) lane and the BFV engine with an
+//! over-approximating logical-zonotope lane (see [`backends`] and
+//! [`EngineKind::supported_reprs`]).
+//!
 //! [`check_invariant`] layers a simple safety checker on the BFV engine —
 //! the "symbolic simulation based model checker" the paper names as the
 //! goal of this line of work — and [`reach_backward`] adds the dual
@@ -33,6 +40,7 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod backends;
 mod backward;
 mod bfv_engine;
 mod cbm;
@@ -40,6 +48,7 @@ mod cdec_engine;
 mod cf;
 mod check;
 mod common;
+mod driver;
 mod iwls95;
 pub mod portfolio;
 #[cfg(feature = "audit")]
@@ -49,27 +58,81 @@ mod trace;
 
 pub use backward::{check_invariant_backward, reach_backward};
 pub use bfv_engine::reach_bfv;
+pub use bfvr_setrepr::{ReprCheckpoint, ReprKind, SetRepr, SetView};
 pub use cbm::reach_cbm;
 pub use cdec_engine::reach_cdec;
 pub use cf::reach_monolithic;
 pub use check::{check_invariant, CheckResult};
 pub use common::{
-    Checkpoint, EngineKind, IterationObserver, IterationStats, IterationView, Outcome,
-    ReachOptions, ReachResult, SetView,
+    lane_label, Checkpoint, EngineKind, IterationObserver, IterationStats, IterationView, Outcome,
+    ReachOptions, ReachResult,
 };
 pub use iwls95::reach_iwls95;
 pub use telemetry::TraceHandle;
 pub use trace::{find_trace, Trace};
 
-use bfvr_bdd::{BddManager, Func};
-use bfvr_bfv::cdec::CDec;
-use bfvr_bfv::Bfv;
+use bfvr_bdd::BddManager;
 use bfvr_sim::EncodedFsm;
 
-use common::CheckpointState;
+/// Internal: build the backend for an engine × representation pair and
+/// run the shared driver on it (fresh or seeded). The single place the
+/// lane matrix is enumerated.
+fn dispatch(
+    engine: EngineKind,
+    repr: ReprKind,
+    m: &mut BddManager,
+    fsm: &EncodedFsm,
+    opts: &ReachOptions,
+    seed: Option<(&ReprCheckpoint, usize)>,
+) -> ReachResult {
+    use driver::run_fixed_point;
+    match (engine, repr) {
+        (EngineKind::Monolithic, ReprKind::Chi) => {
+            let mut b = backends::ChiBackend::monolithic(fsm);
+            run_fixed_point(engine, &mut b, m, fsm, opts, seed)
+        }
+        (EngineKind::Cbm, ReprKind::Chi) => {
+            let mut b = backends::ChiBackend::cbm(fsm);
+            run_fixed_point(engine, &mut b, m, fsm, opts, seed)
+        }
+        (EngineKind::Iwls95, ReprKind::Chi) => {
+            let mut b = backends::ChiBackend::iwls95(fsm, opts.cluster_threshold);
+            run_fixed_point(engine, &mut b, m, fsm, opts, seed)
+        }
+        (EngineKind::Monolithic, ReprKind::Zdd) => {
+            let mut b = backends::ZddBackend::monolithic(fsm);
+            run_fixed_point(engine, &mut b, m, fsm, opts, seed)
+        }
+        (EngineKind::Cbm, ReprKind::Zdd) => {
+            let mut b = backends::ZddBackend::cbm(fsm);
+            run_fixed_point(engine, &mut b, m, fsm, opts, seed)
+        }
+        (EngineKind::Iwls95, ReprKind::Zdd) => {
+            let mut b = backends::ZddBackend::iwls95(fsm, opts.cluster_threshold);
+            run_fixed_point(engine, &mut b, m, fsm, opts, seed)
+        }
+        (EngineKind::Bfv, ReprKind::Bfv) => {
+            let mut b = backends::BfvBackend::new(fsm, opts.schedule);
+            run_fixed_point(engine, &mut b, m, fsm, opts, seed)
+        }
+        (EngineKind::Bfv, ReprKind::Zonotope) => {
+            let mut b = backends::ZonotopeBackend::new(fsm);
+            run_fixed_point(engine, &mut b, m, fsm, opts, seed)
+        }
+        (EngineKind::Cdec, ReprKind::Cdec) => {
+            let mut b = backends::CdecBackend::new(fsm, opts.schedule);
+            run_fixed_point(engine, &mut b, m, fsm, opts, seed)
+        }
+        // Unsupported pair: a caller bug, not a resource limit.
+        _ => {
+            let start = std::time::Instant::now();
+            common::failed_result(m, engine, repr, Outcome::Error, start.elapsed())
+        }
+    }
+}
 
-/// Runs the engine selected by `kind` (convenience dispatcher for the
-/// benchmark harness).
+/// Runs the engine selected by `kind` on its native set representation
+/// (convenience dispatcher for the benchmark harness).
 ///
 /// When [`ReachOptions::trace`] is set, the dispatcher brackets the
 /// traversal in an `engine` span and records the end-of-traversal
@@ -82,14 +145,23 @@ pub fn run(
     fsm: &EncodedFsm,
     opts: &ReachOptions,
 ) -> ReachResult {
+    run_repr(kind, kind.native_repr(), m, fsm, opts)
+}
+
+/// Runs one engine × representation lane: `kind`'s image computation
+/// iterating on the `repr` set representation. Supported pairs are
+/// [`EngineKind::supported_reprs`]; an unsupported pair reports
+/// [`Outcome::Error`]. Results from over-approximating lanes carry
+/// [`ReachResult::over_approx`]` == true`.
+pub fn run_repr(
+    kind: EngineKind,
+    repr: ReprKind,
+    m: &mut BddManager,
+    fsm: &EncodedFsm,
+    opts: &ReachOptions,
+) -> ReachResult {
     let span = telemetry::engine_span_open(opts, m, kind);
-    let r = match kind {
-        EngineKind::Bfv => reach_bfv(m, fsm, opts),
-        EngineKind::Cbm => reach_cbm(m, fsm, opts),
-        EngineKind::Monolithic => reach_monolithic(m, fsm, opts),
-        EngineKind::Iwls95 => reach_iwls95(m, fsm, opts),
-        EngineKind::Cdec => reach_cdec(m, fsm, opts),
-    };
+    let r = dispatch(kind, repr, m, fsm, opts, None);
     telemetry::engine_span_close(opts, m, span, &r);
     r
 }
@@ -102,71 +174,25 @@ pub fn run(
 /// iteration restarts from a `from ⊆ reached` start set.
 ///
 /// Reported `iterations` are cumulative across the original run and all
-/// resumptions.
+/// resumptions. Resume re-enters the same engine × representation lane
+/// the checkpoint came from.
 pub fn resume(
     m: &mut BddManager,
     fsm: &EncodedFsm,
     opts: &ReachOptions,
     checkpoint: Checkpoint,
 ) -> ReachResult {
-    let start = std::time::Instant::now();
     let Checkpoint {
         engine,
+        repr,
         iterations,
         state,
     } = checkpoint;
     let span = telemetry::engine_span_open(opts, m, engine);
-    // Each arm keeps the checkpoint's `Func` handles alive until the
-    // seeded engine has re-pinned the state, then drops them.
-    let r = match (engine, state) {
-        (EngineKind::Monolithic, CheckpointState::Chi { reached, from }) => {
-            let seed = (reached.bdd(), from.bdd(), iterations);
-            let r = cf::reach_monolithic_seeded(m, fsm, opts, Some(seed));
-            drop((reached, from));
-            r
-        }
-        (EngineKind::Cbm, CheckpointState::Chi { reached, from }) => {
-            let seed = (reached.bdd(), from.bdd(), iterations);
-            let r = cbm::reach_cbm_seeded(m, fsm, opts, Some(seed));
-            drop((reached, from));
-            r
-        }
-        (EngineKind::Iwls95, CheckpointState::Chi { reached, from }) => {
-            let seed = (reached.bdd(), from.bdd(), iterations);
-            let r = iwls95::reach_iwls95_seeded(m, fsm, opts, Some(seed));
-            drop((reached, from));
-            r
-        }
-        (EngineKind::Bfv, CheckpointState::Vector { reached, from }) => {
-            let space = fsm.space();
-            let rv = Bfv::from_components(&space, reached.iter().map(Func::bdd).collect());
-            let fv = Bfv::from_components(&space, from.iter().map(Func::bdd).collect());
-            match (rv, fv) {
-                (Ok(rv), Ok(fv)) => {
-                    let r = bfv_engine::reach_bfv_seeded(m, fsm, opts, Some((rv, fv, iterations)));
-                    drop((reached, from));
-                    r
-                }
-                // A malformed vector cannot come from this crate's engines.
-                _ => common::failed_result(m, engine, Outcome::Error, start.elapsed()),
-            }
-        }
-        (EngineKind::Cdec, CheckpointState::Cdec { constraints, from }) => {
-            let space = fsm.space();
-            let dec = CDec::from_constraints(constraints.iter().map(Func::bdd).collect());
-            match Bfv::from_components(&space, from.iter().map(Func::bdd).collect()) {
-                Ok(fv) => {
-                    let r =
-                        cdec_engine::reach_cdec_seeded(m, fsm, opts, Some((dec, fv, iterations)));
-                    drop((constraints, from));
-                    r
-                }
-                Err(_) => common::failed_result(m, engine, Outcome::Error, start.elapsed()),
-            }
-        }
-        // Engine/state mismatch: no engine of this crate produces one.
-        (engine, _) => common::failed_result(m, engine, Outcome::Error, start.elapsed()),
-    };
+    // `state` stays alive across the dispatch, keeping its `Func`
+    // handles pinned until the seeded driver has re-pinned the sets.
+    let r = dispatch(engine, repr, m, fsm, opts, Some((&state, iterations)));
+    drop(state);
     telemetry::engine_span_close(opts, m, span, &r);
     r
 }

@@ -11,8 +11,10 @@
 //!
 //! **Racing.** The paper's Table 2 story is that different engines win on
 //! different circuits, and no static chooser predicts the winner.
-//! [`run_racing`] runs a set of engines concurrently on the same netlist
-//! and returns the first fixed point any of them reaches. Because
+//! [`run_racing`] runs a set of engine × representation lanes (see
+//! [`Lane`]) concurrently on the same netlist and returns the first fixed
+//! point any *exact* lane reaches — over-approximating lanes (zonotopes)
+//! report early bounds but never win or cancel exact lanes. Because
 //! [`BddManager`] is deliberately `!Send` (its [`bfvr_bdd::Func`] root
 //! handles share an `Rc` root table), each lane runs a *private* manager
 //! built by encoding the netlist in its own worker thread — there is no
@@ -31,7 +33,66 @@ use bfvr_bdd::BddManager;
 use bfvr_netlist::Netlist;
 use bfvr_sim::{EncodedFsm, OrderHeuristic};
 
-use crate::{resume, run, EngineKind, IterationStats, Outcome, ReachOptions, ReachResult};
+use crate::common::lane_label;
+use crate::{
+    resume, run_repr, EngineKind, IterationStats, Outcome, ReachOptions, ReachResult, ReprKind,
+};
+
+/// One engine × representation lane of a race: which image computation
+/// runs, and which set representation it iterates on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lane {
+    /// The engine driving the image computation.
+    pub engine: EngineKind,
+    /// The set representation the fixed-point loop iterates on.
+    pub repr: ReprKind,
+}
+
+impl Lane {
+    /// An engine on its native representation (the classic race lane).
+    #[must_use]
+    pub fn native(engine: EngineKind) -> Self {
+        Lane {
+            engine,
+            repr: engine.native_repr(),
+        }
+    }
+
+    /// An explicit engine × representation pair.
+    #[must_use]
+    pub fn new(engine: EngineKind, repr: ReprKind) -> Self {
+        Lane { engine, repr }
+    }
+
+    /// The lane's display label (`BFV`, `MONO+ZDD`, `BFV+ZONO`, …).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        lane_label(self.engine, self.repr)
+    }
+
+    /// Whether this lane's results may over-approximate the reached set.
+    #[must_use]
+    pub fn over_approximates(self) -> bool {
+        self.repr.over_approximates()
+    }
+
+    /// Every engine on its native representation, in [`EngineKind::all`]
+    /// order — the pre-representation race portfolio.
+    #[must_use]
+    pub fn native_lanes() -> Vec<Lane> {
+        EngineKind::all().into_iter().map(Lane::native).collect()
+    }
+
+    /// The full engine × supported-representation matrix (native lanes
+    /// first per engine, then the cross-representation lanes).
+    #[must_use]
+    pub fn all_lanes() -> Vec<Lane> {
+        EngineKind::all()
+            .into_iter()
+            .flat_map(|e| e.supported_reprs().iter().map(move |&r| Lane::new(e, r)))
+            .collect()
+    }
+}
 
 /// How to raise budgets between escalation rounds.
 #[derive(Clone, Debug)]
@@ -144,8 +205,21 @@ pub fn run_escalating(
     opts: &ReachOptions,
     policy: &EscalationPolicy,
 ) -> EscalationReport {
+    run_escalating_repr(kind, kind.native_repr(), m, fsm, opts, policy)
+}
+
+/// [`run_escalating`] for an explicit engine × representation lane:
+/// every round (initial, resumed, restarted) re-enters the same lane.
+pub fn run_escalating_repr(
+    kind: EngineKind,
+    repr: ReprKind,
+    m: &mut BddManager,
+    fsm: &EncodedFsm,
+    opts: &ReachOptions,
+    policy: &EscalationPolicy,
+) -> EscalationReport {
     let mut opts = opts.clone();
-    let mut result = run(kind, m, fsm, &opts);
+    let mut result = run_repr(kind, repr, m, fsm, &opts);
     let mut rounds = vec![EscalationRound {
         outcome: result.outcome,
         iterations: result.iterations,
@@ -164,7 +238,7 @@ pub fn run_escalating(
         let resumed = checkpoint.is_some();
         result = match checkpoint {
             Some(c) => resume(m, fsm, &opts, c),
-            None => run(kind, m, fsm, &opts),
+            None => run_repr(kind, repr, m, fsm, &opts),
         };
         rounds.push(EscalationRound {
             outcome: result.outcome,
@@ -178,7 +252,7 @@ pub fn run_escalating(
         let mut t = trace.borrow_mut();
         for (i, round) in rounds.iter().enumerate() {
             t.round(
-                kind.label(),
+                lane_label(kind, repr),
                 i as u64,
                 round.outcome.label(),
                 round.resumed,
@@ -199,16 +273,21 @@ pub struct RaceConfig {
     /// has been declared.
     pub jobs: usize,
     /// When set, every lane runs under [`run_escalating`] with this
-    /// policy instead of a single [`run`] — the race then composes with
+    /// policy instead of a single [`crate::run`] — the race then composes with
     /// budget escalation (`--race --escalate` in the CLI).
     pub escalation: Option<EscalationPolicy>,
 }
 
-/// One engine's lane in a race.
+/// One engine × representation lane's report in a race.
 #[derive(Clone, Debug)]
 pub struct LaneReport {
     /// The engine this lane ran.
     pub engine: EngineKind,
+    /// The set representation the lane iterated on.
+    pub repr: ReprKind,
+    /// Whether the lane's reached-state count may over-approximate
+    /// (zonotope lanes). Over-approximating lanes never win a race.
+    pub over_approx: bool,
     /// How the lane's traversal ended; `None` when the lane was skipped
     /// because the race was already decided before it could start.
     pub outcome: Option<Outcome>,
@@ -237,7 +316,7 @@ pub struct RaceReport {
     /// The winner's result — the first lane to reach its fixed point, or
     /// the best partial result when none did (completion beats iteration
     /// cap beats resource exhaustion; ties go to the lane with more
-    /// iterations). `None` only when `engines` was empty.
+    /// iterations). `None` only when `lanes` was empty.
     ///
     /// The result crosses a thread boundary, so the fields that hold
     /// manager-owned state ([`ReachResult::reached_chi`] and
@@ -248,7 +327,7 @@ pub struct RaceReport {
     pub result: Option<ReachResult>,
     /// Index into `lanes` of the lane that produced [`RaceReport::result`].
     pub winner: Option<usize>,
-    /// One report per engine, in the order given.
+    /// One report per lane, in the order given.
     pub lanes: Vec<LaneReport>,
     /// Wall time of the whole race.
     pub elapsed: Duration,
@@ -312,6 +391,7 @@ impl LaneOpts {
 struct LaneMessage {
     lane: usize,
     engine: EngineKind,
+    repr: ReprKind,
     outcome: Option<Outcome>,
     iterations: usize,
     reached_states: Option<f64>,
@@ -331,7 +411,7 @@ struct LaneMessage {
 /// Runs one lane to completion (or cancellation) on the current thread.
 fn race_lane(
     lane: usize,
-    engine: EngineKind,
+    spec: Lane,
     net: &Netlist,
     order: OrderHeuristic,
     opts: LaneOpts,
@@ -339,9 +419,11 @@ fn race_lane(
     cancel: &Arc<AtomicBool>,
 ) -> LaneMessage {
     let start = Instant::now();
+    let Lane { engine, repr } = spec;
     let skipped = LaneMessage {
         lane,
         engine,
+        repr,
         outcome: None,
         iterations: 0,
         reached_states: None,
@@ -370,15 +452,19 @@ fn race_lane(
     let opts = opts.into_options();
     let (result, rounds) = match escalation {
         Some(policy) => {
-            let report = run_escalating(engine, &mut m, &fsm, &opts, policy);
+            let report = run_escalating_repr(engine, repr, &mut m, &fsm, &opts, policy);
             let n = report.rounds.len();
             (report.result, n)
         }
-        None => (run(engine, &mut m, &fsm, &opts), 1),
+        None => (run_repr(engine, repr, &mut m, &fsm, &opts), 1),
     };
-    // First fixed point wins; `swap` makes exactly one lane the winner
-    // even if two finish back-to-back.
-    let won = result.outcome == Outcome::FixedPoint && !cancel.swap(true, Ordering::AcqRel);
+    // First *exact* fixed point wins; `swap` makes exactly one lane the
+    // winner even if two finish back-to-back. An over-approximating lane
+    // finishing first proves nothing about the exact reached set, so it
+    // neither wins nor cancels the exact lanes still running.
+    let won = result.outcome == Outcome::FixedPoint
+        && !result.over_approx
+        && !cancel.swap(true, Ordering::AcqRel);
     // A loser whose run ended while the flag was up was (or would have
     // been) stopped by the race, not by its own budget.
     let cancelled =
@@ -390,6 +476,7 @@ fn race_lane(
     LaneMessage {
         lane,
         engine,
+        repr,
         outcome: Some(result.outcome),
         iterations: result.iterations,
         reached_states: result.reached_states,
@@ -416,27 +503,31 @@ fn outcome_rank(outcome: Option<Outcome>) -> u8 {
     }
 }
 
-/// Races `engines` on `net`: every engine traverses the same FSM (same
-/// netlist, same variable order) in its own worker thread with its own
-/// private [`BddManager`], and the first lane to reach the fixed point
-/// cancels the rest through the managers' cooperative deadline poll.
+/// Races `lanes` on `net`: every engine × representation lane traverses
+/// the same FSM (same netlist, same variable order) in its own worker
+/// thread with its own private [`BddManager`], and the first *exact* lane
+/// to reach the fixed point cancels the rest through the managers'
+/// cooperative deadline poll.
 ///
 /// The returned [`RaceReport`] carries the winning [`ReachResult`]
 /// (reached-state count, iterations, peak nodes — but not the reached
 /// set itself; see [`RaceReport::result`]) and a [`LaneReport`] per
-/// engine. Reached-state counts are deterministic: every lane converges
-/// to the same unique least fixed point, so whichever engine wins, the
-/// count matches a sequential run bit for bit.
+/// lane. Reached-state counts are deterministic: every exact lane
+/// converges to the same unique least fixed point, so whichever lane
+/// wins, the count matches a sequential run bit for bit.
+/// Over-approximating lanes ([`Lane::over_approximates`]) race for
+/// information only — their counts upper-bound the exact answer and
+/// their reports are flagged [`LaneReport::over_approx`].
 #[must_use]
 pub fn run_racing(
-    engines: &[EngineKind],
+    lanes: &[Lane],
     net: &Netlist,
     order: OrderHeuristic,
     opts: &ReachOptions,
     config: &RaceConfig,
 ) -> RaceReport {
     let start = Instant::now();
-    let n = engines.len();
+    let n = lanes.len();
     let jobs = if config.jobs == 0 {
         n
     } else {
@@ -459,12 +550,12 @@ pub fn run_racing(
                 // concurrency without dedicating a thread per engine.
                 loop {
                     let lane = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&engine) = engines.get(lane) else {
+                    let Some(&spec) = lanes.get(lane) else {
                         return;
                     };
                     let msg = race_lane(
                         lane,
-                        engine,
+                        spec,
                         net,
                         order,
                         lane_opts,
@@ -484,7 +575,8 @@ pub fn run_racing(
         }
     });
     // Winner: the lane that won the swap; otherwise the best-ranked
-    // partial result (most iterations, then lowest lane index).
+    // partial result (exact lanes before over-approximating ones, then
+    // most iterations, then lowest lane index).
     let winner = messages
         .iter()
         .enumerate()
@@ -492,13 +584,14 @@ pub fn run_racing(
         .min_by_key(|(i, m)| {
             (
                 !m.won,
+                m.repr.over_approximates(),
                 outcome_rank(m.outcome),
                 std::cmp::Reverse(m.iterations),
                 *i,
             )
         })
         .map(|(i, _)| i);
-    let mut lanes = Vec::with_capacity(n);
+    let mut reports = Vec::with_capacity(n);
     let mut result = None;
     for (i, slot) in messages.into_iter().enumerate() {
         // Every spawned lane sends exactly one message, so the slot is
@@ -506,7 +599,8 @@ pub fn run_racing(
         // a skipped report instead of poisoning the race.
         let mut msg = slot.unwrap_or(LaneMessage {
             lane: i,
-            engine: engines[i],
+            engine: lanes[i].engine,
+            repr: lanes[i].repr,
             outcome: None,
             iterations: 0,
             reached_states: None,
@@ -528,14 +622,16 @@ pub fn run_racing(
             let mut t = trace.borrow_mut();
             t.ingest(i as u64, std::mem::take(&mut msg.events));
             if msg.cancelled {
-                t.cancel(msg.engine.label());
+                t.cancel(lane_label(msg.engine, msg.repr));
             }
             if winner == Some(i) {
-                t.winner(msg.engine.label());
+                t.winner(lane_label(msg.engine, msg.repr));
             }
         }
-        lanes.push(LaneReport {
+        reports.push(LaneReport {
             engine: msg.engine,
+            repr: msg.repr,
+            over_approx: msg.repr.over_approximates(),
             outcome: msg.outcome,
             iterations: msg.iterations,
             reached_states: msg.reached_states,
@@ -548,6 +644,8 @@ pub fn run_racing(
         if winner == Some(i) {
             result = Some(ReachResult {
                 engine: msg.engine,
+                repr: msg.repr,
+                over_approx: msg.repr.over_approximates(),
                 outcome: msg.outcome.unwrap_or(Outcome::Error),
                 iterations: msg.iterations,
                 reached_states: msg.reached_states,
@@ -564,7 +662,7 @@ pub fn run_racing(
     RaceReport {
         result,
         winner,
-        lanes,
+        lanes: reports,
         elapsed: start.elapsed(),
     }
 }
@@ -572,6 +670,7 @@ pub fn run_racing(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run;
     use bfvr_netlist::generators;
     use bfvr_sim::{EncodedFsm, OrderHeuristic};
 

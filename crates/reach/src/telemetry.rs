@@ -16,8 +16,9 @@ use bfvr_bdd::BddManager;
 use bfvr_obs::{Counters, IterRecord, LimitKind, SpanId, SpanKind, Tracer};
 use bfvr_sim::EncodedFsm;
 
-use crate::common::{IterMetrics, IterationView, Outcome, ReachOptions, ReachResult, SetView};
+use crate::common::{lane_label, IterMetrics, IterationView, Outcome, ReachOptions, ReachResult};
 use crate::EngineKind;
+use bfvr_setrepr::SetView;
 
 /// A shared handle to a [`Tracer`], as carried by
 /// [`ReachOptions::trace`](crate::ReachOptions::trace).
@@ -120,6 +121,15 @@ pub(crate) fn view_sizes(m: &BddManager, set: &SetView<'_>) -> (usize, usize) {
         SetView::Chi { reached, from } => (m.size(*reached), m.size(*from)),
         SetView::Vector { reached, from } => (reached.shared_size(m), from.shared_size(m)),
         SetView::Cdec { reached, from } => (reached.shared_size(m), from.shared_size(m)),
+        // ZDD sets live in the lane-private store; report its node
+        // counts so traces still show representation growth.
+        SetView::Zdd {
+            store,
+            reached,
+            from,
+        } => (store.size(*reached), store.size(*from)),
+        // Zonotopes have no node graph: generator rows + center.
+        SetView::Zonotope { reached, from } => (reached.rank() + 1, from.rank() + 1),
     }
 }
 
@@ -134,6 +144,10 @@ pub(crate) fn view_states(m: &BddManager, fsm: &EncodedFsm, set: &SetView<'_>) -
     match set {
         SetView::Chi { reached, .. } => Some(crate::cf::count_states(m, fsm, *reached)),
         SetView::Vector { .. } | SetView::Cdec { .. } => None,
+        // Counting a ZDD family or a zonotope is a read-only walk of
+        // lane-private (non-manager) state: free to report.
+        SetView::Zdd { store, reached, .. } => Some(store.count(*reached)),
+        SetView::Zonotope { reached, .. } => Some(reached.count()),
     }
 }
 
@@ -147,7 +161,7 @@ pub(crate) fn iter_record(
 ) -> IterRecord {
     let (reached_nodes, frontier_nodes) = view_sizes(m, &view.set);
     IterRecord {
-        engine: Cow::Borrowed(view.engine.label()),
+        engine: Cow::Borrowed(lane_label(view.engine, view.repr)),
         iteration: view.iteration as u64,
         dur_us: metrics.elapsed.as_micros() as u64,
         frontier_nodes: frontier_nodes as u64,
@@ -195,8 +209,9 @@ pub(crate) fn engine_span_close(
     if let Some(id) = span {
         t.close_span(id, &counters_of(m));
     }
+    let lane = lane_label(r.engine, r.repr);
     t.engine_end(
-        r.engine.label(),
+        lane,
         r.outcome.label(),
         r.iterations as u64,
         r.reached_states,
@@ -204,8 +219,8 @@ pub(crate) fn engine_span_close(
         r.elapsed.as_micros() as u64,
     );
     match r.outcome {
-        Outcome::MemOut => t.limit(r.engine.label(), LimitKind::NodeLimit, r.iterations as u64),
-        Outcome::TimeOut => t.limit(r.engine.label(), LimitKind::Deadline, r.iterations as u64),
+        Outcome::MemOut => t.limit(lane, LimitKind::NodeLimit, r.iterations as u64),
+        Outcome::TimeOut => t.limit(lane, LimitKind::Deadline, r.iterations as u64),
         _ => {}
     }
 }

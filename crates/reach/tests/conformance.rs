@@ -1,0 +1,180 @@
+//! Shared [`SetRepr`] trait-conformance suite, run against every backend.
+//!
+//! These are the laws the trait contract documents (see
+//! `bfvr-setrepr::SetRepr`): empty/universe import laws, union
+//! idempotence and commutativity, image-of-empty, the `to_chi ∘
+//! from_chi` round-trip (identity for exact backends, containment for
+//! over-approximating ones), and checkpoint → restore equivalence. One
+//! generic checker, instantiated per backend, so a new representation
+//! inherits the whole battery by construction.
+
+use bfvr_bdd::{Bdd, BddManager};
+use bfvr_netlist::{circuits, generators, Netlist};
+use bfvr_reach::backends::{BfvBackend, CdecBackend, ChiBackend, ZddBackend, ZonotopeBackend};
+use bfvr_reach::{ReprCheckpoint, ReprKind, SetRepr};
+use bfvr_setrepr::Zonotope;
+use bfvr_sim::{EncodedFsm, OrderHeuristic};
+
+const ORDER: OrderHeuristic = OrderHeuristic::DfsFanin;
+
+fn circuits_under_test() -> Vec<Netlist> {
+    vec![circuits::s27(), generators::counter(4), generators::lfsr(5)]
+}
+
+/// Runs every law against one backend over one encoded FSM.
+fn check_laws<B: SetRepr>(mut backend: B, m: &mut BddManager, fsm: &EncodedFsm, name: &str) {
+    backend
+        .prepare(m)
+        .unwrap_or_else(|e| panic!("{name}: prepare: {e}"));
+
+    // --- initial set and union idempotence -------------------------------
+    let init = backend.initial(m).unwrap();
+    let uu = backend.union(m, &init, &init).unwrap();
+    assert!(
+        backend.set_eq(m, &uu, &init),
+        "{name}: union(s, s) != s (idempotence)"
+    );
+
+    // --- union commutativity (up to set_eq) ------------------------------
+    let img = backend.image(m, &init).unwrap();
+    let ab = backend.union(m, &init, &img).unwrap();
+    let ba = backend.union(m, &img, &init).unwrap();
+    assert!(
+        backend.set_eq(m, &ab, &ba),
+        "{name}: union(a, b) != union(b, a)"
+    );
+
+    // --- universe law ----------------------------------------------------
+    // ⊤ is representable in every backend (the universe is an affine
+    // subspace, so even the zonotope hull is exact on it).
+    let top = backend
+        .from_chi(m, Bdd::TRUE)
+        .unwrap()
+        .unwrap_or_else(|| panic!("{name}: from_chi(⊤) must be representable"));
+    let top_chi = backend.to_chi(m, &top).unwrap();
+    assert!(top_chi.is_true(), "{name}: to_chi(from_chi(⊤)) != ⊤");
+    if let Some(states) = backend.count_states(m, &top) {
+        let n = fsm.num_latches() as f64;
+        assert_eq!(states, 2f64.powf(n), "{name}: |⊤| != 2^n");
+    }
+
+    // --- empty law and image-of-empty ------------------------------------
+    // ⊥ has no functional vector, decomposition or affine hull; backends
+    // either refuse it (None) or must round-trip it exactly and map it
+    // to an empty image.
+    match backend.from_chi(m, Bdd::FALSE).unwrap() {
+        None => {} // unrepresentable: the documented escape
+        Some(empty) => {
+            let empty_chi = backend.to_chi(m, &empty).unwrap();
+            assert!(empty_chi.is_false(), "{name}: to_chi(from_chi(⊥)) != ⊥");
+            if let Some(states) = backend.count_states(m, &empty) {
+                assert_eq!(states, 0.0, "{name}: |⊥| != 0");
+            }
+            let img_empty = backend.image(m, &empty).unwrap();
+            let img_chi = backend.to_chi(m, &img_empty).unwrap();
+            assert!(img_chi.is_false(), "{name}: image(∅) != ∅");
+        }
+    }
+
+    // --- to_chi ∘ from_chi round-trip on a reachable set ------------------
+    let reached = backend.union(m, &init, &img).unwrap();
+    let chi = backend.to_chi(m, &reached).unwrap();
+    let back = backend
+        .from_chi(m, chi)
+        .unwrap()
+        .unwrap_or_else(|| panic!("{name}: from_chi of a non-empty set returned None"));
+    let chi2 = backend.to_chi(m, &back).unwrap();
+    if backend.over_approximates() {
+        // Containment: nothing of χ escapes its own re-import.
+        let not_chi2 = m.not(chi2);
+        let escapes = m.and(chi, not_chi2).unwrap();
+        assert!(
+            escapes.is_false(),
+            "{name}: from_chi does not contain its χ"
+        );
+    } else {
+        assert!(chi2 == chi, "{name}: to_chi ∘ from_chi != id");
+    }
+
+    // --- checkpoint → restore equivalence --------------------------------
+    let cp = backend.checkpoint(m, &reached, &img).unwrap();
+    let (r2, f2) = backend
+        .restore(m, &cp)
+        .unwrap()
+        .unwrap_or_else(|| panic!("{name}: restore rejected its own checkpoint"));
+    assert!(
+        backend.set_eq(m, &r2, &reached),
+        "{name}: restored reached set differs"
+    );
+    assert!(
+        backend.set_eq(m, &f2, &img),
+        "{name}: restored from set differs"
+    );
+
+    // A checkpoint from a different representation shape must be
+    // rejected with Ok(None), not misinterpreted.
+    if backend.kind() != ReprKind::Zonotope {
+        let zeros = vec![false; fsm.num_latches()];
+        let foreign = ReprCheckpoint::Zonotope {
+            reached: Zonotope::point(&zeros),
+            from: Zonotope::point(&zeros),
+        };
+        assert!(
+            backend.restore(m, &foreign).unwrap().is_none(),
+            "{name}: restore accepted a foreign checkpoint shape"
+        );
+    }
+}
+
+/// Instantiates the battery for every backend over every test circuit.
+#[test]
+fn every_backend_satisfies_the_setrepr_laws() {
+    for net in circuits_under_test() {
+        {
+            let (mut m, fsm) = EncodedFsm::encode(&net, ORDER).unwrap();
+            check_laws(ChiBackend::monolithic(&fsm), &mut m, &fsm, "chi/mono");
+        }
+        {
+            let (mut m, fsm) = EncodedFsm::encode(&net, ORDER).unwrap();
+            check_laws(ChiBackend::cbm(&fsm), &mut m, &fsm, "chi/cbm");
+        }
+        {
+            let (mut m, fsm) = EncodedFsm::encode(&net, ORDER).unwrap();
+            check_laws(ChiBackend::iwls95(&fsm, 100), &mut m, &fsm, "chi/iwls95");
+        }
+        {
+            let (mut m, fsm) = EncodedFsm::encode(&net, ORDER).unwrap();
+            check_laws(ZddBackend::monolithic(&fsm), &mut m, &fsm, "zdd/mono");
+        }
+        {
+            let (mut m, fsm) = EncodedFsm::encode(&net, ORDER).unwrap();
+            check_laws(ZddBackend::cbm(&fsm), &mut m, &fsm, "zdd/cbm");
+        }
+        {
+            let (mut m, fsm) = EncodedFsm::encode(&net, ORDER).unwrap();
+            check_laws(ZddBackend::iwls95(&fsm, 100), &mut m, &fsm, "zdd/iwls95");
+        }
+        {
+            let (mut m, fsm) = EncodedFsm::encode(&net, ORDER).unwrap();
+            check_laws(
+                BfvBackend::new(&fsm, Default::default()),
+                &mut m,
+                &fsm,
+                "bfv",
+            );
+        }
+        {
+            let (mut m, fsm) = EncodedFsm::encode(&net, ORDER).unwrap();
+            check_laws(
+                CdecBackend::new(&fsm, Default::default()),
+                &mut m,
+                &fsm,
+                "cdec",
+            );
+        }
+        {
+            let (mut m, fsm) = EncodedFsm::encode(&net, ORDER).unwrap();
+            check_laws(ZonotopeBackend::new(&fsm), &mut m, &fsm, "zono");
+        }
+    }
+}

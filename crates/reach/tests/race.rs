@@ -1,12 +1,12 @@
 //! Race-determinism regression: `run_racing` must return bit-identical
-//! reached-state counts to sequential runs of the same engine set, and a
+//! reached-state counts to sequential runs of the same lane set, and a
 //! losing lane's cancellation must never surface as [`Outcome::Error`].
 
 use std::time::Duration;
 
 use bfvr_netlist::{circuits, generators, Netlist};
-use bfvr_reach::portfolio::{run_racing, EscalationPolicy, RaceConfig};
-use bfvr_reach::{run, EngineKind, Outcome, ReachOptions};
+use bfvr_reach::portfolio::{run_racing, EscalationPolicy, Lane, RaceConfig};
+use bfvr_reach::{run, EngineKind, Outcome, ReachOptions, ReprKind};
 use bfvr_sim::{EncodedFsm, OrderHeuristic};
 
 const ORDER: OrderHeuristic = OrderHeuristic::DfsFanin;
@@ -28,21 +28,24 @@ fn sequential_count(net: &Netlist, engine: EngineKind, opts: &ReachOptions) -> f
 
 #[test]
 fn racing_matches_sequential_counts_on_three_circuits() {
-    let engines = [EngineKind::Iwls95, EngineKind::Bfv];
+    let lanes = [
+        Lane::native(EngineKind::Iwls95),
+        Lane::native(EngineKind::Bfv),
+    ];
     let opts = ReachOptions::default();
     for (name, net) in bundled_circuits() {
         // Every engine, run alone, converges to the same unique least
         // fixed point...
-        let counts: Vec<f64> = engines
+        let counts: Vec<f64> = lanes
             .iter()
-            .map(|&e| sequential_count(&net, e, &opts))
+            .map(|&l| sequential_count(&net, l.engine, &opts))
             .collect();
         assert!(
             counts.iter().all(|c| c.to_bits() == counts[0].to_bits()),
             "{name}: engines disagree sequentially: {counts:?}"
         );
         // ...so whichever lane wins the race, the count is bit-identical.
-        let report = run_racing(&engines, &net, ORDER, &opts, &RaceConfig::default());
+        let report = run_racing(&lanes, &net, ORDER, &opts, &RaceConfig::default());
         let result = report.result.expect("non-empty race has a result");
         assert_eq!(result.outcome, Outcome::FixedPoint, "{name}");
         assert_eq!(
@@ -50,7 +53,7 @@ fn racing_matches_sequential_counts_on_three_circuits() {
             counts[0].to_bits(),
             "{name}: race count diverges from sequential"
         );
-        assert_eq!(report.lanes.len(), engines.len());
+        assert_eq!(report.lanes.len(), lanes.len());
         let winner = report.winner.expect("completed race names a winner");
         assert_eq!(report.lanes[winner].engine, result.engine);
         assert_eq!(report.lanes[winner].outcome, Some(Outcome::FixedPoint));
@@ -60,14 +63,14 @@ fn racing_matches_sequential_counts_on_three_circuits() {
 
 #[test]
 fn losing_lanes_are_cancelled_not_errored() {
-    // All five engines on one circuit: exactly one lane wins, and every
-    // other lane either also completed (finished before the cancel poll
-    // caught it) or was cancelled — reported as `T.O.`, never `ERR`.
+    // All five native lanes on one circuit: exactly one lane wins, and
+    // every other lane either also completed (finished before the cancel
+    // poll caught it) or was cancelled — reported as `T.O.`, never `ERR`.
     let net = generators::queue_controller(4);
     let opts = ReachOptions::default();
     for _ in 0..3 {
         let report = run_racing(
-            &EngineKind::all(),
+            &Lane::native_lanes(),
             &net,
             ORDER,
             &opts,
@@ -102,17 +105,61 @@ fn losing_lanes_are_cancelled_not_errored() {
 }
 
 #[test]
+fn full_lane_matrix_races_new_representations() {
+    // The widened portfolio: engine × representation, including the ZDD
+    // and zonotope lanes. The winner must be an exact lane with the exact
+    // count; zonotope lanes report a flagged upper bound.
+    let net = circuits::s27();
+    let opts = ReachOptions::default();
+    let lanes = Lane::all_lanes();
+    assert!(
+        lanes.iter().filter(|l| l.repr == ReprKind::Zdd).count() >= 3,
+        "expected ZDD lanes in the matrix"
+    );
+    assert!(
+        lanes.iter().any(|l| l.repr == ReprKind::Zonotope),
+        "expected a zonotope lane in the matrix"
+    );
+    let exact = sequential_count(&net, EngineKind::Bfv, &opts);
+    let report = run_racing(&lanes, &net, ORDER, &opts, &RaceConfig::default());
+    let result = report.result.expect("race result");
+    assert_eq!(result.outcome, Outcome::FixedPoint);
+    assert!(
+        !result.over_approx,
+        "an over-approximating lane must not win"
+    );
+    assert_eq!(result.reached_states.unwrap().to_bits(), exact.to_bits());
+    for lane in &report.lanes {
+        assert_eq!(lane.over_approx, lane.repr.over_approximates());
+        if lane.outcome == Some(Outcome::FixedPoint) {
+            if let Some(states) = lane.reached_states {
+                if lane.over_approx {
+                    // Upper bound: never undercounts the exact answer.
+                    assert!(states >= exact, "{lane:?} undercounts");
+                } else {
+                    assert_eq!(states.to_bits(), exact.to_bits(), "{lane:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn jobs_cap_serializes_the_race_deterministically() {
     // With one worker thread the lanes run strictly in order, so the
-    // first engine wins and the remaining lanes are skipped outright.
+    // first lane wins and the remaining lanes are skipped outright.
     let net = circuits::s27();
     let opts = ReachOptions::default();
     let config = RaceConfig {
         jobs: 1,
         escalation: None,
     };
-    let engines = [EngineKind::Bfv, EngineKind::Monolithic, EngineKind::Cbm];
-    let report = run_racing(&engines, &net, ORDER, &opts, &config);
+    let lanes = [
+        Lane::native(EngineKind::Bfv),
+        Lane::native(EngineKind::Monolithic),
+        Lane::native(EngineKind::Cbm),
+    ];
+    let report = run_racing(&lanes, &net, ORDER, &opts, &config);
     assert_eq!(report.winner, Some(0));
     let result = report.result.unwrap();
     assert_eq!(result.engine, EngineKind::Bfv);
@@ -142,8 +189,11 @@ fn race_composes_with_escalation() {
         jobs: 0,
         escalation: Some(EscalationPolicy::default()),
     };
-    let engines = [EngineKind::Monolithic, EngineKind::Bfv];
-    let report = run_racing(&engines, &net, ORDER, &opts, &config);
+    let lanes = [
+        Lane::native(EngineKind::Monolithic),
+        Lane::native(EngineKind::Bfv),
+    ];
+    let report = run_racing(&lanes, &net, ORDER, &opts, &config);
     let result = report.result.expect("race result");
     assert_eq!(
         result.outcome,
@@ -160,7 +210,7 @@ fn race_composes_with_escalation() {
 }
 
 #[test]
-fn empty_engine_list_yields_empty_report() {
+fn empty_lane_list_yields_empty_report() {
     let net = circuits::s27();
     let report = run_racing(
         &[],
@@ -184,7 +234,10 @@ fn cancelled_lane_under_a_real_deadline_still_reports_timeout() {
         ..Default::default()
     };
     let report = run_racing(
-        &[EngineKind::Cbm, EngineKind::Monolithic],
+        &[
+            Lane::native(EngineKind::Cbm),
+            Lane::native(EngineKind::Monolithic),
+        ],
         &net,
         ORDER,
         &opts,

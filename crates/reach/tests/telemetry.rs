@@ -9,7 +9,7 @@ use std::rc::Rc;
 use bfvr_bdd::FaultPlan;
 use bfvr_netlist::generators;
 use bfvr_obs::{Event, EventKind, JsonlSink, LimitKind, SpanKind, Tracer};
-use bfvr_reach::portfolio::{run_escalating, run_racing, EscalationPolicy, RaceConfig};
+use bfvr_reach::portfolio::{run_escalating, run_racing, EscalationPolicy, Lane, RaceConfig};
 use bfvr_reach::telemetry::trace_handle;
 use bfvr_reach::{run, EngineKind, Outcome, ReachOptions, ReachResult};
 use bfvr_sim::{EncodedFsm, OrderHeuristic};
@@ -284,7 +284,7 @@ fn jsonl_stream_from_a_real_run_round_trips() {
 #[test]
 fn raced_trace_has_one_winner_and_cancels_the_rest() {
     let net = generators::queue_controller(4);
-    let engines = EngineKind::all();
+    let lanes = Lane::native_lanes();
     let trace = trace_handle(Tracer::collector(8));
     let opts = ReachOptions {
         trace: Some(trace.clone()),
@@ -294,7 +294,7 @@ fn raced_trace_has_one_winner_and_cancels_the_rest() {
         jobs: 1,
         ..RaceConfig::default()
     };
-    let report = run_racing(&engines, &net, ORDER, &opts, &config);
+    let report = run_racing(&lanes, &net, ORDER, &opts, &config);
     assert!(report.result.is_some());
 
     let events = trace.borrow_mut().drain();
@@ -307,7 +307,7 @@ fn raced_trace_has_one_winner_and_cancels_the_rest() {
         .filter(|e| matches!(e.kind, EventKind::Cancel { .. }))
         .collect();
     assert_eq!(winners.len(), 1, "exactly one winner");
-    assert_eq!(cancels.len(), engines.len() - 1, "N-1 cancels");
+    assert_eq!(cancels.len(), lanes.len() - 1, "N-1 cancels");
     // Driver verdicts ride the main stream; engine activity is lane-tagged.
     assert!(winners[0].lane.is_none() && cancels.iter().all(|e| e.lane.is_none()));
     assert!(events

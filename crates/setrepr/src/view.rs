@@ -1,0 +1,56 @@
+//! Borrowed per-iteration views of a backend's live representation.
+
+use crate::zonotope::Zonotope;
+use bfvr_bdd::zdd::{Zdd, ZddStore};
+use bfvr_bdd::Bdd;
+use bfvr_bfv::cdec::CDec;
+use bfvr_bfv::Bfv;
+
+/// A backend's set representation at one fixed-point iteration, borrowed
+/// for the duration of an observer callback.
+///
+/// Each variant is the representation the backend *actually* iterates
+/// on — no conversion is performed to build a view, so observing is free
+/// for the engine (the observer itself may of course convert).
+#[derive(Clone, Copy, Debug)]
+pub enum SetView<'a> {
+    /// χ-based backends (monolithic, CBM, IWLS95): characteristic
+    /// functions over the current-state variables.
+    Chi {
+        /// States reached so far.
+        reached: Bdd,
+        /// Start set of the next iteration.
+        from: Bdd,
+    },
+    /// The BFV backend: canonical Boolean functional vectors.
+    Vector {
+        /// Reached-set vector.
+        reached: &'a Bfv,
+        /// From-set vector.
+        from: &'a Bfv,
+    },
+    /// The CDEC backend: conjunctive decomposition + from vector.
+    Cdec {
+        /// Reached set as McMillan's conjunctive decomposition.
+        reached: &'a CDec,
+        /// From-set vector.
+        from: &'a Bfv,
+    },
+    /// The ZDD backend: zero-suppressed families in a lane-private store.
+    Zdd {
+        /// The store owning both families.
+        store: &'a ZddStore,
+        /// States reached so far.
+        reached: Zdd,
+        /// Start set of the next iteration.
+        from: Zdd,
+    },
+    /// The logical-zonotope backend: GF(2) affine subspaces
+    /// (over-approximating).
+    Zonotope {
+        /// Hull of the states reached so far.
+        reached: &'a Zonotope,
+        /// Hull of the start set of the next iteration.
+        from: &'a Zonotope,
+    },
+}

@@ -1,0 +1,691 @@
+//! Logical zonotopes: GF(2) affine subspaces as an over-approximating
+//! set representation (Alanwar et al., *Logical Zonotopes*).
+//!
+//! A [`Zonotope`] is the affine subspace `{ c ⊕ Σ εⱼ·gⱼ : εⱼ ∈ {0,1} }`
+//! of the state space GF(2)ⁿ: a center point `c` plus a generator set
+//! `G`. Kept in reduced row-echelon form with the center reduced by the
+//! pivots, the pair is *canonical* — structural equality is set
+//! equality, so the fixed-point test is allocation-free.
+//!
+//! The algebra is closed and polynomial:
+//!
+//! * **XOR** of two zonotopes is exact (Minkowski sum of affine sets);
+//! * **union** is the affine [`Zonotope::join`] — the smallest affine
+//!   subspace containing both operands, an over-approximation;
+//! * **AND** has no closed form, so the [`AffineEvaluator`] introduces a
+//!   fresh noise generator per distinct product — sound because for any
+//!   valuation of the existing generators the fresh one can be chosen to
+//!   match the true product value, hence the result set contains every
+//!   exact image point;
+//! * the rank bounds everything: a chain of joins strictly grows the
+//!   rank or reaches a fixpoint, so reachability converges in at most
+//!   `n + 1` iterations.
+
+use bfvr_bdd::hash::FxHashMap;
+use bfvr_bdd::{Bdd, BddError, BddManager, Var};
+
+fn words(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+fn get_bit(row: &[u64], i: usize) -> bool {
+    (row[i / 64] >> (i % 64)) & 1 == 1
+}
+
+fn set_bit(row: &mut [u64], i: usize) {
+    row[i / 64] |= 1u64 << (i % 64);
+}
+
+fn xor_into(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= s;
+    }
+}
+
+fn is_zero(row: &[u64]) -> bool {
+    row.iter().all(|&w| w == 0)
+}
+
+fn leading_bit(row: &[u64]) -> Option<usize> {
+    row.iter()
+        .enumerate()
+        .find(|(_, &w)| w != 0)
+        .map(|(i, &w)| i * 64 + w.trailing_zeros() as usize)
+}
+
+fn parity_and(a: &[u64], b: &[u64]) -> bool {
+    a.iter()
+        .zip(b.iter())
+        .fold(0u32, |acc, (&x, &y)| acc ^ (x & y).count_ones())
+        & 1
+        == 1
+}
+
+/// A GF(2) affine subspace `c ⊕ span(G)` over `n` state bits, kept
+/// canonical (generators in reduced row-echelon form, center reduced by
+/// the pivots) so `==` is set equality.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Zonotope {
+    n: usize,
+    center: Vec<u64>,
+    gens: Vec<Vec<u64>>,
+}
+
+impl Zonotope {
+    /// The singleton {point}.
+    #[must_use]
+    pub fn point(bits: &[bool]) -> Zonotope {
+        let n = bits.len();
+        let mut center = vec![0u64; words(n)];
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                set_bit(&mut center, i);
+            }
+        }
+        Zonotope {
+            n,
+            center,
+            gens: Vec::new(),
+        }
+    }
+
+    /// The full space GF(2)ⁿ.
+    #[must_use]
+    pub fn universe(n: usize) -> Zonotope {
+        let gens = (0..n)
+            .map(|i| {
+                let mut g = vec![0u64; words(n)];
+                set_bit(&mut g, i);
+                g
+            })
+            .collect();
+        Zonotope {
+            n,
+            center: vec![0u64; words(n)],
+            gens,
+        }
+    }
+
+    /// Builds from raw center/generator rows and canonicalizes.
+    fn from_raw(n: usize, center: Vec<u64>, gens: Vec<Vec<u64>>) -> Zonotope {
+        let mut z = Zonotope { n, center, gens };
+        z.canonicalize();
+        z
+    }
+
+    /// Number of state bits.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.n
+    }
+
+    /// Dimension of the subspace (number of independent generators).
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.gens.len()
+    }
+
+    /// Exact member count: `2^rank`.
+    #[must_use]
+    pub fn count(&self) -> f64 {
+        (self.rank() as f64).exp2()
+    }
+
+    /// Gaussian elimination to RREF plus center reduction; establishes
+    /// the canonical-form invariant `==` relies on.
+    fn canonicalize(&mut self) {
+        self.gens.retain(|g| !is_zero(g));
+        let mut r = 0usize;
+        for c in 0..self.n {
+            let Some(i) = (r..self.gens.len()).find(|&i| get_bit(&self.gens[i], c)) else {
+                continue;
+            };
+            self.gens.swap(r, i);
+            let row = self.gens[r].clone();
+            for (j, g) in self.gens.iter_mut().enumerate() {
+                if j != r && get_bit(g, c) {
+                    xor_into(g, &row);
+                }
+            }
+            r += 1;
+        }
+        self.gens.truncate(r);
+        for g in &self.gens {
+            if let Some(c) = leading_bit(g) {
+                if get_bit(&self.center, c) {
+                    let g = g.clone();
+                    xor_into(&mut self.center, &g);
+                }
+            }
+        }
+    }
+
+    /// Reduces `v` by the (RREF) generators; the remainder is zero iff
+    /// `v` lies in the span.
+    fn reduce(&self, mut v: Vec<u64>) -> Vec<u64> {
+        for g in &self.gens {
+            if let Some(c) = leading_bit(g) {
+                if get_bit(&v, c) {
+                    xor_into(&mut v, g);
+                }
+            }
+        }
+        v
+    }
+
+    /// Membership test for a concrete state.
+    #[must_use]
+    pub fn contains_point(&self, bits: &[bool]) -> bool {
+        debug_assert_eq!(bits.len(), self.n);
+        let mut diff = vec![0u64; words(self.n)];
+        for (i, &b) in bits.iter().enumerate() {
+            if b != get_bit(&self.center, i) {
+                set_bit(&mut diff, i);
+            }
+        }
+        is_zero(&self.reduce(diff))
+    }
+
+    /// Subset test: every generator of `self` in `other`'s span and the
+    /// center difference in `other`'s span.
+    #[must_use]
+    pub fn is_subset(&self, other: &Zonotope) -> bool {
+        debug_assert_eq!(self.n, other.n);
+        let mut diff = self.center.clone();
+        xor_into(&mut diff, &other.center);
+        if !is_zero(&other.reduce(diff)) {
+            return false;
+        }
+        self.gens.iter().all(|g| is_zero(&other.reduce(g.clone())))
+    }
+
+    /// The affine join: the smallest affine subspace containing both
+    /// operands (the backend's over-approximating union).
+    #[must_use]
+    pub fn join(&self, other: &Zonotope) -> Zonotope {
+        debug_assert_eq!(self.n, other.n);
+        let mut gens = self.gens.clone();
+        gens.extend(other.gens.iter().cloned());
+        let mut diff = self.center.clone();
+        xor_into(&mut diff, &other.center);
+        gens.push(diff);
+        Zonotope::from_raw(self.n, self.center.clone(), gens)
+    }
+
+    /// The affine form of state bit `i` over this zonotope's generators
+    /// (for seeding an [`AffineEvaluator`]).
+    #[must_use]
+    pub fn bit_form(&self, i: usize) -> AffineForm {
+        let mut f = AffineForm::constant(get_bit(&self.center, i));
+        for (j, g) in self.gens.iter().enumerate() {
+            if get_bit(g, i) {
+                f.flip_gen(j);
+            }
+        }
+        f
+    }
+
+    /// Assembles the image zonotope from one evaluated affine form per
+    /// state bit, over `gen_count` generators (the evaluator's total,
+    /// including noise generators minted for AND nodes).
+    #[must_use]
+    pub fn from_forms(forms: &[AffineForm], gen_count: usize) -> Zonotope {
+        let n = forms.len();
+        let mut center = vec![0u64; words(n)];
+        let mut gens = vec![vec![0u64; words(n)]; gen_count];
+        for (i, f) in forms.iter().enumerate() {
+            if f.constant_term() {
+                set_bit(&mut center, i);
+            }
+            for (j, g) in gens.iter_mut().enumerate() {
+                if f.gen_coeff(j) {
+                    set_bit(g, i);
+                }
+            }
+        }
+        Zonotope::from_raw(n, center, gens)
+    }
+
+    /// Canonicalizes into a characteristic function over `vars` (state
+    /// bit `i` ↔ `vars[i]`): the conjunction of the parity constraints
+    /// cutting out the affine subspace.
+    ///
+    /// # Errors
+    ///
+    /// Resource limits tripped while building the constraint BDDs.
+    pub fn to_chi(&self, m: &mut BddManager, vars: &[Var]) -> Result<Bdd, BddError> {
+        debug_assert_eq!(vars.len(), self.n);
+        // Orthogonal-complement basis: one parity check per non-pivot
+        // column q, with support {q} ∪ {pivot pᵢ : genᵢ has bit q}.
+        let pivots: Vec<usize> = self.gens.iter().filter_map(|g| leading_bit(g)).collect();
+        let mut is_pivot = vec![false; self.n];
+        for &p in &pivots {
+            is_pivot[p] = true;
+        }
+        let mut chi = Bdd::TRUE;
+        for (q, _) in is_pivot.iter().enumerate().filter(|&(_, &piv)| !piv) {
+            let mut h = vec![0u64; words(self.n)];
+            set_bit(&mut h, q);
+            for (i, g) in self.gens.iter().enumerate() {
+                if get_bit(g, q) {
+                    set_bit(&mut h, pivots[i]);
+                }
+            }
+            let mut chain = Bdd::FALSE;
+            for (k, &v) in vars.iter().enumerate() {
+                if get_bit(&h, k) {
+                    let lit = m.var(v);
+                    chain = m.xor(chain, lit)?;
+                }
+            }
+            if !parity_and(&h, &self.center) {
+                chain = m.not(chain);
+            }
+            chi = m.and(chi, chain)?;
+        }
+        Ok(chi)
+    }
+
+    /// The affine hull of a characteristic function: joins the hull of
+    /// each satisfying path cube (fixed bits → center, don't-cares →
+    /// unit generators). Sound for any χ; falls back to the universe
+    /// hull after `cube_cap` cubes to bound the enumeration. Returns
+    /// `None` for χ = ⊥ (the empty set has no affine hull).
+    #[must_use]
+    pub fn hull_of_chi(
+        m: &BddManager,
+        chi: Bdd,
+        vars: &[Var],
+        cube_cap: usize,
+    ) -> Option<Zonotope> {
+        if chi.is_false() {
+            return None;
+        }
+        let n = vars.len();
+        let mut hull: Option<Zonotope> = None;
+        for (seen, cube) in m.cubes(chi, m.num_vars()).enumerate() {
+            if seen >= cube_cap {
+                return Some(Zonotope::universe(n));
+            }
+            let mut center = vec![0u64; words(n)];
+            let mut gens = Vec::new();
+            for (i, &v) in vars.iter().enumerate() {
+                match cube[v.0 as usize] {
+                    Some(true) => set_bit(&mut center, i),
+                    Some(false) => {}
+                    None => {
+                        let mut g = vec![0u64; words(n)];
+                        set_bit(&mut g, i);
+                        gens.push(g);
+                    }
+                }
+            }
+            let z = Zonotope::from_raw(n, center, gens);
+            hull = Some(match hull {
+                Some(h) => h.join(&z),
+                None => z,
+            });
+        }
+        hull
+    }
+}
+
+/// A GF(2) affine form `b₀ ⊕ Σ bⱼ₊₁·εⱼ`: bit 0 is the constant term,
+/// bit `j + 1` the coefficient of generator `εⱼ`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AffineForm {
+    bits: Vec<u64>,
+}
+
+impl AffineForm {
+    fn constant(b: bool) -> AffineForm {
+        AffineForm {
+            bits: vec![u64::from(b)],
+        }
+    }
+
+    fn generator(j: usize) -> AffineForm {
+        let mut f = AffineForm::constant(false);
+        f.flip_gen(j);
+        f
+    }
+
+    /// The constant term `b₀`.
+    #[must_use]
+    pub fn constant_term(&self) -> bool {
+        self.bits.first().is_some_and(|&w| w & 1 == 1)
+    }
+
+    /// Coefficient of generator `εⱼ`.
+    #[must_use]
+    pub fn gen_coeff(&self, j: usize) -> bool {
+        let bit = j + 1;
+        bit / 64 < self.bits.len() && get_bit(&self.bits, bit)
+    }
+
+    fn flip_gen(&mut self, j: usize) {
+        let bit = j + 1;
+        if bit / 64 >= self.bits.len() {
+            self.bits.resize(bit / 64 + 1, 0);
+        }
+        self.bits[bit / 64] ^= 1u64 << (bit % 64);
+    }
+
+    fn xor(&self, other: &AffineForm) -> AffineForm {
+        let mut bits = self.bits.clone();
+        if other.bits.len() > bits.len() {
+            bits.resize(other.bits.len(), 0);
+        }
+        xor_into(&mut bits, &other.bits);
+        while bits.len() > 1 && bits.last() == Some(&0) {
+            bits.pop();
+        }
+        AffineForm { bits }
+    }
+
+    fn complement(&self) -> AffineForm {
+        let mut f = self.clone();
+        f.bits[0] ^= 1;
+        f
+    }
+
+    fn is_const(&self, b: bool) -> bool {
+        self.bits[0] == u64::from(b) && self.bits[1..].iter().all(|&w| w == 0)
+    }
+}
+
+/// Evaluates BDDs over affine forms: the logical-zonotope image step.
+///
+/// Bind each current-state variable to its [`Zonotope::bit_form`];
+/// unbound variables (primary inputs) are minted a fresh generator on
+/// first use — an input is free, which is exactly a new noise symbol.
+/// XOR-dominated logic evaluates exactly; each irreducible AND mints a
+/// fresh generator (memoized per operand pair, so the same product
+/// reuses the same symbol). The result over-approximates the true image
+/// pointwise.
+pub struct AffineEvaluator {
+    gen_count: usize,
+    bindings: FxHashMap<u32, AffineForm>,
+    node_memo: FxHashMap<u32, AffineForm>,
+    and_memo: FxHashMap<(AffineForm, AffineForm), AffineForm>,
+}
+
+impl AffineEvaluator {
+    /// An evaluator whose first `state_gens` generators are reserved for
+    /// the seeding zonotope's own generators.
+    #[must_use]
+    pub fn new(state_gens: usize) -> AffineEvaluator {
+        AffineEvaluator {
+            gen_count: state_gens,
+            bindings: FxHashMap::default(),
+            node_memo: FxHashMap::default(),
+            and_memo: FxHashMap::default(),
+        }
+    }
+
+    /// Total generators minted so far (state + input + noise).
+    #[must_use]
+    pub fn gen_count(&self) -> usize {
+        self.gen_count
+    }
+
+    /// Binds variable `v` to a form (typically [`Zonotope::bit_form`]).
+    pub fn bind(&mut self, v: Var, form: AffineForm) {
+        self.bindings.insert(v.0, form);
+        self.node_memo.clear();
+    }
+
+    fn fresh(&mut self) -> AffineForm {
+        let f = AffineForm::generator(self.gen_count);
+        self.gen_count += 1;
+        f
+    }
+
+    fn var_form(&mut self, v: u32) -> AffineForm {
+        if let Some(f) = self.bindings.get(&v) {
+            return f.clone();
+        }
+        let f = self.fresh();
+        self.bindings.insert(v, f.clone());
+        f
+    }
+
+    fn and(&mut self, a: &AffineForm, b: &AffineForm) -> AffineForm {
+        if a.is_const(false) || b.is_const(false) {
+            return AffineForm::constant(false);
+        }
+        if a.is_const(true) {
+            return b.clone();
+        }
+        if b.is_const(true) {
+            return a.clone();
+        }
+        if a == b {
+            return a.clone();
+        }
+        if *a == b.complement() {
+            return AffineForm::constant(false);
+        }
+        let key = if a.bits <= b.bits {
+            (a.clone(), b.clone())
+        } else {
+            (b.clone(), a.clone())
+        };
+        if let Some(f) = self.and_memo.get(&key) {
+            return f.clone();
+        }
+        let f = self.fresh();
+        self.and_memo.insert(key, f.clone());
+        f
+    }
+
+    /// Evaluates `f` to an affine form over the current bindings.
+    pub fn eval(&mut self, m: &BddManager, f: Bdd) -> AffineForm {
+        if f.is_true() {
+            return AffineForm::constant(true);
+        }
+        if f.is_false() {
+            return AffineForm::constant(false);
+        }
+        if let Some(r) = self.node_memo.get(&f.index()) {
+            return r.clone();
+        }
+        let v = m.top_var(f).0;
+        let av = self.var_form(v);
+        let h = self.eval(m, m.high(f));
+        let l = self.eval(m, m.low(f));
+        // ite(av, h, l) = (av ∧ h) ⊕ (av ∧ l) ⊕ l over GF(2).
+        let ah = self.and(&av, &h);
+        let al = self.and(&av, &l);
+        let r = ah.xor(&al).xor(&l);
+        self.node_memo.insert(f.index(), r.clone());
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(v: &[u8]) -> Vec<bool> {
+        v.iter().map(|&b| b == 1).collect()
+    }
+
+    #[test]
+    fn point_and_universe_counts() {
+        let p = Zonotope::point(&bits(&[1, 0, 1]));
+        assert_eq!(p.count(), 1.0);
+        assert!(p.contains_point(&bits(&[1, 0, 1])));
+        assert!(!p.contains_point(&bits(&[1, 1, 1])));
+        let u = Zonotope::universe(3);
+        assert_eq!(u.count(), 8.0);
+        assert!(p.is_subset(&u));
+        assert!(!u.is_subset(&p));
+    }
+
+    #[test]
+    fn join_is_the_affine_hull() {
+        let a = Zonotope::point(&bits(&[0, 0, 0]));
+        let b = Zonotope::point(&bits(&[1, 1, 0]));
+        let j = a.join(&b);
+        assert_eq!(j.count(), 2.0);
+        // Joining a third independent point doubles the hull.
+        let c = Zonotope::point(&bits(&[0, 0, 1]));
+        let j2 = j.join(&c);
+        assert_eq!(j2.count(), 4.0);
+        assert!(j2.contains_point(&bits(&[1, 1, 1]))); // closure point
+        assert!(j.is_subset(&j2));
+        // Join is idempotent and commutative (canonical equality).
+        assert_eq!(j.join(&j), j);
+        assert_eq!(b.join(&a), j);
+    }
+
+    #[test]
+    fn canonical_form_is_construction_order_independent() {
+        let pts = [
+            bits(&[0, 1, 1, 0]),
+            bits(&[1, 0, 1, 1]),
+            bits(&[1, 1, 0, 1]),
+        ];
+        let fwd = pts
+            .iter()
+            .map(|p| Zonotope::point(p))
+            .reduce(|a, b| a.join(&b))
+            .unwrap();
+        let rev = pts
+            .iter()
+            .rev()
+            .map(|p| Zonotope::point(p))
+            .reduce(|a, b| a.join(&b))
+            .unwrap();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn chi_roundtrip_is_exact_for_affine_sets() {
+        let mut m = BddManager::new(4);
+        let vars: Vec<Var> = (0..4).map(Var).collect();
+        let z = Zonotope::point(&bits(&[1, 0, 1, 0])).join(&Zonotope::point(&bits(&[0, 1, 1, 0])));
+        let chi = z.to_chi(&mut m, &vars).unwrap();
+        assert_eq!(m.sat_count(chi, 4), z.count());
+        for asg in m.all_sat(chi, 4) {
+            assert!(z.contains_point(&asg));
+        }
+        let back = Zonotope::hull_of_chi(&m, chi, &vars, 64).unwrap();
+        assert_eq!(back, z);
+    }
+
+    #[test]
+    fn hull_of_chi_over_approximates_non_affine_sets() {
+        let mut m = BddManager::new(3);
+        let vars: Vec<Var> = (0..3).map(Var).collect();
+        // {000, 001, 010}: not affine (closure adds 011).
+        let pts = [bits(&[0, 0, 0]), bits(&[0, 0, 1]), bits(&[0, 1, 0])];
+        let mut chi = Bdd::FALSE;
+        for p in &pts {
+            let mut cube = Bdd::TRUE;
+            for (i, &b) in p.iter().enumerate() {
+                let lit = if b {
+                    m.var(Var(i as u32))
+                } else {
+                    m.nvar(Var(i as u32))
+                };
+                cube = m.and(cube, lit).unwrap();
+            }
+            chi = m.or(chi, cube).unwrap();
+        }
+        let hull = Zonotope::hull_of_chi(&m, chi, &vars, 64).unwrap();
+        assert_eq!(hull.count(), 4.0);
+        for p in &pts {
+            assert!(hull.contains_point(p));
+        }
+        assert!(hull.contains_point(&bits(&[0, 1, 1])));
+        // The cap degrades soundly to the universe.
+        let capped = Zonotope::hull_of_chi(&m, chi, &vars, 1).unwrap();
+        assert_eq!(capped, Zonotope::universe(3));
+        // ⊥ has no hull.
+        assert!(Zonotope::hull_of_chi(&m, Bdd::FALSE, &vars, 64).is_none());
+    }
+
+    #[test]
+    fn evaluator_is_exact_on_xor_logic() {
+        // y0 = x0 ⊕ x1, y1 = ¬x1: an affine map, so the image is exact.
+        let mut m = BddManager::new(2);
+        let (x0, x1) = (m.var(Var(0)), m.var(Var(1)));
+        let f0 = m.xor(x0, x1).unwrap();
+        let f1 = m.not(x1);
+        let z = Zonotope::point(&bits(&[0, 0])).join(&Zonotope::point(&bits(&[1, 0])));
+        let mut ev = AffineEvaluator::new(z.rank());
+        ev.bind(Var(0), z.bit_form(0));
+        ev.bind(Var(1), z.bit_form(1));
+        let forms = [ev.eval(&m, f0), ev.eval(&m, f1)];
+        let img = Zonotope::from_forms(&forms, ev.gen_count());
+        // {00, 10} maps to {0⊕0=0,¬0=1} and {1⊕0=1,¬0=1} = {01, 11}.
+        assert_eq!(img.count(), 2.0);
+        assert!(img.contains_point(&bits(&[0, 1])));
+        assert!(img.contains_point(&bits(&[1, 1])));
+    }
+
+    #[test]
+    fn evaluator_and_over_approximates_soundly() {
+        // y0 = x0 ∧ x1 over the universe: exact image is {0, 1} per bit
+        // but correlated; the approximation must contain every exact point.
+        let mut m = BddManager::new(2);
+        let (x0, x1) = (m.var(Var(0)), m.var(Var(1)));
+        let f0 = m.and(x0, x1).unwrap();
+        let f1 = m.or(x0, x1).unwrap();
+        let z = Zonotope::universe(2);
+        let mut ev = AffineEvaluator::new(z.rank());
+        ev.bind(Var(0), z.bit_form(0));
+        ev.bind(Var(1), z.bit_form(1));
+        let forms = [ev.eval(&m, f0), ev.eval(&m, f1)];
+        let img = Zonotope::from_forms(&forms, ev.gen_count());
+        // Exact image of (AND, OR) over all four inputs: {00, 01, 11}.
+        for p in [[0, 0], [0, 1], [1, 1]] {
+            assert!(img.contains_point(&bits(&p)), "missing {p:?}");
+        }
+        // Identical products share one noise symbol: AND(a,b) ⊕ AND(a,b)
+        // must cancel to the zero form.
+        let g = ev.eval(&m, f0);
+        let g2 = ev.eval(&m, f0);
+        assert!(g.xor(&g2).is_const(false));
+    }
+
+    #[test]
+    fn unbound_inputs_get_fresh_generators() {
+        // y = x ⊕ i with i unbound: from point x=0 the image is {0, 1}.
+        let mut m = BddManager::new(2);
+        let (x, i) = (m.var(Var(0)), m.var(Var(1)));
+        let f = m.xor(x, i).unwrap();
+        let z = Zonotope::point(&bits(&[0]));
+        let mut ev = AffineEvaluator::new(z.rank());
+        ev.bind(Var(0), z.bit_form(0));
+        let forms = [ev.eval(&m, f)];
+        let img = Zonotope::from_forms(&forms, ev.gen_count());
+        assert_eq!(img.count(), 2.0);
+    }
+
+    #[test]
+    fn rank_bounds_join_chains() {
+        // Any chain of joins in GF(2)^4 stabilizes within 5 steps.
+        let mut z = Zonotope::point(&bits(&[0, 0, 0, 0]));
+        let pts = [
+            bits(&[1, 0, 0, 0]),
+            bits(&[0, 1, 0, 0]),
+            bits(&[1, 1, 0, 0]),
+            bits(&[0, 0, 1, 0]),
+            bits(&[0, 0, 0, 1]),
+            bits(&[1, 1, 1, 1]),
+        ];
+        let mut changes = 0;
+        for p in &pts {
+            let next = z.join(&Zonotope::point(p));
+            if next != z {
+                changes += 1;
+            }
+            z = next;
+        }
+        assert!(changes <= 5);
+        assert_eq!(z, Zonotope::universe(4));
+    }
+}

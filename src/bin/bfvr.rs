@@ -23,12 +23,12 @@ use bfvr::audit::{run_mutations, run_passes, AuditTargets, Report, Severity};
 use bfvr::bfv::StateSet;
 use bfvr::netlist::{bench, blif, generators, Netlist};
 use bfvr::obs::{Counters, Format, JsonlSink, SpanKind, Tracer};
-use bfvr::reach::portfolio::{run_escalating, run_racing, EscalationPolicy, RaceConfig};
+use bfvr::reach::portfolio::{run_escalating_repr, run_racing, EscalationPolicy, Lane, RaceConfig};
 use bfvr::reach::telemetry::trace_handle;
 use bfvr::reach::TraceHandle;
 use bfvr::reach::{
-    check_invariant, find_trace, run as run_engine, CheckResult, EngineKind, ReachOptions,
-    ReachResult, SetView,
+    check_invariant, find_trace, lane_label, run as run_engine, run_repr, CheckResult, EngineKind,
+    ReachOptions, ReachResult, ReprKind, SetView,
 };
 use bfvr::sim::{EncodedFsm, OrderHeuristic};
 
@@ -42,6 +42,13 @@ USAGE:
   bfvr stats <file>
   bfvr convert <file> --to bench|blif|verilog
   bfvr reach <file> [--engine bfv|cbm|mono|iwls95|cdec|all]
+                    [--repr chi|bfv|cdec|zdd|zono|native|all]
+                                         set representation each engine
+                                         iterates on (default: native).
+                                         Engine×repr pairs the engine
+                                         cannot drive are dropped; zono
+                                         lanes over-approximate and print
+                                         their count as an upper bound
                     [--order s1|s2|d|o:<seed>]
                     [--time-limit <sec>] [--node-limit <nodes>]
                     [--cache-limit <slots>]  cap each op cache's computed
@@ -69,6 +76,7 @@ USAGE:
                                          trace (default 1 = every iteration;
                                          the first is always recorded)
   bfvr audit <file> [--engine bfv|cbm|mono|iwls95|cdec|all]  (default all)
+                    [--repr chi|bfv|cdec|zdd|zono|native|all]  (default native)
                     [--order s1|s2|d|o:<seed>]
                     [--time-limit <sec>] [--node-limit <nodes>]
                     [--selftest]         also run the mutation harness:
@@ -258,6 +266,40 @@ fn parse_engines(args: &[String], default: &[EngineKind]) -> Result<Vec<EngineKi
     })
 }
 
+/// Parses `--repr` into the selected representation list; `None` (no
+/// flag, or `native`) means each engine's native representation.
+fn parse_reprs(args: &[String]) -> Result<Option<Vec<ReprKind>>, String> {
+    Ok(match flag_value(args, "--repr").as_deref() {
+        None | Some("native") => None,
+        Some("all") => Some(ReprKind::all().to_vec()),
+        Some(s) => match ReprKind::parse(s) {
+            Some(r) => Some(vec![r]),
+            None => return Err(format!("unknown representation `{s}`")),
+        },
+    })
+}
+
+/// Crosses the selected engines with the selected representations,
+/// dropping pairs the engine cannot drive (e.g. `cdec × zdd`). Errors
+/// when the cross leaves nothing to run.
+fn build_lanes(engines: &[EngineKind], reprs: Option<&[ReprKind]>) -> Result<Vec<Lane>, String> {
+    let lanes: Vec<Lane> = match reprs {
+        None => engines.iter().map(|&e| Lane::native(e)).collect(),
+        Some(rs) => engines
+            .iter()
+            .flat_map(|&e| {
+                rs.iter()
+                    .filter(move |&&r| e.supported_reprs().contains(&r))
+                    .map(move |&r| Lane::new(e, r))
+            })
+            .collect(),
+    };
+    if lanes.is_empty() {
+        return Err("no selected engine supports the requested representation".into());
+    }
+    Ok(lanes)
+}
+
 /// Parses `--trace-out`/`--trace-sample` into a JSONL-backed tracer
 /// handle with the stream header already written (`None` without
 /// `--trace-out`).
@@ -302,6 +344,8 @@ fn cmd_reach(args: &[String]) -> Result<(), String> {
         &[EngineKind::Bfv]
     };
     let engines = parse_engines(args, default_engines)?;
+    let reprs = parse_reprs(args)?;
+    let lanes = build_lanes(&engines, reprs.as_deref())?;
     if !race && flag_value(args, "--jobs").is_some() {
         return Err("--jobs requires --race".into());
     }
@@ -312,9 +356,9 @@ fn cmd_reach(args: &[String]) -> Result<(), String> {
             .open_span(SpanKind::Run, net.name(), Counters::new())
     });
     let result = if race {
-        cmd_reach_race(args, &net, order, &opts, &engines, escalation)
+        cmd_reach_race(args, &net, order, &opts, &lanes, escalation)
     } else {
-        reach_plain(args, &net, order, &opts, &engines, escalation.as_ref())
+        reach_plain(args, &net, order, &opts, &lanes, escalation.as_ref())
     };
     // Close the run span and flush even when a lane failed: a trace of a
     // timed-out run is exactly what the telemetry is for.
@@ -328,32 +372,34 @@ fn cmd_reach(args: &[String]) -> Result<(), String> {
     result
 }
 
-/// The non-racing `bfvr reach` path: run each selected engine in its own
-/// fresh manager and print one summary row per engine.
+/// The non-racing `bfvr reach` path: run each selected lane in its own
+/// fresh manager and print one summary row per lane. An
+/// over-approximating lane prints its count as `<=N`.
 fn reach_plain(
     args: &[String],
     net: &Netlist,
     order: OrderHeuristic,
     opts: &ReachOptions,
-    engines: &[EngineKind],
+    lanes: &[Lane],
     escalation: Option<&EscalationPolicy>,
 ) -> Result<(), String> {
     println!(
-        "{:8} {:>6} {:>14} {:>7} {:>10} {:>11}",
-        "engine", "status", "states", "iters", "time(ms)", "peak nodes"
+        "{:10} {:>6} {:>14} {:>7} {:>10} {:>11}",
+        "lane", "status", "states", "iters", "time(ms)", "peak nodes"
     );
     let dump = args.iter().any(|a| a == "--dump-reached");
     let show_stats = args.iter().any(|a| a == "--stats");
-    for &kind in engines {
+    for &lane in lanes {
         let (mut m, fsm) = EncodedFsm::encode(net, order).map_err(|e| e.to_string())?;
         let r: ReachResult = match escalation {
-            None => run_engine(kind, &mut m, &fsm, opts),
+            None => run_repr(lane.engine, lane.repr, &mut m, &fsm, opts),
             Some(policy) => {
-                let report = run_escalating(kind, &mut m, &fsm, opts, policy);
+                let report =
+                    run_escalating_repr(lane.engine, lane.repr, &mut m, &fsm, opts, policy);
                 for (i, round) in report.rounds.iter().enumerate().skip(1) {
                     eprintln!(
                         "{}: round {i} ({}): {} at {} iterations under {} nodes",
-                        kind.label(),
+                        lane.label(),
                         if round.resumed {
                             "resumed"
                         } else {
@@ -370,10 +416,10 @@ fn reach_plain(
             }
         };
         println!(
-            "{:8} {:>6} {:>14} {:>7} {:>10.1} {:>11}",
-            kind.label(),
+            "{:10} {:>6} {:>14} {:>7} {:>10.1} {:>11}",
+            lane.label(),
             r.outcome.label(),
-            r.reached_states.map_or("-".into(), |s| format!("{s}")),
+            states_cell(r.reached_states, r.over_approx),
             r.iterations,
             r.elapsed.as_secs_f64() * 1e3,
             r.peak_nodes
@@ -427,7 +473,17 @@ fn reach_plain(
     Ok(())
 }
 
-/// `bfvr reach --race`: race the selected engines, each in its own
+/// The reached-states column: `<=N` for an over-approximating lane's
+/// upper bound, `-` when the lane has no count.
+fn states_cell(states: Option<f64>, over_approx: bool) -> String {
+    match states {
+        None => "-".into(),
+        Some(s) if over_approx => format!("<={s}"),
+        Some(s) => format!("{s}"),
+    }
+}
+
+/// `bfvr reach --race`: race the selected lanes, each in its own
 /// worker thread with a private manager, and report every lane plus the
 /// winner. `--dump-reached` is rejected: the winning lane's manager (and
 /// the reached set rooted in it) does not outlive its thread.
@@ -436,7 +492,7 @@ fn cmd_reach_race(
     net: &Netlist,
     order: OrderHeuristic,
     opts: &ReachOptions,
-    engines: &[EngineKind],
+    lanes: &[Lane],
     escalation: Option<EscalationPolicy>,
 ) -> Result<(), String> {
     if args.iter().any(|a| a == "--dump-reached") {
@@ -456,9 +512,9 @@ fn cmd_reach_race(
         }
     };
     let config = RaceConfig { jobs, escalation };
-    let report = run_racing(engines, net, order, opts, &config);
+    let report = run_racing(lanes, net, order, opts, &config);
     println!(
-        "{:8} {:>9} {:>14} {:>7} {:>10} {:>11}",
+        "{:10} {:>9} {:>14} {:>7} {:>10} {:>11}",
         "lane", "status", "states", "iters", "time(ms)", "peak nodes"
     );
     for (i, lane) in report.lanes.iter().enumerate() {
@@ -473,10 +529,10 @@ fn cmd_reach_race(
             ""
         };
         println!(
-            "{:8} {:>9} {:>14} {:>7} {:>10.1} {:>11}{}",
-            lane.engine.label(),
+            "{:10} {:>9} {:>14} {:>7} {:>10.1} {:>11}{}",
+            lane_label(lane.engine, lane.repr),
             status,
-            lane.reached_states.map_or("-".into(), |s| format!("{s}")),
+            states_cell(lane.reached_states, lane.over_approx),
             lane.iterations,
             lane.elapsed.as_secs_f64() * 1e3,
             lane.peak_nodes,
@@ -492,7 +548,7 @@ fn cmd_reach_race(
         Some(r) if r.outcome == bfvr::reach::Outcome::FixedPoint => Ok(()),
         Some(r) => Err(format!(
             "no lane reached a fixed point (best: {} {})",
-            r.engine.label(),
+            lane_label(r.engine, r.repr),
             r.outcome.label()
         )),
         None => Err("race had no engines".into()),
@@ -509,23 +565,28 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
     let order = parse_order(args)?;
     let base_opts = parse_opts(args)?;
     let engines = parse_engines(args, &EngineKind::all())?;
+    let reprs = parse_reprs(args)?;
+    let lanes = build_lanes(&engines, reprs.as_deref())?;
     let report = Rc::new(RefCell::new(Report::new()));
     let inconclusive = Rc::new(RefCell::new(0usize));
 
-    for kind in engines {
+    for lane in lanes {
         let (mut m, fsm) = EncodedFsm::encode(&net, order).map_err(|e| e.to_string())?;
         let mut opts = base_opts.clone();
         let sink = Rc::clone(&report);
         let skipped = Rc::clone(&inconclusive);
         opts.observer = Some(Rc::new(move |m, fsm, view| {
-            let space = fsm.space();
-            let targets = match view.set {
-                SetView::Chi { reached, .. } => AuditTargets::for_chi(&space, reached),
-                SetView::Vector { reached, .. } => AuditTargets::for_bfv(&space, reached),
-                SetView::Cdec { reached, .. } => AuditTargets::for_cdec(&space, reached),
+            // Zonotope lanes over-approximate by design; the exactness
+            // invariants the pass battery checks do not apply.
+            if matches!(view.set, SetView::Zonotope { .. }) {
+                return;
             }
-            .with_leak_roots(view.roots);
-            let scope = format!("{}/iter[{}]", view.engine.label(), view.iteration);
+            let space = fsm.space();
+            let scope = format!(
+                "{}/iter[{}]",
+                lane_label(view.engine, view.repr),
+                view.iteration
+            );
             // The audit's own scratch work must not count against the
             // engine's resource budget: suspend limits, audit, restore.
             // A resource failure inside the audit (possible only under
@@ -534,35 +595,69 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
             let deadline = m.deadline();
             m.clear_node_limit();
             m.set_deadline(None);
+            let restore = |m: &mut bfvr::bdd::BddManager| {
+                match node_limit {
+                    Some(n) => m.set_node_limit(n),
+                    None => m.clear_node_limit(),
+                }
+                m.set_deadline(deadline);
+            };
+            // Pin for a χ derived from a lane-private representation
+            // (ZDD): keeps it alive across the passes' collections.
+            let _chi_guard;
+            let targets = match view.set {
+                SetView::Chi { reached, .. } => AuditTargets::for_chi(&space, reached),
+                SetView::Vector { reached, .. } => AuditTargets::for_bfv(&space, reached),
+                SetView::Cdec { reached, .. } => AuditTargets::for_cdec(&space, reached),
+                SetView::Zdd { store, reached, .. } => {
+                    // Audit the lane through the production ZDD → χ
+                    // converter. A conversion failure is possible only
+                    // under injected faults: inconclusive, skip.
+                    let Ok(chi) = bfvr::bdd::bdd_from_zdd(m, store, reached, space.vars()) else {
+                        *skipped.borrow_mut() += 1;
+                        restore(m);
+                        return;
+                    };
+                    _chi_guard = m.func(chi);
+                    // Sweep the conversion's scratch so the leak pass sees
+                    // only what the engine itself left live.
+                    let mut roots = view.roots.to_vec();
+                    roots.push(chi);
+                    m.collect_garbage(&roots);
+                    AuditTargets::for_chi(&space, chi)
+                }
+                SetView::Zonotope { .. } => unreachable!("handled above"),
+            }
+            .with_leak_roots(view.roots);
             if run_passes(m, &targets, &scope, &mut sink.borrow_mut()).is_err() {
                 *skipped.borrow_mut() += 1;
             }
-            match node_limit {
-                Some(n) => m.set_node_limit(n),
-                None => m.clear_node_limit(),
-            }
-            m.set_deadline(deadline);
+            restore(m);
         }));
-        let r = run_engine(kind, &mut m, &fsm, &opts);
+        let r = run_repr(lane.engine, lane.repr, &mut m, &fsm, &opts);
         // Final audit of the engine's end state, through the χ the result
         // carries (also exercising the χ→BFV converter one more time).
-        if let Some(chi) = &r.reached_chi {
-            let space = fsm.space();
-            let scope = format!("{}/final", kind.label());
-            run_passes(
-                &mut m,
-                &AuditTargets::for_chi(&space, chi.bdd()),
-                &scope,
-                &mut report.borrow_mut(),
-            )
-            .map_err(|e| format!("{scope}: audit aborted: {e}"))?;
+        // Over-approximating lanes carry a χ of the *hull*, which fails
+        // exactness passes by construction — skip them.
+        if !r.over_approx {
+            if let Some(chi) = &r.reached_chi {
+                let space = fsm.space();
+                let scope = format!("{}/final", lane.label());
+                run_passes(
+                    &mut m,
+                    &AuditTargets::for_chi(&space, chi.bdd()),
+                    &scope,
+                    &mut report.borrow_mut(),
+                )
+                .map_err(|e| format!("{scope}: audit aborted: {e}"))?;
+            }
         }
         println!(
-            "{:8} {:>6} {:>5} iteration(s), {} state(s), audited",
-            kind.label(),
+            "{:10} {:>6} {:>5} iteration(s), {} state(s), audited",
+            lane.label(),
             r.outcome.label(),
             r.iterations,
-            r.reached_states.map_or("-".into(), |s| format!("{s}")),
+            states_cell(r.reached_states, r.over_approx),
         );
     }
 

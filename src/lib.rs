@@ -8,6 +8,8 @@
 //! * [`bdd`] — the ROBDD substrate (`bfvr-bdd`),
 //! * [`bfv`] — canonical Boolean functional vectors and their set algebra
 //!   (`bfvr-bfv`, the paper's contribution),
+//! * [`setrepr`] — the pluggable set-representation abstraction the
+//!   reachability engines iterate on (`bfvr-setrepr`),
 //! * [`netlist`] — ISCAS89/BLIF sequential netlists and circuit generators
 //!   (`bfvr-netlist`),
 //! * [`sim`] — symbolic simulation and variable-ordering heuristics
@@ -28,4 +30,5 @@ pub use bfvr_bfv as bfv;
 pub use bfvr_netlist as netlist;
 pub use bfvr_obs as obs;
 pub use bfvr_reach as reach;
+pub use bfvr_setrepr as setrepr;
 pub use bfvr_sim as sim;

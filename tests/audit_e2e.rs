@@ -8,48 +8,72 @@ use std::rc::Rc;
 
 use bfvr::audit::{run_passes, AuditTargets, Report};
 use bfvr::netlist::{circuits, generators, Netlist};
-use bfvr::reach::{run, EngineKind, Outcome, ReachOptions, SetView};
+use bfvr::reach::portfolio::Lane;
+use bfvr::reach::{lane_label, run_repr, Outcome, ReachOptions, SetView};
 use bfvr::sim::{EncodedFsm, OrderHeuristic};
 
-/// Runs every engine over `net` with an observer that audits each
-/// iteration's live set — graph, leaks, all semantic passes, and the
-/// cross-representation converters — then audits the final reached χ.
-/// Any finding anywhere fails the test.
+/// Runs every engine × representation lane over `net` with an observer
+/// that audits each iteration's live set — graph, leaks, all semantic
+/// passes, and the cross-representation converters — then audits the
+/// final reached χ. ZDD lanes audit through the production ZDD → χ
+/// converter; zonotope lanes over-approximate by design, so the
+/// exactness passes skip them. Any finding anywhere fails the test.
 fn audit_all_engines(net: &Netlist) {
-    for kind in EngineKind::all() {
+    for lane in Lane::all_lanes() {
         let (mut m, fsm) = EncodedFsm::encode(net, OrderHeuristic::DfsFanin).unwrap();
         let report = Rc::new(RefCell::new(Report::new()));
         let sink = Rc::clone(&report);
         let opts = ReachOptions {
             observer: Some(Rc::new(move |m, fsm, view| {
+                if matches!(view.set, SetView::Zonotope { .. }) {
+                    return;
+                }
                 let space = fsm.space();
+                let _chi_guard;
                 let targets = match view.set {
                     SetView::Chi { reached, .. } => AuditTargets::for_chi(&space, reached),
                     SetView::Vector { reached, .. } => AuditTargets::for_bfv(&space, reached),
                     SetView::Cdec { reached, .. } => AuditTargets::for_cdec(&space, reached),
+                    SetView::Zdd { store, reached, .. } => {
+                        let chi = bfvr::bdd::bdd_from_zdd(m, store, reached, space.vars()).unwrap();
+                        _chi_guard = m.func(chi);
+                        // Sweep the conversion's scratch so the leak pass
+                        // sees only what the engine itself left live.
+                        let mut roots = view.roots.to_vec();
+                        roots.push(chi);
+                        m.collect_garbage(&roots);
+                        AuditTargets::for_chi(&space, chi)
+                    }
+                    SetView::Zonotope { .. } => unreachable!("handled above"),
                 }
                 .with_leak_roots(view.roots);
-                let scope = format!("{}/iter[{}]", view.engine.label(), view.iteration);
+                let scope = format!(
+                    "{}/iter[{}]",
+                    lane_label(view.engine, view.repr),
+                    view.iteration
+                );
                 run_passes(m, &targets, &scope, &mut sink.borrow_mut()).unwrap();
             })),
             ..Default::default()
         };
-        let r = run(kind, &mut m, &fsm, &opts);
-        assert_eq!(r.outcome, Outcome::FixedPoint, "{kind:?} on {}", net.name());
-        assert!(r.iterations > 1, "{kind:?} on {}: trivial run", net.name());
-        let chi = r.reached_chi.as_ref().unwrap();
-        let space = fsm.space();
-        run_passes(
-            &mut m,
-            &AuditTargets::for_chi(&space, chi.bdd()),
-            &format!("{}/final", kind.label()),
-            &mut report.borrow_mut(),
-        )
-        .unwrap();
+        let r = run_repr(lane.engine, lane.repr, &mut m, &fsm, &opts);
+        assert_eq!(r.outcome, Outcome::FixedPoint, "{lane:?} on {}", net.name());
+        if !lane.over_approximates() {
+            assert!(r.iterations > 1, "{lane:?} on {}: trivial run", net.name());
+            let chi = r.reached_chi.as_ref().unwrap();
+            let space = fsm.space();
+            run_passes(
+                &mut m,
+                &AuditTargets::for_chi(&space, chi.bdd()),
+                &format!("{}/final", lane.label()),
+                &mut report.borrow_mut(),
+            )
+            .unwrap();
+        }
         let report = report.borrow();
         assert!(
             report.is_empty(),
-            "{kind:?} on {}:\n{}",
+            "{lane:?} on {}:\n{}",
             net.name(),
             report.render()
         );
