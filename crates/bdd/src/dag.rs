@@ -1,0 +1,462 @@
+//! Structural DAG export/import: the bridge between in-arena BDDs and
+//! durable on-disk checkpoints.
+//!
+//! [`BddManager::export_dag`] walks a set of root edges and produces a
+//! self-contained, manager-independent description of the shared reduced
+//! DAG below them: a topologically ordered node list plus complement-
+//! encoded edge references. [`BddManager::import_dag`] replays that
+//! description into any manager with enough variables, re-interning every
+//! node through the ordinary hash-consing path ([`BddManager`]'s `mk`),
+//! so an imported function is bit-identical to one built natively — the
+//! unique table guarantees it.
+//!
+//! The format is deliberately *structural*, not positional: references
+//! are indices into the export's own node list, never arena indices, so
+//! a DAG exported from one manager imports into a fresh manager whose
+//! arena layout shares nothing with the source. The durable checkpoint
+//! format in `bfvr-serve` serializes exactly this structure.
+
+use crate::error::BddError;
+use crate::hash::FxHashMap;
+use crate::manager::BddManager;
+use crate::node::Bdd;
+
+/// Reference to a node within a [`BddDag`], complement-edge encoded:
+/// bit 0 is the complement flag, the remaining bits are `1 + position`
+/// in [`BddDag::nodes`] — position 0 is reserved for the terminal, so
+/// `DagRef(0)` is ⊤ and `DagRef(1)` is ⊥, mirroring [`Bdd`]'s encoding.
+pub type DagRef = u32;
+
+/// The terminal reference ⊤.
+pub const DAG_TRUE: DagRef = 0;
+/// The terminal reference ⊥.
+pub const DAG_FALSE: DagRef = 1;
+
+/// One exported node: a decision variable level plus two [`DagRef`]
+/// children. The canonical complement-edge rule (stored `hi` is never
+/// complemented) is preserved by the export and checked by the import.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DagNode {
+    /// Decision variable level.
+    pub var: u32,
+    /// Low (else) child reference.
+    pub lo: DagRef,
+    /// High (then) child reference — never complemented in a valid DAG.
+    pub hi: DagRef,
+}
+
+/// A manager-independent shared BDD DAG: nodes in child-before-parent
+/// order plus the root references the export was asked for.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BddDag {
+    /// Number of variables of the exporting manager (import target must
+    /// have at least this many).
+    pub num_vars: u32,
+    /// Nodes, topologically ordered: every child reference points at a
+    /// terminal or an earlier position.
+    pub nodes: Vec<DagNode>,
+    /// Root references, in the order the roots were passed to
+    /// [`BddManager::export_dag`].
+    pub roots: Vec<DagRef>,
+}
+
+/// Why a [`BddDag`] was rejected by [`BddManager::import_dag`].
+///
+/// Malformed structure is kept distinct from resource exhaustion: a
+/// corrupt checkpoint must surface as a parse-shaped error, never as a
+/// spurious `M.O.`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DagError {
+    /// The DAG violates a structural invariant (bad reference, variable
+    /// out of range, order violation, complemented `hi`).
+    Malformed {
+        /// Position of the offending node (or root index for root errors).
+        position: usize,
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// A legitimate resource limit tripped while re-interning.
+    Bdd(BddError),
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::Malformed { position, reason } => {
+                write!(f, "malformed bdd dag at node {position}: {reason}")
+            }
+            DagError::Bdd(e) => write!(f, "bdd dag import failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+impl From<BddError> for DagError {
+    fn from(e: BddError) -> Self {
+        DagError::Bdd(e)
+    }
+}
+
+/// Packs a node position (0-based in `nodes`) and complement flag into a
+/// [`DagRef`].
+fn node_ref(position: usize, complemented: bool) -> DagRef {
+    #[allow(clippy::cast_possible_truncation)]
+    let r = ((position as u32 + 1) << 1) | u32::from(complemented);
+    r
+}
+
+impl BddManager {
+    /// Exports the shared reduced DAG below `roots` as a manager-
+    /// independent [`BddDag`].
+    ///
+    /// Nodes appear child-before-parent; shared subgraphs are emitted
+    /// once. The export is read-only and allocation-free on the manager
+    /// side (it never touches the unique table or caches).
+    #[must_use]
+    pub fn export_dag(&self, roots: &[Bdd]) -> BddDag {
+        let mut index: FxHashMap<u32, usize> = FxHashMap::default();
+        let mut nodes: Vec<DagNode> = Vec::new();
+        // Iterative postorder: visit children before emitting the parent.
+        for &root in roots {
+            if root.is_const() || index.contains_key(&root.node()) {
+                continue;
+            }
+            let mut stack: Vec<(Bdd, bool)> = vec![(root.regular(), false)];
+            while let Some((e, expanded)) = stack.pop() {
+                if e.is_const() || index.contains_key(&e.node()) {
+                    continue;
+                }
+                // Children via the *stored* node (regular edge), so the
+                // canonical no-complemented-hi rule survives the export.
+                let lo = self.low(e);
+                let hi = self.high(e);
+                if expanded {
+                    let var = self.top_var(e).0;
+                    let to_ref = |c: Bdd| -> DagRef {
+                        if c.is_const() {
+                            if c.is_true() {
+                                DAG_TRUE
+                            } else {
+                                DAG_FALSE
+                            }
+                        } else {
+                            node_ref(index[&c.node()], c.is_complemented())
+                        }
+                    };
+                    let pos = nodes.len();
+                    nodes.push(DagNode {
+                        var,
+                        lo: to_ref(lo),
+                        hi: to_ref(hi),
+                    });
+                    index.insert(e.node(), pos);
+                } else {
+                    stack.push((e, true));
+                    stack.push((lo.regular(), false));
+                    stack.push((hi.regular(), false));
+                }
+            }
+        }
+        let roots = roots
+            .iter()
+            .map(|&r| {
+                if r.is_const() {
+                    if r.is_true() {
+                        DAG_TRUE
+                    } else {
+                        DAG_FALSE
+                    }
+                } else {
+                    node_ref(index[&r.node()], r.is_complemented())
+                }
+            })
+            .collect();
+        BddDag {
+            num_vars: self.num_vars(),
+            nodes,
+            roots,
+        }
+    }
+
+    /// Re-interns an exported DAG into this manager and returns one edge
+    /// per exported root, in export order.
+    ///
+    /// Every node goes through the ordinary hash-consing path, so
+    /// importing a function that already exists in this manager yields
+    /// the *same* edge, and importing into a fresh manager rebuilds a
+    /// canonical reduced graph regardless of how the bytes were produced.
+    ///
+    /// # Errors
+    ///
+    /// [`DagError::Malformed`] when the DAG violates a structural
+    /// invariant (forward/self references, variable out of range, order
+    /// violations between a node and its children, complemented `hi`
+    /// edges, dangling root references) — malformed input is *rejected*,
+    /// never panicked on. [`DagError::Bdd`] surfaces resource limits
+    /// tripped while allocating.
+    pub fn import_dag(&mut self, dag: &BddDag) -> Result<Vec<Bdd>, DagError> {
+        if dag.num_vars > self.num_vars() {
+            return Err(DagError::Malformed {
+                position: 0,
+                reason: "dag needs more variables than the manager has",
+            });
+        }
+        let mut built: Vec<Bdd> = Vec::with_capacity(dag.nodes.len());
+        // Resolves a DagRef against the nodes built so far; `limit` is
+        // the number of valid earlier positions.
+        let resolve = |r: DagRef, limit: usize, built: &[Bdd]| -> Option<Bdd> {
+            if r == DAG_TRUE {
+                return Some(Bdd::TRUE);
+            }
+            if r == DAG_FALSE {
+                return Some(Bdd::FALSE);
+            }
+            let pos = (r >> 1) as usize - 1;
+            if pos >= limit {
+                return None;
+            }
+            let e = built[pos];
+            Some(if r & 1 == 1 { e.complement() } else { e })
+        };
+        for (i, n) in dag.nodes.iter().enumerate() {
+            if n.var >= dag.num_vars {
+                return Err(DagError::Malformed {
+                    position: i,
+                    reason: "node variable out of range",
+                });
+            }
+            if n.hi & 1 == 1 {
+                return Err(DagError::Malformed {
+                    position: i,
+                    reason: "complemented hi edge breaks canonical form",
+                });
+            }
+            let Some(lo) = resolve(n.lo, i, &built) else {
+                return Err(DagError::Malformed {
+                    position: i,
+                    reason: "lo reference points forward or out of range",
+                });
+            };
+            let Some(hi) = resolve(n.hi, i, &built) else {
+                return Err(DagError::Malformed {
+                    position: i,
+                    reason: "hi reference points forward or out of range",
+                });
+            };
+            for child in [lo, hi] {
+                if !child.is_const() && self.top_var(child).0 <= n.var {
+                    return Err(DagError::Malformed {
+                        position: i,
+                        reason: "child variable not below parent (order violation)",
+                    });
+                }
+            }
+            if lo == hi {
+                return Err(DagError::Malformed {
+                    position: i,
+                    reason: "redundant node (lo == hi) in a reduced dag",
+                });
+            }
+            let e = self.mk(n.var, lo, hi)?;
+            built.push(e);
+        }
+        let mut out = Vec::with_capacity(dag.roots.len());
+        for (i, &r) in dag.roots.iter().enumerate() {
+            let Some(e) = resolve(r, built.len(), &built) else {
+                return Err(DagError::Malformed {
+                    position: i,
+                    reason: "root reference out of range",
+                });
+            };
+            out.push(e);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Var;
+
+    fn sample(m: &mut BddManager) -> (Bdd, Bdd) {
+        let (a, b, c) = (m.var(Var(0)), m.var(Var(1)), m.var(Var(2)));
+        let ab = m.and(a, b).unwrap();
+        let f = m.or(ab, c).unwrap();
+        let g = m.xor(a, c).unwrap();
+        (f, g)
+    }
+
+    #[test]
+    fn export_import_round_trips_into_fresh_manager() {
+        let mut m = BddManager::new(3);
+        let (f, g) = sample(&mut m);
+        let nf = m.not(f);
+        let dag = m.export_dag(&[f, g, nf, Bdd::TRUE, Bdd::FALSE]);
+        assert_eq!(dag.num_vars, 3);
+        assert!(!dag.nodes.is_empty());
+
+        let mut fresh = BddManager::new(3);
+        let roots = fresh.import_dag(&dag).unwrap();
+        assert_eq!(roots.len(), 5);
+        assert_eq!(fresh.sat_count(roots[0], 3), m.sat_count(f, 3));
+        assert_eq!(fresh.sat_count(roots[1], 3), m.sat_count(g, 3));
+        // ¬f imports as the complement of f's import (shared subgraph).
+        assert_eq!(roots[2], fresh.not(roots[0]));
+        assert!(roots[3].is_true());
+        assert!(roots[4].is_false());
+        fresh.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn import_into_same_manager_is_identity() {
+        let mut m = BddManager::new(3);
+        let (f, g) = sample(&mut m);
+        let dag = m.export_dag(&[f, g]);
+        let roots = m.import_dag(&dag).unwrap();
+        assert_eq!(roots, vec![f, g], "hash-consing maps back to the originals");
+    }
+
+    #[test]
+    fn shared_subgraphs_export_once() {
+        let mut m = BddManager::new(4);
+        let (f, _) = sample(&mut m);
+        let nf = m.not(f);
+        let one = m.export_dag(&[f]);
+        let both = m.export_dag(&[f, nf]);
+        assert_eq!(
+            one.nodes.len(),
+            both.nodes.len(),
+            "f and ¬f share every node"
+        );
+    }
+
+    #[test]
+    fn rejects_forward_and_out_of_range_references() {
+        let mut m = BddManager::new(2);
+        // Self/forward reference.
+        let dag = BddDag {
+            num_vars: 2,
+            nodes: vec![DagNode {
+                var: 0,
+                lo: node_ref(0, false),
+                hi: DAG_TRUE,
+            }],
+            roots: vec![node_ref(0, false)],
+        };
+        assert!(matches!(
+            m.import_dag(&dag),
+            Err(DagError::Malformed { position: 0, .. })
+        ));
+        // Dangling root.
+        let dag = BddDag {
+            num_vars: 2,
+            nodes: vec![],
+            roots: vec![node_ref(5, false)],
+        };
+        assert!(matches!(
+            m.import_dag(&dag),
+            Err(DagError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_order_violations_and_bad_vars() {
+        let mut m = BddManager::new(2);
+        let bad_var = BddDag {
+            num_vars: 2,
+            nodes: vec![DagNode {
+                var: 7,
+                lo: DAG_FALSE,
+                hi: DAG_TRUE,
+            }],
+            roots: vec![node_ref(0, false)],
+        };
+        assert!(matches!(
+            m.import_dag(&bad_var),
+            Err(DagError::Malformed { .. })
+        ));
+        // Parent below child in the order.
+        let inverted = BddDag {
+            num_vars: 2,
+            nodes: vec![
+                DagNode {
+                    var: 0,
+                    lo: DAG_FALSE,
+                    hi: DAG_TRUE,
+                },
+                DagNode {
+                    var: 1,
+                    lo: node_ref(0, false),
+                    hi: DAG_TRUE,
+                },
+            ],
+            roots: vec![node_ref(1, false)],
+        };
+        assert!(matches!(
+            m.import_dag(&inverted),
+            Err(DagError::Malformed { position: 1, .. })
+        ));
+        // Too many variables for the manager.
+        let wide = BddDag {
+            num_vars: 9,
+            nodes: vec![],
+            roots: vec![],
+        };
+        assert!(matches!(
+            m.import_dag(&wide),
+            Err(DagError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_complemented_hi_and_redundant_nodes() {
+        let mut m = BddManager::new(2);
+        let comp_hi = BddDag {
+            num_vars: 2,
+            nodes: vec![DagNode {
+                var: 0,
+                lo: DAG_TRUE,
+                hi: DAG_FALSE, // DAG_FALSE = complemented terminal edge
+            }],
+            roots: vec![node_ref(0, false)],
+        };
+        assert!(matches!(
+            m.import_dag(&comp_hi),
+            Err(DagError::Malformed { .. })
+        ));
+        let redundant = BddDag {
+            num_vars: 2,
+            nodes: vec![DagNode {
+                var: 0,
+                lo: DAG_TRUE,
+                hi: DAG_TRUE,
+            }],
+            roots: vec![node_ref(0, false)],
+        };
+        assert!(matches!(
+            m.import_dag(&redundant),
+            Err(DagError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn import_respects_node_limits_as_resource_errors() {
+        let mut m = BddManager::new(8);
+        // Build a biggish function, export, then import under a ceiling.
+        let vars: Vec<Bdd> = (0..8).map(|i| m.var(Var(i))).collect();
+        let mut f = Bdd::FALSE;
+        for chunk in vars.chunks(2) {
+            let p = m.and(chunk[0], chunk[1]).unwrap();
+            f = m.or(f, p).unwrap();
+        }
+        let dag = m.export_dag(&[f]);
+        let mut tiny = BddManager::new(8);
+        tiny.set_node_limit(2);
+        match tiny.import_dag(&dag) {
+            Err(DagError::Bdd(BddError::NodeLimit { .. })) => {}
+            other => panic!("expected NodeLimit, got {other:?}"),
+        }
+    }
+}

@@ -26,6 +26,9 @@
 //!   [`BddManager::isop`]),
 //! * cross-manager transfer under a variable mapping
 //!   ([`BddManager::transfer_from`]) for variable-order studies,
+//! * manager-independent DAG export/import ([`BddManager::export_dag`],
+//!   [`BddManager::import_dag`]) — the structural form behind durable
+//!   on-disk checkpoints,
 //! * mark-sweep garbage collection with stable node ids, RAII root
 //!   handles ([`Func`], from [`BddManager::func`]) and live/peak node
 //!   accounting (the "Peak(K)" metric of the paper's Table 2), and
@@ -80,6 +83,7 @@ pub mod audit;
 mod cache;
 mod compose;
 mod constrain;
+mod dag;
 mod dot;
 mod error;
 mod explore;
@@ -96,6 +100,7 @@ pub mod zdd;
 
 pub use audit::{Corruption, GraphIssue, GraphIssueKind};
 pub use cache::CacheStats;
+pub use dag::{BddDag, DagError, DagNode, DagRef, DAG_FALSE, DAG_TRUE};
 pub use error::BddError;
 pub use explore::{CubeIter, Support};
 pub use fault::{FaultKind, FaultPlan};

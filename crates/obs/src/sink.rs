@@ -21,6 +21,15 @@ pub trait Sink {
     fn drain(&mut self) -> Vec<Event> {
         Vec::new()
     }
+
+    /// Returns (and clears) the sink's latched write error, if any.
+    /// Sinks that cannot fail return `None` (the default). Callers that
+    /// must not lose telemetry silently — `reach --trace-out`, the job
+    /// journal — check this after [`Sink::flush`] and turn `Some` into a
+    /// nonzero exit.
+    fn take_error(&mut self) -> Option<std::io::Error> {
+        None
+    }
 }
 
 /// Serializes each event as one JSON line into a [`Write`] target
@@ -37,11 +46,6 @@ impl<W: Write> JsonlSink<W> {
     /// Wraps a writer.
     pub fn new(w: W) -> Self {
         JsonlSink { w, error: None }
-    }
-
-    /// Returns (and clears) the first write error, if one occurred.
-    pub fn take_error(&mut self) -> Option<std::io::Error> {
-        self.error.take()
     }
 }
 
@@ -71,6 +75,10 @@ impl<W: Write> Sink for JsonlSink<W> {
             // abort the traced run, but it must not be silent either.
             eprintln!("bfvr-obs: trace write failed: {e}");
         }
+    }
+
+    fn take_error(&mut self) -> Option<std::io::Error> {
+        self.error.take()
     }
 }
 

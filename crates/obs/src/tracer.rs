@@ -266,6 +266,14 @@ impl Tracer {
         }
         self.sink.flush();
     }
+
+    /// Returns (and clears) the sink's latched write error, if any —
+    /// check after [`Tracer::finish`]. A trace that silently lost its
+    /// tail (full disk mid-run) reports here so the CLI can exit
+    /// nonzero instead of pretending the trace is complete.
+    pub fn take_error(&mut self) -> Option<std::io::Error> {
+        self.sink.take_error()
+    }
 }
 
 impl std::fmt::Debug for Tracer {

@@ -50,6 +50,16 @@ impl EngineKind {
         ]
     }
 
+    /// Parses a benchmark-table label (case-insensitive) back into an
+    /// engine — the inverse of [`EngineKind::label`], used by durable
+    /// checkpoint headers and the job store.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        EngineKind::all()
+            .into_iter()
+            .find(|e| e.label().eq_ignore_ascii_case(s))
+    }
+
     /// The representation each engine natively iterates on (the lane
     /// [`crate::run`] dispatches to).
     #[must_use]
@@ -158,7 +168,29 @@ pub struct ReachOptions {
     /// collections or otherwise changing what the engine computes.
     /// `None` costs nothing.
     pub trace: Option<crate::telemetry::TraceHandle>,
+    /// Invoke [`ReachOptions::checkpoint_hook`] every this many growing
+    /// iterations. `None` disables periodic checkpoints (the default);
+    /// the driver still builds a final checkpoint on recoverable
+    /// exhaustion either way.
+    pub checkpoint_every: Option<usize>,
+    /// Periodic durable-checkpoint callback (see [`CheckpointHook`]).
+    /// Called with the manager's resource limits suspended, so writing a
+    /// checkpoint can never itself trip the budget it exists to survive.
+    /// `None` costs nothing.
+    pub checkpoint_hook: Option<CheckpointHook>,
 }
+
+/// Periodic checkpoint callback, invoked by the shared fixed-point
+/// driver every [`ReachOptions::checkpoint_every`] growing iterations
+/// with a freshly built [`Checkpoint`] of the loop state. The CLI uses
+/// it to write durable checkpoint files mid-run so a killed process
+/// resumes from the last completed multiple of `checkpoint_every`
+/// instead of iteration zero.
+///
+/// The hook must not panic; failures (a full disk, say) should be
+/// latched by the caller and surfaced after the run — a failed periodic
+/// checkpoint must never abort the in-memory traversal.
+pub type CheckpointHook = Rc<dyn Fn(&mut BddManager, &Checkpoint)>;
 
 impl Default for ReachOptions {
     fn default() -> Self {
@@ -173,6 +205,8 @@ impl Default for ReachOptions {
             record_iterations: false,
             observer: None,
             trace: None,
+            checkpoint_every: None,
+            checkpoint_hook: None,
         }
     }
 }
@@ -191,6 +225,11 @@ impl fmt::Debug for ReachOptions {
             .field("record_iterations", &self.record_iterations)
             .field("observer", &self.observer.as_ref().map(|_| "<callback>"))
             .field("trace", &self.trace.as_ref().map(|_| "<tracer>"))
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field(
+                "checkpoint_hook",
+                &self.checkpoint_hook.as_ref().map(|_| "<callback>"),
+            )
             .finish()
     }
 }
@@ -386,6 +425,34 @@ pub struct Checkpoint {
     /// Backend-specific reached/frontier representation, re-expressed in
     /// manager-stable handles (see [`bfvr_setrepr::SetRepr::checkpoint`]).
     pub(crate) state: ReprCheckpoint,
+}
+
+impl Checkpoint {
+    /// Assembles a checkpoint from its parts — the deserialization
+    /// entry point for durable on-disk checkpoints, which reconstruct
+    /// the representation state in a fresh manager and hand it back to
+    /// [`crate::resume`]. In-memory checkpoints come from the driver.
+    #[must_use]
+    pub fn new(
+        engine: EngineKind,
+        repr: ReprKind,
+        iterations: usize,
+        state: ReprCheckpoint,
+    ) -> Checkpoint {
+        Checkpoint {
+            engine,
+            repr,
+            iterations,
+            state,
+        }
+    }
+
+    /// The representation half of the checkpoint — what a durable
+    /// serializer persists (the engine half is the public fields).
+    #[must_use]
+    pub fn state(&self) -> &ReprCheckpoint {
+        &self.state
+    }
 }
 
 /// Internal: classify a BDD failure as an outcome.

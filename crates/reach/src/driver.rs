@@ -127,6 +127,32 @@ pub(crate) fn run_fixed_point<B: SetRepr>(
                 },
                 &mut per_iteration,
             );
+            // Periodic durable checkpoint, with resource limits
+            // suspended: persisting the loop state must never trip the
+            // very budget it exists to survive, and a failure to *build*
+            // the checkpoint (injected faults, a mid-GC race) skips this
+            // period rather than aborting the traversal.
+            if let (Some(every), Some(hook)) = (opts.checkpoint_every, &opts.checkpoint_hook) {
+                if every > 0 && iterations % every == 0 {
+                    let saved_limit = m.node_limit();
+                    let saved_deadline = m.deadline();
+                    m.clear_node_limit();
+                    m.set_deadline(None);
+                    if let Ok(state) = backend.checkpoint(m, &reached, &from) {
+                        let cp = Checkpoint {
+                            engine,
+                            repr,
+                            iterations,
+                            state,
+                        };
+                        hook(m, &cp);
+                    }
+                    if let Some(n) = saved_limit {
+                        m.set_node_limit(n);
+                    }
+                    m.set_deadline(saved_deadline);
+                }
+            }
             backend.end_of_iteration(&reached, &from);
         }
         Ok(())

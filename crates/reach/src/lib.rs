@@ -64,8 +64,8 @@ pub use cdec_engine::reach_cdec;
 pub use cf::reach_monolithic;
 pub use check::{check_invariant, CheckResult};
 pub use common::{
-    lane_label, Checkpoint, EngineKind, IterationObserver, IterationStats, IterationView, Outcome,
-    ReachOptions, ReachResult,
+    lane_label, Checkpoint, CheckpointHook, EngineKind, IterationObserver, IterationStats,
+    IterationView, Outcome, ReachOptions, ReachResult,
 };
 pub use iwls95::reach_iwls95;
 pub use telemetry::TraceHandle;

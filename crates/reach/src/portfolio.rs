@@ -381,6 +381,12 @@ impl LaneOpts {
             trace: self
                 .trace_sample
                 .map(|s| crate::telemetry::trace_handle(bfvr_obs::Tracer::collector(s))),
+            // Periodic durable checkpointing is a single-lane facility:
+            // the hook is an `Rc` callback and cannot cross the lane
+            // thread boundary (racing lanes still checkpoint in memory
+            // on exhaustion, as before).
+            checkpoint_every: None,
+            checkpoint_hook: None,
         }
     }
 }

@@ -1,0 +1,122 @@
+//! Minimal POSIX signal plumbing, hand-declared (the workspace builds
+//! offline with no external crates, so there is no `libc` to lean on).
+//!
+//! This is the **only** module in the workspace allowed to contain
+//! `unsafe`: two foreign calls (`signal(2)` to install a handler,
+//! `kill(2)` to signal a child) and a handler body that does nothing
+//! but store into an atomic — the async-signal-safe minimum.
+//!
+//! On non-Unix targets everything degrades to inert stubs: handlers
+//! never fire, `kill` reports failure, and callers fall back to their
+//! cooperative paths.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Raised by the SIGINT/SIGTERM handler once either signal arrives.
+/// Poll from a bridge loop (see `bfvr reach`'s graceful-interrupt path)
+/// or check between jobs in the daemon.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// `SIGTERM`: the supervisor's polite stop request.
+pub const SIGTERM: i32 = 15;
+/// `SIGKILL`: unblockable kill, used by the fault-injection harness.
+pub const SIGKILL: i32 = 9;
+/// `SIGINT`: interactive interrupt.
+pub const SIGINT: i32 = 2;
+
+/// Whether SIGINT/SIGTERM has arrived since [`install_handlers`].
+#[must_use]
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Clears the interrupt latch (tests; multi-phase CLI commands).
+pub fn reset_interrupted() {
+    INTERRUPTED.store(false, Ordering::SeqCst);
+}
+
+/// Marks the process interrupted — the same latch the real handlers
+/// set, so non-Unix targets (and tests) can drive the graceful path.
+pub fn raise_interrupted() {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::{AtomicBool, Ordering, INTERRUPTED, SIGINT, SIGTERM};
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a single atomic store, nothing else.
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install_handlers() {
+        // Safety: `signal` with a handler that only stores an atomic is
+        // the textbook async-signal-safe installation; the handler
+        // address stays valid for the life of the process.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+        // Not used on this path, but keeps the import honest.
+        let _: &AtomicBool = &INTERRUPTED;
+    }
+
+    pub fn kill_process(pid: u32, sig: i32) -> bool {
+        let Ok(pid) = i32::try_from(pid) else {
+            return false;
+        };
+        // Safety: plain syscall wrapper; no pointers cross the boundary.
+        unsafe { kill(pid, sig) == 0 }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install_handlers() {}
+
+    pub fn kill_process(_pid: u32, _sig: i32) -> bool {
+        false
+    }
+}
+
+/// Installs the SIGINT/SIGTERM → [`interrupted`] latch. Idempotent.
+/// No-op off Unix.
+pub fn install_handlers() {
+    imp::install_handlers();
+}
+
+/// Sends `sig` to `pid`; `false` when the signal could not be sent
+/// (dead pid, or a non-Unix target).
+#[must_use]
+pub fn kill_process(pid: u32, sig: i32) -> bool {
+    imp::kill_process(pid, sig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_raises_and_resets() {
+        reset_interrupted();
+        assert!(!interrupted());
+        raise_interrupted();
+        assert!(interrupted());
+        reset_interrupted();
+        assert!(!interrupted());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn kill_rejects_absurd_pids() {
+        // Sending signal 0 probes liveness without delivering anything.
+        assert!(!kill_process(u32::MAX, 0));
+    }
+}

@@ -1,0 +1,143 @@
+//! Durable-checkpoint round-trip over every engine × representation
+//! lane: interrupt a run mid-traversal via the periodic checkpoint
+//! hook, persist the checkpoint through the binary container format,
+//! re-intern it into a **fresh manager**, resume, and require the
+//! resumed fixed point to be semantically identical to an
+//! uninterrupted baseline — equal state counts for every lane, and
+//! graph-level equality of the reached characteristic function (plus a
+//! clean `bfvr-audit` pass over the resumed set) for the exact lanes.
+
+use std::cell::Cell;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use bfvr_audit::{run_passes, AuditTargets, Report};
+use bfvr_netlist::generators;
+use bfvr_reach::portfolio::Lane;
+use bfvr_reach::{resume, run_repr, Outcome, ReachOptions};
+use bfvr_serve::{fnv1a64, read_checkpoint, write_checkpoint, CkptMeta};
+use bfvr_sim::{EncodedFsm, OrderHeuristic};
+
+/// A collision-free scratch path under the system temp dir.
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bfvr-ckpt-rt-{}-{name}.ckpt", std::process::id()))
+}
+
+/// The iteration the mid-run checkpoint is taken at: late enough that
+/// real state exists, early enough that resume has real work left.
+const CKPT_AT: usize = 2;
+
+fn roundtrip_lane(lane: Lane) {
+    let net = generators::counter(5);
+    let circuit = "gen:counter:5".to_string();
+    let bench = bfvr_netlist::bench::write(&net).unwrap();
+    let fingerprint = fnv1a64(bench.as_bytes());
+
+    // Uninterrupted reference run.
+    let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+    let opts = ReachOptions::default();
+    let baseline = run_repr(lane.engine, lane.repr, &mut m, &fsm, &opts);
+    assert_eq!(baseline.outcome, Outcome::FixedPoint, "{lane:?} baseline");
+    let expect_states = baseline.reached_states.unwrap();
+    let expect_iters = baseline.iterations;
+    assert!(
+        expect_iters > CKPT_AT,
+        "{lane:?}: baseline too short to interrupt at {CKPT_AT}"
+    );
+    // Keep the baseline's reached χ portable for the graph-equality
+    // check in the resumed manager.
+    let baseline_dag = baseline
+        .reached_chi
+        .as_ref()
+        .map(|f| m.export_dag(&[f.bdd()]));
+
+    // Interrupted run: the checkpoint hook persists the state at
+    // iteration CKPT_AT; the run itself continues to its fixed point —
+    // what matters is that the *persisted mid-run snapshot* resumes to
+    // the same answer in a different process's manager.
+    let path = scratch(lane.label());
+    let (mut m1, fsm1) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+    let wrote = Rc::new(Cell::new(false));
+    let hook_wrote = Rc::clone(&wrote);
+    let hook_path = path.clone();
+    let hook_circuit = circuit.clone();
+    let opts1 = ReachOptions {
+        checkpoint_every: Some(1),
+        checkpoint_hook: Some(Rc::new(move |m, cp| {
+            if cp.iterations != CKPT_AT || hook_wrote.get() {
+                return;
+            }
+            let meta = CkptMeta {
+                engine: cp.engine,
+                repr: cp.repr,
+                order: "s1".to_string(),
+                circuit: hook_circuit.clone(),
+                fingerprint,
+                num_vars: m.num_vars(),
+                iterations: cp.iterations,
+            };
+            write_checkpoint(&hook_path, m, &meta, cp.state()).unwrap();
+            hook_wrote.set(true);
+        })),
+        ..ReachOptions::default()
+    };
+    let r1 = run_repr(lane.engine, lane.repr, &mut m1, &fsm1, &opts1);
+    assert_eq!(r1.outcome, Outcome::FixedPoint, "{lane:?} hooked run");
+    assert!(wrote.get(), "{lane:?}: checkpoint hook never fired");
+    drop((m1, fsm1));
+
+    // Re-intern into a fresh manager (a new process in miniature) and
+    // resume to the fixed point.
+    let (mut m2, fsm2) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+    let (meta, cp) = read_checkpoint(&path, &mut m2).unwrap();
+    assert_eq!(meta.engine, lane.engine, "{lane:?} meta engine");
+    assert_eq!(meta.repr, lane.repr, "{lane:?} meta repr");
+    assert_eq!(meta.iterations, CKPT_AT, "{lane:?} meta iterations");
+    assert_eq!(meta.circuit, circuit, "{lane:?} meta circuit");
+    assert_eq!(meta.fingerprint, fingerprint, "{lane:?} meta fingerprint");
+    let resumed = resume(&mut m2, &fsm2, &opts, cp);
+    assert_eq!(resumed.outcome, Outcome::FixedPoint, "{lane:?} resume");
+    assert_eq!(
+        resumed.reached_states,
+        Some(expect_states),
+        "{lane:?}: resumed fixed point differs from baseline"
+    );
+    assert!(
+        resumed.iterations >= expect_iters,
+        "{lane:?}: cumulative iterations lost progress"
+    );
+
+    // Exact lanes: graph-level equivalence of the reached χ (canonical
+    // ROBDDs in one manager are equal iff identical), then a full
+    // bfvr-audit pass over the resumed set.
+    if !lane.over_approximates() {
+        let resumed_chi = resumed.reached_chi.as_ref().unwrap();
+        let imported = m2.import_dag(&baseline_dag.unwrap()).unwrap();
+        assert_eq!(
+            imported[0],
+            resumed_chi.bdd(),
+            "{lane:?}: resumed reached set is not the baseline set"
+        );
+        let space = fsm2.space();
+        let mut report = Report::new();
+        run_passes(
+            &mut m2,
+            &AuditTargets::for_chi(&space, resumed_chi.bdd()),
+            &format!("{}/resumed", lane.label()),
+            &mut report,
+        )
+        .unwrap();
+        assert!(report.is_empty(), "{lane:?}:\n{}", report.render());
+    }
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn every_lane_roundtrips_through_a_fresh_manager() {
+    let lanes = Lane::all_lanes();
+    assert_eq!(lanes.len(), 9, "lane matrix changed; update this test");
+    for lane in lanes {
+        roundtrip_lane(lane);
+    }
+}

@@ -131,6 +131,47 @@ impl Zonotope {
         (self.rank() as f64).exp2()
     }
 
+    /// Borrowed center row: `dims().div_ceil(64)` little-endian 64-bit
+    /// words, bit `i` of the row = coordinate `i` of the center point.
+    /// Together with [`Zonotope::generator_rows`] this is the full
+    /// serializable state; [`Zonotope::from_rows`] inverts it.
+    #[must_use]
+    pub fn center_words(&self) -> &[u64] {
+        &self.center
+    }
+
+    /// Borrowed generator rows in canonical (reduced row-echelon) order,
+    /// each the same width as [`Zonotope::center_words`].
+    #[must_use]
+    pub fn generator_rows(&self) -> &[Vec<u64>] {
+        &self.gens
+    }
+
+    /// Rebuilds a zonotope from serialized rows, validating shape:
+    /// every row must be exactly `n.div_ceil(64)` words and carry no set
+    /// bits at positions `>= n` (stray high bits would fabricate phantom
+    /// dimensions). Returns `None` on any violation — deserializers turn
+    /// that into a structured corrupt-file error. The result is
+    /// re-canonicalized, so untrusted row order cannot break the
+    /// `==`-is-set-equality invariant.
+    #[must_use]
+    pub fn from_rows(n: usize, center: Vec<u64>, gens: Vec<Vec<u64>>) -> Option<Zonotope> {
+        let w = words(n);
+        let tail_ok = |row: &[u64]| -> bool {
+            if n.is_multiple_of(64) || w == 0 {
+                return true;
+            }
+            row[w - 1] >> (n % 64) == 0
+        };
+        if center.len() != w || !tail_ok(&center) {
+            return None;
+        }
+        if gens.iter().any(|g| g.len() != w || !tail_ok(g)) {
+            return None;
+        }
+        Some(Zonotope::from_raw(n, center, gens))
+    }
+
     /// Gaussian elimination to RREF plus center reduction; establishes
     /// the canonical-form invariant `==` relies on.
     fn canonicalize(&mut self) {

@@ -6,6 +6,9 @@
 //! bfvr stats <file>                   parse and summarize a circuit
 //! bfvr convert <file> --to FORMAT     convert between bench and blif
 //! bfvr reach <file> [options]         reachability analysis
+//! bfvr resume --from <ckpt>           continue from a durable checkpoint
+//! bfvr serve --dir <dir>              supervised worker pool over a job dir
+//! bfvr submit <file> --dir <dir>      journal a job for bfvr serve
 //! bfvr audit <file> [options]         audit engines' intermediate sets
 //! bfvr check <file> --bad CUBE        invariant check (+ counterexample)
 //! bfvr trace <file> --to CUBE         minimal input trace to a state cube
@@ -14,21 +17,29 @@
 //!
 //! Run `bfvr help` for the full option list.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use bfvr::audit::{run_mutations, run_passes, AuditTargets, Report, Severity};
 use bfvr::bfv::StateSet;
 use bfvr::netlist::{bench, blif, generators, Netlist};
+use bfvr::obs::json::{obj, Value};
 use bfvr::obs::{Counters, Format, JsonlSink, SpanKind, Tracer};
 use bfvr::reach::portfolio::{run_escalating_repr, run_racing, EscalationPolicy, Lane, RaceConfig};
 use bfvr::reach::telemetry::trace_handle;
 use bfvr::reach::TraceHandle;
 use bfvr::reach::{
-    check_invariant, find_trace, lane_label, run as run_engine, run_repr, CheckResult, EngineKind,
-    ReachOptions, ReachResult, ReprKind, SetView,
+    check_invariant, find_trace, lane_label, run as run_engine, run_repr, CheckResult, Checkpoint,
+    CheckpointHook, EngineKind, Outcome, ReachOptions, ReachResult, ReprKind, SetView,
+};
+use bfvr::serve::{
+    fnv1a64, read_checkpoint, read_meta, replay, signal, write_checkpoint, CkptMeta, JobSpec,
+    Journal, ProcessRunner, Supervisor, SupervisorConfig, EXIT_CHECKPOINTED,
 };
 use bfvr::sim::{EncodedFsm, OrderHeuristic};
 
@@ -75,6 +86,38 @@ USAGE:
                     [--trace-sample <n>] record every n-th iteration in the
                                          trace (default 1 = every iteration;
                                          the first is always recorded)
+                    [--checkpoint-out <file>]  write a durable, resumable
+                                         checkpoint (atomic rename) when the
+                                         run is interrupted by SIGINT/SIGTERM
+                                         or trips a resource limit — and
+                                         periodically while running; exit
+                                         code 75 means \"interrupted but
+                                         checkpointed\" (resume with
+                                         bfvr resume --from <file>).
+                                         Needs exactly one engine × repr lane
+                    [--checkpoint-every <n>]   durable-checkpoint period in
+                                         iterations (default 1)
+                    [--result-out <file>]      write a one-line JSON summary
+                                         of the final outcome (job runner
+                                         protocol; single lane only)
+  bfvr resume --from <ckpt>  continue an interrupted reach run from its
+                    durable checkpoint file: rebuilds the circuit recorded in
+                    the header (fingerprint-checked), re-interns the saved
+                    sets, and iterates to the same fixed point. Accepts the
+                    same limit/trace/checkpoint/result flags as reach
+                    (--checkpoint-out defaults to the --from file)
+  bfvr serve --dir <dir>     run every journaled job in <dir> to a terminal
+                    state with a supervised pool of child processes: crashes
+                    retry with exponential backoff, repeat offenders are
+                    quarantined, SIGTERM'd children checkpoint and resume
+                    [--workers <n>] [--max-attempts <n>] [--job-timeout <sec>]
+  bfvr submit <file> --dir <dir>  append a job to <dir>'s journal
+                    [--id <id>] [--engine E] [--repr R] [--order O]
+                    [--priority <n>]     higher runs first; lowest shed first
+                    [--checkpoint-every <n>] [--node-limit <n>]
+                    [--time-limit <sec>]
+                    [--fault kill@K]     fault injection: crash the child at
+                                         iteration K on its first attempt
   bfvr audit <file> [--engine bfv|cbm|mono|iwls95|cdec|all]  (default all)
                     [--repr chi|bfv|cdec|zdd|zono|native|all]  (default native)
                     [--order s1|s2|d|o:<seed>]
@@ -98,7 +141,7 @@ Files ending in .blif parse as BLIF; everything else as ISCAS89 bench.
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match dispatch(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
@@ -106,19 +149,26 @@ fn main() -> ExitCode {
     }
 }
 
-fn dispatch(args: &[String]) -> Result<(), String> {
+fn dispatch(args: &[String]) -> Result<ExitCode, String> {
+    // `reach` and `resume` have a third exit state — EXIT_CHECKPOINTED,
+    // "interrupted but resumable" — so they return their code directly;
+    // everything else is plain success/failure.
+    let simple = |r: Result<(), String>| r.map(|()| ExitCode::SUCCESS);
     match args.first().map(String::as_str) {
-        Some("gen") => cmd_gen(args.get(1).ok_or("gen needs a family spec")?),
-        Some("stats") => cmd_stats(&load(args.get(1).ok_or("stats needs a file")?)?),
-        Some("convert") => cmd_convert(args),
+        Some("gen") => simple(cmd_gen(args.get(1).ok_or("gen needs a family spec")?)),
+        Some("stats") => simple(cmd_stats(&load(args.get(1).ok_or("stats needs a file")?)?)),
+        Some("convert") => simple(cmd_convert(args)),
         Some("reach") => cmd_reach(args),
-        Some("audit") => cmd_audit(args),
-        Some("check") => cmd_check(args),
-        Some("trace") => cmd_trace(args),
-        Some("report") => cmd_report(args),
+        Some("resume") => cmd_resume(args),
+        Some("serve") => simple(cmd_serve(args)),
+        Some("submit") => simple(cmd_submit(args)),
+        Some("audit") => simple(cmd_audit(args)),
+        Some("check") => simple(cmd_check(args)),
+        Some("trace") => simple(cmd_trace(args)),
+        Some("report") => simple(cmd_report(args)),
         Some("help") | None => {
             print!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
     }
@@ -195,15 +245,36 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
 }
 
 fn parse_order(args: &[String]) -> Result<OrderHeuristic, String> {
-    Ok(match flag_value(args, "--order").as_deref() {
-        None | Some("s1") => OrderHeuristic::DfsFanin,
-        Some("s2") => OrderHeuristic::Declaration,
-        Some("d") => OrderHeuristic::Reversed,
-        Some(o) if o.starts_with("o:") => {
+    match flag_value(args, "--order") {
+        None => Ok(OrderHeuristic::DfsFanin),
+        Some(tok) => parse_order_token(&tok),
+    }
+}
+
+/// Parses one `--order` token (`s1`/`s2`/`d`/`o:SEED`) — also the format
+/// durable checkpoint headers and job specs record an order in.
+fn parse_order_token(tok: &str) -> Result<OrderHeuristic, String> {
+    Ok(match tok {
+        "s1" => OrderHeuristic::DfsFanin,
+        "s2" => OrderHeuristic::Declaration,
+        "d" => OrderHeuristic::Reversed,
+        o if o.starts_with("o:") => {
             OrderHeuristic::Random(o[2..].parse().map_err(|e| format!("bad order seed: {e}"))?)
         }
-        Some(other) => return Err(format!("unknown order `{other}`")),
+        other => return Err(format!("unknown order `{other}`")),
     })
+}
+
+/// The inverse of [`parse_order_token`]: the CLI token for an order,
+/// written into durable checkpoint headers so `bfvr resume` can rebuild
+/// the exact manager the checkpoint was taken in.
+fn order_token(order: OrderHeuristic) -> String {
+    match order {
+        OrderHeuristic::DfsFanin => "s1".to_string(),
+        OrderHeuristic::Declaration => "s2".to_string(),
+        OrderHeuristic::Reversed => "d".to_string(),
+        OrderHeuristic::Random(seed) => format!("o:{seed}"),
+    }
 }
 
 fn parse_opts(args: &[String]) -> Result<ReachOptions, String> {
@@ -254,29 +325,39 @@ fn parse_escalation(args: &[String]) -> Result<Option<EscalationPolicy>, String>
 /// Parses `--engine` into the selected engine list; `all` expands to
 /// every engine, no flag selects `default`.
 fn parse_engines(args: &[String], default: &[EngineKind]) -> Result<Vec<EngineKind>, String> {
-    Ok(match flag_value(args, "--engine").as_deref() {
-        None => default.to_vec(),
-        Some("bfv") => vec![EngineKind::Bfv],
-        Some("cbm") => vec![EngineKind::Cbm],
-        Some("mono") => vec![EngineKind::Monolithic],
-        Some("iwls95") => vec![EngineKind::Iwls95],
-        Some("cdec") => vec![EngineKind::Cdec],
-        Some("all") => EngineKind::all().to_vec(),
-        Some(other) => return Err(format!("unknown engine `{other}`")),
-    })
+    // Case-insensitive: job specs carry the benchmark-table labels
+    // (`BFV`, `MONO`, …) and feed them straight back to this flag.
+    Ok(
+        match flag_value(args, "--engine")
+            .map(|s| s.to_ascii_lowercase())
+            .as_deref()
+        {
+            None => default.to_vec(),
+            Some("all") => EngineKind::all().to_vec(),
+            Some(s) => match EngineKind::parse(s) {
+                Some(e) => vec![e],
+                None => return Err(format!("unknown engine `{s}`")),
+            },
+        },
+    )
 }
 
 /// Parses `--repr` into the selected representation list; `None` (no
 /// flag, or `native`) means each engine's native representation.
 fn parse_reprs(args: &[String]) -> Result<Option<Vec<ReprKind>>, String> {
-    Ok(match flag_value(args, "--repr").as_deref() {
-        None | Some("native") => None,
-        Some("all") => Some(ReprKind::all().to_vec()),
-        Some(s) => match ReprKind::parse(s) {
-            Some(r) => Some(vec![r]),
-            None => return Err(format!("unknown representation `{s}`")),
+    Ok(
+        match flag_value(args, "--repr")
+            .map(|s| s.to_ascii_lowercase())
+            .as_deref()
+        {
+            None | Some("native") => None,
+            Some("all") => Some(ReprKind::all().to_vec()),
+            Some(s) => match ReprKind::parse(s) {
+                Some(r) => Some(vec![r]),
+                None => return Err(format!("unknown representation `{s}`")),
+            },
         },
-    })
+    )
 }
 
 /// Crosses the selected engines with the selected representations,
@@ -327,8 +408,229 @@ fn parse_trace(args: &[String], label: &str) -> Result<Option<TraceHandle>, Stri
     Ok(Some(trace_handle(tracer)))
 }
 
-fn cmd_reach(args: &[String]) -> Result<(), String> {
-    let net = load(args.get(1).ok_or("reach needs a file")?)?;
+/// Everything needed to write durable checkpoint files for a single-lane
+/// run: the output path, the header context (`bfvr resume` rebuilds the
+/// circuit and manager from it), and latches recording what happened —
+/// a failed periodic write must never abort the in-memory traversal, so
+/// errors are held here and surfaced after the run.
+struct Durable {
+    path: PathBuf,
+    every: usize,
+    order: String,
+    circuit: String,
+    fingerprint: u64,
+    /// Latched first write failure (reported, not fatal).
+    error: Rc<RefCell<Option<String>>>,
+    /// Whether at least one durable checkpoint reached disk.
+    wrote: Rc<Cell<bool>>,
+}
+
+impl Durable {
+    fn new(
+        path: PathBuf,
+        every: usize,
+        order: String,
+        circuit: String,
+        net: &Netlist,
+    ) -> Result<Durable, String> {
+        // Fingerprint the canonical bench text, not the on-disk bytes:
+        // resume re-derives it from the rebuilt circuit the same way.
+        let text = bench::write(net).map_err(|e| e.to_string())?;
+        Ok(Durable {
+            path,
+            every,
+            order,
+            circuit,
+            fingerprint: fnv1a64(text.as_bytes()),
+            error: Rc::new(RefCell::new(None)),
+            wrote: Rc::new(Cell::new(false)),
+        })
+    }
+
+    /// The periodic hook the fixed-point driver invokes mid-run.
+    fn hook(&self) -> CheckpointHook {
+        let path = self.path.clone();
+        let order = self.order.clone();
+        let circuit = self.circuit.clone();
+        let fingerprint = self.fingerprint;
+        let error = Rc::clone(&self.error);
+        let wrote = Rc::clone(&self.wrote);
+        Rc::new(move |m, cp| {
+            let meta = CkptMeta {
+                engine: cp.engine,
+                repr: cp.repr,
+                order: order.clone(),
+                circuit: circuit.clone(),
+                fingerprint,
+                num_vars: m.num_vars(),
+                iterations: cp.iterations,
+            };
+            match write_checkpoint(&path, m, &meta, cp.state()) {
+                Ok(()) => wrote.set(true),
+                Err(e) => {
+                    let mut latch = error.borrow_mut();
+                    if latch.is_none() {
+                        *latch = Some(e.to_string());
+                    }
+                }
+            }
+        })
+    }
+
+    /// Direct durable write (the final checkpoint after the run, where
+    /// only a shared manager borrow is available).
+    fn write_now(&self, m: &bfvr::bdd::BddManager, cp: &Checkpoint) {
+        let meta = CkptMeta {
+            engine: cp.engine,
+            repr: cp.repr,
+            order: self.order.clone(),
+            circuit: self.circuit.clone(),
+            fingerprint: self.fingerprint,
+            num_vars: m.num_vars(),
+            iterations: cp.iterations,
+        };
+        match write_checkpoint(&self.path, m, &meta, cp.state()) {
+            Ok(()) => self.wrote.set(true),
+            Err(e) => {
+                let mut latch = self.error.borrow_mut();
+                if latch.is_none() {
+                    *latch = Some(e.to_string());
+                }
+            }
+        }
+    }
+}
+
+/// Parses the durable-checkpoint / job-runner flags shared by `reach`
+/// and `resume`. `default_out` supplies `resume`'s fallback (its own
+/// `--from` file).
+fn parse_durable(
+    args: &[String],
+    net: &Netlist,
+    order: OrderHeuristic,
+    circuit: &str,
+    default_out: Option<PathBuf>,
+) -> Result<Option<Durable>, String> {
+    let out = flag_value(args, "--checkpoint-out")
+        .map(PathBuf::from)
+        .or(default_out);
+    let every = match flag_value(args, "--checkpoint-every") {
+        None => 1,
+        Some(s) => {
+            let n: usize = s
+                .parse()
+                .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+            if n == 0 {
+                return Err("--checkpoint-every must be at least 1".into());
+            }
+            n
+        }
+    };
+    let Some(path) = out else {
+        if flag_value(args, "--checkpoint-every").is_some() {
+            return Err("--checkpoint-every requires --checkpoint-out".into());
+        }
+        return Ok(None);
+    };
+    Durable::new(path, every, order_token(order), circuit.to_string(), net).map(Some)
+}
+
+/// Runs `body` with SIGINT/SIGTERM bridged into a cooperative cancel
+/// token: the handler latches an atomic, a bridge thread copies the
+/// latch into the token the BDD manager polls, and the traversal unwinds
+/// as a clean time-out with a checkpoint instead of dying mid-update.
+fn with_interrupt_token<T>(body: impl FnOnce(&Arc<AtomicBool>) -> T) -> T {
+    signal::install_handlers();
+    let token = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let bridge = {
+        let token = Arc::clone(&token);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if signal::interrupted() {
+                    token.store(true, Ordering::Relaxed);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+    let r = body(&token);
+    stop.store(true, Ordering::Relaxed);
+    let _ = bridge.join();
+    r
+}
+
+/// Writes the `--result-out` summary: one canonical-JSON line with the
+/// outcome label, counts and lane — the contract the supervised job
+/// runner parses.
+fn write_result_file(path: &str, r: &ReachResult) -> Result<(), String> {
+    let mut pairs = vec![
+        ("outcome", Value::Str(r.outcome.label().to_string())),
+        ("lane", Value::Str(lane_label(r.engine, r.repr).to_string())),
+        ("iterations", Value::Num(r.iterations as f64)),
+        ("over_approx", Value::Bool(r.over_approx)),
+    ];
+    if let Some(s) = r.reached_states {
+        pairs.push(("states", Value::Num(s)));
+    }
+    let line = format!("{}\n", obj(pairs).encode());
+    std::fs::write(path, line).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Settles a (single-lane) run under the durable-checkpoint protocol:
+/// writes the final checkpoint / result file, surfaces latched periodic
+/// write failures, and picks the exit code — 0 for a fixed point,
+/// [`EXIT_CHECKPOINTED`] when the run stopped early but left a durable
+/// checkpoint to resume from, an error otherwise when interrupted.
+fn settle_durable(
+    m: &bfvr::bdd::BddManager,
+    r: &ReachResult,
+    durable: Option<&Durable>,
+    result_out: Option<&str>,
+    interrupted: bool,
+) -> Result<ExitCode, String> {
+    if let Some(d) = durable {
+        if r.outcome == Outcome::FixedPoint {
+            // Done: a stale checkpoint would only invite a pointless
+            // resume after the fact.
+            let _ = std::fs::remove_file(&d.path);
+        } else if let Some(cp) = &r.checkpoint {
+            d.write_now(m, cp);
+        }
+        if let Some(e) = d.error.borrow().as_ref() {
+            eprintln!("warning: durable checkpoint write failed: {e}");
+        }
+    }
+    if let Some(path) = result_out {
+        write_result_file(path, r)?;
+    }
+    if r.outcome != Outcome::FixedPoint {
+        if let Some(d) = durable {
+            if d.wrote.get() && r.outcome != Outcome::Error {
+                eprintln!(
+                    "checkpointed at iteration {} -> {} (resume with: bfvr resume --from {})",
+                    r.iterations,
+                    d.path.display(),
+                    d.path.display()
+                );
+                return Ok(ExitCode::from(
+                    u8::try_from(EXIT_CHECKPOINTED).unwrap_or(u8::MAX),
+                ));
+            }
+        }
+        if interrupted {
+            return Err(
+                "interrupted before reaching a fixed point (no durable checkpoint written)".into(),
+            );
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_reach(args: &[String]) -> Result<ExitCode, String> {
+    let circuit = args.get(1).ok_or("reach needs a file")?.clone();
+    let net = load(&circuit)?;
     let order = parse_order(args)?;
     let mut opts = parse_opts(args)?;
     let escalation = parse_escalation(args)?;
@@ -349,6 +651,27 @@ fn cmd_reach(args: &[String]) -> Result<(), String> {
     if !race && flag_value(args, "--jobs").is_some() {
         return Err("--jobs requires --race".into());
     }
+    let result_out = flag_value(args, "--result-out");
+    let kill_at = match flag_value(args, "--kill-at-iter") {
+        None => None,
+        Some(s) => Some(
+            s.parse::<usize>()
+                .map_err(|e| format!("bad --kill-at-iter: {e}"))?,
+        ),
+    };
+    if race
+        && (flag_value(args, "--checkpoint-out").is_some()
+            || result_out.is_some()
+            || kill_at.is_some())
+    {
+        return Err(
+            "--checkpoint-out/--result-out/--kill-at-iter are not available with --race".into(),
+        );
+    }
+    let durable = parse_durable(args, &net, order, &circuit, None)?;
+    if (durable.is_some() || result_out.is_some()) && lanes.len() != 1 {
+        return Err("--checkpoint-out/--result-out need exactly one engine × repr lane".into());
+    }
     let trace = parse_trace(args, &format!("bfvr reach {}", net.name()))?;
     opts.trace.clone_from(&trace);
     let run_span = trace.as_ref().map(|t| {
@@ -356,25 +679,48 @@ fn cmd_reach(args: &[String]) -> Result<(), String> {
             .open_span(SpanKind::Run, net.name(), Counters::new())
     });
     let result = if race {
-        cmd_reach_race(args, &net, order, &opts, &lanes, escalation)
+        cmd_reach_race(args, &net, order, &opts, &lanes, escalation).map(|()| ExitCode::SUCCESS)
     } else {
-        reach_plain(args, &net, order, &opts, &lanes, escalation.as_ref())
+        reach_plain(
+            args,
+            &net,
+            order,
+            &opts,
+            &lanes,
+            escalation.as_ref(),
+            durable.as_ref(),
+            result_out.as_deref(),
+            kill_at,
+        )
     };
     // Close the run span and flush even when a lane failed: a trace of a
-    // timed-out run is exactly what the telemetry is for.
+    // timed-out run is exactly what the telemetry is for. A sink that
+    // swallowed a write error reports it now — a "successful" run whose
+    // trace silently went nowhere must not exit 0.
+    let mut trace_error = None;
     if let Some(t) = &trace {
         let mut t = t.borrow_mut();
         if let Some(id) = run_span {
             t.close_span(id, &Counters::new());
         }
         t.finish();
+        trace_error = t.take_error();
     }
-    result
+    let code = result?;
+    if let Some(e) = trace_error {
+        return Err(format!("--trace-out: trace write failed: {e}"));
+    }
+    Ok(code)
 }
 
 /// The non-racing `bfvr reach` path: run each selected lane in its own
 /// fresh manager and print one summary row per lane. An
 /// over-approximating lane prints its count as `<=N`.
+///
+/// SIGINT/SIGTERM are bridged into each manager's cooperative cancel
+/// token; an interrupted single-lane run with `--checkpoint-out` settles
+/// through the durable-checkpoint exit protocol (see [`settle_durable`]).
+#[allow(clippy::too_many_arguments)]
 fn reach_plain(
     args: &[String],
     net: &Netlist,
@@ -382,95 +728,128 @@ fn reach_plain(
     opts: &ReachOptions,
     lanes: &[Lane],
     escalation: Option<&EscalationPolicy>,
-) -> Result<(), String> {
+    durable: Option<&Durable>,
+    result_out: Option<&str>,
+    kill_at: Option<usize>,
+) -> Result<ExitCode, String> {
     println!(
         "{:10} {:>6} {:>14} {:>7} {:>10} {:>11}",
         "lane", "status", "states", "iters", "time(ms)", "peak nodes"
     );
     let dump = args.iter().any(|a| a == "--dump-reached");
     let show_stats = args.iter().any(|a| a == "--stats");
-    for &lane in lanes {
-        let (mut m, fsm) = EncodedFsm::encode(net, order).map_err(|e| e.to_string())?;
-        let r: ReachResult = match escalation {
-            None => run_repr(lane.engine, lane.repr, &mut m, &fsm, opts),
-            Some(policy) => {
-                let report =
-                    run_escalating_repr(lane.engine, lane.repr, &mut m, &fsm, opts, policy);
-                for (i, round) in report.rounds.iter().enumerate().skip(1) {
-                    eprintln!(
-                        "{}: round {i} ({}): {} at {} iterations under {} nodes",
-                        lane.label(),
-                        if round.resumed {
-                            "resumed"
-                        } else {
-                            "restarted"
-                        },
-                        round.outcome.label(),
-                        round.iterations,
-                        round
-                            .node_limit
-                            .map_or("unlimited".into(), |n| n.to_string()),
+    with_interrupt_token(|cancel| {
+        let mut exit = ExitCode::SUCCESS;
+        for &lane in lanes {
+            if cancel.load(Ordering::Relaxed) {
+                return Err("interrupted before completion (remaining lanes skipped)".into());
+            }
+            let (mut m, fsm) = EncodedFsm::encode(net, order).map_err(|e| e.to_string())?;
+            m.set_cancel_token(Some(Arc::clone(cancel)));
+            let mut lane_opts = opts.clone();
+            if let Some(d) = durable {
+                lane_opts.checkpoint_every = Some(d.every);
+                lane_opts.checkpoint_hook = Some(d.hook());
+            }
+            if let Some(k) = kill_at {
+                // Fault injection for the supervisor's crash-recovery tests:
+                // die the way a real crash does — by signal, mid-run, after
+                // the previous iteration's durable checkpoint hit disk.
+                lane_opts.observer = Some(Rc::new(move |_, _, view| {
+                    if view.iteration >= k {
+                        eprintln!("fault injection: aborting at iteration {}", view.iteration);
+                        std::process::abort();
+                    }
+                }));
+            }
+            let r: ReachResult = match escalation {
+                None => run_repr(lane.engine, lane.repr, &mut m, &fsm, &lane_opts),
+                Some(policy) => {
+                    let report = run_escalating_repr(
+                        lane.engine,
+                        lane.repr,
+                        &mut m,
+                        &fsm,
+                        &lane_opts,
+                        policy,
+                    );
+                    for (i, round) in report.rounds.iter().enumerate().skip(1) {
+                        eprintln!(
+                            "{}: round {i} ({}): {} at {} iterations under {} nodes",
+                            lane.label(),
+                            if round.resumed {
+                                "resumed"
+                            } else {
+                                "restarted"
+                            },
+                            round.outcome.label(),
+                            round.iterations,
+                            round
+                                .node_limit
+                                .map_or("unlimited".into(), |n| n.to_string()),
+                        );
+                    }
+                    report.result
+                }
+            };
+            println!(
+                "{:10} {:>6} {:>14} {:>7} {:>10.1} {:>11}",
+                lane.label(),
+                r.outcome.label(),
+                states_cell(r.reached_states, r.over_approx),
+                r.iterations,
+                r.elapsed.as_secs_f64() * 1e3,
+                r.peak_nodes
+            );
+            if show_stats {
+                let s = m.stats();
+                println!(
+                    "  tables: {} KiB computed caches + {} KiB unique table resident; \
+                 {} mk calls, {} GCs",
+                    s.cache_bytes / 1024,
+                    s.unique_bytes / 1024,
+                    s.mk_calls,
+                    s.gc_runs
+                );
+                for c in m.cache_stats() {
+                    if c.lookups == 0 {
+                        continue;
+                    }
+                    println!(
+                        "  cache {:10} {:>10} lookups {:>6.1}% hit  {:>8} / {:>8} slots  {:>6} KiB",
+                        c.name,
+                        c.lookups,
+                        c.hits as f64 / c.lookups as f64 * 100.0,
+                        c.entries,
+                        c.capacity,
+                        c.bytes / 1024
                     );
                 }
-                report.result
             }
-        };
-        println!(
-            "{:10} {:>6} {:>14} {:>7} {:>10.1} {:>11}",
-            lane.label(),
-            r.outcome.label(),
-            states_cell(r.reached_states, r.over_approx),
-            r.iterations,
-            r.elapsed.as_secs_f64() * 1e3,
-            r.peak_nodes
-        );
-        if show_stats {
-            let s = m.stats();
-            println!(
-                "  tables: {} KiB computed caches + {} KiB unique table resident; \
-                 {} mk calls, {} GCs",
-                s.cache_bytes / 1024,
-                s.unique_bytes / 1024,
-                s.mk_calls,
-                s.gc_runs
-            );
-            for c in m.cache_stats() {
-                if c.lookups == 0 {
-                    continue;
-                }
-                println!(
-                    "  cache {:10} {:>10} lookups {:>6.1}% hit  {:>8} / {:>8} slots  {:>6} KiB",
-                    c.name,
-                    c.lookups,
-                    c.hits as f64 / c.lookups as f64 * 100.0,
-                    c.entries,
-                    c.capacity,
-                    c.bytes / 1024
-                );
-            }
-        }
-        if dump {
-            if let Some(chi) = &r.reached_chi {
-                let cubes = m.isop(chi.bdd()).map_err(|e| e.to_string())?;
-                // Column per latch, in declaration order.
-                let mut comp_of_var = std::collections::HashMap::new();
-                for c in 0..fsm.num_latches() {
-                    let l = fsm.latch_of_component(c);
-                    comp_of_var.insert(fsm.state_vars(l).0, l);
-                }
-                println!("reached set, one cube per line (latch order):");
-                for cube in &cubes {
-                    let mut row = vec!['-'; fsm.num_latches()];
-                    for &(v, pol) in cube {
-                        let l = comp_of_var[&v];
-                        row[l] = if pol { '1' } else { '0' };
+            if dump {
+                if let Some(chi) = &r.reached_chi {
+                    let cubes = m.isop(chi.bdd()).map_err(|e| e.to_string())?;
+                    // Column per latch, in declaration order.
+                    let mut comp_of_var = std::collections::HashMap::new();
+                    for c in 0..fsm.num_latches() {
+                        let l = fsm.latch_of_component(c);
+                        comp_of_var.insert(fsm.state_vars(l).0, l);
                     }
-                    println!("  {}", row.iter().collect::<String>());
+                    println!("reached set, one cube per line (latch order):");
+                    for cube in &cubes {
+                        let mut row = vec!['-'; fsm.num_latches()];
+                        for &(v, pol) in cube {
+                            let l = comp_of_var[&v];
+                            row[l] = if pol { '1' } else { '0' };
+                        }
+                        println!("  {}", row.iter().collect::<String>());
+                    }
                 }
             }
+            exit = settle_durable(&m, &r, durable, result_out, cancel.load(Ordering::Relaxed))?;
         }
-    }
-    Ok(())
+        Ok(exit)
+    })
 }
 
 /// The reached-states column: `<=N` for an over-approximating lane's
@@ -553,6 +932,233 @@ fn cmd_reach_race(
         )),
         None => Err("race had no engines".into()),
     }
+}
+
+/// `bfvr resume`: continue an interrupted traversal from its durable
+/// checkpoint file. The header records everything needed to rebuild the
+/// run's context — circuit spec, variable order, manager width and a
+/// circuit fingerprint — so resume takes no positional circuit argument
+/// and refuses a checkpoint whose circuit no longer matches.
+fn cmd_resume(args: &[String]) -> Result<ExitCode, String> {
+    let from = flag_value(args, "--from").ok_or("resume needs --from <checkpoint>")?;
+    let from_path = PathBuf::from(&from);
+    let meta = read_meta(&from_path).map_err(|e| format!("{from}: {e}"))?;
+    let net = load(&meta.circuit)?;
+    let text = bench::write(&net).map_err(|e| e.to_string())?;
+    let have = fnv1a64(text.as_bytes());
+    if have != meta.fingerprint {
+        return Err(format!(
+            "{from}: circuit `{}` does not match the checkpoint \
+             (fingerprint {have:#018x}, checkpoint records {:#018x}) — \
+             was the netlist edited or replaced?",
+            meta.circuit, meta.fingerprint
+        ));
+    }
+    let order = parse_order_token(&meta.order)?;
+    let mut opts = parse_opts(args)?;
+    let result_out = flag_value(args, "--result-out");
+    // An interrupted resume checkpoints over its own input by default,
+    // so repeated kill/resume cycles keep converging on one file.
+    let durable = parse_durable(args, &net, order, &meta.circuit, Some(from_path.clone()))?;
+    let trace = parse_trace(args, &format!("bfvr resume {}", net.name()))?;
+    opts.trace.clone_from(&trace);
+    let (mut m, fsm) = EncodedFsm::encode(&net, order).map_err(|e| e.to_string())?;
+    let (_, cp) = read_checkpoint(&from_path, &mut m).map_err(|e| format!("{from}: {e}"))?;
+    println!(
+        "resuming {} on {} from iteration {}",
+        lane_label(cp.engine, cp.repr),
+        net.name(),
+        cp.iterations
+    );
+    println!(
+        "{:10} {:>6} {:>14} {:>7} {:>10} {:>11}",
+        "lane", "status", "states", "iters", "time(ms)", "peak nodes"
+    );
+    let run_span = trace.as_ref().map(|t| {
+        t.borrow_mut()
+            .open_span(SpanKind::Run, net.name(), Counters::new())
+    });
+    let result = with_interrupt_token(|cancel| {
+        m.set_cancel_token(Some(Arc::clone(cancel)));
+        if let Some(d) = &durable {
+            opts.checkpoint_every = Some(d.every);
+            opts.checkpoint_hook = Some(d.hook());
+        }
+        let r = bfvr::reach::resume(&mut m, &fsm, &opts, cp);
+        println!(
+            "{:10} {:>6} {:>14} {:>7} {:>10.1} {:>11}",
+            lane_label(r.engine, r.repr),
+            r.outcome.label(),
+            states_cell(r.reached_states, r.over_approx),
+            r.iterations,
+            r.elapsed.as_secs_f64() * 1e3,
+            r.peak_nodes
+        );
+        settle_durable(
+            &m,
+            &r,
+            durable.as_ref(),
+            result_out.as_deref(),
+            cancel.load(Ordering::Relaxed),
+        )
+    });
+    let mut trace_error = None;
+    if let Some(t) = &trace {
+        let mut t = t.borrow_mut();
+        if let Some(id) = run_span {
+            t.close_span(id, &Counters::new());
+        }
+        t.finish();
+        trace_error = t.take_error();
+    }
+    let code = result?;
+    if let Some(e) = trace_error {
+        return Err(format!("--trace-out: trace write failed: {e}"));
+    }
+    Ok(code)
+}
+
+/// `bfvr serve`: replay the job directory's journal, then run every
+/// non-terminal job to a terminal state under the supervised worker
+/// pool (drain mode). Restart-safe by construction: killing the daemon
+/// and rerunning `bfvr serve` picks up exactly where the journal ends.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let dir = PathBuf::from(flag_value(args, "--dir").ok_or("serve needs --dir <dir>")?);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut cfg = SupervisorConfig::default();
+    if let Some(s) = flag_value(args, "--workers") {
+        cfg.workers = s.parse().map_err(|e| format!("bad --workers: {e}"))?;
+        if cfg.workers == 0 {
+            return Err("--workers must be at least 1".into());
+        }
+    }
+    if let Some(s) = flag_value(args, "--max-attempts") {
+        cfg.max_attempts = s.parse().map_err(|e| format!("bad --max-attempts: {e}"))?;
+        if cfg.max_attempts == 0 {
+            return Err("--max-attempts must be at least 1".into());
+        }
+    }
+    let job_timeout = match flag_value(args, "--job-timeout") {
+        None => None,
+        Some(s) => Some(Duration::from_secs(
+            s.parse().map_err(|e| format!("bad --job-timeout: {e}"))?,
+        )),
+    };
+    let bfvr_bin =
+        std::env::current_exe().map_err(|e| format!("cannot locate the bfvr binary: {e}"))?;
+    let runner = ProcessRunner {
+        bfvr_bin,
+        dir: dir.clone(),
+        job_timeout,
+        term_grace: Duration::from_secs(5),
+    };
+    let sup = Supervisor::new(&dir, cfg, runner).map_err(|e| e.to_string())?;
+    sup.drain().map_err(|e| e.to_string())?;
+    // The supervisor owns its journal; re-replay the file for the
+    // summary — which doubles as a standing test that the journal a
+    // drain leaves behind is replayable.
+    let ledger = replay(&dir.join("journal.jsonl")).map_err(|e| e.to_string())?;
+    println!(
+        "{:12} {:>11} {:>8} {:>14} {:>7}",
+        "job", "phase", "attempts", "states", "iters"
+    );
+    for id in ledger.job_ids() {
+        let Some(j) = ledger.get(id) else { continue };
+        println!(
+            "{:12} {:>11} {:>8} {:>14} {:>7}",
+            id,
+            j.phase.label(),
+            j.attempts,
+            j.states.map_or_else(|| "-".to_string(), |s| format!("{s}")),
+            j.iterations
+                .map_or_else(|| "-".to_string(), |i| i.to_string()),
+        );
+        if let Some(reason) = &j.reason {
+            println!("  {id}: {reason}");
+        }
+    }
+    Ok(())
+}
+
+/// `bfvr submit`: validate and journal one job for `bfvr serve`.
+/// Submission is append-only and first-wins per id, so re-running a
+/// submit script after a crash is harmless.
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let circuit = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("submit needs a circuit (file or gen:SPEC) before the flags")?
+        .clone();
+    // Fail bad circuits here, not in a worker three retries deep.
+    let _ = load(&circuit)?;
+    let dir = PathBuf::from(flag_value(args, "--dir").ok_or("submit needs --dir <dir>")?);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut journal = Journal::open(&dir.join("journal.jsonl")).map_err(|e| e.to_string())?;
+    let id = match flag_value(args, "--id") {
+        Some(id) => id,
+        None => format!("job{}", journal.ledger().job_ids().len() + 1),
+    };
+    if journal.ledger().get(&id).is_some() {
+        println!("job {id} is already journaled (ids are first-wins)");
+        return Ok(());
+    }
+    let mut spec = JobSpec::new(&id, &circuit);
+    if let Some(e) = flag_value(args, "--engine") {
+        spec.engine = e.to_ascii_lowercase();
+    }
+    if let Some(r) = flag_value(args, "--repr") {
+        spec.repr = r.to_ascii_lowercase();
+    }
+    let engine = EngineKind::parse(&spec.engine)
+        .ok_or_else(|| format!("unknown engine `{}`", spec.engine))?;
+    let repr = ReprKind::parse(&spec.repr)
+        .ok_or_else(|| format!("unknown representation `{}`", spec.repr))?;
+    if !engine.supported_reprs().contains(&repr) {
+        return Err(format!(
+            "engine {} cannot drive representation {}",
+            engine.label(),
+            repr.label()
+        ));
+    }
+    if let Some(o) = flag_value(args, "--order") {
+        parse_order_token(&o)?;
+        spec.order = o;
+    }
+    if let Some(p) = flag_value(args, "--priority") {
+        spec.priority = p.parse().map_err(|e| format!("bad --priority: {e}"))?;
+    }
+    if let Some(n) = flag_value(args, "--node-limit") {
+        spec.node_limit = Some(n.parse().map_err(|e| format!("bad --node-limit: {e}"))?);
+    }
+    if let Some(t) = flag_value(args, "--time-limit") {
+        spec.time_limit_secs = Some(t.parse().map_err(|e| format!("bad --time-limit: {e}"))?);
+    }
+    if let Some(n) = flag_value(args, "--checkpoint-every") {
+        spec.checkpoint_every = n
+            .parse()
+            .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+        if spec.checkpoint_every == 0 {
+            return Err("--checkpoint-every must be at least 1".into());
+        }
+    }
+    if let Some(f) = flag_value(args, "--fault") {
+        spec.fault = Some(f);
+        if spec.kill_at_iteration().is_none() {
+            return Err("bad --fault (expected kill@K)".into());
+        }
+    }
+    journal
+        .append(&id, "submitted", vec![("spec", spec.to_json())])
+        .map_err(|e| e.to_string())?;
+    println!(
+        "submitted job {id}: {} ({} × {}, order {}, priority {})",
+        circuit,
+        engine.label(),
+        repr.label(),
+        spec.order,
+        spec.priority
+    );
+    Ok(())
 }
 
 /// `bfvr audit`: run the selected engines with a per-iteration observer

@@ -19,7 +19,10 @@
 //! * [`audit`] — pass-based semantic analysis of BDD graphs and canonical
 //!   BFVs with compiler-style diagnostics (`bfvr-audit`),
 //! * [`obs`] — structured run telemetry: spans, counters and the JSONL
-//!   trace format rendered by `bfvr report` (`bfvr-obs`).
+//!   trace format rendered by `bfvr report` (`bfvr-obs`),
+//! * [`serve`] — crash-safe job execution: durable checkpoint files, the
+//!   append-only job journal, and the supervised worker pool behind
+//!   `bfvr serve` (`bfvr-serve`).
 //!
 //! The `examples/` directory shows end-to-end flows; `DESIGN.md` maps the
 //! paper's every table and figure to a regenerating binary.
@@ -30,5 +33,6 @@ pub use bfvr_bfv as bfv;
 pub use bfvr_netlist as netlist;
 pub use bfvr_obs as obs;
 pub use bfvr_reach as reach;
+pub use bfvr_serve as serve;
 pub use bfvr_setrepr as setrepr;
 pub use bfvr_sim as sim;

@@ -248,3 +248,66 @@ fn natural_node_limit_then_raised_budget_completes() {
     drop(fresh); // managers stay independently constructible throughout
     m.check_invariants().unwrap();
 }
+
+// --------------------------------------------- durable-write failures
+
+/// Disk faults on the durable-checkpoint write path must never take the
+/// traversal down with them: the hook's write fails (the checkpoint
+/// target's parent is a regular file, the cheapest deterministic stand-
+/// in for a full or read-only disk), the failure is latched for
+/// reporting, and the run itself continues to its exact fixed point.
+#[test]
+fn checkpoint_write_failure_is_reported_not_fatal() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    use bfvr::serve::{write_checkpoint, CkptError, CkptMeta};
+
+    let net = generators::counter(5);
+    let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+    let baseline = run(EngineKind::Bfv, &mut m, &fsm, &ReachOptions::default());
+    let expect_states = baseline.reached_states;
+    drop(baseline);
+
+    // A checkpoint path whose parent is a file: every write attempt
+    // fails with a structured I/O error, exactly like ENOSPC would.
+    let dir = std::env::temp_dir().join(format!("bfvr-ckpt-fault-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let blocker = dir.join("not-a-directory");
+    std::fs::write(&blocker, b"occupied").unwrap();
+    let doomed = blocker.join("inner.ckpt");
+
+    let failures: Rc<RefCell<Vec<CkptError>>> = Rc::new(RefCell::new(Vec::new()));
+    let sink = Rc::clone(&failures);
+    let opts = ReachOptions {
+        checkpoint_every: Some(1),
+        checkpoint_hook: Some(Rc::new(move |m, cp| {
+            let meta = CkptMeta {
+                engine: cp.engine,
+                repr: cp.repr,
+                order: "s1".to_string(),
+                circuit: "gen:counter:5".to_string(),
+                fingerprint: 0,
+                num_vars: m.num_vars(),
+                iterations: cp.iterations,
+            };
+            if let Err(e) = write_checkpoint(&doomed, m, &meta, cp.state()) {
+                sink.borrow_mut().push(e);
+            }
+        })),
+        ..Default::default()
+    };
+    let r = run(EngineKind::Bfv, &mut m, &fsm, &opts);
+
+    // The run is whole: fixed point, baseline-equal count, no panic.
+    assert_eq!(r.outcome, Outcome::FixedPoint);
+    assert_eq!(r.reached_states, expect_states);
+    // Every periodic write failed, each as a structured I/O error.
+    let failures = failures.borrow();
+    assert!(!failures.is_empty(), "fault never fired");
+    assert!(failures.iter().all(|e| matches!(e, CkptError::Io(_))));
+    // And no partial temp files leaked next to the target.
+    assert!(!blocker.join("inner.ckpt.tmp").exists());
+    m.check_invariants().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
