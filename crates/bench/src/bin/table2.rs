@@ -7,9 +7,15 @@
 //!
 //! ```sh
 //! cargo run --release -p bfvr-bench --bin table2 \
-//!     [--quick] [--all-engines] [--samples N]
+//!     [--quick] [--all-engines] [--samples N] [--order TOKEN]
 //!     [--trace-out FILE] [--trace-sample N]
 //! ```
+//!
+//! `--order` restricts the sweep to one fixed order instead of the
+//! default S1/S2/D/O row set; it takes the same tokens as
+//! `bfvr reach --order` (`s1`, `decl`, `d`, `coi`, `force`,
+//! `o:<seed>`), so the structural orders from `bfvr-nlint` can be
+//! benchmarked against the paper's columns.
 //!
 //! Completed cells are re-run `--samples` times (default 3) after an
 //! untimed warm-up and report the median; `T.O.`/`M.O.` cells run once —
@@ -31,6 +37,7 @@ use bfvr_netlist::generators;
 use bfvr_obs::{Counters, JsonlSink, SpanKind, Tracer};
 use bfvr_reach::telemetry::trace_handle;
 use bfvr_reach::EngineKind;
+use bfvr_sim::OrderHeuristic;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -42,6 +49,22 @@ fn main() {
             eprintln!("error: {e}");
             std::process::exit(2);
         }
+    };
+    let orders: Vec<OrderHeuristic> = match args.iter().position(|a| a == "--order") {
+        None => table_orders(),
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some(tok) => match OrderHeuristic::parse_token(tok) {
+                Some(o) => vec![o],
+                None => {
+                    eprintln!("error: unknown order `{tok}`");
+                    std::process::exit(2);
+                }
+            },
+            None => {
+                eprintln!("error: --order needs a token (s1|decl|d|coi|force|o:<seed>)");
+                std::process::exit(2);
+            }
+        },
     };
     let stride: u64 = match args.iter().position(|a| a == "--trace-sample") {
         None => 1,
@@ -119,7 +142,7 @@ fn main() {
     }
     println!("{:-<11}|", "");
     for (name, net) in &suite {
-        for order in table_orders() {
+        for &order in &orders {
             print!("| {:10} | {:5} |", name, order.label());
             let cell_span = trace.as_ref().map(|t| {
                 t.borrow_mut().open_span(

@@ -14,6 +14,14 @@ impl SignalId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds a handle from a raw index (the inverse of
+    /// [`SignalId::index`]); the caller is responsible for the index
+    /// being in range for the netlist it is used against.
+    #[must_use]
+    pub fn from_index(i: usize) -> SignalId {
+        SignalId(i as u32)
+    }
 }
 
 /// The logic function of a combinational gate.
@@ -221,6 +229,18 @@ impl Netlist {
     #[allow(clippy::expect_used)] // documented invariant of finished netlists
     pub fn driver(&self, s: SignalId) -> Driver {
         self.drivers[s.index()].expect("finished netlists have all signals driven")
+    }
+
+    /// What drives a signal, or `None` if nothing does.
+    ///
+    /// Finished netlists always have every signal driven (see
+    /// [`Netlist::driver`]); this non-panicking variant exists for
+    /// analysis tooling that inspects netlists produced by
+    /// [`NetlistBuilder::finish_unchecked`], where undriven signals are
+    /// a *finding*, not a precondition violation.
+    #[must_use]
+    pub fn driver_opt(&self, s: SignalId) -> Option<Driver> {
+        self.drivers[s.index()]
     }
 
     /// Size summary.
@@ -441,6 +461,27 @@ impl NetlistBuilder {
         };
         // Cycle check doubles as a build of the topological order.
         crate::topo::order(&net).map(|_| net)
+    }
+
+    /// Produces the netlist **without** the undriven-signal and
+    /// combinational-cycle checks of [`NetlistBuilder::finish`].
+    ///
+    /// Exists for analysis tooling (the `bfvr-nlint` mutation harness in
+    /// particular) that needs to construct deliberately broken netlists
+    /// and then watch the analyzer diagnose them. Anything downstream
+    /// that calls [`Netlist::driver`] on an undriven signal will panic;
+    /// use [`Netlist::driver_opt`] when walking such a netlist.
+    #[must_use]
+    pub fn finish_unchecked(self) -> Netlist {
+        Netlist {
+            name: self.name,
+            names: self.names,
+            drivers: self.drivers,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            latches: self.latches,
+            gates: self.gates,
+        }
     }
 }
 

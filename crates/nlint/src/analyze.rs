@@ -1,0 +1,444 @@
+//! The lint passes and their driver.
+
+use std::collections::HashMap;
+
+use bfvr_netlist::{topo, Driver, GateKind, Netlist, SignalId};
+
+use crate::finding::{Finding, Pass, Report, Severity, Witness};
+use crate::support::latch_supports;
+use crate::ternary;
+
+/// Runs every lint pass over the netlist and collects the findings.
+///
+/// The structural passes ([`Pass::CombCycle`], [`Pass::Undriven`],
+/// [`Pass::Unread`]) tolerate arbitrary signal tables — including
+/// netlists from [`bfvr_netlist::NetlistBuilder::finish_unchecked`].
+/// The semantic passes assume well-formedness and are skipped (each
+/// with an [`Severity::Info`] finding) when a structural pass errors.
+#[must_use]
+pub fn run_passes(net: &Netlist) -> Report {
+    let mut report = Report::new();
+    comb_cycle(net, &mut report);
+    undriven(net, &mut report);
+    unread(net, &mut report);
+    if report.has_errors() {
+        for pass in [
+            Pass::ConstProp,
+            Pass::DeadLatch,
+            Pass::DupGate,
+            Pass::Support,
+        ] {
+            report.push(Finding {
+                pass,
+                severity: Severity::Info,
+                path: "netlist".to_string(),
+                message: "skipped: structural errors present".to_string(),
+                witness: None,
+            });
+        }
+        return report;
+    }
+    // Structurally clean ⇒ the topological order exists.
+    let Ok(order) = topo::order(net) else {
+        return report; // unreachable: comb_cycle found nothing
+    };
+    const_prop(net, &order, &mut report);
+    dead_latch(net, &mut report);
+    dup_gate(net, &order, &mut report);
+    support_stats(net, &mut report);
+    report
+}
+
+/// Combinational-cycle detection with a witness loop, by grey-path DFS
+/// over the gate DAG (latch outputs and inputs are sources; feedback
+/// through a latch is sequential, not a cycle).
+fn comb_cycle(net: &Netlist, report: &mut Report) {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let n = net.num_signals();
+    let mut marks = vec![Mark::White; n];
+    let mut flagged = vec![false; n];
+    for root in 0..n {
+        if marks[root] != Mark::White {
+            continue;
+        }
+        // Frames carry (signal, next fan-in index); the frame stack *is*
+        // the grey path, so a grey hit yields the witness loop directly.
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        marks[root] = Mark::Grey;
+        while let Some(&(s, i)) = frames.last() {
+            let sid = SignalId::from_index(s);
+            let fanin: &[SignalId] = match net.driver_opt(sid) {
+                Some(Driver::Gate(g)) => &net.gates()[g].inputs,
+                _ => &[],
+            };
+            if i < fanin.len() {
+                if let Some(top) = frames.last_mut() {
+                    top.1 += 1;
+                }
+                let next = fanin[i];
+                match marks[next.index()] {
+                    Mark::White => {
+                        marks[next.index()] = Mark::Grey;
+                        frames.push((next.index(), 0));
+                    }
+                    Mark::Grey => {
+                        if !flagged[next.index()] {
+                            flagged[next.index()] = true;
+                            let start = frames
+                                .iter()
+                                .position(|&(f, _)| f == next.index())
+                                .unwrap_or(0);
+                            let names: Vec<String> = frames[start..]
+                                .iter()
+                                .map(|&(f, _)| net.signal_name(SignalId::from_index(f)).to_string())
+                                .collect();
+                            report.push(Finding {
+                                pass: Pass::CombCycle,
+                                severity: Severity::Error,
+                                path: format!("signal/{}", net.signal_name(next)),
+                                message: format!(
+                                    "combinational cycle through {} signal(s)",
+                                    names.len()
+                                ),
+                                witness: Some(Witness::Cycle(names)),
+                            });
+                        }
+                    }
+                    Mark::Black => {}
+                }
+            } else {
+                marks[s] = Mark::Black;
+                frames.pop();
+            }
+        }
+    }
+}
+
+fn undriven(net: &Netlist, report: &mut Report) {
+    for i in 0..net.num_signals() {
+        let sid = SignalId::from_index(i);
+        if net.driver_opt(sid).is_none() {
+            report.push(Finding {
+                pass: Pass::Undriven,
+                severity: Severity::Error,
+                path: format!("signal/{}", net.signal_name(sid)),
+                message: format!("signal `{}` is never driven", net.signal_name(sid)),
+                witness: None,
+            });
+        }
+    }
+}
+
+fn unread(net: &Netlist, report: &mut Report) {
+    let mut read = vec![false; net.num_signals()];
+    for g in net.gates() {
+        for &s in &g.inputs {
+            read[s.index()] = true;
+        }
+    }
+    for l in net.latches() {
+        read[l.input.index()] = true;
+    }
+    for &o in net.outputs() {
+        read[o.index()] = true;
+    }
+    for (i, &was_read) in read.iter().enumerate() {
+        if was_read {
+            continue;
+        }
+        let sid = SignalId::from_index(i);
+        let what = match net.driver_opt(sid) {
+            Some(Driver::Input) => "input",
+            Some(Driver::Latch(_)) => "latch",
+            Some(Driver::Gate(_)) => "gate output",
+            None => continue, // already an undriven error
+        };
+        report.push(Finding {
+            pass: Pass::Unread,
+            severity: Severity::Warning,
+            path: format!("signal/{}", net.signal_name(sid)),
+            message: format!(
+                "{what} `{}` is never read by a gate, latch or output",
+                net.signal_name(sid)
+            ),
+            witness: None,
+        });
+    }
+}
+
+fn const_prop(net: &Netlist, order: &[usize], report: &mut Report) {
+    let fix = ternary::propagate(net, order);
+    for (l, v) in fix.constant_latches(net) {
+        let name = net.signal_name(net.latches()[l].output);
+        report.push(Finding {
+            pass: Pass::ConstProp,
+            severity: Severity::Warning,
+            path: format!("latch/{name}"),
+            message: format!(
+                "latch `{name}` never leaves its reset value {}",
+                u8::from(v)
+            ),
+            witness: Some(Witness::Stuck(v)),
+        });
+    }
+    for (g, v) in fix.stuck_gates(net) {
+        let name = net.signal_name(net.gates()[g].output);
+        report.push(Finding {
+            pass: Pass::ConstProp,
+            severity: Severity::Warning,
+            path: format!("signal/{name}"),
+            message: format!(
+                "gate `{name}` is stuck at {} in every reachable state",
+                u8::from(v)
+            ),
+            witness: Some(Witness::Stuck(v)),
+        });
+    }
+}
+
+fn dead_latch(net: &Netlist, report: &mut Report) {
+    let (live, _) = topo::cone_of_influence(net, net.outputs());
+    let mut in_cone = vec![false; net.latches().len()];
+    for l in live {
+        in_cone[l] = true;
+    }
+    for (l, latch) in net.latches().iter().enumerate() {
+        if !in_cone[l] {
+            let name = net.signal_name(latch.output);
+            report.push(Finding {
+                pass: Pass::DeadLatch,
+                severity: Severity::Warning,
+                path: format!("latch/{name}"),
+                message: format!("latch `{name}` lies outside every output cone of influence"),
+                witness: None,
+            });
+        }
+    }
+}
+
+/// Structural hash key for a gate's function. `Cover` rows are folded
+/// into the tag via their debug form — covers compare rarely enough
+/// that the allocation is irrelevant.
+pub(crate) fn kind_key(kind: &GateKind) -> (u8, String) {
+    match kind {
+        GateKind::And => (0, String::new()),
+        GateKind::Or => (1, String::new()),
+        GateKind::Nand => (2, String::new()),
+        GateKind::Nor => (3, String::new()),
+        GateKind::Not => (4, String::new()),
+        GateKind::Buf => (5, String::new()),
+        GateKind::Xor => (6, String::new()),
+        GateKind::Xnor => (7, String::new()),
+        GateKind::Const0 => (8, String::new()),
+        GateKind::Const1 => (9, String::new()),
+        GateKind::Cover(rows) => (10, format!("{rows:?}")),
+    }
+}
+
+pub(crate) fn commutative(kind: &GateKind) -> bool {
+    matches!(
+        kind,
+        GateKind::And
+            | GateKind::Or
+            | GateKind::Nand
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor
+    )
+}
+
+/// Hash-consing over the gate DAG in topological order. Two gates are
+/// duplicates when they compute the same function of the same
+/// *canonicalized* fan-ins; `Buf` gates are transparent (their output
+/// canonicalizes to their fan-in), so duplicates hiding behind buffers
+/// are still found.
+pub(crate) fn canonicalize(net: &Netlist, order: &[usize]) -> Vec<SignalId> {
+    let mut canon: Vec<SignalId> = (0..net.num_signals()).map(SignalId::from_index).collect();
+    let mut interned: HashMap<((u8, String), Vec<SignalId>), SignalId> = HashMap::new();
+    for &g in order {
+        let gate = &net.gates()[g];
+        if matches!(gate.kind, GateKind::Buf) {
+            canon[gate.output.index()] = canon[gate.inputs[0].index()];
+            continue;
+        }
+        let mut ins: Vec<SignalId> = gate.inputs.iter().map(|s| canon[s.index()]).collect();
+        if commutative(&gate.kind) {
+            ins.sort_unstable();
+        }
+        let key = (kind_key(&gate.kind), ins);
+        match interned.get(&key) {
+            Some(&rep) => canon[gate.output.index()] = rep,
+            None => {
+                interned.insert(key, gate.output);
+            }
+        }
+    }
+    canon
+}
+
+fn dup_gate(net: &Netlist, order: &[usize], report: &mut Report) {
+    let canon = canonicalize(net, order);
+    for &g in order {
+        let gate = &net.gates()[g];
+        if matches!(gate.kind, GateKind::Buf) {
+            continue; // transparent, not a duplicate of its source
+        }
+        let rep = canon[gate.output.index()];
+        if rep != gate.output {
+            let name = net.signal_name(gate.output);
+            let first = net.signal_name(rep);
+            report.push(Finding {
+                pass: Pass::DupGate,
+                severity: Severity::Warning,
+                path: format!("signal/{name}"),
+                message: format!("gate `{name}` is structurally identical to `{first}`"),
+                witness: Some(Witness::Signals(vec![first.to_string(), name.to_string()])),
+            });
+        }
+    }
+}
+
+fn support_stats(net: &Netlist, report: &mut Report) {
+    let sups = latch_supports(net);
+    for (l, sup) in sups.iter().enumerate() {
+        let latch = &net.latches()[l];
+        let name = net.signal_name(latch.output);
+        let mut slots: Vec<String> = sup
+            .latches
+            .iter()
+            .map(|&i| net.signal_name(net.latches()[i].output).to_string())
+            .collect();
+        slots.extend(
+            sup.inputs
+                .iter()
+                .map(|&i| net.signal_name(net.inputs()[i]).to_string()),
+        );
+        report.push(Finding {
+            pass: Pass::Support,
+            severity: Severity::Info,
+            path: format!("latch/{name}"),
+            message: format!(
+                "next-state support: {} slot(s) ({} latches, {} inputs)",
+                sup.len(),
+                sup.latches.len(),
+                sup.inputs.len()
+            ),
+            witness: if slots.is_empty() {
+                None
+            } else {
+                Some(Witness::Signals(slots))
+            },
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfvr_netlist::NetlistBuilder;
+
+    fn clean() -> Netlist {
+        let mut b = NetlistBuilder::new("clean");
+        b.input("a").unwrap();
+        b.latch("q", "d", false).unwrap();
+        b.gate("d", GateKind::Xor, &["a", "q"]).unwrap();
+        b.output("q");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn clean_netlist_has_no_errors_or_warnings() {
+        let r = run_passes(&clean());
+        assert!(!r.has_errors());
+        assert_eq!(r.count_at(Severity::Warning), 0);
+        // Support stats always fire, one per latch.
+        assert_eq!(r.by_pass(Pass::Support).count(), 1);
+    }
+
+    #[test]
+    fn cycle_reported_with_witness_loop() {
+        let mut b = NetlistBuilder::new("cyc");
+        b.input("a").unwrap();
+        b.latch("q", "d", false).unwrap();
+        b.gate("x", GateKind::And, &["a", "y"]).unwrap();
+        b.gate("y", GateKind::Or, &["x", "q"]).unwrap();
+        b.gate("d", GateKind::Buf, &["y"]).unwrap();
+        b.output("q");
+        let net = b.finish_unchecked();
+        let r = run_passes(&net);
+        assert!(r.has_errors());
+        let f: Vec<_> = r.by_pass(Pass::CombCycle).collect();
+        assert_eq!(f.len(), 1);
+        match &f[0].witness {
+            Some(Witness::Cycle(names)) => {
+                assert!(names.contains(&"x".to_string()) && names.contains(&"y".to_string()));
+            }
+            w => panic!("expected cycle witness, got {w:?}"),
+        }
+        // Semantic passes were skipped with info findings.
+        assert!(r
+            .by_pass(Pass::ConstProp)
+            .all(|f| f.severity == Severity::Info));
+    }
+
+    #[test]
+    fn undriven_and_unread_are_structural() {
+        let mut b = NetlistBuilder::new("bad");
+        b.input("a").unwrap();
+        b.latch("q", "d", false).unwrap();
+        b.gate("d", GateKind::And, &["a", "ghost"]).unwrap();
+        b.gate("orphan", GateKind::Not, &["q"]).unwrap();
+        b.output("q");
+        let net = b.finish_unchecked();
+        let r = run_passes(&net);
+        assert_eq!(r.by_pass(Pass::Undriven).count(), 1);
+        assert!(r.by_pass(Pass::Unread).any(|f| f.path == "signal/orphan"));
+    }
+
+    #[test]
+    fn duplicates_found_through_buffers() {
+        let mut b = NetlistBuilder::new("dup");
+        b.input("a").unwrap();
+        b.latch("q", "d", false).unwrap();
+        b.gate("ab", GateKind::Buf, &["a"]).unwrap();
+        b.gate("x", GateKind::And, &["a", "q"]).unwrap();
+        b.gate("y", GateKind::And, &["q", "ab"]).unwrap(); // = x through the buf, commuted
+        b.gate("d", GateKind::Xor, &["x", "y"]).unwrap();
+        b.output("q");
+        let net = b.finish().unwrap();
+        let r = run_passes(&net);
+        let dups: Vec<_> = r.by_pass(Pass::DupGate).collect();
+        assert_eq!(dups.len(), 1);
+        // Which of the pair is the representative depends on traversal
+        // order; the witness must name both.
+        match &dups[0].witness {
+            Some(Witness::Signals(names)) => {
+                assert!(names.contains(&"x".to_string()) && names.contains(&"y".to_string()));
+            }
+            w => panic!("expected signals witness, got {w:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_and_constant_latches_reported() {
+        let mut b = NetlistBuilder::new("dl");
+        b.latch("q", "d", false).unwrap();
+        b.gate("d", GateKind::Not, &["q"]).unwrap();
+        b.latch("dead", "dn", false).unwrap();
+        b.gate("dn", GateKind::Not, &["dead"]).unwrap();
+        b.latch("hold", "hold", true).unwrap();
+        b.output("q");
+        b.output("hold");
+        let net = b.finish().unwrap();
+        let r = run_passes(&net);
+        assert!(r.by_pass(Pass::DeadLatch).any(|f| f.path == "latch/dead"));
+        assert!(r
+            .by_pass(Pass::ConstProp)
+            .any(|f| f.path == "latch/hold" && f.witness == Some(Witness::Stuck(true))));
+    }
+}

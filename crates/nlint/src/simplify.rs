@@ -1,0 +1,387 @@
+//! Lint-gated netlist simplification: constant folding, dead-latch and
+//! cone-of-influence pruning, buffer collapsing and duplicate merging.
+//!
+//! Every rewrite is justified by a lint pass:
+//!
+//! * latches the ternary fixpoint proves constant are folded into
+//!   `Const0`/`Const1` gates — the reachable set of the original always
+//!   has them at that value, so the reached-state **count is
+//!   preserved** exactly;
+//! * gates the fixpoint proves stuck are folded the same way;
+//! * latches outside every output cone of influence are dropped along
+//!   with their logic **when [`SimplifyOptions::prune_dead`] is set**
+//!   (this projects the reachable set onto the surviving latches —
+//!   counts are preserved iff the dead component never branches, so
+//!   [`Simplified::dead_latches`] reports exactly what was dropped; the
+//!   default mode keeps dead latches and counts stay exact);
+//! * `Buf` gates are collapsed and structurally duplicate gates merged
+//!   (pure rewiring: the transition functions are unchanged).
+
+use std::collections::HashMap;
+
+use bfvr_netlist::{topo, Driver, GateKind, Netlist, NetlistBuilder, NetlistError, SignalId};
+
+use crate::ternary;
+
+/// The result of [`simplify`]: the rewritten netlist plus an account of
+/// everything removed.
+#[derive(Clone, Debug)]
+pub struct Simplified {
+    /// The simplified netlist (never larger than the input).
+    pub netlist: Netlist,
+    /// Latches folded to constants (reached-state count preserved).
+    pub folded_latches: Vec<String>,
+    /// Dead latches dropped (reachable set projected; counts preserved
+    /// only if this is empty).
+    pub dead_latches: Vec<String>,
+    /// Gates merged away: structural duplicates plus collapsed buffers.
+    pub merged_gates: usize,
+    /// Gates dropped because they lie outside every live cone.
+    pub pruned_gates: usize,
+    /// Primary inputs dropped because nothing live reads them.
+    pub pruned_inputs: Vec<String>,
+}
+
+/// How a signal reads after simplification.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Res {
+    /// Replaced by the constant representative for this value.
+    Const(bool),
+    /// Rewired to this (possibly aliased) signal.
+    Sig(SignalId),
+}
+
+/// Knobs for [`simplify_with`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimplifyOptions {
+    /// Also drop latches outside every output cone of influence. Off by
+    /// default: pruning dead state projects the reachable set, so the
+    /// reached-state **count** is no longer comparable to the original
+    /// (the paper's benchmark metric counts *all* latches).
+    pub prune_dead: bool,
+}
+
+/// Count-preserving simplification: constant folding, duplicate
+/// merging, buffer collapsing and pruning of logic nothing reads — but
+/// no dead-latch removal, so the reached-state count always matches the
+/// input circuit. Idempotent: simplifying the result again removes
+/// nothing further.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from the input's topological sort (a
+/// combinational cycle) — run the lint passes first for diagnostics.
+pub fn simplify(net: &Netlist) -> Result<Simplified, NetlistError> {
+    simplify_with(net, SimplifyOptions::default())
+}
+
+/// [`simplify`] with knobs; `prune_dead` adds cone-of-influence latch
+/// pruning (see [`Simplified::dead_latches`] for the parity caveat).
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from the input's topological sort.
+pub fn simplify_with(net: &Netlist, opts: SimplifyOptions) -> Result<Simplified, NetlistError> {
+    let order = topo::order(net)?;
+    let fix = ternary::propagate(net, &order);
+
+    let nl = net.latches().len();
+    let mut const_latch: Vec<Option<bool>> = vec![None; nl];
+    for (l, v) in fix.constant_latches(net) {
+        const_latch[l] = Some(v);
+    }
+    let (cone, _) = topo::cone_of_influence(net, net.outputs());
+    let mut in_cone = vec![false; nl];
+    for l in cone {
+        in_cone[l] = true;
+    }
+    let live: Vec<bool> = (0..nl)
+        .map(|l| const_latch[l].is_none() && (!opts.prune_dead || in_cone[l]))
+        .collect();
+    // Degenerate machine (every latch constant or dead): folding would
+    // leave a combinational netlist the reachability encoders reject, so
+    // keep the state elements and only merge/prune logic.
+    let fold = live.iter().any(|&b| b) || nl == 0;
+    let (const_latch, live): (Vec<Option<bool>>, Vec<bool>) = if fold {
+        (const_latch, live)
+    } else {
+        (vec![None; nl], vec![true; nl])
+    };
+
+    // A signal is const-replaced when the fixpoint proves it definite
+    // and it is produced by logic or by a folded latch (inputs and live
+    // latch outputs always stay symbolic).
+    let is_const = |s: SignalId| -> Option<bool> {
+        if !fold {
+            return None;
+        }
+        let v = fix.values[s.index()].definite()?;
+        match net.driver(s) {
+            Driver::Gate(_) => Some(v),
+            Driver::Latch(l) => const_latch[l].map(|_| v),
+            Driver::Input => None,
+        }
+    };
+
+    // Mark what the outputs and the live latches' next-state functions
+    // actually need, stopping at const-replaced signals.
+    let mut needed = vec![false; net.num_signals()];
+    let mut stack: Vec<SignalId> = net.outputs().to_vec();
+    for (l, latch) in net.latches().iter().enumerate() {
+        if live[l] {
+            stack.push(latch.input);
+        }
+    }
+    while let Some(s) = stack.pop() {
+        if needed[s.index()] {
+            continue;
+        }
+        needed[s.index()] = true;
+        if is_const(s).is_some() {
+            continue;
+        }
+        if let Driver::Gate(g) = net.driver(s) {
+            stack.extend(net.gates()[g].inputs.iter().copied());
+        }
+    }
+
+    // Pick one representative signal per constant value, in signal order.
+    let mut const_rep: [Option<SignalId>; 2] = [None, None];
+    for (i, &is_needed) in needed.iter().enumerate() {
+        let s = SignalId::from_index(i);
+        if is_needed {
+            if let Some(v) = is_const(s) {
+                let slot = &mut const_rep[usize::from(v)];
+                if slot.is_none() {
+                    *slot = Some(s);
+                }
+            }
+        }
+    }
+
+    // Hash-cons the kept gates: collapse buffers, merge duplicates.
+    let mut alias: Vec<SignalId> = (0..net.num_signals()).map(SignalId::from_index).collect();
+    let resolve = |alias: &[SignalId], s: SignalId| -> Res {
+        match is_const(s) {
+            Some(v) => Res::Const(v),
+            None => Res::Sig(alias[s.index()]),
+        }
+    };
+    let mut interned: HashMap<((u8, String), Vec<Res>), SignalId> = HashMap::new();
+    let mut emit_gates: Vec<usize> = Vec::new();
+    let mut merged = 0usize;
+    for &g in &order {
+        let gate = &net.gates()[g];
+        let out = gate.output;
+        if !needed[out.index()] || is_const(out).is_some() {
+            continue;
+        }
+        if matches!(gate.kind, GateKind::Buf) {
+            // Transparent: rewire readers straight to the source.
+            if let Res::Sig(src) = resolve(&alias, gate.inputs[0]) {
+                alias[out.index()] = src;
+                merged += 1;
+                continue;
+            }
+        }
+        let mut ins: Vec<Res> = gate.inputs.iter().map(|&s| resolve(&alias, s)).collect();
+        if crate::analyze::commutative(&gate.kind) {
+            ins.sort_by_key(|r| match *r {
+                Res::Const(v) => (0usize, usize::from(v)),
+                Res::Sig(s) => (1, s.index()),
+            });
+        }
+        let key = (crate::analyze::kind_key(&gate.kind), ins);
+        match interned.get(&key) {
+            Some(&rep) => {
+                alias[out.index()] = rep;
+                merged += 1;
+            }
+            None => {
+                interned.insert(key, out);
+                emit_gates.push(g);
+            }
+        }
+    }
+
+    // Rebuild.
+    let mut b = NetlistBuilder::new(net.name().to_string());
+    let mut pruned_inputs = Vec::new();
+    for &i in net.inputs() {
+        if needed[i.index()] {
+            b.input(net.signal_name(i))?;
+        } else {
+            pruned_inputs.push(net.signal_name(i).to_string());
+        }
+    }
+    for v in [false, true] {
+        if let Some(rep) = const_rep[usize::from(v)] {
+            let kind = if v {
+                GateKind::Const1
+            } else {
+                GateKind::Const0
+            };
+            b.gate(net.signal_name(rep), kind, &[] as &[&str])?;
+        }
+    }
+    // Resolved name of a signal after aliasing/const replacement.
+    let res_name = |s: SignalId| -> &str {
+        match resolve(&alias, s) {
+            Res::Const(v) => {
+                let rep = const_rep[usize::from(v)].unwrap_or(s);
+                net.signal_name(rep)
+            }
+            Res::Sig(r) => net.signal_name(r),
+        }
+    };
+    let mut folded_latches = Vec::new();
+    let mut dead_latches = Vec::new();
+    for (l, latch) in net.latches().iter().enumerate() {
+        let name = net.signal_name(latch.output).to_string();
+        if live[l] {
+            b.latch(&name, res_name(latch.input), latch.init)?;
+        } else if const_latch[l].is_some() {
+            folded_latches.push(name);
+        } else {
+            dead_latches.push(name);
+        }
+    }
+    for &g in &emit_gates {
+        let gate = &net.gates()[g];
+        let ins: Vec<&str> = gate.inputs.iter().map(|&s| res_name(s)).collect();
+        b.gate(net.signal_name(gate.output), gate.kind.clone(), &ins)?;
+    }
+    for &o in net.outputs() {
+        let want = net.signal_name(o);
+        let have = res_name(o);
+        if want != have {
+            // The output's driver was folded or merged away; keep the
+            // output name observable through a buffer.
+            b.gate(want, GateKind::Buf, &[have])?;
+        }
+        b.output(want);
+    }
+    let pruned_gates = net
+        .gates()
+        .iter()
+        .filter(|g| !needed[g.output.index()])
+        .count();
+    Ok(Simplified {
+        netlist: b.finish()?,
+        folded_latches,
+        dead_latches,
+        merged_gates: merged,
+        pruned_gates,
+        pruned_inputs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfvr_netlist::generators;
+
+    #[test]
+    fn constant_latch_folds_and_stuck_cone_collapses() {
+        let mut b = NetlistBuilder::new("t");
+        b.input("i").unwrap();
+        b.latch("hold", "hold", false).unwrap();
+        b.latch("q", "nq", false).unwrap();
+        // nq = (i ⊕ q) ∨ hold: with hold ≡ 0 this is just i ⊕ q.
+        b.gate("x", GateKind::Xor, &["i", "q"]).unwrap();
+        b.gate("nq", GateKind::Or, &["x", "hold"]).unwrap();
+        b.output("q");
+        b.output("hold");
+        let net = b.finish().unwrap();
+        let s = simplify(&net).unwrap();
+        assert_eq!(s.folded_latches, vec!["hold".to_string()]);
+        assert_eq!(s.netlist.latches().len(), 1);
+        assert!(s.dead_latches.is_empty());
+        // The folded output stays observable (via the const/buf chain).
+        assert!(s.netlist.find_signal("hold").is_some());
+        assert!(s.netlist.stats().gates <= net.stats().gates + 1);
+    }
+
+    #[test]
+    fn dead_latch_and_its_logic_are_pruned() {
+        let mut b = NetlistBuilder::new("t");
+        b.input("i").unwrap();
+        b.latch("q", "nq", false).unwrap();
+        b.gate("nq", GateKind::Xor, &["i", "q"]).unwrap();
+        b.latch("dead", "dn", false).unwrap();
+        b.gate("dn", GateKind::Not, &["dead"]).unwrap();
+        b.output("q");
+        let net = b.finish().unwrap();
+        // Default mode keeps the dead latch: counts stay comparable.
+        let kept = simplify(&net).unwrap();
+        assert!(kept.dead_latches.is_empty());
+        assert_eq!(kept.netlist.latches().len(), 2);
+        // Pruning mode drops it and its feeding logic.
+        let s = simplify_with(&net, SimplifyOptions { prune_dead: true }).unwrap();
+        assert_eq!(s.dead_latches, vec!["dead".to_string()]);
+        assert_eq!(s.netlist.latches().len(), 1);
+        assert_eq!(s.pruned_gates, 1);
+        assert!(s.netlist.find_signal("dead").is_none());
+    }
+
+    #[test]
+    fn coi_pruning_projects_the_pair_family() {
+        // Only pair 0 feeds the `match` output, so COI pruning keeps
+        // exactly one register pair of the hostile §3 ordering example.
+        let net = generators::paired_registers(4);
+        let s = simplify_with(&net, SimplifyOptions { prune_dead: true }).unwrap();
+        assert_eq!(s.netlist.latches().len(), 2);
+        assert_eq!(s.dead_latches.len(), 6);
+    }
+
+    #[test]
+    fn duplicates_and_buffers_merge() {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a").unwrap();
+        b.latch("q", "d", false).unwrap();
+        b.gate("ab", GateKind::Buf, &["a"]).unwrap();
+        b.gate("x", GateKind::And, &["a", "q"]).unwrap();
+        b.gate("y", GateKind::And, &["q", "ab"]).unwrap();
+        b.gate("d", GateKind::Xor, &["x", "y"]).unwrap();
+        b.output("q");
+        let net = b.finish().unwrap();
+        let s = simplify(&net).unwrap();
+        // y = x through the buffer, so both the buf and y merge away;
+        // d = x ⊕ x survives as a gate reading x twice.
+        assert_eq!(s.merged_gates, 2);
+        assert_eq!(s.netlist.stats().gates, 2);
+    }
+
+    #[test]
+    fn fully_constant_machine_keeps_its_state_elements() {
+        let mut b = NetlistBuilder::new("t");
+        b.latch("hold", "hold", true).unwrap();
+        b.output("hold");
+        let net = b.finish().unwrap();
+        let s = simplify(&net).unwrap();
+        assert_eq!(s.netlist.latches().len(), 1);
+        assert!(s.folded_latches.is_empty());
+    }
+
+    #[test]
+    fn generators_are_already_tight() {
+        // The bundled families should lose nothing except buffers and
+        // the odd duplicate — and never a latch.
+        for (name, net) in generators::standard_suite() {
+            let s = simplify(&net).unwrap();
+            assert!(s.folded_latches.is_empty(), "{name}: folded latches");
+            assert!(s.dead_latches.is_empty(), "{name}: dead latches");
+            assert_eq!(
+                s.netlist.latches().len(),
+                net.latches().len(),
+                "{name}: latch count changed"
+            );
+            let before = net.stats();
+            let after = s.netlist.stats();
+            assert!(after.gates <= before.gates, "{name}: grew");
+            // Idempotence: a second pass removes nothing.
+            let s2 = simplify(&s.netlist).unwrap();
+            assert_eq!(s2.netlist.stats(), after, "{name}: not idempotent");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Combinational support analysis: which latches and inputs each
+//! next-state function (or output) actually reads.
+//!
+//! This is the raw material shared by the [`crate::Pass::Support`]
+//! statistics pass and the COI/FORCE static variable-ordering heuristics
+//! in `bfvr-sim`: a hyperedge per latch (the latch plus its support) is
+//! exactly the connectivity the FORCE center-of-gravity iteration
+//! minimizes span over.
+
+use bfvr_netlist::{Driver, Netlist, SignalId};
+
+/// The combinational support of one signal: the latches and inputs its
+/// cone reads, *stopping* at latch outputs (unlike the transitive
+/// [`bfvr_netlist::topo::cone_of_influence`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Support {
+    /// Indices into [`Netlist::latches`], sorted.
+    pub latches: Vec<usize>,
+    /// Indices into [`Netlist::inputs`], sorted.
+    pub inputs: Vec<usize>,
+}
+
+impl Support {
+    /// Total number of slots (latches + inputs) in the support.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.latches.len() + self.inputs.len()
+    }
+
+    /// Whether the support is empty (a constant cone).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.latches.is_empty() && self.inputs.is_empty()
+    }
+}
+
+/// The combinational support of `root`: latches and inputs reachable
+/// through gates only. Tolerates undriven signals (they contribute
+/// nothing).
+#[must_use]
+pub fn signal_support(net: &Netlist, root: SignalId) -> Support {
+    let input_index = input_index(net);
+    let mut seen = vec![false; net.num_signals()];
+    let mut s = Support::default();
+    collect(net, root, &input_index, &mut seen, &mut s);
+    s.latches.sort_unstable();
+    s.inputs.sort_unstable();
+    s
+}
+
+/// Per-latch support of the next-state function, in latch declaration
+/// order.
+#[must_use]
+pub fn latch_supports(net: &Netlist) -> Vec<Support> {
+    let input_index = input_index(net);
+    net.latches()
+        .iter()
+        .map(|l| {
+            let mut seen = vec![false; net.num_signals()];
+            let mut s = Support::default();
+            collect(net, l.input, &input_index, &mut seen, &mut s);
+            s.latches.sort_unstable();
+            s.inputs.sort_unstable();
+            s
+        })
+        .collect()
+}
+
+/// Per-output combinational support, in output declaration order.
+#[must_use]
+pub fn output_supports(net: &Netlist) -> Vec<Support> {
+    let input_index = input_index(net);
+    net.outputs()
+        .iter()
+        .map(|&o| {
+            let mut seen = vec![false; net.num_signals()];
+            let mut s = Support::default();
+            collect(net, o, &input_index, &mut seen, &mut s);
+            s.latches.sort_unstable();
+            s.inputs.sort_unstable();
+            s
+        })
+        .collect()
+}
+
+fn input_index(net: &Netlist) -> Vec<Option<usize>> {
+    let mut idx = vec![None; net.num_signals()];
+    for (i, s) in net.inputs().iter().enumerate() {
+        idx[s.index()] = Some(i);
+    }
+    idx
+}
+
+fn collect(
+    net: &Netlist,
+    root: SignalId,
+    input_index: &[Option<usize>],
+    seen: &mut [bool],
+    out: &mut Support,
+) {
+    let mut stack = vec![root];
+    while let Some(s) = stack.pop() {
+        if seen[s.index()] {
+            continue;
+        }
+        seen[s.index()] = true;
+        match net.driver_opt(s) {
+            Some(Driver::Input) => {
+                if let Some(i) = input_index[s.index()] {
+                    out.inputs.push(i);
+                }
+            }
+            Some(Driver::Latch(l)) => out.latches.push(l),
+            Some(Driver::Gate(g)) => stack.extend(net.gates()[g].inputs.iter().copied()),
+            None => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfvr_netlist::{GateKind, NetlistBuilder};
+
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new("sample");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        b.latch("q", "d", false).unwrap();
+        b.latch("r", "nr", false).unwrap();
+        b.gate("x", GateKind::And, &["a", "q"]).unwrap();
+        b.gate("d", GateKind::Xor, &["x", "b"]).unwrap();
+        b.gate("nr", GateKind::Buf, &["q"]).unwrap();
+        b.output("x");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn latch_supports_stop_at_latch_outputs() {
+        let net = sample();
+        let sup = latch_supports(&net);
+        // d = (a ∧ q) ⊕ b: reads latch q and both inputs.
+        assert_eq!(sup[0].latches, vec![0]);
+        assert_eq!(sup[0].inputs, vec![0, 1]);
+        assert_eq!(sup[0].len(), 3);
+        // nr = q: reads only latch q.
+        assert_eq!(sup[1].latches, vec![0]);
+        assert!(sup[1].inputs.is_empty());
+    }
+
+    #[test]
+    fn output_support_is_combinational() {
+        let net = sample();
+        let sup = output_supports(&net);
+        assert_eq!(sup[0].latches, vec![0]);
+        assert_eq!(sup[0].inputs, vec![0]);
+    }
+
+    #[test]
+    fn constant_cone_has_empty_support() {
+        let mut b = NetlistBuilder::new("konst");
+        b.latch("q", "one", false).unwrap();
+        b.gate("one", GateKind::Const1, &[] as &[&str]).unwrap();
+        b.output("q");
+        let net = b.finish().unwrap();
+        assert!(signal_support(&net, net.find_signal("one").unwrap()).is_empty());
+    }
+}

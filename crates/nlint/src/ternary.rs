@@ -1,0 +1,261 @@
+//! Ternary (0/1/X) constant propagation from the initial state.
+//!
+//! A three-valued abstraction of the sequential semantics: latches start
+//! at their reset values, primary inputs are unknown (`X`), gates
+//! evaluate in topological order, and any latch whose computed next
+//! value disagrees with its current value is demoted to `X`. The
+//! iteration is monotone (values only ever move toward `X`), so it
+//! reaches a fixpoint in at most `latches + 1` rounds. Any signal still
+//! definite at the fixpoint provably holds that value in **every**
+//! reachable state — the abstraction over-approximates reachability, so
+//! "definite" is sound evidence for the `const-prop` lint pass and for
+//! the constant-folding simplifier.
+
+use bfvr_netlist::{GateKind, Netlist};
+
+/// A three-valued signal level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tern {
+    /// Definitely 0 in every reachable state.
+    Zero,
+    /// Definitely 1 in every reachable state.
+    One,
+    /// Unknown / varying.
+    X,
+}
+
+impl Tern {
+    /// The definite Boolean value, if any.
+    #[must_use]
+    pub fn definite(self) -> Option<bool> {
+        match self {
+            Tern::Zero => Some(false),
+            Tern::One => Some(true),
+            Tern::X => None,
+        }
+    }
+
+    fn of(b: bool) -> Tern {
+        if b {
+            Tern::One
+        } else {
+            Tern::Zero
+        }
+    }
+
+    fn not(self) -> Tern {
+        match self {
+            Tern::Zero => Tern::One,
+            Tern::One => Tern::Zero,
+            Tern::X => Tern::X,
+        }
+    }
+}
+
+/// The ternary fixpoint: one [`Tern`] per signal.
+#[derive(Clone, Debug)]
+pub struct TernaryFix {
+    /// Fixpoint value of every signal, indexed by
+    /// [`bfvr_netlist::SignalId::index`].
+    pub values: Vec<Tern>,
+}
+
+impl TernaryFix {
+    /// Latches still definite at the fixpoint: `(latch index, value)`,
+    /// in declaration order. These never leave their reset value.
+    #[must_use]
+    pub fn constant_latches(&self, net: &Netlist) -> Vec<(usize, bool)> {
+        net.latches()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| self.values[l.output.index()].definite().map(|v| (i, v)))
+            .collect()
+    }
+
+    /// Gates whose output is definite at the fixpoint — stuck at a
+    /// constant in every reachable state. `(gate index, value)`, in gate
+    /// order; deliberately constant gates (`Const0`/`Const1`) are not
+    /// "stuck" and are excluded.
+    #[must_use]
+    pub fn stuck_gates(&self, net: &Netlist) -> Vec<(usize, bool)> {
+        net.gates()
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !matches!(g.kind, GateKind::Const0 | GateKind::Const1))
+            .filter_map(|(i, g)| self.values[g.output.index()].definite().map(|v| (i, v)))
+            .collect()
+    }
+}
+
+/// Runs ternary propagation to its fixpoint. `topo` is the gate order
+/// from [`bfvr_netlist::topo::order`] (the caller has already verified
+/// acyclicity).
+#[must_use]
+pub fn propagate(net: &Netlist, topo: &[usize]) -> TernaryFix {
+    let mut values = vec![Tern::X; net.num_signals()];
+    for l in net.latches() {
+        values[l.output.index()] = Tern::of(l.init);
+    }
+    loop {
+        for &g in topo {
+            let gate = &net.gates()[g];
+            let ins: Vec<Tern> = gate.inputs.iter().map(|s| values[s.index()]).collect();
+            values[gate.output.index()] = eval(&gate.kind, &ins);
+        }
+        let mut changed = false;
+        for l in net.latches() {
+            let cur = values[l.output.index()];
+            let next = values[l.input.index()];
+            if cur != Tern::X && cur != next {
+                values[l.output.index()] = Tern::X;
+                changed = true;
+            }
+        }
+        if !changed {
+            return TernaryFix { values };
+        }
+    }
+}
+
+fn eval(kind: &GateKind, ins: &[Tern]) -> Tern {
+    match kind {
+        GateKind::And => and(ins),
+        GateKind::Or => or(ins),
+        GateKind::Nand => and(ins).not(),
+        GateKind::Nor => or(ins).not(),
+        GateKind::Not => ins[0].not(),
+        GateKind::Buf => ins[0],
+        GateKind::Xor => parity(ins),
+        GateKind::Xnor => parity(ins).not(),
+        GateKind::Const0 => Tern::Zero,
+        GateKind::Const1 => Tern::One,
+        GateKind::Cover(rows) => {
+            let mut any_x = false;
+            for row in rows {
+                match row_value(row, ins) {
+                    Tern::One => return Tern::One,
+                    Tern::X => any_x = true,
+                    Tern::Zero => {}
+                }
+            }
+            if any_x {
+                Tern::X
+            } else {
+                Tern::Zero
+            }
+        }
+    }
+}
+
+fn and(ins: &[Tern]) -> Tern {
+    if ins.contains(&Tern::Zero) {
+        Tern::Zero
+    } else if ins.iter().all(|&t| t == Tern::One) {
+        Tern::One
+    } else {
+        Tern::X
+    }
+}
+
+fn or(ins: &[Tern]) -> Tern {
+    if ins.contains(&Tern::One) {
+        Tern::One
+    } else if ins.iter().all(|&t| t == Tern::Zero) {
+        Tern::Zero
+    } else {
+        Tern::X
+    }
+}
+
+fn parity(ins: &[Tern]) -> Tern {
+    let mut odd = false;
+    for &t in ins {
+        match t {
+            Tern::X => return Tern::X,
+            Tern::One => odd = !odd,
+            Tern::Zero => {}
+        }
+    }
+    Tern::of(odd)
+}
+
+/// One cube of a BLIF cover: AND of its literal matches.
+fn row_value(row: &[Option<bool>], ins: &[Tern]) -> Tern {
+    let mut all_definite = true;
+    for (lit, &v) in row.iter().zip(ins) {
+        let Some(want) = lit else { continue };
+        match v.definite() {
+            Some(got) if got != *want => return Tern::Zero,
+            Some(_) => {}
+            None => all_definite = false,
+        }
+    }
+    if all_definite {
+        Tern::One
+    } else {
+        Tern::X
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfvr_netlist::{topo, NetlistBuilder};
+
+    #[test]
+    fn toggling_latch_demotes_to_x() {
+        let mut b = NetlistBuilder::new("t");
+        b.latch("q", "nq", false).unwrap();
+        b.gate("nq", GateKind::Not, &["q"]).unwrap();
+        b.output("q");
+        let net = b.finish().unwrap();
+        let ord = topo::order(&net).unwrap();
+        let fix = propagate(&net, &ord);
+        assert!(fix.constant_latches(&net).is_empty());
+    }
+
+    #[test]
+    fn held_latch_stays_definite_and_blocks_downstream() {
+        let mut b = NetlistBuilder::new("t");
+        b.input("i").unwrap();
+        b.latch("hold", "hold", false).unwrap(); // self-feedback: constant 0
+        b.latch("live", "nl", false).unwrap();
+        b.gate("nl", GateKind::Not, &["live"]).unwrap();
+        // blocked = i ∧ hold is stuck at 0 because hold never rises.
+        b.gate("blocked", GateKind::And, &["i", "hold"]).unwrap();
+        b.output("blocked");
+        let net = b.finish().unwrap();
+        let ord = topo::order(&net).unwrap();
+        let fix = propagate(&net, &ord);
+        assert_eq!(fix.constant_latches(&net), vec![(0, false)]);
+        let stuck = fix.stuck_gates(&net);
+        let blocked = net.find_signal("blocked").unwrap();
+        assert!(stuck
+            .iter()
+            .any(|&(g, v)| net.gates()[g].output == blocked && !v));
+    }
+
+    #[test]
+    fn xnor_parity_and_cover_rows() {
+        let mut b = NetlistBuilder::new("t");
+        b.input("i").unwrap();
+        b.latch("a", "na", true).unwrap(); // constant 1 (self-feedback)
+        b.gate("na", GateKind::Buf, &["a"]).unwrap();
+        b.gate("x", GateKind::Xnor, &["a", "a"]).unwrap(); // 1⊕̄1 = 1
+        b.gate(
+            "c",
+            GateKind::Cover(vec![vec![Some(true), None]]),
+            &["a", "i"],
+        )
+        .unwrap(); // row matches on a=1 regardless of i
+        b.output("x");
+        b.output("c");
+        let net = b.finish().unwrap();
+        let ord = topo::order(&net).unwrap();
+        let fix = propagate(&net, &ord);
+        let x = net.find_signal("x").unwrap();
+        let c = net.find_signal("c").unwrap();
+        assert_eq!(fix.values[x.index()], Tern::One);
+        assert_eq!(fix.values[c.index()], Tern::One);
+    }
+}

@@ -8,7 +8,7 @@ use bfvr_bdd::{Bdd, BddError, BddManager, Func};
 use bfvr_bfv::reparam::Schedule;
 use bfvr_bfv::BfvError;
 use bfvr_setrepr::{ReprCheckpoint, ReprKind, SetView};
-use bfvr_sim::EncodedFsm;
+use bfvr_sim::{EncodedFsm, OrderHeuristic};
 
 /// Which reachability engine to run (see the crate docs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -148,6 +148,12 @@ pub struct ReachOptions {
     pub cache_limit: Option<usize>,
     /// Safety cap on image iterations.
     pub max_iterations: Option<usize>,
+    /// Static variable-ordering heuristic for the drivers that own the
+    /// netlist encoding — the racing portfolio (each lane encodes the
+    /// netlist in its own thread) and the CLI front end. Engines called
+    /// with an already-encoded [`EncodedFsm`] inherit whatever order the
+    /// caller encoded with; this field does not re-order them.
+    pub order: OrderHeuristic,
     /// Parameter-elimination schedule for the BFV/CDEC engines (§3).
     pub schedule: Schedule,
     /// Cluster size threshold for the partitioned-TR engine \[IWLS95\].
@@ -199,6 +205,7 @@ impl Default for ReachOptions {
             time_limit: None,
             cache_limit: None,
             max_iterations: None,
+            order: OrderHeuristic::DfsFanin,
             schedule: Schedule::DynamicSupport,
             cluster_threshold: 500,
             use_frontier: true,
@@ -219,6 +226,7 @@ impl fmt::Debug for ReachOptions {
             .field("time_limit", &self.time_limit)
             .field("cache_limit", &self.cache_limit)
             .field("max_iterations", &self.max_iterations)
+            .field("order", &self.order)
             .field("schedule", &self.schedule)
             .field("cluster_threshold", &self.cluster_threshold)
             .field("use_frontier", &self.use_frontier)

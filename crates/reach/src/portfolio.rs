@@ -38,14 +38,19 @@ use crate::{
     resume, run_repr, EngineKind, IterationStats, Outcome, ReachOptions, ReachResult, ReprKind,
 };
 
-/// One engine × representation lane of a race: which image computation
-/// runs, and which set representation it iterates on.
+/// One engine × representation × ordering lane of a race: which image
+/// computation runs, which set representation it iterates on, and —
+/// optionally — a variable order overriding the race-wide base
+/// ([`ReachOptions::order`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Lane {
     /// The engine driving the image computation.
     pub engine: EngineKind,
     /// The set representation the fixed-point loop iterates on.
     pub repr: ReprKind,
+    /// Variable-ordering override for this lane's private encoding;
+    /// `None` inherits [`ReachOptions::order`].
+    pub order: Option<OrderHeuristic>,
 }
 
 impl Lane {
@@ -55,19 +60,45 @@ impl Lane {
         Lane {
             engine,
             repr: engine.native_repr(),
+            order: None,
         }
     }
 
     /// An explicit engine × representation pair.
     #[must_use]
     pub fn new(engine: EngineKind, repr: ReprKind) -> Self {
-        Lane { engine, repr }
+        Lane {
+            engine,
+            repr,
+            order: None,
+        }
+    }
+
+    /// This lane with an explicit variable-ordering override — the third
+    /// axis of the portfolio (engine × repr × ordering).
+    #[must_use]
+    pub fn with_order(mut self, order: OrderHeuristic) -> Self {
+        self.order = Some(order);
+        self
     }
 
     /// The lane's display label (`BFV`, `MONO+ZDD`, `BFV+ZONO`, …).
+    /// Ordering overrides do not change the label (the trace schema keys
+    /// race events by static engine labels); use [`Lane::display`] where
+    /// the override matters.
     #[must_use]
     pub fn label(self) -> &'static str {
         lane_label(self.engine, self.repr)
+    }
+
+    /// The lane's full display name: the label, tagged `@ORDER` when the
+    /// lane overrides the race's base order (`MONO+ZDD@COI`, `BFV@FORCE`).
+    #[must_use]
+    pub fn display(self) -> String {
+        match self.order {
+            Some(o) => format!("{}@{}", self.label(), o.label()),
+            None => self.label().to_string(),
+        }
     }
 
     /// Whether this lane's results may over-approximate the reached set.
@@ -285,6 +316,9 @@ pub struct LaneReport {
     pub engine: EngineKind,
     /// The set representation the lane iterated on.
     pub repr: ReprKind,
+    /// The variable-ordering heuristic the lane's private encoding used
+    /// (its override if it had one, else the race's base order).
+    pub order: OrderHeuristic,
     /// Whether the lane's reached-state count may over-approximate
     /// (zonotope lanes). Over-approximating lanes never win a race.
     pub over_approx: bool,
@@ -343,6 +377,7 @@ struct LaneOpts {
     time_limit: Option<Duration>,
     cache_limit: Option<usize>,
     max_iterations: Option<usize>,
+    order: OrderHeuristic,
     schedule: bfvr_bfv::reparam::Schedule,
     cluster_threshold: usize,
     use_frontier: bool,
@@ -359,6 +394,7 @@ impl LaneOpts {
             time_limit: opts.time_limit,
             cache_limit: opts.cache_limit,
             max_iterations: opts.max_iterations,
+            order: opts.order,
             schedule: opts.schedule,
             cluster_threshold: opts.cluster_threshold,
             use_frontier: opts.use_frontier,
@@ -373,6 +409,7 @@ impl LaneOpts {
             time_limit: self.time_limit,
             cache_limit: self.cache_limit,
             max_iterations: self.max_iterations,
+            order: self.order,
             schedule: self.schedule,
             cluster_threshold: self.cluster_threshold,
             use_frontier: self.use_frontier,
@@ -398,6 +435,7 @@ struct LaneMessage {
     lane: usize,
     engine: EngineKind,
     repr: ReprKind,
+    order: OrderHeuristic,
     outcome: Option<Outcome>,
     iterations: usize,
     reached_states: Option<f64>,
@@ -419,17 +457,18 @@ fn race_lane(
     lane: usize,
     spec: Lane,
     net: &Netlist,
-    order: OrderHeuristic,
     opts: LaneOpts,
     escalation: Option<&EscalationPolicy>,
     cancel: &Arc<AtomicBool>,
 ) -> LaneMessage {
     let start = Instant::now();
-    let Lane { engine, repr } = spec;
+    let Lane { engine, repr, .. } = spec;
+    let order = spec.order.unwrap_or(opts.order);
     let skipped = LaneMessage {
         lane,
         engine,
         repr,
+        order,
         outcome: None,
         iterations: 0,
         reached_states: None,
@@ -483,6 +522,7 @@ fn race_lane(
         lane,
         engine,
         repr,
+        order,
         outcome: Some(result.outcome),
         iterations: result.iterations,
         reached_states: result.reached_states,
@@ -509,10 +549,11 @@ fn outcome_rank(outcome: Option<Outcome>) -> u8 {
     }
 }
 
-/// Races `lanes` on `net`: every engine × representation lane traverses
-/// the same FSM (same netlist, same variable order) in its own worker
-/// thread with its own private [`BddManager`], and the first *exact* lane
-/// to reach the fixed point cancels the rest through the managers'
+/// Races `lanes` on `net`: every engine × representation × ordering lane
+/// encodes the netlist in its own worker thread with its own private
+/// [`BddManager`] — under [`ReachOptions::order`] unless the lane
+/// carries an override ([`Lane::with_order`]) — and the first *exact*
+/// lane to reach the fixed point cancels the rest through the managers'
 /// cooperative deadline poll.
 ///
 /// The returned [`RaceReport`] carries the winning [`ReachResult`]
@@ -528,7 +569,6 @@ fn outcome_rank(outcome: Option<Outcome>) -> u8 {
 pub fn run_racing(
     lanes: &[Lane],
     net: &Netlist,
-    order: OrderHeuristic,
     opts: &ReachOptions,
     config: &RaceConfig,
 ) -> RaceReport {
@@ -563,7 +603,6 @@ pub fn run_racing(
                         lane,
                         spec,
                         net,
-                        order,
                         lane_opts,
                         config.escalation.as_ref(),
                         &cancel,
@@ -607,6 +646,7 @@ pub fn run_racing(
             lane: i,
             engine: lanes[i].engine,
             repr: lanes[i].repr,
+            order: lanes[i].order.unwrap_or(opts.order),
             outcome: None,
             iterations: 0,
             reached_states: None,
@@ -637,6 +677,7 @@ pub fn run_racing(
         reports.push(LaneReport {
             engine: msg.engine,
             repr: msg.repr,
+            order: msg.order,
             over_approx: msg.repr.over_approximates(),
             outcome: msg.outcome,
             iterations: msg.iterations,

@@ -45,7 +45,7 @@ fn racing_matches_sequential_counts_on_three_circuits() {
             "{name}: engines disagree sequentially: {counts:?}"
         );
         // ...so whichever lane wins the race, the count is bit-identical.
-        let report = run_racing(&lanes, &net, ORDER, &opts, &RaceConfig::default());
+        let report = run_racing(&lanes, &net, &opts, &RaceConfig::default());
         let result = report.result.expect("non-empty race has a result");
         assert_eq!(result.outcome, Outcome::FixedPoint, "{name}");
         assert_eq!(
@@ -69,13 +69,7 @@ fn losing_lanes_are_cancelled_not_errored() {
     let net = generators::queue_controller(4);
     let opts = ReachOptions::default();
     for _ in 0..3 {
-        let report = run_racing(
-            &Lane::native_lanes(),
-            &net,
-            ORDER,
-            &opts,
-            &RaceConfig::default(),
-        );
+        let report = run_racing(&Lane::native_lanes(), &net, &opts, &RaceConfig::default());
         let result = report.result.expect("race result");
         assert_eq!(result.outcome, Outcome::FixedPoint);
         for lane in &report.lanes {
@@ -121,7 +115,7 @@ fn full_lane_matrix_races_new_representations() {
         "expected a zonotope lane in the matrix"
     );
     let exact = sequential_count(&net, EngineKind::Bfv, &opts);
-    let report = run_racing(&lanes, &net, ORDER, &opts, &RaceConfig::default());
+    let report = run_racing(&lanes, &net, &opts, &RaceConfig::default());
     let result = report.result.expect("race result");
     assert_eq!(result.outcome, Outcome::FixedPoint);
     assert!(
@@ -159,7 +153,7 @@ fn jobs_cap_serializes_the_race_deterministically() {
         Lane::native(EngineKind::Monolithic),
         Lane::native(EngineKind::Cbm),
     ];
-    let report = run_racing(&lanes, &net, ORDER, &opts, &config);
+    let report = run_racing(&lanes, &net, &opts, &config);
     assert_eq!(report.winner, Some(0));
     let result = report.result.unwrap();
     assert_eq!(result.engine, EngineKind::Bfv);
@@ -193,7 +187,7 @@ fn race_composes_with_escalation() {
         Lane::native(EngineKind::Monolithic),
         Lane::native(EngineKind::Bfv),
     ];
-    let report = run_racing(&lanes, &net, ORDER, &opts, &config);
+    let report = run_racing(&lanes, &net, &opts, &config);
     let result = report.result.expect("race result");
     assert_eq!(
         result.outcome,
@@ -212,16 +206,52 @@ fn race_composes_with_escalation() {
 #[test]
 fn empty_lane_list_yields_empty_report() {
     let net = circuits::s27();
-    let report = run_racing(
-        &[],
-        &net,
-        ORDER,
-        &ReachOptions::default(),
-        &RaceConfig::default(),
-    );
+    let report = run_racing(&[], &net, &ReachOptions::default(), &RaceConfig::default());
     assert!(report.result.is_none());
     assert!(report.winner.is_none());
     assert!(report.lanes.is_empty());
+}
+
+#[test]
+fn ordering_lanes_agree_on_reached_state_counts() {
+    // The third portfolio axis: the same engine raced under different
+    // static variable orders must converge to the same fixed point —
+    // ordering changes cost, never the answer.
+    for (name, net) in bundled_circuits() {
+        let exact = sequential_count(&net, EngineKind::Monolithic, &ReachOptions::default());
+        let lanes = [
+            Lane::native(EngineKind::Monolithic),
+            Lane::native(EngineKind::Monolithic).with_order(OrderHeuristic::Coi),
+            Lane::native(EngineKind::Monolithic).with_order(OrderHeuristic::Force),
+            Lane::native(EngineKind::Bfv).with_order(OrderHeuristic::Coi),
+        ];
+        assert_eq!(lanes[1].display(), "MONO@COI");
+        assert_eq!(lanes[3].display(), "BFV@COI");
+        let report = run_racing(
+            &lanes,
+            &net,
+            &ReachOptions::default(),
+            &RaceConfig::default(),
+        );
+        let result = report.result.expect("race result");
+        assert_eq!(result.outcome, Outcome::FixedPoint, "{name}");
+        assert_eq!(
+            result.reached_states.unwrap().to_bits(),
+            exact.to_bits(),
+            "{name}"
+        );
+        for lane in &report.lanes {
+            if lane.outcome == Some(Outcome::FixedPoint) {
+                if let Some(states) = lane.reached_states {
+                    assert_eq!(states.to_bits(), exact.to_bits(), "{name}: {lane:?}");
+                }
+            }
+        }
+        // Reports carry the resolved order per lane.
+        assert_eq!(report.lanes[0].order, OrderHeuristic::DfsFanin);
+        assert_eq!(report.lanes[1].order, OrderHeuristic::Coi);
+        assert_eq!(report.lanes[2].order, OrderHeuristic::Force);
+    }
 }
 
 #[test]
@@ -239,7 +269,6 @@ fn cancelled_lane_under_a_real_deadline_still_reports_timeout() {
             Lane::native(EngineKind::Monolithic),
         ],
         &net,
-        ORDER,
         &opts,
         &RaceConfig::default(),
     );

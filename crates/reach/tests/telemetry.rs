@@ -294,7 +294,7 @@ fn raced_trace_has_one_winner_and_cancels_the_rest() {
         jobs: 1,
         ..RaceConfig::default()
     };
-    let report = run_racing(&lanes, &net, ORDER, &opts, &config);
+    let report = run_racing(&lanes, &net, &opts, &config);
     assert!(report.result.is_some());
 
     let events = trace.borrow_mut().drain();

@@ -37,6 +37,17 @@ pub enum OrderHeuristic {
     /// A seeded random permutation (the paper's "other orders available to
     /// us", `O`).
     Random(u64),
+    /// Cone-of-influence interleaving: output cones are laid out smallest
+    /// first, each cone's latches and inputs in first-visit order from
+    /// its output — so slots that interact through shared logic sit on
+    /// adjacent levels. Derived from the `bfvr-nlint` COI analysis.
+    Coi,
+    /// FORCE (Aloul–Markov–Sakallah): iterative center-of-gravity
+    /// placement over the support hypergraph (one hyperedge per latch
+    /// next-state function and per output), keeping the lowest-span
+    /// order encountered. Derived from the `bfvr-nlint` support
+    /// analysis.
+    Force,
 }
 
 impl OrderHeuristic {
@@ -63,6 +74,27 @@ impl OrderHeuristic {
                 }
                 s
             }
+            OrderHeuristic::Coi => coi_interleaved(net),
+            OrderHeuristic::Force => force(net),
+        }
+    }
+
+    /// Parses a CLI/config order token. Accepts `s1` (DFS fan-in),
+    /// `decl` (declaration order; `s2` kept as a legacy alias), `d`
+    /// (reversed), `coi`, `force`, and `o:<seed>` for a seeded random
+    /// order. Case-insensitive. Returns `None` on anything else.
+    #[must_use]
+    pub fn parse_token(token: &str) -> Option<Self> {
+        match token.to_ascii_lowercase().as_str() {
+            "s1" => Some(OrderHeuristic::DfsFanin),
+            "s2" | "decl" => Some(OrderHeuristic::Declaration),
+            "d" => Some(OrderHeuristic::Reversed),
+            "coi" => Some(OrderHeuristic::Coi),
+            "force" => Some(OrderHeuristic::Force),
+            t => t
+                .strip_prefix("o:")
+                .and_then(|s| s.parse().ok())
+                .map(OrderHeuristic::Random),
         }
     }
 
@@ -74,6 +106,8 @@ impl OrderHeuristic {
             OrderHeuristic::Declaration => "S2".to_string(),
             OrderHeuristic::Reversed => "D".to_string(),
             OrderHeuristic::Random(seed) => format!("O{seed}"),
+            OrderHeuristic::Coi => "COI".to_string(),
+            OrderHeuristic::Force => "FORCE".to_string(),
         }
     }
 }
@@ -85,6 +119,17 @@ fn declaration(net: &Netlist) -> Vec<Slot> {
 }
 
 fn dfs_fanin(net: &Netlist) -> Vec<Slot> {
+    // Roots: primary outputs first, then latch next-state functions, so
+    // the traversal eventually covers every slot.
+    let mut roots: Vec<SignalId> = net.outputs().to_vec();
+    roots.extend(net.latches().iter().map(|l| l.input));
+    dfs_from(net, &roots)
+}
+
+/// First-visit depth-first slot collection from `roots`, crossing latch
+/// boundaries into next-state cones; slots never reached are appended in
+/// declaration order so the cover is complete.
+fn dfs_from(net: &Netlist, roots: &[SignalId]) -> Vec<Slot> {
     use bfvr_netlist::Driver;
     let mut seen = vec![false; net.num_signals()];
     let mut order = Vec::new();
@@ -100,11 +145,7 @@ fn dfs_fanin(net: &Netlist) -> Vec<Slot> {
         .enumerate()
         .map(|(i, &s)| (s, i))
         .collect();
-    // Roots: primary outputs first, then latch next-state functions, so
-    // the traversal eventually covers every slot.
-    let mut roots: Vec<SignalId> = net.outputs().to_vec();
-    roots.extend(net.latches().iter().map(|l| l.input));
-    for root in roots {
+    for &root in roots {
         // Iterative DFS; latch boundaries enqueue their next-state cone
         // immediately after the latch is first seen (interleaving related
         // state variables, which is what makes fan-in orders effective).
@@ -139,6 +180,144 @@ fn dfs_fanin(net: &Netlist) -> Vec<Slot> {
     order
 }
 
+/// COI interleaving: rank the outputs by cone size (smallest cone first)
+/// and lay out each cone's slots in first-visit order from its output.
+/// Small cones get compact, low-level variable blocks; big cones reuse
+/// whatever of their support is already placed and append the rest.
+fn coi_interleaved(net: &Netlist) -> Vec<Slot> {
+    use bfvr_netlist::topo;
+    let mut outs: Vec<(usize, SignalId)> = net
+        .outputs()
+        .iter()
+        .map(|&o| {
+            let (lat, inp) = topo::cone_of_influence(net, &[o]);
+            (lat.len() + inp.len(), o)
+        })
+        .collect();
+    outs.sort_by_key(|&(size, s)| (size, s.index()));
+    let mut roots: Vec<SignalId> = outs.into_iter().map(|(_, s)| s).collect();
+    // Latches outside every output cone still need positions near their
+    // own next-state support; root their next functions after the cones.
+    roots.extend(net.latches().iter().map(|l| l.input));
+    dfs_from(net, &roots)
+}
+
+/// FORCE (Aloul–Markov–Sakallah DAC'03): treat each latch next-state
+/// support (plus the latch itself) and each output support as a
+/// hyperedge over the slots, then repeatedly move every slot to the
+/// mean of the centers of gravity of its edges and re-sort. Total edge
+/// span monotonically shrinks in practice; we keep the best order seen.
+fn force(net: &Netlist) -> Vec<Slot> {
+    let nl = net.latches().len();
+    let ni = net.inputs().len();
+    let n = nl + ni;
+    if n == 0 {
+        return Vec::new();
+    }
+    // Vertices 0..nl are latches, nl..n are inputs.
+    let mut edges: Vec<Vec<usize>> = Vec::new();
+    for (l, sup) in bfvr_nlint::support::latch_supports(net).iter().enumerate() {
+        let mut e: Vec<usize> = vec![l];
+        e.extend(sup.latches.iter().copied());
+        e.extend(sup.inputs.iter().map(|&i| nl + i));
+        e.sort_unstable();
+        e.dedup();
+        if e.len() >= 2 {
+            edges.push(e);
+        }
+    }
+    for sup in &bfvr_nlint::support::output_supports(net) {
+        let mut e: Vec<usize> = sup.latches.clone();
+        e.extend(sup.inputs.iter().map(|&i| nl + i));
+        e.sort_unstable();
+        e.dedup();
+        if e.len() >= 2 {
+            edges.push(e);
+        }
+    }
+    let span_of = |order: &[usize]| -> usize {
+        let mut rank = vec![0usize; n];
+        for (r, &v) in order.iter().enumerate() {
+            rank[v] = r;
+        }
+        edges
+            .iter()
+            .map(|e| {
+                let lo = e.iter().map(|&v| rank[v]).min().unwrap_or(0);
+                let hi = e.iter().map(|&v| rank[v]).max().unwrap_or(0);
+                hi - lo
+            })
+            .sum()
+    };
+    let mut order: Vec<usize> = (0..n).collect();
+    if edges.is_empty() {
+        // Nothing to optimise (e.g. every latch holds a constant).
+        return order
+            .into_iter()
+            .map(|v| {
+                if v < nl {
+                    Slot::Latch(v)
+                } else {
+                    Slot::Input(v - nl)
+                }
+            })
+            .collect();
+    }
+    let mut best = order.clone();
+    let mut best_span = span_of(&best);
+    for _ in 0..50 {
+        let mut rank = vec![0usize; n];
+        for (r, &v) in order.iter().enumerate() {
+            rank[v] = r;
+        }
+        // Center of gravity of each hyperedge…
+        let cogs: Vec<f64> = edges
+            .iter()
+            .map(|e| e.iter().map(|&v| rank[v] as f64).sum::<f64>() / e.len() as f64)
+            .collect();
+        // …pulls each member vertex toward the mean of its edges' COGs.
+        let mut acc = vec![0.0f64; n];
+        let mut cnt = vec![0usize; n];
+        for (ei, e) in edges.iter().enumerate() {
+            for &v in e {
+                acc[v] += cogs[ei];
+                cnt[v] += 1;
+            }
+        }
+        let pos: Vec<f64> = (0..n)
+            .map(|v| {
+                if cnt[v] > 0 {
+                    acc[v] / cnt[v] as f64
+                } else {
+                    rank[v] as f64
+                }
+            })
+            .collect();
+        let mut next: Vec<usize> = (0..n).collect();
+        // Stable: ties keep their previous relative order, so the
+        // iteration is deterministic and converges to a fixpoint.
+        next.sort_by(|&a, &b| pos[a].total_cmp(&pos[b]).then(rank[a].cmp(&rank[b])));
+        if next == order {
+            break;
+        }
+        order = next;
+        let s = span_of(&order);
+        if s < best_span {
+            best_span = s;
+            best = order.clone();
+        }
+    }
+    best.into_iter()
+        .map(|v| {
+            if v < nl {
+                Slot::Latch(v)
+            } else {
+                Slot::Input(v - nl)
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +348,8 @@ mod tests {
                 OrderHeuristic::Declaration,
                 OrderHeuristic::Reversed,
                 OrderHeuristic::Random(42),
+                OrderHeuristic::Coi,
+                OrderHeuristic::Force,
             ] {
                 check_complete(net, &h.slots(net));
             }
@@ -197,5 +378,44 @@ mod tests {
     fn labels() {
         assert_eq!(OrderHeuristic::DfsFanin.label(), "S1");
         assert_eq!(OrderHeuristic::Random(7).label(), "O7");
+        assert_eq!(OrderHeuristic::Coi.label(), "COI");
+        assert_eq!(OrderHeuristic::Force.label(), "FORCE");
+    }
+
+    #[test]
+    fn force_never_worse_than_declaration_span() {
+        // FORCE keeps the best order it sees, starting from declaration
+        // order — so its support span can only shrink or stay put.
+        for (name, net) in generators::standard_suite() {
+            let span = |slots: &[Slot]| -> usize {
+                let nl = net.latches().len();
+                let mut rank = std::collections::HashMap::new();
+                for (r, s) in slots.iter().enumerate() {
+                    let v = match s {
+                        Slot::Latch(l) => *l,
+                        Slot::Input(i) => nl + i,
+                    };
+                    rank.insert(v, r);
+                }
+                let mut total = 0usize;
+                for (l, sup) in bfvr_nlint::support::latch_supports(&net).iter().enumerate() {
+                    let mut vs: Vec<usize> = vec![l];
+                    vs.extend(sup.latches.iter().copied());
+                    vs.extend(sup.inputs.iter().map(|&i| nl + i));
+                    vs.sort_unstable();
+                    vs.dedup();
+                    if vs.len() < 2 {
+                        continue;
+                    }
+                    let lo = vs.iter().map(|v| rank[v]).min().unwrap();
+                    let hi = vs.iter().map(|v| rank[v]).max().unwrap();
+                    total += hi - lo;
+                }
+                total
+            };
+            let decl = span(&OrderHeuristic::Declaration.slots(&net));
+            let forced = span(&OrderHeuristic::Force.slots(&net));
+            assert!(forced <= decl, "{name}: FORCE span {forced} > decl {decl}");
+        }
     }
 }

@@ -10,12 +10,15 @@
 //! bfvr serve --dir <dir>              supervised worker pool over a job dir
 //! bfvr submit <file> --dir <dir>      journal a job for bfvr serve
 //! bfvr audit <file> [options]         audit engines' intermediate sets
+//! bfvr lint <file> [options]          static netlist analysis (bfvr-nlint)
 //! bfvr check <file> --bad CUBE        invariant check (+ counterexample)
 //! bfvr trace <file> --to CUBE         minimal input trace to a state cube
 //! bfvr report <trace.jsonl>           render a --trace-out telemetry trace
 //! ```
 //!
 //! Run `bfvr help` for the full option list.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 use std::cell::{Cell, RefCell};
 use std::path::PathBuf;
@@ -60,7 +63,14 @@ USAGE:
                                          cannot drive are dropped; zono
                                          lanes over-approximate and print
                                          their count as an upper bound
-                    [--order s1|s2|d|o:<seed>]
+                    [--order s1|decl|d|coi|force|o:<seed>|all]
+                                         static variable order: s1 fan-in
+                                         DFS (default), decl declaration
+                                         (alias s2), d reversed, coi
+                                         cone-of-influence interleaving,
+                                         force FORCE placement, o:<seed>
+                                         random; all crosses every lane
+                                         with s1/decl/coi/force
                     [--time-limit <sec>] [--node-limit <nodes>]
                     [--cache-limit <slots>]  cap each op cache's computed
                                          table at this many slots (rounded
@@ -120,7 +130,7 @@ USAGE:
                                          iteration K on its first attempt
   bfvr audit <file> [--engine bfv|cbm|mono|iwls95|cdec|all]  (default all)
                     [--repr chi|bfv|cdec|zdd|zono|native|all]  (default native)
-                    [--order s1|s2|d|o:<seed>]
+                    [--order s1|decl|d|coi|force|o:<seed>]
                     [--time-limit <sec>] [--node-limit <nodes>]
                     [--selftest]         also run the mutation harness:
                                          seed deliberate corruptions and
@@ -128,6 +138,23 @@ USAGE:
           runs every analysis pass over every engine's intermediate sets;
           prints compiler-style diagnostics, sorted by severity then pass;
           exits nonzero iff any error-severity finding
+  bfvr lint <file>  static netlist analysis (bfvr-nlint): combinational
+                    cycles, undriven/unread signals, ternary constant
+                    propagation (stuck-at gates, constant latches), dead
+                    latches, duplicate gates, per-latch support stats;
+                    prints compiler-style diagnostics and exits nonzero
+                    iff any error-severity finding
+                    [--fix <out>]        write a lint-gated simplification
+                                         (constant folding, buffer collapse,
+                                         duplicate merging) as .bench; the
+                                         rewrite preserves the reached-state
+                                         count exactly
+                    [--prune]            with --fix: also drop latches
+                                         outside every output cone (projects
+                                         the state space — counts may shrink)
+                    [--selftest]         run the netlist mutation harness:
+                                         nine seeded corruptions, each must
+                                         be caught by its intended pass
   bfvr check <file> --bad <cube>          cube over latches in file order,
                                           e.g. 1x0x (x = don't care)
   bfvr trace <file> --to <cube>
@@ -163,6 +190,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
         Some("serve") => simple(cmd_serve(args)),
         Some("submit") => simple(cmd_submit(args)),
         Some("audit") => simple(cmd_audit(args)),
+        Some("lint") => simple(cmd_lint(args)),
         Some("check") => simple(cmd_check(args)),
         Some("trace") => simple(cmd_trace(args)),
         Some("report") => simple(cmd_report(args)),
@@ -251,18 +279,11 @@ fn parse_order(args: &[String]) -> Result<OrderHeuristic, String> {
     }
 }
 
-/// Parses one `--order` token (`s1`/`s2`/`d`/`o:SEED`) — also the format
+/// Parses one `--order` token (`s1`/`decl`/`d`/`coi`/`force`/`o:SEED`,
+/// with `s2` kept as a legacy alias for `decl`) — also the format
 /// durable checkpoint headers and job specs record an order in.
 fn parse_order_token(tok: &str) -> Result<OrderHeuristic, String> {
-    Ok(match tok {
-        "s1" => OrderHeuristic::DfsFanin,
-        "s2" => OrderHeuristic::Declaration,
-        "d" => OrderHeuristic::Reversed,
-        o if o.starts_with("o:") => {
-            OrderHeuristic::Random(o[2..].parse().map_err(|e| format!("bad order seed: {e}"))?)
-        }
-        other => return Err(format!("unknown order `{other}`")),
-    })
+    OrderHeuristic::parse_token(tok).ok_or_else(|| format!("unknown order `{tok}`"))
 }
 
 /// The inverse of [`parse_order_token`]: the CLI token for an order,
@@ -271,9 +292,28 @@ fn parse_order_token(tok: &str) -> Result<OrderHeuristic, String> {
 fn order_token(order: OrderHeuristic) -> String {
     match order {
         OrderHeuristic::DfsFanin => "s1".to_string(),
-        OrderHeuristic::Declaration => "s2".to_string(),
+        OrderHeuristic::Declaration => "decl".to_string(),
         OrderHeuristic::Reversed => "d".to_string(),
         OrderHeuristic::Random(seed) => format!("o:{seed}"),
+        OrderHeuristic::Coi => "coi".to_string(),
+        OrderHeuristic::Force => "force".to_string(),
+    }
+}
+
+/// Parses `reach`'s `--order` into the selected order list: one token
+/// selects that order, `all` crosses every lane with the static
+/// portfolio (fan-in, declaration, COI, FORCE), no flag selects the
+/// fan-in default.
+fn parse_order_list(args: &[String]) -> Result<Vec<OrderHeuristic>, String> {
+    match flag_value(args, "--order").as_deref() {
+        None => Ok(vec![OrderHeuristic::DfsFanin]),
+        Some("all") => Ok(vec![
+            OrderHeuristic::DfsFanin,
+            OrderHeuristic::Declaration,
+            OrderHeuristic::Coi,
+            OrderHeuristic::Force,
+        ]),
+        Some(tok) => Ok(vec![parse_order_token(tok)?]),
     }
 }
 
@@ -631,8 +671,10 @@ fn settle_durable(
 fn cmd_reach(args: &[String]) -> Result<ExitCode, String> {
     let circuit = args.get(1).ok_or("reach needs a file")?.clone();
     let net = load(&circuit)?;
-    let order = parse_order(args)?;
+    let orders = parse_order_list(args)?;
+    let order = orders[0];
     let mut opts = parse_opts(args)?;
+    opts.order = order;
     let escalation = parse_escalation(args)?;
     if escalation.is_some() && opts.node_limit.is_none() && opts.time_limit.is_none() {
         return Err("--escalate needs --node-limit and/or --time-limit to raise".into());
@@ -647,7 +689,15 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, String> {
     };
     let engines = parse_engines(args, default_engines)?;
     let reprs = parse_reprs(args)?;
-    let lanes = build_lanes(&engines, reprs.as_deref())?;
+    let mut lanes = build_lanes(&engines, reprs.as_deref())?;
+    if orders.len() > 1 {
+        // `--order all`: the ordering becomes a third portfolio axis —
+        // every engine × repr lane is crossed with every static order.
+        lanes = lanes
+            .iter()
+            .flat_map(|&l| orders.iter().map(move |&o| l.with_order(o)))
+            .collect();
+    }
     if !race && flag_value(args, "--jobs").is_some() {
         return Err("--jobs requires --race".into());
     }
@@ -672,14 +722,26 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, String> {
     if (durable.is_some() || result_out.is_some()) && lanes.len() != 1 {
         return Err("--checkpoint-out/--result-out need exactly one engine × repr lane".into());
     }
-    let trace = parse_trace(args, &format!("bfvr reach {}", net.name()))?;
+    // The meta header records the chosen ordering and a lint summary
+    // (`Ne/Nw/Ni` finding counts), so a trace identifies both the
+    // variable-order axis and the structural health of its input.
+    let order_label = if orders.len() > 1 {
+        "all".to_string()
+    } else {
+        order_token(order)
+    };
+    let lint = bfvr::nlint::run_passes(&net).summary();
+    let trace = parse_trace(
+        args,
+        &format!("bfvr reach {} order={order_label} lint={lint}", net.name()),
+    )?;
     opts.trace.clone_from(&trace);
     let run_span = trace.as_ref().map(|t| {
         t.borrow_mut()
             .open_span(SpanKind::Run, net.name(), Counters::new())
     });
     let result = if race {
-        cmd_reach_race(args, &net, order, &opts, &lanes, escalation).map(|()| ExitCode::SUCCESS)
+        cmd_reach_race(args, &net, &opts, &lanes, escalation).map(|()| ExitCode::SUCCESS)
     } else {
         reach_plain(
             args,
@@ -744,7 +806,8 @@ fn reach_plain(
             if cancel.load(Ordering::Relaxed) {
                 return Err("interrupted before completion (remaining lanes skipped)".into());
             }
-            let (mut m, fsm) = EncodedFsm::encode(net, order).map_err(|e| e.to_string())?;
+            let lane_order = lane.order.unwrap_or(order);
+            let (mut m, fsm) = EncodedFsm::encode(net, lane_order).map_err(|e| e.to_string())?;
             m.set_cancel_token(Some(Arc::clone(cancel)));
             let mut lane_opts = opts.clone();
             if let Some(d) = durable {
@@ -794,7 +857,7 @@ fn reach_plain(
             };
             println!(
                 "{:10} {:>6} {:>14} {:>7} {:>10.1} {:>11}",
-                lane.label(),
+                lane.display(),
                 r.outcome.label(),
                 states_cell(r.reached_states, r.over_approx),
                 r.iterations,
@@ -869,7 +932,6 @@ fn states_cell(states: Option<f64>, over_approx: bool) -> String {
 fn cmd_reach_race(
     args: &[String],
     net: &Netlist,
-    order: OrderHeuristic,
     opts: &ReachOptions,
     lanes: &[Lane],
     escalation: Option<EscalationPolicy>,
@@ -891,9 +953,9 @@ fn cmd_reach_race(
         }
     };
     let config = RaceConfig { jobs, escalation };
-    let report = run_racing(lanes, net, order, opts, &config);
+    let report = run_racing(lanes, net, opts, &config);
     println!(
-        "{:10} {:>9} {:>14} {:>7} {:>10} {:>11}",
+        "{:16} {:>9} {:>14} {:>7} {:>10} {:>11}",
         "lane", "status", "states", "iters", "time(ms)", "peak nodes"
     );
     for (i, lane) in report.lanes.iter().enumerate() {
@@ -908,8 +970,8 @@ fn cmd_reach_race(
             ""
         };
         println!(
-            "{:10} {:>9} {:>14} {:>7} {:>10.1} {:>11}{}",
-            lane_label(lane.engine, lane.repr),
+            "{:16} {:>9} {:>14} {:>7} {:>10.1} {:>11}{}",
+            lanes[i].display(),
             status,
             states_cell(lane.reached_states, lane.over_approx),
             lane.iterations,
@@ -1325,6 +1387,94 @@ fn run_selftest(net: &Netlist, order: OrderHeuristic) -> Result<(), String> {
     if undetected > 0 {
         return Err(format!(
             "self-test: {undetected} corruption(s) went undetected"
+        ));
+    }
+    Ok(())
+}
+
+/// `bfvr lint`: run the `bfvr-nlint` pass battery over the netlist and
+/// print the findings compiler-style, sorted by severity then pass.
+/// `--fix` writes the lint-gated simplification as `.bench`; `--selftest`
+/// runs the netlist mutation harness. Exits nonzero iff any
+/// error-severity finding (mirroring `bfvr audit`).
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let net = load(args.get(1).ok_or("lint needs a file")?)?;
+    let report = bfvr::nlint::run_passes(&net);
+    for f in report.sorted() {
+        println!("{f}");
+    }
+    println!(
+        "lint: {} finding(s) — {} error(s), {} warning(s), {} note(s)",
+        report.len(),
+        report.count_at(bfvr::nlint::Severity::Error),
+        report.count_at(bfvr::nlint::Severity::Warning),
+        report.count_at(bfvr::nlint::Severity::Info),
+    );
+    let prune = args.iter().any(|a| a == "--prune");
+    match flag_value(args, "--fix") {
+        None if prune => return Err("--prune requires --fix".into()),
+        None => {}
+        Some(out) => {
+            let s = bfvr::nlint::simplify_with(
+                &net,
+                bfvr::nlint::SimplifyOptions { prune_dead: prune },
+            )
+            .map_err(|e| e.to_string())?;
+            let before = net.stats();
+            let after = s.netlist.stats();
+            println!(
+                "fix: {} -> {} ({} latch(es) folded, {} dead latch(es) dropped, \
+                 {} duplicate gate(s) merged, {} gate(s) pruned)",
+                before,
+                after,
+                s.folded_latches.len(),
+                s.dead_latches.len(),
+                s.merged_gates,
+                s.pruned_gates,
+            );
+            if !s.dead_latches.is_empty() {
+                println!(
+                    "note: dead-latch pruning projects the state space — reached-state \
+                     counts are no longer comparable to the original"
+                );
+            }
+            let text = bench::write(&s.netlist).map_err(|e| e.to_string())?;
+            std::fs::write(&out, text).map_err(|e| format!("{out}: {e}"))?;
+            println!("fix: wrote {out}");
+        }
+    }
+    if args.iter().any(|a| a == "--selftest") {
+        lint_selftest(&net)?;
+    }
+    if report.has_errors() {
+        return Err("lint found error-severity findings".into());
+    }
+    Ok(())
+}
+
+/// `bfvr lint --selftest`: nine seeded netlist corruptions, each of
+/// which must be diagnosed by its intended pass (the netlist-level
+/// mirror of `bfvr audit --selftest`).
+fn lint_selftest(net: &Netlist) -> Result<(), String> {
+    let outcomes = bfvr::nlint::run_mutations(net).map_err(|e| e.to_string())?;
+    println!("netlist mutation self-test on {}:", net.name());
+    let mut undetected = 0usize;
+    for o in &outcomes {
+        println!(
+            "  {:16} -> {} by {}{} ({} finding(s))",
+            o.label,
+            if o.fired { "detected" } else { "NOT DETECTED" },
+            o.expected.id(),
+            if o.with_witness { ", with witness" } else { "" },
+            o.findings,
+        );
+        if !o.fired {
+            undetected += 1;
+        }
+    }
+    if undetected > 0 {
+        return Err(format!(
+            "lint self-test: {undetected} corruption(s) went undetected"
         ));
     }
     Ok(())

@@ -18,6 +18,9 @@
 //!   plus the characteristic-function baselines (`bfvr-reach`),
 //! * [`audit`] — pass-based semantic analysis of BDD graphs and canonical
 //!   BFVs with compiler-style diagnostics (`bfvr-audit`),
+//! * [`nlint`] — static netlist analysis: structural/semantic lint passes,
+//!   lint-gated simplification, and the support analyses behind the
+//!   COI/FORCE variable orders (`bfvr-nlint`),
 //! * [`obs`] — structured run telemetry: spans, counters and the JSONL
 //!   trace format rendered by `bfvr report` (`bfvr-obs`),
 //! * [`serve`] — crash-safe job execution: durable checkpoint files, the
@@ -31,6 +34,7 @@ pub use bfvr_audit as audit;
 pub use bfvr_bdd as bdd;
 pub use bfvr_bfv as bfv;
 pub use bfvr_netlist as netlist;
+pub use bfvr_nlint as nlint;
 pub use bfvr_obs as obs;
 pub use bfvr_reach as reach;
 pub use bfvr_serve as serve;
