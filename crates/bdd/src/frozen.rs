@@ -1,0 +1,922 @@
+//! Frozen-function snapshots: immutable, packed, complement-free BDDs
+//! for shared-state-free parallel apply.
+//!
+//! The manager's in-arena representation is built for mutation: a global
+//! unique table, complement edges, per-operation caches, GC bookkeeping —
+//! and is therefore `!Send`. This module exports the opposite trade-off:
+//! [`BddManager::freeze`] walks a set of root edges and packs the shared
+//! DAG below them into a [`FrozenSet`] — a contiguous `Vec` of
+//! `(var, lo, hi)` triples with plain `u32` child indices, **no
+//! complement edges** and **no unique table** — that is `Send + Sync` and
+//! can be read by any number of worker threads at once.
+//!
+//! Complement edges are resolved *at freeze time*: a manager node that is
+//! reachable both plain and complemented is exported as two frozen nodes.
+//! The duplication is bounded (at most 2× the live graph) and buys the
+//! kernel an identity it can exploit everywhere — a frozen node id *is*
+//! the function, so task caches, memo tables and the local unique table
+//! key on bare `u32`s with no polarity folding, and the coupled-DFS inner
+//! loop never branches on a complement bit.
+//!
+//! On top of the snapshot, [`FrozenTask`] is a single worker's scratch
+//! space: an append-only local node arena growing *above* the shared
+//! snapshot in one unified id space, a local unique table for the nodes
+//! it creates, a lossy direct-mapped ITE cache in the style of the
+//! manager's computed tables, and explicit operand/result stacks — the
+//! kernels are iterative, never recursive. Tasks share nothing, so any
+//! number of them can run on one [`FrozenSet`] concurrently.
+//!
+//! Results come back to the owning manager through
+//! [`FrozenTask::reintern`]: a single bottom-up pass that replays only the
+//! *locally created* nodes through the ordinary hash-consing `mk` —
+//! frozen input nodes re-enter by their recorded origin edge, paying
+//! nothing. The unique table makes the re-interned function bit-identical
+//! to one computed natively, which is what makes the parallel image path
+//! a drop-in replacement for `vector_compose` (asserted by the
+//! differential tests below).
+//!
+//! Contrast with [`crate::BddDag`]: the DAG export keeps complement
+//! edges and exists for durable checkpoints; the frozen form trades
+//! compactness for kernel speed and thread-shareability.
+
+use crate::hash::FxHashMap;
+use crate::manager::BddManager;
+use crate::node::Bdd;
+use crate::Result;
+
+/// Variable marker for the two terminal nodes of a frozen snapshot.
+const FROZEN_TERMINAL: u32 = u32::MAX;
+
+/// Frozen node id of the constant-false function (position 0).
+pub const FROZEN_FALSE: u32 = 0;
+/// Frozen node id of the constant-true function (position 1).
+pub const FROZEN_TRUE: u32 = 1;
+
+/// Slot-count ceiling of the per-task direct-mapped ITE cache. 2^15
+/// slots of 20 bytes = 640 KiB per task: big enough that the image-step
+/// composes rarely thrash, small enough to stay resident in L2 — a
+/// larger table measurably loses more to cache misses than it gains in
+/// hit rate on the benchmark families.
+const ITE_CACHE_BITS: u32 = 15;
+
+/// One packed frozen node: decision variable plus two plain child ids
+/// (no complement encoding — both children are node positions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct FrozenNode {
+    var: u32,
+    lo: u32,
+    hi: u32,
+}
+
+/// An immutable packed snapshot of one or more functions exported from a
+/// [`BddManager`] by [`BddManager::freeze`].
+///
+/// Nodes are stored child-before-parent, positions 0/1 are the ⊥/⊤
+/// terminals, and child references are plain indices — no complement
+/// edges (see the module docs for why). The snapshot is `Send + Sync`
+/// and keeps, per node, the manager edge it came from, so re-interning
+/// a frozen input node is a table lookup, not a rebuild.
+#[derive(Clone, Debug)]
+pub struct FrozenSet {
+    nodes: Vec<FrozenNode>,
+    /// Manager edge word each frozen node came from (terminals included).
+    origin: Vec<u32>,
+    roots: Vec<u32>,
+    num_vars: u32,
+}
+
+impl FrozenSet {
+    /// Number of nodes in the snapshot, terminals included.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the snapshot holds only the two terminals.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 2
+    }
+
+    /// Frozen id of the `i`-th root passed to [`BddManager::freeze`].
+    #[must_use]
+    pub fn root(&self, i: usize) -> u32 {
+        self.roots[i]
+    }
+
+    /// All root ids, in the order the roots were passed to `freeze`.
+    #[must_use]
+    pub fn roots(&self) -> &[u32] {
+        &self.roots
+    }
+
+    /// Variable count of the exporting manager.
+    #[must_use]
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+}
+
+impl BddManager {
+    /// Exports the shared DAG below `roots` into a packed, immutable,
+    /// complement-free [`FrozenSet`] (read-only on the manager: freezing
+    /// perturbs no caches and allocates no nodes).
+    ///
+    /// Each distinct *edge* (node × polarity) reachable from the roots
+    /// becomes one frozen node; see the module docs for the trade-off.
+    #[must_use]
+    pub fn freeze(&self, roots: &[Bdd]) -> FrozenSet {
+        let mut nodes = vec![
+            FrozenNode {
+                var: FROZEN_TERMINAL,
+                lo: FROZEN_FALSE,
+                hi: FROZEN_FALSE,
+            },
+            FrozenNode {
+                var: FROZEN_TERMINAL,
+                lo: FROZEN_TRUE,
+                hi: FROZEN_TRUE,
+            },
+        ];
+        let mut origin = vec![Bdd::FALSE.index(), Bdd::TRUE.index()];
+        let mut map: FxHashMap<u32, u32> = FxHashMap::default();
+        map.insert(Bdd::FALSE.index(), FROZEN_FALSE);
+        map.insert(Bdd::TRUE.index(), FROZEN_TRUE);
+        let mut stack: Vec<u32> = Vec::new();
+        let mut out_roots = Vec::with_capacity(roots.len());
+        for &r in roots {
+            stack.push(r.index());
+            while let Some(&e) = stack.last() {
+                if map.contains_key(&e) {
+                    stack.pop();
+                    continue;
+                }
+                let f = Bdd(e);
+                let (var, lo, hi) = self.expand(f);
+                match (map.get(&lo.index()), map.get(&hi.index())) {
+                    (Some(&l), Some(&h)) => {
+                        let id = nodes.len() as u32;
+                        nodes.push(FrozenNode { var, lo: l, hi: h });
+                        origin.push(e);
+                        map.insert(e, id);
+                        stack.pop();
+                    }
+                    (l, h) => {
+                        if h.is_none() {
+                            stack.push(hi.index());
+                        }
+                        if l.is_none() {
+                            stack.push(lo.index());
+                        }
+                    }
+                }
+            }
+            out_roots.push(map[&r.index()]);
+        }
+        FrozenSet {
+            nodes,
+            origin,
+            roots: out_roots,
+            num_vars: self.num_vars(),
+        }
+    }
+}
+
+/// One slot of the per-task lossy ITE cache.
+#[derive(Clone, Copy, Default)]
+struct CacheSlot {
+    f: u32,
+    g: u32,
+    h: u32,
+    r: u32,
+}
+
+/// The per-task direct-mapped ITE cache: same design as the manager's
+/// computed tables — Fx multiply–rotate hash, top-bit slot selection,
+/// overwrite on collision, and a per-slot generation stamp so a recycled
+/// [`FrozenWorkspace`] clears the table in O(1) (one counter bump per
+/// image call) instead of re-zeroing up to half a megabyte. The slot
+/// count scales with the snapshot ([`IteCache::refresh`]): a task over a
+/// few hundred nodes must not pay for a maximum-size table.
+#[derive(Default)]
+struct IteCache {
+    slots: Vec<CacheSlot>,
+    gens: Vec<u32>,
+    bits: u32,
+    gen: u32,
+}
+
+impl IteCache {
+    /// Readies the cache for composes over an `n`-node snapshot: roughly
+    /// 8 slots per snapshot node, clamped to `[2^8, 2^ITE_CACHE_BITS]`.
+    /// An already-larger table is kept and cleared by generation bump;
+    /// growing reallocates (and restarts the generations).
+    fn refresh(&mut self, n: usize) {
+        let bits = (n.max(1).ilog2() + 3).clamp(8, ITE_CACHE_BITS);
+        if bits > self.bits {
+            self.bits = bits;
+            self.slots.clear();
+            self.slots.resize(1usize << bits, CacheSlot::default());
+            self.gens.clear();
+            self.gens.resize(1usize << bits, 0);
+            self.gen = 1;
+        } else {
+            self.gen = self.gen.wrapping_add(1);
+            if self.gen == 0 {
+                self.gens.fill(0);
+                self.gen = 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, f: u32, g: u32, h: u32) -> usize {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        let mut x = (u64::from(f)).wrapping_mul(SEED);
+        x = (x.rotate_left(26) ^ u64::from(g)).wrapping_mul(SEED);
+        x = (x.rotate_left(26) ^ u64::from(h)).wrapping_mul(SEED);
+        (x >> (64 - self.bits)) as usize
+    }
+
+    #[inline]
+    fn get(&self, f: u32, g: u32, h: u32) -> Option<u32> {
+        let i = self.slot_of(f, g, h);
+        let s = self.slots[i];
+        (self.gens[i] == self.gen && s.f == f && s.g == g && s.h == h).then_some(s.r)
+    }
+
+    #[inline]
+    fn put(&mut self, f: u32, g: u32, h: u32, r: u32) {
+        let i = self.slot_of(f, g, h);
+        self.slots[i] = CacheSlot { f, g, h, r };
+        self.gens[i] = self.gen;
+    }
+}
+
+/// The task-local unique table: linear-probed open addressing over
+/// power-of-two slots that store *local arena indices* — the key
+/// (var/lo/hi) is read back from the arena, the classic BDD
+/// unique-table layout. Doubles at 3/4 occupancy. Each slot packs a
+/// generation stamp beside the index, so recycling a workspace empties
+/// the table with one counter bump. A general-purpose hash map here
+/// costs 2–3× more per `mk` than the kernel can afford.
+#[derive(Default)]
+struct LocalUnique {
+    /// `(generation << 32) | local index`; a slot is empty unless its
+    /// stamp matches the current generation.
+    slots: Vec<u64>,
+    mask: usize,
+    gen: u32,
+}
+
+impl LocalUnique {
+    /// Readies the table for an `n`-node snapshot (see
+    /// [`IteCache::refresh`] for the keep-or-grow policy).
+    fn refresh(&mut self, n: usize) {
+        let cap = (n / 2).clamp(64, 1 << 12).next_power_of_two();
+        if cap > self.slots.len() {
+            self.slots.clear();
+            self.slots.resize(cap, 0);
+            self.mask = cap - 1;
+            self.gen = 1;
+        } else {
+            self.gen = self.gen.wrapping_add(1);
+            if self.gen == 0 {
+                self.slots.fill(0);
+                self.gen = 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn hash(var: u32, lo: u32, hi: u32) -> usize {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        let mut x = u64::from(var).wrapping_mul(SEED);
+        x = (x.rotate_left(26) ^ u64::from(lo)).wrapping_mul(SEED);
+        x = (x.rotate_left(26) ^ u64::from(hi)).wrapping_mul(SEED);
+        (x >> 24) as usize
+    }
+
+    /// The live local index in slot `i`, if any.
+    #[inline]
+    fn entry(&self, i: usize) -> Option<u32> {
+        let s = self.slots[i];
+        ((s >> 32) as u32 == self.gen).then_some(s as u32)
+    }
+
+    /// Looks the triple up; on a miss, appends it to `nodes` and indexes
+    /// it. Returns the local arena index either way.
+    #[inline]
+    fn find_or_insert(&mut self, nodes: &mut Vec<FrozenNode>, var: u32, lo: u32, hi: u32) -> u32 {
+        if (nodes.len() + 1) * 4 > self.slots.len() * 3 {
+            self.grow(nodes);
+        }
+        let mut i = Self::hash(var, lo, hi) & self.mask;
+        loop {
+            match self.entry(i) {
+                None => {
+                    let local = nodes.len() as u32;
+                    nodes.push(FrozenNode { var, lo, hi });
+                    self.slots[i] = (u64::from(self.gen) << 32) | u64::from(local);
+                    return local;
+                }
+                Some(s) => {
+                    let n = nodes[s as usize];
+                    if n.var == var && n.lo == lo && n.hi == hi {
+                        return s;
+                    }
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self, nodes: &[FrozenNode]) {
+        let cap = self.slots.len() * 2;
+        self.slots.clear();
+        self.slots.resize(cap, 0);
+        self.mask = cap - 1;
+        for (local, n) in nodes.iter().enumerate() {
+            let mut i = Self::hash(n.var, n.lo, n.hi) & self.mask;
+            while self.entry(i).is_some() {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = (u64::from(self.gen) << 32) | (local as u64);
+        }
+    }
+}
+
+/// The exact compose memo: one value per frozen *input* node, with the
+/// same generation-stamp O(1) clear as the other tables.
+#[derive(Default)]
+struct ComposeMemo {
+    vals: Vec<u32>,
+    gens: Vec<u32>,
+    gen: u32,
+}
+
+impl ComposeMemo {
+    /// Readies the memo to index an `n`-node snapshot.
+    fn refresh(&mut self, n: usize) {
+        if n > self.vals.len() {
+            self.vals.clear();
+            self.vals.resize(n, 0);
+            self.gens.clear();
+            self.gens.resize(n, 0);
+            self.gen = 1;
+        } else {
+            self.gen = self.gen.wrapping_add(1);
+            if self.gen == 0 {
+                self.gens.fill(0);
+                self.gen = 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> Option<u32> {
+        (self.gens[i] == self.gen).then_some(self.vals[i])
+    }
+
+    #[inline]
+    fn put(&mut self, i: usize, v: u32) {
+        self.vals[i] = v;
+        self.gens[i] = self.gen;
+    }
+}
+
+/// A frame of the iterative ITE kernel.
+enum IteFrame {
+    /// Evaluate `ite(f, g, h)`.
+    Apply(u32, u32, u32),
+    /// Children done: pop their results and build the decision node.
+    Combine(u32, u32, u32, u32),
+}
+
+/// A frame of the iterative compose driver.
+enum ComposeFrame {
+    /// Evaluate the substitution of frozen input node `n`.
+    Visit(u32),
+    /// Cofactors done: pop them and splice the substituted variable in.
+    Combine(u32),
+}
+
+/// Recyclable buffers of a [`FrozenTask`], detached from any snapshot.
+///
+/// A task built on fresh buffers pays an allocation-and-page-faulting
+/// toll per image call that the kernel proper often undercuts; callers
+/// on a fixed-point loop (the reach engines) instead keep one workspace
+/// per worker alive across iterations and cycle it through
+/// [`FrozenTask::reuse`] / [`FrozenTask::finish`]. Reuse costs O(1):
+/// every table is generation-stamped, so "clearing" is a counter bump,
+/// not a megabyte memset — the frozen-path analogue of the manager's
+/// stamped computed tables.
+#[derive(Default)]
+pub struct FrozenWorkspace {
+    nodes: Vec<FrozenNode>,
+    unique: LocalUnique,
+    cache: IteCache,
+    memo: ComposeMemo,
+    touched: Vec<bool>,
+    ite_frames: Vec<IteFrame>,
+    ite_vals: Vec<u32>,
+}
+
+impl FrozenWorkspace {
+    /// An empty workspace; tables are sized lazily by the first task
+    /// that adopts it.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One worker's private workspace over a shared [`FrozenSet`]: a local
+/// result arena, unique table, lossy ITE cache and explicit kernel
+/// stacks. Create one per task (or per worker thread), run any number of
+/// [`compose`](FrozenTask::compose) calls, then canonicalize the results
+/// back into a manager with [`reintern`](FrozenTask::reintern).
+///
+/// Node ids are unified: ids below `base.len()` name snapshot nodes, ids
+/// at or above it name nodes this task created. Tasks never write to the
+/// snapshot, so many tasks can share one `&FrozenSet`.
+pub struct FrozenTask<'a> {
+    base: &'a FrozenSet,
+    nodes: Vec<FrozenNode>,
+    unique: LocalUnique,
+    cache: IteCache,
+    /// Exact compose memo, indexed by frozen input node id.
+    memo: ComposeMemo,
+    /// Per-input-node flag of the substitution-support prepass: does
+    /// this sub-DAG decide on any substituted variable? Untouched
+    /// sub-DAGs compose to themselves. Empty until the first
+    /// [`compose`](FrozenTask::compose) call computes it.
+    touched: Vec<bool>,
+    ite_frames: Vec<IteFrame>,
+    ite_vals: Vec<u32>,
+}
+
+impl<'a> FrozenTask<'a> {
+    /// A fresh task over `base` with empty local state.
+    #[must_use]
+    pub fn new(base: &'a FrozenSet) -> Self {
+        Self::reuse(base, FrozenWorkspace::new())
+    }
+
+    /// A task over `base` recycling the buffers an earlier task released
+    /// via [`finish`](FrozenTask::finish). All tables are emptied (O(1),
+    /// by generation bump) and re-sized for this snapshot; results are
+    /// identical to a task built by [`new`](FrozenTask::new).
+    #[must_use]
+    pub fn reuse(base: &'a FrozenSet, mut ws: FrozenWorkspace) -> Self {
+        ws.nodes.clear();
+        ws.unique.refresh(base.len());
+        ws.cache.refresh(base.len());
+        ws.memo.refresh(base.len());
+        ws.touched.clear();
+        FrozenTask {
+            base,
+            nodes: ws.nodes,
+            unique: ws.unique,
+            cache: ws.cache,
+            memo: ws.memo,
+            touched: ws.touched,
+            ite_frames: ws.ite_frames,
+            ite_vals: ws.ite_vals,
+        }
+    }
+
+    /// Releases the task's buffers for a later task to
+    /// [`reuse`](FrozenTask::reuse).
+    #[must_use]
+    pub fn finish(self) -> FrozenWorkspace {
+        FrozenWorkspace {
+            nodes: self.nodes,
+            unique: self.unique,
+            cache: self.cache,
+            memo: self.memo,
+            touched: self.touched,
+            ite_frames: self.ite_frames,
+            ite_vals: self.ite_vals,
+        }
+    }
+
+    /// Number of nodes this task created locally (diagnostics).
+    #[must_use]
+    pub fn local_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[inline]
+    fn node(&self, id: u32) -> FrozenNode {
+        let b = self.base.nodes.len() as u32;
+        if id < b {
+            self.base.nodes[id as usize]
+        } else {
+            self.nodes[(id - b) as usize]
+        }
+    }
+
+    #[inline]
+    fn var_of(&self, id: u32) -> u32 {
+        self.node(id).var
+    }
+
+    /// Reduced hash-consed local node constructor (unified id space).
+    #[inline]
+    fn mk(&mut self, var: u32, lo: u32, hi: u32) -> u32 {
+        if lo == hi {
+            return lo;
+        }
+        let local = self.unique.find_or_insert(&mut self.nodes, var, lo, hi);
+        self.base.nodes.len() as u32 + local
+    }
+
+    /// The single-variable function `v` (as a local node unless a
+    /// substitution already provides it).
+    fn var_node(&mut self, var: u32) -> u32 {
+        self.mk(var, FROZEN_FALSE, FROZEN_TRUE)
+    }
+
+    /// The substitution-support prepass: one forward sweep over the
+    /// child-before-parent snapshot marks every input node whose
+    /// sub-DAG decides on a substituted variable. The rest are identity
+    /// under `subst` and the compose kernel skips them outright.
+    fn prepare(&mut self, subst: &[Option<u32>]) {
+        self.touched.resize(self.base.nodes.len(), false);
+        for (i, n) in self.base.nodes.iter().enumerate().skip(2) {
+            self.touched[i] = subst.get(n.var as usize).is_some_and(Option::is_some)
+                || self.touched[n.lo as usize]
+                || self.touched[n.hi as usize];
+        }
+    }
+
+    /// Cofactors of `x` with respect to decision level `lvl`:
+    /// `(x|v=1, x|v=0)`.
+    #[inline]
+    fn cofactors(&self, x: u32, lvl: u32) -> (u32, u32) {
+        let n = self.node(x);
+        if n.var == lvl {
+            (n.hi, n.lo)
+        } else {
+            (x, x)
+        }
+    }
+
+    /// Iterative if-then-else over the unified id space: explicit frame
+    /// and value stacks, lossy direct-mapped cache, no recursion.
+    pub fn ite(&mut self, f: u32, g: u32, h: u32) -> u32 {
+        debug_assert!(self.ite_frames.is_empty() && self.ite_vals.is_empty());
+        self.ite_frames.push(IteFrame::Apply(f, g, h));
+        while let Some(frame) = self.ite_frames.pop() {
+            match frame {
+                IteFrame::Apply(f, g, mut h) => {
+                    // Operand rewrites that need no complement edges:
+                    // ite(f, f, h) = ite(f, 1, h); ite(f, g, f) = ite(f, g, 0).
+                    let g = if g == f { FROZEN_TRUE } else { g };
+                    if h == f {
+                        h = FROZEN_FALSE;
+                    }
+                    if f == FROZEN_TRUE || g == h {
+                        self.ite_vals.push(g);
+                        continue;
+                    }
+                    if f == FROZEN_FALSE {
+                        self.ite_vals.push(h);
+                        continue;
+                    }
+                    if g == FROZEN_TRUE && h == FROZEN_FALSE {
+                        self.ite_vals.push(f);
+                        continue;
+                    }
+                    if let Some(r) = self.cache.get(f, g, h) {
+                        self.ite_vals.push(r);
+                        continue;
+                    }
+                    let lvl = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
+                    let (f1, f0) = self.cofactors(f, lvl);
+                    let (g1, g0) = self.cofactors(g, lvl);
+                    let (h1, h0) = self.cofactors(h, lvl);
+                    self.ite_frames.push(IteFrame::Combine(f, g, h, lvl));
+                    self.ite_frames.push(IteFrame::Apply(f0, g0, h0));
+                    self.ite_frames.push(IteFrame::Apply(f1, g1, h1));
+                }
+                IteFrame::Combine(f, g, h, lvl) => {
+                    // The hi-branch frame was pushed last, so it ran
+                    // first and its value sits deeper in the stack.
+                    let e = self.ite_vals.pop().unwrap_or(FROZEN_FALSE);
+                    let t = self.ite_vals.pop().unwrap_or(FROZEN_FALSE);
+                    let r = if t == e { t } else { self.mk(lvl, e, t) };
+                    self.cache.put(f, g, h, r);
+                    self.ite_vals.push(r);
+                }
+            }
+        }
+        self.ite_vals.pop().unwrap_or(FROZEN_FALSE)
+    }
+
+    /// Simultaneous composition of the frozen input function `root`
+    /// under `subst`: for each decision on variable `v` met below
+    /// `root`, splice in `subst[v]` (a unified node id) — or the
+    /// variable itself where `subst[v]` is `None` — via ITE, exactly the
+    /// recurrence of the manager's `vector_compose`, with one extra
+    /// algebraic identity the sequential path forgoes: a sub-DAG whose
+    /// support holds no substituted variable composes to itself, so the
+    /// kernel never descends into it (in the image step this prunes
+    /// every pure-input subfunction wholesale).
+    ///
+    /// `root` must be a snapshot node id (a [`FrozenSet::root`]); the
+    /// memo is exact (a dense per-input-node table), the inner ITE uses
+    /// the lossy cache. Every `compose` call on one task must use the
+    /// same `subst` map — the memo and the support prepass are keyed by
+    /// input node only and assume it (the image step satisfies this by
+    /// construction; start a fresh/[`reuse`](FrozenTask::reuse)d task
+    /// for a different map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a decision variable of the input is outside `subst`.
+    pub fn compose(&mut self, root: u32, subst: &[Option<u32>]) -> u32 {
+        debug_assert!((root as usize) < self.base.len());
+        if self.touched.is_empty() {
+            self.prepare(subst);
+        }
+        let mut frames = vec![ComposeFrame::Visit(root)];
+        let mut vals: Vec<u32> = Vec::new();
+        while let Some(frame) = frames.pop() {
+            match frame {
+                ComposeFrame::Visit(n) => {
+                    // Terminals and substitution-free sub-DAGs are
+                    // fixed points of the composition.
+                    if n < 2 || !self.touched[n as usize] {
+                        vals.push(n);
+                        continue;
+                    }
+                    if let Some(hit) = self.memo.get(n as usize) {
+                        vals.push(hit);
+                        continue;
+                    }
+                    let node = self.base.nodes[n as usize];
+                    frames.push(ComposeFrame::Combine(n));
+                    frames.push(ComposeFrame::Visit(node.lo));
+                    frames.push(ComposeFrame::Visit(node.hi));
+                }
+                ComposeFrame::Combine(n) => {
+                    let e = vals.pop().unwrap_or(FROZEN_FALSE);
+                    let t = vals.pop().unwrap_or(FROZEN_FALSE);
+                    let var = self.base.nodes[n as usize].var;
+                    let sub = match subst[var as usize] {
+                        Some(s) => s,
+                        None => self.var_node(var),
+                    };
+                    let r = self.ite(sub, t, e);
+                    self.memo.put(n as usize, r);
+                    vals.push(r);
+                }
+            }
+        }
+        vals.pop().unwrap_or(FROZEN_FALSE)
+    }
+
+    /// Canonicalizes task results back into `m` (the manager the base
+    /// snapshot was frozen from): one bottom-up pass replays every
+    /// *locally created* node through the hash-consing `mk`, while
+    /// snapshot nodes re-enter by their recorded origin edge — the
+    /// original function graph must therefore still be alive in `m`,
+    /// which holds whenever the frozen roots are (the caller's sets pin
+    /// them). Returns one canonical [`Bdd`] per entry of `roots`, which
+    /// are bit-identical to natively computed results.
+    ///
+    /// # Errors
+    ///
+    /// Resource limits tripped while re-interning (node limit, deadline).
+    pub fn reintern(&self, m: &mut BddManager, roots: &[u32]) -> Result<Vec<Bdd>> {
+        let b = self.base.nodes.len();
+        // Dead local intermediates (cofactor results the lossy cache let
+        // go of) are common; a mark pass keeps them out of the unique
+        // table. The arena is child-before-parent, so one reverse sweep
+        // from the roots finds every live node without hashing.
+        let mut live = vec![false; self.nodes.len()];
+        for &r in roots {
+            if let Some(i) = (r as usize).checked_sub(b) {
+                live[i] = true;
+            }
+        }
+        for i in (0..self.nodes.len()).rev() {
+            if !live[i] {
+                continue;
+            }
+            let n = self.nodes[i];
+            if let Some(c) = (n.lo as usize).checked_sub(b) {
+                live[c] = true;
+            }
+            if let Some(c) = (n.hi as usize).checked_sub(b) {
+                live[c] = true;
+            }
+        }
+        // Dead slots keep a placeholder so live ids still index directly.
+        let mut local: Vec<Bdd> = vec![Bdd::FALSE; self.nodes.len()];
+        let resolve = |local: &[Bdd], base: &FrozenSet, id: u32| -> Bdd {
+            if (id as usize) < b {
+                Bdd(base.origin[id as usize])
+            } else {
+                local[id as usize - b]
+            }
+        };
+        for i in 0..self.nodes.len() {
+            if !live[i] {
+                continue;
+            }
+            let n = self.nodes[i];
+            let lo = resolve(&local, self.base, n.lo);
+            let hi = resolve(&local, self.base, n.hi);
+            local[i] = m.mk(n.var, lo, hi)?;
+        }
+        Ok(roots
+            .iter()
+            .map(|&r| resolve(&local, self.base, r))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Var;
+
+    /// xorshift64*: the project-standard seeded generator for random
+    /// test cases (no external dependencies).
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    /// A random function over vars [0, n) built from `k` random cubes.
+    fn random_fn(m: &mut BddManager, rng: &mut XorShift, n: u32, k: usize) -> Bdd {
+        let mut f = Bdd::FALSE;
+        for _ in 0..k {
+            let mut cube = Bdd::TRUE;
+            for v in 0..n {
+                match rng.next() % 3 {
+                    0 => cube = m.and(cube, m.var(Var(v))).unwrap(),
+                    1 => {
+                        let nv = m.nvar(Var(v));
+                        cube = m.and(cube, nv).unwrap();
+                    }
+                    _ => {}
+                }
+            }
+            f = m.or(f, cube).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn freeze_reintern_round_trips() {
+        let mut m = BddManager::new(6);
+        let mut rng = XorShift(0x5eed_0001);
+        let roots: Vec<Bdd> = (0..8).map(|_| random_fn(&mut m, &mut rng, 6, 5)).collect();
+        let frozen = m.freeze(&roots);
+        // Identity compose: substituting nothing must round-trip every
+        // root bit-identically through reintern.
+        let mut task = FrozenTask::new(&frozen);
+        let subst: Vec<Option<u32>> = vec![None; 6];
+        let composed: Vec<u32> = (0..roots.len())
+            .map(|i| task.compose(frozen.root(i), &subst))
+            .collect();
+        let back = task.reintern(&mut m, &composed).unwrap();
+        assert_eq!(back, roots);
+    }
+
+    #[test]
+    fn frozen_has_no_complement_edges_and_is_ordered() {
+        let mut m = BddManager::new(5);
+        let mut rng = XorShift(0xabcd_ef01);
+        let f = random_fn(&mut m, &mut rng, 5, 9);
+        let g = m.not(f);
+        let frozen = m.freeze(&[f, g]);
+        for (i, n) in frozen.nodes.iter().enumerate().skip(2) {
+            assert!((n.lo as usize) < i, "child-before-parent violated");
+            assert!((n.hi as usize) < i, "child-before-parent violated");
+            assert!(
+                frozen.nodes[n.lo as usize].var > n.var || n.lo < 2,
+                "order violated"
+            );
+            assert!(
+                frozen.nodes[n.hi as usize].var > n.var || n.hi < 2,
+                "order violated"
+            );
+            assert_ne!(n.lo, n.hi, "unreduced frozen node");
+        }
+    }
+
+    #[test]
+    fn frozen_ite_matches_manager_ite() {
+        let mut m = BddManager::new(6);
+        let mut rng = XorShift(0x1234_5678);
+        for round in 0..40 {
+            let f = random_fn(&mut m, &mut rng, 6, 4);
+            let g = random_fn(&mut m, &mut rng, 6, 4);
+            let h = random_fn(&mut m, &mut rng, 6, 4);
+            let want = m.ite(f, g, h).unwrap();
+            let frozen = m.freeze(&[f, g, h]);
+            let mut task = FrozenTask::new(&frozen);
+            let r = task.ite(frozen.root(0), frozen.root(1), frozen.root(2));
+            let got = task.reintern(&mut m, &[r]).unwrap()[0];
+            assert_eq!(got, want, "round {round}");
+        }
+    }
+
+    #[test]
+    fn frozen_compose_matches_vector_compose() {
+        // The differential fuzz of the coupled-DFS kernel: random
+        // functions, random substitution maps, graph-equal results.
+        let mut m = BddManager::new(8);
+        let mut rng = XorShift(0x900d_f00d);
+        for round in 0..25 {
+            let f = random_fn(&mut m, &mut rng, 8, 6);
+            let mut map: Vec<Option<Bdd>> = vec![None; 8];
+            let mut subs: Vec<Bdd> = Vec::new();
+            for slot in &mut map {
+                if rng.next() & 1 == 1 {
+                    let s = random_fn(&mut m, &mut rng, 8, 3);
+                    *slot = Some(s);
+                    subs.push(s);
+                }
+            }
+            let want = m.vector_compose(f, &map).unwrap();
+
+            let mut roots = vec![f];
+            roots.extend(&subs);
+            let frozen = m.freeze(&roots);
+            let mut subst: Vec<Option<u32>> = vec![None; 8];
+            let mut i = 1;
+            for v in 0..8 {
+                if map[v].is_some() {
+                    subst[v] = Some(frozen.root(i));
+                    i += 1;
+                }
+            }
+            let mut task = FrozenTask::new(&frozen);
+            let r = task.compose(frozen.root(0), &subst);
+            let got = task.reintern(&mut m, &[r]).unwrap()[0];
+            assert_eq!(got, want, "round {round}");
+        }
+    }
+
+    #[test]
+    fn tasks_share_a_snapshot_across_threads() {
+        // FrozenSet is Send + Sync; concurrent tasks on one snapshot
+        // produce the same results as a sequential task.
+        let mut m = BddManager::new(6);
+        let mut rng = XorShift(0x7777_0001);
+        let fns: Vec<Bdd> = (0..6).map(|_| random_fn(&mut m, &mut rng, 6, 5)).collect();
+        let subs: Vec<Bdd> = (0..6).map(|_| random_fn(&mut m, &mut rng, 6, 4)).collect();
+        let mut roots = fns.clone();
+        roots.extend(&subs);
+        let frozen = m.freeze(&roots);
+        let subst: Vec<Option<u32>> = (0..6).map(|v| Some(frozen.root(6 + v))).collect();
+
+        // Sequential reference.
+        let seq: Vec<Vec<Bdd>> = (0..6)
+            .map(|i| {
+                let mut t = FrozenTask::new(&frozen);
+                let r = t.compose(frozen.root(i), &subst);
+                t.reintern(&mut m, &[r]).unwrap()
+            })
+            .collect();
+
+        // Parallel: one scoped thread per component.
+        let par = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..6)
+                .map(|i| {
+                    let frozen = &frozen;
+                    let subst = &subst;
+                    s.spawn(move || {
+                        let mut t = FrozenTask::new(frozen);
+                        let r = t.compose(frozen.root(i), subst);
+                        (t, r)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(p) => std::panic::resume_unwind(p),
+                })
+                .collect::<Vec<_>>()
+        });
+        for (i, (t, r)) in par.iter().enumerate() {
+            assert_eq!(t.reintern(&mut m, &[*r]).unwrap(), seq[i], "component {i}");
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Frozen-apply image benchmark: sequential `vector_compose` image vs
+//! the frozen-function backend (`simulate_image_frozen`), measured with
+//! the drift-proof interleaved-pair protocol of `BENCH_perf_kernels`.
+//!
+//! Each benchmark pair runs one **full sequential traversal** and one
+//! **full frozen traversal** back-to-back on a fresh manager each, with
+//! the driver's loop shape (image, union, per-iteration adaptive GC),
+//! timing *only the image calls*; the per-pair statistic is the ratio of
+//! the two traversals' summed image wall-clock. Measuring inside a real
+//! traversal (rather than replaying one set) keeps every systemic effect
+//! in frame — cache warmth carried between iterations, GC flushes past
+//! the defer floor, and the allocation pressure each image path puts on
+//! the manager. Every pair also asserts the two traversals reach the
+//! same states in the same number of iterations — the benchmark doubles
+//! as a differential check on real circuits.
+//!
+//! ```text
+//! cargo run --release -p bfvr-bench --bin frozen_apply -- [--jobs N] [--pairs P]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use bfvr_bfv::reparam::Schedule;
+use bfvr_bfv::StateSet;
+use bfvr_netlist::{generators, Netlist};
+use bfvr_sim::{
+    simulate_image_frozen, simulate_image_scratch, EncodedFsm, ImageScratch, OrderHeuristic,
+};
+
+const SCHEDULE: Schedule = Schedule::DynamicSupport;
+
+/// Benchmark families with the static order each runs under (identical
+/// for both sides of every pair). The datapath families use the paper's
+/// S2 declaration order — latches above inputs, the layout that keeps
+/// their wide decode cones pure-input sub-DAGs; the rest use the S1
+/// DFS fan-in order of the Table 2 runs.
+fn families() -> Vec<(&'static str, Netlist, OrderHeuristic)> {
+    const S1: OrderHeuristic = OrderHeuristic::DfsFanin;
+    const S2: OrderHeuristic = OrderHeuristic::Declaration;
+    vec![
+        ("load16", generators::loadable_register(16), S2),
+        ("mask14", generators::masked_accumulator(14), S2),
+        ("queue4", generators::queue_controller(4), S1),
+        ("johnson12", generators::johnson(12), S1),
+        ("lfsr10", generators::lfsr(10), S1),
+        ("gray8", generators::gray(8), S1),
+        ("counter8", generators::counter(8), S1),
+        ("rot12", generators::rotator(12), S1),
+    ]
+}
+
+/// One full BFV traversal to the fixed point, timing only the image
+/// calls. `jobs: None` runs the sequential path, `Some(n)` the frozen
+/// backend. Returns (summed image time, iterations, reached states).
+fn traverse(
+    net: &Netlist,
+    order: OrderHeuristic,
+    jobs: Option<usize>,
+) -> Result<(Duration, usize, u128), Box<dyn std::error::Error>> {
+    let (mut m, fsm) = EncodedFsm::encode(net, order)?;
+    let space = fsm.space();
+    let mut reached = StateSet::singleton(&mut m, &space, &fsm.initial_state())?;
+    let mut scratch = ImageScratch::default();
+    let mut image_time = Duration::ZERO;
+    let mut iterations = 0usize;
+    for _ in 0..4096 {
+        let Some(bfv) = reached.as_bfv().cloned() else {
+            break;
+        };
+        let t = Instant::now();
+        let img = match jobs {
+            None => simulate_image_scratch(&mut m, &fsm, &bfv, SCHEDULE, &mut scratch)?,
+            Some(j) => simulate_image_frozen(&mut m, &fsm, &bfv, SCHEDULE, j, &mut scratch)?.0,
+        };
+        image_time += t.elapsed();
+        let next = reached.union(&mut m, &space, &StateSet::NonEmpty(img))?;
+        iterations += 1;
+        if next == reached {
+            break;
+        }
+        reached = next;
+        // The driver's per-iteration adaptive collection, with the live
+        // loop state as roots.
+        let mut roots: Vec<bfvr_bdd::Bdd> = fsm.next_fns_in_component_order();
+        if let Some(b) = reached.as_bfv() {
+            roots.extend_from_slice(b.components());
+        }
+        m.maybe_collect_garbage(&roots);
+    }
+    let count = reached.len(&mut m, &space)?;
+    Ok((image_time, iterations, count))
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.total_cmp(b));
+    let n = v.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+fn flag(args: &[String], name: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// `--probe`: per-family kernel-vs-kernel split. One traversal advances
+/// on the sequential path; at every iteration both compose kernels run
+/// on the same inputs and only the compose work is timed (map setup +
+/// `vector_compose` loop vs freeze + frozen compose + re-intern). The
+/// shared reparameterization tail is excluded on both sides. With
+/// `--cold` the manager's computed caches are flushed (a collection
+/// over the live roots) before each timed side, isolating the kernels
+/// from cross-iteration cache warmth.
+fn probe(jobs: usize, cold: bool) -> Result<(), Box<dyn std::error::Error>> {
+    use bfvr_sim::simulate_image_with;
+    println!(
+        "{:10} {:>6} {:>14} {:>14} {:>8}",
+        "family", "iters", "seq compose us", "frozen sum us", "ratio"
+    );
+    for (name, net, order) in families() {
+        let (mut m, fsm) = EncodedFsm::encode(&net, order)?;
+        let space = fsm.space();
+        let mut reached = StateSet::singleton(&mut m, &space, &fsm.initial_state())?;
+        let mut scratch = ImageScratch::default();
+        let mut seq_t = Duration::ZERO;
+        let mut froz_t = Duration::ZERO;
+        let mut split = [Duration::ZERO; 3];
+        let mut iters = 0usize;
+        for _ in 0..4096 {
+            let Some(bfv) = reached.as_bfv().cloned() else {
+                break;
+            };
+            let mut live: Vec<bfvr_bdd::Bdd> = fsm.next_fns_in_component_order();
+            live.extend_from_slice(bfv.components());
+            // Sequential kernel: substitution map + one vector_compose
+            // per latch (the compose slice of simulate_image_scratch).
+            if cold {
+                m.collect_garbage(&live);
+            }
+            let t = Instant::now();
+            let mut map: Vec<Option<bfvr_bdd::Bdd>> = vec![None; m.num_vars() as usize];
+            for (c, &var) in space.vars().iter().enumerate() {
+                map[var.0 as usize] = Some(bfv.component(c));
+            }
+            let mut seq_composed = Vec::with_capacity(fsm.num_latches());
+            for next_fn in fsm.next_fns_in_component_order() {
+                seq_composed.push(m.vector_compose(next_fn, &map)?);
+            }
+            seq_t += t.elapsed();
+            // Frozen kernel on identical inputs: its phase counters
+            // cover exactly the kernel slice (freeze + compose +
+            // intern), excluding the shared reparameterization tail.
+            if cold {
+                m.collect_garbage(&live);
+            }
+            let (_, ph, _) =
+                simulate_image_frozen(&mut m, &fsm, &bfv, SCHEDULE, jobs, &mut scratch)?;
+            froz_t += ph.freeze + ph.compose + ph.intern;
+            split[0] += ph.freeze;
+            split[1] += ph.compose;
+            split[2] += ph.intern;
+            iters += 1;
+            // Advance on the canonical sequential path.
+            let img = simulate_image_with(&mut m, &fsm, &bfv, SCHEDULE)?;
+            let next = reached.union(&mut m, &space, &StateSet::NonEmpty(img))?;
+            if next == reached {
+                break;
+            }
+            reached = next;
+            let mut roots: Vec<bfvr_bdd::Bdd> = fsm.next_fns_in_component_order();
+            if let Some(b) = reached.as_bfv() {
+                roots.extend_from_slice(b.components());
+            }
+            m.maybe_collect_garbage(&roots);
+        }
+        println!(
+            "{:10} {:>6} {:>14.0} {:>14.0} {:>8.3}  fz={:.0} cp={:.0} it={:.0}",
+            name,
+            iters,
+            seq_t.as_secs_f64() * 1e6,
+            froz_t.as_secs_f64() * 1e6,
+            froz_t.as_secs_f64() / seq_t.as_secs_f64(),
+            split[0].as_secs_f64() * 1e6,
+            split[1].as_secs_f64() * 1e6,
+            split[2].as_secs_f64() * 1e6,
+        );
+    }
+    Ok(())
+}
+
+/// `--cold`: interleaved replay pairs in the post-collection state. For
+/// each family the traversal runs once; each pair then times the two
+/// image paths back-to-back on one of the trailing reached sets, with a
+/// cache-flushing collection before each side — the per-iteration state
+/// of any traversal whose allocation sits past the GC defer floor.
+fn cold_replay(jobs: usize, pairs: usize) -> Result<(), Box<dyn std::error::Error>> {
+    use bfvr_sim::simulate_image_with;
+    println!(
+        "{:10} {:>6} {:>12} {:>12} {:>8}  per-pair frozen/seq (cold)",
+        "family", "states", "seq med us", "froz med us", "ratio"
+    );
+    let mut wins = 0usize;
+    for (name, net, order) in families() {
+        let (mut m, fsm) = EncodedFsm::encode(&net, order)?;
+        let space = fsm.space();
+        let mut reached = StateSet::singleton(&mut m, &space, &fsm.initial_state())?;
+        let mut sets = Vec::new();
+        for _ in 0..4096 {
+            let Some(bfv) = reached.as_bfv().cloned() else {
+                break;
+            };
+            sets.push(bfv.clone());
+            let img = simulate_image_with(&mut m, &fsm, &bfv, SCHEDULE)?;
+            let next = reached.union(&mut m, &space, &StateSet::NonEmpty(img))?;
+            if next == reached {
+                break;
+            }
+            reached = next;
+        }
+        let count = reached.len(&mut m, &space)?;
+        let tail: Vec<_> = sets.iter().rev().take(pairs).rev().cloned().collect();
+        if tail.is_empty() {
+            continue;
+        }
+        let mut roots: Vec<bfvr_bdd::Bdd> = fsm.next_fns_in_component_order();
+        for s in &tail {
+            roots.extend_from_slice(s.components());
+        }
+        let mut scratch = ImageScratch::default();
+        let mut ratios = Vec::new();
+        let mut seq_us = Vec::new();
+        let mut froz_us = Vec::new();
+        let mut phase_us = [Vec::new(), Vec::new(), Vec::new()];
+        for i in 0..pairs {
+            let set = &tail[i % tail.len()];
+            m.collect_garbage(&roots);
+            let t = Instant::now();
+            let seq = simulate_image_with(&mut m, &fsm, set, SCHEDULE)?;
+            let ts = t.elapsed();
+            m.collect_garbage(&roots);
+            let t = Instant::now();
+            let (froz, ph, _) =
+                simulate_image_frozen(&mut m, &fsm, set, SCHEDULE, jobs, &mut scratch)?;
+            let tf = t.elapsed();
+            assert_eq!(seq, froz, "{name}: pair {i} images diverged");
+            ratios.push(tf.as_secs_f64() / ts.as_secs_f64());
+            seq_us.push(ts.as_secs_f64() * 1e6);
+            froz_us.push(tf.as_secs_f64() * 1e6);
+            phase_us[0].push(ph.freeze.as_secs_f64() * 1e6);
+            phase_us[1].push(ph.compose.as_secs_f64() * 1e6);
+            phase_us[2].push(ph.intern.as_secs_f64() * 1e6);
+        }
+        let [fz, cp, it] = phase_us.map(median);
+        let med = median(ratios.clone());
+        if med < 1.0 {
+            wins += 1;
+        }
+        println!(
+            "{:10} {:>6} {:>12.0} {:>12.0} {:>8.3}  fz={fz:.0} cp={cp:.0} it={it:.0}  {:?}",
+            name,
+            count,
+            median(seq_us),
+            median(froz_us),
+            med,
+            ratios
+                .iter()
+                .map(|r| (r * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
+        );
+    }
+    println!("families where frozen wins cold (median ratio < 1): {wins}");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    // Mirror the reach layer: a `--jobs` request is capped at the
+    // machine's core count — extra workers on an oversubscribed box
+    // each repeat the O(|snapshot|) support prepass for no return.
+    let requested = flag(&args, "--jobs", 4);
+    let jobs = bfvr_sim::resolve_jobs(requested).min(bfvr_sim::resolve_jobs(0));
+    if jobs != requested {
+        println!("jobs: requested {requested}, running {jobs} (capped at cores)");
+    }
+    let pairs = flag(&args, "--pairs", 7);
+    if args.iter().any(|a| a == "--probe") {
+        return probe(jobs, args.iter().any(|a| a == "--cold"));
+    }
+    if args.iter().any(|a| a == "--cold") {
+        return cold_replay(jobs, flag(&args, "--pairs", 15));
+    }
+    println!(
+        "{:10} {:>6} {:>6} {:>12} {:>12} {:>8}  per-pair frozen/seq image time",
+        "family", "iters", "states", "seq med us", "froz med us", "ratio"
+    );
+    let mut wins = 0usize;
+    for (name, net, order) in families() {
+        // Warm-up pair, untimed (first-touch page faults, lazy statics).
+        let (_, seq_iters, seq_count) = traverse(&net, order, None)?;
+        let (_, froz_iters, froz_count) = traverse(&net, order, Some(jobs))?;
+        assert_eq!(
+            (seq_iters, seq_count),
+            (froz_iters, froz_count),
+            "{name}: traversals diverged"
+        );
+        let mut ratios = Vec::with_capacity(pairs);
+        let mut seq_us = Vec::with_capacity(pairs);
+        let mut froz_us = Vec::with_capacity(pairs);
+        for _ in 0..pairs {
+            let (ts, _, cs) = traverse(&net, order, None)?;
+            let (tf, _, cf) = traverse(&net, order, Some(jobs))?;
+            assert_eq!(cs, cf, "{name}: reached counts diverged");
+            ratios.push(tf.as_secs_f64() / ts.as_secs_f64());
+            seq_us.push(ts.as_secs_f64() * 1e6);
+            froz_us.push(tf.as_secs_f64() * 1e6);
+        }
+        let med = median(ratios.clone());
+        if med < 1.0 {
+            wins += 1;
+        }
+        println!(
+            "{:10} {:>6} {:>6} {:>12.0} {:>12.0} {:>8.3}  {:?}",
+            name,
+            seq_iters,
+            seq_count,
+            median(seq_us),
+            median(froz_us),
+            med,
+            ratios
+                .iter()
+                .map(|r| (r * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
+        );
+    }
+    println!("families where frozen wins (median ratio < 1): {wins}");
+    Ok(())
+}

@@ -14,18 +14,21 @@
 //! | [`queue_controller`] | pointer/counter dependency (`count = tail − head`) |
 //! | [`rotator`] | one-hot token ring (n of 2ⁿ states) |
 //! | [`traffic_chain`] | coupled small FSMs |
+//! | [`loadable_register`], [`masked_accumulator`] | datapath updates guarded by wide pure-input decode cones |
 //!
 //! Every generator returns a validated [`Netlist`]; `Netlist::to_bench()`
 //! style serialization is available via [`crate::bench::write`], and the
 //! test suite round-trips each family through the ISCAS89 parser.
 
 mod counters;
+mod datapath;
 mod shift;
 mod structured;
 #[cfg(test)]
 pub(crate) mod testutil;
 
 pub use counters::{counter, counter_modk, gray};
+pub use datapath::{loadable_register, masked_accumulator};
 pub use shift::{johnson, lfsr, shift_register};
 pub use structured::{paired_registers, queue_controller, rotator, traffic_chain};
 
@@ -87,6 +90,8 @@ pub fn standard_suite() -> Vec<(String, Netlist)> {
         ("queue4".to_string(), queue_controller(4)),
         ("rot12".to_string(), rotator(12)),
         ("traffic4".to_string(), traffic_chain(4)),
+        ("load12".to_string(), loadable_register(12)),
+        ("mask10".to_string(), masked_accumulator(10)),
     ]
 }
 

@@ -457,7 +457,37 @@ const ITER_COLS: [&str; 9] = [
     "iter", "dur(ms)", "frontier", "reached", "live", "alloc", "gc", "hit%", "states",
 ];
 
+/// Preferred ordering for the per-iteration op-phase columns; keys the
+/// trace emits that are not listed here follow in first-seen order.
+const OP_ORDER: [&str; 6] = ["image", "freeze", "compose", "intern", "convert", "union"];
+
+/// The union of op-phase keys across a run's iterations, in [`OP_ORDER`]
+/// then first-seen order — the frozen backend emits `freeze`/`compose`/
+/// `intern` sub-phases the sequential path doesn't, and a run's table
+/// shows exactly the phases its engine recorded.
+fn op_keys(run: &EngineRun) -> Vec<String> {
+    let mut seen: Vec<String> = Vec::new();
+    for r in &run.iters {
+        for (name, _) in r.ops.iter() {
+            if !seen.iter().any(|s| s == name) {
+                seen.push(name.to_string());
+            }
+        }
+    }
+    seen.sort_by_key(|name| {
+        OP_ORDER
+            .iter()
+            .position(|o| o == name)
+            .unwrap_or(OP_ORDER.len())
+    });
+    seen
+}
+
 fn iter_table(out: &mut String, run: &EngineRun, format: Format) {
+    let ops = op_keys(run);
+    let op_headers: Vec<String> = ops.iter().map(|k| format!("{k}(ms)")).collect();
+    let mut cols: Vec<&str> = ITER_COLS.to_vec();
+    cols.extend(op_headers.iter().map(String::as_str));
     let rows: Vec<Vec<String>> = run
         .iters
         .iter()
@@ -469,7 +499,7 @@ fn iter_table(out: &mut String, run: &EngineRun, format: Format) {
                 (Some(l), Some(h)) if l > 0.0 => format!("{:.1}", h / l * 100.0),
                 _ => "-".into(),
             };
-            vec![
+            let mut row = vec![
                 r.iteration.to_string(),
                 fmt_ms(r.dur_us),
                 r.frontier_nodes.to_string(),
@@ -479,10 +509,18 @@ fn iter_table(out: &mut String, run: &EngineRun, format: Format) {
                 r.gc_collected.to_string(),
                 hit,
                 fmt_states(r.states),
-            ]
+            ];
+            for key in &ops {
+                row.push(
+                    r.ops
+                        .get(key)
+                        .map_or_else(|| "-".into(), |us| format!("{:.1}", us / 1e3)),
+                );
+            }
+            row
         })
         .collect();
-    table(out, &ITER_COLS, &rows, format);
+    table(out, &cols, &rows, format);
 }
 
 /// Writes a table in either format, sizing text columns to content.
@@ -586,6 +624,48 @@ mod tests {
         let md = render(&events, Format::Markdown);
         assert!(md.contains("| BFV |") || md.contains("| BFV "), "{md}");
         assert!(md.contains("### counter4/S1"), "{md}");
+    }
+
+    #[test]
+    fn renders_op_phase_columns() {
+        let mut t = Tracer::collector(1);
+        t.meta("phases");
+        t.iteration(IterRecord {
+            engine: "BFV*F".into(),
+            iteration: 1,
+            dur_us: 2000,
+            frontier_nodes: 1,
+            reached_nodes: 1,
+            live_nodes: 1,
+            allocated_nodes: 1,
+            peak_nodes: 1,
+            gc_collected: 0,
+            states: None,
+            snapshot: Counters::new(),
+            ops: Counters::new()
+                .with("union", 100.0)
+                .with("image", 1500.0)
+                .with("freeze", 200.0)
+                .with("compose", 900.0)
+                .with("intern", 150.0),
+        });
+        let text = render(&t.drain(), Format::Text);
+        // Canonical order, not the Counters' sorted-key order.
+        let cols: Vec<usize> = [
+            "image(ms)",
+            "freeze(ms)",
+            "compose(ms)",
+            "intern(ms)",
+            "union(ms)",
+        ]
+        .iter()
+        .map(|c| {
+            text.find(c)
+                .unwrap_or_else(|| panic!("{c} missing: {text}"))
+        })
+        .collect();
+        assert!(cols.windows(2).all(|w| w[0] < w[1]), "order: {text}");
+        assert!(text.contains("0.9"), "compose ms: {text}");
     }
 
     #[test]

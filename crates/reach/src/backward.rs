@@ -117,6 +117,7 @@ pub fn reach_backward(
         peak_nodes,
         elapsed,
         conversion_time: std::time::Duration::ZERO,
+        frozen_jobs: None,
         per_iteration,
         // Backward traversal is a validation utility, not one of the
         // escalation-driven engines; it does not checkpoint.

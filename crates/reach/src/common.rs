@@ -85,6 +85,16 @@ impl EngineKind {
             EngineKind::Cdec => &[ReprKind::Cdec],
         }
     }
+
+    /// Whether this engine's image step can run on the frozen-function
+    /// parallel backend ([`ReachOptions::frozen`]). The functional-
+    /// composition engines qualify — their image is one independent
+    /// compose per vector component; the χ engines' relational products
+    /// have no per-component fan-out and ignore the flag.
+    #[must_use]
+    pub fn frozen_capable(self) -> bool {
+        matches!(self, EngineKind::Bfv | EngineKind::Cdec)
+    }
 }
 
 /// Label of an engine × representation lane. Native lanes keep the bare
@@ -162,6 +172,19 @@ pub struct ReachOptions {
     /// selection heuristic of Figures 1–2). When false, always iterate
     /// from the full reached set.
     pub use_frontier: bool,
+    /// Run the image step on the frozen-function parallel backend
+    /// (CLI `--frozen`): freeze the transition vector and current set
+    /// once per iteration, fan per-component coupled-DFS compose tasks
+    /// across [`ReachOptions::jobs`] scoped threads, and canonicalize
+    /// the results back in one batched re-intern pass. Results are
+    /// bit-identical to the sequential path. Only the
+    /// [`EngineKind::frozen_capable`] engines honor the flag.
+    pub frozen: bool,
+    /// Worker threads of the frozen image pool (`0` = ask the OS via
+    /// [`std::thread::available_parallelism`]). Clamped to the
+    /// component count per image. Ignored unless
+    /// [`ReachOptions::frozen`] is set.
+    pub jobs: usize,
     /// Record per-iteration statistics (adds one count per step).
     pub record_iterations: bool,
     /// Per-iteration callback (see [`IterationObserver`]); used by the
@@ -209,6 +232,8 @@ impl Default for ReachOptions {
             schedule: Schedule::DynamicSupport,
             cluster_threshold: 500,
             use_frontier: true,
+            frozen: false,
+            jobs: 0,
             record_iterations: false,
             observer: None,
             trace: None,
@@ -230,6 +255,8 @@ impl fmt::Debug for ReachOptions {
             .field("schedule", &self.schedule)
             .field("cluster_threshold", &self.cluster_threshold)
             .field("use_frontier", &self.use_frontier)
+            .field("frozen", &self.frozen)
+            .field("jobs", &self.jobs)
             .field("record_iterations", &self.record_iterations)
             .field("observer", &self.observer.as_ref().map(|_| "<callback>"))
             .field("trace", &self.trace.as_ref().map(|_| "<tracer>"))
@@ -405,6 +432,11 @@ pub struct ReachResult {
     /// Total time spent in representation conversions (χ↔BFV); zero for
     /// the Figure 2 flow — that is the paper's headline.
     pub conversion_time: Duration,
+    /// Effective worker count of the frozen image pool — the
+    /// parallelism actually used, after clamping [`ReachOptions::jobs`]
+    /// to the component count. `None` when the run took the sequential
+    /// image path (frozen off, or an engine without a frozen backend).
+    pub frozen_jobs: Option<usize>,
     /// Per-iteration statistics (when requested).
     pub per_iteration: Vec<IterationStats>,
     /// Resumable state, present when the run stopped short of its fixed
@@ -505,6 +537,7 @@ pub(crate) fn failed_result(
         peak_nodes,
         elapsed,
         conversion_time: Duration::ZERO,
+        frozen_jobs: None,
         per_iteration: Vec::new(),
         checkpoint: None,
     }

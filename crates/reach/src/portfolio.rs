@@ -342,6 +342,12 @@ pub struct LaneReport {
     /// path, so a cancelled lane reports [`Outcome::TimeOut`] — never
     /// [`Outcome::Error`].
     pub cancelled: bool,
+    /// Effective worker count of the lane's frozen image pool (`None`
+    /// when the lane ran the sequential image path). Racing lanes run
+    /// their frozen pools single-threaded — the race already owns the
+    /// thread budget — so this reports the parallelism actually used,
+    /// not the `--jobs` request.
+    pub frozen_jobs: Option<usize>,
 }
 
 /// The race's verdict: the winning result plus every lane's report.
@@ -381,6 +387,7 @@ struct LaneOpts {
     schedule: bfvr_bfv::reparam::Schedule,
     cluster_threshold: usize,
     use_frontier: bool,
+    frozen: bool,
     record_iterations: bool,
     /// `Some(stride)` when the race driver traces: the lane records its
     /// own stream into a collector tracer and ships the events home.
@@ -398,6 +405,7 @@ impl LaneOpts {
             schedule: opts.schedule,
             cluster_threshold: opts.cluster_threshold,
             use_frontier: opts.use_frontier,
+            frozen: opts.frozen,
             record_iterations: opts.record_iterations,
             trace_sample: opts.trace.as_ref().map(|t| t.borrow().sample_every()),
         }
@@ -413,6 +421,12 @@ impl LaneOpts {
             schedule: self.schedule,
             cluster_threshold: self.cluster_threshold,
             use_frontier: self.use_frontier,
+            frozen: self.frozen,
+            // Racing lanes keep their frozen pools single-threaded: the
+            // race itself owns the machine's thread budget (`--jobs`
+            // caps *lanes* there), so a frozen racing lane exercises the
+            // frozen kernel without oversubscribing the pool.
+            jobs: 1,
             record_iterations: self.record_iterations,
             observer: None,
             trace: self
@@ -447,6 +461,7 @@ struct LaneMessage {
     rounds: usize,
     won: bool,
     cancelled: bool,
+    frozen_jobs: Option<usize>,
     /// The lane's collected trace stream ([`bfvr_obs::Event`] is plain
     /// data), empty when the race is untraced.
     events: Vec<bfvr_obs::Event>,
@@ -480,6 +495,7 @@ fn race_lane(
         rounds: 0,
         won: false,
         cancelled: true,
+        frozen_jobs: None,
         events: Vec::new(),
     };
     if cancel.load(Ordering::Relaxed) {
@@ -534,6 +550,7 @@ fn race_lane(
         rounds,
         won,
         cancelled,
+        frozen_jobs: result.frozen_jobs,
         events,
     }
 }
@@ -658,6 +675,7 @@ pub fn run_racing(
             rounds: 0,
             won: false,
             cancelled: true,
+            frozen_jobs: None,
             events: Vec::new(),
         });
         // Merge the lane's stream into the driver's trace, tagged with
@@ -687,6 +705,7 @@ pub fn run_racing(
             elapsed: msg.elapsed,
             rounds: msg.rounds,
             cancelled: msg.cancelled,
+            frozen_jobs: msg.frozen_jobs,
         });
         if winner == Some(i) {
             result = Some(ReachResult {
@@ -701,6 +720,7 @@ pub fn run_racing(
                 peak_nodes: msg.peak_nodes,
                 elapsed: msg.elapsed,
                 conversion_time: msg.conversion_time,
+                frozen_jobs: msg.frozen_jobs,
                 per_iteration: msg.per_iteration,
                 checkpoint: None,
             });

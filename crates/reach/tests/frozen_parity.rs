@@ -1,0 +1,89 @@
+//! Frozen-image parity: `--frozen` is an execution-plan change, never a
+//! semantic one. Every exact engine must report bit-identical results
+//! (reached states, iterations, outcome) with the frozen parallel image
+//! path on or off, at every worker count — the test-suite twin of the
+//! CI `parallel-smoke` job.
+
+use bfvr_netlist::{circuits, generators, Netlist};
+use bfvr_reach::{run, EngineKind, Outcome, ReachOptions};
+use bfvr_sim::{EncodedFsm, OrderHeuristic};
+
+const ORDER: OrderHeuristic = OrderHeuristic::DfsFanin;
+
+fn smoke_circuits() -> Vec<(&'static str, Netlist, f64)> {
+    vec![
+        ("s27", circuits::s27(), 6.0),
+        ("queue3", generators::queue_controller(3), 72.0),
+        ("lfsr6", generators::lfsr(6), 63.0),
+    ]
+}
+
+fn run_with(
+    net: &Netlist,
+    engine: EngineKind,
+    frozen: bool,
+    jobs: usize,
+) -> bfvr_reach::ReachResult {
+    let (mut m, fsm) = EncodedFsm::encode(net, ORDER).unwrap();
+    let opts = ReachOptions {
+        frozen,
+        jobs,
+        ..ReachOptions::default()
+    };
+    run(engine, &mut m, &fsm, &opts)
+}
+
+#[test]
+fn frozen_matches_sequential_for_every_exact_engine() {
+    for (name, net, expected) in smoke_circuits() {
+        for engine in EngineKind::all() {
+            let seq = run_with(&net, engine, false, 0);
+            assert_eq!(seq.outcome, Outcome::FixedPoint, "{name}/{engine:?} seq");
+            assert_eq!(seq.reached_states, Some(expected), "{name}/{engine:?} seq");
+            assert!(
+                seq.frozen_jobs.is_none(),
+                "{name}/{engine:?}: sequential run reported a pool"
+            );
+            for jobs in [1usize, 2, 4] {
+                let froz = run_with(&net, engine, true, jobs);
+                assert_eq!(
+                    froz.outcome, seq.outcome,
+                    "{name}/{engine:?} jobs={jobs}: outcome diverged"
+                );
+                assert_eq!(
+                    froz.reached_states, seq.reached_states,
+                    "{name}/{engine:?} jobs={jobs}: counts diverged"
+                );
+                assert_eq!(
+                    froz.iterations, seq.iterations,
+                    "{name}/{engine:?} jobs={jobs}: iteration counts diverged"
+                );
+                if engine.frozen_capable() {
+                    let eff = froz
+                        .frozen_jobs
+                        .unwrap_or_else(|| panic!("{name}/{engine:?}: no effective-jobs report"));
+                    assert!(
+                        eff >= 1 && eff <= jobs,
+                        "{name}/{engine:?}: effective jobs {eff} out of range"
+                    );
+                } else {
+                    // χ engines have no per-component compose to freeze;
+                    // the flag is accepted and ignored.
+                    assert!(
+                        froz.frozen_jobs.is_none(),
+                        "{name}/{engine:?}: unexpected pool"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn frozen_capability_matches_engine_family() {
+    assert!(EngineKind::Bfv.frozen_capable());
+    assert!(EngineKind::Cdec.frozen_capable());
+    assert!(!EngineKind::Monolithic.frozen_capable());
+    assert!(!EngineKind::Cbm.frozen_capable());
+    assert!(!EngineKind::Iwls95.frozen_capable());
+}

@@ -232,4 +232,21 @@ pub trait SetRepr {
     fn take_conversion(&mut self) -> Duration {
         Duration::ZERO
     }
+
+    /// Drains the per-phase timing breakdown of the last
+    /// [`image`](SetRepr::image) call when it ran on the frozen-function
+    /// parallel backend — `("freeze", …)`, `("compose", …)`,
+    /// `("intern", …)` in phase order. Backends on the sequential image
+    /// path return nothing; the driver folds these into the iteration's
+    /// op-class telemetry counters.
+    fn take_image_phases(&mut self) -> Vec<(&'static str, Duration)> {
+        Vec::new()
+    }
+
+    /// Effective worker-thread count of the frozen image pool, if this
+    /// backend is running one (`None` on the sequential path). Reported
+    /// in results and lane tables as the parallelism actually used.
+    fn effective_jobs(&self) -> Option<usize> {
+        None
+    }
 }

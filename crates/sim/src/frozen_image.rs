@@ -1,0 +1,321 @@
+//! The frozen-function parallel image step.
+//!
+//! [`simulate_image_frozen`] computes the same image as
+//! [`crate::simulate_image_with`] through a different execution plan
+//! built on the `bfvr-bdd` frozen-function kernel:
+//!
+//! 1. **freeze** — export the transition-function vector and the current
+//!    set's components once into one packed, immutable, complement-free
+//!    [`FrozenSet`] (read-only on the manager);
+//! 2. **compose** — run one coupled-DFS compose task per latch
+//!    component over the shared snapshot. Components are independent
+//!    (the paper's §2.3 image is embarrassingly parallel per component),
+//!    so the tasks fan out across a small work-stealing pool of scoped
+//!    threads pulling component indices from an atomic counter;
+//! 3. **intern** — canonicalize every task result back into the shared
+//!    manager in component order through one batched hash-consing pass.
+//!
+//! Because each task is a pure function of the snapshot and the
+//! substitution map, and re-interning lands in a canonicalizing unique
+//! table, the result is **bit-identical** to the sequential
+//! `vector_compose` path for every thread count — the differential and
+//! determinism tests below pin that down. Resource limits (node budget,
+//! deadline) are enforced at the re-intern boundary: frozen tasks
+//! themselves never touch the manager.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use bfvr_bdd::{Bdd, BddManager, FrozenSet, FrozenTask, FrozenWorkspace};
+use bfvr_bfv::reparam::Schedule;
+use bfvr_bfv::{Bfv, BfvError};
+
+use crate::encode::EncodedFsm;
+use crate::simulate::{finish_image, ImageScratch};
+
+/// Wall-clock breakdown of one frozen image call, for the `freeze` /
+/// `compose` / `intern` telemetry phase counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FrozenPhases {
+    /// Exporting the snapshot from the manager.
+    pub freeze: Duration,
+    /// Running the per-component coupled-DFS compose tasks (wall time of
+    /// the whole fan-out, not the sum over tasks).
+    pub compose: Duration,
+    /// Batched re-intern of the task results into the manager.
+    pub intern: Duration,
+}
+
+/// Resolves a `--jobs` request to a worker count: `0` means "ask the
+/// OS" ([`std::thread::available_parallelism`], 1 when unknown), any
+/// other value is taken as-is.
+#[must_use]
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        jobs
+    }
+}
+
+/// Computes the canonical vector of the image like
+/// [`crate::simulate_image_with`], through the frozen-function parallel
+/// plan (see the module docs). Returns the image, the per-phase timing
+/// breakdown, and the effective worker count (`resolve_jobs(jobs)`
+/// clamped to the component count).
+///
+/// # Errors
+///
+/// Fails on BDD resource-limit exhaustion — detected during the
+/// re-intern pass, where the manager's budgets apply.
+pub fn simulate_image_frozen(
+    m: &mut BddManager,
+    fsm: &EncodedFsm,
+    reached: &Bfv,
+    schedule: Schedule,
+    jobs: usize,
+    scratch: &mut ImageScratch,
+) -> Result<(Bfv, FrozenPhases, usize), BfvError> {
+    let n = fsm.num_latches();
+    let space = fsm.space();
+    let mut phases = FrozenPhases::default();
+
+    // Phase 1: one snapshot of everything the tasks read — next-state
+    // functions first, then the reached components (substitution bodies).
+    let t = Instant::now();
+    let mut roots: Vec<Bdd> = fsm.next_fns_in_component_order();
+    for c in 0..n {
+        roots.push(reached.component(c));
+    }
+    let frozen = m.freeze(&roots);
+    let mut subst: Vec<Option<u32>> = vec![None; m.num_vars() as usize];
+    for (c, &var) in space.vars().iter().enumerate() {
+        subst[var.0 as usize] = Some(frozen.root(n + c));
+    }
+    phases.freeze = t.elapsed();
+
+    // Phase 2: fan the per-component compose tasks across the pool.
+    // Workers adopt the scratch-held workspaces from the previous
+    // iteration, so a fixed-point loop allocates task buffers once.
+    let effective = resolve_jobs(jobs).clamp(1, n.max(1));
+    let t = Instant::now();
+    let groups = compose_all(&frozen, &subst, n, effective, &mut scratch.frozen_ws);
+    phases.compose = t.elapsed();
+
+    // Phase 3: one batched canonicalization pass per worker arena — this
+    // is where node limits and deadlines apply. Canonicalization makes
+    // the assembly order irrelevant to the final vector, so the batches
+    // land in worker order and the components re-sort afterwards.
+    let t = Instant::now();
+    let mut pairs: Vec<(usize, Bdd)> = Vec::with_capacity(n);
+    for (task, items) in &groups {
+        if items.is_empty() {
+            continue;
+        }
+        let roots: Vec<u32> = items.iter().map(|&(_, r)| r).collect();
+        let back = task.reintern(m, &roots)?;
+        pairs.extend(items.iter().map(|&(c, _)| c).zip(back));
+    }
+    pairs.sort_by_key(|&(c, _)| c);
+    let composed: Vec<Bdd> = pairs.into_iter().map(|(_, b)| b).collect();
+    phases.intern = t.elapsed();
+    scratch
+        .frozen_ws
+        .extend(groups.into_iter().map(|(t, _)| t.finish()));
+
+    scratch.prepare_for(fsm, m.num_vars() as usize);
+    let img = finish_image(m, fsm, composed, schedule, scratch)?;
+    Ok((img, phases, effective))
+}
+
+/// Fans the per-component compose calls across `workers` scoped threads
+/// stealing component indices from an atomic counter (the single-worker
+/// case runs inline, no threads spawned). Each worker owns **one**
+/// [`FrozenTask`] for all the components it steals: the substitution map
+/// is the same for every component, so the task's compose memo and ITE
+/// cache carry shared subexpressions from one component to the next —
+/// the per-worker analogue of `vector_compose` sharing the manager's
+/// operation caches. Returns one `(task, [(component, local root)])`
+/// group per worker that did any work.
+fn compose_all<'a>(
+    frozen: &'a FrozenSet,
+    subst: &[Option<u32>],
+    n: usize,
+    workers: usize,
+    pool: &mut Vec<FrozenWorkspace>,
+) -> Vec<(FrozenTask<'a>, Vec<(usize, u32)>)> {
+    if workers <= 1 {
+        let mut task = FrozenTask::reuse(frozen, pool.pop().unwrap_or_default());
+        let items: Vec<(usize, u32)> = (0..n)
+            .map(|c| (c, task.compose(frozen.root(c), subst)))
+            .collect();
+        return vec![(task, items)];
+    }
+    let adopted: Vec<FrozenWorkspace> = (0..workers)
+        .map(|_| pool.pop().unwrap_or_default())
+        .collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = adopted
+            .into_iter()
+            .map(|ws| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut task = FrozenTask::reuse(frozen, ws);
+                    let mut mine = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n {
+                            break;
+                        }
+                        mine.push((c, task.compose(frozen.root(c), subst)));
+                    }
+                    (task, mine)
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(workers);
+        for h in handles {
+            match h.join() {
+                // Idle workers still return: their workspace goes back
+                // to the pool with the rest.
+                Ok(pair) => all.push(pair),
+                // A worker panic is a kernel bug; surface it verbatim.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        all
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::OrderHeuristic;
+    use crate::simulate::simulate_image_with;
+    use bfvr_bfv::StateSet;
+    use bfvr_netlist::generators;
+
+    /// Every generator family: frozen image ≡ sequential image at every
+    /// step of a short traversal (graph-equal components after
+    /// re-intern, which with a hash-consing manager is `==`).
+    #[test]
+    fn frozen_image_matches_sequential_on_all_families() {
+        for (name, net) in generators::standard_suite() {
+            let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+            let space = fsm.space();
+            let init = StateSet::singleton(&mut m, &space, &fsm.initial_state()).unwrap();
+            let mut scratch = ImageScratch::default();
+            let mut cur = init.as_bfv().unwrap().clone();
+            for step in 0..3 {
+                let want =
+                    simulate_image_with(&mut m, &fsm, &cur, Schedule::DynamicSupport).unwrap();
+                let (got, phases, jobs) = simulate_image_frozen(
+                    &mut m,
+                    &fsm,
+                    &cur,
+                    Schedule::DynamicSupport,
+                    2,
+                    &mut scratch,
+                )
+                .unwrap();
+                assert_eq!(
+                    got.components(),
+                    want.components(),
+                    "{name} diverged at step {step}"
+                );
+                assert!((1..=2).contains(&jobs), "{name}: effective jobs {jobs}");
+                assert!(phases.freeze + phases.compose + phases.intern > Duration::ZERO);
+                cur = want;
+            }
+        }
+    }
+
+    /// The thread count must not be observable in the result: 1 worker
+    /// and many workers produce bit-identical components.
+    #[test]
+    fn frozen_image_is_deterministic_across_thread_counts() {
+        let net = generators::lfsr(8);
+        let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+        let space = fsm.space();
+        let init = StateSet::singleton(&mut m, &space, &fsm.initial_state()).unwrap();
+        let mut cur = init.as_bfv().unwrap().clone();
+        // Walk a few steps in so the set has real structure.
+        for _ in 0..3 {
+            cur = simulate_image_with(&mut m, &fsm, &cur, Schedule::DynamicSupport).unwrap();
+        }
+        let mut baseline = None;
+        for jobs in [1usize, 2, 4, 8] {
+            let mut scratch = ImageScratch::default();
+            let (img, _, _) = simulate_image_frozen(
+                &mut m,
+                &fsm,
+                &cur,
+                Schedule::DynamicSupport,
+                jobs,
+                &mut scratch,
+            )
+            .unwrap();
+            let components = img.components().to_vec();
+            match &baseline {
+                None => baseline = Some(components),
+                Some(b) => assert_eq!(&components, b, "jobs={jobs} diverged"),
+            }
+        }
+    }
+
+    /// Seeded random state sets (not just traversal-reachable ones)
+    /// agree between the two paths — the sim-layer half of the
+    /// differential fuzz (the kernel half lives in `bfvr-bdd`).
+    #[test]
+    fn frozen_image_fuzz_random_state_sets() {
+        let mut seed = 0x00dd_5eed_u64;
+        let mut rng = move || {
+            seed ^= seed >> 12;
+            seed ^= seed << 25;
+            seed ^= seed >> 27;
+            seed.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for (name, net) in [
+            ("johnson6", generators::johnson(6)),
+            ("queue3", generators::queue_controller(3)),
+            ("gray5", generators::gray(5)),
+        ] {
+            let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+            let space = fsm.space();
+            let mut scratch = ImageScratch::default();
+            for round in 0..5 {
+                // A random non-empty set of up to 4 concrete states.
+                let mut set: Option<StateSet> = None;
+                for _ in 0..1 + (rng() % 4) {
+                    let bits: Vec<bool> = (0..fsm.num_latches()).map(|_| rng() & 1 == 1).collect();
+                    let s = StateSet::singleton(&mut m, &space, &bits).unwrap();
+                    set = Some(match set {
+                        None => s,
+                        Some(acc) => acc.union(&mut m, &space, &s).unwrap(),
+                    });
+                }
+                let bfv = match set {
+                    Some(StateSet::NonEmpty(v)) => v,
+                    _ => continue,
+                };
+                let want =
+                    simulate_image_with(&mut m, &fsm, &bfv, Schedule::DynamicSupport).unwrap();
+                let (got, _, _) = simulate_image_frozen(
+                    &mut m,
+                    &fsm,
+                    &bfv,
+                    Schedule::DynamicSupport,
+                    3,
+                    &mut scratch,
+                )
+                .unwrap();
+                assert_eq!(
+                    got.components(),
+                    want.components(),
+                    "{name} diverged in round {round}"
+                );
+            }
+        }
+    }
+}

@@ -14,6 +14,69 @@ use bfvr_bfv::{Bfv, BfvError};
 
 use crate::encode::EncodedFsm;
 
+/// Reusable per-call scratch of the image step: the substitution map
+/// (sized by the manager's variable count), the re-parameterization
+/// variable list and the u→v rename pairs. Holding one of these across
+/// a fixed-point run makes every image after the first allocation-free
+/// on these buffers instead of rebuilding them per call.
+///
+/// A scratch is keyed to one manager × FSM pair: do not share it across
+/// encodings (the cached parameter list would be stale).
+#[derive(Default)]
+pub struct ImageScratch {
+    map: Vec<Option<Bdd>>,
+    params: Vec<Var>,
+    pairs: Vec<(Var, Var)>,
+    warm: bool,
+    /// How many image calls ran on warm (reused) buffers — test
+    /// observability for the reuse contract.
+    pub(crate) reuses: usize,
+    /// Per-worker frozen-task buffers recycled across image calls
+    /// (populated only by the frozen parallel path).
+    pub(crate) frozen_ws: Vec<bfvr_bdd::FrozenWorkspace>,
+}
+
+impl ImageScratch {
+    /// Sizes the substitution map for `num_vars` and counts a reuse when
+    /// the buffers were already warm.
+    pub(crate) fn prepare_for(&mut self, fsm: &EncodedFsm, num_vars: usize) {
+        if self.warm {
+            self.reuses += 1;
+        } else {
+            self.params.extend(fsm.space().vars());
+            self.params.extend(fsm.input_vars());
+            self.pairs = fsm.swap_pairs();
+            self.warm = true;
+        }
+        // The map entries are reset after every compose loop, so a warm
+        // map is already all-`None`; only the length may need fixing.
+        self.map.resize(num_vars, None);
+    }
+}
+
+/// Shared tail of the sequential and frozen-parallel image paths: wrap
+/// the composed components, re-parameterize onto the next-state space,
+/// and rename next-state variables back to current.
+pub(crate) fn finish_image(
+    m: &mut BddManager,
+    fsm: &EncodedFsm,
+    composed: Vec<Bdd>,
+    schedule: Schedule,
+    scratch: &mut ImageScratch,
+) -> Result<Bfv, BfvError> {
+    let space = fsm.space();
+    let next_space = fsm.next_space();
+    let simulated = Bfv::from_components(&next_space, composed)?;
+    // Parameters: the current-state choice variables and the inputs.
+    let image_next = reparameterize_with(m, &next_space, &simulated, &scratch.params, schedule)?;
+    // Rename u → v so the image lives in the current-state space again.
+    let mut renamed = Vec::with_capacity(image_next.len());
+    for &c in image_next.components() {
+        renamed.push(m.swap_vars(c, &scratch.pairs)?);
+    }
+    Bfv::from_components(&space, renamed)
+}
+
 /// Computes the canonical vector of the image
 /// `{ δ(s, w) : s ∈ R, w ∈ inputs }` of a reached set `R`.
 ///
@@ -41,31 +104,49 @@ pub fn simulate_image_with(
     reached: &Bfv,
     schedule: Schedule,
 ) -> Result<Bfv, BfvError> {
+    simulate_image_scratch(m, fsm, reached, schedule, &mut ImageScratch::default())
+}
+
+/// Like [`simulate_image_with`], reusing the caller-held
+/// [`ImageScratch`] buffers across calls — the form the fixed-point
+/// backends drive, where the same scratch serves every iteration.
+///
+/// # Errors
+///
+/// Fails on BDD resource-limit exhaustion.
+pub fn simulate_image_scratch(
+    m: &mut BddManager,
+    fsm: &EncodedFsm,
+    reached: &Bfv,
+    schedule: Schedule,
+    scratch: &mut ImageScratch,
+) -> Result<Bfv, BfvError> {
     let space = fsm.space();
-    let next_space = fsm.next_space();
+    scratch.prepare_for(fsm, m.num_vars() as usize);
     // Substitution map: current-state variable of latch l ← component of
     // the reached vector representing that latch.
-    let mut map: Vec<Option<Bdd>> = vec![None; m.num_vars() as usize];
     for (c, &var) in space.vars().iter().enumerate() {
-        map[var.0 as usize] = Some(reached.component(c));
+        scratch.map[var.0 as usize] = Some(reached.component(c));
     }
     // Symbolic simulation: one simultaneous composition per latch.
     let mut composed = Vec::with_capacity(fsm.num_latches());
+    let mut compose_result = Ok(());
     for next_fn in fsm.next_fns_in_component_order() {
-        composed.push(m.vector_compose(next_fn, &map)?);
+        match m.vector_compose(next_fn, &scratch.map) {
+            Ok(c) => composed.push(c),
+            Err(e) => {
+                compose_result = Err(e);
+                break;
+            }
+        }
     }
-    let simulated = Bfv::from_components(&next_space, composed)?;
-    // Parameters: the current-state choice variables and the inputs.
-    let mut params: Vec<Var> = space.vars().to_vec();
-    params.extend(fsm.input_vars());
-    let image_next = reparameterize_with(m, &next_space, &simulated, &params, schedule)?;
-    // Rename u → v so the image lives in the current-state space again.
-    let pairs = fsm.swap_pairs();
-    let mut renamed = Vec::with_capacity(image_next.len());
-    for &c in image_next.components() {
-        renamed.push(m.swap_vars(c, &pairs)?);
+    // Leave the scratch map all-`None` for the next call even when a
+    // resource limit tripped mid-loop.
+    for &var in space.vars() {
+        scratch.map[var.0 as usize] = None;
     }
-    Bfv::from_components(&space, renamed)
+    compose_result?;
+    finish_image(m, fsm, composed, schedule, scratch)
 }
 
 /// Evaluates the primary outputs over a state set: returns, per output,
@@ -171,6 +252,30 @@ mod tests {
         let a = simulate_image_with(&mut m, &fsm, f, Schedule::DynamicSupport).unwrap();
         let b = simulate_image_with(&mut m, &fsm, f, Schedule::Fixed).unwrap();
         assert_eq!(a.components(), b.components());
+    }
+
+    #[test]
+    fn scratch_buffers_are_reused_across_iterations() {
+        let net = generators::counter(4);
+        let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
+        let space = fsm.space();
+        let init = StateSet::singleton(&mut m, &space, &fsm.initial_state()).unwrap();
+        let mut scratch = ImageScratch::default();
+        let mut warm = init.as_bfv().unwrap().clone();
+        let mut fresh = warm.clone();
+        for step in 0..5 {
+            warm =
+                simulate_image_scratch(&mut m, &fsm, &warm, Schedule::DynamicSupport, &mut scratch)
+                    .unwrap();
+            fresh = simulate_image_with(&mut m, &fsm, &fresh, Schedule::DynamicSupport).unwrap();
+            assert_eq!(warm.components(), fresh.components(), "step {step}");
+        }
+        // First call warmed the buffers, the next four reused them …
+        assert_eq!(scratch.reuses, 4);
+        // … and reuse left no stale substitution entries behind.
+        assert!(scratch.map.iter().all(Option::is_none));
+        assert_eq!(scratch.params.len(), 4 + 1);
+        assert_eq!(scratch.pairs.len(), 4);
     }
 
     #[test]

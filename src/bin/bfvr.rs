@@ -52,7 +52,7 @@ bfvr — symbolic reachability with Boolean functional vectors
 USAGE:
   bfvr gen <family:param>                 counter:8, modk:4:10, gray:6, lfsr:10,
                                           shift:16, johnson:12, pair:8, queue:4,
-                                          rot:12, traffic:4, s27
+                                          rot:12, traffic:4, load:12, mask:10, s27
   bfvr stats <file>
   bfvr convert <file> --to bench|blif|verilog
   bfvr reach <file> [--engine bfv|cbm|mono|iwls95|cdec|all]
@@ -76,12 +76,26 @@ USAGE:
                                          table at this many slots (rounded
                                          to a power of two; bounds resident
                                          cache memory, trades hit rate)
+                    [--frozen]           run the image step on the frozen-
+                                         function parallel backend: freeze
+                                         the transition vector + reached set
+                                         once per iteration, fan per-component
+                                         compose tasks across a worker pool,
+                                         re-intern in one batched pass.
+                                         Bit-identical results; BFV/CDEC
+                                         lanes only (χ lanes ignore it);
+                                         frozen lanes print as LANE*F
                     [--race]             run the selected engines (default:
                                          all) concurrently, one manager per
                                          thread; first fixed point wins and
                                          cancels the rest
-                    [--jobs <n>]         cap racing worker threads (default:
-                                         one per engine)
+                    [--jobs <n>]         with --race: cap racing worker
+                                         threads (default: one per engine);
+                                         with --frozen: frozen image pool
+                                         size (default: all cores, clamped
+                                         to the component count). Racing
+                                         frozen lanes always run their
+                                         pools single-threaded
                     [--escalate]         on T.O./M.O., resume from the
                                          checkpoint with raised budgets
                                          (per lane when racing)
@@ -223,6 +237,8 @@ fn generate(spec: &str) -> Result<Netlist, String> {
         "queue" => generators::queue_controller(p(1)?),
         "rot" => generators::rotator(p(1)?),
         "traffic" => generators::traffic_chain(p(1)?),
+        "load" => generators::loadable_register(p(1)?),
+        "mask" => generators::masked_accumulator(p(1)?),
         other => return Err(format!("unknown family `{other}`")),
     })
 }
@@ -332,6 +348,14 @@ fn parse_opts(args: &[String]) -> Result<ReachOptions, String> {
             return Err("--cache-limit must be at least 1".into());
         }
         opts.cache_limit = Some(slots);
+    }
+    opts.frozen = args.iter().any(|a| a == "--frozen");
+    if let Some(s) = flag_value(args, "--jobs") {
+        let n: usize = s.parse().map_err(|e| format!("bad --jobs: {e}"))?;
+        if n == 0 {
+            return Err("--jobs must be at least 1".into());
+        }
+        opts.jobs = n;
     }
     Ok(opts)
 }
@@ -698,8 +722,8 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, String> {
             .flat_map(|&l| orders.iter().map(move |&o| l.with_order(o)))
             .collect();
     }
-    if !race && flag_value(args, "--jobs").is_some() {
-        return Err("--jobs requires --race".into());
+    if !race && !opts.frozen && flag_value(args, "--jobs").is_some() {
+        return Err("--jobs requires --race or --frozen".into());
     }
     let result_out = flag_value(args, "--result-out");
     let kill_at = match flag_value(args, "--kill-at-iter") {
@@ -731,9 +755,25 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, String> {
         order_token(order)
     };
     let lint = bfvr::nlint::run_passes(&net).summary();
+    // Frozen-backend provenance in the meta header: requested pool size
+    // (`auto` = all cores); each lane's *effective* width is in its
+    // result/report row.
+    let frozen_label = if opts.frozen {
+        let jobs = if opts.jobs == 0 {
+            "auto".to_string()
+        } else {
+            opts.jobs.to_string()
+        };
+        format!(" frozen=on jobs={jobs}")
+    } else {
+        String::new()
+    };
     let trace = parse_trace(
         args,
-        &format!("bfvr reach {} order={order_label} lint={lint}", net.name()),
+        &format!(
+            "bfvr reach {} order={order_label} lint={lint}{frozen_label}",
+            net.name()
+        ),
     )?;
     opts.trace.clone_from(&trace);
     let run_span = trace.as_ref().map(|t| {
@@ -857,13 +897,16 @@ fn reach_plain(
             };
             println!(
                 "{:10} {:>6} {:>14} {:>7} {:>10.1} {:>11}",
-                lane.display(),
+                lane_cell(lane, opts.frozen),
                 r.outcome.label(),
                 states_cell(r.reached_states, r.over_approx),
                 r.iterations,
                 r.elapsed.as_secs_f64() * 1e3,
                 r.peak_nodes
             );
+            if let Some(j) = r.frozen_jobs {
+                println!("  frozen image pool: {j} worker thread(s)");
+            }
             if show_stats {
                 let s = m.stats();
                 println!(
@@ -913,6 +956,19 @@ fn reach_plain(
         }
         Ok(exit)
     })
+}
+
+/// The lane column: [`Lane::display`], tagged `*F` when the frozen
+/// parallel image backend is active for the lane. Only the
+/// frozen-capable engines get the tag — a χ lane under `--frozen` runs
+/// its ordinary relational product and is labeled accordingly.
+fn lane_cell(lane: Lane, frozen: bool) -> String {
+    let base = lane.display();
+    if frozen && lane.engine.frozen_capable() {
+        format!("{base}*F")
+    } else {
+        base
+    }
 }
 
 /// The reached-states column: `<=N` for an over-approximating lane's
@@ -969,14 +1025,21 @@ fn cmd_reach_race(
         } else {
             ""
         };
+        // Effective frozen-pool width (always 1 in a race — the race
+        // owns the thread budget), so the report still shows which
+        // lanes took the frozen path.
+        let pool = lane
+            .frozen_jobs
+            .map_or(String::new(), |j| format!(" F×{j}"));
         println!(
-            "{:16} {:>9} {:>14} {:>7} {:>10.1} {:>11}{}",
-            lanes[i].display(),
+            "{:16} {:>9} {:>14} {:>7} {:>10.1} {:>11}{}{}",
+            lane_cell(lanes[i], opts.frozen),
             status,
             states_cell(lane.reached_states, lane.over_approx),
             lane.iterations,
             lane.elapsed.as_secs_f64() * 1e3,
             lane.peak_nodes,
+            pool,
             won,
         );
     }
@@ -1322,7 +1385,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
         }
         println!(
             "{:10} {:>6} {:>5} iteration(s), {} state(s), audited",
-            lane.label(),
+            lane_cell(lane, base_opts.frozen),
             r.outcome.label(),
             r.iterations,
             states_cell(r.reached_states, r.over_approx),
