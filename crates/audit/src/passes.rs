@@ -485,9 +485,17 @@ fn roundtrip_pass(
 ) -> Result<()> {
     // χ → ZDD → χ: the zero-suppressed reduction is a bijection on
     // families over the state variables, so the round-trip is exact.
+    // `zdd_from_bdd` walks the χ top-down, so its variable list must
+    // ascend in the manager's *current* order — which a dynamic reorder
+    // may have permuted away from the space's component order. Sorting
+    // by level keeps the pass valid after `--sift`; the ZDD level ↔
+    // variable assignment is private to this round-trip, so any
+    // consistent order is correct.
+    let mut zvars = space.vars().to_vec();
+    zvars.sort_unstable_by_key(|&v| m.var_to_level(v));
     let mut store = ZddStore::new(space.len() as u32);
-    let z = zdd_from_bdd(m, &mut store, chi, space.vars())?;
-    let back = bdd_from_zdd(m, &store, z, space.vars())?;
+    let z = zdd_from_bdd(m, &mut store, chi, &zvars)?;
+    let back = bdd_from_zdd(m, &store, z, &zvars)?;
     if back != chi {
         let diff = m.xor(back, chi)?;
         report.push(scoped(

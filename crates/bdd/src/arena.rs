@@ -104,11 +104,23 @@ impl Arena {
     }
 
     /// Overwrites the node stored at `idx` in place, bypassing hash
-    /// consing. Only for the audit corruption hooks
-    /// ([`crate::audit::Corruption`]): normal code must never mutate a
-    /// stored node, since the unique table keys on its contents.
+    /// consing. Two callers are allowed to do this: the audit corruption
+    /// hooks ([`crate::audit::Corruption`]), and the dynamic-reordering
+    /// swap kernel (`crate::sift`), which relabels/rewrites nodes while
+    /// keeping their unique-table entries consistent itself. All other
+    /// code must never mutate a stored node, since the unique table keys
+    /// on its contents.
     pub fn set(&mut self, idx: u32, node: Node) {
         self.nodes[idx as usize] = node;
+    }
+
+    /// Slots still allocatable before the 31-bit index space is
+    /// exhausted (free-list slots included). The swap kernel pre-checks
+    /// this before each adjacent swap so an in-place rewrite can never
+    /// fail halfway through.
+    #[inline]
+    pub fn headroom(&self) -> usize {
+        MAX_NODES.saturating_sub(self.nodes.len()) + self.free_count
     }
 
     /// Returns slot `idx` to the free list. The caller is responsible for

@@ -311,7 +311,10 @@ impl BddManager {
                 continue;
             }
             let n = self.arena.get(idx);
-            if n.var != v as u32 || n.lo != Bdd::FALSE.0 || n.hi != Bdd::TRUE.0 {
+            // The literal's node label is the variable's *current level*
+            // (identity until a dynamic reorder permutes the order).
+            let expected_level = self.var2level[v];
+            if n.var != expected_level || n.lo != Bdd::FALSE.0 || n.hi != Bdd::TRUE.0 {
                 push(
                     GraphIssueKind::LiteralNode,
                     idx,

@@ -28,9 +28,12 @@ impl BddManager {
         assert!(v.0 < self.num_vars(), "variable {v} out of range");
         // The scope opens inside the closure so a reclaim-and-retry starts
         // from a clean table (stale entries would reference freed slots).
+        // Recursion walks by *level*; resolve the variable's current level
+        // once up front (identity until a dynamic reorder).
+        let lvl = self.var_to_level(v);
         self.recover(&[f], |m| {
             m.caches.subst.clear();
-            m.cofactor_rec(f, v.0, val)
+            m.cofactor_rec(f, lvl, val)
         })
     }
 
@@ -116,12 +119,13 @@ impl BddManager {
         if let Some(r) = self.caches.subst.get(key) {
             return Ok(if neg { r.complement() } else { r });
         }
-        let lvl = self.level(reg);
         let e = self.vcompose_rec(self.low(reg), map)?;
         let t = self.vcompose_rec(self.high(reg), map)?;
-        let sub = match map[lvl as usize] {
+        // `map` is indexed by semantic variable; the node label is a level.
+        let v = self.top_var(reg);
+        let sub = match map[v.0 as usize] {
             Some(g) => g,
-            None => self.var(Var(lvl)),
+            None => self.var(v),
         };
         let r = self.ite(sub, t, e)?;
         let limit = self.caches.limit;

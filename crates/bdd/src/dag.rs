@@ -132,7 +132,10 @@ impl BddManager {
                 let lo = self.low(e);
                 let hi = self.high(e);
                 if expanded {
-                    let var = self.top_var(e).0;
+                    // DAG nodes carry *levels* (structural order), not
+                    // semantic variables: the checkpoint header records
+                    // the level→variable map separately.
+                    let var = self.level(e);
                     let to_ref = |c: Bdd| -> DagRef {
                         if c.is_const() {
                             if c.is_true() {
@@ -245,7 +248,7 @@ impl BddManager {
                 });
             };
             for child in [lo, hi] {
-                if !child.is_const() && self.top_var(child).0 <= n.var {
+                if !child.is_const() && self.level(child) <= n.var {
                     return Err(DagError::Malformed {
                         position: i,
                         reason: "child variable not below parent (order violation)",

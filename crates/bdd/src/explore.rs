@@ -91,7 +91,7 @@ impl BddManager {
             if g.is_const() || !seen.insert(g.node()) {
                 continue;
             }
-            sup.set(self.level(g));
+            sup.set(self.top_var(g).0);
             stack.push(self.low(g));
             stack.push(self.high(g));
         }
@@ -215,7 +215,7 @@ impl BddManager {
     pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
         let mut g = f;
         while !g.is_const() {
-            let v = self.level(g) as usize;
+            let v = self.top_var(g).0 as usize;
             g = if assignment[v] {
                 self.high(g)
             } else {
@@ -229,8 +229,9 @@ impl BddManager {
     ///
     /// Variables not constrained by the chosen path default to `false`;
     /// the chosen path prefers the low branch, so the result is the
-    /// minimal satisfying assignment reading `Var(0)` as the most
-    /// significant bit.
+    /// minimal satisfying assignment reading the top of the *current*
+    /// variable order as the most significant bit (`Var(0)` until a
+    /// dynamic reorder permutes the order).
     pub fn pick_minterm(&self, f: Bdd, num_vars: u32) -> Option<Vec<bool>> {
         if f.is_false() {
             return None;
@@ -238,7 +239,7 @@ impl BddManager {
         let mut asg = vec![false; num_vars as usize];
         let mut g = f;
         while !g.is_const() {
-            let v = self.level(g) as usize;
+            let v = self.top_var(g).0 as usize;
             if self.low(g).is_false() {
                 asg[v] = true;
                 g = self.high(g);
@@ -317,7 +318,7 @@ impl Iterator for CubeIter<'_> {
             if f.is_false() {
                 continue;
             }
-            let v = self.mgr.level(f) as usize;
+            let v = self.mgr.top_var(f).0 as usize;
             debug_assert!(v < self.num_vars as usize);
             let mut hi_cube = cube.clone();
             hi_cube[v] = Some(true);

@@ -31,7 +31,11 @@
 //!   on-disk checkpoints,
 //! * mark-sweep garbage collection with stable node ids, RAII root
 //!   handles ([`Func`], from [`BddManager::func`]) and live/peak node
-//!   accounting (the "Peak(K)" metric of the paper's Table 2), and
+//!   accounting (the "Peak(K)" metric of the paper's Table 2),
+//! * **dynamic variable reordering**: an in-place adjacent-level swap
+//!   kernel and a Rudell sifting pass ([`BddManager::sift`],
+//!   [`BddManager::reorder_to`]) that shrink the live graph mid-run
+//!   while every outstanding handle stays valid, and
 //! * optional node-count and deadline resource limits so long traversals
 //!   can reproduce the paper's `T.O.`/`M.O.` outcomes gracefully.
 //!
@@ -95,6 +99,7 @@ mod isop;
 mod manager;
 mod node;
 mod quant;
+mod sift;
 mod transfer;
 mod unique;
 pub mod zdd;
@@ -110,6 +115,7 @@ pub use func::Func;
 pub use isop::Cube;
 pub use manager::{BddManager, GcStats, ManagerStats, UniqueTableStats};
 pub use node::{Bdd, Var};
+pub use sift::{SiftConfig, SiftStats, SIFT_SIZE_FLOOR};
 pub use zdd::{bdd_from_zdd, zdd_from_bdd, Zdd, ZddStore};
 
 /// Convenient result alias for fallible BDD operations.

@@ -114,6 +114,14 @@ pub struct BddManager {
     num_vars: u32,
     /// Pre-built positive literal edge for each variable (stable, rooted).
     pub(crate) var_nodes: Vec<u32>,
+    /// Semantic variable sitting at each level: `level2var[l]` is the
+    /// [`Var`] whose decision nodes carry label `l`. Identity until the
+    /// first dynamic reorder; node labels are *levels* throughout, so the
+    /// apply kernels never consult this — only the public API boundary
+    /// (`top_var`, cube building, composition maps, evaluation) does.
+    pub(crate) level2var: Vec<u32>,
+    /// Inverse of [`Self::level2var`]: the level each variable occupies.
+    pub(crate) var2level: Vec<u32>,
     node_limit: usize,
     deadline: Option<Instant>,
     /// Refcounted roots held by live [`Func`] handles (node index → count).
@@ -159,6 +167,8 @@ impl BddManager {
             caches: Caches::new(),
             num_vars,
             var_nodes: Vec::with_capacity(num_vars as usize),
+            level2var: (0..num_vars).collect(),
+            var2level: (0..num_vars).collect(),
             node_limit: usize::MAX,
             deadline: None,
             roots: Rc::new(RefCell::new(FxHashMap::default())),
@@ -370,7 +380,9 @@ impl BddManager {
         self.arena.get(f.node()).var
     }
 
-    /// Decision variable of a non-terminal node.
+    /// Decision variable of a non-terminal node — the *semantic* variable,
+    /// resolved through the current (possibly dynamically reordered)
+    /// level→variable map.
     ///
     /// # Panics
     ///
@@ -379,7 +391,49 @@ impl BddManager {
     pub fn top_var(&self, f: Bdd) -> Var {
         let v = self.level(f);
         assert!(v < self.num_vars, "top_var of a terminal");
-        Var(v)
+        Var(self.level2var[v as usize])
+    }
+
+    /// The level variable `v` currently occupies in the order (0 = top).
+    /// Identity until the first dynamic reorder ([`BddManager::sift`] /
+    /// [`BddManager::reorder_to`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the manager's variable range.
+    #[inline]
+    #[must_use]
+    pub fn var_to_level(&self, v: Var) -> u32 {
+        assert!(v.0 < self.num_vars, "variable {v} out of range");
+        self.var2level[v.0 as usize]
+    }
+
+    /// The semantic variable at level `lvl` of the current order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lvl` is not a valid level.
+    #[inline]
+    #[must_use]
+    pub fn level_to_var(&self, lvl: u32) -> Var {
+        assert!(lvl < self.num_vars, "level {lvl} out of range");
+        Var(self.level2var[lvl as usize])
+    }
+
+    /// The current variable order, top of the order first. Identity
+    /// (`Var(0), Var(1), …`) until the first dynamic reorder.
+    #[must_use]
+    pub fn current_order(&self) -> Vec<Var> {
+        self.level2var.iter().map(|&v| Var(v)).collect()
+    }
+
+    /// Whether the current order differs from the construction order.
+    #[must_use]
+    pub fn order_is_permuted(&self) -> bool {
+        self.level2var
+            .iter()
+            .enumerate()
+            .any(|(l, &v)| l as u32 != v)
     }
 
     /// Low (else) child of a non-terminal node, with the parent edge's
@@ -614,7 +668,7 @@ impl BddManager {
     /// When nothing was freed the caches are left intact: every cached
     /// entry still refers to live, unmoved slots, so flushing would only
     /// throw away valid memoization.
-    fn sweep(&mut self, mark: &[bool]) -> usize {
+    pub(crate) fn sweep(&mut self, mark: &[bool]) -> usize {
         let mut collected = 0;
         for i in 1..self.arena.len() as u32 {
             let n = self.arena.get(i);
@@ -700,6 +754,13 @@ impl BddManager {
         assert!(
             self.arena.get(0).var == TERMINAL_LEVEL,
             "post-GC integrity: slot 0 does not hold the terminal"
+        );
+        debug_assert!(
+            self.level2var
+                .iter()
+                .enumerate()
+                .all(|(l, &v)| self.var2level[v as usize] == l as u32),
+            "post-GC integrity: level/variable maps are not mutual inverses"
         );
         assert!(
             self.unique.len() == self.allocated() - 1,

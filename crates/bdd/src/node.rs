@@ -102,17 +102,24 @@ impl fmt::Debug for Bdd {
     }
 }
 
-/// A BDD variable, identified by its *level* in the fixed variable order.
+/// A *semantic* BDD variable, numbered at manager construction.
 ///
-/// The manager is created with a fixed number of variables; `Var(0)` is the
-/// topmost (highest-weight) variable, `Var(n-1)` the bottommost. Higher
-/// layers map design signals (latches, inputs, choice variables) onto
-/// levels — see the `bfvr-sim` crate.
+/// The manager is created with a fixed number of variables; initially
+/// `Var(0)` sits at the top of the order and `Var(n-1)` at the bottom.
+/// Dynamic reordering ([`crate::BddManager::sift`]) may later move
+/// variables to other *levels* — the variable's identity never changes,
+/// and every `Var`-taking API resolves the current level through the
+/// manager ([`crate::BddManager::var_to_level`]). Higher layers map
+/// design signals (latches, inputs, choice variables) onto variables —
+/// see the `bfvr-sim` crate.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Var(pub u32);
 
 impl Var {
-    /// The level of this variable (0 = top of the order).
+    /// The level this variable occupied at construction (0 = top).
+    ///
+    /// Once a dynamic reorder has run this is only the *initial* level;
+    /// ask [`crate::BddManager::var_to_level`] for the current one.
     #[inline]
     #[must_use]
     pub fn level(self) -> u32 {

@@ -20,20 +20,26 @@ impl BddManager {
     ///
     /// Fails on resource-limit exhaustion or if a variable is out of range.
     pub fn cube_from_vars(&mut self, vars: &[Var]) -> Result<Bdd> {
+        // Resolve variables to their *current* levels first: the cube's
+        // node chain must be sorted by the active order, which a dynamic
+        // reorder may have permuted away from variable numbering.
+        let mut levels = Vec::with_capacity(vars.len());
+        for &v in vars {
+            if v.0 >= self.num_vars() {
+                return Err(BddError::VarOutOfRange {
+                    var: v.0,
+                    num_vars: self.num_vars(),
+                });
+            }
+            levels.push(self.var_to_level(v));
+        }
+        levels.sort_unstable();
+        levels.dedup();
         self.recover(&[], |m| {
-            let mut sorted: Vec<Var> = vars.to_vec();
-            sorted.sort_unstable();
-            sorted.dedup();
             // Build bottom-up so each mk respects the order invariant.
             let mut cube = Bdd::TRUE;
-            for v in sorted.into_iter().rev() {
-                if v.0 >= m.num_vars() {
-                    return Err(BddError::VarOutOfRange {
-                        var: v.0,
-                        num_vars: m.num_vars(),
-                    });
-                }
-                cube = m.mk(v.0, Bdd::FALSE, cube)?;
+            for &lvl in levels.iter().rev() {
+                cube = m.mk(lvl, Bdd::FALSE, cube)?;
             }
             Ok(cube)
         })

@@ -213,6 +213,20 @@ impl LevelTable {
             }
         }
     }
+
+    /// Drains every entry, keeping the slot array allocated (the level is
+    /// about to be refilled with a similar population).
+    fn take(&mut self) -> Vec<(u32, u32, u32)> {
+        let mut out = Vec::with_capacity(self.len);
+        for e in &mut self.entries {
+            if e.idx != EMPTY {
+                out.push((e.lo, e.hi, e.idx));
+                *e = EMPTY_ENTRY;
+            }
+        }
+        self.len = 0;
+        out
+    }
 }
 
 /// Per-level unique subtables mapping `(lo_edge, hi_edge)` → node index.
@@ -246,6 +260,20 @@ impl UniqueTable {
     #[inline]
     pub fn remove(&mut self, var: u32, lo: u32, hi: u32) {
         self.levels[var as usize].remove(lo, hi);
+    }
+
+    /// Drains one level's entries as `(lo, hi, idx)`, leaving the level
+    /// empty but its slot array allocated. This is the level-granular
+    /// hook the dynamic-reordering swap kernel builds on: an adjacent
+    /// swap takes both levels out, relabels or rewrites their nodes, and
+    /// reinserts the survivors.
+    pub fn take_level(&mut self, var: u32) -> Vec<(u32, u32, u32)> {
+        self.levels[var as usize].take()
+    }
+
+    /// Live entries at one level (diagnostics and sift sizing).
+    pub fn level_len(&self, var: u32) -> usize {
+        self.levels[var as usize].len
     }
 
     /// Shrinks levels whose occupancy collapsed (called by the manager

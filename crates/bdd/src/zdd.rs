@@ -331,7 +331,14 @@ pub fn zdd_from_bdd(
     f: Bdd,
     vars: &[Var],
 ) -> Result<Zdd, BddError> {
-    debug_assert!(vars.windows(2).all(|w| w[0].0 < w[1].0), "vars ascending");
+    // The recursion descends `vars` in list order while walking the BDD
+    // top-down, so the list must ascend in the manager's *current* order
+    // (identical to ascending-by-number until a dynamic reorder).
+    debug_assert!(
+        vars.windows(2)
+            .all(|w| m.var_to_level(w[0]) < m.var_to_level(w[1])),
+        "vars must ascend in the current variable order"
+    );
     let mut memo: FxHashMap<(u32, u32), Zdd> = FxHashMap::default();
     from_bdd_rec(m, store, f, vars, 0, &mut memo)
 }

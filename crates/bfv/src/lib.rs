@@ -29,7 +29,9 @@
 //! * [`CDec`](cdec::CDec) — McMillan's conjunctive decomposition and its
 //!   correspondence with BFVs (§2.7);
 //! * [`sift_components`](reorder::sift_components) — a greedy component
-//!   reordering pass (the paper's first future-work item);
+//!   reordering pass (see [`reorder`] for how it divides the paper's
+//!   first future-work item with the manager-level variable sifting in
+//!   `bfvr-bdd`);
 //! * conversions [`to_characteristic`](convert::to_characteristic) /
 //!   [`from_characteristic`](convert::from_characteristic) — used only at
 //!   the API boundary and as a test oracle, exactly as the paper intends.

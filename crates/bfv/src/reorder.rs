@@ -15,7 +15,17 @@
 //! makes no progress. Candidate orders are evaluated by re-canonicalizing
 //! from the characteristic function, so the search cost is
 //! `O(sweeps · n · cost(from_characteristic))` — a deliberately simple
-//! baseline for the paper's open problem, not a tuned sifting engine.
+//! baseline for the *component*-order half of the problem.
+//!
+//! This module is **not** the repository's sifting engine. Dynamic
+//! *variable* reordering — Rudell sifting by in-place adjacent level
+//! swaps, with the automatic mid-traversal trigger — lives at the
+//! manager level in `bfvr-bdd` (`BddManager::sift`,
+//! `crates/bdd/src/sift.rs`) and is surveyed in `docs/ordering.md`. The
+//! two are complementary and deliberately separate: a canonical BFV ties
+//! its component order to the variable order (§3), so the manager-level
+//! engine declines BFV lanes, and this pass moves the component axis
+//! instead by rebuilding the vector under each candidate order.
 
 use bfvr_bdd::BddManager;
 

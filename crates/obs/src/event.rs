@@ -324,6 +324,19 @@ pub enum EventKind {
         /// Engine label of the winning lane.
         engine: Cow<'static, str>,
     },
+    /// A dynamic variable reorder (sift pass) ran between iterations.
+    Reorder {
+        /// Engine label.
+        engine: Cow<'static, str>,
+        /// Iterations completed when the reorder triggered.
+        iteration: u64,
+        /// Live nodes before the pass.
+        before: u64,
+        /// Live nodes after the pass.
+        after: u64,
+        /// Wall time of the pass, microseconds.
+        dur_us: u64,
+    },
     /// One budget-escalation round completed.
     Round {
         /// Engine label.
@@ -354,6 +367,7 @@ impl EventKind {
             EventKind::Limit { .. } => "limit",
             EventKind::Cancel { .. } => "cancel",
             EventKind::Winner { .. } => "winner",
+            EventKind::Reorder { .. } => "reorder",
             EventKind::Round { .. } => "round",
         }
     }
@@ -610,6 +624,25 @@ impl Event {
                 w.int("seq", self.seq);
                 w.int("t_us", self.t_us);
             }
+            EventKind::Reorder {
+                engine,
+                iteration,
+                before,
+                after,
+                dur_us,
+            } => {
+                w.int("after", *after);
+                w.int("before", *before);
+                w.int("dur_us", *dur_us);
+                w.text("engine", engine);
+                w.text("ev", "reorder");
+                w.int("iter", *iteration);
+                if let Some(l) = self.lane {
+                    w.int("lane", l);
+                }
+                w.int("seq", self.seq);
+                w.int("t_us", self.t_us);
+            }
             EventKind::Round {
                 engine,
                 round,
@@ -716,6 +749,13 @@ impl Event {
             },
             "winner" => EventKind::Winner {
                 engine: str_field(map, "engine")?.into(),
+            },
+            "reorder" => EventKind::Reorder {
+                engine: str_field(map, "engine")?.into(),
+                iteration: u64_field(map, "iter")?,
+                before: u64_field(map, "before")?,
+                after: u64_field(map, "after")?,
+                dur_us: u64_field(map, "dur_us")?,
             },
             "round" => EventKind::Round {
                 engine: str_field(map, "engine")?.into(),
@@ -859,6 +899,19 @@ mod tests {
             EventKind::Cancel { engine } | EventKind::Winner { engine } => {
                 map.insert("engine".into(), Value::Str(engine.to_string()));
             }
+            EventKind::Reorder {
+                engine,
+                iteration,
+                before,
+                after,
+                dur_us,
+            } => {
+                map.insert("engine".into(), Value::Str(engine.to_string()));
+                map.insert("iter".into(), Value::Num(*iteration as f64));
+                map.insert("before".into(), Value::Num(*before as f64));
+                map.insert("after".into(), Value::Num(*after as f64));
+                map.insert("dur_us".into(), Value::Num(*dur_us as f64));
+            }
             EventKind::Round {
                 engine,
                 round,
@@ -952,6 +1005,13 @@ mod tests {
             },
             EventKind::Winner {
                 engine: "CBM".into(),
+            },
+            EventKind::Reorder {
+                engine: "MONO".into(),
+                iteration: 5,
+                before: 120_000,
+                after: 44_000,
+                dur_us: 8_700,
             },
             EventKind::Round {
                 engine: "BFV".into(),

@@ -96,6 +96,10 @@ struct EngineRun {
     cancelled: bool,
     limit: Option<String>,
     rounds: u64,
+    /// Dynamic reorder (sift) passes, with summed before/after live nodes.
+    reorders: u64,
+    reorder_before: u64,
+    reorder_after: u64,
     /// `(cache_lookups, cache_hits)` movement across the engine span.
     cache: Option<(f64, f64)>,
     iters: Vec<IterRecord>,
@@ -262,6 +266,17 @@ fn build(events: &[Event]) -> Model {
                 let run = run_for(&mut model, &mut current, open_run, lane, engine);
                 run.rounds = run.rounds.max(round + 1);
             }
+            EventKind::Reorder {
+                engine,
+                before,
+                after,
+                ..
+            } => {
+                let run = run_for(&mut model, &mut current, open_run, lane, engine);
+                run.reorders += 1;
+                run.reorder_before += before;
+                run.reorder_after += after;
+            }
             EventKind::SpanOpen { .. } | EventKind::SpanClose { .. } => {}
         }
     }
@@ -359,6 +374,15 @@ fn notes(run: &EngineRun) -> String {
     }
     if run.rounds > 1 {
         notes.push(format!("{} escalation rounds", run.rounds));
+    }
+    if run.reorders > 0 {
+        notes.push(format!(
+            "{} reorder{} ({}→{} live)",
+            run.reorders,
+            if run.reorders == 1 { "" } else { "s" },
+            run.reorder_before,
+            run.reorder_after,
+        ));
     }
     notes.join(", ")
 }

@@ -211,6 +211,25 @@ impl Tracer {
         });
     }
 
+    /// Records a dynamic variable reorder (sift pass) with its
+    /// before/after live-node counts.
+    pub fn reorder(
+        &mut self,
+        engine: &'static str,
+        iteration: u64,
+        before: u64,
+        after: u64,
+        dur_us: u64,
+    ) {
+        self.emit(EventKind::Reorder {
+            engine: engine.into(),
+            iteration,
+            before,
+            after,
+            dur_us,
+        });
+    }
+
     /// Records one budget-escalation round.
     pub fn round(
         &mut self,

@@ -166,6 +166,15 @@ impl SetRepr for ChiBackend<'_> {
         ReprKind::Chi
     }
 
+    /// χ state is plain BDD edges plus *semantic* [`Var`] lists
+    /// (`pairs`, the CBM `next_vars`), which resolve their current
+    /// levels at the manager's API boundary — so a sift pass between
+    /// iterations preserves every captured function and the flavor's
+    /// image stays correct under the permuted order.
+    fn supports_reorder(&self) -> bool {
+        true
+    }
+
     fn prepare(&mut self, m: &mut BddManager) -> Result<(), BfvError> {
         let fsm = self.fsm;
         let op = match self.flavor {

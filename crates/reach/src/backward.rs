@@ -118,6 +118,8 @@ pub fn reach_backward(
         elapsed,
         conversion_time: std::time::Duration::ZERO,
         frozen_jobs: None,
+        reorders: 0,
+        reorder_nodes: (0, 0),
         per_iteration,
         // Backward traversal is a validation utility, not one of the
         // escalation-driven engines; it does not checkpoint.

@@ -185,6 +185,25 @@ pub struct ReachOptions {
     /// component count per image. Ignored unless
     /// [`ReachOptions::frozen`] is set.
     pub jobs: usize,
+    /// Enable dynamic variable reordering (Rudell sifting) between
+    /// iterations (CLI `--sift`). The driver watches live-node growth
+    /// after each iteration's collection and, once the graph has grown
+    /// past [`ReachOptions::sift_trigger`] × the post-reorder baseline
+    /// (and past [`bfvr_bdd::SIFT_SIZE_FLOOR`]), runs
+    /// [`BddManager::sift`] over the loop roots with resource limits
+    /// suspended. Only backends whose loop state survives a permuted
+    /// order honor the flag ([`bfvr_setrepr::SetRepr::supports_reorder`]);
+    /// the BFV/CDEC/ZDD/zonotope lanes silently decline — their
+    /// representations hard-code the component-order-equals-variable-
+    /// order constraint of the paper's §3.
+    pub sift: bool,
+    /// Per-variable growth bound of a sift pass: moving one variable may
+    /// let the graph grow to at most this multiple of its size before
+    /// the move is aborted and undone (Rudell's `maxGrowth`).
+    pub sift_max_growth: f64,
+    /// Live-node growth multiple (relative to the last post-reorder
+    /// baseline) at which the driver triggers the next sift.
+    pub sift_trigger: f64,
     /// Record per-iteration statistics (adds one count per step).
     pub record_iterations: bool,
     /// Per-iteration callback (see [`IterationObserver`]); used by the
@@ -234,6 +253,9 @@ impl Default for ReachOptions {
             use_frontier: true,
             frozen: false,
             jobs: 0,
+            sift: false,
+            sift_max_growth: 1.2,
+            sift_trigger: 2.0,
             record_iterations: false,
             observer: None,
             trace: None,
@@ -257,6 +279,9 @@ impl fmt::Debug for ReachOptions {
             .field("use_frontier", &self.use_frontier)
             .field("frozen", &self.frozen)
             .field("jobs", &self.jobs)
+            .field("sift", &self.sift)
+            .field("sift_max_growth", &self.sift_max_growth)
+            .field("sift_trigger", &self.sift_trigger)
             .field("record_iterations", &self.record_iterations)
             .field("observer", &self.observer.as_ref().map(|_| "<callback>"))
             .field("trace", &self.trace.as_ref().map(|_| "<tracer>"))
@@ -437,6 +462,14 @@ pub struct ReachResult {
     /// to the component count. `None` when the run took the sequential
     /// image path (frozen off, or an engine without a frozen backend).
     pub frozen_jobs: Option<usize>,
+    /// Dynamic reorder (sift) passes the driver triggered during the
+    /// run. Zero when [`ReachOptions::sift`] was off, the backend
+    /// declined ([`bfvr_setrepr::SetRepr::supports_reorder`]), or the
+    /// graph never crossed the growth trigger.
+    pub reorders: usize,
+    /// Live-node counts summed across reorders: `(before, after)` totals
+    /// of every triggered sift pass, for the `Peak(K)`-style tables.
+    pub reorder_nodes: (usize, usize),
     /// Per-iteration statistics (when requested).
     pub per_iteration: Vec<IterationStats>,
     /// Resumable state, present when the run stopped short of its fixed
@@ -538,6 +571,8 @@ pub(crate) fn failed_result(
         elapsed,
         conversion_time: Duration::ZERO,
         frozen_jobs: None,
+        reorders: 0,
+        reorder_nodes: (0, 0),
         per_iteration: Vec::new(),
         checkpoint: None,
     }

@@ -12,13 +12,13 @@
 
 use std::time::{Duration, Instant};
 
-use bfvr_bdd::BddManager;
+use bfvr_bdd::{BddManager, SiftConfig, SIFT_SIZE_FLOOR};
 use bfvr_setrepr::{ReprCheckpoint, SetRepr};
 use bfvr_sim::EncodedFsm;
 
 use crate::common::{
-    arm_limits, disarm_limits, failed_result, notify_iteration, outcome_of_bfv_error, Checkpoint,
-    EngineKind, IterMetrics, IterationView, Outcome, ReachOptions, ReachResult,
+    arm_limits, disarm_limits, failed_result, lane_label, notify_iteration, outcome_of_bfv_error,
+    Checkpoint, EngineKind, IterMetrics, IterationView, Outcome, ReachOptions, ReachResult,
 };
 
 /// Runs the shared traversal loop on `backend`, optionally resuming from
@@ -36,6 +36,16 @@ pub(crate) fn run_fixed_point<B: SetRepr>(
     let repr = backend.kind();
     let mut per_iteration = Vec::new();
     let mut conversion_time = Duration::ZERO;
+    // Dynamic reordering: on only when asked for *and* the backend's
+    // representation survives a permuted order (see
+    // `SetRepr::supports_reorder` — the BFV/CDEC/ZDD/zonotope lanes
+    // decline). The baseline is the live count right after the last
+    // reorder; growth past `sift_trigger` × baseline re-triggers.
+    let sift_enabled = opts.sift && backend.supports_reorder();
+    let mut sift_baseline = m.allocated().max(1);
+    let mut reorders = 0usize;
+    let mut reorder_before = 0usize;
+    let mut reorder_after = 0usize;
 
     if let Err(e) = backend.prepare(m) {
         return failed_result(m, engine, repr, outcome_of_bfv_error(&e), start.elapsed());
@@ -97,6 +107,48 @@ pub(crate) fn run_fixed_point<B: SetRepr>(
             backend.append_roots(&from, &mut roots);
             backend.persistent_roots(&mut roots);
             let gc = m.maybe_collect_garbage(&roots);
+            // Dynamic reorder trigger: once the live graph grows past
+            // the configured multiple of the post-reorder baseline (and
+            // past the absolute floor below which sifting costs more
+            // than it saves), run a sift pass over this iteration's
+            // roots. Resource limits are suspended around the pass —
+            // like the checkpoint hook, the machinery that *shrinks* the
+            // graph must never trip the budget it exists to relieve.
+            if sift_enabled
+                && gc.live >= SIFT_SIZE_FLOOR
+                && gc.live as f64 >= sift_baseline as f64 * opts.sift_trigger.max(1.0)
+            {
+                let saved_limit = m.node_limit();
+                let saved_deadline = m.deadline();
+                m.clear_node_limit();
+                m.set_deadline(None);
+                let sift_start = Instant::now();
+                let stats = m.sift(
+                    &roots,
+                    &SiftConfig {
+                        max_growth: opts.sift_max_growth,
+                        converge: false,
+                    },
+                );
+                let sift_dur = sift_start.elapsed();
+                if let Some(n) = saved_limit {
+                    m.set_node_limit(n);
+                }
+                m.set_deadline(saved_deadline);
+                reorders += 1;
+                reorder_before += stats.before;
+                reorder_after += stats.after;
+                sift_baseline = stats.after.max(1);
+                if let Some(trace) = &opts.trace {
+                    trace.borrow_mut().reorder(
+                        lane_label(engine, repr),
+                        iterations as u64,
+                        stats.before as u64,
+                        stats.after as u64,
+                        sift_dur.as_micros() as u64,
+                    );
+                }
+            }
             let conv = backend.take_conversion();
             conversion_time += conv;
             // Op-class timers in loop order; the conversion slice of the
@@ -205,6 +257,8 @@ pub(crate) fn run_fixed_point<B: SetRepr>(
         elapsed,
         conversion_time,
         frozen_jobs: backend.effective_jobs(),
+        reorders,
+        reorder_nodes: (reorder_before, reorder_after),
         per_iteration,
         checkpoint,
     }

@@ -348,6 +348,10 @@ pub struct LaneReport {
     /// thread budget — so this reports the parallelism actually used,
     /// not the `--jobs` request.
     pub frozen_jobs: Option<usize>,
+    /// Dynamic reorder (sift) passes the lane's driver triggered; zero
+    /// unless the lane requested sifting and its representation supports
+    /// it ([`bfvr_setrepr::SetRepr::supports_reorder`]).
+    pub reorders: usize,
 }
 
 /// The race's verdict: the winning result plus every lane's report.
@@ -388,6 +392,9 @@ struct LaneOpts {
     cluster_threshold: usize,
     use_frontier: bool,
     frozen: bool,
+    sift: bool,
+    sift_max_growth: f64,
+    sift_trigger: f64,
     record_iterations: bool,
     /// `Some(stride)` when the race driver traces: the lane records its
     /// own stream into a collector tracer and ships the events home.
@@ -406,6 +413,9 @@ impl LaneOpts {
             cluster_threshold: opts.cluster_threshold,
             use_frontier: opts.use_frontier,
             frozen: opts.frozen,
+            sift: opts.sift,
+            sift_max_growth: opts.sift_max_growth,
+            sift_trigger: opts.sift_trigger,
             record_iterations: opts.record_iterations,
             trace_sample: opts.trace.as_ref().map(|t| t.borrow().sample_every()),
         }
@@ -427,6 +437,9 @@ impl LaneOpts {
             // caps *lanes* there), so a frozen racing lane exercises the
             // frozen kernel without oversubscribing the pool.
             jobs: 1,
+            sift: self.sift,
+            sift_max_growth: self.sift_max_growth,
+            sift_trigger: self.sift_trigger,
             record_iterations: self.record_iterations,
             observer: None,
             trace: self
@@ -462,6 +475,8 @@ struct LaneMessage {
     won: bool,
     cancelled: bool,
     frozen_jobs: Option<usize>,
+    reorders: usize,
+    reorder_nodes: (usize, usize),
     /// The lane's collected trace stream ([`bfvr_obs::Event`] is plain
     /// data), empty when the race is untraced.
     events: Vec<bfvr_obs::Event>,
@@ -496,6 +511,8 @@ fn race_lane(
         won: false,
         cancelled: true,
         frozen_jobs: None,
+        reorders: 0,
+        reorder_nodes: (0, 0),
         events: Vec::new(),
     };
     if cancel.load(Ordering::Relaxed) {
@@ -551,6 +568,8 @@ fn race_lane(
         won,
         cancelled,
         frozen_jobs: result.frozen_jobs,
+        reorders: result.reorders,
+        reorder_nodes: result.reorder_nodes,
         events,
     }
 }
@@ -676,6 +695,8 @@ pub fn run_racing(
             won: false,
             cancelled: true,
             frozen_jobs: None,
+            reorders: 0,
+            reorder_nodes: (0, 0),
             events: Vec::new(),
         });
         // Merge the lane's stream into the driver's trace, tagged with
@@ -706,6 +727,7 @@ pub fn run_racing(
             rounds: msg.rounds,
             cancelled: msg.cancelled,
             frozen_jobs: msg.frozen_jobs,
+            reorders: msg.reorders,
         });
         if winner == Some(i) {
             result = Some(ReachResult {
@@ -721,6 +743,8 @@ pub fn run_racing(
                 elapsed: msg.elapsed,
                 conversion_time: msg.conversion_time,
                 frozen_jobs: msg.frozen_jobs,
+                reorders: msg.reorders,
+                reorder_nodes: msg.reorder_nodes,
                 per_iteration: msg.per_iteration,
                 checkpoint: None,
             });

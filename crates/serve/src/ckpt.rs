@@ -6,13 +6,15 @@
 //!
 //! ```text
 //! magic    8 B   "BFVRCKPT"
-//! version  u32   currently 1
+//! version  u32   currently 2
 //! engine   str   length-prefixed UTF-8 (EngineKind label, e.g. "BFV")
 //! repr     str   ReprKind label, e.g. "bfv"
 //! order    str   CLI order token ("s1"/"s2"/"d"/"o:SEED")
 //! circuit  str   circuit spec ("gen:..." or a file path)
 //! fprint   u64   FNV-1a 64 of the circuit's canonical bench text
 //! numvars  u32   manager width the checkpoint was taken in
+//! l2v      u32 × (count: u32)   (v2) level → variable map at capture
+//!                time; count 0 = identity (no dynamic reorder ran)
 //! iters    u64   image iterations completed
 //! tag      u8    0 = Chi, 1 = Vector, 2 = Cdec, 3 = Zonotope
 //! body           tag 0–2: root counts + a BddDag (see below)
@@ -50,8 +52,10 @@ use bfvr_setrepr::{ReprCheckpoint, ReprKind, Zonotope};
 
 /// File magic: the first eight bytes of every checkpoint.
 pub const MAGIC: &[u8; 8] = b"BFVRCKPT";
-/// Current format version.
-pub const VERSION: u32 = 1;
+/// Current format version. Version 2 added the level → variable map
+/// (dynamic reordering); version-1 files are still read, with an
+/// identity map assumed.
+pub const VERSION: u32 = 2;
 
 /// FNV-1a 64-bit hash — the format's checksum and the circuit
 /// fingerprint function. Hand-rolled (the workspace builds offline with
@@ -65,6 +69,19 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// The level → variable map to record in a [`CkptMeta`]: the manager's
+/// current order when it has been permuted by dynamic reordering, empty
+/// (= identity) otherwise — so checkpoints from unsifted runs stay
+/// byte-compatible with what version 1 carried semantically.
+#[must_use]
+pub fn level_map_of(m: &BddManager) -> Vec<u32> {
+    if m.order_is_permuted() {
+        m.current_order().iter().map(|v| v.0).collect()
+    } else {
+        Vec::new()
+    }
 }
 
 /// The engine half of a durable checkpoint plus everything `resume`
@@ -87,6 +104,12 @@ pub struct CkptMeta {
     pub fingerprint: u64,
     /// Variable count of the manager the checkpoint was taken in.
     pub num_vars: u32,
+    /// The manager's level → variable map when the checkpoint was taken
+    /// (`level2var[level] == var`). Empty means identity — the order was
+    /// never permuted (and every version-1 file decodes this way). The
+    /// DAG in the body labels nodes with *levels*, so resume applies
+    /// this permutation ([`BddManager::reorder_to`]) before importing.
+    pub level2var: Vec<u32>,
     /// Image iterations completed before the checkpoint.
     pub iterations: usize,
 }
@@ -210,6 +233,11 @@ pub fn encode_checkpoint(m: &BddManager, meta: &CkptMeta, state: &ReprCheckpoint
     put_str(&mut out, &meta.circuit);
     put_u64(&mut out, meta.fingerprint);
     put_u32(&mut out, meta.num_vars);
+    #[allow(clippy::cast_possible_truncation)]
+    put_u32(&mut out, meta.level2var.len() as u32);
+    for &v in &meta.level2var {
+        put_u32(&mut out, v);
+    }
     put_u64(&mut out, meta.iterations as u64);
     match state {
         ReprCheckpoint::Chi { reached, from } => {
@@ -333,13 +361,32 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn parse_meta(c: &mut Cursor<'_>) -> Result<CkptMeta, CkptError> {
+fn parse_meta(c: &mut Cursor<'_>, version: u32) -> Result<CkptMeta, CkptError> {
     let engine_label = c.str()?;
     let repr_label = c.str()?;
     let order = c.str()?;
     let circuit = c.str()?;
     let fingerprint = c.u64()?;
     let num_vars = c.u32()?;
+    // Version 1 predates dynamic reordering: identity map.
+    let level2var = if version >= 2 {
+        let count = c.u32()? as usize;
+        if count > c.remaining() / 4 {
+            return Err(CkptError::Truncated);
+        }
+        if count != 0 && count != num_vars as usize {
+            return Err(CkptError::Malformed(
+                "level map length disagrees with variable count",
+            ));
+        }
+        let mut map = Vec::with_capacity(count);
+        for _ in 0..count {
+            map.push(c.u32()?);
+        }
+        map
+    } else {
+        Vec::new()
+    };
     let iterations = c.u64()?;
     let engine =
         EngineKind::parse(&engine_label).ok_or(CkptError::Malformed("unknown engine label"))?;
@@ -359,6 +406,7 @@ fn parse_meta(c: &mut Cursor<'_>) -> Result<CkptMeta, CkptError> {
         circuit,
         fingerprint,
         num_vars,
+        level2var,
         iterations,
     })
 }
@@ -420,8 +468,9 @@ fn parse_zonotope(c: &mut Cursor<'_>) -> Result<Zonotope, CkptError> {
 }
 
 /// Verifies container integrity (length, magic, version, checksum) and
-/// returns the checksummed payload after the version field.
-fn verify_container(bytes: &[u8]) -> Result<&[u8], CkptError> {
+/// returns the version plus the checksummed payload after the version
+/// field. Versions 1 (no level map) and 2 are understood.
+fn verify_container(bytes: &[u8]) -> Result<(u32, &[u8]), CkptError> {
     // Smallest conceivable file: magic + version + empty meta + tag +
     // checksum. Anything shorter can't even hold the frame.
     if bytes.len() < MAGIC.len() + 4 + 8 {
@@ -444,10 +493,10 @@ fn verify_container(bytes: &[u8]) -> Result<&[u8], CkptError> {
         pos: MAGIC.len(),
     };
     let version = c.u32()?;
-    if version != VERSION {
+    if version == 0 || version > VERSION {
         return Err(CkptError::Version { found: version });
     }
-    Ok(&body[c.pos..])
+    Ok((version, &body[c.pos..]))
 }
 
 /// Reads just the metadata header of an encoded checkpoint, verifying
@@ -458,12 +507,12 @@ fn verify_container(bytes: &[u8]) -> Result<&[u8], CkptError> {
 ///
 /// Any container-level [`CkptError`].
 pub fn decode_meta(bytes: &[u8]) -> Result<CkptMeta, CkptError> {
-    let payload = verify_container(bytes)?;
+    let (version, payload) = verify_container(bytes)?;
     let mut c = Cursor {
         buf: payload,
         pos: 0,
     };
-    parse_meta(&mut c)
+    parse_meta(&mut c, version)
 }
 
 /// Decodes an encoded checkpoint and re-interns its state into `m`,
@@ -483,18 +532,26 @@ pub fn decode_checkpoint(
     bytes: &[u8],
     m: &mut BddManager,
 ) -> Result<(CkptMeta, Checkpoint), CkptError> {
-    let payload = verify_container(bytes)?;
+    let (version, payload) = verify_container(bytes)?;
     let mut c = Cursor {
         buf: payload,
         pos: 0,
     };
-    let meta = parse_meta(&mut c)?;
+    let meta = parse_meta(&mut c, version)?;
     if meta.num_vars != m.num_vars() {
         return Err(CkptError::Mismatch(format!(
             "checkpoint was taken over {} variables, manager has {}",
             meta.num_vars,
             m.num_vars()
         )));
+    }
+    // The body's DAG labels nodes with *levels* under the order the
+    // checkpoint was captured in; permute the fresh manager to that
+    // order before importing, so every re-interned edge means the same
+    // function it did when written.
+    if !meta.level2var.is_empty() {
+        m.reorder_to(&meta.level2var, &[])
+            .map_err(|_| CkptError::Malformed("level map is not a valid permutation"))?;
     }
     let tag = c.u8()?;
     let state = match tag {

@@ -42,8 +42,8 @@ pub mod signal;
 pub mod supervisor;
 
 pub use ckpt::{
-    decode_checkpoint, decode_meta, encode_checkpoint, fnv1a64, read_checkpoint, read_meta,
-    write_checkpoint, CkptError, CkptMeta,
+    decode_checkpoint, decode_meta, encode_checkpoint, fnv1a64, level_map_of, read_checkpoint,
+    read_meta, write_checkpoint, CkptError, CkptMeta,
 };
 pub use job::JobSpec;
 pub use journal::{replay, JobLedger, JobPhase, JobState, Journal, JournalError};

@@ -13,7 +13,9 @@ use std::rc::Rc;
 
 use bfvr_netlist::generators;
 use bfvr_reach::{run_repr, EngineKind, Outcome, ReachOptions};
-use bfvr_serve::{decode_checkpoint, decode_meta, encode_checkpoint, fnv1a64, CkptError, CkptMeta};
+use bfvr_serve::{
+    decode_checkpoint, decode_meta, encode_checkpoint, fnv1a64, level_map_of, CkptError, CkptMeta,
+};
 use bfvr_setrepr::ReprKind;
 use bfvr_sim::{EncodedFsm, OrderHeuristic};
 
@@ -37,6 +39,7 @@ fn genuine() -> (Vec<u8>, bfvr_bdd::BddManager, bfvr_bdd::BddManager) {
                 circuit: "gen:counter:5".to_string(),
                 fingerprint: 0x1234_5678_9abc_def0,
                 num_vars: m.num_vars(),
+                level2var: level_map_of(m),
                 iterations: cp.iterations,
             };
             *sink.borrow_mut() = encode_checkpoint(m, &meta, cp.state());

@@ -15,7 +15,7 @@ use bfvr_audit::{run_passes, AuditTargets, Report};
 use bfvr_netlist::generators;
 use bfvr_reach::portfolio::Lane;
 use bfvr_reach::{resume, run_repr, Outcome, ReachOptions};
-use bfvr_serve::{fnv1a64, read_checkpoint, write_checkpoint, CkptMeta};
+use bfvr_serve::{fnv1a64, level_map_of, read_checkpoint, write_checkpoint, CkptMeta};
 use bfvr_sim::{EncodedFsm, OrderHeuristic};
 
 /// A collision-free scratch path under the system temp dir.
@@ -74,6 +74,7 @@ fn roundtrip_lane(lane: Lane) {
                 circuit: hook_circuit.clone(),
                 fingerprint,
                 num_vars: m.num_vars(),
+                level2var: level_map_of(m),
                 iterations: cp.iterations,
             };
             write_checkpoint(&hook_path, m, &meta, cp.state()).unwrap();
@@ -140,4 +141,103 @@ fn every_lane_roundtrips_through_a_fresh_manager() {
     for lane in lanes {
         roundtrip_lane(lane);
     }
+}
+
+/// A checkpoint written mid-run *after dynamic sifting permuted the
+/// variable order* must still resume — in a fresh manager encoded under
+/// the original static order — to the same fixed point as a plain,
+/// never-sifted run. The container's `level2var` map is what carries the
+/// permutation across: `read_checkpoint` replays it onto the fresh
+/// manager before re-interning the level-labeled DAG.
+#[test]
+fn permuted_order_checkpoint_resumes_to_the_static_count() {
+    let net = generators::queue_controller(4);
+    let circuit = "gen:queue:4".to_string();
+    let bench = bfvr_netlist::bench::write(&net).unwrap();
+    let fingerprint = fnv1a64(bench.as_bytes());
+    let order = OrderHeuristic::Declaration;
+
+    // Plain, never-sifted baseline.
+    let (mut m0, fsm0) = EncodedFsm::encode(&net, order).unwrap();
+    let lane = Lane::native(bfvr_reach::EngineKind::Monolithic);
+    let baseline = run_repr(
+        lane.engine,
+        lane.repr,
+        &mut m0,
+        &fsm0,
+        &ReachOptions::default(),
+    );
+    assert_eq!(baseline.outcome, Outcome::FixedPoint);
+    let expect_states = baseline.reached_states.unwrap();
+    drop((m0, fsm0));
+
+    // Sifted run with a checkpoint hook that persists the *first*
+    // snapshot taken while the manager's order is actually permuted.
+    let path = scratch("permuted");
+    let (mut m1, fsm1) = EncodedFsm::encode(&net, order).unwrap();
+    let wrote = Rc::new(Cell::new(false));
+    let hook_wrote = Rc::clone(&wrote);
+    let hook_path = path.clone();
+    let hook_circuit = circuit.clone();
+    let opts1 = ReachOptions {
+        sift: true,
+        sift_trigger: 1.2,
+        checkpoint_every: Some(1),
+        checkpoint_hook: Some(Rc::new(move |m, cp| {
+            if hook_wrote.get() || !m.order_is_permuted() {
+                return;
+            }
+            let meta = CkptMeta {
+                engine: cp.engine,
+                repr: cp.repr,
+                order: "decl".to_string(),
+                circuit: hook_circuit.clone(),
+                fingerprint,
+                num_vars: m.num_vars(),
+                level2var: level_map_of(m),
+                iterations: cp.iterations,
+            };
+            assert!(
+                !meta.level2var.is_empty(),
+                "permuted manager produced an identity level map"
+            );
+            write_checkpoint(&hook_path, m, &meta, cp.state()).unwrap();
+            hook_wrote.set(true);
+        })),
+        ..ReachOptions::default()
+    };
+    let r1 = run_repr(lane.engine, lane.repr, &mut m1, &fsm1, &opts1);
+    assert_eq!(r1.outcome, Outcome::FixedPoint, "sifted run");
+    assert!(r1.reorders > 0, "sifting never fired; checkpoint untested");
+    assert!(wrote.get(), "no checkpoint written under a permuted order");
+    assert_eq!(
+        r1.reached_states,
+        Some(expect_states),
+        "sifted run disagrees with the static baseline"
+    );
+    drop((m1, fsm1));
+
+    // Fresh manager under the original static order: read_checkpoint
+    // must replay the recorded permutation, and a plain (sift-off)
+    // resume must land on the static count.
+    let (mut m2, fsm2) = EncodedFsm::encode(&net, order).unwrap();
+    assert!(!m2.order_is_permuted());
+    let (meta, cp) = read_checkpoint(&path, &mut m2).unwrap();
+    assert!(
+        !meta.level2var.is_empty(),
+        "checkpoint lost its level map in the container round-trip"
+    );
+    assert!(
+        m2.order_is_permuted(),
+        "read_checkpoint did not replay the permutation"
+    );
+    let resumed = resume(&mut m2, &fsm2, &ReachOptions::default(), cp);
+    assert_eq!(resumed.outcome, Outcome::FixedPoint, "resume");
+    assert_eq!(
+        resumed.reached_states,
+        Some(expect_states),
+        "resumed permuted-order checkpoint missed the static count"
+    );
+
+    let _ = std::fs::remove_file(&path);
 }

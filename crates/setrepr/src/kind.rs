@@ -61,6 +61,18 @@ impl ReprKind {
     pub fn over_approximates(self) -> bool {
         matches!(self, ReprKind::Zonotope)
     }
+
+    /// Whether a lane iterating on this representation can honor a
+    /// dynamic-reordering request (`--sift`). Mirrors
+    /// [`crate::SetRepr::supports_reorder`] at the kind level, for lane
+    /// display: only the plain χ representation survives a mid-run
+    /// level permutation — BFV/CDEC tie component order to variable
+    /// order (paper §3), ZDD label nodes freeze their creation levels,
+    /// and zonotope generators are bound to the encoding pass.
+    #[must_use]
+    pub fn supports_reorder(self) -> bool {
+        matches!(self, ReprKind::Chi)
+    }
 }
 
 impl fmt::Display for ReprKind {
@@ -86,6 +98,19 @@ mod tests {
         assert!(ReprKind::Zonotope.over_approximates());
         for k in [ReprKind::Chi, ReprKind::Bfv, ReprKind::Cdec, ReprKind::Zdd] {
             assert!(!k.over_approximates());
+        }
+    }
+
+    #[test]
+    fn only_chi_supports_reorder() {
+        assert!(ReprKind::Chi.supports_reorder());
+        for k in [
+            ReprKind::Bfv,
+            ReprKind::Cdec,
+            ReprKind::Zdd,
+            ReprKind::Zonotope,
+        ] {
+            assert!(!k.supports_reorder());
         }
     }
 }

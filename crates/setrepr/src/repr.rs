@@ -227,6 +227,19 @@ pub trait SetRepr {
         false
     }
 
+    /// Whether the backend tolerates dynamic variable reordering
+    /// ([`BddManager::sift`]) between iterations. Defaults to `false`
+    /// because most representations carry order-dependent structure the
+    /// manager cannot see: the BFV/CDEC vectors require component order
+    /// = variable order (paper §3) for `space()` and the reparameterized
+    /// image, ZDD stores label nodes with frozen levels, and zonotope
+    /// generators are bound to an encoding pass. Backends whose loop
+    /// state is plain χ BDDs (semantic `Var`s resolve levels at the API
+    /// boundary) opt in by returning `true`.
+    fn supports_reorder(&self) -> bool {
+        false
+    }
+
     /// Drains time spent in representation conversions since the last
     /// call (CBM-style bridge costs are reported, not hidden).
     fn take_conversion(&mut self) -> Duration {

@@ -88,9 +88,12 @@ pub fn simulate_image_frozen(
         roots.push(reached.component(c));
     }
     let frozen = m.freeze(&roots);
+    // Frozen node labels are *levels*, so the substitution map is keyed
+    // by each variable's current level, not its semantic index (they
+    // differ once a dynamic reorder has run).
     let mut subst: Vec<Option<u32>> = vec![None; m.num_vars() as usize];
     for (c, &var) in space.vars().iter().enumerate() {
-        subst[var.0 as usize] = Some(frozen.root(n + c));
+        subst[m.var_to_level(var) as usize] = Some(frozen.root(n + c));
     }
     phases.freeze = t.elapsed();
 

@@ -41,8 +41,8 @@ use bfvr::reach::{
     CheckpointHook, EngineKind, Outcome, ReachOptions, ReachResult, ReprKind, SetView,
 };
 use bfvr::serve::{
-    fnv1a64, read_checkpoint, read_meta, replay, signal, write_checkpoint, CkptMeta, JobSpec,
-    Journal, ProcessRunner, Supervisor, SupervisorConfig, EXIT_CHECKPOINTED,
+    fnv1a64, level_map_of, read_checkpoint, read_meta, replay, signal, write_checkpoint, CkptMeta,
+    JobSpec, Journal, ProcessRunner, Supervisor, SupervisorConfig, EXIT_CHECKPOINTED,
 };
 use bfvr::sim::{EncodedFsm, OrderHeuristic};
 
@@ -76,6 +76,22 @@ USAGE:
                                          table at this many slots (rounded
                                          to a power of two; bounds resident
                                          cache memory, trades hit rate)
+                    [--sift]             dynamic variable reordering: when
+                                         live nodes grow past the trigger
+                                         multiple since the last reorder,
+                                         pause the traversal and sift each
+                                         level to its locally best position
+                                         (Rudell). χ lanes only — BFV/CDEC/
+                                         ZDD/zono representations are
+                                         structurally tied to their order
+                                         (see docs/ordering.md); sifting
+                                         lanes print as LANE~S
+                    [--sift-maxgrowth <f>]  abort one variable's sift when
+                                         the table grows past f× its size
+                                         at the start of that variable's
+                                         pass (default 1.2)
+                    [--sift-trigger <f>] live-node growth multiple that
+                                         fires a reorder pass (default 2)
                     [--frozen]           run the image step on the frozen-
                                          function parallel backend: freeze
                                          the transition vector + reached set
@@ -145,6 +161,7 @@ USAGE:
   bfvr audit <file> [--engine bfv|cbm|mono|iwls95|cdec|all]  (default all)
                     [--repr chi|bfv|cdec|zdd|zono|native|all]  (default native)
                     [--order s1|decl|d|coi|force|o:<seed>]
+                    [--sift] [--sift-maxgrowth <f>] [--sift-trigger <f>]
                     [--time-limit <sec>] [--node-limit <nodes>]
                     [--selftest]         also run the mutation harness:
                                          seed deliberate corruptions and
@@ -349,6 +366,27 @@ fn parse_opts(args: &[String]) -> Result<ReachOptions, String> {
         }
         opts.cache_limit = Some(slots);
     }
+    opts.sift = args.iter().any(|a| a == "--sift");
+    if let Some(s) = flag_value(args, "--sift-maxgrowth") {
+        if !opts.sift {
+            return Err("--sift-maxgrowth requires --sift".into());
+        }
+        opts.sift_max_growth = s
+            .parse()
+            .map_err(|e| format!("bad --sift-maxgrowth: {e}"))?;
+        if opts.sift_max_growth <= 1.0 {
+            return Err("--sift-maxgrowth must be > 1".into());
+        }
+    }
+    if let Some(s) = flag_value(args, "--sift-trigger") {
+        if !opts.sift {
+            return Err("--sift-trigger requires --sift".into());
+        }
+        opts.sift_trigger = s.parse().map_err(|e| format!("bad --sift-trigger: {e}"))?;
+        if opts.sift_trigger < 1.0 {
+            return Err("--sift-trigger must be >= 1".into());
+        }
+    }
     opts.frozen = args.iter().any(|a| a == "--frozen");
     if let Some(s) = flag_value(args, "--jobs") {
         let n: usize = s.parse().map_err(|e| format!("bad --jobs: {e}"))?;
@@ -527,6 +565,7 @@ impl Durable {
                 circuit: circuit.clone(),
                 fingerprint,
                 num_vars: m.num_vars(),
+                level2var: level_map_of(m),
                 iterations: cp.iterations,
             };
             match write_checkpoint(&path, m, &meta, cp.state()) {
@@ -551,6 +590,7 @@ impl Durable {
             circuit: self.circuit.clone(),
             fingerprint: self.fingerprint,
             num_vars: m.num_vars(),
+            level2var: level_map_of(m),
             iterations: cp.iterations,
         };
         match write_checkpoint(&self.path, m, &meta, cp.state()) {
@@ -768,10 +808,21 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, String> {
     } else {
         String::new()
     };
+    // Sifting provenance mirrors the frozen backend's: the meta header
+    // records that dynamic reordering was armed and with what knobs;
+    // whether it *fired* is in the per-lane reorder events.
+    let sift_label = if opts.sift {
+        format!(
+            " sift=on maxgrowth={} trigger={}",
+            opts.sift_max_growth, opts.sift_trigger
+        )
+    } else {
+        String::new()
+    };
     let trace = parse_trace(
         args,
         &format!(
-            "bfvr reach {} order={order_label} lint={lint}{frozen_label}",
+            "bfvr reach {} order={order_label} lint={lint}{frozen_label}{sift_label}",
             net.name()
         ),
     )?;
@@ -897,7 +948,7 @@ fn reach_plain(
             };
             println!(
                 "{:10} {:>6} {:>14} {:>7} {:>10.1} {:>11}",
-                lane_cell(lane, opts.frozen),
+                lane_cell(lane, opts),
                 r.outcome.label(),
                 states_cell(r.reached_states, r.over_approx),
                 r.iterations,
@@ -906,6 +957,13 @@ fn reach_plain(
             );
             if let Some(j) = r.frozen_jobs {
                 println!("  frozen image pool: {j} worker thread(s)");
+            }
+            if r.reorders > 0 {
+                let (before, after) = r.reorder_nodes;
+                println!(
+                    "  dynamic reorder: {} sift pass(es), {before} -> {after} live nodes",
+                    r.reorders
+                );
             }
             if show_stats {
                 let s = m.stats();
@@ -959,16 +1017,21 @@ fn reach_plain(
 }
 
 /// The lane column: [`Lane::display`], tagged `*F` when the frozen
-/// parallel image backend is active for the lane. Only the
-/// frozen-capable engines get the tag — a χ lane under `--frozen` runs
-/// its ordinary relational product and is labeled accordingly.
-fn lane_cell(lane: Lane, frozen: bool) -> String {
-    let base = lane.display();
-    if frozen && lane.engine.frozen_capable() {
-        format!("{base}*F")
-    } else {
-        base
+/// parallel image backend is active for the lane and `~S` when dynamic
+/// sifting is armed for it. Each tag applies only where the backend
+/// actually engages — a χ lane under `--frozen` runs its ordinary
+/// relational product, and a BFV/CDEC/ZDD/zono lane under `--sift` keeps
+/// its static order (the representation is tied to it) — so the table
+/// shows what each lane really ran, e.g. `MONO@FORCE~S`.
+fn lane_cell(lane: Lane, opts: &ReachOptions) -> String {
+    let mut cell = lane.display();
+    if opts.frozen && lane.engine.frozen_capable() {
+        cell.push_str("*F");
     }
+    if opts.sift && lane.repr.supports_reorder() {
+        cell.push_str("~S");
+    }
+    cell
 }
 
 /// The reached-states column: `<=N` for an over-approximating lane's
@@ -1031,15 +1094,24 @@ fn cmd_reach_race(
         let pool = lane
             .frozen_jobs
             .map_or(String::new(), |j| format!(" F×{j}"));
+        // Reorder provenance: how many sift passes actually fired on
+        // this lane (0 suppresses the tag — an armed lane that never
+        // crossed the trigger ran its static order end to end).
+        let sifted = if lane.reorders > 0 {
+            format!(" S×{}", lane.reorders)
+        } else {
+            String::new()
+        };
         println!(
-            "{:16} {:>9} {:>14} {:>7} {:>10.1} {:>11}{}{}",
-            lane_cell(lanes[i], opts.frozen),
+            "{:16} {:>9} {:>14} {:>7} {:>10.1} {:>11}{}{}{}",
+            lane_cell(lanes[i], opts),
             status,
             states_cell(lane.reached_states, lane.over_approx),
             lane.iterations,
             lane.elapsed.as_secs_f64() * 1e3,
             lane.peak_nodes,
             pool,
+            sifted,
             won,
         );
     }
@@ -1119,6 +1191,13 @@ fn cmd_resume(args: &[String]) -> Result<ExitCode, String> {
             r.elapsed.as_secs_f64() * 1e3,
             r.peak_nodes
         );
+        if r.reorders > 0 {
+            let (before, after) = r.reorder_nodes;
+            println!(
+                "  dynamic reorder: {} sift pass(es), {before} -> {after} live nodes",
+                r.reorders
+            );
+        }
         settle_durable(
             &m,
             &r,
@@ -1385,7 +1464,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
         }
         println!(
             "{:10} {:>6} {:>5} iteration(s), {} state(s), audited",
-            lane_cell(lane, base_opts.frozen),
+            lane_cell(lane, &base_opts),
             r.outcome.label(),
             r.iterations,
             states_cell(r.reached_states, r.over_approx),

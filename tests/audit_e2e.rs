@@ -19,8 +19,14 @@ use bfvr::sim::{EncodedFsm, OrderHeuristic};
 /// converter; zonotope lanes over-approximate by design, so the
 /// exactness passes skip them. Any finding anywhere fails the test.
 fn audit_all_engines(net: &Netlist) {
+    audit_all_engines_under(net, OrderHeuristic::DfsFanin, &ReachOptions::default());
+}
+
+/// [`audit_all_engines`] with an explicit static order and base options
+/// (the sifted-traversal tests arm `--sift` through `base`).
+fn audit_all_engines_under(net: &Netlist, order: OrderHeuristic, base: &ReachOptions) {
     for lane in Lane::all_lanes() {
-        let (mut m, fsm) = EncodedFsm::encode(net, OrderHeuristic::DfsFanin).unwrap();
+        let (mut m, fsm) = EncodedFsm::encode(net, order).unwrap();
         let report = Rc::new(RefCell::new(Report::new()));
         let sink = Rc::clone(&report);
         let opts = ReachOptions {
@@ -54,7 +60,7 @@ fn audit_all_engines(net: &Netlist) {
                 );
                 run_passes(m, &targets, &scope, &mut sink.borrow_mut()).unwrap();
             })),
-            ..Default::default()
+            ..base.clone()
         };
         let r = run_repr(lane.engine, lane.repr, &mut m, &fsm, &opts);
         assert_eq!(r.outcome, Outcome::FixedPoint, "{lane:?} on {}", net.name());
@@ -100,6 +106,26 @@ fn paired_registers_audit_clean_on_all_engines() {
     audit_all_engines(&generators::paired_registers(4));
 }
 
+#[test]
+fn sifted_traversal_audits_clean_on_all_engines() {
+    // A deliberately bad static order (reversed declaration) over a
+    // pair circuit large enough to cross the sifting floor: the χ
+    // lanes reorder mid-run, and every intermediate and final set —
+    // audited across the reorder boundary, including the χ↔BFV and
+    // χ↔ZDD converters running against a permuted manager — must
+    // still pass the full battery.
+    let opts = ReachOptions {
+        sift: true,
+        sift_trigger: 1.2,
+        ..ReachOptions::default()
+    };
+    audit_all_engines_under(
+        &generators::paired_registers(6),
+        OrderHeuristic::Reversed,
+        &opts,
+    );
+}
+
 // ------------------------------------------------ CLI contract
 
 #[test]
@@ -119,6 +145,32 @@ fn cli_audit_clean_circuit_exits_zero_with_summary() {
     for label in ["BFV", "CBM", "MONO", "IWLS95", "CDEC"] {
         assert!(stdout.contains(label), "missing {label}: {stdout}");
     }
+}
+
+#[test]
+fn cli_audit_with_sift_exits_zero_and_tags_the_lane() {
+    let out = Command::new(env!("CARGO_BIN_EXE_bfvr"))
+        .args([
+            "audit",
+            "gen:pair:6",
+            "--engine",
+            "mono",
+            "--order",
+            "d",
+            "--sift",
+            "--sift-trigger",
+            "1.2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+    assert!(stdout.contains("MONO~S"), "missing sift lane tag: {stdout}");
 }
 
 #[test]

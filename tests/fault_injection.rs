@@ -261,7 +261,7 @@ fn checkpoint_write_failure_is_reported_not_fatal() {
     use std::cell::RefCell;
     use std::rc::Rc;
 
-    use bfvr::serve::{write_checkpoint, CkptError, CkptMeta};
+    use bfvr::serve::{level_map_of, write_checkpoint, CkptError, CkptMeta};
 
     let net = generators::counter(5);
     let (mut m, fsm) = EncodedFsm::encode(&net, OrderHeuristic::DfsFanin).unwrap();
@@ -289,6 +289,7 @@ fn checkpoint_write_failure_is_reported_not_fatal() {
                 circuit: "gen:counter:5".to_string(),
                 fingerprint: 0,
                 num_vars: m.num_vars(),
+                level2var: level_map_of(m),
                 iterations: cp.iterations,
             };
             if let Err(e) = write_checkpoint(&doomed, m, &meta, cp.state()) {
